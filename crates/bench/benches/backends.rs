@@ -1,0 +1,83 @@
+//! Ablation: statevector vs decision-diagram simulation backends
+//! (design-choice 1 of DESIGN.md).
+//!
+//! Statevector simulation is `O(2ⁿ)` regardless of structure; DD simulation
+//! is exponentially compact on structured states (GHZ, QFT-of-basis) but
+//! can degrade on unstructured ones (supremacy-style).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcirc::generators;
+use qsim::Simulator;
+
+fn bench_structured_circuits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_structured");
+    for n in [12usize, 16] {
+        let ghz = generators::ghz(n);
+        group.bench_with_input(BenchmarkId::new("statevector_ghz", n), &ghz, |b, circ| {
+            let sim = Simulator::new();
+            b.iter(|| sim.run_basis(circ, 0));
+        });
+        group.bench_with_input(BenchmarkId::new("dd_ghz", n), &ghz, |b, circ| {
+            b.iter_batched(
+                || qdd::Package::new(circ.n_qubits()),
+                |mut p| p.apply_to_basis(circ, 0).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        let qft = generators::qft(n, false);
+        group.bench_with_input(BenchmarkId::new("statevector_qft", n), &qft, |b, circ| {
+            let sim = Simulator::new();
+            b.iter(|| sim.run_basis(circ, 1));
+        });
+        group.bench_with_input(BenchmarkId::new("dd_qft", n), &qft, |b, circ| {
+            b.iter_batched(
+                || qdd::Package::new(circ.n_qubits()),
+                |mut p| p.apply_to_basis(circ, 1).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_unstructured_circuits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_unstructured");
+    group.sample_size(10);
+    let sup = generators::supremacy_2d(3, 4, 8, 7);
+    group.bench_function("statevector_supremacy_3x4", |b| {
+        let sim = Simulator::new();
+        b.iter(|| sim.run_basis(&sup, 0));
+    });
+    group.bench_function("dd_supremacy_3x4", |b| {
+        b.iter_batched(
+            || qdd::Package::new(sup.n_qubits()),
+            |mut p| p.apply_to_basis(&sup, 0).unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_threaded_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_threads");
+    group.sample_size(10);
+    let circ = generators::qft(20, false);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("qft20", threads),
+            &threads,
+            |b, &threads| {
+                let sim = Simulator::with_threads(threads);
+                b.iter(|| sim.run_basis(&circ, 3));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_structured_circuits, bench_unstructured_circuits, bench_threaded_statevector
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Regenerates the "#sims until counterexample" evidence (experiment TH2):
+//! the paper observes that for realistic design-flow errors, a *single*
+//! simulation almost always suffices.
+//!
+//! Injects every error class many times (fresh seeds) into a mid-size
+//! elementary circuit and histograms how many random simulations the flow
+//! needed before the counterexample appeared.
+//!
+//! Environment: `QCEC_BENCH_SCALE` (0 → 40 trials/class, else 200).
+
+use bench::scale_from_env;
+use qcec::{Config, Fallback, Outcome};
+use qcirc::errors::ErrorKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let trials = if scale_from_env() == 0 { 40 } else { 200 };
+    let max_r = 16;
+    // A decomposed+mapped chemistry circuit: the paper's "realistic
+    // design-flow output" shape (rotations + CX on a grid).
+    let g = {
+        let raw = qcirc::generators::trotter_heisenberg(2, 4, 2, 0.1, 0.5);
+        let routed = qcirc::mapping::route_or_panic(
+            &raw,
+            &qcirc::mapping::CouplingMap::grid(2, 4),
+        );
+        routed.circuit
+    };
+    println!(
+        "#sims histogram — {} trials per error class on '{}' ({} qubits, {} gates, r ≤ {max_r})",
+        trials,
+        g.name(),
+        g.n_qubits(),
+        g.len()
+    );
+    println!(
+        "{:<22} {:>7} {:>7} {:>7} {:>8} {:>10}",
+        "error class", "1 sim", "2 sims", "3+", "missed", "mean#sims"
+    );
+
+    let classes = [
+        ErrorKind::RemoveGate,
+        ErrorKind::MisplaceCx,
+        ErrorKind::FlipCxDirection,
+        ErrorKind::PerturbRotation(0.1),
+        ErrorKind::ReplaceSingleQubitGate,
+        ErrorKind::InsertSingleQubitGate,
+    ];
+    for kind in classes {
+        let mut one = 0usize;
+        let mut two = 0usize;
+        let mut more = 0usize;
+        let mut missed = 0usize;
+        let mut total_runs = 0usize;
+        let mut detected = 0usize;
+        let mut effective_trials = 0usize;
+        for seed in 0..trials as u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let Ok((buggy, _)) = qcirc::errors::inject(&g, kind, &mut rng) else {
+                continue;
+            };
+            effective_trials += 1;
+            let config = Config::new()
+                .with_simulations(max_r)
+                .with_fallback(Fallback::None)
+                .with_seed(seed.wrapping_mul(0x9E3779B97F4A7C15));
+            let result = qcec::check_equivalence(&g, &buggy, &config)
+                .expect("statevector flow cannot fail");
+            match result.outcome {
+                Outcome::NotEquivalent {
+                    counterexample: Some(ce),
+                } => {
+                    detected += 1;
+                    total_runs += ce.run;
+                    match ce.run {
+                        1 => one += 1,
+                        2 => two += 1,
+                        _ => more += 1,
+                    }
+                }
+                _ => {
+                    // Either the injection produced an (unlikely) equivalent
+                    // circuit, or r runs missed the difference.
+                    missed += 1;
+                }
+            }
+        }
+        let mean = if detected > 0 {
+            format!("{:.2}", total_runs as f64 / detected as f64)
+        } else {
+            "-".into()
+        };
+        println!(
+            "{:<22} {:>6}% {:>6}% {:>6}% {:>7}% {:>10}",
+            kind.to_string(),
+            percent(one, effective_trials),
+            percent(two, effective_trials),
+            percent(more, effective_trials),
+            percent(missed, effective_trials),
+            mean
+        );
+    }
+    println!();
+    println!("Paper's Table Ia: #sims = 1 for every row except one QFT row (#sims = 2).");
+}
+
+fn percent(part: usize, whole: usize) -> String {
+    if whole == 0 {
+        "-".into()
+    } else {
+        format!("{:.0}", 100.0 * part as f64 / whole as f64)
+    }
+}

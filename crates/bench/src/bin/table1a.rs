@@ -1,0 +1,99 @@
+//! Regenerates Table Ia: non-equivalent benchmarks.
+//!
+//! For every benchmark pair, a random design-flow error (altered 1q gate,
+//! misplaced/removed CX, …) is injected into the alternative realization.
+//! The table reports, per row:
+//!
+//! * `t_ec` — runtime of the *sole* state-of-the-art DD equivalence check
+//!   (`> D` when the deadline/node budget is exhausted, like the paper's
+//!   `> 3600` entries),
+//! * `#sims` — simulations until the proposed flow finds a counterexample,
+//! * `t_sim` — runtime of the simulation stage.
+//!
+//! Environment: `QCEC_BENCH_SCALE` (0 smoke / 1 full, default 1),
+//! `QCEC_BENCH_DEADLINE` (seconds for `t_ec`, default 30).
+
+use std::time::Instant;
+
+use bench::{deadline_from_env, fmt_secs, scale_from_env, suite};
+use qcec::{Config, Fallback, Outcome, SimBackend};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let deadline = deadline_from_env(30);
+    let scale = scale_from_env();
+    let dd_limit = 2_000_000;
+
+    println!("Table Ia — non-equivalent benchmarks (deadline {deadline:?})");
+    println!(
+        "{:<18} {:>3} {:>8} {:>8} {:>12} {:>6} {:>10}  {}",
+        "Benchmark", "n", "|G|", "|G'|", "t_ec [s]", "#sims", "t_sim [s]", "injected error"
+    );
+
+    for (row, pair) in suite(scale).into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(0xDAC2020 + 31 * row as u64);
+        let (buggy, record) = match qcirc::errors::inject_random(&pair.alternative, &mut rng) {
+            Ok(done) => done,
+            Err(e) => {
+                eprintln!("{}: skipped ({e})", pair.name);
+                continue;
+            }
+        };
+
+        // Sole state-of-the-art EC routine (t_ec).
+        let ec_start = Instant::now();
+        let mut package = qdd::Package::with_node_limit(pair.n_qubits(), dd_limit);
+        let ec = qdd::check_equivalence_alternating(
+            &mut package,
+            &pair.original,
+            &buggy,
+            Some(deadline),
+        );
+        let t_ec = match ec {
+            Ok(verdict) => {
+                debug_assert!(!verdict.is_equivalent());
+                fmt_secs(ec_start.elapsed())
+            }
+            Err(_) => format!("> {}", deadline.as_secs()),
+        };
+
+        // Proposed flow, simulation stage only.
+        let backend = if pair.statevector_ok {
+            SimBackend::Statevector
+        } else {
+            SimBackend::DecisionDiagram
+        };
+        let config = Config::new()
+            .with_fallback(Fallback::None)
+            .with_backend(backend)
+            .with_dd_node_limit(dd_limit)
+            .with_simulations(10)
+            .with_seed(7);
+        let result = match qcec::check_equivalence(&pair.original, &buggy, &config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: simulation failed ({e})", pair.name);
+                continue;
+            }
+        };
+        let (sims, t_sim) = match &result.outcome {
+            Outcome::NotEquivalent {
+                counterexample: Some(ce),
+            } => (ce.run.to_string(), fmt_secs(result.stats.simulation_time)),
+            _ => ("-".to_string(), format!("{} (undetected!)", fmt_secs(result.stats.simulation_time))),
+        };
+
+        println!(
+            "{:<18} {:>3} {:>8} {:>8} {:>12} {:>6} {:>10}  {}",
+            pair.name,
+            pair.n_qubits(),
+            pair.original.len(),
+            buggy.len(),
+            t_ec,
+            sims,
+            t_sim,
+            record
+        );
+    }
+}

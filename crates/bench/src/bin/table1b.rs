@@ -1,0 +1,84 @@
+//! Regenerates Table Ib: equivalent benchmarks.
+//!
+//! For every pair `(G, G')` produced by a verified design-flow step, the
+//! table compares the runtime of the complete DD equivalence check
+//! (`t_ec`, `> D` on deadline/node exhaustion) with the cost of the
+//! proposed flow's `r = 10` random simulations (`t_sim`) — showing that the
+//! simulations are a negligible overhead while providing a strong
+//! indication of equivalence even when the complete check fails.
+//!
+//! Environment: `QCEC_BENCH_SCALE` (0 smoke / 1 full, default 1),
+//! `QCEC_BENCH_DEADLINE` (seconds, default 30).
+
+use std::time::Instant;
+
+use bench::{deadline_from_env, fmt_secs, scale_from_env, suite};
+use qcec::{Config, SimBackend};
+use qcec::{run_simulations, SimVerdict};
+
+fn main() {
+    let deadline = deadline_from_env(30);
+    let scale = scale_from_env();
+    let dd_limit = 2_000_000;
+
+    println!("Table Ib — equivalent benchmarks (deadline {deadline:?}, r = 10)");
+    println!(
+        "{:<18} {:>3} {:>8} {:>8} {:>12} {:>10}  {}",
+        "Benchmark", "n", "|G|", "|G'|", "t_ec [s]", "t_sim [s]", "derivation"
+    );
+
+    for pair in suite(scale) {
+        // Complete EC routine alone.
+        let ec_start = Instant::now();
+        let mut package = qdd::Package::with_node_limit(pair.n_qubits(), dd_limit);
+        let ec = qdd::check_equivalence_alternating(
+            &mut package,
+            &pair.original,
+            &pair.alternative,
+            Some(deadline),
+        );
+        let t_ec = match ec {
+            Ok(verdict) => {
+                assert!(
+                    verdict.is_equivalent(),
+                    "{}: suite pair not equivalent!",
+                    pair.name
+                );
+                fmt_secs(ec_start.elapsed())
+            }
+            Err(_) => format!("> {}", deadline.as_secs()),
+        };
+
+        // The proposed flow's simulation stage (r = 10).
+        let backend = if pair.statevector_ok {
+            SimBackend::Statevector
+        } else {
+            SimBackend::DecisionDiagram
+        };
+        let config = Config::new()
+            .with_backend(backend)
+            .with_dd_node_limit(dd_limit)
+            .with_simulations(10)
+            .with_seed(7);
+        let sim_start = Instant::now();
+        let verdict = run_simulations(&pair.original, &pair.alternative, &config);
+        let t_sim = match verdict {
+            Ok(SimVerdict::AllAgreed { .. }) => fmt_secs(sim_start.elapsed()),
+            Ok(SimVerdict::CounterexampleFound(ce)) => {
+                format!("FALSE NEGATIVE ({ce})")
+            }
+            Err(e) => format!("dd overflow ({e})"),
+        };
+
+        println!(
+            "{:<18} {:>3} {:>8} {:>8} {:>12} {:>10}  {:?}",
+            pair.name,
+            pair.n_qubits(),
+            pair.original.len(),
+            pair.alternative.len(),
+            t_ec,
+            t_sim,
+            pair.derivation
+        );
+    }
+}

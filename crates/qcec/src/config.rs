@@ -1,0 +1,223 @@
+//! Configuration of the equivalence checking flow.
+
+use std::time::Duration;
+
+/// When two output states (or system matrices) count as "equal".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Criterion {
+    /// Exact equality: `⟨uᵢ|uᵢ′⟩ = 1` — the paper's formulation.
+    Strict,
+    /// Equality up to one global phase: `|⟨uᵢ|uᵢ′⟩| = 1`. The physically
+    /// meaningful notion; the default.
+    #[default]
+    UpToGlobalPhase,
+}
+
+/// How the `r` stimulus basis states are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StimulusStrategy {
+    /// Uniformly random distinct basis states (the paper's choice; the
+    /// default). Detection probability per run equals the differing-column
+    /// fraction regardless of where the error sits.
+    #[default]
+    Random,
+    /// The first `r` basis states `|0⟩, |1⟩, …` — a naive baseline kept for
+    /// ablation: it systematically misses errors gated on high qubits being
+    /// `|1⟩` (their differing columns live at high indices).
+    Sequential,
+}
+
+/// Which engine runs the `r` simulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimBackend {
+    /// Dense statevector simulation (`qsim`) — `O(2ⁿ)` memory, fast and
+    /// predictable; the default.
+    #[default]
+    Statevector,
+    /// Decision-diagram simulation (`qdd`) — the paper's engine \[25\];
+    /// exponentially compact on structured states.
+    DecisionDiagram,
+}
+
+/// Which complete equivalence checking routine runs after the simulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fallback {
+    /// The improved alternating scheme `G → 𝕀 ← G'` of \[22\]; the default.
+    #[default]
+    Alternating,
+    /// Construct and compare both complete system matrices (\[21\], \[26\]).
+    ConstructAndCompare,
+    /// No functional check: after `r` agreeing simulations report
+    /// "probably equivalent" immediately.
+    None,
+}
+
+/// Tunable parameters of the flow (defaults follow the paper: `r = 10`
+/// random basis states, then a complete DD check under a deadline).
+///
+/// # Examples
+///
+/// ```
+/// use qcec::{Config, Fallback};
+/// use std::time::Duration;
+///
+/// let config = Config::new()
+///     .with_simulations(10)
+///     .with_seed(0xBEEF)
+///     .with_deadline(Some(Duration::from_secs(60)))
+///     .with_fallback(Fallback::Alternating);
+/// assert_eq!(config.simulations, 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Number of random basis-state simulations `r` (paper default: 10).
+    pub simulations: usize,
+    /// RNG seed for choosing the basis states (runs are reproducible).
+    pub seed: u64,
+    /// Fidelity slack: outputs with fidelity below `1 − fidelity_tolerance`
+    /// prove non-equivalence.
+    pub fidelity_tolerance: f64,
+    /// Equality notion.
+    pub criterion: Criterion,
+    /// Simulation engine.
+    pub backend: SimBackend,
+    /// Complete equivalence checking routine.
+    pub fallback: Fallback,
+    /// How stimulus basis states are chosen.
+    pub stimuli: StimulusStrategy,
+    /// OS threads for the statevector backend's kernels (1 = sequential;
+    /// more only pays off beyond ~18 qubits).
+    pub threads: usize,
+    /// Wall-clock budget for the *complete* check (the simulations are
+    /// never aborted; they are the cheap part). `None` = unbounded.
+    pub deadline: Option<Duration>,
+    /// Node budget for decision diagrams (memory analogue of the deadline).
+    pub dd_node_limit: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            simulations: 10,
+            seed: 0,
+            fidelity_tolerance: 1e-8,
+            criterion: Criterion::default(),
+            backend: SimBackend::default(),
+            fallback: Fallback::default(),
+            stimuli: StimulusStrategy::default(),
+            threads: 1,
+            deadline: None,
+            dd_node_limit: qdd::Package::DEFAULT_NODE_LIMIT,
+        }
+    }
+}
+
+impl Config {
+    /// Creates the default configuration (`r = 10`, statevector backend,
+    /// alternating fallback, unbounded deadline).
+    #[must_use]
+    pub fn new() -> Self {
+        Config::default()
+    }
+
+    /// Sets the number of random simulations `r`.
+    #[must_use]
+    pub fn with_simulations(mut self, r: usize) -> Self {
+        self.simulations = r;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the equality notion.
+    #[must_use]
+    pub fn with_criterion(mut self, criterion: Criterion) -> Self {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Sets the simulation engine.
+    #[must_use]
+    pub fn with_backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the complete-check routine.
+    #[must_use]
+    pub fn with_fallback(mut self, fallback: Fallback) -> Self {
+        self.fallback = fallback;
+        self
+    }
+
+    /// Sets the stimulus-selection strategy.
+    #[must_use]
+    pub fn with_stimuli(mut self, stimuli: StimulusStrategy) -> Self {
+        self.stimuli = stimuli;
+        self
+    }
+
+    /// Sets the statevector backend's thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the wall-clock budget for the complete check.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the decision-diagram node budget.
+    #[must_use]
+    pub fn with_dd_node_limit(mut self, limit: usize) -> Self {
+        self.dd_node_limit = limit;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = Config::default();
+        assert_eq!(c.simulations, 10);
+        assert_eq!(c.criterion, Criterion::UpToGlobalPhase);
+        assert_eq!(c.backend, SimBackend::Statevector);
+        assert_eq!(c.fallback, Fallback::Alternating);
+        assert!(c.deadline.is_none());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = Config::new()
+            .with_simulations(3)
+            .with_seed(7)
+            .with_criterion(Criterion::Strict)
+            .with_backend(SimBackend::DecisionDiagram)
+            .with_fallback(Fallback::None)
+            .with_deadline(Some(Duration::from_millis(5)))
+            .with_dd_node_limit(1000);
+        assert_eq!(c.simulations, 3);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.criterion, Criterion::Strict);
+        assert_eq!(c.backend, SimBackend::DecisionDiagram);
+        assert_eq!(c.fallback, Fallback::None);
+        assert_eq!(c.dd_node_limit, 1000);
+    }
+}

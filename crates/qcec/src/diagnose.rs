@@ -1,0 +1,192 @@
+//! Counterexample diagnosis: turning "the circuits differ on `|i⟩`" into
+//! an actionable report of *where* the outputs diverge.
+//!
+//! A verification engineer who receives a counterexample wants to see the
+//! basis states whose amplitudes disagree — they usually point straight at
+//! the corrupted qubits (e.g. a misplaced CX shows up as probability mass on
+//! outputs with the wrong bit flipped).
+
+use qcirc::Circuit;
+use qnum::Complex;
+use qsim::Simulator;
+
+use crate::outcome::Counterexample;
+
+/// One disagreeing output amplitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmplitudeDiff {
+    /// The output basis state.
+    pub basis: u64,
+    /// Amplitude under `G`.
+    pub in_g: Complex,
+    /// Amplitude under `G'`.
+    pub in_g_prime: Complex,
+    /// `|in_g − in_g_prime|²`.
+    pub magnitude: f64,
+}
+
+/// A diagnosis of a simulation counterexample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    /// The counterexample being explained.
+    pub counterexample: Counterexample,
+    /// The disagreeing output amplitudes, largest difference first
+    /// (at most the requested `top` entries).
+    pub top_diffs: Vec<AmplitudeDiff>,
+    /// The qubits whose marginal probabilities differ noticeably — the
+    /// prime suspects for the faulty gate's location.
+    pub suspicious_qubits: Vec<usize>,
+}
+
+impl std::fmt::Display for Diagnosis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "counterexample: {}", self.counterexample)?;
+        writeln!(f, "largest output differences:")?;
+        for d in &self.top_diffs {
+            writeln!(
+                f,
+                "  |{:b}⟩: {} vs {} (|Δ|² = {:.4})",
+                d.basis, d.in_g, d.in_g_prime, d.magnitude
+            )?;
+        }
+        write!(f, "suspicious qubits: {:?}", self.suspicious_qubits)
+    }
+}
+
+/// Re-simulates both circuits on the counterexample's basis state and
+/// reports the `top` largest amplitude differences plus per-qubit marginal
+/// discrepancies.
+///
+/// Uses the statevector simulator, so it is limited to registers that fit
+/// in memory (the counterexample itself may have come from either backend).
+///
+/// # Panics
+///
+/// Panics if the circuits' qubit counts differ or exceed the statevector
+/// limit.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), qcec::FlowError> {
+/// use qcec::Outcome;
+///
+/// let g = qcirc::generators::w_state(3);
+/// let mut buggy = g.clone();
+/// buggy.x(1);
+/// let result = qcec::check_equivalence_default(&g, &buggy)?;
+/// if let Outcome::NotEquivalent { counterexample: Some(ce) } = result.outcome {
+///     let diagnosis = qcec::diagnose::explain(&g, &buggy, ce, 4);
+///     assert!(diagnosis.suspicious_qubits.contains(&1));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn explain(g: &Circuit, g_prime: &Circuit, ce: Counterexample, top: usize) -> Diagnosis {
+    assert_eq!(
+        g.n_qubits(),
+        g_prime.n_qubits(),
+        "circuits must have equal qubit counts"
+    );
+    let sim = Simulator::new();
+    let a = sim.run_basis(g, ce.basis);
+    let b = sim.run_basis(g_prime, ce.basis);
+
+    let mut diffs: Vec<AmplitudeDiff> = a
+        .amplitudes()
+        .iter()
+        .zip(b.amplitudes().iter())
+        .enumerate()
+        .filter_map(|(i, (&x, &y))| {
+            let magnitude = (x - y).norm_sqr();
+            if magnitude > 1e-12 {
+                Some(AmplitudeDiff {
+                    basis: i as u64,
+                    in_g: x,
+                    in_g_prime: y,
+                    magnitude,
+                })
+            } else {
+                None
+            }
+        })
+        .collect();
+    diffs.sort_by(|l, r| r.magnitude.total_cmp(&l.magnitude));
+    diffs.truncate(top);
+
+    let suspicious_qubits = (0..g.n_qubits())
+        .filter(|&q| {
+            let pa = qsim::measure::probability_of_one(&a, q);
+            let pb = qsim::measure::probability_of_one(&b, q);
+            (pa - pb).abs() > 1e-6
+        })
+        .collect();
+
+    Diagnosis {
+        counterexample: ce,
+        top_diffs: diffs,
+        suspicious_qubits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_equivalence_default, Outcome};
+    use qcirc::generators;
+
+    fn counterexample_for(g: &Circuit, buggy: &Circuit) -> Counterexample {
+        match check_equivalence_default(g, buggy).unwrap().outcome {
+            Outcome::NotEquivalent {
+                counterexample: Some(ce),
+            } => ce,
+            other => panic!("expected counterexample, got {other}"),
+        }
+    }
+
+    #[test]
+    fn stray_x_is_localized() {
+        // A W state's marginals are 1/n per qubit; an X on qubit 2 pushes
+        // that qubit's marginal to (n−1)/n — clearly suspicious. (GHZ would
+        // *not* work here: its marginals are invariant under single flips.)
+        let g = generators::w_state(4);
+        let mut buggy = g.clone();
+        buggy.x(2);
+        let ce = counterexample_for(&g, &buggy);
+        let d = explain(&g, &buggy, ce, 4);
+        assert_eq!(d.suspicious_qubits, vec![2]);
+        assert!(!d.top_diffs.is_empty());
+        assert!(d.top_diffs[0].magnitude > 0.1);
+        // Sorted descending.
+        for w in d.top_diffs.windows(2) {
+            assert!(w[0].magnitude >= w[1].magnitude);
+        }
+    }
+
+    #[test]
+    fn phase_error_shows_amplitude_diffs_without_marginals() {
+        // A Z error changes phases, not marginals: suspicious qubits stays
+        // empty, but amplitude diffs appear.
+        let mut g = qcirc::Circuit::new(2);
+        g.h(0).cx(0, 1);
+        let mut buggy = g.clone();
+        buggy.z(1);
+        let ce = counterexample_for(&g, &buggy);
+        let d = explain(&g, &buggy, ce, 4);
+        assert!(d.suspicious_qubits.is_empty());
+        assert!(!d.top_diffs.is_empty());
+    }
+
+    #[test]
+    fn top_truncation() {
+        let g = generators::qft(4, true);
+        let mut buggy = g.clone();
+        buggy.x(0);
+        let ce = counterexample_for(&g, &buggy);
+        let d = explain(&g, &buggy, ce, 3);
+        assert!(d.top_diffs.len() <= 3);
+        let text = d.to_string();
+        assert!(text.contains("largest output differences"));
+    }
+}

@@ -1,0 +1,284 @@
+//! The proposed equivalence checking flow (paper Fig. 3).
+
+use std::fmt;
+use std::time::Instant;
+
+use qcirc::Circuit;
+
+use crate::config::Config;
+use crate::functional::{run_functional_check, FunctionalVerdict};
+use crate::outcome::{FlowResult, FlowStats, Outcome};
+use crate::sim_check::{run_simulations, SimVerdict};
+
+/// Error returned when the inputs cannot be compared at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// The circuits act on different numbers of qubits. Widen the smaller
+    /// one ([`Circuit::widened`]) if the extra qubits are intentional
+    /// ancillas.
+    QubitCountMismatch {
+        /// Qubits of `G`.
+        left: usize,
+        /// Qubits of `G'`.
+        right: usize,
+    },
+    /// The decision-diagram simulation backend exceeded its node limit (the
+    /// statevector backend never fails).
+    SimulationOverflow {
+        /// The configured node limit.
+        node_limit: usize,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::QubitCountMismatch { left, right } => write!(
+                f,
+                "circuits act on different registers ({left} vs {right} qubits); widen the smaller circuit if ancillas are intended"
+            ),
+            FlowError::SimulationOverflow { node_limit } => write!(
+                f,
+                "decision-diagram simulation exceeded the node limit of {node_limit}; raise it or use the statevector backend"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Checks the equivalence of two circuits with the paper's flow:
+///
+/// 1. **Simulate** `r ≪ 2ⁿ` random computational basis states through both
+///    circuits, comparing the outputs. Any disagreement proves
+///    non-equivalence with a concrete counterexample — in practice this
+///    fires on the *first* run for realistic errors (Section IV-A).
+/// 2. **Fall back** to a complete DD-based equivalence check under the
+///    configured deadline/node budget.
+/// 3. If the complete check cannot finish, report **probably equivalent**:
+///    unlike the state of the art's bare timeout, the `r` agreeing
+///    simulations make an actual error very unlikely.
+///
+/// # Errors
+///
+/// Returns [`FlowError`] if the circuits have different qubit counts, or if
+/// the decision-diagram *simulation* backend overflows its node budget.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), qcec::FlowError> {
+/// use qcec::{check_equivalence, Config};
+///
+/// let g = qcirc::generators::qft(4, true);
+/// let mapped = qcirc::mapping::route_or_panic(&g, &qcirc::mapping::CouplingMap::linear(4));
+/// let result = qcec::check_equivalence(&g, &mapped.circuit, &Config::default())?;
+/// assert!(result.outcome.is_equivalent());
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_equivalence(
+    g: &Circuit,
+    g_prime: &Circuit,
+    config: &Config,
+) -> Result<FlowResult, FlowError> {
+    if g.n_qubits() != g_prime.n_qubits() {
+        return Err(FlowError::QubitCountMismatch {
+            left: g.n_qubits(),
+            right: g_prime.n_qubits(),
+        });
+    }
+
+    // Stage 1: random basis-state simulations.
+    let sim_start = Instant::now();
+    let sim_verdict =
+        run_simulations(g, g_prime, config).map_err(|e| FlowError::SimulationOverflow {
+            node_limit: e.node_limit,
+        })?;
+    let simulation_time = sim_start.elapsed();
+
+    match sim_verdict {
+        SimVerdict::CounterexampleFound(ce) => Ok(FlowResult {
+            outcome: Outcome::NotEquivalent {
+                counterexample: Some(ce),
+            },
+            stats: FlowStats {
+                simulations_run: ce.run,
+                simulation_time,
+                functional_time: Default::default(),
+            },
+        }),
+        SimVerdict::AllAgreed { runs } => {
+            // Stage 2: complete check.
+            let ec_start = Instant::now();
+            let verdict = run_functional_check(g, g_prime, config);
+            let functional_time = ec_start.elapsed();
+            let stats = FlowStats {
+                simulations_run: runs,
+                simulation_time,
+                functional_time,
+            };
+            let outcome = match verdict {
+                FunctionalVerdict::Equivalent => Outcome::Equivalent,
+                FunctionalVerdict::EquivalentUpToGlobalPhase { phase } => {
+                    Outcome::EquivalentUpToGlobalPhase { phase }
+                }
+                FunctionalVerdict::NotEquivalent => Outcome::NotEquivalent {
+                    counterexample: None,
+                },
+                FunctionalVerdict::Aborted(kind) => Outcome::ProbablyEquivalent {
+                    passed_simulations: runs,
+                    abort: kind.into(),
+                },
+            };
+            Ok(FlowResult { outcome, stats })
+        }
+    }
+}
+
+/// Convenience wrapper with the default configuration.
+///
+/// # Errors
+///
+/// See [`check_equivalence`].
+pub fn check_equivalence_default(g: &Circuit, g_prime: &Circuit) -> Result<FlowResult, FlowError> {
+    check_equivalence(g, g_prime, &Config::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Fallback;
+    use crate::outcome::AbortReason;
+    use qcirc::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Duration;
+
+    #[test]
+    fn equivalent_design_flow_outputs() {
+        // Original → decomposed → mapped → optimized: all equivalent.
+        let g = generators::qft(5, true);
+        let lowered = qcirc::decompose::decompose_to_cx_and_single_qubit(&g);
+        let mapped =
+            qcirc::mapping::route_or_panic(&lowered, &qcirc::mapping::CouplingMap::linear(5));
+        let optimized = qcirc::optimize::optimize(&mapped.circuit);
+        let result = check_equivalence_default(&g, &optimized).unwrap();
+        assert!(result.outcome.is_equivalent(), "{}", result.outcome);
+        assert_eq!(result.stats.simulations_run, 10);
+    }
+
+    #[test]
+    fn injected_errors_are_found_by_simulation() {
+        let g = generators::grover(5, 17, 3);
+        let mut rng = StdRng::seed_from_u64(11);
+        for kind in [
+            qcirc::errors::ErrorKind::RemoveGate,
+            qcirc::errors::ErrorKind::MisplaceCx,
+            qcirc::errors::ErrorKind::ReplaceSingleQubitGate,
+        ] {
+            let lowered = qcirc::decompose::decompose_to_cx_and_single_qubit(&g);
+            let (buggy, record) = qcirc::errors::inject(&lowered, kind, &mut rng).unwrap();
+            let result = check_equivalence_default(&lowered, &buggy).unwrap();
+            match &result.outcome {
+                Outcome::NotEquivalent {
+                    counterexample: Some(ce),
+                } => {
+                    assert!(
+                        ce.run <= 10,
+                        "error '{record}' needed more than r runs"
+                    );
+                }
+                other => panic!("error '{record}' not detected: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn most_errors_fall_to_the_first_simulation() {
+        // The paper's headline observation: #sims = 1 in almost every row.
+        let g = generators::trotter_heisenberg(2, 4, 2, 0.13, 0.7);
+        let mut first_run_hits = 0;
+        let total = 20;
+        for seed in 0..total {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (buggy, _) = qcirc::errors::inject_random(&g, &mut rng).unwrap();
+            let result = check_equivalence_default(&g, &buggy).unwrap();
+            if let Outcome::NotEquivalent {
+                counterexample: Some(ce),
+            } = &result.outcome
+            {
+                if ce.run == 1 {
+                    first_run_hits += 1;
+                }
+            }
+        }
+        assert!(
+            first_run_hits >= total * 7 / 10,
+            "only {first_run_hits}/{total} errors caught on run 1"
+        );
+    }
+
+    #[test]
+    fn timeout_yields_probably_equivalent() {
+        let g = generators::supremacy_2d(3, 3, 8, 5);
+        let config = Config::default()
+            .with_deadline(Some(Duration::ZERO))
+            .with_simulations(3);
+        let result = check_equivalence(&g, &g, &config).unwrap();
+        match result.outcome {
+            Outcome::ProbablyEquivalent {
+                passed_simulations,
+                abort,
+            } => {
+                assert_eq!(passed_simulations, 3);
+                assert_eq!(abort, AbortReason::Timeout);
+            }
+            other => panic!("expected probably-equivalent, got {other}"),
+        }
+    }
+
+    #[test]
+    fn fallback_none_reports_probably_equivalent() {
+        let g = generators::ghz(4);
+        let config = Config::default().with_fallback(Fallback::None);
+        let result = check_equivalence(&g, &g, &config).unwrap();
+        assert!(matches!(
+            result.outcome,
+            Outcome::ProbablyEquivalent {
+                abort: AbortReason::FallbackDisabled,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn qubit_mismatch_is_an_error() {
+        let a = generators::ghz(3);
+        let b = generators::ghz(4);
+        let e = check_equivalence_default(&a, &b).unwrap_err();
+        assert!(matches!(e, FlowError::QubitCountMismatch { left: 3, right: 4 }));
+        assert!(e.to_string().contains("different registers"));
+    }
+
+    #[test]
+    fn ancilla_decomposition_checks_after_widening() {
+        let g = generators::grover(5, 9, 1);
+        let lowered = qcirc::decompose::decompose_with_dirty_ancillas(&g);
+        assert!(lowered.n_qubits() > g.n_qubits());
+        let widened = g.widened(lowered.n_qubits());
+        let result = check_equivalence_default(&widened, &lowered).unwrap();
+        assert!(result.outcome.is_equivalent(), "{}", result.outcome);
+    }
+
+    #[test]
+    fn stats_record_early_exit() {
+        let g = generators::qft(6, true);
+        let mut buggy = g.clone();
+        buggy.x(0);
+        let result = check_equivalence_default(&g, &buggy).unwrap();
+        assert_eq!(result.stats.simulations_run, 1);
+        assert_eq!(result.stats.functional_time, Duration::ZERO);
+        assert!(result.to_string().contains("not equivalent"));
+    }
+}

@@ -1,0 +1,162 @@
+//! The complete (functional) check stage — wraps the DD routines of `qdd`.
+
+use qcirc::Circuit;
+use qdd::{DdCheckAbort, DdEquivalence, Package};
+
+use crate::config::{Config, Criterion, Fallback};
+use crate::outcome::AbortReason;
+
+/// Result of the functional stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FunctionalVerdict {
+    /// Matrices identical.
+    Equivalent,
+    /// Matrices identical up to one global phase.
+    EquivalentUpToGlobalPhase {
+        /// The phase `φ`.
+        phase: f64,
+    },
+    /// Matrices differ.
+    NotEquivalent,
+    /// The check could not finish.
+    Aborted(AbortKind),
+}
+
+/// Why the functional stage stopped (plain-copy mirror of
+/// [`AbortReason`] carrying no payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortKind {
+    /// Deadline elapsed.
+    Timeout,
+    /// Node limit exceeded.
+    NodeLimit,
+    /// Disabled by configuration.
+    Disabled,
+}
+
+impl From<AbortKind> for AbortReason {
+    fn from(k: AbortKind) -> Self {
+        match k {
+            AbortKind::Timeout => AbortReason::Timeout,
+            AbortKind::NodeLimit => AbortReason::NodeLimit,
+            AbortKind::Disabled => AbortReason::FallbackDisabled,
+        }
+    }
+}
+
+/// Runs the configured complete equivalence check.
+///
+/// With [`Criterion::Strict`], matrices that agree only up to a global
+/// phase are classified as [`FunctionalVerdict::NotEquivalent`]; with the
+/// default physical criterion they are reported as the phase variant.
+///
+/// # Panics
+///
+/// Panics if the circuits' qubit counts differ.
+#[must_use]
+pub fn run_functional_check(g: &Circuit, g_prime: &Circuit, config: &Config) -> FunctionalVerdict {
+    let mut package = Package::with_node_limit(g.n_qubits(), config.dd_node_limit);
+    let result = match config.fallback {
+        Fallback::None => return FunctionalVerdict::Aborted(AbortKind::Disabled),
+        Fallback::Alternating => {
+            qdd::check_equivalence_alternating(&mut package, g, g_prime, config.deadline)
+        }
+        Fallback::ConstructAndCompare => {
+            qdd::check_equivalence_construct(&mut package, g, g_prime, config.deadline)
+        }
+    };
+    match result {
+        Ok(DdEquivalence::Equivalent) => FunctionalVerdict::Equivalent,
+        Ok(DdEquivalence::EquivalentUpToGlobalPhase { phase }) => {
+            if config.criterion == Criterion::Strict {
+                // Under the strict notion a global phase is a difference.
+                FunctionalVerdict::NotEquivalent
+            } else {
+                FunctionalVerdict::EquivalentUpToGlobalPhase { phase }
+            }
+        }
+        Ok(DdEquivalence::NotEquivalent) => FunctionalVerdict::NotEquivalent,
+        Err(DdCheckAbort::Timeout { .. }) => FunctionalVerdict::Aborted(AbortKind::Timeout),
+        Err(DdCheckAbort::NodeLimit(_)) => FunctionalVerdict::Aborted(AbortKind::NodeLimit),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::generators;
+    use std::time::Duration;
+
+    #[test]
+    fn equivalent_mapped_circuit() {
+        let g = generators::qft(4, true);
+        let routed = qcirc::mapping::route_or_panic(&g, &qcirc::mapping::CouplingMap::linear(4));
+        let v = run_functional_check(&g, &routed.circuit, &Config::default());
+        assert_eq!(v, FunctionalVerdict::Equivalent);
+    }
+
+    #[test]
+    fn strict_criterion_rejects_global_phase() {
+        let mut a = qcirc::Circuit::new(2);
+        a.h(0);
+        let mut b = a.clone();
+        b.rz(2.0 * std::f64::consts::PI, 0);
+        let strict = Config::default().with_criterion(Criterion::Strict);
+        assert_eq!(
+            run_functional_check(&a, &b, &strict),
+            FunctionalVerdict::NotEquivalent
+        );
+        let relaxed = Config::default();
+        assert!(matches!(
+            run_functional_check(&a, &b, &relaxed),
+            FunctionalVerdict::EquivalentUpToGlobalPhase { .. }
+        ));
+    }
+
+    #[test]
+    fn disabled_fallback_aborts() {
+        let g = generators::ghz(2);
+        let config = Config::default().with_fallback(Fallback::None);
+        assert_eq!(
+            run_functional_check(&g, &g, &config),
+            FunctionalVerdict::Aborted(AbortKind::Disabled)
+        );
+    }
+
+    #[test]
+    fn timeout_aborts() {
+        let g = generators::supremacy_2d(3, 3, 12, 2);
+        let config = Config::default().with_deadline(Some(Duration::ZERO));
+        assert_eq!(
+            run_functional_check(&g, &g, &config),
+            FunctionalVerdict::Aborted(AbortKind::Timeout)
+        );
+    }
+
+    #[test]
+    fn node_limit_aborts() {
+        let g = generators::supremacy_2d(3, 4, 10, 3);
+        let config = Config::default()
+            .with_dd_node_limit(100)
+            .with_fallback(Fallback::ConstructAndCompare);
+        assert_eq!(
+            run_functional_check(&g, &g, &config),
+            FunctionalVerdict::Aborted(AbortKind::NodeLimit)
+        );
+    }
+
+    #[test]
+    fn both_fallbacks_detect_errors() {
+        let g = generators::qft(4, true);
+        let mut buggy = g.clone();
+        buggy.t(2);
+        for fb in [Fallback::Alternating, Fallback::ConstructAndCompare] {
+            let config = Config::default().with_fallback(fb);
+            assert_eq!(
+                run_functional_check(&g, &buggy, &config),
+                FunctionalVerdict::NotEquivalent,
+                "{fb:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Stage-by-stage verification of a design flow.
+//!
+//! The paper's motivation is that *every* design step (decompose → map →
+//! optimize) must preserve functionality. This module runs the flow over
+//! each consecutive pair of artifacts, stopping at the first proven
+//! difference — which pinpoints the faulty *tool*, not just the faulty
+//! output.
+
+use qcirc::Circuit;
+
+use crate::config::Config;
+use crate::flow::{check_equivalence, FlowError};
+use crate::outcome::FlowResult;
+
+/// One verified design-flow stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageResult {
+    /// Name of the artifact this stage produced.
+    pub name: String,
+    /// Verdict of checking this artifact against the previous one.
+    pub result: FlowResult,
+}
+
+/// The report of [`verify_stages`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Results for the checked stages, in order. Stops after the first
+    /// stage that proves non-equivalent.
+    pub stages: Vec<StageResult>,
+}
+
+impl PipelineReport {
+    /// Returns `true` if every checked stage is (at least probably)
+    /// equivalence-preserving and none was proven different.
+    #[must_use]
+    pub fn all_preserved(&self) -> bool {
+        self.stages
+            .iter()
+            .all(|s| !s.result.outcome.is_not_equivalent())
+    }
+
+    /// The first stage proven non-equivalent, if any — the broken tool.
+    #[must_use]
+    pub fn first_broken_stage(&self) -> Option<&StageResult> {
+        self.stages
+            .iter()
+            .find(|s| s.result.outcome.is_not_equivalent())
+    }
+}
+
+impl std::fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for s in &self.stages {
+            writeln!(f, "{:<24} {}", s.name, s.result)?;
+        }
+        Ok(())
+    }
+}
+
+/// Verifies a chain of design-flow artifacts pairwise:
+/// `stages\[0\] ≡ stages\[1\]`, `stages\[1\] ≡ stages\[2\]`, … Registers of
+/// different sizes are widened automatically (ancilla-adding stages).
+/// Checking stops after the first proven non-equivalence.
+///
+/// # Errors
+///
+/// Returns [`FlowError`] if a check cannot run (e.g. DD simulation
+/// overflow) — *not* for non-equivalence, which is a result.
+///
+/// # Panics
+///
+/// Panics if fewer than two stages are given.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), qcec::FlowError> {
+/// use qcec::pipeline::verify_stages;
+///
+/// let algorithm = qcirc::generators::qft(4, true);
+/// let lowered = qcirc::decompose::decompose_to_cx_and_single_qubit(&algorithm);
+/// let optimized = qcirc::optimize::optimize(&lowered);
+/// let report = verify_stages(
+///     &[
+///         ("algorithm", algorithm),
+///         ("decomposed", lowered),
+///         ("optimized", optimized),
+///     ],
+///     &qcec::Config::default(),
+/// )?;
+/// assert!(report.all_preserved());
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify_stages(
+    stages: &[(&str, Circuit)],
+    config: &Config,
+) -> Result<PipelineReport, FlowError> {
+    assert!(stages.len() >= 2, "a pipeline needs at least two stages");
+    let mut results = Vec::with_capacity(stages.len() - 1);
+    for window in stages.windows(2) {
+        let (_, ref before) = window[0];
+        let (after_name, ref after) = window[1];
+        let n = before.n_qubits().max(after.n_qubits());
+        let result = check_equivalence(&before.widened(n), &after.widened(n), config)?;
+        let broken = result.outcome.is_not_equivalent();
+        results.push(StageResult {
+            name: after_name.to_string(),
+            result,
+        });
+        if broken {
+            break;
+        }
+    }
+    Ok(PipelineReport { stages: results })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::generators;
+
+    #[test]
+    fn healthy_pipeline_passes_every_stage() {
+        let algorithm = generators::grover(4, 5, 2);
+        let lowered = qcirc::decompose::decompose_with_dirty_ancillas(&algorithm);
+        let mapped = qcirc::mapping::route_or_panic(
+            &lowered,
+            &qcirc::mapping::CouplingMap::linear(lowered.n_qubits()),
+        )
+        .circuit;
+        let optimized = qcirc::optimize::optimize(&mapped);
+        let report = verify_stages(
+            &[
+                ("algorithm", algorithm),
+                ("decomposed", lowered),
+                ("mapped", mapped),
+                ("optimized", optimized),
+            ],
+            &Config::default(),
+        )
+        .unwrap();
+        assert!(report.all_preserved(), "{report}");
+        assert_eq!(report.stages.len(), 3);
+        assert!(report.first_broken_stage().is_none());
+    }
+
+    #[test]
+    fn broken_stage_is_pinpointed_and_stops_the_pipeline() {
+        let a = generators::qft(4, true);
+        let b = qcirc::optimize::optimize(&a);
+        let mut c = b.clone();
+        c.x(2); // the "broken optimizer" output
+        let d = c.clone(); // a later stage that would pass
+        let report = verify_stages(
+            &[("algorithm", a), ("optimized", b), ("broken", c), ("later", d)],
+            &Config::default(),
+        )
+        .unwrap();
+        assert!(!report.all_preserved());
+        let broken = report.first_broken_stage().expect("stage found");
+        assert_eq!(broken.name, "broken");
+        // Checking stopped at the broken stage: "later" was never compared.
+        assert_eq!(report.stages.len(), 2);
+    }
+
+    #[test]
+    fn register_widening_is_automatic() {
+        let small = generators::ghz(3);
+        let wide = small.widened(5);
+        let report =
+            verify_stages(&[("a", small), ("b", wide)], &Config::default()).unwrap();
+        assert!(report.all_preserved());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two stages")]
+    fn single_stage_rejected() {
+        let g = generators::ghz(2);
+        let _ = verify_stages(&[("only", g)], &Config::default());
+    }
+}

@@ -1,0 +1,195 @@
+//! Tabular reporting of flow results — the shape of the paper's Table I.
+
+use std::fmt;
+
+use crate::outcome::{FlowResult, Outcome};
+
+/// One row of a benchmark report.
+#[derive(Debug, Clone)]
+pub struct ReportRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Register size `n`.
+    pub n_qubits: usize,
+    /// `|G|`.
+    pub g_len: usize,
+    /// `|G'|`.
+    pub g_prime_len: usize,
+    /// The flow result.
+    pub result: FlowResult,
+}
+
+/// A collection of rows renderable as a text table or CSV.
+///
+/// # Examples
+///
+/// ```
+/// use qcec::report::Report;
+///
+/// # fn main() -> Result<(), qcec::FlowError> {
+/// let g = qcirc::generators::ghz(3);
+/// let result = qcec::check_equivalence_default(&g, &g)?;
+/// let mut report = Report::new();
+/// report.push("ghz3", 3, g.len(), g.len(), result);
+/// assert!(report.to_csv().contains("ghz3"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    rows: Vec<ReportRow>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a row.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        n_qubits: usize,
+        g_len: usize,
+        g_prime_len: usize,
+        result: FlowResult,
+    ) {
+        self.rows.push(ReportRow {
+            name: name.into(),
+            n_qubits,
+            g_len,
+            g_prime_len,
+            result,
+        });
+    }
+
+    /// The rows collected so far.
+    #[must_use]
+    pub fn rows(&self) -> &[ReportRow] {
+        &self.rows
+    }
+
+    /// Renders the report as CSV with a header line
+    /// (`name,n,gates_g,gates_g_prime,verdict,sims,t_sim_s,t_ec_s,counterexample`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("name,n,gates_g,gates_g_prime,verdict,sims,t_sim_s,t_ec_s,counterexample\n");
+        for row in &self.rows {
+            let (verdict, witness) = verdict_and_witness(&row.result.outcome);
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{:.6},{:.6},{}\n",
+                csv_escape(&row.name),
+                row.n_qubits,
+                row.g_len,
+                row.g_prime_len,
+                verdict,
+                row.result.stats.simulations_run,
+                row.result.stats.simulation_time.as_secs_f64(),
+                row.result.stats.functional_time.as_secs_f64(),
+                witness,
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    /// Renders an aligned text table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<24} {:>4} {:>8} {:>8} {:<22} {:>5} {:>10} {:>10}",
+            "benchmark", "n", "|G|", "|G'|", "verdict", "sims", "t_sim [s]", "t_ec [s]"
+        )?;
+        for row in &self.rows {
+            let (verdict, _) = verdict_and_witness(&row.result.outcome);
+            writeln!(
+                f,
+                "{:<24} {:>4} {:>8} {:>8} {:<22} {:>5} {:>10.4} {:>10.4}",
+                row.name,
+                row.n_qubits,
+                row.g_len,
+                row.g_prime_len,
+                verdict,
+                row.result.stats.simulations_run,
+                row.result.stats.simulation_time.as_secs_f64(),
+                row.result.stats.functional_time.as_secs_f64(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn verdict_and_witness(outcome: &Outcome) -> (&'static str, String) {
+    match outcome {
+        Outcome::Equivalent => ("equivalent", String::new()),
+        Outcome::EquivalentUpToGlobalPhase { .. } => ("equivalent_up_to_phase", String::new()),
+        Outcome::NotEquivalent {
+            counterexample: Some(ce),
+        } => ("not_equivalent", format!("|{}>", ce.basis)),
+        Outcome::NotEquivalent {
+            counterexample: None,
+        } => ("not_equivalent", String::new()),
+        Outcome::ProbablyEquivalent { .. } => ("probably_equivalent", String::new()),
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_equivalence_default;
+
+    fn sample_report() -> Report {
+        let g = qcirc::generators::ghz(3);
+        let mut buggy = g.clone();
+        buggy.x(1);
+        let mut report = Report::new();
+        report.push(
+            "same",
+            3,
+            g.len(),
+            g.len(),
+            check_equivalence_default(&g, &g).unwrap(),
+        );
+        report.push(
+            "buggy, with comma",
+            3,
+            g.len(),
+            buggy.len(),
+            check_equivalence_default(&g, &buggy).unwrap(),
+        );
+        report
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let report = sample_report();
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("name,n,"));
+        assert!(lines[1].contains("equivalent"));
+        assert!(lines[2].contains("not_equivalent"));
+        assert!(lines[2].starts_with("\"buggy, with comma\""));
+    }
+
+    #[test]
+    fn text_table_aligns() {
+        let report = sample_report();
+        let text = report.to_string();
+        assert!(text.contains("benchmark"));
+        assert!(text.contains("not_equivalent"));
+        assert_eq!(report.rows().len(), 2);
+    }
+}

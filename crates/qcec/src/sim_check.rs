@@ -1,0 +1,336 @@
+//! The simulation stage of the flow: `r` random basis states, early exit on
+//! the first counterexample.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qcirc::Circuit;
+use qnum::Complex;
+use qsim::Simulator;
+
+use crate::config::{Config, Criterion, SimBackend};
+use crate::outcome::Counterexample;
+
+/// Outcome of the simulation stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimVerdict {
+    /// A differing basis state was found — non-equivalence is proven.
+    CounterexampleFound(Counterexample),
+    /// All runs agreed.
+    AllAgreed {
+        /// The number of runs performed.
+        runs: usize,
+    },
+}
+
+/// Runs up to `config.simulations` random basis-state simulations of both
+/// circuits, comparing outputs per the configured criterion.
+///
+/// Basis states are drawn uniformly at random with a seeded RNG; for small
+/// registers (`2ⁿ ≤ r`) every basis state is enumerated instead, making the
+/// stage a *complete* check by itself.
+///
+/// # Errors
+///
+/// Returns [`qdd::DdLimitError`] only with the decision-diagram backend,
+/// when a simulation exceeds the node limit.
+///
+/// # Panics
+///
+/// Panics if the circuits' qubit counts differ.
+pub fn run_simulations(
+    g: &Circuit,
+    g_prime: &Circuit,
+    config: &Config,
+) -> Result<SimVerdict, qdd::DdLimitError> {
+    assert_eq!(
+        g.n_qubits(),
+        g_prime.n_qubits(),
+        "circuits must have equal qubit counts"
+    );
+    let n = g.n_qubits();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let bases = match config.stimuli {
+        crate::config::StimulusStrategy::Random => {
+            choose_bases(n, config.simulations, &mut rng)
+        }
+        crate::config::StimulusStrategy::Sequential => {
+            let space: u128 = 1u128 << n;
+            (0..config.simulations as u128)
+                .take_while(|&i| i < space)
+                .map(|i| i as u64)
+                .collect()
+        }
+    };
+
+    let mut judge = Judge::new(config);
+    match config.backend {
+        SimBackend::Statevector => {
+            let sim = if config.threads > 1 {
+                Simulator::with_threads(config.threads)
+            } else {
+                Simulator::new()
+            };
+            for (run, &basis) in bases.iter().enumerate() {
+                let a = sim.run_basis(g, basis);
+                let b = sim.run_basis(g_prime, basis);
+                let overlap = a.inner_product(&b);
+                if let Some(ce) = judge.observe(overlap, basis, run + 1) {
+                    return Ok(SimVerdict::CounterexampleFound(ce));
+                }
+            }
+        }
+        SimBackend::DecisionDiagram => {
+            let mut package = qdd::Package::with_node_limit(n, config.dd_node_limit);
+            for (run, &basis) in bases.iter().enumerate() {
+                let a = package.apply_to_basis(g, basis)?;
+                let b = package.apply_to_basis(g_prime, basis)?;
+                // Equal canonical edges short-circuit the inner product.
+                let overlap = if package.vedges_equal(a, b) {
+                    qnum::Complex::ONE
+                } else {
+                    package.inner_product(a, b)
+                };
+                if let Some(ce) = judge.observe(overlap, basis, run + 1) {
+                    return Ok(SimVerdict::CounterexampleFound(ce));
+                }
+                // Nothing from this run is needed again; let the package
+                // reclaim its arenas before the next one.
+                if package.wants_gc() {
+                    package.compact(&[], &[]);
+                }
+            }
+        }
+    }
+    Ok(SimVerdict::AllAgreed { runs: bases.len() })
+}
+
+/// Chooses the stimuli: distinct random basis states, or all of them when
+/// the space is small.
+fn choose_bases(n_qubits: usize, r: usize, rng: &mut StdRng) -> Vec<u64> {
+    let space: u128 = 1u128 << n_qubits;
+    if space <= r as u128 {
+        return (0..space as u64).collect();
+    }
+    let mut chosen = Vec::with_capacity(r);
+    while chosen.len() < r {
+        let candidate = rng.gen_range(0..space as u64);
+        if !chosen.contains(&candidate) {
+            chosen.push(candidate);
+        }
+    }
+    chosen
+}
+
+/// Stateful per-run comparison.
+///
+/// Under [`Criterion::UpToGlobalPhase`] a single run only checks
+/// `|⟨u|u′⟩| = 1`; a diagonal error that leaves each *basis* input in a
+/// pure phase would slip through every run individually. Soundness comes
+/// from the cross-run condition: `U' = e^{iφ}U` forces the *same* overlap
+/// phase on every column, so the judge records the first run's phase and
+/// flags any later run that disagrees
+/// ([`Mismatch::PhaseInconsistency`](crate::Mismatch)).
+struct Judge<'a> {
+    config: &'a Config,
+    expected_phase: Option<Complex>,
+}
+
+impl<'a> Judge<'a> {
+    fn new(config: &'a Config) -> Self {
+        Judge {
+            config,
+            expected_phase: None,
+        }
+    }
+
+    fn observe(&mut self, overlap: Complex, basis: u64, run: usize) -> Option<Counterexample> {
+        use crate::outcome::Mismatch;
+        let ce = |mismatch: Mismatch| Counterexample {
+            basis,
+            overlap,
+            fidelity: overlap.norm_sqr(),
+            run,
+            mismatch,
+        };
+        match self.config.criterion {
+            // ⟨u|u′⟩ = 1 exactly (within tolerance).
+            Criterion::Strict => {
+                if (overlap - Complex::ONE).norm_sqr() > self.config.fidelity_tolerance {
+                    return Some(ce(Mismatch::Output));
+                }
+            }
+            Criterion::UpToGlobalPhase => {
+                if (overlap.norm_sqr() - 1.0).abs() > self.config.fidelity_tolerance {
+                    return Some(ce(Mismatch::Output));
+                }
+                match self.expected_phase {
+                    None => self.expected_phase = Some(overlap),
+                    Some(expected) => {
+                        if (overlap - expected).norm_sqr() > self.config.fidelity_tolerance {
+                            return Some(ce(Mismatch::PhaseInconsistency {
+                                expected: expected.arg(),
+                                found: overlap.arg(),
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::generators;
+
+    #[test]
+    fn equivalent_circuits_pass_all_runs() {
+        let g = generators::qft(4, true);
+        let opt = qcirc::optimize::optimize(&g);
+        let v = run_simulations(&g, &opt, &Config::default()).unwrap();
+        assert_eq!(v, SimVerdict::AllAgreed { runs: 10 });
+    }
+
+    #[test]
+    fn single_qubit_error_is_caught_first_run() {
+        let g = generators::qft(5, true);
+        let mut buggy = g.clone();
+        buggy.x(3);
+        let v = run_simulations(&g, &buggy, &Config::default()).unwrap();
+        match v {
+            SimVerdict::CounterexampleFound(ce) => {
+                assert_eq!(ce.run, 1, "a 1q error affects every column");
+                assert!(ce.fidelity < 1.0 - 1e-6);
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_registers_enumerate_every_basis_state() {
+        let mut a = qcirc::Circuit::new(2);
+        a.h(0);
+        // b differs only on the |11⟩-ish column: a CZ.
+        let mut b = a.clone();
+        b.cz(0, 1);
+        let v = run_simulations(&a, &b, &Config::default().with_simulations(10)).unwrap();
+        // 2² = 4 ≤ 10 → full enumeration must find the difference.
+        assert!(matches!(v, SimVerdict::CounterexampleFound(_)));
+    }
+
+    #[test]
+    fn global_phase_handling_differs_by_criterion() {
+        let mut a = qcirc::Circuit::new(2);
+        a.h(0).cx(0, 1);
+        let mut b = a.clone();
+        b.rz(2.0 * std::f64::consts::PI, 1); // global −1
+        let strict = Config::default().with_criterion(Criterion::Strict);
+        let v = run_simulations(&a, &b, &strict).unwrap();
+        assert!(matches!(v, SimVerdict::CounterexampleFound(_)));
+        let phased = Config::default().with_criterion(Criterion::UpToGlobalPhase);
+        let v = run_simulations(&a, &b, &phased).unwrap();
+        assert!(matches!(v, SimVerdict::AllAgreed { .. }));
+    }
+
+    #[test]
+    fn dd_backend_agrees_with_statevector() {
+        let g = generators::grover(4, 3, 2);
+        let mut buggy = g.clone();
+        buggy.s(1);
+        for backend in [SimBackend::Statevector, SimBackend::DecisionDiagram] {
+            let config = Config::default().with_backend(backend).with_seed(5);
+            let v = run_simulations(&g, &buggy, &config).unwrap();
+            assert!(
+                matches!(v, SimVerdict::CounterexampleFound(_)),
+                "backend {backend:?}"
+            );
+            let v = run_simulations(&g, &g, &config).unwrap();
+            assert!(matches!(v, SimVerdict::AllAgreed { .. }));
+        }
+    }
+
+    #[test]
+    fn basis_dependent_phases_are_caught_by_consistency_tracking() {
+        // An S gate on a qubit that stays classical turns every basis input
+        // into a pure phase (i^b): each run individually looks like "equal
+        // up to global phase", but the phases differ across runs.
+        let a = qcirc::Circuit::new(2);
+        let mut b = qcirc::Circuit::new(2);
+        b.s(0);
+        let config = Config::default().with_simulations(4);
+        let v = run_simulations(&a, &b, &config).unwrap();
+        match v {
+            SimVerdict::CounterexampleFound(ce) => {
+                assert!(matches!(
+                    ce.mismatch,
+                    crate::outcome::Mismatch::PhaseInconsistency { .. }
+                ));
+                assert!((ce.fidelity - 1.0).abs() < 1e-9);
+            }
+            other => panic!("diagonal error slipped through: {other:?}"),
+        }
+        // The same pair on the DD backend.
+        let config = config.with_backend(SimBackend::DecisionDiagram);
+        let v = run_simulations(&a, &b, &config).unwrap();
+        assert!(matches!(v, SimVerdict::CounterexampleFound(_)));
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let g = generators::supremacy_2d(2, 3, 6, 1);
+        let mut buggy = g.clone();
+        buggy.z(4);
+        let config = Config::default().with_seed(42);
+        let a = run_simulations(&g, &buggy, &config).unwrap();
+        let b = run_simulations(&g, &buggy, &config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_simulations_always_agree() {
+        let g = generators::ghz(3);
+        let mut buggy = g.clone();
+        buggy.x(0);
+        let config = Config::default().with_simulations(0);
+        let v = run_simulations(&g, &buggy, &config).unwrap();
+        assert_eq!(v, SimVerdict::AllAgreed { runs: 0 });
+    }
+
+    #[test]
+    fn sequential_strategy_misses_high_controlled_errors() {
+        // An error gated on the top qubits being |1⟩ lives in the highest
+        // columns; sequential stimuli |0⟩, |1⟩, … never reach them, while
+        // random stimuli have a fair chance. This is the ablation that
+        // justifies the paper's *random* choice.
+        let n = 10;
+        let g = qcirc::Circuit::new(n);
+        let mut buggy = qcirc::Circuit::new(n);
+        buggy.mcz((0..n - 1).collect(), n - 1);
+        let sequential = Config::default()
+            .with_stimuli(crate::config::StimulusStrategy::Sequential)
+            .with_simulations(16);
+        let v = run_simulations(&g, &buggy, &sequential).unwrap();
+        assert!(
+            matches!(v, SimVerdict::AllAgreed { .. }),
+            "sequential stimuli cannot reach the corrupted columns"
+        );
+        // Random stimuli find it eventually (with enough runs).
+        let random = Config::default().with_simulations(1000).with_seed(3);
+        let v = run_simulations(&g, &buggy, &random).unwrap();
+        assert!(matches!(v, SimVerdict::CounterexampleFound(_)));
+    }
+
+    #[test]
+    fn chosen_bases_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bases = choose_bases(20, 50, &mut rng);
+        assert_eq!(bases.len(), 50);
+        let mut dedup = bases.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 50);
+    }
+}

@@ -1,0 +1,153 @@
+//! The theoretical machinery of the paper's Section IV-A.
+//!
+//! The difference of two circuits is the unitary `D = U†U'`; if `D` is (up
+//! to phase) a single operation with `c` controls, it deviates from the
+//! identity in `2^{n−c}` of the `2ⁿ` columns, so a uniformly random basis
+//! state exposes the error with probability `2^{−c}` per simulation. These
+//! helpers compute both the predicted and the empirically measured
+//! quantities, feeding the `theory_detection` benchmark (experiment TH1 of
+//! DESIGN.md).
+
+use qcirc::{Circuit, Gate, GateKind};
+use qsim::Simulator;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The predicted probability that one uniformly random basis-state
+/// simulation detects a difference gate with `c` controls: `2^{−c}`
+/// (Examples 7 and 8 of the paper are the cases `c = 0` and `c = n−1`).
+#[must_use]
+pub fn predicted_detection_probability(controls: usize) -> f64 {
+    f64::powi(2.0, -(controls as i32))
+}
+
+/// The predicted probability that at least one of `r` independent random
+/// simulations detects a difference gate with `c` controls:
+/// `1 − (1 − 2^{−c})^r`.
+#[must_use]
+pub fn predicted_detection_probability_after(controls: usize, runs: usize) -> f64 {
+    1.0 - (1.0 - predicted_detection_probability(controls)).powi(runs as i32)
+}
+
+/// Counts the columns in which the unitaries of `g` and `g_prime` differ,
+/// by dense construction — the exact quantity behind the paper's
+/// "a difference with `c` controls affects `2^{n−c}` columns".
+///
+/// # Panics
+///
+/// Panics if the circuits differ in qubit count or exceed 12 qubits.
+#[must_use]
+pub fn differing_columns(g: &Circuit, g_prime: &Circuit) -> usize {
+    assert_eq!(g.n_qubits(), g_prime.n_qubits(), "qubit counts differ");
+    let u = qcirc::dense::unitary(g);
+    let u_prime = qcirc::dense::unitary(g_prime);
+    u.differing_columns(&u_prime)
+}
+
+/// Builds the canonical worst-case-to-best-case difference circuit of the
+/// paper's Examples 7/8: a single `X` on qubit 0 controlled by the first
+/// `controls` remaining qubits, on `n` qubits total.
+///
+/// # Panics
+///
+/// Panics if `controls >= n`.
+#[must_use]
+pub fn controlled_difference_gate(n: usize, controls: usize) -> Circuit {
+    assert!(controls < n, "need a free target qubit");
+    let mut c = Circuit::with_name(n, format!("difference_c{controls}"));
+    if controls == 0 {
+        c.x(0);
+    } else {
+        c.push(Gate::controlled(
+            GateKind::X,
+            (1..=controls).collect(),
+            0,
+        ));
+    }
+    c
+}
+
+/// Empirically measures the per-simulation detection rate for the pair
+/// `(G, G·D)` where `D` is [`controlled_difference_gate`]: runs `trials`
+/// independent single-simulation probes with fresh random basis states and
+/// reports the fraction that detected the difference.
+///
+/// # Panics
+///
+/// Panics if `controls >= n` or `trials == 0`.
+#[must_use]
+pub fn empirical_detection_rate(n: usize, controls: usize, trials: usize, seed: u64) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let g = Circuit::new(n); // identity reference
+    let mut g_prime = Circuit::new(n);
+    g_prime.append(&controlled_difference_gate(n, controls));
+    let sim = Simulator::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut detected = 0usize;
+    for _ in 0..trials {
+        let basis = rng.gen_range(0..(1u64 << n));
+        let overlap = sim.probe_basis(&g, &g_prime, basis);
+        if (overlap.norm_sqr() - 1.0).abs() > 1e-9 {
+            detected += 1;
+        }
+    }
+    detected as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicted_probabilities_match_the_examples() {
+        // Example 7: a single-qubit difference is caught by 100% of runs.
+        assert_eq!(predicted_detection_probability(0), 1.0);
+        // Example 8: n−1 controls → only 2 of 2ⁿ columns differ.
+        assert_eq!(predicted_detection_probability(3), 0.125);
+        assert!((predicted_detection_probability_after(3, 10) - (1.0 - 0.875f64.powi(10))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn differing_columns_follow_two_to_the_n_minus_c() {
+        let n = 5;
+        for c in 0..n {
+            let g = Circuit::new(n);
+            let mut g_prime = Circuit::new(n);
+            g_prime.append(&controlled_difference_gate(n, c));
+            assert_eq!(
+                differing_columns(&g, &g_prime),
+                1 << (n - c),
+                "c = {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_rate_tracks_prediction() {
+        let n = 6;
+        for c in [0usize, 1, 2, 3] {
+            let rate = empirical_detection_rate(n, c, 2000, 7);
+            let predicted = predicted_detection_probability(c);
+            assert!(
+                (rate - predicted).abs() < 0.05,
+                "c = {c}: empirical {rate} vs predicted {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn difference_gate_shapes() {
+        let d = controlled_difference_gate(4, 0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.max_controls(), 0);
+        let d = controlled_difference_gate(4, 3);
+        assert_eq!(d.max_controls(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "free target")]
+    fn too_many_controls_rejected() {
+        let _ = controlled_difference_gate(3, 3);
+    }
+}

@@ -1,0 +1,168 @@
+//! A lightweight dependency view of a circuit.
+//!
+//! Gates that share qubits must keep their relative order; everything else
+//! may be reordered or executed in parallel. [`layers`] partitions a circuit
+//! into maximal parallel layers — the front-layer view the mapping router
+//! consumes — and [`Dag`] records, for every gate, the previous gate on each
+//! of its qubits, which the optimizer uses to find cancellation partners
+//! without quadratic rescans.
+
+use crate::circuit::Circuit;
+
+/// Per-gate predecessor information: for gate `i`, `preds[i]` lists the index
+/// of the previous gate on each of its qubits (deduplicated, ascending).
+#[derive(Debug, Clone)]
+pub struct Dag {
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+}
+
+impl Dag {
+    /// Builds the dependency DAG of a circuit in a single scan.
+    #[must_use]
+    pub fn build(circuit: &Circuit) -> Self {
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.n_qubits()];
+        let mut preds: Vec<Vec<usize>> = Vec::with_capacity(circuit.len());
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); circuit.len()];
+        for (i, gate) in circuit.gates().iter().enumerate() {
+            let mut ps: Vec<usize> = gate
+                .qubits()
+                .filter_map(|q| last_on_qubit[q])
+                .collect();
+            ps.sort_unstable();
+            ps.dedup();
+            for &p in &ps {
+                succs[p].push(i);
+            }
+            preds.push(ps);
+            for q in gate.qubits() {
+                last_on_qubit[q] = Some(i);
+            }
+        }
+        for s in &mut succs {
+            s.dedup();
+        }
+        Dag { preds, succs }
+    }
+
+    /// The direct predecessors of gate `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn predecessors(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// The direct successors of gate `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// The number of gates in the DAG.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Returns `true` if the DAG is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+}
+
+/// Partitions the circuit into maximal parallel layers: each layer contains
+/// gate indices acting on pairwise disjoint qubits, and every gate appears in
+/// the earliest layer its dependencies allow. `layers(c).len() == c.depth()`.
+#[must_use]
+pub fn layers(circuit: &Circuit) -> Vec<Vec<usize>> {
+    let mut frontier = vec![0usize; circuit.n_qubits()];
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        let layer = gate.qubits().map(|q| frontier[q]).max().unwrap_or(0);
+        if layer == out.len() {
+            out.push(Vec::new());
+        }
+        out[layer].push(i);
+        for q in gate.qubits() {
+            frontier[q] = layer + 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ghzish() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).h(2);
+        c
+    }
+
+    #[test]
+    fn dag_predecessors_follow_qubit_wires() {
+        let c = ghzish();
+        let dag = Dag::build(&c);
+        assert_eq!(dag.len(), 4);
+        assert!(dag.predecessors(0).is_empty());
+        assert_eq!(dag.predecessors(1), &[0]); // cx(0,1) after h(0)
+        assert_eq!(dag.predecessors(2), &[1]); // cx(1,2) after cx(0,1)
+        assert_eq!(dag.predecessors(3), &[2]); // h(2) after cx(1,2)
+    }
+
+    #[test]
+    fn dag_successors_mirror_predecessors() {
+        let c = ghzish();
+        let dag = Dag::build(&c);
+        assert_eq!(dag.successors(0), &[1]);
+        assert_eq!(dag.successors(1), &[2]);
+        assert_eq!(dag.successors(3), &[] as &[usize]);
+    }
+
+    #[test]
+    fn shared_predecessor_is_deduplicated() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).swap(0, 1);
+        let dag = Dag::build(&c);
+        // swap(0,1) depends on cx(0,1) through both qubits — listed once.
+        assert_eq!(dag.predecessors(1), &[0]);
+    }
+
+    #[test]
+    fn layers_match_depth() {
+        let c = ghzish();
+        let ls = layers(&c);
+        assert_eq!(ls.len(), c.depth());
+        assert_eq!(ls[0], vec![0]);
+        assert_eq!(ls[1], vec![1]);
+        assert_eq!(ls[2], vec![2]);
+        assert_eq!(ls[3], vec![3]);
+    }
+
+    #[test]
+    fn parallel_gates_share_a_layer() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3).cx(0, 1).cx(2, 3);
+        let ls = layers(&c);
+        assert_eq!(ls.len(), 2);
+        assert_eq!(ls[0], vec![0, 1, 2, 3]);
+        assert_eq!(ls[1], vec![4, 5]);
+    }
+
+    #[test]
+    fn empty_circuit_has_no_layers() {
+        let c = Circuit::new(2);
+        assert!(layers(&c).is_empty());
+        let dag = Dag::build(&c);
+        assert!(dag.is_empty());
+    }
+}

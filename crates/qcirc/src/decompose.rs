@@ -1,0 +1,605 @@
+//! Gate decomposition: lowering circuits to the device basis `{1q, CX}`.
+//!
+//! This is the first design-flow step the paper verifies (\[2\]–\[5\]): an
+//! algorithmic circuit full of multi-controlled operations is rewritten into
+//! the elementary gate set of the target device. Two strategies are
+//! provided:
+//!
+//! * [`decompose_to_cx_and_single_qubit`] — ancilla-free. Multi-controlled
+//!   gates are expanded by the exact phase-cascade recursion, which is
+//!   *exponential* in the number of controls (fine up to ~10 controls).
+//! * [`decompose_with_dirty_ancillas`] — widens the register by
+//!   `max(0, c_max − 2)` ancilla qubits and lowers every multi-controlled X
+//!   with the Barenco 4(m−2)-Toffoli dirty-ancilla V-chain, which is exact
+//!   as a *full* unitary (ancillas in any state are restored), so strict
+//!   equivalence checking remains sound.
+//!
+//! Building blocks (exposed for reuse and tests): the [`zyz`] Euler
+//! decomposition of a single-qubit unitary and the ABC construction of a
+//! singly-controlled unitary ([`controlled_unitary_gates`]).
+
+use qnum::{approx, Matrix2};
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+
+/// The Euler angles `(α, β, γ, δ)` with `U = e^{iα} Rz(β) · Ry(γ) · Rz(δ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZyzAngles {
+    /// Global phase `α`.
+    pub alpha: f64,
+    /// First (leftmost) Z rotation `β`.
+    pub beta: f64,
+    /// Middle Y rotation `γ`.
+    pub gamma: f64,
+    /// Last (rightmost) Z rotation `δ`.
+    pub delta: f64,
+}
+
+/// Computes the ZYZ Euler decomposition of a single-qubit unitary:
+/// `U = e^{iα} · Rz(β) · Ry(γ) · Rz(δ)`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `u` is not unitary.
+///
+/// # Examples
+///
+/// ```
+/// use qcirc::decompose::zyz;
+/// use qnum::Matrix2;
+///
+/// let angles = zyz(&Matrix2::hadamard());
+/// let rebuilt = Matrix2::rz(angles.beta)
+///     .mul(&Matrix2::ry(angles.gamma))
+///     .mul(&Matrix2::rz(angles.delta))
+///     .scale(qnum::Complex::cis(angles.alpha));
+/// assert!(rebuilt.approx_eq(&Matrix2::hadamard()));
+/// ```
+#[must_use]
+pub fn zyz(u: &Matrix2) -> ZyzAngles {
+    debug_assert!(u.is_unitary(), "zyz requires a unitary matrix");
+    // Pull out the global phase: det(U) = e^{2iα}.
+    let det = u.entry(0, 0) * u.entry(1, 1) - u.entry(0, 1) * u.entry(1, 0);
+    let alpha = det.arg() / 2.0;
+    let v00 = u.entry(0, 0) * qnum::Complex::cis(-alpha);
+    let v10 = u.entry(1, 0) * qnum::Complex::cis(-alpha);
+    // V = [[e^{-i(β+δ)/2} cos(γ/2), −e^{i(δ−β)/2} sin(γ/2)],
+    //      [e^{i(β−δ)/2} sin(γ/2),  e^{i(β+δ)/2} cos(γ/2)]]
+    let gamma = 2.0 * v10.abs().atan2(v00.abs());
+    let (beta, delta) = if approx::approx_zero(v10.abs()) {
+        // γ ≈ 0: only β+δ is determined.
+        (-2.0 * v00.arg(), 0.0)
+    } else if approx::approx_zero(v00.abs()) {
+        // γ ≈ π: only β−δ is determined.
+        (2.0 * v10.arg(), 0.0)
+    } else {
+        (v10.arg() - v00.arg(), -(v00.arg() + v10.arg()))
+    };
+    ZyzAngles {
+        alpha,
+        beta,
+        gamma,
+        delta,
+    }
+}
+
+/// Returns the gate sequence implementing a singly-controlled `U` using the
+/// ABC construction (Nielsen & Chuang §4.3):
+/// `C(U) = P(α)_c · A_t · CX · B_t · CX · C_t` with `A·B·C = I` and
+/// `A·X·B·X·C = e^{-iα} U`.
+///
+/// The output uses only single-qubit rotations, one phase gate and two CX —
+/// i.e. it is already in the device basis.
+#[must_use]
+pub fn controlled_unitary_gates(control: usize, target: usize, u: &Matrix2) -> Vec<Gate> {
+    let ZyzAngles {
+        alpha,
+        beta,
+        gamma,
+        delta,
+    } = zyz(u);
+    let mut out = Vec::with_capacity(8);
+    // C = Rz((δ−β)/2)
+    push_rz(&mut out, (delta - beta) / 2.0, target);
+    out.push(Gate::controlled(GateKind::X, vec![control], target));
+    // B = Ry(−γ/2) · Rz(−(δ+β)/2)
+    push_rz(&mut out, -(delta + beta) / 2.0, target);
+    push_ry(&mut out, -gamma / 2.0, target);
+    out.push(Gate::controlled(GateKind::X, vec![control], target));
+    // A = Rz(β) · Ry(γ/2)
+    push_ry(&mut out, gamma / 2.0, target);
+    push_rz(&mut out, beta, target);
+    if !approx::approx_zero(alpha) {
+        out.push(Gate::single(GateKind::Phase(alpha), control));
+    }
+    out
+}
+
+fn push_rz(out: &mut Vec<Gate>, theta: f64, q: usize) {
+    if !approx::approx_zero(theta) {
+        out.push(Gate::single(GateKind::Rz(theta), q));
+    }
+}
+
+fn push_ry(out: &mut Vec<Gate>, theta: f64, q: usize) {
+    if !approx::approx_zero(theta) {
+        out.push(Gate::single(GateKind::Ry(theta), q));
+    }
+}
+
+/// The standard 15-gate Clifford+T realization of the Toffoli gate.
+fn toffoli_gates(a: usize, b: usize, t: usize) -> Vec<Gate> {
+    let cx = |c: usize, t: usize| Gate::controlled(GateKind::X, vec![c], t);
+    let g1 = |k: GateKind, q: usize| Gate::single(k, q);
+    vec![
+        g1(GateKind::H, t),
+        cx(b, t),
+        g1(GateKind::Tdg, t),
+        cx(a, t),
+        g1(GateKind::T, t),
+        cx(b, t),
+        g1(GateKind::Tdg, t),
+        cx(a, t),
+        g1(GateKind::T, b),
+        g1(GateKind::T, t),
+        g1(GateKind::H, t),
+        cx(a, b),
+        g1(GateKind::T, a),
+        g1(GateKind::Tdg, b),
+        cx(a, b),
+    ]
+}
+
+/// Emits an ancilla-free multi-controlled phase `C^k P(λ)` by the exact
+/// V–V† recursion (exponential in `k`).
+fn mcp_gates(controls: &[usize], target: usize, lambda: f64, out: &mut Vec<Gate>) {
+    match controls.len() {
+        0 => out.push(Gate::single(GateKind::Phase(lambda), target)),
+        1 => cp_gates(controls[0], target, lambda, out),
+        _ => {
+            let (last, rest) = controls.split_last().expect("len >= 2");
+            cp_gates(*last, target, lambda / 2.0, out);
+            mcx_free_gates(rest, *last, out);
+            cp_gates(*last, target, -lambda / 2.0, out);
+            mcx_free_gates(rest, *last, out);
+            mcp_gates(rest, target, lambda / 2.0, out);
+        }
+    }
+}
+
+/// The 5-gate elementary realization of a controlled phase.
+fn cp_gates(c: usize, t: usize, lambda: f64, out: &mut Vec<Gate>) {
+    out.push(Gate::single(GateKind::Phase(lambda / 2.0), c));
+    out.push(Gate::controlled(GateKind::X, vec![c], t));
+    out.push(Gate::single(GateKind::Phase(-lambda / 2.0), t));
+    out.push(Gate::controlled(GateKind::X, vec![c], t));
+    out.push(Gate::single(GateKind::Phase(lambda / 2.0), t));
+}
+
+/// Ancilla-free multi-controlled X in the elementary basis.
+fn mcx_free_gates(controls: &[usize], target: usize, out: &mut Vec<Gate>) {
+    match controls.len() {
+        0 => out.push(Gate::single(GateKind::X, target)),
+        1 => out.push(Gate::controlled(GateKind::X, vec![controls[0]], target)),
+        2 => out.extend(toffoli_gates(controls[0], controls[1], target)),
+        _ => {
+            // C^k X = H_t · C^k P(π) · H_t.
+            out.push(Gate::single(GateKind::H, target));
+            mcp_gates(controls, target, std::f64::consts::PI, out);
+            out.push(Gate::single(GateKind::H, target));
+        }
+    }
+}
+
+/// Multi-controlled X with the Barenco dirty-ancilla V-chain:
+/// `4(m−2)` Toffolis for `m ≥ 3` controls using `m − 2` ancillas *in any
+/// state* (they are restored exactly, so the identity holds as a full
+/// unitary). Falls back to CX/Toffoli for `m ≤ 2`.
+///
+/// # Panics
+///
+/// Panics if fewer than `m − 2` ancillas are supplied or if qubits collide.
+pub fn mcx_dirty_ancilla_gates(
+    controls: &[usize],
+    target: usize,
+    ancillas: &[usize],
+    out: &mut Vec<Gate>,
+) {
+    let m = controls.len();
+    match m {
+        0 => out.push(Gate::single(GateKind::X, target)),
+        1 => out.push(Gate::controlled(GateKind::X, vec![controls[0]], target)),
+        2 => out.extend(toffoli_gates(controls[0], controls[1], target)),
+        _ => {
+            assert!(
+                ancillas.len() >= m - 2,
+                "dirty V-chain for {m} controls needs {} ancillas, got {}",
+                m - 2,
+                ancillas.len()
+            );
+            // Sweep: T_m, T_{m-1}, …, T_3, T_2, T_3, …, T_{m-1}; twice.
+            // T_m   = CCX(c_m, a_{m-2} → target)
+            // T_i   = CCX(c_i, a_{i-2} → a_{i-1})   for 3 ≤ i ≤ m−1
+            // T_2   = CCX(c_1, c_2 → a_1)
+            let t_gate = |i: usize| -> Vec<Gate> {
+                match i {
+                    2 => toffoli_gates(controls[0], controls[1], ancillas[0]),
+                    i if i == m => toffoli_gates(controls[m - 1], ancillas[m - 3], target),
+                    i => toffoli_gates(controls[i - 1], ancillas[i - 3], ancillas[i - 2]),
+                }
+            };
+            for _ in 0..2 {
+                out.extend(t_gate(m));
+                for i in (3..m).rev() {
+                    out.extend(t_gate(i));
+                }
+                out.extend(t_gate(2));
+                for i in 3..m {
+                    out.extend(t_gate(i));
+                }
+            }
+        }
+    }
+}
+
+/// How multi-controlled X gates are lowered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum McxStrategy {
+    /// Ancilla-free exponential recursion.
+    Free,
+    /// Dirty-ancilla V-chain; the payload is the first ancilla index.
+    DirtyAncillas { first: usize, count: usize },
+}
+
+/// Lowers a whole circuit to the elementary basis `{single-qubit, CX}`
+/// without ancillas.
+///
+/// Gate-count growth is exponential in the largest control count, so this
+/// suits circuits with at most ~10 controls — exactly the situations the
+/// paper's decomposition step \[2\]–\[5\] handles on algorithm-level circuits.
+///
+/// # Examples
+///
+/// ```
+/// use qcirc::{decompose, Circuit};
+///
+/// let mut c = Circuit::new(3);
+/// c.ccx(0, 1, 2);
+/// let lowered = decompose::decompose_to_cx_and_single_qubit(&c);
+/// assert!(lowered.is_elementary());
+/// ```
+#[must_use]
+pub fn decompose_to_cx_and_single_qubit(circuit: &Circuit) -> Circuit {
+    lower_circuit(circuit, McxStrategy::Free)
+}
+
+/// Lowers a whole circuit to the elementary basis, widening the register by
+/// `max(0, c_max − 2)` dirty ancilla qubits so multi-controlled X gates cost
+/// only `4(m−2)` Toffolis each.
+///
+/// The V-chain restores ancillas of *any* state, so the result equals the
+/// original circuit tensored with identity on the new ancilla qubits —
+/// strict unitary equivalence is preserved (compare against
+/// `original.widened(out.n_qubits())`). This mirrors how the paper's
+/// Grover `k` rows end up on `n > k` qubits.
+#[must_use]
+pub fn decompose_with_dirty_ancillas(circuit: &Circuit) -> Circuit {
+    let c_max = circuit.max_controls();
+    let extra = c_max.saturating_sub(2);
+    let strategy = if extra == 0 {
+        McxStrategy::Free
+    } else {
+        McxStrategy::DirtyAncillas {
+            first: circuit.n_qubits(),
+            count: extra,
+        }
+    };
+    let mut widened = circuit.clone().widened(circuit.n_qubits() + extra);
+    widened.set_name(format!("{}_anc", circuit.name()));
+    lower_circuit(&widened, strategy)
+}
+
+/// Lowers a single gate to the elementary `{1q, CX}` basis without
+/// ancillas, appending the result to `out` (used by the QASM writer for
+/// gates that have no standard spelling).
+pub fn lower_gate_to_elementary(gate: &Gate, out: &mut Vec<Gate>) {
+    lower_gate(gate, McxStrategy::Free, out);
+}
+
+fn lower_circuit(circuit: &Circuit, strategy: McxStrategy) -> Circuit {
+    let mut out = Circuit::with_name(circuit.n_qubits(), format!("{}_elem", circuit.name()));
+    let mut gates = Vec::new();
+    for gate in circuit.gates() {
+        lower_gate(gate, strategy, &mut gates);
+    }
+    out.extend(gates);
+    out
+}
+
+fn lower_mcx(controls: &[usize], target: usize, strategy: McxStrategy, out: &mut Vec<Gate>) {
+    match strategy {
+        McxStrategy::Free => mcx_free_gates(controls, target, out),
+        McxStrategy::DirtyAncillas { first, count } => {
+            if controls.len() <= 2 {
+                mcx_free_gates(controls, target, out);
+            } else {
+                // Pick ancillas disjoint from the gate's own qubits.
+                let ancillas: Vec<usize> = (first..first + count)
+                    .filter(|a| *a != target && !controls.contains(a))
+                    .collect();
+                mcx_dirty_ancilla_gates(controls, target, &ancillas, out);
+            }
+        }
+    }
+}
+
+fn lower_gate(gate: &Gate, strategy: McxStrategy, out: &mut Vec<Gate>) {
+    let controls = gate.controls();
+    match (gate.kind(), controls.len()) {
+        // Already elementary.
+        (_, 0) if gate.width() == 1 => out.push(gate.clone()),
+        (GateKind::X, 1) => out.push(gate.clone()),
+        // SWAP family.
+        (GateKind::Swap, 0) => {
+            let (a, b) = (gate.targets()[0], gate.targets()[1]);
+            out.push(Gate::controlled(GateKind::X, vec![a], b));
+            out.push(Gate::controlled(GateKind::X, vec![b], a));
+            out.push(Gate::controlled(GateKind::X, vec![a], b));
+        }
+        (GateKind::Swap, _) => {
+            // C(SWAP a b) = CX(b→a) · C⁺(X on b, controls + a) · CX(b→a).
+            let (a, b) = (gate.targets()[0], gate.targets()[1]);
+            out.push(Gate::controlled(GateKind::X, vec![b], a));
+            let mut all_controls = controls.to_vec();
+            all_controls.push(a);
+            lower_mcx(&all_controls, b, strategy, out);
+            out.push(Gate::controlled(GateKind::X, vec![b], a));
+        }
+        // Multi-controlled X.
+        (GateKind::X, 2) => out.extend(toffoli_gates(controls[0], controls[1], gate.target())),
+        (GateKind::X, _) => lower_mcx(controls, gate.target(), strategy, out),
+        // Singly-controlled specials with cheap textbook forms.
+        (GateKind::Z, 1) => {
+            let t = gate.target();
+            out.push(Gate::single(GateKind::H, t));
+            out.push(Gate::controlled(GateKind::X, vec![controls[0]], t));
+            out.push(Gate::single(GateKind::H, t));
+        }
+        (GateKind::Phase(l), 1) => cp_gates(controls[0], gate.target(), *l, out),
+        (GateKind::Rz(t), 1) => {
+            let tq = gate.target();
+            out.push(Gate::single(GateKind::Rz(t / 2.0), tq));
+            out.push(Gate::controlled(GateKind::X, vec![controls[0]], tq));
+            out.push(Gate::single(GateKind::Rz(-t / 2.0), tq));
+            out.push(Gate::controlled(GateKind::X, vec![controls[0]], tq));
+        }
+        // General singly-controlled unitary: ABC.
+        (kind, 1) => {
+            let m = kind.base_matrix().expect("single-target kind");
+            out.extend(controlled_unitary_gates(controls[0], gate.target(), &m));
+        }
+        // General multi-controlled unitary: ABC with C^k X, plus the
+        // controlled global phase pushed onto the controls.
+        (kind, _) => {
+            let m = kind.base_matrix().expect("single-target kind");
+            let ZyzAngles {
+                alpha,
+                beta,
+                gamma,
+                delta,
+            } = zyz(&m);
+            let t = gate.target();
+            push_rz(out, (delta - beta) / 2.0, t);
+            lower_mcx(controls, t, strategy, out);
+            push_rz(out, -(delta + beta) / 2.0, t);
+            push_ry(out, -gamma / 2.0, t);
+            lower_mcx(controls, t, strategy, out);
+            push_ry(out, gamma / 2.0, t);
+            push_rz(out, beta, t);
+            if !approx::approx_zero(alpha) {
+                // C^k(e^{iα} I) = C^{k-1} P(α) on the controls.
+                let (last, rest) = controls.split_last().expect("k >= 2");
+                mcp_gates(rest, *last, alpha, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense;
+    use qnum::{Complex, MatrixN};
+
+    fn assert_equivalent(a: &Circuit, b: &Circuit) {
+        let (ua, ub) = (dense::unitary(a), dense::unitary(b));
+        assert!(
+            ua.approx_eq_up_to_phase(&ub),
+            "circuits differ:\n{a}\nvs\n{b}"
+        );
+    }
+
+    fn assert_strictly_equal(a: &Circuit, b: &Circuit) {
+        let (ua, ub) = (dense::unitary(a), dense::unitary(b));
+        assert!(ua.approx_eq(&ub), "circuits differ (strict)");
+    }
+
+    #[test]
+    fn zyz_reconstructs_common_gates() {
+        for m in [
+            Matrix2::hadamard(),
+            Matrix2::pauli_x(),
+            Matrix2::pauli_y(),
+            Matrix2::pauli_z(),
+            Matrix2::phase(0.3),
+            Matrix2::rx(1.1),
+            Matrix2::ry(-0.7),
+            Matrix2::rz(2.9),
+            Matrix2::u3(0.4, 1.5, -2.6),
+        ] {
+            let a = zyz(&m);
+            let rebuilt = Matrix2::rz(a.beta)
+                .mul(&Matrix2::ry(a.gamma))
+                .mul(&Matrix2::rz(a.delta))
+                .scale(Complex::cis(a.alpha));
+            assert!(rebuilt.approx_eq(&m), "zyz failed for {m}");
+        }
+    }
+
+    #[test]
+    fn controlled_unitary_matches_ir_gate() {
+        for kind in [
+            GateKind::H,
+            GateKind::Y,
+            GateKind::Sx,
+            GateKind::T,
+            GateKind::Rx(0.9),
+            GateKind::U3(1.2, 0.3, -0.8),
+        ] {
+            let mut reference = Circuit::new(2);
+            reference.push(Gate::controlled(kind, vec![0], 1));
+            let mut lowered = Circuit::new(2);
+            lowered.extend(controlled_unitary_gates(
+                0,
+                1,
+                &kind.base_matrix().unwrap(),
+            ));
+            assert_strictly_equal(&reference, &lowered);
+            assert!(lowered.is_elementary());
+        }
+    }
+
+    #[test]
+    fn toffoli_network_is_exact() {
+        let mut reference = Circuit::new(3);
+        reference.ccx(0, 1, 2);
+        let mut lowered = Circuit::new(3);
+        lowered.extend(toffoli_gates(0, 1, 2));
+        assert_strictly_equal(&reference, &lowered);
+    }
+
+    #[test]
+    fn swap_and_cz_and_cp_lower_exactly() {
+        let mut c = Circuit::new(3);
+        c.swap(0, 2).cz(1, 0).cp(0.7, 2, 1).crz(1.3, 0, 1);
+        let lowered = decompose_to_cx_and_single_qubit(&c);
+        assert!(lowered.is_elementary());
+        assert_equivalent(&c, &lowered);
+    }
+
+    #[test]
+    fn crz_is_phase_exact_only_up_to_nothing() {
+        // CRZ lowering must be *strictly* equal (no stray global phase).
+        let mut c = Circuit::new(2);
+        c.crz(0.9, 0, 1);
+        let lowered = decompose_to_cx_and_single_qubit(&c);
+        assert_strictly_equal(&c, &lowered);
+    }
+
+    #[test]
+    fn mcx_free_is_exact_for_three_and_four_controls() {
+        for k in [3usize, 4] {
+            let mut reference = Circuit::new(k + 1);
+            reference.mcx((0..k).collect(), k);
+            let lowered = decompose_to_cx_and_single_qubit(&reference);
+            assert!(lowered.is_elementary());
+            assert_strictly_equal(&reference, &lowered);
+        }
+    }
+
+    #[test]
+    fn mcz_lowering_is_exact() {
+        let mut reference = Circuit::new(4);
+        reference.mcz(vec![0, 1, 2], 3);
+        let lowered = decompose_to_cx_and_single_qubit(&reference);
+        assert!(lowered.is_elementary());
+        assert_strictly_equal(&reference, &lowered);
+    }
+
+    #[test]
+    fn controlled_swap_lowering_is_exact() {
+        let mut reference = Circuit::new(3);
+        reference.cswap(0, 1, 2);
+        let lowered = decompose_to_cx_and_single_qubit(&reference);
+        assert!(lowered.is_elementary());
+        assert_strictly_equal(&reference, &lowered);
+    }
+
+    #[test]
+    fn dirty_vchain_is_exact_as_full_unitary() {
+        // 3 controls, 1 ancilla — check against MCX ⊗ I on all 2⁵ basis
+        // states, which covers dirty (non-zero) ancilla values.
+        let mut reference = Circuit::new(5);
+        reference.mcx(vec![0, 1, 2], 3);
+        let mut lowered = Circuit::new(5);
+        let mut gates = Vec::new();
+        mcx_dirty_ancilla_gates(&[0, 1, 2], 3, &[4], &mut gates);
+        lowered.extend(gates);
+        assert_strictly_equal(&reference, &lowered);
+    }
+
+    #[test]
+    fn dirty_vchain_four_controls() {
+        let mut reference = Circuit::new(7);
+        reference.mcx(vec![0, 1, 2, 3], 4);
+        let mut lowered = Circuit::new(7);
+        let mut gates = Vec::new();
+        mcx_dirty_ancilla_gates(&[0, 1, 2, 3], 4, &[5, 6], &mut gates);
+        lowered.extend(gates);
+        assert_strictly_equal(&reference, &lowered);
+    }
+
+    #[test]
+    fn decompose_with_ancillas_widens_and_preserves() {
+        let mut c = Circuit::new(5);
+        c.h(0).mcx(vec![0, 1, 2, 3], 4).t(2).mcz(vec![0, 1, 2], 4);
+        let lowered = decompose_with_dirty_ancillas(&c);
+        assert_eq!(lowered.n_qubits(), 5 + 2);
+        assert!(lowered.is_elementary());
+        let widened = c.widened(lowered.n_qubits());
+        assert_strictly_equal(&widened, &lowered);
+    }
+
+    #[test]
+    fn grover_decomposition_matches_paper_qubit_inflation() {
+        // Grover on k search qubits has k−1 controls → k−3 ancillas, so
+        // k = 6 → n = 9, k = 7 → n = 11 … as in the paper's Table I.
+        let g6 = crate::generators::grover(6, 0, 1);
+        assert_eq!(decompose_with_dirty_ancillas(&g6).n_qubits(), 9);
+        let g7 = crate::generators::grover(7, 0, 1);
+        assert_eq!(decompose_with_dirty_ancillas(&g7).n_qubits(), 11);
+    }
+
+    #[test]
+    fn decompose_preserves_bigger_mixed_circuit() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .ccx(0, 1, 2)
+            .cswap(2, 0, 3)
+            .cp(0.4, 3, 1)
+            .mcx(vec![0, 1, 3], 2)
+            .swap(1, 3)
+            .ch(0, 2);
+        let lowered = decompose_to_cx_and_single_qubit(&c);
+        assert!(lowered.is_elementary());
+        let (ua, ub) = (dense::unitary(&c), dense::unitary(&lowered));
+        assert!(ua.approx_eq_up_to_phase(&ub));
+    }
+
+    #[test]
+    fn elementary_circuits_pass_through() {
+        let c = crate::generators::random_clifford_t(4, 80, 2);
+        let lowered = decompose_to_cx_and_single_qubit(&c);
+        assert_eq!(lowered.len(), c.len());
+        assert!(dense::unitary(&lowered).approx_eq(&dense::unitary(&c)));
+    }
+
+    #[test]
+    fn identity_stays_identity() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2).ccx(0, 1, 2);
+        let lowered = decompose_to_cx_and_single_qubit(&c);
+        assert!(dense::unitary(&lowered).approx_eq(&MatrixN::identity(3)));
+    }
+}

@@ -1,0 +1,242 @@
+//! Reference semantics: building a circuit's full dense unitary.
+//!
+//! This is the `O(4ⁿ)`-memory construction the paper's flow exists to avoid —
+//! but it is the ground truth everything else is tested against, and it
+//! reproduces the matrices of Fig. 1c/1d directly.
+
+use qnum::{Complex, MatrixN};
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+
+/// Builds the full `2ⁿ × 2ⁿ` system matrix `U = U_{m−1} ⋯ U₀` of a circuit.
+///
+/// Intended for reference checks and tiny circuits; cost is
+/// `O(m · 4ⁿ)` time and `O(4ⁿ)` memory.
+///
+/// # Panics
+///
+/// Panics if the circuit has more than 12 qubits (a deliberately tight cap —
+/// use `qsim` or `qdd` beyond that).
+///
+/// # Examples
+///
+/// ```
+/// use qcirc::{dense, Circuit};
+/// use qnum::MatrixN;
+///
+/// let mut c = Circuit::new(1);
+/// c.h(0).h(0);
+/// assert!(dense::unitary(&c).approx_eq(&MatrixN::identity(1)));
+/// ```
+#[must_use]
+pub fn unitary(circuit: &Circuit) -> MatrixN {
+    assert!(
+        circuit.n_qubits() <= 12,
+        "dense unitaries limited to 12 qubits; use the simulator instead"
+    );
+    let mut u = MatrixN::identity(circuit.n_qubits());
+    for gate in circuit.gates() {
+        apply_gate_to_matrix(&mut u, gate);
+    }
+    u
+}
+
+/// Left-multiplies the matrix by the gate's full-register unitary, i.e.
+/// applies the gate to every column (each column is the image of one basis
+/// state).
+fn apply_gate_to_matrix(u: &mut MatrixN, gate: &Gate) {
+    let dim = u.dim();
+    let control_mask: usize = gate.controls().iter().map(|&q| 1usize << q).sum();
+    match gate.kind() {
+        GateKind::Swap => {
+            let (a, b) = (gate.targets()[0], gate.targets()[1]);
+            let (ba, bb) = (1usize << a, 1usize << b);
+            for col in 0..dim {
+                for row in 0..dim {
+                    if row & control_mask != control_mask {
+                        continue;
+                    }
+                    let bit_a = row & ba != 0;
+                    let bit_b = row & bb != 0;
+                    // Swap only when bits differ and we are the lower partner.
+                    if bit_a && !bit_b {
+                        let partner = row ^ ba ^ bb;
+                        let tmp = u.entry(row, col);
+                        u.set(row, col, u.entry(partner, col));
+                        u.set(partner, col, tmp);
+                    }
+                }
+            }
+        }
+        kind => {
+            let m = kind.base_matrix().expect("single-target kind");
+            let t = gate.target();
+            let bt = 1usize << t;
+            for col in 0..dim {
+                for row in 0..dim {
+                    // Visit each (row, row^bt) pair once, from the 0 side.
+                    if row & bt != 0 {
+                        continue;
+                    }
+                    if row & control_mask != control_mask {
+                        continue;
+                    }
+                    let hi = row | bt;
+                    let a0 = u.entry(row, col);
+                    let a1 = u.entry(hi, col);
+                    u.set(row, col, m.entry(0, 0) * a0 + m.entry(0, 1) * a1);
+                    u.set(hi, col, m.entry(1, 0) * a0 + m.entry(1, 1) * a1);
+                }
+            }
+        }
+    }
+}
+
+/// Builds the state obtained by simulating the circuit on basis state `|i⟩` —
+/// i.e. the `i`-th column of the unitary — by dense matrix-vector products.
+///
+/// # Panics
+///
+/// Panics if `basis >= 2ⁿ`.
+#[must_use]
+pub fn column(circuit: &Circuit, basis: usize) -> Vec<Complex> {
+    let dim = 1usize << circuit.n_qubits();
+    assert!(basis < dim, "basis state out of range");
+    // Reuse the matrix kernel on a 1-column "matrix" stored as a vector.
+    let mut amps = vec![Complex::ZERO; dim];
+    amps[basis] = Complex::ONE;
+    for gate in circuit.gates() {
+        apply_gate_to_vec(&mut amps, gate);
+    }
+    amps
+}
+
+fn apply_gate_to_vec(amps: &mut [Complex], gate: &Gate) {
+    let dim = amps.len();
+    let control_mask: usize = gate.controls().iter().map(|&q| 1usize << q).sum();
+    match gate.kind() {
+        GateKind::Swap => {
+            let (a, b) = (gate.targets()[0], gate.targets()[1]);
+            let (ba, bb) = (1usize << a, 1usize << b);
+            for row in 0..dim {
+                if row & control_mask != control_mask {
+                    continue;
+                }
+                if row & ba != 0 && row & bb == 0 {
+                    amps.swap(row, row ^ ba ^ bb);
+                }
+            }
+        }
+        kind => {
+            let m = kind.base_matrix().expect("single-target kind");
+            let bt = 1usize << gate.target();
+            for row in 0..dim {
+                if row & bt != 0 || row & control_mask != control_mask {
+                    continue;
+                }
+                let hi = row | bt;
+                let a0 = amps[row];
+                let a1 = amps[hi];
+                amps[row] = m.entry(0, 0) * a0 + m.entry(0, 1) * a1;
+                amps[hi] = m.entry(1, 0) * a0 + m.entry(1, 1) * a1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnum::{Matrix2, Matrix4};
+
+    #[test]
+    fn single_gates_match_their_matrices() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        assert!(unitary(&c).approx_eq(&MatrixN::from_matrix2(&Matrix2::hadamard())));
+    }
+
+    #[test]
+    fn cx_matches_matrix4() {
+        // Gate convention: control = qubit 1 (high bit), target = qubit 0.
+        let mut c = Circuit::new(2);
+        c.cx(1, 0);
+        assert!(unitary(&c).approx_eq(&MatrixN::from_matrix4(&Matrix4::cx())));
+    }
+
+    #[test]
+    fn swap_matches_matrix4() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        assert!(unitary(&c).approx_eq(&MatrixN::from_matrix4(&Matrix4::swap())));
+    }
+
+    #[test]
+    fn gate_order_is_right_to_left_in_matrix_product() {
+        // Circuit [H q0, X q0] has matrix X·H (H applied first).
+        let mut c = Circuit::new(1);
+        c.h(0).x(0);
+        let expect = MatrixN::from_matrix2(&Matrix2::pauli_x().mul(&Matrix2::hadamard()));
+        assert!(unitary(&c).approx_eq(&expect));
+    }
+
+    #[test]
+    fn circuit_inverse_gives_adjoint() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(2).ccx(0, 1, 2).swap(0, 2).rz(0.37, 1);
+        let u = unitary(&c);
+        let ui = unitary(&c.inverse());
+        assert!(u.mul(&ui).approx_eq(&MatrixN::identity(3)));
+    }
+
+    #[test]
+    fn every_circuit_unitary_is_unitary() {
+        let c = crate::generators::random_clifford_t(4, 60, 5);
+        assert!(unitary(&c).is_unitary());
+    }
+
+    #[test]
+    fn column_matches_unitary_columns() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ccx(0, 1, 2).swap(1, 2);
+        let u = unitary(&c);
+        for basis in 0..8 {
+            let col = column(&c, basis);
+            let expect = u.column(basis);
+            for (a, b) in col.iter().zip(expect.iter()) {
+                assert!(a.approx_eq(*b));
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_swap_controls_respected() {
+        let mut c = Circuit::new(3);
+        c.cswap(0, 1, 2);
+        let u = unitary(&c);
+        // With control (qubit 0) equal to 0 the matrix acts as identity.
+        for basis in [0b000usize, 0b010, 0b100, 0b110] {
+            let col = u.column(basis);
+            for (i, amp) in col.iter().enumerate() {
+                let expect = if i == basis { 1.0 } else { 0.0 };
+                assert!(amp.approx_eq(qnum::Complex::real(expect)));
+            }
+        }
+        // With control 1: |011⟩ ↔ |101⟩.
+        let col = u.column(0b011);
+        assert!(col[0b101].approx_eq(qnum::Complex::ONE));
+    }
+
+    #[test]
+    fn ghz_column_is_uniform_pair() {
+        let c = crate::generators::ghz(3);
+        let col = column(&c, 0);
+        let h = qnum::FRAC_1_SQRT_2;
+        assert!(col[0].approx_eq(qnum::Complex::real(h)));
+        assert!(col[7].approx_eq(qnum::Complex::real(h)));
+        for i in 1..7 {
+            assert!(col[i].approx_zero());
+        }
+    }
+}

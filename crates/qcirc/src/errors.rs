@@ -1,0 +1,420 @@
+//! Error injection — the paper's fault model (Section V).
+//!
+//! "Common errors occurring during design flows involve altered single-qubit
+//! gates as well as misplaced/removed C-NOT gates." This module injects
+//! exactly those defect classes, seeded and reproducible, to create the
+//! non-equivalent benchmark instances of Table Ia.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+
+/// The defect classes of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorKind {
+    /// Remove one gate.
+    RemoveGate,
+    /// Move one CX's target (or control) to a different qubit — the paper's
+    /// Example 6 bug ("the last SWAP gate is not correctly applied…").
+    MisplaceCx,
+    /// Reverse the direction of one CX (control ↔ target).
+    FlipCxDirection,
+    /// Offset the angle of one rotation gate by the given amount ("offsets
+    /// in the rotation angle", Section IV-A).
+    PerturbRotation(f64),
+    /// Replace one single-qubit gate with a different single-qubit gate.
+    ReplaceSingleQubitGate,
+    /// Insert one random single-qubit gate at a random position.
+    InsertSingleQubitGate,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::RemoveGate => write!(f, "remove gate"),
+            ErrorKind::MisplaceCx => write!(f, "misplace CX"),
+            ErrorKind::FlipCxDirection => write!(f, "flip CX direction"),
+            ErrorKind::PerturbRotation(d) => write!(f, "perturb rotation by {d}"),
+            ErrorKind::ReplaceSingleQubitGate => write!(f, "replace 1q gate"),
+            ErrorKind::InsertSingleQubitGate => write!(f, "insert 1q gate"),
+        }
+    }
+}
+
+/// A record of the defect that was injected, for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedError {
+    /// Which class of defect.
+    pub kind: ErrorKind,
+    /// Gate index in the *output* circuit (for removals: the index the gate
+    /// had in the input).
+    pub index: usize,
+    /// Human-readable description (`"cx q\[0\], q\[1\] → cx q\[0\], q\[2\]"`).
+    pub description: String,
+}
+
+impl fmt::Display for InjectedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at gate {}: {}", self.kind, self.index, self.description)
+    }
+}
+
+/// Error returned when a defect class has no applicable site in the circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectError {
+    /// The defect class that could not be applied.
+    pub kind: ErrorKind,
+    /// Why.
+    pub reason: String,
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot inject '{}': {}", self.kind, self.reason)
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+/// Injects one defect of class `kind` into a copy of `circuit`, choosing the
+/// site with the seeded `rng`.
+///
+/// # Errors
+///
+/// Returns [`InjectError`] if the circuit has no applicable site — e.g.
+/// [`ErrorKind::MisplaceCx`] on a circuit without CX gates, or any injection
+/// into an empty circuit.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), qcirc::errors::InjectError> {
+/// use qcirc::errors::{inject, ErrorKind};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let c = qcirc::generators::ghz(4);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let (buggy, record) = inject(&c, ErrorKind::MisplaceCx, &mut rng)?;
+/// assert_eq!(buggy.len(), c.len());
+/// assert!(!record.description.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn inject(
+    circuit: &Circuit,
+    kind: ErrorKind,
+    rng: &mut StdRng,
+) -> Result<(Circuit, InjectedError), InjectError> {
+    let fail = |reason: &str| InjectError {
+        kind,
+        reason: reason.to_string(),
+    };
+    if circuit.is_empty() && kind != ErrorKind::InsertSingleQubitGate {
+        return Err(fail("circuit is empty"));
+    }
+    let mut out = circuit.clone();
+    out.set_name(format!("{}_buggy", circuit.name()));
+    let record = match kind {
+        ErrorKind::RemoveGate => {
+            let index = rng.gen_range(0..out.len());
+            let removed = out.remove(index);
+            InjectedError {
+                kind,
+                index,
+                description: format!("removed '{removed}'"),
+            }
+        }
+        ErrorKind::MisplaceCx => {
+            let sites = cx_sites(circuit);
+            if sites.is_empty() {
+                return Err(fail("no CX gates present"));
+            }
+            if circuit.n_qubits() < 3 {
+                return Err(fail("needs at least 3 qubits to misplace a CX"));
+            }
+            let index = *sites.choose(rng).expect("non-empty");
+            let old = circuit.gates()[index].clone();
+            let control = old.controls()[0];
+            let target = old.target();
+            // Move the target (or, half the time, the control) to a fresh qubit.
+            let move_target = rng.gen_bool(0.5);
+            let fixed = if move_target { control } else { target };
+            let candidates: Vec<usize> = (0..circuit.n_qubits())
+                .filter(|&q| q != control && q != target)
+                .collect();
+            let fresh = *candidates.choose(rng).expect("n >= 3");
+            let new = if move_target {
+                Gate::controlled(GateKind::X, vec![fixed], fresh)
+            } else {
+                Gate::controlled(GateKind::X, vec![fresh], target)
+            };
+            let description = format!("'{old}' → '{new}'");
+            out.replace(index, new);
+            InjectedError {
+                kind,
+                index,
+                description,
+            }
+        }
+        ErrorKind::FlipCxDirection => {
+            let sites = cx_sites(circuit);
+            if sites.is_empty() {
+                return Err(fail("no CX gates present"));
+            }
+            let index = *sites.choose(rng).expect("non-empty");
+            let old = circuit.gates()[index].clone();
+            let new = Gate::controlled(GateKind::X, vec![old.target()], old.controls()[0]);
+            let description = format!("'{old}' → '{new}'");
+            out.replace(index, new);
+            InjectedError {
+                kind,
+                index,
+                description,
+            }
+        }
+        ErrorKind::PerturbRotation(offset) => {
+            let sites: Vec<usize> = circuit
+                .gates()
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| g.kind().is_parameterized())
+                .map(|(i, _)| i)
+                .collect();
+            if sites.is_empty() {
+                return Err(fail("no parameterized gates present"));
+            }
+            let index = *sites.choose(rng).expect("non-empty");
+            let old = circuit.gates()[index].clone();
+            let new_kind = perturb_kind(old.kind(), offset);
+            let new = if old.controls().is_empty() {
+                Gate::single(new_kind, old.target())
+            } else {
+                Gate::controlled(new_kind, old.controls().to_vec(), old.target())
+            };
+            let description = format!("'{old}' → '{new}'");
+            out.replace(index, new);
+            InjectedError {
+                kind,
+                index,
+                description,
+            }
+        }
+        ErrorKind::ReplaceSingleQubitGate => {
+            let sites: Vec<usize> = circuit
+                .gates()
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| g.width() == 1)
+                .map(|(i, _)| i)
+                .collect();
+            if sites.is_empty() {
+                return Err(fail("no single-qubit gates present"));
+            }
+            let index = *sites.choose(rng).expect("non-empty");
+            let old = circuit.gates()[index].clone();
+            let replacements = [
+                GateKind::X,
+                GateKind::Y,
+                GateKind::Z,
+                GateKind::H,
+                GateKind::S,
+                GateKind::T,
+                GateKind::Sx,
+            ];
+            let new_kind = loop {
+                let k = *replacements.choose(rng).expect("non-empty");
+                if !k.approx_eq(old.kind()) {
+                    break k;
+                }
+            };
+            let new = Gate::single(new_kind, old.target());
+            let description = format!("'{old}' → '{new}'");
+            out.replace(index, new);
+            InjectedError {
+                kind,
+                index,
+                description,
+            }
+        }
+        ErrorKind::InsertSingleQubitGate => {
+            let index = rng.gen_range(0..=out.len());
+            let q = rng.gen_range(0..out.n_qubits());
+            let choices = [
+                GateKind::X,
+                GateKind::Z,
+                GateKind::H,
+                GateKind::S,
+                GateKind::T,
+            ];
+            let kind_choice = *choices.choose(rng).expect("non-empty");
+            let new = Gate::single(kind_choice, q);
+            let description = format!("inserted '{new}'");
+            out.insert(index, new);
+            InjectedError {
+                kind,
+                index,
+                description,
+            }
+        }
+    };
+    Ok((out, record))
+}
+
+/// Injects a uniformly random *applicable* defect class.
+///
+/// # Errors
+///
+/// Returns [`InjectError`] only if no class at all applies (empty circuit on
+/// zero applicable sites never happens because insertion always applies).
+pub fn inject_random(
+    circuit: &Circuit,
+    rng: &mut StdRng,
+) -> Result<(Circuit, InjectedError), InjectError> {
+    let mut kinds = vec![
+        ErrorKind::RemoveGate,
+        ErrorKind::MisplaceCx,
+        ErrorKind::FlipCxDirection,
+        ErrorKind::PerturbRotation(rng.gen_range(0.01..0.5)),
+        ErrorKind::ReplaceSingleQubitGate,
+        ErrorKind::InsertSingleQubitGate,
+    ];
+    kinds.shuffle(rng);
+    let mut last_err = None;
+    for kind in kinds {
+        match inject(circuit, kind, rng) {
+            Ok(done) => return Ok(done),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least one kind was tried"))
+}
+
+fn cx_sites(circuit: &Circuit) -> Vec<usize> {
+    circuit
+        .gates()
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| *g.kind() == GateKind::X && g.controls().len() == 1)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn perturb_kind(kind: &GateKind, offset: f64) -> GateKind {
+    match *kind {
+        GateKind::Rx(t) => GateKind::Rx(t + offset),
+        GateKind::Ry(t) => GateKind::Ry(t + offset),
+        GateKind::Rz(t) => GateKind::Rz(t + offset),
+        GateKind::Phase(l) => GateKind::Phase(l + offset),
+        GateKind::U3(t, p, l) => GateKind::U3(t + offset, p, l),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense;
+    use crate::generators;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn remove_gate_shrinks_by_one() {
+        let c = generators::ghz(4);
+        let (buggy, rec) = inject(&c, ErrorKind::RemoveGate, &mut rng(0)).unwrap();
+        assert_eq!(buggy.len(), c.len() - 1);
+        assert!(rec.description.contains("removed"));
+    }
+
+    #[test]
+    fn misplace_cx_changes_unitary() {
+        let c = generators::ghz(4);
+        let (buggy, _) = inject(&c, ErrorKind::MisplaceCx, &mut rng(3)).unwrap();
+        assert_eq!(buggy.len(), c.len());
+        assert!(!dense::unitary(&c).approx_eq_up_to_phase(&dense::unitary(&buggy)));
+    }
+
+    #[test]
+    fn flip_cx_changes_unitary() {
+        let c = generators::ghz(3);
+        let (buggy, rec) = inject(&c, ErrorKind::FlipCxDirection, &mut rng(1)).unwrap();
+        assert!(rec.description.contains("→"));
+        assert!(!dense::unitary(&c).approx_eq_up_to_phase(&dense::unitary(&buggy)));
+    }
+
+    #[test]
+    fn perturb_rotation_changes_angle_only() {
+        let mut c = Circuit::new(2);
+        c.h(0).rz(0.5, 1).cx(0, 1);
+        let (buggy, rec) = inject(&c, ErrorKind::PerturbRotation(0.1), &mut rng(2)).unwrap();
+        assert_eq!(rec.index, 1);
+        match buggy.gates()[1].kind() {
+            GateKind::Rz(t) => assert!((t - 0.6).abs() < 1e-12),
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn replace_single_qubit_gate_never_replaces_with_itself() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        for seed in 0..20 {
+            let (buggy, _) =
+                inject(&c, ErrorKind::ReplaceSingleQubitGate, &mut rng(seed)).unwrap();
+            assert!(!buggy.gates()[0].kind().approx_eq(&GateKind::H));
+        }
+    }
+
+    #[test]
+    fn insert_gate_grows_by_one() {
+        let c = generators::bell();
+        let (buggy, _) = inject(&c, ErrorKind::InsertSingleQubitGate, &mut rng(5)).unwrap();
+        assert_eq!(buggy.len(), c.len() + 1);
+    }
+
+    #[test]
+    fn inapplicable_kinds_are_reported() {
+        let mut no_cx = Circuit::new(2);
+        no_cx.h(0).t(1);
+        let e = inject(&no_cx, ErrorKind::MisplaceCx, &mut rng(0)).unwrap_err();
+        assert!(e.to_string().contains("no CX"));
+        let e = inject(&no_cx, ErrorKind::PerturbRotation(0.1), &mut rng(0)).unwrap_err();
+        assert!(e.to_string().contains("parameterized"));
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let c = generators::cuccaro_adder(2);
+        let a = inject(&c, ErrorKind::MisplaceCx, &mut rng(7)).unwrap();
+        let b = inject(&c, ErrorKind::MisplaceCx, &mut rng(7)).unwrap();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn inject_random_always_succeeds_on_real_circuits() {
+        let c = generators::qft(4, true);
+        for seed in 0..10 {
+            let (buggy, rec) = inject_random(&c, &mut rng(seed)).unwrap();
+            assert!(!rec.description.is_empty());
+            // The vast majority of injections change the unitary; at minimum
+            // the circuit structure changed.
+            assert!(buggy != c || buggy.len() != c.len());
+        }
+    }
+
+    #[test]
+    fn misplace_needs_three_qubits() {
+        let c = generators::bell();
+        let e = inject(&c, ErrorKind::MisplaceCx, &mut rng(0)).unwrap_err();
+        assert!(e.to_string().contains("3 qubits"));
+    }
+}

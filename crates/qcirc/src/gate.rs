@@ -1,0 +1,642 @@
+//! The gate model: every operation a circuit can contain.
+//!
+//! A [`Gate`] is a *base operation* ([`GateKind`]) applied to one or two
+//! target qubits, optionally guarded by any number of control qubits. This
+//! uniform "controlled-U" shape mirrors the paper's Section II and covers the
+//! whole design flow: multi-controlled Toffolis at the algorithmic level,
+//! `{single-qubit, CX}` at the device level, and SWAPs inserted by mapping.
+//!
+//! # Qubit-index convention
+//!
+//! Qubit `0` is the *least significant* bit of a computational basis index:
+//! basis state `|i⟩` assigns qubit `q` the bit `(i >> q) & 1`. This matches
+//! OpenQASM/Qiskit and is used consistently by `qsim` and `qdd`.
+
+use std::fmt;
+
+use qnum::{angle, Complex, Matrix2};
+
+/// The base operation of a [`Gate`], before controls are applied.
+///
+/// Single-target kinds have a 2×2 base matrix ([`GateKind::base_matrix`]);
+/// [`GateKind::Swap`] is the only two-target kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GateKind {
+    /// Identity (useful as an explicit no-op in generated circuits).
+    I,
+    /// Pauli-X (NOT).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = P(π/2).
+    S,
+    /// Inverse phase gate S† = P(−π/2).
+    Sdg,
+    /// T gate = P(π/4).
+    T,
+    /// Inverse T gate = P(−π/4).
+    Tdg,
+    /// Square root of X.
+    Sx,
+    /// Inverse square root of X.
+    Sxdg,
+    /// Square root of Y (used by supremacy-style circuits).
+    Sy,
+    /// Inverse square root of Y.
+    Sydg,
+    /// Rotation about X: `Rx(θ)`.
+    Rx(f64),
+    /// Rotation about Y: `Ry(θ)`.
+    Ry(f64),
+    /// Rotation about Z: `Rz(θ)`.
+    Rz(f64),
+    /// Phase gate `P(λ) = diag(1, e^{iλ})`.
+    Phase(f64),
+    /// The generic single-qubit gate `U3(θ, φ, λ)` (IBM convention).
+    U3(f64, f64, f64),
+    /// The two-qubit SWAP.
+    Swap,
+}
+
+impl GateKind {
+    /// The number of target qubits this kind acts on (1, or 2 for SWAP).
+    #[must_use]
+    pub fn target_count(&self) -> usize {
+        match self {
+            GateKind::Swap => 2,
+            _ => 1,
+        }
+    }
+
+    /// The 2×2 base matrix of a single-target kind, or `None` for SWAP.
+    #[must_use]
+    pub fn base_matrix(&self) -> Option<Matrix2> {
+        use std::f64::consts::FRAC_PI_2;
+        use std::f64::consts::FRAC_PI_4;
+        Some(match *self {
+            GateKind::I => Matrix2::identity(),
+            GateKind::X => Matrix2::pauli_x(),
+            GateKind::Y => Matrix2::pauli_y(),
+            GateKind::Z => Matrix2::pauli_z(),
+            GateKind::H => Matrix2::hadamard(),
+            GateKind::S => Matrix2::phase(FRAC_PI_2),
+            GateKind::Sdg => Matrix2::phase(-FRAC_PI_2),
+            GateKind::T => Matrix2::phase(FRAC_PI_4),
+            GateKind::Tdg => Matrix2::phase(-FRAC_PI_4),
+            GateKind::Sx => sqrt_x(),
+            GateKind::Sxdg => sqrt_x().adjoint(),
+            GateKind::Sy => sqrt_y(),
+            GateKind::Sydg => sqrt_y().adjoint(),
+            GateKind::Rx(t) => Matrix2::rx(t),
+            GateKind::Ry(t) => Matrix2::ry(t),
+            GateKind::Rz(t) => Matrix2::rz(t),
+            GateKind::Phase(l) => Matrix2::phase(l),
+            GateKind::U3(t, p, l) => Matrix2::u3(t, p, l),
+            GateKind::Swap => return None,
+        })
+    }
+
+    /// The inverse kind, such that `k.inverse()`'s matrix is the adjoint of
+    /// `k`'s matrix.
+    #[must_use]
+    pub fn inverse(&self) -> GateKind {
+        match *self {
+            GateKind::S => GateKind::Sdg,
+            GateKind::Sdg => GateKind::S,
+            GateKind::T => GateKind::Tdg,
+            GateKind::Tdg => GateKind::T,
+            GateKind::Sx => GateKind::Sxdg,
+            GateKind::Sxdg => GateKind::Sx,
+            GateKind::Sy => GateKind::Sydg,
+            GateKind::Sydg => GateKind::Sy,
+            GateKind::Rx(t) => GateKind::Rx(-t),
+            GateKind::Ry(t) => GateKind::Ry(-t),
+            GateKind::Rz(t) => GateKind::Rz(-t),
+            GateKind::Phase(l) => GateKind::Phase(-l),
+            GateKind::U3(t, p, l) => GateKind::U3(-t, -l, -p),
+            k => k, // self-inverse: I, X, Y, Z, H, Swap
+        }
+    }
+
+    /// Returns `true` if the base matrix is diagonal — such gates commute
+    /// with each other and with controls, which both the optimizer and the
+    /// DD package exploit.
+    #[must_use]
+    pub fn is_diagonal(&self) -> bool {
+        matches!(
+            self,
+            GateKind::I
+                | GateKind::Z
+                | GateKind::S
+                | GateKind::Sdg
+                | GateKind::T
+                | GateKind::Tdg
+                | GateKind::Rz(_)
+                | GateKind::Phase(_)
+        )
+    }
+
+    /// Returns `true` if this kind carries rotation parameters.
+    #[must_use]
+    pub fn is_parameterized(&self) -> bool {
+        matches!(
+            self,
+            GateKind::Rx(_)
+                | GateKind::Ry(_)
+                | GateKind::Rz(_)
+                | GateKind::Phase(_)
+                | GateKind::U3(..)
+        )
+    }
+
+    /// Returns `true` if this kind is (numerically) the identity operation —
+    /// e.g. `Rz(0)` or `Phase(2π)` up to global phase is *not* counted; only
+    /// exact identity up to the workspace tolerance is.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        match *self {
+            GateKind::I => true,
+            GateKind::Phase(l) => angle::approx_zero_mod_2pi(l),
+            _ => false,
+        }
+    }
+
+    /// The lowercase mnemonic used by the OpenQASM writer and `Display`.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            GateKind::I => "id",
+            GateKind::X => "x",
+            GateKind::Y => "y",
+            GateKind::Z => "z",
+            GateKind::H => "h",
+            GateKind::S => "s",
+            GateKind::Sdg => "sdg",
+            GateKind::T => "t",
+            GateKind::Tdg => "tdg",
+            GateKind::Sx => "sx",
+            GateKind::Sxdg => "sxdg",
+            GateKind::Sy => "sy",
+            GateKind::Sydg => "sydg",
+            GateKind::Rx(_) => "rx",
+            GateKind::Ry(_) => "ry",
+            GateKind::Rz(_) => "rz",
+            GateKind::Phase(_) => "p",
+            GateKind::U3(..) => "u3",
+            GateKind::Swap => "swap",
+        }
+    }
+
+    /// The rotation parameters carried by this kind, in declaration order.
+    #[must_use]
+    pub fn params(&self) -> Vec<f64> {
+        match *self {
+            GateKind::Rx(t) | GateKind::Ry(t) | GateKind::Rz(t) | GateKind::Phase(t) => vec![t],
+            GateKind::U3(t, p, l) => vec![t, p, l],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Tolerance-aware comparison: kinds are equal if their mnemonics match
+    /// and their parameters are congruent within the workspace tolerance.
+    #[must_use]
+    pub fn approx_eq(&self, other: &GateKind) -> bool {
+        if std::mem::discriminant(self) != std::mem::discriminant(other) {
+            return false;
+        }
+        self.params()
+            .iter()
+            .zip(other.params().iter())
+            .all(|(a, b)| qnum::approx::approx_eq(*a, *b))
+    }
+}
+
+fn sqrt_x() -> Matrix2 {
+    // √X = 1/2 [[1+i, 1-i], [1-i, 1+i]]
+    let p = Complex::new(0.5, 0.5);
+    let m = Complex::new(0.5, -0.5);
+    Matrix2::new(p, m, m, p)
+}
+
+fn sqrt_y() -> Matrix2 {
+    // √Y = 1/2 [[1+i, -1-i], [1+i, 1+i]]
+    let p = Complex::new(0.5, 0.5);
+    Matrix2::new(p, -p, p, p)
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params = self.params();
+        if params.is_empty() {
+            write!(f, "{}", self.mnemonic())
+        } else {
+            let rendered: Vec<String> = params.iter().map(|p| format!("{p}")).collect();
+            write!(f, "{}({})", self.mnemonic(), rendered.join(","))
+        }
+    }
+}
+
+/// One operation of a circuit: a base [`GateKind`] on `targets`, guarded by
+/// zero or more `controls`.
+///
+/// # Examples
+///
+/// ```
+/// use qcirc::{Gate, GateKind};
+///
+/// let cx = Gate::controlled(GateKind::X, vec![0], 1);
+/// assert_eq!(cx.controls(), &[0]);
+/// assert_eq!(cx.targets(), &[1]);
+/// assert_eq!(cx.to_string(), "cx q[0], q[1]");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    kind: GateKind,
+    controls: Vec<usize>,
+    targets: Vec<usize>,
+}
+
+impl Gate {
+    /// Creates an uncontrolled single-target gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is [`GateKind::Swap`] (use [`Gate::swap`]).
+    #[must_use]
+    pub fn single(kind: GateKind, target: usize) -> Self {
+        assert!(
+            kind.target_count() == 1,
+            "GateKind::{kind:?} needs {} targets",
+            kind.target_count()
+        );
+        Gate {
+            kind,
+            controls: Vec::new(),
+            targets: vec![target],
+        }
+    }
+
+    /// Creates a controlled single-target gate with the given control qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is a two-target kind, if any control equals the
+    /// target, or if controls repeat.
+    #[must_use]
+    pub fn controlled(kind: GateKind, controls: Vec<usize>, target: usize) -> Self {
+        assert!(kind.target_count() == 1, "controlled() requires a 1-target kind");
+        let g = Gate {
+            kind,
+            controls,
+            targets: vec![target],
+        };
+        g.assert_disjoint();
+        g
+    }
+
+    /// Creates a SWAP gate on two qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    #[must_use]
+    pub fn swap(a: usize, b: usize) -> Self {
+        let g = Gate {
+            kind: GateKind::Swap,
+            controls: Vec::new(),
+            targets: vec![a, b],
+        };
+        g.assert_disjoint();
+        g
+    }
+
+    /// Creates a controlled SWAP (Fredkin) gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if qubits overlap.
+    #[must_use]
+    pub fn controlled_swap(controls: Vec<usize>, a: usize, b: usize) -> Self {
+        let g = Gate {
+            kind: GateKind::Swap,
+            controls,
+            targets: vec![a, b],
+        };
+        g.assert_disjoint();
+        g
+    }
+
+    fn assert_disjoint(&self) {
+        let mut qs: Vec<usize> = self.qubits().collect();
+        qs.sort_unstable();
+        let len = qs.len();
+        qs.dedup();
+        assert!(
+            qs.len() == len,
+            "gate qubits must be distinct: {:?}",
+            self
+        );
+        assert!(
+            self.targets.len() == self.kind.target_count(),
+            "GateKind::{:?} needs {} targets, got {}",
+            self.kind,
+            self.kind.target_count(),
+            self.targets.len()
+        );
+    }
+
+    /// The base operation.
+    #[inline]
+    #[must_use]
+    pub fn kind(&self) -> &GateKind {
+        &self.kind
+    }
+
+    /// The control qubits (possibly empty).
+    #[inline]
+    #[must_use]
+    pub fn controls(&self) -> &[usize] {
+        &self.controls
+    }
+
+    /// The target qubit(s): one for single-target kinds, two for SWAP.
+    #[inline]
+    #[must_use]
+    pub fn targets(&self) -> &[usize] {
+        &self.targets
+    }
+
+    /// The single target of a 1-target gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics for SWAP gates.
+    #[inline]
+    #[must_use]
+    pub fn target(&self) -> usize {
+        assert!(self.targets.len() == 1, "target() called on a SWAP gate");
+        self.targets[0]
+    }
+
+    /// Iterates over every qubit the gate touches (controls then targets).
+    pub fn qubits(&self) -> impl Iterator<Item = usize> + '_ {
+        self.controls.iter().chain(self.targets.iter()).copied()
+    }
+
+    /// The largest qubit index the gate touches.
+    #[must_use]
+    pub fn max_qubit(&self) -> usize {
+        self.qubits().max().expect("a gate always has at least one qubit")
+    }
+
+    /// The inverse gate, with the same controls/targets and inverted kind.
+    #[must_use]
+    pub fn inverse(&self) -> Gate {
+        Gate {
+            kind: self.kind.inverse(),
+            controls: self.controls.clone(),
+            targets: self.targets.clone(),
+        }
+    }
+
+    /// Returns `true` if `other` is the exact inverse of `self` (same qubits,
+    /// inverse kind within tolerance). Used by the cancellation pass.
+    #[must_use]
+    pub fn is_inverse_of(&self, other: &Gate) -> bool {
+        self.controls == other.controls
+            && self.targets == other.targets
+            && self.kind.approx_eq(&other.kind.inverse())
+    }
+
+    /// Returns `true` if the two gates act on disjoint qubit sets (and hence
+    /// trivially commute).
+    #[must_use]
+    pub fn is_disjoint_from(&self, other: &Gate) -> bool {
+        self.qubits().all(|q| other.qubits().all(|p| p != q))
+    }
+
+    /// Replaces every qubit index through `map` (used by mapping/layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the remapping makes qubits collide.
+    #[must_use]
+    pub fn remap(&self, map: impl Fn(usize) -> usize) -> Gate {
+        let g = Gate {
+            kind: self.kind,
+            controls: self.controls.iter().map(|&q| map(q)).collect(),
+            targets: self.targets.iter().map(|&q| map(q)).collect(),
+        };
+        g.assert_disjoint();
+        g
+    }
+
+    /// Total number of distinct qubits involved.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.controls.len() + self.targets.len()
+    }
+
+    /// Tolerance-aware structural equality.
+    #[must_use]
+    pub fn approx_eq(&self, other: &Gate) -> bool {
+        self.controls == other.controls
+            && self.targets == other.targets
+            && self.kind.approx_eq(&other.kind)
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render like OpenQASM: controls as `c` prefixes.
+        let prefix = "c".repeat(self.controls.len());
+        let params = self.kind.params();
+        write!(f, "{prefix}{}", self.kind.mnemonic())?;
+        if !params.is_empty() {
+            let rendered: Vec<String> = params.iter().map(|p| format!("{p}")).collect();
+            write!(f, "({})", rendered.join(","))?;
+        }
+        let qubits: Vec<String> = self.qubits().map(|q| format!("q[{q}]")).collect();
+        write!(f, " {}", qubits.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnum::Matrix2;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn base_matrices_are_unitary() {
+        let kinds = [
+            GateKind::I,
+            GateKind::X,
+            GateKind::Y,
+            GateKind::Z,
+            GateKind::H,
+            GateKind::S,
+            GateKind::Sdg,
+            GateKind::T,
+            GateKind::Tdg,
+            GateKind::Sx,
+            GateKind::Sxdg,
+            GateKind::Sy,
+            GateKind::Sydg,
+            GateKind::Rx(0.3),
+            GateKind::Ry(-1.2),
+            GateKind::Rz(2.5),
+            GateKind::Phase(0.7),
+            GateKind::U3(0.1, 0.2, 0.3),
+        ];
+        for k in kinds {
+            let m = k.base_matrix().expect("single-target kind");
+            assert!(m.is_unitary(), "{k:?} is not unitary");
+        }
+    }
+
+    #[test]
+    fn swap_has_no_base_matrix_and_two_targets() {
+        assert!(GateKind::Swap.base_matrix().is_none());
+        assert_eq!(GateKind::Swap.target_count(), 2);
+    }
+
+    #[test]
+    fn sqrt_gates_square_to_paulis() {
+        let sx = GateKind::Sx.base_matrix().unwrap();
+        assert!(sx.mul(&sx).approx_eq(&Matrix2::pauli_x()));
+        let sy = GateKind::Sy.base_matrix().unwrap();
+        assert!(sy.mul(&sy).approx_eq(&Matrix2::pauli_y()));
+    }
+
+    #[test]
+    fn inverse_kind_gives_adjoint_matrix() {
+        let kinds = [
+            GateKind::H,
+            GateKind::S,
+            GateKind::T,
+            GateKind::Sx,
+            GateKind::Sy,
+            GateKind::Rx(0.9),
+            GateKind::Ry(0.9),
+            GateKind::Rz(0.9),
+            GateKind::Phase(1.1),
+            GateKind::U3(0.4, 1.0, -0.6),
+        ];
+        for k in kinds {
+            let m = k.base_matrix().unwrap();
+            let mi = k.inverse().base_matrix().unwrap();
+            assert!(
+                m.mul(&mi).approx_eq(&Matrix2::identity()),
+                "{k:?} inverse is wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(GateKind::Z.is_diagonal());
+        assert!(GateKind::T.is_diagonal());
+        assert!(GateKind::Rz(0.4).is_diagonal());
+        assert!(!GateKind::X.is_diagonal());
+        assert!(!GateKind::H.is_diagonal());
+        assert!(!GateKind::Rx(0.4).is_diagonal());
+    }
+
+    #[test]
+    fn identity_detection() {
+        assert!(GateKind::I.is_identity());
+        assert!(GateKind::Phase(0.0).is_identity());
+        assert!(GateKind::Phase(2.0 * PI).is_identity());
+        assert!(!GateKind::Phase(0.1).is_identity());
+        assert!(!GateKind::X.is_identity());
+    }
+
+    #[test]
+    fn approx_eq_compares_params_with_tolerance() {
+        assert!(GateKind::Rz(0.5).approx_eq(&GateKind::Rz(0.5 + 1e-14)));
+        assert!(!GateKind::Rz(0.5).approx_eq(&GateKind::Rz(0.6)));
+        assert!(!GateKind::Rz(0.5).approx_eq(&GateKind::Rx(0.5)));
+    }
+
+    #[test]
+    fn gate_construction_and_accessors() {
+        let g = Gate::controlled(GateKind::X, vec![2, 0], 1);
+        assert_eq!(g.controls(), &[2, 0]);
+        assert_eq!(g.targets(), &[1]);
+        assert_eq!(g.target(), 1);
+        assert_eq!(g.max_qubit(), 2);
+        assert_eq!(g.width(), 3);
+        let qs: Vec<usize> = g.qubits().collect();
+        assert_eq!(qs, vec![2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn overlapping_control_and_target_rejected() {
+        let _ = Gate::controlled(GateKind::X, vec![1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn swap_on_same_qubit_rejected() {
+        let _ = Gate::swap(3, 3);
+    }
+
+    #[test]
+    fn gate_inverse_and_cancellation_detection() {
+        let g = Gate::controlled(GateKind::Rz(0.8), vec![0], 1);
+        let gi = g.inverse();
+        assert!(g.is_inverse_of(&gi));
+        assert!(gi.is_inverse_of(&g));
+        let other = Gate::controlled(GateKind::Rz(-0.8), vec![0], 2);
+        assert!(!g.is_inverse_of(&other), "different qubits must not cancel");
+    }
+
+    #[test]
+    fn self_inverse_gates_cancel_with_themselves() {
+        for k in [GateKind::X, GateKind::H, GateKind::Z] {
+            let g = Gate::single(k, 0);
+            assert!(g.is_inverse_of(&g));
+        }
+        let s = Gate::swap(0, 1);
+        assert!(s.is_inverse_of(&s));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = Gate::controlled(GateKind::X, vec![0], 1);
+        let b = Gate::single(GateKind::H, 2);
+        let c = Gate::single(GateKind::H, 1);
+        assert!(a.is_disjoint_from(&b));
+        assert!(!a.is_disjoint_from(&c));
+    }
+
+    #[test]
+    fn remap_relabels_qubits() {
+        let g = Gate::controlled(GateKind::X, vec![0], 1);
+        let r = g.remap(|q| q + 3);
+        assert_eq!(r.controls(), &[3]);
+        assert_eq!(r.targets(), &[4]);
+    }
+
+    #[test]
+    fn display_renders_qasm_like() {
+        assert_eq!(Gate::single(GateKind::H, 0).to_string(), "h q[0]");
+        assert_eq!(
+            Gate::controlled(GateKind::X, vec![0], 1).to_string(),
+            "cx q[0], q[1]"
+        );
+        assert_eq!(
+            Gate::controlled(GateKind::X, vec![0, 1], 2).to_string(),
+            "ccx q[0], q[1], q[2]"
+        );
+        assert_eq!(Gate::swap(1, 2).to_string(), "swap q[1], q[2]");
+        let rz = Gate::single(GateKind::Rz(0.5), 3);
+        assert_eq!(rz.to_string(), "rz(0.5) q[3]");
+    }
+}

@@ -1,0 +1,117 @@
+//! Trotterized lattice-Hamiltonian evolution — the workspace's stand-in for
+//! the paper's "Quantum Chemistry m×n" benchmarks (see DESIGN.md for the
+//! substitution rationale).
+
+use crate::circuit::Circuit;
+
+/// Builds a first-order Trotter circuit for time evolution under the 2-D
+/// Heisenberg model
+/// `H = Σ_{⟨i,j⟩} (X_i X_j + Y_i Y_j + Z_i Z_j) + h Σ_i Z_i`
+/// on a `rows × cols` grid, with `steps` Trotter steps of angle `theta`.
+///
+/// Each two-body term `exp(-iθ P_i P_j)` is compiled to the standard
+/// `CX · Rz(2θ) · CX` core conjugated into the right Pauli basis, so the
+/// output is already in the elementary `{1q, CX}` basis — the same gate mix
+/// (rotations + CX, a few thousand gates on 8–18 qubits) as the paper's
+/// chemistry rows.
+///
+/// # Panics
+///
+/// Panics if the grid is empty or `steps == 0`.
+///
+/// # Examples
+///
+/// ```
+/// // The paper's "Quantum Chemistry 3x3" has 18 qubits; a 3×3 grid of
+/// // spin-orbital pairs is 18 qubits with two layers:
+/// let c = qcirc::generators::trotter_heisenberg(3, 6, 2, 0.1, 0.5);
+/// assert_eq!(c.n_qubits(), 18);
+/// assert!(c.is_elementary());
+/// ```
+#[must_use]
+pub fn trotter_heisenberg(rows: usize, cols: usize, steps: usize, theta: f64, field: f64) -> Circuit {
+    assert!(rows > 0 && cols > 0, "grid must be non-empty");
+    assert!(steps > 0, "at least one Trotter step is required");
+    let n = rows * cols;
+    let mut c = Circuit::with_name(n, format!("heisenberg_{rows}x{cols}_{steps}"));
+    let qubit = |r: usize, col: usize| r * cols + col;
+
+    // Nearest-neighbour edges of the grid.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for r in 0..rows {
+        for col in 0..cols {
+            if col + 1 < cols {
+                edges.push((qubit(r, col), qubit(r, col + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((qubit(r, col), qubit(r + 1, col)));
+            }
+        }
+    }
+
+    for _ in 0..steps {
+        // Single-body field term exp(-i h θ Z).
+        for q in 0..n {
+            c.rz(2.0 * field * theta, q);
+        }
+        for &(a, b) in &edges {
+            // exp(-iθ X_a X_b): conjugate ZZ by H on both qubits.
+            c.h(a).h(b);
+            zz_core(&mut c, a, b, theta);
+            c.h(a).h(b);
+            // exp(-iθ Y_a Y_b): conjugate ZZ by Rx(π/2) on both qubits.
+            let half_pi = std::f64::consts::FRAC_PI_2;
+            c.rx(half_pi, a).rx(half_pi, b);
+            zz_core(&mut c, a, b, theta);
+            c.rx(-half_pi, a).rx(-half_pi, b);
+            // exp(-iθ Z_a Z_b).
+            zz_core(&mut c, a, b, theta);
+        }
+    }
+    c
+}
+
+/// Appends `exp(-iθ Z_a Z_b) = CX(a,b) · Rz(2θ, b) · CX(a,b)`.
+fn zz_core(c: &mut Circuit, a: usize, b: usize, theta: f64) {
+    c.cx(a, b).rz(2.0 * theta, b).cx(a, b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_elementary_basis() {
+        let c = trotter_heisenberg(2, 2, 3, 0.05, 0.3);
+        assert!(c.is_elementary());
+    }
+
+    #[test]
+    fn qubits_match_grid() {
+        assert_eq!(trotter_heisenberg(3, 3, 1, 0.1, 0.0).n_qubits(), 9);
+        assert_eq!(trotter_heisenberg(2, 4, 1, 0.1, 0.0).n_qubits(), 8);
+    }
+
+    #[test]
+    fn gate_count_is_linear_in_steps() {
+        let one = trotter_heisenberg(2, 3, 1, 0.1, 0.2).len();
+        let four = trotter_heisenberg(2, 3, 4, 0.1, 0.2).len();
+        assert_eq!(four, 4 * one);
+    }
+
+    #[test]
+    fn expected_gate_count_formula() {
+        // Per step: n field rotations + per edge (XX: 2H+3+2H=7, YY: 2Rx+3+2Rx=7, ZZ: 3) = 17.
+        let (rows, cols) = (2, 2);
+        let n = rows * cols;
+        let edges = rows * (cols - 1) + (rows - 1) * cols;
+        let c = trotter_heisenberg(rows, cols, 1, 0.1, 0.2);
+        assert_eq!(c.len(), n + edges * 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "Trotter step")]
+    fn zero_steps_rejected() {
+        let _ = trotter_heisenberg(2, 2, 0, 0.1, 0.0);
+    }
+}

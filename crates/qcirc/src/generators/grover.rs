@@ -1,0 +1,122 @@
+//! Grover's search algorithm.
+
+use std::f64::consts::FRAC_PI_4;
+
+use crate::circuit::Circuit;
+
+/// The asymptotically optimal number of Grover iterations for a single
+/// marked element among `2^k` candidates: `⌊π/4·√(2^k)⌋` (at least 1).
+#[must_use]
+pub fn optimal_grover_iterations(k: usize) -> usize {
+    ((FRAC_PI_4 * f64::powi(2.0, k as i32).sqrt()).floor() as usize).max(1)
+}
+
+/// Builds a Grover search circuit over `k` search qubits looking for the
+/// computational basis element `marked`, running `iterations` rounds of
+/// oracle + diffusion.
+///
+/// The oracle flips the phase of `|marked⟩` with a multi-controlled Z
+/// (controls conjugated with X where the marked bit is 0); the diffusion
+/// operator is the standard `H X (MCZ) X H` construction. Multi-controlled
+/// gates are kept at the IR level — run
+/// [`decompose`](crate::decompose::decompose_to_cx_and_single_qubit) to
+/// lower them to the device basis (which is what inflates the paper's
+/// Grover gate counts).
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `marked >= 2^k`.
+///
+/// # Examples
+///
+/// ```
+/// use qcirc::generators::{grover, optimal_grover_iterations};
+/// let c = grover(4, 0b1010, optimal_grover_iterations(4));
+/// assert_eq!(c.n_qubits(), 4);
+/// ```
+#[must_use]
+pub fn grover(k: usize, marked: u64, iterations: usize) -> Circuit {
+    assert!(k >= 2, "Grover search needs at least 2 qubits");
+    assert!(
+        marked < (1u64 << k),
+        "marked element {marked} out of range for {k} qubits"
+    );
+    let mut c = Circuit::with_name(k, format!("grover_{k}"));
+    // Uniform superposition.
+    for q in 0..k {
+        c.h(q);
+    }
+    for _ in 0..iterations {
+        // Oracle: phase-flip |marked⟩.
+        phase_flip(&mut c, k, marked);
+        // Diffusion: 2|s⟩⟨s| − I = H^⊗k · (phase-flip |0…0⟩) · H^⊗k.
+        for q in 0..k {
+            c.h(q);
+        }
+        phase_flip(&mut c, k, 0);
+        for q in 0..k {
+            c.h(q);
+        }
+    }
+    c
+}
+
+/// Appends gates flipping the phase of exactly the basis state `pattern`.
+fn phase_flip(c: &mut Circuit, k: usize, pattern: u64) {
+    let zero_bits: Vec<usize> = (0..k).filter(|&q| (pattern >> q) & 1 == 0).collect();
+    for &q in &zero_bits {
+        c.x(q);
+    }
+    if k == 1 {
+        c.z(0);
+    } else {
+        let controls: Vec<usize> = (0..k - 1).collect();
+        c.mcz(controls, k - 1);
+    }
+    for &q in &zero_bits {
+        c.x(q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_count_grows_with_sqrt() {
+        assert_eq!(optimal_grover_iterations(2), 1);
+        assert_eq!(optimal_grover_iterations(4), 3);
+        assert_eq!(optimal_grover_iterations(6), 6);
+        assert_eq!(optimal_grover_iterations(8), 12);
+    }
+
+    #[test]
+    fn structure_scales_linearly_with_iterations() {
+        let one = grover(3, 5, 1).len();
+        let two = grover(3, 5, 2).len();
+        let per_round = two - one;
+        let three = grover(3, 5, 3).len();
+        assert_eq!(three - two, per_round);
+    }
+
+    #[test]
+    fn marked_element_affects_oracle_only() {
+        // Patterns with more zero bits need more X conjugation.
+        let all_ones = grover(4, 0b1111, 1).len();
+        let all_zeros = grover(4, 0b0000, 1).len();
+        assert_eq!(all_zeros, all_ones + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn marked_out_of_range_rejected() {
+        let _ = grover(3, 8, 1);
+    }
+
+    #[test]
+    fn uses_multi_controlled_z() {
+        let c = grover(5, 0, 1);
+        assert_eq!(c.max_controls(), 4);
+        assert!(!c.is_elementary());
+    }
+}

@@ -1,0 +1,157 @@
+//! Generators for the benchmark circuit families of the paper's evaluation.
+//!
+//! Each function returns a named [`Circuit`]:
+//!
+//! * [`qft`] — the Quantum Fourier Transform ("QFT 48/64" rows),
+//! * [`grover`] — Grover search ("Grover 5–9" rows),
+//! * [`supremacy_2d`] — Google-style random supremacy circuits
+//!   ("Supremacy 4x4 d" rows),
+//! * [`trotter_heisenberg`] — Trotterized 2-D lattice Hamiltonian evolution
+//!   (our substitution for "Quantum Chemistry m×n", see DESIGN.md),
+//! * [`toffoli_network`] — seeded reversible Toffoli netlists (our
+//!   substitution for the RevLib rows),
+//! * [`random_clifford_t`] — random Clifford+T circuits,
+//! * [`cuccaro_adder`] — the ripple-carry adder, a structured arithmetic
+//!   workload,
+//! * [`ghz`] / [`bell`] — small entangling circuits for quick starts.
+
+mod arithmetic;
+mod chemistry;
+mod grover;
+mod oracles;
+mod qft;
+mod qpe;
+mod random;
+mod supremacy;
+
+pub use arithmetic::{cuccaro_adder, multiplier};
+pub use chemistry::trotter_heisenberg;
+pub use grover::{grover, optimal_grover_iterations};
+pub use oracles::{bernstein_vazirani, deutsch_jozsa};
+pub use qft::qft;
+pub use qpe::phase_estimation;
+pub use random::{random_clifford_t, toffoli_network};
+pub use supremacy::supremacy_2d;
+
+use crate::circuit::Circuit;
+
+/// The 2-qubit Bell-pair preparation circuit.
+///
+/// # Examples
+///
+/// ```
+/// let c = qcirc::generators::bell();
+/// assert_eq!(c.len(), 2);
+/// ```
+#[must_use]
+pub fn bell() -> Circuit {
+    let mut c = Circuit::with_name(2, "bell");
+    c.h(0).cx(0, 1);
+    c
+}
+
+/// The `n`-qubit GHZ-state preparation circuit (H then a CX ladder).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn ghz(n: usize) -> Circuit {
+    let mut c = Circuit::with_name(n, format!("ghz_{n}"));
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+    c
+}
+
+/// The `n`-qubit W-state preparation circuit: the uniform superposition of
+/// all single-excitation basis states, built from one X, a cascade of
+/// controlled `Ry` rotations and a CX ladder.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let c = qcirc::generators::w_state(4);
+/// assert_eq!(c.len(), 1 + 3 + 3);
+/// ```
+#[must_use]
+pub fn w_state(n: usize) -> Circuit {
+    assert!(n > 0, "a W state needs at least one qubit");
+    let mut c = Circuit::with_name(n, format!("w_{n}"));
+    c.x(0);
+    for i in 0..n - 1 {
+        // Move amplitude √(1/(n−i)) of the excitation one qubit onward.
+        let theta = 2.0 * ((1.0 / (n - i) as f64).sqrt()).acos();
+        c.push(crate::gate::Gate::controlled(
+            crate::gate::GateKind::Ry(theta),
+            vec![i],
+            i + 1,
+        ));
+        c.cx(i + 1, i);
+    }
+    c
+}
+
+/// The 3-qubit example circuit of the paper's Fig. 1b: eight gates, only
+/// Hadamard and CX.
+///
+/// Used by the `fig1_example` harness and locked down by integration tests
+/// against the matrix printed in Fig. 1c.
+#[must_use]
+pub fn figure1b() -> Circuit {
+    // Fig. 1b (qubits drawn top-to-bottom as q2, q1, q0): H on the middle
+    // qubit, then a CX cascade realizing the unitary of Fig. 1c.
+    let mut c = Circuit::with_name(3, "fig1b");
+    c.h(1).cx(1, 0).h(0).h(2).cx(2, 1).h(1).h(2).cx(2, 0);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_and_ghz_shapes() {
+        assert_eq!(bell().n_qubits(), 2);
+        let g = ghz(5);
+        assert_eq!(g.n_qubits(), 5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.name(), "ghz_5");
+    }
+
+    #[test]
+    fn w_state_is_uniform_over_single_excitations() {
+        let n = 4;
+        let col = crate::dense::column(&w_state(n), 0);
+        let expected = 1.0 / n as f64;
+        for (i, amp) in col.iter().enumerate() {
+            let is_single_excitation = i.count_ones() == 1;
+            if is_single_excitation {
+                assert!(
+                    (amp.norm_sqr() - expected).abs() < 1e-9,
+                    "|{i:04b}⟩: {}",
+                    amp.norm_sqr()
+                );
+            } else {
+                assert!(amp.approx_zero(), "|{i:04b}⟩ should be empty");
+            }
+        }
+    }
+
+    #[test]
+    fn figure1b_matches_paper_shape() {
+        let c = figure1b();
+        assert_eq!(c.n_qubits(), 3);
+        assert_eq!(c.len(), 8);
+        // Only H and CX gates, as in the paper.
+        for g in c.gates() {
+            let name = g.kind().mnemonic();
+            assert!(name == "h" || name == "x", "unexpected gate {g}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Oracle-based textbook algorithms: Bernstein–Vazirani and Deutsch–Jozsa.
+
+use crate::circuit::Circuit;
+
+/// Builds the Bernstein–Vazirani circuit recovering the hidden bit-string
+/// `secret` in a single query.
+///
+/// Layout: `k` input qubits `0..k` plus one oracle ancilla (qubit `k`)
+/// prepared in `|−⟩`. The oracle is a CX fan-in from every secret-1 input
+/// onto the ancilla; after the final Hadamard layer the input register holds
+/// `|secret⟩` deterministically — a handy self-test for simulators.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `secret >= 2^k`.
+///
+/// # Examples
+///
+/// ```
+/// let c = qcirc::generators::bernstein_vazirani(5, 0b10110);
+/// assert_eq!(c.n_qubits(), 6);
+/// ```
+#[must_use]
+pub fn bernstein_vazirani(k: usize, secret: u64) -> Circuit {
+    assert!(k > 0, "need at least one input qubit");
+    assert!(secret < (1u64 << k), "secret {secret} out of range for {k} bits");
+    let mut c = Circuit::with_name(k + 1, format!("bv_{k}"));
+    // Ancilla to |−⟩.
+    c.x(k).h(k);
+    for q in 0..k {
+        c.h(q);
+    }
+    // Oracle: f(x) = secret · x (mod 2).
+    for q in 0..k {
+        if (secret >> q) & 1 == 1 {
+            c.cx(q, k);
+        }
+    }
+    for q in 0..k {
+        c.h(q);
+    }
+    // Return the ancilla to |0⟩ so the circuit is ancilla-clean.
+    c.h(k).x(k);
+    c
+}
+
+/// Builds a Deutsch–Jozsa circuit for a balanced function `f(x) = mask · x`
+/// (a nonzero `mask` makes `f` balanced; `mask = 0` gives the constant-0
+/// function).
+///
+/// Same register layout as [`bernstein_vazirani`]. Measuring all-zeros on
+/// the input register means "constant"; anything else means "balanced".
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `mask >= 2^k`.
+#[must_use]
+pub fn deutsch_jozsa(k: usize, mask: u64) -> Circuit {
+    let mut c = bernstein_vazirani(k, mask);
+    c.set_name(format!("dj_{k}"));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_counts() {
+        let c = bernstein_vazirani(4, 0b1010);
+        // 2 ancilla prep + 4 H + 2 CX + 4 H + 2 ancilla restore.
+        assert_eq!(c.len(), 2 + 4 + 2 + 4 + 2);
+        assert_eq!(c.n_qubits(), 5);
+    }
+
+    #[test]
+    fn zero_secret_has_no_oracle_gates() {
+        let c = bernstein_vazirani(3, 0);
+        assert_eq!(c.count_where(|g| g.width() == 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_secret_rejected() {
+        let _ = bernstein_vazirani(3, 8);
+    }
+
+    #[test]
+    fn dj_is_bv_with_a_name() {
+        let a = bernstein_vazirani(3, 5);
+        let b = deutsch_jozsa(3, 5);
+        assert_eq!(a.gates(), b.gates());
+        assert_eq!(b.name(), "dj_3");
+    }
+}

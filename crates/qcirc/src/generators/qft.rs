@@ -1,0 +1,75 @@
+//! The Quantum Fourier Transform.
+
+use std::f64::consts::PI;
+
+use crate::circuit::Circuit;
+
+/// Builds the `n`-qubit Quantum Fourier Transform.
+///
+/// Uses the textbook cascade of Hadamards and controlled phases; when
+/// `with_swaps` is set, the final qubit-reversal SWAP network is appended
+/// (making the unitary the "true" QFT rather than the bit-reversed one).
+/// `|G| = n(n+1)/2 (+ ⌊n/2⌋ swaps)` — `qft(64, true)` has 2 080 + 32 gates,
+/// matching the paper's "QFT 64" row up to the swap convention.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let c = qcirc::generators::qft(4, false);
+/// assert_eq!(c.len(), 4 * 5 / 2);
+/// ```
+#[must_use]
+pub fn qft(n: usize, with_swaps: bool) -> Circuit {
+    let mut c = Circuit::with_name(n, format!("qft_{n}"));
+    for target in (0..n).rev() {
+        c.h(target);
+        for ctrl in (0..target).rev() {
+            let k = target - ctrl;
+            c.cp(PI / f64::powi(2.0, k as i32), ctrl, target);
+        }
+    }
+    if with_swaps {
+        for q in 0..n / 2 {
+            c.swap(q, n - 1 - q);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_count_is_triangular() {
+        for n in 1..10 {
+            let c = qft(n, false);
+            assert_eq!(c.len(), n * (n + 1) / 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn paper_row_gate_counts() {
+        // Paper Table I: |G| = 1 176 for QFT 48 and 2 080 for QFT 64
+        // (triangular numbers, i.e. the swap-free convention).
+        assert_eq!(qft(48, false).len(), 1176);
+        assert_eq!(qft(64, false).len(), 2080);
+    }
+
+    #[test]
+    fn swaps_append_floor_n_half() {
+        assert_eq!(qft(5, true).len(), 15 + 2);
+        assert_eq!(qft(6, true).len(), 21 + 3);
+    }
+
+    #[test]
+    fn smallest_qft_is_a_hadamard() {
+        let c = qft(1, false);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.gates()[0].to_string(), "h q[0]");
+    }
+}

@@ -1,0 +1,85 @@
+//! Quantum phase estimation.
+
+use std::f64::consts::PI;
+
+use crate::circuit::Circuit;
+use crate::generators::qft;
+
+/// Builds a quantum-phase-estimation circuit estimating the eigenphase of
+/// `P(2π·phase)` on its `|1⟩` eigenstate with `m` counting qubits.
+///
+/// Layout: counting qubits `0..m` (qubit 0 = least significant result bit),
+/// eigenstate qubit `m` (prepared in `|1⟩`). For `phase = j / 2^m` the
+/// counting register ends exactly in `|j⟩`.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let c = qcirc::generators::phase_estimation(4, 3.0 / 16.0);
+/// assert_eq!(c.n_qubits(), 5);
+/// ```
+#[must_use]
+pub fn phase_estimation(m: usize, phase: f64) -> Circuit {
+    assert!(m > 0, "need at least one counting qubit");
+    let mut c = Circuit::with_name(m + 1, format!("qpe_{m}"));
+    // Eigenstate |1⟩ of the phase gate.
+    c.x(m);
+    for q in 0..m {
+        c.h(q);
+    }
+    // Controlled powers: counting qubit k applies P(2π·phase·2^k).
+    for k in 0..m {
+        c.cp(2.0 * PI * phase * f64::powi(2.0, k as i32), k, m);
+    }
+    // Inverse QFT on the counting register.
+    let iqft = qft(m, true).inverse();
+    for gate in iqft.gates() {
+        c.push(gate.clone());
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_shape() {
+        let c = phase_estimation(3, 0.125);
+        assert_eq!(c.n_qubits(), 4);
+        // 1 X + 3 H + 3 CP + inverse QFT (6 gates + 1 swap).
+        assert_eq!(c.len(), 1 + 3 + 3 + 7);
+    }
+
+    #[test]
+    fn exact_phase_is_recovered() {
+        // Verified against the dense reference: phase j/2^m ends in |j⟩
+        // exactly (probability 1).
+        let m = 3;
+        for j in [1u64, 3, 6] {
+            let c = phase_estimation(m, j as f64 / 8.0);
+            let col = crate::dense::column(&c, 0);
+            // Expected output: counting register |j⟩, eigenstate |1⟩.
+            let expected = (1usize << m) | j as usize;
+            assert!(
+                col[expected].norm_sqr() > 1.0 - 1e-9,
+                "j = {j}: p = {}",
+                col[expected].norm_sqr()
+            );
+        }
+    }
+
+    #[test]
+    fn inexact_phase_peaks_at_nearest_fraction() {
+        let m = 3;
+        let c = phase_estimation(m, 0.3); // nearest 3-bit fraction: 2/8 or 3/8
+        let col = crate::dense::column(&c, 0);
+        let p2 = col[(1 << m) | 2].norm_sqr();
+        let p3 = col[(1 << m) | 3].norm_sqr();
+        assert!(p2 + p3 > 0.5, "mass should concentrate near 0.3: {}", p2 + p3);
+    }
+}

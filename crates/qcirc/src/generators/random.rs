@@ -1,0 +1,132 @@
+//! Seeded random circuit families.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+
+/// Builds a random Clifford+T circuit with `m` gates on `n` qubits, fully
+/// determined by `seed`.
+///
+/// Gates are drawn uniformly from `{H, S, S†, T, T†, X, Z, CX}` with random
+/// (distinct) qubits. This family models generic gate-level workloads and is
+/// handy for property tests (e.g. "optimization preserves the unitary").
+///
+/// # Panics
+///
+/// Panics if `n == 0`, or if `n < 2` while `m > 0` (CX needs two qubits).
+#[must_use]
+pub fn random_clifford_t(n: usize, m: usize, seed: u64) -> Circuit {
+    assert!(n >= 2 || m == 0, "random circuits need at least 2 qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(n, format!("random_ct_{n}_{m}"));
+    let one_qubit = [
+        GateKind::H,
+        GateKind::S,
+        GateKind::Sdg,
+        GateKind::T,
+        GateKind::Tdg,
+        GateKind::X,
+        GateKind::Z,
+    ];
+    for _ in 0..m {
+        if rng.gen_bool(0.3) {
+            let qs = sample_distinct(&mut rng, n, 2);
+            c.cx(qs[0], qs[1]);
+        } else {
+            let kind = *one_qubit.choose(&mut rng).expect("non-empty");
+            c.push(Gate::single(kind, rng.gen_range(0..n)));
+        }
+    }
+    c
+}
+
+/// Builds a random reversible Toffoli network: `m` multi-controlled X gates
+/// on `n` lines, each with 0 to `max_controls` controls, fully determined by
+/// `seed`.
+///
+/// This is the workspace's stand-in for the RevLib benchmark class
+/// (`urf4_187`, `hwb9_119`, …): reversible Boolean netlists whose
+/// "alternative realization" in the paper's Table I is the decomposed,
+/// mapped version with enormous gate counts (see DESIGN.md).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `max_controls >= n`.
+#[must_use]
+pub fn toffoli_network(n: usize, m: usize, max_controls: usize, seed: u64) -> Circuit {
+    assert!(n > 0, "network needs at least one line");
+    assert!(
+        max_controls < n,
+        "a gate with {max_controls} controls needs more than {n} lines"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(n, format!("toffoli_net_{n}_{m}"));
+    for _ in 0..m {
+        let k = rng.gen_range(0..=max_controls);
+        let qs = sample_distinct(&mut rng, n, k + 1);
+        let (target, controls) = qs.split_last().expect("k+1 >= 1");
+        if controls.is_empty() {
+            c.x(*target);
+        } else {
+            c.mcx(controls.to_vec(), *target);
+        }
+    }
+    c
+}
+
+/// Samples `k` distinct qubit indices from `0..n`.
+fn sample_distinct(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    debug_assert!(k <= n);
+    let mut all: Vec<usize> = (0..n).collect();
+    all.shuffle(rng);
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clifford_t_is_deterministic() {
+        assert_eq!(random_clifford_t(4, 50, 1), random_clifford_t(4, 50, 1));
+        assert_ne!(random_clifford_t(4, 50, 1), random_clifford_t(4, 50, 2));
+    }
+
+    #[test]
+    fn clifford_t_has_requested_size() {
+        let c = random_clifford_t(5, 123, 9);
+        assert_eq!(c.len(), 123);
+        assert_eq!(c.n_qubits(), 5);
+    }
+
+    #[test]
+    fn clifford_t_gates_fit_basis() {
+        let c = random_clifford_t(4, 200, 3);
+        assert!(c.is_elementary());
+    }
+
+    #[test]
+    fn toffoli_network_respects_max_controls() {
+        let c = toffoli_network(6, 100, 3, 11);
+        assert_eq!(c.len(), 100);
+        assert!(c.max_controls() <= 3);
+        for g in c.gates() {
+            assert_eq!(g.kind().mnemonic(), "x");
+        }
+    }
+
+    #[test]
+    fn toffoli_network_is_deterministic() {
+        assert_eq!(toffoli_network(5, 40, 2, 7), toffoli_network(5, 40, 2, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "controls")]
+    fn too_many_controls_rejected() {
+        let _ = toffoli_network(3, 10, 3, 0);
+    }
+}

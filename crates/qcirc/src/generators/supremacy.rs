@@ -1,0 +1,156 @@
+//! Google-style "quantum supremacy" random circuits on a 2-D grid.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+
+/// Builds a supremacy-style random circuit on a `rows × cols` qubit grid
+/// with `cycles` cycles.
+///
+/// Each cycle applies a random single-qubit gate from `{√X, √Y, T}` to every
+/// qubit (never repeating the gate the qubit received in the previous
+/// cycle, per the original protocol) followed by a layer of CZ gates along
+/// one of four alternating grid-edge patterns. A final Hadamard layer opens
+/// the circuit, mirroring the published construction. The circuit is fully
+/// determined by `seed`.
+///
+/// The paper's "Supremacy 4x4 d" rows correspond to
+/// `supremacy_2d(4, 4, d, seed)`.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let c = qcirc::generators::supremacy_2d(4, 4, 10, 42);
+/// assert_eq!(c.n_qubits(), 16);
+/// ```
+#[must_use]
+pub fn supremacy_2d(rows: usize, cols: usize, cycles: usize, seed: u64) -> Circuit {
+    assert!(rows > 0 && cols > 0, "grid must be non-empty");
+    let n = rows * cols;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(n, format!("supremacy_{rows}x{cols}_{cycles}"));
+    let qubit = |r: usize, col: usize| r * cols + col;
+
+    // Opening Hadamard layer.
+    for q in 0..n {
+        c.h(q);
+    }
+
+    // Track the previous single-qubit gate per qubit to avoid repeats.
+    let choices = [GateKind::Sx, GateKind::Sy, GateKind::T];
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+
+    for cycle in 0..cycles {
+        // Single-qubit layer.
+        for q in 0..n {
+            let pick = loop {
+                let k = rng.gen_range(0..choices.len());
+                if prev[q] != Some(k) {
+                    break k;
+                }
+            };
+            prev[q] = Some(pick);
+            c.push(crate::gate::Gate::single(choices[pick], q));
+        }
+        // Entangling layer: alternate over four edge patterns
+        // (horizontal even/odd columns, vertical even/odd rows).
+        match cycle % 4 {
+            0 => {
+                for r in 0..rows {
+                    for col in (0..cols.saturating_sub(1)).step_by(2) {
+                        c.cz(qubit(r, col), qubit(r, col + 1));
+                    }
+                }
+            }
+            1 => {
+                for r in (0..rows.saturating_sub(1)).step_by(2) {
+                    for col in 0..cols {
+                        c.cz(qubit(r, col), qubit(r + 1, col));
+                    }
+                }
+            }
+            2 => {
+                for r in 0..rows {
+                    for col in (1..cols.saturating_sub(1)).step_by(2) {
+                        c.cz(qubit(r, col), qubit(r, col + 1));
+                    }
+                }
+            }
+            _ => {
+                for r in (1..rows.saturating_sub(1)).step_by(2) {
+                    for col in 0..cols {
+                        c.cz(qubit(r, col), qubit(r + 1, col));
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = supremacy_2d(3, 3, 8, 7);
+        let b = supremacy_2d(3, 3, 8, 7);
+        assert_eq!(a, b);
+        let c = supremacy_2d(3, 3, 8, 8);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn qubit_count_is_grid_size() {
+        assert_eq!(supremacy_2d(4, 4, 5, 1).n_qubits(), 16);
+        assert_eq!(supremacy_2d(2, 5, 5, 1).n_qubits(), 10);
+    }
+
+    #[test]
+    fn single_qubit_layer_never_repeats_per_qubit() {
+        let c = supremacy_2d(2, 2, 20, 3);
+        // Collect the per-qubit sequence of 1q gates after the H layer.
+        let mut seqs: Vec<Vec<&'static str>> = vec![Vec::new(); 4];
+        for g in c.gates().iter().skip(4) {
+            if g.width() == 1 {
+                seqs[g.target()].push(g.kind().mnemonic());
+            }
+        }
+        for seq in seqs {
+            for w in seq.windows(2) {
+                assert_ne!(w[0], w[1], "repeated 1q gate in consecutive cycles");
+            }
+        }
+    }
+
+    #[test]
+    fn cz_layers_respect_grid_adjacency() {
+        let rows = 3;
+        let cols = 4;
+        let c = supremacy_2d(rows, cols, 12, 5);
+        for g in c.gates() {
+            if g.width() == 2 {
+                let a = g.controls()[0];
+                let b = g.targets()[0];
+                let (ra, ca) = (a / cols, a % cols);
+                let (rb, cb) = (b / cols, b % cols);
+                let dist = ra.abs_diff(rb) + ca.abs_diff(cb);
+                assert_eq!(dist, 1, "CZ on non-adjacent qubits {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_count_grows_with_cycles() {
+        let short = supremacy_2d(4, 4, 5, 9).len();
+        let long = supremacy_2d(4, 4, 50, 9).len();
+        assert!(long > short * 5);
+    }
+}

@@ -1,0 +1,297 @@
+//! Device coupling maps: which physical qubit pairs support 2-qubit gates.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// An undirected device connectivity graph with precomputed all-pairs
+/// shortest-path distances (BFS, unit edge weights).
+///
+/// # Examples
+///
+/// ```
+/// use qcirc::mapping::CouplingMap;
+///
+/// let line = CouplingMap::linear(4);
+/// assert!(line.are_adjacent(1, 2));
+/// assert_eq!(line.distance(0, 3), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CouplingMap {
+    n: usize,
+    adjacency: Vec<Vec<usize>>,
+    dist: Vec<Vec<usize>>,
+    name: String,
+}
+
+impl CouplingMap {
+    /// Builds a coupling map from an explicit undirected edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, an edge endpoint is out of range, an edge is a
+    /// self-loop, or the graph is disconnected (a disconnected device cannot
+    /// route arbitrary circuits).
+    #[must_use]
+    pub fn from_edges(n: usize, edges: &[(usize, usize)], name: impl Into<String>) -> Self {
+        assert!(n > 0, "a device needs at least one qubit");
+        let mut adjacency = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range for {n} qubits");
+            assert!(a != b, "self-loop edge ({a},{b})");
+            if !adjacency[a].contains(&b) {
+                adjacency[a].push(b);
+                adjacency[b].push(a);
+            }
+        }
+        for adj in &mut adjacency {
+            adj.sort_unstable();
+        }
+        let dist = all_pairs_bfs(&adjacency);
+        let map = CouplingMap {
+            n,
+            adjacency,
+            dist,
+            name: name.into(),
+        };
+        assert!(
+            map.is_connected(),
+            "coupling map '{}' is disconnected",
+            map.name
+        );
+        map
+    }
+
+    /// A path (1-D chain) of `n` qubits: `0−1−2−…`.
+    #[must_use]
+    pub fn linear(n: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        CouplingMap::from_edges(n, &edges, format!("linear_{n}"))
+    }
+
+    /// A ring of `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    #[must_use]
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 qubits");
+        let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n - 1, 0));
+        CouplingMap::from_edges(n, &edges, format!("ring_{n}"))
+    }
+
+    /// A `rows × cols` rectangular grid (row-major qubit numbering).
+    #[must_use]
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid must be non-empty");
+        let mut edges = Vec::new();
+        let q = |r: usize, c: usize| r * cols + c;
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((q(r, c), q(r, c + 1)));
+                }
+                if r + 1 < rows {
+                    edges.push((q(r, c), q(r + 1, c)));
+                }
+            }
+        }
+        CouplingMap::from_edges(rows * cols, &edges, format!("grid_{rows}x{cols}"))
+    }
+
+    /// The 16-qubit "IBM QX5"-style ladder used in the mapping literature
+    /// (\[6\], \[9\]): two rows of eight with rung connections.
+    #[must_use]
+    pub fn ibm_qx5() -> Self {
+        // Topologically a 2×8 grid (directionality of the physical CNOTs is
+        // abstracted away; direction fixes are plain H conjugations).
+        let mut map = CouplingMap::grid(2, 8);
+        map.name = "ibm_qx5".into();
+        map
+    }
+
+    /// The number of physical qubits.
+    #[inline]
+    #[must_use]
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The device name.
+    #[inline]
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns `true` if a 2-qubit gate can act directly on `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn are_adjacent(&self, a: usize, b: usize) -> bool {
+        assert!(a < self.n && b < self.n, "qubit index out of range");
+        self.adjacency[a].binary_search(&b).is_ok()
+    }
+
+    /// The neighbours of physical qubit `q`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.adjacency[q]
+    }
+
+    /// Shortest-path distance (in hops) between two physical qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        assert!(a < self.n && b < self.n, "qubit index out of range");
+        self.dist[a][b]
+    }
+
+    /// One shortest path from `a` to `b`, inclusive of both endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn shortest_path(&self, a: usize, b: usize) -> Vec<usize> {
+        assert!(a < self.n && b < self.n, "qubit index out of range");
+        let mut path = vec![a];
+        let mut cur = a;
+        while cur != b {
+            // Greedy descent over the distance table is exact for BFS
+            // distances: some neighbour is always one hop closer.
+            let next = *self.adjacency[cur]
+                .iter()
+                .find(|&&nb| self.dist[nb][b] + 1 == self.dist[cur][b])
+                .expect("connected map always has a descending neighbour");
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+
+    /// The total number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    fn is_connected(&self) -> bool {
+        self.dist[0].iter().all(|&d| d != usize::MAX)
+    }
+}
+
+impl fmt::Display for CouplingMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} qubits, {} edges)",
+            self.name,
+            self.n,
+            self.edge_count()
+        )
+    }
+}
+
+fn all_pairs_bfs(adjacency: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adjacency.len();
+    let mut dist = vec![vec![usize::MAX; n]; n];
+    for (start, row) in dist.iter_mut().enumerate() {
+        row[start] = 0;
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adjacency[u] {
+                if row[v] == usize::MAX {
+                    row[v] = row[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_distances() {
+        let m = CouplingMap::linear(5);
+        assert_eq!(m.distance(0, 4), 4);
+        assert_eq!(m.distance(2, 2), 0);
+        assert!(m.are_adjacent(0, 1));
+        assert!(!m.are_adjacent(0, 2));
+        assert_eq!(m.edge_count(), 4);
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let m = CouplingMap::ring(6);
+        assert_eq!(m.distance(0, 5), 1);
+        assert_eq!(m.distance(0, 3), 3);
+    }
+
+    #[test]
+    fn grid_distances_are_manhattan() {
+        let m = CouplingMap::grid(3, 4);
+        // (0,0)=q0 to (2,3)=q11: 2+3 hops.
+        assert_eq!(m.distance(0, 11), 5);
+        assert!(m.are_adjacent(0, 1));
+        assert!(m.are_adjacent(0, 4));
+        assert!(!m.are_adjacent(0, 5));
+    }
+
+    #[test]
+    fn qx5_shape() {
+        let m = CouplingMap::ibm_qx5();
+        assert_eq!(m.n_qubits(), 16);
+        assert_eq!(m.name(), "ibm_qx5");
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_adjacency() {
+        let m = CouplingMap::grid(3, 3);
+        let p = m.shortest_path(0, 8);
+        assert_eq!(p.len(), m.distance(0, 8) + 1);
+        assert_eq!(*p.first().unwrap(), 0);
+        assert_eq!(*p.last().unwrap(), 8);
+        for w in p.windows(2) {
+            assert!(m.are_adjacent(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn trivial_path_is_single_node() {
+        let m = CouplingMap::linear(3);
+        assert_eq!(m.shortest_path(1, 1), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_rejected() {
+        let _ = CouplingMap::from_edges(4, &[(0, 1), (2, 3)], "broken");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let _ = CouplingMap::from_edges(2, &[(1, 1)], "loop");
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let m = CouplingMap::from_edges(2, &[(0, 1), (1, 0), (0, 1)], "dup");
+        assert_eq!(m.edge_count(), 1);
+    }
+}

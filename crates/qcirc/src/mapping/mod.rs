@@ -1,0 +1,12 @@
+//! Mapping circuits to device architectures (\[6\]–\[10\]): coupling maps and a
+//! SWAP-insertion router.
+//!
+//! Routing with the default options preserves the circuit unitary exactly
+//! (identity initial layout, permutation restored at the end) — producing
+//! precisely the `G` vs `G'` pairs of the paper's Fig. 1b/Fig. 2 example.
+
+mod coupling;
+mod router;
+
+pub use coupling::CouplingMap;
+pub use router::{respects_coupling, route, route_or_panic, RouteError, RoutedCircuit, RouterOptions};

@@ -1,0 +1,387 @@
+//! SWAP-insertion routing: making a circuit respect a device coupling map.
+//!
+//! The paper's Fig. 2 example is exactly this transformation — the original
+//! circuit `G` plus SWAP gates yields `G'` with the *same* unitary (the
+//! router keeps the identity initial layout and restores the permutation at
+//! the end), which is what the equivalence checker then verifies.
+
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::mapping::coupling::CouplingMap;
+
+/// Options controlling the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterOptions {
+    /// Append SWAPs at the end so the net qubit permutation is the identity,
+    /// making the routed circuit *strictly* equivalent to the input
+    /// (default: `true`). When `false` the final layout is reported in
+    /// [`RoutedCircuit::final_layout`] instead.
+    pub restore_layout: bool,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            restore_layout: true,
+        }
+    }
+}
+
+/// The result of routing: the transformed circuit plus layout bookkeeping.
+#[derive(Debug, Clone)]
+pub struct RoutedCircuit {
+    /// The routed circuit (only coupling-respecting 2-qubit gates).
+    pub circuit: Circuit,
+    /// `final_layout[logical] = physical` after the last gate. Identity when
+    /// [`RouterOptions::restore_layout`] was set.
+    pub final_layout: Vec<usize>,
+    /// The number of SWAP gates inserted.
+    pub swap_count: usize,
+}
+
+/// Error returned when a circuit cannot be routed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The device has fewer qubits than the circuit.
+    DeviceTooSmall {
+        /// Qubits the circuit needs.
+        needed: usize,
+        /// Qubits the device has.
+        available: usize,
+    },
+    /// A gate acts on three or more qubits; decompose the circuit first.
+    GateTooWide {
+        /// Rendering of the offending gate.
+        gate: String,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::DeviceTooSmall { needed, available } => write!(
+                f,
+                "device has {available} qubits but the circuit needs {needed}"
+            ),
+            RouteError::GateTooWide { gate } => write!(
+                f,
+                "gate '{gate}' acts on more than two qubits; run decomposition before routing"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Routes a circuit onto a device by inserting SWAP gates along shortest
+/// paths (greedy nearest-neighbour router, in the spirit of \[6\]–\[10\]).
+///
+/// The initial layout is the identity (logical qubit `q` starts on physical
+/// qubit `q`); the circuit is widened to the device size if needed. With
+/// [`RouterOptions::restore_layout`] (the default), the routed circuit's
+/// unitary equals the widened input's unitary exactly.
+///
+/// # Errors
+///
+/// Returns [`RouteError`] if the device is too small or the circuit contains
+/// gates wider than two qubits (decompose first).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), qcirc::mapping::RouteError> {
+/// use qcirc::mapping::{route, CouplingMap, RouterOptions};
+/// use qcirc::Circuit;
+///
+/// let mut c = Circuit::new(3);
+/// c.cx(0, 2); // not adjacent on a line — needs a SWAP
+/// let routed = route(&c, &CouplingMap::linear(3), RouterOptions::default())?;
+/// assert!(routed.swap_count > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn route(
+    circuit: &Circuit,
+    device: &CouplingMap,
+    options: RouterOptions,
+) -> Result<RoutedCircuit, RouteError> {
+    if device.n_qubits() < circuit.n_qubits() {
+        return Err(RouteError::DeviceTooSmall {
+            needed: circuit.n_qubits(),
+            available: device.n_qubits(),
+        });
+    }
+    let n = device.n_qubits();
+    let mut out = Circuit::with_name(n, format!("{}_mapped", circuit.name()));
+    // layout[logical] = physical; phys_to_log inverse.
+    let mut layout: Vec<usize> = (0..n).collect();
+    let mut phys_to_log: Vec<usize> = (0..n).collect();
+    let mut swap_count = 0usize;
+
+    let do_swap = |out: &mut Circuit,
+                       layout: &mut [usize],
+                       phys_to_log: &mut [usize],
+                       pa: usize,
+                       pb: usize| {
+        out.swap(pa, pb);
+        let (la, lb) = (phys_to_log[pa], phys_to_log[pb]);
+        layout.swap(la, lb);
+        phys_to_log.swap(pa, pb);
+    };
+
+    for gate in circuit.gates() {
+        match gate.width() {
+            1 => {
+                out.push(gate.remap(|q| layout[q]));
+            }
+            2 => {
+                let qs: Vec<usize> = gate.qubits().collect();
+                let (mut pa, pb) = (layout[qs[0]], layout[qs[1]]);
+                if !device.are_adjacent(pa, pb) {
+                    // Walk qubit A along a shortest path until adjacent to B.
+                    let path = device.shortest_path(pa, pb);
+                    for hop in path.windows(2).take(path.len().saturating_sub(2)) {
+                        do_swap(&mut out, &mut layout, &mut phys_to_log, hop[0], hop[1]);
+                        swap_count += 1;
+                        pa = hop[1];
+                    }
+                }
+                debug_assert!(device.are_adjacent(pa, pb));
+                out.push(gate.remap(|q| layout[q]));
+            }
+            _ => {
+                return Err(RouteError::GateTooWide {
+                    gate: gate.to_string(),
+                })
+            }
+        }
+    }
+
+    if options.restore_layout {
+        // Undo the net permutation by token routing on a spanning tree:
+        // repeatedly pick a leaf position of the remaining tree, walk its
+        // logical qubit home along tree edges, then retire the leaf. Fixed
+        // positions are never disturbed again, so this terminates after at
+        // most n·diameter swaps.
+        let tree = spanning_tree(device);
+        let mut remaining: Vec<bool> = vec![true; n];
+        for _ in 0..n {
+            let Some(leaf) = (0..n).find(|&p| {
+                remaining[p]
+                    && tree[p].iter().filter(|&&q| remaining[q]).count() <= 1
+            }) else {
+                break;
+            };
+            let start = layout[leaf];
+            if start != leaf {
+                let path =
+                    tree_path(&tree, &remaining, start, leaf).expect("leaf reachable in tree");
+                for hop in path.windows(2) {
+                    do_swap(&mut out, &mut layout, &mut phys_to_log, hop[0], hop[1]);
+                    swap_count += 1;
+                }
+            }
+            remaining[leaf] = false;
+        }
+        debug_assert!(layout.iter().enumerate().all(|(l, p)| l == *p));
+    }
+
+    Ok(RoutedCircuit {
+        circuit: out,
+        final_layout: layout,
+        swap_count,
+    })
+}
+
+/// Builds a BFS spanning tree of the device as an adjacency list.
+fn spanning_tree(device: &CouplingMap) -> Vec<Vec<usize>> {
+    let n = device.n_qubits();
+    let mut tree = vec![Vec::new(); n];
+    let mut seen = vec![false; n];
+    seen[0] = true;
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    while let Some(u) = queue.pop_front() {
+        for &v in device.neighbors(u) {
+            if !seen[v] {
+                seen[v] = true;
+                tree[u].push(v);
+                tree[v].push(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    tree
+}
+
+/// Unique path between two nodes inside the still-`remaining` part of a
+/// tree, found by BFS.
+fn tree_path(
+    tree: &[Vec<usize>],
+    remaining: &[bool],
+    from: usize,
+    to: usize,
+) -> Option<Vec<usize>> {
+    let n = tree.len();
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[from] = true;
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(u) = queue.pop_front() {
+        if u == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while let Some(p) = prev[cur] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &v in &tree[u] {
+            if !seen[v] && remaining[v] {
+                seen[v] = true;
+                prev[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Checks that every multi-qubit gate of `circuit` acts on device-adjacent
+/// qubits — the property routing establishes.
+#[must_use]
+pub fn respects_coupling(circuit: &Circuit, device: &CouplingMap) -> bool {
+    if circuit.n_qubits() > device.n_qubits() {
+        return false;
+    }
+    circuit.gates().iter().all(|g| match g.width() {
+        1 => true,
+        2 => {
+            let qs: Vec<usize> = g.qubits().collect();
+            device.are_adjacent(qs[0], qs[1])
+        }
+        _ => false,
+    })
+}
+
+/// Convenience wrapper: route, asserting on gates the router cannot handle.
+///
+/// # Panics
+///
+/// Panics where [`route`] would return an error — for quick scripts and
+/// benchmark harnesses where those conditions are bugs.
+#[must_use]
+pub fn route_or_panic(circuit: &Circuit, device: &CouplingMap) -> RoutedCircuit {
+    match route(circuit, device, RouterOptions::default()) {
+        Ok(r) => r,
+        Err(e) => panic!("routing failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense;
+
+    fn assert_strictly_equal(a: &Circuit, b: &Circuit) {
+        assert!(
+            dense::unitary(a).approx_eq(&dense::unitary(b)),
+            "routing changed the unitary"
+        );
+    }
+
+    #[test]
+    fn adjacent_gates_untouched() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let r = route(&c, &CouplingMap::linear(3), RouterOptions::default()).unwrap();
+        assert_eq!(r.swap_count, 0);
+        assert_eq!(r.circuit.len(), c.len());
+    }
+
+    #[test]
+    fn distant_cx_gets_swaps_and_stays_equivalent() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 3).t(3).cx(3, 0);
+        let r = route(&c, &CouplingMap::linear(4), RouterOptions::default()).unwrap();
+        assert!(r.swap_count > 0);
+        assert!(respects_coupling(&r.circuit, &CouplingMap::linear(4)));
+        assert_strictly_equal(&c, &r.circuit);
+        assert_eq!(r.final_layout, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn without_restore_layout_reports_permutation() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 2);
+        let r = route(
+            &c,
+            &CouplingMap::linear(3),
+            RouterOptions {
+                restore_layout: false,
+            },
+        )
+        .unwrap();
+        assert!(respects_coupling(&r.circuit, &CouplingMap::linear(3)));
+        // Layout is a permutation of 0..n.
+        let mut sorted = r.final_layout.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn routing_widens_to_device() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let r = route(&c, &CouplingMap::grid(2, 2), RouterOptions::default()).unwrap();
+        assert_eq!(r.circuit.n_qubits(), 4);
+        assert_strictly_equal(&c.widened(4), &r.circuit);
+    }
+
+    #[test]
+    fn bigger_random_circuit_routes_equivalently() {
+        let c = crate::generators::random_clifford_t(5, 60, 13);
+        let device = CouplingMap::ring(5);
+        let r = route(&c, &device, RouterOptions::default()).unwrap();
+        assert!(respects_coupling(&r.circuit, &device));
+        assert_strictly_equal(&c, &r.circuit);
+    }
+
+    #[test]
+    fn grid_routing_of_qft() {
+        let c = crate::generators::qft(6, true);
+        let device = CouplingMap::grid(2, 3);
+        let r = route(&c, &device, RouterOptions::default()).unwrap();
+        assert!(respects_coupling(&r.circuit, &device));
+        assert_strictly_equal(&c, &r.circuit);
+    }
+
+    #[test]
+    fn too_small_device_rejected() {
+        let mut c = Circuit::new(5);
+        c.h(0);
+        let e = route(&c, &CouplingMap::linear(3), RouterOptions::default()).unwrap_err();
+        assert!(matches!(e, RouteError::DeviceTooSmall { .. }));
+        assert!(e.to_string().contains("3 qubits"));
+    }
+
+    #[test]
+    fn wide_gate_rejected() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let e = route(&c, &CouplingMap::linear(3), RouterOptions::default()).unwrap_err();
+        assert!(matches!(e, RouteError::GateTooWide { .. }));
+    }
+
+    #[test]
+    fn respects_coupling_detects_violations() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 2);
+        assert!(!respects_coupling(&c, &CouplingMap::linear(3)));
+        let mut ok = Circuit::new(3);
+        ok.cx(0, 1);
+        assert!(respects_coupling(&ok, &CouplingMap::linear(3)));
+    }
+}

@@ -1,0 +1,694 @@
+//! Circuit optimization passes (\[11\], \[12\] in the paper's design flow).
+//!
+//! Every pass preserves the circuit unitary *exactly* (not merely up to
+//! global phase), so optimized circuits remain strictly equivalent — the
+//! property the equivalence checker verifies. Passes:
+//!
+//! * [`remove_identities`] — drops explicit identity gates and zero
+//!   rotations,
+//! * [`cancel_inverse_pairs`] — removes adjacent gate/inverse pairs
+//!   (adjacency on the gate's qubit wires, not in the flat list),
+//! * [`merge_rotations`] — fuses wire-adjacent same-axis rotations,
+//! * [`rewrite_h_cx_h`] — replaces `H(t) · CX(c,t) · H(t)` with `CZ(c,t)`,
+//! * [`optimize`] — runs all passes to a fixpoint.
+
+use qnum::angle;
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+
+/// Removes gates that are (numerically) the identity: explicit `I` gates,
+/// phase gates with `λ ≡ 0 (mod 2π)`, and rotations with `θ ≡ 0 (mod 4π)`
+/// (rotations have period 4π as matrices; `Rz(2π) = −I` is kept because the
+/// global phase becomes physical under controls).
+#[must_use]
+pub fn remove_identities(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::with_name(circuit.n_qubits(), circuit.name().to_string());
+    for g in circuit.gates() {
+        if is_strict_identity(g.kind()) {
+            continue;
+        }
+        out.push(g.clone());
+    }
+    out
+}
+
+fn is_strict_identity(kind: &GateKind) -> bool {
+    match *kind {
+        GateKind::I => true,
+        GateKind::Phase(l) => angle::approx_zero_mod_2pi(l),
+        GateKind::Rx(t) | GateKind::Ry(t) | GateKind::Rz(t) => {
+            // θ ≡ 0 mod 4π ⇒ the matrix is exactly I.
+            angle::approx_zero_mod_2pi(t / 2.0)
+        }
+        GateKind::U3(t, p, l) => {
+            angle::approx_zero_mod_2pi(t / 2.0) && angle::approx_zero_mod_2pi(p + l)
+        }
+        _ => false,
+    }
+}
+
+/// Cancels wire-adjacent inverse pairs (e.g. `H·H`, `CX·CX`,
+/// `Rz(θ)·Rz(−θ)`), cascading until no pair remains.
+#[must_use]
+pub fn cancel_inverse_pairs(circuit: &Circuit) -> Circuit {
+    let mut gates: Vec<Option<Gate>> = circuit.gates().iter().cloned().map(Some).collect();
+    // Repeat single scans until a fixpoint; each scan cancels pairs that are
+    // adjacent on every wire they touch.
+    loop {
+        let mut changed = false;
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.n_qubits()];
+        for i in 0..gates.len() {
+            let Some(gate) = gates[i].clone() else { continue };
+            // The candidate partner must be the last alive gate on *all* of
+            // this gate's qubits.
+            let mut partner: Option<usize> = None;
+            let mut blocked = false;
+            for q in gate.qubits() {
+                match (partner, last_on_qubit[q]) {
+                    (_, None) => blocked = true,
+                    (None, Some(j)) => partner = Some(j),
+                    (Some(p), Some(j)) if p != j => blocked = true,
+                    _ => {}
+                }
+            }
+            if !blocked {
+                if let Some(j) = partner {
+                    let prev = gates[j].as_ref().expect("partner is alive");
+                    // The partner must also touch exactly the same qubits —
+                    // otherwise an interleaving wire escapes cancellation.
+                    if prev.is_inverse_of(&gate) {
+                        for q in gate.qubits() {
+                            last_on_qubit[q] = None;
+                        }
+                        gates[i] = None;
+                        gates[j] = None;
+                        changed = true;
+                        continue;
+                    }
+                }
+            }
+            for q in gate.qubits() {
+                last_on_qubit[q] = Some(i);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut out = Circuit::with_name(circuit.n_qubits(), circuit.name().to_string());
+    out.extend(gates.into_iter().flatten());
+    out
+}
+
+/// Fuses wire-adjacent rotations of the same axis, same target and same
+/// controls: `Rz(a)·Rz(b) → Rz(a+b)` (likewise `Rx`, `Ry`, `Phase`), then
+/// drops any fused rotation that became the exact identity.
+#[must_use]
+pub fn merge_rotations(circuit: &Circuit) -> Circuit {
+    let mut gates: Vec<Option<Gate>> = circuit.gates().iter().cloned().map(Some).collect();
+    loop {
+        let mut changed = false;
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.n_qubits()];
+        for i in 0..gates.len() {
+            let Some(gate) = gates[i].clone() else { continue };
+            let mut partner: Option<usize> = None;
+            let mut blocked = false;
+            for q in gate.qubits() {
+                match (partner, last_on_qubit[q]) {
+                    (_, None) => blocked = true,
+                    (None, Some(j)) => partner = Some(j),
+                    (Some(p), Some(j)) if p != j => blocked = true,
+                    _ => {}
+                }
+            }
+            if !blocked {
+                if let Some(j) = partner {
+                    let prev = gates[j].clone().expect("partner is alive");
+                    if prev.controls() == gate.controls()
+                        && prev.targets() == gate.targets()
+                    {
+                        if let Some(kind) = fuse(prev.kind(), gate.kind()) {
+                            for q in gate.qubits() {
+                                last_on_qubit[q] = None;
+                            }
+                            gates[j] = None;
+                            if is_strict_identity(&kind) {
+                                gates[i] = None;
+                            } else {
+                                let merged = if gate.controls().is_empty() {
+                                    Gate::single(kind, gate.target())
+                                } else {
+                                    Gate::controlled(
+                                        kind,
+                                        gate.controls().to_vec(),
+                                        gate.target(),
+                                    )
+                                };
+                                for q in merged.qubits() {
+                                    last_on_qubit[q] = Some(i);
+                                }
+                                gates[i] = Some(merged);
+                            }
+                            changed = true;
+                            continue;
+                        }
+                    }
+                }
+            }
+            for q in gate.qubits() {
+                last_on_qubit[q] = Some(i);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut out = Circuit::with_name(circuit.n_qubits(), circuit.name().to_string());
+    out.extend(gates.into_iter().flatten());
+    out
+}
+
+/// Fuses two rotation kinds of the same axis, if possible.
+fn fuse(a: &GateKind, b: &GateKind) -> Option<GateKind> {
+    Some(match (*a, *b) {
+        (GateKind::Rx(x), GateKind::Rx(y)) => GateKind::Rx(fuse_rotation(x, y)),
+        (GateKind::Ry(x), GateKind::Ry(y)) => GateKind::Ry(fuse_rotation(x, y)),
+        (GateKind::Rz(x), GateKind::Rz(y)) => GateKind::Rz(fuse_rotation(x, y)),
+        (GateKind::Phase(x), GateKind::Phase(y)) => GateKind::Phase(angle_sum_mod_2pi(x, y)),
+        _ => return None,
+    })
+}
+
+/// Adds rotation angles, canonicalizing into `(−2π, 2π]` (period 4π in the
+/// matrix, so only full 4π turns may be dropped).
+fn fuse_rotation(x: f64, y: f64) -> f64 {
+    let s = x + y;
+    // Reduce modulo 4π toward a small representative, preserving the matrix.
+    let four_pi = 4.0 * std::f64::consts::PI;
+    let mut t = s % four_pi;
+    if t > 2.0 * std::f64::consts::PI {
+        t -= four_pi;
+    } else if t <= -2.0 * std::f64::consts::PI {
+        t += four_pi;
+    }
+    t
+}
+
+fn angle_sum_mod_2pi(x: f64, y: f64) -> f64 {
+    angle::normalize(x + y)
+}
+
+/// Rewrites every `H(t) · CX(c, t) · H(t)` triple (wire-adjacent) into a
+/// single `CZ(c, t)` — an exact identity that shortens mapped circuits.
+#[must_use]
+pub fn rewrite_h_cx_h(circuit: &Circuit) -> Circuit {
+    let gates = circuit.gates();
+    let mut out = Circuit::with_name(circuit.n_qubits(), circuit.name().to_string());
+    let mut i = 0;
+    while i < gates.len() {
+        if i + 2 < gates.len() {
+            let (a, b, c) = (&gates[i], &gates[i + 1], &gates[i + 2]);
+            let is_h_on = |g: &Gate, q: usize| {
+                *g.kind() == GateKind::H && g.controls().is_empty() && g.target() == q
+            };
+            if *b.kind() == GateKind::X && b.controls().len() == 1 {
+                let t = b.target();
+                if is_h_on(a, t) && is_h_on(c, t) {
+                    out.cz(b.controls()[0], t);
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        out.push(gates[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Conservative syntactic commutation check for two gates that share
+/// qubits (disjoint gates trivially commute and are handled by callers).
+///
+/// Rules (each exact, never heuristic):
+/// 1. two diagonal gates always commute (controlled-diagonal gates are
+///    diagonal as full matrices);
+/// 2. two controlled-X gates commute when they share only controls or only
+///    targets;
+/// 3. a diagonal gate acting entirely on another gate's *controls*
+///    commutes with it;
+/// 4. an uncontrolled X-axis gate (X, √X, Rx) on a controlled-X *target*
+///    commutes with it.
+#[must_use]
+pub fn gates_commute(a: &Gate, b: &Gate) -> bool {
+    if a.is_disjoint_from(b) {
+        return true;
+    }
+    let diag = |g: &Gate| *g.kind() != GateKind::Swap && g.kind().is_diagonal();
+    // Rule 1.
+    if diag(a) && diag(b) {
+        return true;
+    }
+    // Rule 2.
+    let is_cx = |g: &Gate| *g.kind() == GateKind::X && !g.controls().is_empty();
+    if is_cx(a) && is_cx(b) {
+        let shared_ct = |x: &Gate, y: &Gate| {
+            x.controls().contains(&y.target()) || y.controls().contains(&x.target())
+        };
+        if !shared_ct(a, b) {
+            return true; // overlap is controls-with-controls or target-with-target
+        }
+        return false;
+    }
+    // Rules 3 and 4 (check both orders).
+    let one_way = |d: &Gate, g: &Gate| -> bool {
+        // Rule 3: d diagonal, every shared qubit is one of g's controls.
+        if diag(d) && d.qubits().all(|q| g.controls().contains(&q) || g.qubits().all(|p| p != q)) {
+            return true;
+        }
+        // Rule 4: d is an uncontrolled X-axis gate sitting on g's X target.
+        let x_axis = matches!(
+            d.kind(),
+            GateKind::X | GateKind::Sx | GateKind::Sxdg | GateKind::Rx(_)
+        );
+        if x_axis
+            && d.controls().is_empty()
+            && *g.kind() == GateKind::X
+            && !g.controls().is_empty()
+            && d.target() == g.target()
+        {
+            return true;
+        }
+        false
+    };
+    one_way(a, b) || one_way(b, a)
+}
+
+/// Inverse-pair cancellation that sees *through* commuting gates: a pair
+/// `g … g⁻¹` cancels when every gate between the two commutes with `g`.
+///
+/// Strictly stronger than [`cancel_inverse_pairs`] (e.g. the two CX in
+/// `CX(0,1) · Rz(0,θ) · CX(0,1)` cancel because Rz sits on the control),
+/// at `O(m·w)` cost with lookahead window `w`.
+#[must_use]
+pub fn cancel_with_commutation(circuit: &Circuit) -> Circuit {
+    const WINDOW: usize = 64;
+    let mut gates: Vec<Option<Gate>> = circuit.gates().iter().cloned().map(Some).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..gates.len() {
+            let Some(gate) = gates[i].clone() else { continue };
+            let mut scanned = 0usize;
+            for j in i + 1..gates.len() {
+                if scanned >= WINDOW {
+                    break;
+                }
+                let Some(other) = gates[j].clone() else { continue };
+                scanned += 1;
+                if other.is_inverse_of(&gate) {
+                    gates[i] = None;
+                    gates[j] = None;
+                    changed = true;
+                    break;
+                }
+                if !gates_commute(&gate, &other) {
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut out = Circuit::with_name(circuit.n_qubits(), circuit.name().to_string());
+    out.extend(gates.into_iter().flatten());
+    out
+}
+
+/// Fuses every maximal run of uncontrolled single-qubit gates on a wire
+/// into at most five gates (`Rz·Ry·Rz` from the ZYZ decomposition of the
+/// run's product, plus a `P`/`Rz` pair realizing the global phase), keeping
+/// the unitary *exactly* equal.
+///
+/// Runs that would not shrink are left untouched. This is the classic
+/// simulator-side "gate fusion": long rotation chains (e.g. Trotter
+/// circuits) collapse to constant-size blocks, cutting simulation cost.
+///
+/// # Examples
+///
+/// ```
+/// use qcirc::{optimize, Circuit};
+///
+/// let mut c = Circuit::new(1);
+/// c.h(0).t(0).h(0).s(0).h(0).t(0).h(0).x(0);
+/// let fused = optimize::fuse_single_qubit_runs(&c);
+/// assert!(fused.len() <= 5);
+/// ```
+#[must_use]
+pub fn fuse_single_qubit_runs(circuit: &Circuit) -> Circuit {
+    use qnum::Matrix2;
+    let mut out = Circuit::with_name(circuit.n_qubits(), circuit.name().to_string());
+    // Pending per-qubit product and the original gates of the run.
+    let mut pending: Vec<Option<(Matrix2, Vec<Gate>)>> = vec![None; circuit.n_qubits()];
+
+    fn flush(out: &mut Circuit, q: usize, slot: &mut Option<(qnum::Matrix2, Vec<Gate>)>) {
+        let Some((product, originals)) = slot.take() else {
+            return;
+        };
+        let angles = crate::decompose::zyz(&product);
+        let mut fused: Vec<Gate> = Vec::with_capacity(5);
+        let mut push_if = |kind: GateKind, nonzero: f64| {
+            if !qnum::approx::approx_zero(nonzero) {
+                fused.push(Gate::single(kind, q));
+            }
+        };
+        push_if(GateKind::Rz(angles.delta), angles.delta);
+        push_if(GateKind::Ry(angles.gamma), angles.gamma);
+        push_if(GateKind::Rz(angles.beta), angles.beta);
+        if !qnum::approx::approx_zero(angles.alpha) {
+            // Global phase e^{iα} = P(2α) · Rz(−2α).
+            fused.push(Gate::single(GateKind::Phase(2.0 * angles.alpha), q));
+            fused.push(Gate::single(GateKind::Rz(-2.0 * angles.alpha), q));
+        }
+        if fused.len() < originals.len() {
+            out.extend(fused);
+        } else {
+            out.extend(originals);
+        }
+    }
+
+    for gate in circuit.gates() {
+        if gate.width() == 1 && gate.controls().is_empty() {
+            let q = gate.target();
+            let m = gate.kind().base_matrix().expect("single-target kind");
+            match &mut pending[q] {
+                Some((product, originals)) => {
+                    *product = m.mul(product);
+                    originals.push(gate.clone());
+                }
+                slot @ None => *slot = Some((m, vec![gate.clone()])),
+            }
+        } else {
+            for q in gate.qubits() {
+                let mut slot = pending[q].take();
+                flush(&mut out, q, &mut slot);
+            }
+            out.push(gate.clone());
+        }
+    }
+    for q in 0..circuit.n_qubits() {
+        let mut slot = pending[q].take();
+        flush(&mut out, q, &mut slot);
+    }
+    out
+}
+
+/// Runs all passes to a fixpoint (bounded by a generous iteration cap).
+///
+/// The result is strictly (not merely phase-) equivalent to the input.
+///
+/// # Examples
+///
+/// ```
+/// use qcirc::{optimize, Circuit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).h(0).rz(0.3, 1).rz(-0.3, 1).cx(0, 1).cx(0, 1);
+/// assert!(optimize::optimize(&c).is_empty());
+/// ```
+#[must_use]
+pub fn optimize(circuit: &Circuit) -> Circuit {
+    let mut current = circuit.clone();
+    for _ in 0..32 {
+        let next = rewrite_h_cx_h(&merge_rotations(&cancel_with_commutation(
+            &remove_identities(&current),
+        )));
+        if next.len() == current.len() {
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense;
+
+    fn assert_strictly_equal(a: &Circuit, b: &Circuit) {
+        assert!(
+            dense::unitary(a).approx_eq(&dense::unitary(b)),
+            "optimization changed the unitary"
+        );
+    }
+
+    #[test]
+    fn identities_are_removed() {
+        let mut c = Circuit::new(2);
+        c.id(0).x(1).p(0.0, 0).rz(0.0, 1).rz(4.0 * std::f64::consts::PI, 0);
+        let o = remove_identities(&c);
+        assert_eq!(o.len(), 1);
+        assert_strictly_equal(&c, &o);
+    }
+
+    #[test]
+    fn rz_two_pi_is_kept() {
+        // Rz(2π) = −I: a global phase, physical once controlled — must stay.
+        let mut c = Circuit::new(1);
+        c.rz(2.0 * std::f64::consts::PI, 0);
+        assert_eq!(remove_identities(&c).len(), 1);
+    }
+
+    #[test]
+    fn adjacent_self_inverse_pairs_cancel() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(0).cx(0, 1).cx(0, 1).x(1).x(1);
+        assert!(cancel_inverse_pairs(&c).is_empty());
+    }
+
+    #[test]
+    fn cancellation_cascades() {
+        // h x x h — inner pair cancels, exposing the outer pair.
+        let mut c = Circuit::new(1);
+        c.h(0).x(0).x(0).h(0);
+        assert!(cancel_inverse_pairs(&c).is_empty());
+    }
+
+    #[test]
+    fn interleaved_gate_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(0);
+        let o = cancel_inverse_pairs(&c);
+        assert_eq!(o.len(), 3);
+        assert_strictly_equal(&c, &o);
+    }
+
+    #[test]
+    fn disjoint_gate_does_not_block() {
+        let mut c = Circuit::new(2);
+        c.h(0).x(1).h(0);
+        let o = cancel_inverse_pairs(&c);
+        assert_eq!(o.len(), 1);
+        assert_strictly_equal(&c, &o);
+    }
+
+    #[test]
+    fn parameterized_inverses_cancel() {
+        let mut c = Circuit::new(2);
+        c.rz(0.7, 0).rz(-0.7, 0).crz(1.1, 0, 1).crz(-1.1, 0, 1);
+        assert!(cancel_inverse_pairs(&c).is_empty());
+    }
+
+    #[test]
+    fn rotations_merge() {
+        let mut c = Circuit::new(1);
+        c.rz(0.3, 0).rz(0.4, 0);
+        let o = merge_rotations(&c);
+        assert_eq!(o.len(), 1);
+        match o.gates()[0].kind() {
+            GateKind::Rz(t) => assert!(qnum::approx::approx_eq(*t, 0.7)),
+            k => panic!("{k:?}"),
+        }
+        assert_strictly_equal(&c, &o);
+    }
+
+    #[test]
+    fn merged_rotation_vanishing_to_identity_is_dropped() {
+        let mut c = Circuit::new(1);
+        c.rx(1.0, 0).rx(-1.0, 0);
+        assert!(merge_rotations(&c).is_empty());
+    }
+
+    #[test]
+    fn merge_respects_controls() {
+        let mut c = Circuit::new(2);
+        c.crz(0.2, 0, 1).rz(0.3, 1);
+        let o = merge_rotations(&c);
+        assert_eq!(o.len(), 2, "controlled and plain rotations must not merge");
+    }
+
+    #[test]
+    fn phase_merge_wraps_mod_2pi() {
+        let mut c = Circuit::new(1);
+        c.p(std::f64::consts::PI, 0).p(std::f64::consts::PI, 0);
+        assert!(merge_rotations(&c).is_empty());
+        assert_strictly_equal(&c, &merge_rotations(&c));
+    }
+
+    #[test]
+    fn h_cx_h_becomes_cz() {
+        let mut c = Circuit::new(2);
+        c.h(1).cx(0, 1).h(1);
+        let o = rewrite_h_cx_h(&c);
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.gates()[0].to_string(), "cz q[0], q[1]");
+        assert_strictly_equal(&c, &o);
+    }
+
+    #[test]
+    fn h_on_control_is_not_rewritten() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(0);
+        let o = rewrite_h_cx_h(&c);
+        assert_eq!(o.len(), 3);
+    }
+
+    #[test]
+    fn commutation_rules_are_sound() {
+        use crate::dense;
+        // Each claimed-commuting pair must truly commute as matrices.
+        let pairs: Vec<(Gate, Gate)> = vec![
+            (Gate::single(GateKind::Rz(0.3), 0), Gate::controlled(GateKind::Phase(0.4), vec![0], 1)),
+            (Gate::controlled(GateKind::X, vec![0], 1), Gate::controlled(GateKind::X, vec![0], 2)),
+            (Gate::controlled(GateKind::X, vec![0], 2), Gate::controlled(GateKind::X, vec![1], 2)),
+            (Gate::single(GateKind::Rx(0.7), 1), Gate::controlled(GateKind::X, vec![0], 1)),
+            (Gate::single(GateKind::T, 0), Gate::controlled(GateKind::X, vec![0], 1)),
+            (Gate::single(GateKind::X, 2), Gate::controlled(GateKind::X, vec![0, 1], 2)),
+        ];
+        for (a, b) in pairs {
+            assert!(gates_commute(&a, &b), "{a} vs {b} should be accepted");
+            let mut ab = Circuit::new(3);
+            ab.push(a.clone()).push(b.clone());
+            let mut ba = Circuit::new(3);
+            ba.push(b.clone()).push(a.clone());
+            assert!(
+                dense::unitary(&ab).approx_eq(&dense::unitary(&ba)),
+                "{a} and {b} do not actually commute!"
+            );
+        }
+        // And known non-commuting pairs must be rejected.
+        let reject: Vec<(Gate, Gate)> = vec![
+            (Gate::single(GateKind::H, 0), Gate::single(GateKind::T, 0)),
+            (Gate::controlled(GateKind::X, vec![0], 1), Gate::controlled(GateKind::X, vec![1], 0)),
+            (Gate::single(GateKind::Z, 1), Gate::controlled(GateKind::X, vec![0], 1)),
+        ];
+        for (a, b) in reject {
+            assert!(!gates_commute(&a, &b), "{a} vs {b} must be rejected");
+        }
+    }
+
+    #[test]
+    fn commutation_cancellation_beats_plain_pass() {
+        // CX(0,1) · T(0) · CX(0,1): the T sits on the control, so the CXs
+        // cancel through it.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).t(0).cx(0, 1);
+        assert_eq!(cancel_inverse_pairs(&c).len(), 3, "plain pass is blocked");
+        let o = cancel_with_commutation(&c);
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.gates()[0].to_string(), "t q[0]");
+        assert_strictly_equal(&c, &o);
+    }
+
+    #[test]
+    fn commutation_cancellation_preserves_random_circuits() {
+        for seed in 0..6 {
+            let c = crate::generators::random_clifford_t(4, 120, seed);
+            let o = cancel_with_commutation(&c);
+            assert!(o.len() <= c.len());
+            assert_strictly_equal(&c, &o);
+        }
+    }
+
+    #[test]
+    fn commutation_cancellation_is_blocked_by_true_obstructions() {
+        // H on the control does NOT commute with CX: no cancellation.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).h(0).cx(0, 1);
+        let o = cancel_with_commutation(&c);
+        assert_eq!(o.len(), 3);
+        assert_strictly_equal(&c, &o);
+    }
+
+    #[test]
+    fn fusion_preserves_unitary_exactly() {
+        for seed in 0..5 {
+            let c = crate::generators::random_clifford_t(4, 150, seed);
+            let fused = fuse_single_qubit_runs(&c);
+            assert_strictly_equal(&c, &fused);
+            assert!(fused.len() <= c.len());
+        }
+    }
+
+    #[test]
+    fn fusion_collapses_rotation_chains() {
+        let mut c = Circuit::new(2);
+        for i in 0..20 {
+            c.rz(0.1 * (i as f64 + 1.0), 0);
+            c.rx(0.05, 0);
+        }
+        c.cx(0, 1);
+        let fused = fuse_single_qubit_runs(&c);
+        assert!(fused.len() <= 6, "40 gates should fuse, got {}", fused.len());
+        assert_strictly_equal(&c, &fused);
+    }
+
+    #[test]
+    fn fusion_respects_wire_blocking() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(0); // the CX blocks fusing the two H gates
+        let fused = fuse_single_qubit_runs(&c);
+        assert_eq!(fused.len(), 3);
+        assert_strictly_equal(&c, &fused);
+    }
+
+    #[test]
+    fn fusion_keeps_short_runs_untouched() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let fused = fuse_single_qubit_runs(&c);
+        assert_eq!(fused.gates()[0].to_string(), "h q[0]");
+    }
+
+    #[test]
+    fn fusion_handles_trotter_circuits() {
+        // Trotter runs between CXs are short (≤ 4 gates), so fusion may not
+        // shrink them — but it must never grow the circuit or change it.
+        let c = crate::generators::trotter_heisenberg(2, 2, 2, 0.13, 0.4);
+        let fused = fuse_single_qubit_runs(&c);
+        assert!(fused.len() <= c.len());
+        assert_strictly_equal(&c, &fused);
+    }
+
+    #[test]
+    fn full_pipeline_preserves_random_circuits() {
+        for seed in 0..5 {
+            let c = crate::generators::random_clifford_t(4, 120, seed);
+            let o = optimize(&c);
+            assert!(o.len() <= c.len());
+            assert_strictly_equal(&c, &o);
+        }
+    }
+
+    #[test]
+    fn optimize_reaches_fixpoint_on_composed_inverse() {
+        // G · G⁻¹ should collapse dramatically (fully, for this gate set).
+        let mut g = Circuit::new(3);
+        g.h(0).cx(0, 1).t(1).cx(1, 2).rz(0.4, 2).swap(0, 2);
+        let mut gg = g.clone();
+        gg.append(&g.inverse());
+        let o = optimize(&gg);
+        assert!(o.is_empty(), "expected full cancellation, got {} gates", o.len());
+    }
+}

@@ -1,0 +1,359 @@
+//! Tokenizer for OpenQASM 2.0 source text.
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based) for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// The kinds of token OpenQASM 2.0 uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`qreg`, `gate`, `cx`, …).
+    Ident(String),
+    /// An unsigned integer literal.
+    Int(u64),
+    /// A real literal.
+    Real(f64),
+    /// A double-quoted string literal (contents only).
+    Str(String),
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `->`
+    Arrow,
+    /// `==`
+    EqEq,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Real(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Caret => write!(f, "^"),
+            TokenKind::Arrow => write!(f, "->"),
+            TokenKind::EqEq => write!(f, "=="),
+        }
+    }
+}
+
+/// Error produced when the source contains a character or literal the lexer
+/// cannot understand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes OpenQASM 2.0 source, skipping `//` comments and whitespace.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unknown characters, unterminated strings, or
+/// malformed numeric literals.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, line });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, line });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, line });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, line });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, line });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token { kind: TokenKind::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token { kind: TokenKind::RBrace, line });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, line });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, line });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, line });
+                i += 1;
+            }
+            '^' => {
+                tokens.push(Token { kind: TokenKind::Caret, line });
+                i += 1;
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token { kind: TokenKind::Arrow, line });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Minus, line });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::EqEq, line });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected '==' after '='".into(),
+                        line,
+                    });
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\n' {
+                        return Err(LexError {
+                            message: "unterminated string literal".into(),
+                            line,
+                        });
+                    }
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        line,
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(source[start..j].to_string()),
+                    line,
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.' && !saw_dot && !saw_exp {
+                        saw_dot = true;
+                        i += 1;
+                    } else if (d == 'e' || d == 'E') && !saw_exp && i > start {
+                        saw_exp = true;
+                        i += 1;
+                        if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                            i += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = &source[start..i];
+                if saw_dot || saw_exp {
+                    let v: f64 = text.parse().map_err(|_| LexError {
+                        message: format!("invalid real literal '{text}'"),
+                        line,
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Real(v), line });
+                } else {
+                    let v: u64 = text.parse().map_err(|_| LexError {
+                        message: format!("invalid integer literal '{text}'"),
+                        line,
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Int(v), line });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(source[start..i].to_string()),
+                    line,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character '{other}'"),
+                    line,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_header() {
+        let ks = kinds("OPENQASM 2.0;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("OPENQASM".into()),
+                TokenKind::Real(2.0),
+                TokenKind::Semicolon
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_gate_application() {
+        let ks = kinds("rz(pi/2) q[0];");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("rz".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("pi".into()),
+                TokenKind::Slash,
+                TokenKind::Int(2),
+                TokenKind::RParen,
+                TokenKind::Ident("q".into()),
+                TokenKind::LBracket,
+                TokenKind::Int(0),
+                TokenKind::RBracket,
+                TokenKind::Semicolon
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = tokenize("// header\nx q[1];").unwrap();
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[0].kind, TokenKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn arrow_and_equality() {
+        assert_eq!(kinds("->"), vec![TokenKind::Arrow]);
+        assert_eq!(kinds("=="), vec![TokenKind::EqEq]);
+        assert_eq!(kinds("1 - 2"), vec![TokenKind::Int(1), TokenKind::Minus, TokenKind::Int(2)]);
+    }
+
+    #[test]
+    fn string_literal() {
+        assert_eq!(
+            kinds("include \"qelib1.inc\";"),
+            vec![
+                TokenKind::Ident("include".into()),
+                TokenKind::Str("qelib1.inc".into()),
+                TokenKind::Semicolon
+            ]
+        );
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(kinds("1.5e-3"), vec![TokenKind::Real(1.5e-3)]);
+        assert_eq!(kinds("2E4"), vec![TokenKind::Real(2e4)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("x q[0]; @").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("a = b").is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! OpenQASM 2.0 support: [`parse`] source into a [`Circuit`](crate::Circuit)
+//! and [`write()`] circuits back out.
+//!
+//! The dialect supported is the `qelib1` subset used by the paper's
+//! benchmark circuits; see [`parse`] for the exact feature list.
+
+mod lexer;
+mod parser;
+mod writer;
+
+pub use lexer::{LexError, Token, TokenKind};
+pub use parser::{parse, parse_lenient, LenientParse, ParseQasmError};
+pub use writer::write;
+
+/// Reads and parses an OpenQASM 2.0 file.
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be read, or a boxed
+/// [`ParseQasmError`] if the contents do not parse. A `&mut` reference to
+/// any `Read`-free path type works via `AsRef<Path>`.
+pub fn parse_file(
+    path: impl AsRef<std::path::Path>,
+) -> Result<crate::Circuit, Box<dyn std::error::Error + Send + Sync>> {
+    let source = std::fs::read_to_string(path.as_ref())?;
+    Ok(parse(&source)?)
+}

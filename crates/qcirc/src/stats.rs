@@ -1,0 +1,150 @@
+//! Circuit statistics: the quantities benchmark tables report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+
+/// Aggregated structural statistics of a circuit.
+///
+/// # Examples
+///
+/// ```
+/// use qcirc::stats::CircuitStats;
+///
+/// let c = qcirc::generators::qft(4, true);
+/// let s = CircuitStats::of(&c);
+/// assert_eq!(s.gate_count, c.len());
+/// assert!(s.two_qubit_count > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Total gates `|G|`.
+    pub gate_count: usize,
+    /// Circuit depth (parallel layers).
+    pub depth: usize,
+    /// Gates touching exactly two qubits.
+    pub two_qubit_count: usize,
+    /// Gates touching three or more qubits.
+    pub multi_qubit_count: usize,
+    /// Depth counting only multi-qubit gates (the dominant cost on
+    /// hardware).
+    pub two_qubit_depth: usize,
+    /// T/T† gates (the magic-state cost in fault-tolerant settings).
+    pub t_count: usize,
+    /// Mnemonic → occurrence count, sorted by mnemonic.
+    pub histogram: BTreeMap<&'static str, usize>,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of a circuit in one pass (plus a depth scan).
+    #[must_use]
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut histogram: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut two_qubit_count = 0;
+        let mut multi_qubit_count = 0;
+        let mut t_count = 0;
+        for g in circuit.gates() {
+            *histogram.entry(g.kind().mnemonic()).or_insert(0) += 1;
+            match g.width() {
+                0 | 1 => {}
+                2 => two_qubit_count += 1,
+                _ => multi_qubit_count += 1,
+            }
+            if matches!(g.kind(), GateKind::T | GateKind::Tdg) {
+                t_count += 1;
+            }
+        }
+        // Two-qubit depth: layer counting restricted to entangling gates.
+        let mut frontier = vec![0usize; circuit.n_qubits()];
+        let mut two_qubit_depth = 0;
+        for g in circuit.gates() {
+            if g.width() < 2 {
+                continue;
+            }
+            let layer = g.qubits().map(|q| frontier[q]).max().unwrap_or(0) + 1;
+            for q in g.qubits() {
+                frontier[q] = layer;
+            }
+            two_qubit_depth = two_qubit_depth.max(layer);
+        }
+        CircuitStats {
+            gate_count: circuit.len(),
+            depth: circuit.depth(),
+            two_qubit_count,
+            multi_qubit_count,
+            two_qubit_depth,
+            t_count,
+            histogram,
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "gates {} | depth {} | 2q {} (depth {}) | ≥3q {} | T {}",
+            self.gate_count,
+            self.depth,
+            self.two_qubit_count,
+            self.two_qubit_depth,
+            self.multi_qubit_count,
+            self.t_count
+        )?;
+        let rendered: Vec<String> = self
+            .histogram
+            .iter()
+            .map(|(name, count)| format!("{name}:{count}"))
+            .collect();
+        write!(f, "{}", rendered.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Circuit;
+
+    #[test]
+    fn counts_a_mixed_circuit() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(0).tdg(1).cx(0, 1).ccx(0, 1, 2).swap(1, 2);
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.gate_count, 6);
+        assert_eq!(s.t_count, 2);
+        assert_eq!(s.two_qubit_count, 2); // cx + swap
+        assert_eq!(s.multi_qubit_count, 1); // ccx
+        assert_eq!(s.histogram["x"], 2); // cx + ccx share the base mnemonic
+        assert_eq!(s.histogram["h"], 1);
+    }
+
+    #[test]
+    fn two_qubit_depth_ignores_single_qubit_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(0).h(0).cx(0, 1).h(1).cx(0, 1);
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.two_qubit_depth, 2);
+        assert!(s.depth > s.two_qubit_depth);
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let s = CircuitStats::of(&Circuit::new(2));
+        assert_eq!(s.gate_count, 0);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.two_qubit_depth, 0);
+        assert!(s.histogram.is_empty());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let text = CircuitStats::of(&c).to_string();
+        assert!(text.contains("gates 2"));
+        assert!(text.contains("h:1"));
+        assert!(text.contains("x:1"));
+    }
+}

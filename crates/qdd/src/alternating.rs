@@ -1,0 +1,168 @@
+//! The improved alternating equivalence check (`G → 𝕀 ← G'`, \[22\]).
+//!
+//! Instead of building both complete system matrices, maintain a single DD
+//! `E` that converges to `U'† · U`: gates of `G` are multiplied onto the
+//! right (in reverse order), inverted gates of `G'` onto the left (also in
+//! reverse order). When the circuits are equivalent and structurally
+//! similar — the common case for design-flow outputs — `E` stays close to
+//! the identity, keeping the DD exponentially smaller than either full
+//! matrix.
+
+use std::time::Duration;
+
+use qcirc::Circuit;
+
+use crate::check::{compare_roots, DdCheckAbort, Deadline, DdEquivalence};
+use crate::package::Package;
+
+/// Checks equivalence with the alternating scheme, advancing whichever
+/// circuit has proportionally more gates left (the "proportional" strategy
+/// of \[22\]).
+///
+/// # Errors
+///
+/// Returns [`DdCheckAbort`] on timeout or node-limit exhaustion.
+///
+/// # Panics
+///
+/// Panics if the circuits' qubit counts differ from the package's.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), qdd::DdCheckAbort> {
+/// use qdd::{check_equivalence_alternating, DdEquivalence, Package};
+///
+/// let g = qcirc::generators::qft(4, true);
+/// let opt = qcirc::optimize::optimize(&g);
+/// let mut p = Package::new(4);
+/// let verdict = check_equivalence_alternating(&mut p, &g, &opt, None)?;
+/// assert!(verdict.is_equivalent());
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_equivalence_alternating(
+    package: &mut Package,
+    g: &Circuit,
+    g_prime: &Circuit,
+    deadline: Option<Duration>,
+) -> Result<DdEquivalence, DdCheckAbort> {
+    assert_eq!(
+        g.n_qubits(),
+        g_prime.n_qubits(),
+        "circuits must have equal qubit counts"
+    );
+    let deadline = Deadline::new(deadline);
+    let mut e = package.identity_medge();
+
+    // Consume both circuits back-to-front:
+    //   from G:  E ← E · U_i      (right multiplication, i = m−1 … 0)
+    //   from G': E ← U'†_j · E    (left multiplication, j = m'−1 … 0)
+    // yielding E = U'†_0 ⋯ U'†_{m'−1} · U_{m−1} ⋯ U_0 = U'† · U.
+    let g_gates = g.gates();
+    let gp_gates = g_prime.gates();
+    let (m, mp) = (g_gates.len(), gp_gates.len());
+    let (mut i, mut j) = (0usize, 0usize); // consumed counts
+
+    while i < m || j < mp {
+        deadline.check()?;
+        // Advance the side that is proportionally behind.
+        let advance_g = if j >= mp {
+            true
+        } else if i >= m {
+            false
+        } else {
+            // i/m <= j/m'  ⇔  i·m' <= j·m
+            i * mp <= j * m
+        };
+        if advance_g {
+            let gate = &g_gates[m - 1 - i];
+            let gd = package.gate_medge(gate)?;
+            e = package.mul_mm(e, gd)?;
+            i += 1;
+        } else {
+            let gate = gp_gates[mp - 1 - j].inverse();
+            let gd = package.gate_medge(&gate)?;
+            e = package.mul_mm(gd, e)?;
+            j += 1;
+        }
+        if package.wants_gc() {
+            let (roots, _) = package.compact(&[e], &[]);
+            e = roots[0];
+        }
+    }
+
+    let identity = package.identity_medge();
+    Ok(compare_roots(package, e, identity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::generators;
+    use qcirc::mapping::{route, CouplingMap, RouterOptions};
+
+    #[test]
+    fn identical_circuits_stay_at_identity() {
+        let g = generators::qft(5, true);
+        let mut p = Package::new(5);
+        let v = check_equivalence_alternating(&mut p, &g, &g, None).unwrap();
+        assert_eq!(v, DdEquivalence::Equivalent);
+    }
+
+    #[test]
+    fn agrees_with_construct_on_random_pairs() {
+        for seed in 0..4 {
+            let g = generators::random_clifford_t(4, 60, seed);
+            let optimized = qcirc::optimize::optimize(&g);
+            let mut p1 = Package::new(4);
+            let a =
+                crate::check::check_equivalence_construct(&mut p1, &g, &optimized, None).unwrap();
+            let mut p2 = Package::new(4);
+            let b = check_equivalence_alternating(&mut p2, &g, &optimized, None).unwrap();
+            assert_eq!(a.is_equivalent(), b.is_equivalent(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn detects_single_gate_errors() {
+        let g = generators::qft(4, true);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        let (buggy, _) =
+            qcirc::errors::inject(&g, qcirc::errors::ErrorKind::PerturbRotation(0.2), &mut rng)
+                .unwrap();
+        let mut p = Package::new(4);
+        let v = check_equivalence_alternating(&mut p, &g, &buggy, None).unwrap();
+        assert_eq!(v, DdEquivalence::NotEquivalent);
+    }
+
+    #[test]
+    fn mapped_circuits_keep_small_intermediate_dds() {
+        let g = generators::qft(6, true);
+        let routed = route(&g, &CouplingMap::linear(6), RouterOptions::default()).unwrap();
+        let mut p = Package::new(6);
+        let v = check_equivalence_alternating(&mut p, &g, &routed.circuit, None).unwrap();
+        assert_eq!(v, DdEquivalence::Equivalent);
+    }
+
+    #[test]
+    fn empty_against_empty() {
+        let a = qcirc::Circuit::new(3);
+        let b = qcirc::Circuit::new(3);
+        let mut p = Package::new(3);
+        let v = check_equivalence_alternating(&mut p, &a, &b, None).unwrap();
+        assert_eq!(v, DdEquivalence::Equivalent);
+    }
+
+    #[test]
+    fn unbalanced_gate_counts_are_handled() {
+        // G vs its decomposition: very different lengths.
+        let mut g = qcirc::Circuit::new(3);
+        g.ccx(0, 1, 2).swap(0, 2);
+        let lowered = qcirc::decompose::decompose_to_cx_and_single_qubit(&g);
+        assert!(lowered.len() > g.len() * 3);
+        let mut p = Package::new(3);
+        let v = check_equivalence_alternating(&mut p, &g, &lowered, None).unwrap();
+        assert!(v.is_equivalent());
+    }
+}

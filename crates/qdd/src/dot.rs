@@ -1,0 +1,205 @@
+//! Graphviz (DOT) export and size metrics for decision diagrams.
+//!
+//! DD size is the paper's complexity currency: the complete equivalence
+//! check dies exactly when these graphs explode. [`matrix_node_count`] /
+//! [`vector_node_count`] measure the reachable size of one diagram (the
+//! arenas hold *all* diagrams), and [`matrix_to_dot`] / [`vector_to_dot`]
+//! render a diagram for inspection.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::edge::{MEdge, NodeId, VEdge};
+use crate::package::Package;
+
+/// Counts the nodes reachable from a matrix DD edge (excluding the
+/// terminal).
+#[must_use]
+pub fn matrix_node_count(package: &Package, edge: MEdge) -> usize {
+    let mut seen = HashSet::new();
+    walk_m(package, edge, &mut seen);
+    seen.len()
+}
+
+fn walk_m(package: &Package, edge: MEdge, seen: &mut HashSet<NodeId>) {
+    if edge.node.is_terminal() || !seen.insert(edge.node) {
+        return;
+    }
+    for child in package.mnode_children(edge.node) {
+        walk_m(package, child, seen);
+    }
+}
+
+/// Counts the nodes reachable from a vector DD edge (excluding the
+/// terminal).
+#[must_use]
+pub fn vector_node_count(package: &Package, edge: VEdge) -> usize {
+    let mut seen = HashSet::new();
+    walk_v(package, edge, &mut seen);
+    seen.len()
+}
+
+fn walk_v(package: &Package, edge: VEdge, seen: &mut HashSet<NodeId>) {
+    if edge.node.is_terminal() || !seen.insert(edge.node) {
+        return;
+    }
+    for child in package.vnode_children(edge.node) {
+        walk_v(package, child, seen);
+    }
+}
+
+/// Renders a matrix DD as a Graphviz digraph (`dot -Tsvg` friendly).
+///
+/// Nodes are labelled with their variable level; edges with their weight
+/// (omitted when the weight is 1) and the block index `00/01/10/11`.
+#[must_use]
+pub fn matrix_to_dot(package: &Package, edge: MEdge, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=TB; node [shape=circle];");
+    let _ = writeln!(out, "  root [shape=point];");
+    let _ = writeln!(
+        out,
+        "  root -> {} [label=\"{}\"];",
+        dot_id(edge.node),
+        weight_label(package, edge.weight)
+    );
+    let mut seen = HashSet::new();
+    emit_m(package, edge.node, &mut seen, &mut out);
+    let _ = writeln!(out, "  terminal [shape=square, label=\"1\"];");
+    out.push_str("}\n");
+    out
+}
+
+fn emit_m(package: &Package, node: NodeId, seen: &mut HashSet<NodeId>, out: &mut String) {
+    if node.is_terminal() || !seen.insert(node) {
+        return;
+    }
+    let var = package.mnode_var(node);
+    let _ = writeln!(out, "  {} [label=\"q{var}\"];", dot_id(node));
+    for (i, child) in package.mnode_children(node).into_iter().enumerate() {
+        if child.is_zero() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{:02b}{}\"];",
+            dot_id(node),
+            dot_id(child.node),
+            i,
+            weight_suffix(package, child.weight)
+        );
+        emit_m(package, child.node, seen, out);
+    }
+}
+
+/// Renders a vector DD as a Graphviz digraph.
+#[must_use]
+pub fn vector_to_dot(package: &Package, edge: VEdge, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=TB; node [shape=circle];");
+    let _ = writeln!(out, "  root [shape=point];");
+    let _ = writeln!(
+        out,
+        "  root -> {} [label=\"{}\"];",
+        dot_id(edge.node),
+        weight_label(package, edge.weight)
+    );
+    let mut seen = HashSet::new();
+    emit_v(package, edge.node, &mut seen, &mut out);
+    let _ = writeln!(out, "  terminal [shape=square, label=\"1\"];");
+    out.push_str("}\n");
+    out
+}
+
+fn emit_v(package: &Package, node: NodeId, seen: &mut HashSet<NodeId>, out: &mut String) {
+    if node.is_terminal() || !seen.insert(node) {
+        return;
+    }
+    let var = package.vnode_var(node);
+    let _ = writeln!(out, "  {} [label=\"q{var}\"];", dot_id(node));
+    for (i, child) in package.vnode_children(node).into_iter().enumerate() {
+        if child.is_zero() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}{}\"];",
+            dot_id(node),
+            dot_id(child.node),
+            i,
+            weight_suffix(package, child.weight)
+        );
+        emit_v(package, child.node, seen, out);
+    }
+}
+
+fn dot_id(node: NodeId) -> String {
+    if node.is_terminal() {
+        "terminal".to_string()
+    } else {
+        format!("n{}", node.0)
+    }
+}
+
+fn weight_label(package: &Package, w: crate::complex_table::Cx) -> String {
+    let v = package.weight_value(w);
+    format!("{v}")
+}
+
+fn weight_suffix(package: &Package, w: crate::complex_table::Cx) -> String {
+    if w == crate::complex_table::Cx::ONE {
+        String::new()
+    } else {
+        format!(" ·{}", package.weight_value(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::generators;
+
+    #[test]
+    fn ghz_vector_dd_is_a_chain() {
+        let mut p = Package::new(5);
+        let v = p.apply_to_basis(&generators::ghz(5), 0).unwrap();
+        // GHZ: two branches sharing structure — O(n) nodes.
+        let count = vector_node_count(&p, v);
+        assert!(count <= 2 * 5, "GHZ DD should be linear, got {count}");
+    }
+
+    #[test]
+    fn identity_matrix_dd_is_a_chain() {
+        let p = Package::new(6);
+        assert_eq!(matrix_node_count(&p, p.identity_medge()), 6);
+    }
+
+    #[test]
+    fn supremacy_state_dd_is_large() {
+        let mut p = Package::new(12);
+        let v = p
+            .apply_to_basis(&generators::supremacy_2d(3, 4, 8, 1), 0)
+            .unwrap();
+        assert!(
+            vector_node_count(&p, v) > 100,
+            "unstructured states should have big DDs"
+        );
+    }
+
+    #[test]
+    fn dot_output_shape() {
+        let mut p = Package::new(2);
+        let v = p.apply_to_basis(&generators::bell(), 0).unwrap();
+        let dot = vector_to_dot(&p, v, "bell");
+        assert!(dot.starts_with("digraph \"bell\""));
+        assert!(dot.contains("root ->"));
+        assert!(dot.contains("terminal"));
+        assert!(dot.trim_end().ends_with('}'));
+        let u = p.circuit_medge(&generators::bell()).unwrap();
+        let mdot = matrix_to_dot(&p, u, "bell_u");
+        assert!(mdot.contains("q1"));
+        assert!(mdot.contains("q0"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Edges and nodes of the decision diagrams.
+
+use crate::complex_table::Cx;
+
+/// Index of a node in the package arena; [`NodeId::TERMINAL`] is the shared
+/// terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The terminal node (no successors; the single sink of every DD).
+    pub const TERMINAL: NodeId = NodeId(u32::MAX);
+
+    /// Returns `true` if this is the terminal node.
+    #[inline]
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        self == NodeId::TERMINAL
+    }
+}
+
+/// A weighted edge into a *matrix* DD node.
+///
+/// The matrix represented by an edge is `weight ·` (the node's matrix).
+/// Canonicity: after normalization and unique-table lookup, two edges
+/// represent the same matrix iff they are `==`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MEdge {
+    /// Target node.
+    pub node: NodeId,
+    /// Interned weight.
+    pub weight: Cx,
+}
+
+impl MEdge {
+    /// The zero matrix (terminal with weight 0) — valid at any level.
+    pub const ZERO: MEdge = MEdge {
+        node: NodeId::TERMINAL,
+        weight: Cx::ZERO,
+    };
+
+    /// A terminal edge with the given weight (a 1×1 "matrix", i.e. a scalar).
+    #[inline]
+    #[must_use]
+    pub fn terminal(weight: Cx) -> Self {
+        MEdge {
+            node: NodeId::TERMINAL,
+            weight,
+        }
+    }
+
+    /// Returns `true` if this edge denotes the zero matrix.
+    #[inline]
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.weight == Cx::ZERO
+    }
+}
+
+/// A weighted edge into a *vector* DD node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VEdge {
+    /// Target node.
+    pub node: NodeId,
+    /// Interned weight.
+    pub weight: Cx,
+}
+
+impl VEdge {
+    /// The zero vector.
+    pub const ZERO: VEdge = VEdge {
+        node: NodeId::TERMINAL,
+        weight: Cx::ZERO,
+    };
+
+    /// A terminal edge with the given weight (a scalar amplitude).
+    #[inline]
+    #[must_use]
+    pub fn terminal(weight: Cx) -> Self {
+        VEdge {
+            node: NodeId::TERMINAL,
+            weight,
+        }
+    }
+
+    /// Returns `true` if this edge denotes the zero vector.
+    #[inline]
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.weight == Cx::ZERO
+    }
+}
+
+/// A matrix DD node: variable level and the four sub-block edges in
+/// row-major order `[e00, e01, e10, e11]` (block `e_rc` is rows with qubit
+/// bit `r`, columns with qubit bit `c`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MNode {
+    /// The qubit level this node decides (qubit 0 is the bottom level).
+    pub var: u16,
+    /// Sub-block edges `[e00, e01, e10, e11]`.
+    pub children: [MEdge; 4],
+}
+
+/// A vector DD node: variable level and the two sub-vector edges
+/// `[e0, e1]` (qubit bit 0 / 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VNode {
+    /// The qubit level this node decides.
+    pub var: u16,
+    /// Sub-vector edges `[e0, e1]`.
+    pub children: [VEdge; 2],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_identification() {
+        assert!(NodeId::TERMINAL.is_terminal());
+        assert!(!NodeId(0).is_terminal());
+    }
+
+    #[test]
+    fn zero_edges() {
+        assert!(MEdge::ZERO.is_zero());
+        assert!(VEdge::ZERO.is_zero());
+        assert!(!MEdge::terminal(Cx::ONE).is_zero());
+        assert_eq!(MEdge::terminal(Cx::ZERO), MEdge::ZERO);
+    }
+}

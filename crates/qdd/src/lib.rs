@@ -1,0 +1,49 @@
+//! A QMDD-style decision diagram package for quantum functionality.
+//!
+//! This crate reimplements, from the published algorithms, the two JKU
+//! engines the paper builds on:
+//!
+//! * the DD *simulator* of reference \[25\] — [`Package::apply_to_basis`]
+//!   simulates a circuit on a basis state entirely in decision-diagram
+//!   form;
+//! * the DD *equivalence checker* of references \[21\], \[22\], \[26\] —
+//!   [`check_equivalence_construct`] builds and compares both complete
+//!   system matrices, and [`check_equivalence_alternating`] keeps a single
+//!   difference DD near the identity (`G → 𝕀 ← G'`).
+//!
+//! Canonicity (normalized, hash-consed nodes with tolerance-interned edge
+//! weights via [`ComplexTable`]) makes semantic equality a pointer
+//! comparison, which is what makes the complete check possible at all — and
+//! its exponential blow-up on unstructured circuits (node limits, timeouts)
+//! is exactly the weakness the paper's simulation-first flow exploits.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), qdd::DdCheckAbort> {
+//! use qdd::{check_equivalence_construct, DdEquivalence, Package};
+//!
+//! let g = qcirc::generators::ghz(3);
+//! let optimized = qcirc::optimize::optimize(&g);
+//! let mut package = Package::new(3);
+//! let verdict = check_equivalence_construct(&mut package, &g, &optimized, None)?;
+//! assert!(verdict.is_equivalent());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod alternating;
+mod check;
+mod complex_table;
+pub mod dot;
+mod edge;
+mod package;
+
+pub use alternating::check_equivalence_alternating;
+pub use check::{check_equivalence_construct, DdCheckAbort, DdEquivalence};
+pub use complex_table::{ComplexTable, Cx};
+pub use edge::{MEdge, MNode, NodeId, VEdge, VNode};
+pub use package::{DdLimitError, Package, PackageStats};

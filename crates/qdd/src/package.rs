@@ -1,0 +1,1548 @@
+//! The decision-diagram package: arenas, unique tables, compute tables and
+//! the DD algebra (add, multiply, adjoint, gate construction).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use qcirc::{Gate, GateKind};
+use qnum::Complex;
+
+use crate::complex_table::{ComplexTable, Cx};
+use crate::edge::{MEdge, MNode, NodeId, VEdge, VNode};
+
+/// Error raised when a DD operation would exceed the package's node limit —
+/// the "resource-out" analogue of the paper's timeouts (DD sizes explode on
+/// exactly the circuits where the EC routine times out).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DdLimitError {
+    /// The configured limit that was hit.
+    pub node_limit: usize,
+}
+
+impl fmt::Display for DdLimitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decision diagram exceeded the node limit of {}", self.node_limit)
+    }
+}
+
+impl std::error::Error for DdLimitError {}
+
+/// Aggregate size statistics of a package (see [`Package::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackageStats {
+    /// Allocated matrix nodes.
+    pub matrix_nodes: usize,
+    /// Allocated vector nodes.
+    pub vector_nodes: usize,
+    /// Distinct interned complex values.
+    pub complex_values: usize,
+}
+
+/// A QMDD-style decision diagram package over a fixed number of qubits.
+///
+/// Matrix DDs decompose a `2ⁿ×2ⁿ` matrix by the top qubit into four
+/// `2ⁿ⁻¹×2ⁿ⁻¹` blocks per node; vector DDs decompose a state vector into
+/// two halves. Edge weights are interned complex factors; nodes are
+/// *normalized* (largest-magnitude child weight scaled to 1 and pulled up)
+/// and hash-consed, so structural edge equality coincides with semantic
+/// matrix/vector equality — the property the equivalence checker relies on.
+///
+/// DDs here are *quasi-reduced*: every path visits all levels (no skipped
+/// variables), except that zero edges jump straight to the terminal.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), qdd::DdLimitError> {
+/// use qdd::Package;
+///
+/// let mut p = Package::new(2);
+/// let bell = qcirc::generators::bell();
+/// let u = p.circuit_medge(&bell)?;
+/// let v = p.apply_to_basis(&bell, 0)?;
+/// assert!((p.amplitude(v, 0).abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+/// let _ = u;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Package {
+    n_qubits: usize,
+    ct: ComplexTable,
+    mnodes: Vec<MNode>,
+    vnodes: Vec<VNode>,
+    munique: HashMap<MNode, NodeId>,
+    vunique: HashMap<VNode, NodeId>,
+    identity: Vec<MEdge>,
+    madd_cache: HashMap<(NodeId, NodeId, Cx), MEdge>,
+    mmul_cache: HashMap<(NodeId, NodeId), MEdge>,
+    mv_cache: HashMap<(NodeId, NodeId), VEdge>,
+    vadd_cache: HashMap<(NodeId, NodeId, Cx), VEdge>,
+    adj_cache: HashMap<NodeId, MEdge>,
+    ip_cache: HashMap<(NodeId, NodeId), Complex>,
+    maxabs_cache: HashMap<NodeId, f64>,
+    node_limit: usize,
+    gc_threshold: usize,
+}
+
+impl Package {
+    /// Default node limit (matrix + vector nodes combined).
+    pub const DEFAULT_NODE_LIMIT: usize = 20_000_000;
+
+    /// Default automatic-GC threshold: long-running loops compact their
+    /// arenas once this many nodes are allocated.
+    pub const DEFAULT_GC_THRESHOLD: usize = 400_000;
+
+    /// Creates a package for `n_qubits` qubits with the default node limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is zero or exceeds `u16::MAX`.
+    #[must_use]
+    pub fn new(n_qubits: usize) -> Self {
+        Self::with_node_limit(n_qubits, Self::DEFAULT_NODE_LIMIT)
+    }
+
+    /// Creates a package with an explicit node limit; operations return
+    /// [`DdLimitError`] when growth would exceed it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is zero or exceeds `u16::MAX`.
+    #[must_use]
+    pub fn with_node_limit(n_qubits: usize, node_limit: usize) -> Self {
+        assert!(n_qubits > 0, "a package needs at least one qubit");
+        assert!(n_qubits < u16::MAX as usize, "too many qubits");
+        let mut package = Package {
+            n_qubits,
+            ct: ComplexTable::new(),
+            mnodes: Vec::new(),
+            vnodes: Vec::new(),
+            munique: HashMap::new(),
+            vunique: HashMap::new(),
+            identity: Vec::new(),
+            madd_cache: HashMap::new(),
+            mmul_cache: HashMap::new(),
+            mv_cache: HashMap::new(),
+            vadd_cache: HashMap::new(),
+            adj_cache: HashMap::new(),
+            ip_cache: HashMap::new(),
+            maxabs_cache: HashMap::new(),
+            node_limit,
+            gc_threshold: Self::DEFAULT_GC_THRESHOLD.min(node_limit / 2).max(1024),
+        };
+        package.build_identity_cache();
+        package
+    }
+
+    fn build_identity_cache(&mut self) {
+        let mut below = MEdge::terminal(Cx::ONE);
+        for level in 0..self.n_qubits {
+            let e = self
+                .make_mnode(level as u16, [below, MEdge::ZERO, MEdge::ZERO, below])
+                .expect("identity fits any sane node limit");
+            self.identity.push(e);
+            below = e;
+        }
+    }
+
+    /// The number of qubits.
+    #[inline]
+    #[must_use]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The identity matrix DD over all qubits.
+    #[must_use]
+    pub fn identity_medge(&self) -> MEdge {
+        self.identity[self.n_qubits - 1]
+    }
+
+    /// The interned complex value behind a weight.
+    #[inline]
+    #[must_use]
+    pub fn weight_value(&self, w: Cx) -> Complex {
+        self.ct.value(w)
+    }
+
+    /// Current size statistics.
+    #[must_use]
+    pub fn stats(&self) -> PackageStats {
+        PackageStats {
+            matrix_nodes: self.mnodes.len(),
+            vector_nodes: self.vnodes.len(),
+            complex_values: self.ct.len(),
+        }
+    }
+
+    /// Garbage-collects the package: drops every node not reachable from
+    /// the given root edges, rebuilding arenas, unique tables and the
+    /// identity cache, and returns the remapped roots (in input order).
+    ///
+    /// All compute tables are cleared. **Every edge not passed as a root is
+    /// dangling afterwards** — holding onto one is a logic error. The
+    /// complex table is kept (weight indices stay valid).
+    ///
+    /// Long-running consumers ([`Package::circuit_medge`],
+    /// [`Package::apply_to_basis`], the equivalence checkers) call this
+    /// automatically when the arenas pass [`Package::gc_threshold`].
+    pub fn compact(
+        &mut self,
+        mroots: &[MEdge],
+        vroots: &[VEdge],
+    ) -> (Vec<MEdge>, Vec<VEdge>) {
+        let old_mnodes = std::mem::take(&mut self.mnodes);
+        let old_vnodes = std::mem::take(&mut self.vnodes);
+        self.munique.clear();
+        self.vunique.clear();
+        self.clear_compute_tables();
+        self.identity.clear();
+        self.build_identity_cache();
+
+        let mut mmemo: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut vmemo: HashMap<NodeId, NodeId> = HashMap::new();
+        let new_mroots = mroots
+            .iter()
+            .map(|&e| self.copy_medge(e, &old_mnodes, &mut mmemo))
+            .collect();
+        let new_vroots = vroots
+            .iter()
+            .map(|&e| self.copy_vedge(e, &old_vnodes, &mut vmemo))
+            .collect();
+        (new_mroots, new_vroots)
+    }
+
+    fn copy_medge(
+        &mut self,
+        edge: MEdge,
+        old_nodes: &[MNode],
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> MEdge {
+        if edge.node.is_terminal() {
+            return edge;
+        }
+        if let Some(&new_id) = memo.get(&edge.node) {
+            return MEdge {
+                node: new_id,
+                weight: edge.weight,
+            };
+        }
+        let old = old_nodes[edge.node.0 as usize];
+        let children = [
+            self.copy_medge(old.children[0], old_nodes, memo),
+            self.copy_medge(old.children[1], old_nodes, memo),
+            self.copy_medge(old.children[2], old_nodes, memo),
+            self.copy_medge(old.children[3], old_nodes, memo),
+        ];
+        // Children were already normalized, so re-making the node cannot
+        // change weights; the arena shrank, so the limit cannot trip.
+        let made = self
+            .make_mnode(old.var, children)
+            .expect("compaction shrinks the arena");
+        debug_assert_eq!(made.weight, Cx::ONE, "re-normalization must be trivial");
+        memo.insert(edge.node, made.node);
+        MEdge {
+            node: made.node,
+            weight: edge.weight,
+        }
+    }
+
+    fn copy_vedge(
+        &mut self,
+        edge: VEdge,
+        old_nodes: &[VNode],
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> VEdge {
+        if edge.node.is_terminal() {
+            return edge;
+        }
+        if let Some(&new_id) = memo.get(&edge.node) {
+            return VEdge {
+                node: new_id,
+                weight: edge.weight,
+            };
+        }
+        let old = old_nodes[edge.node.0 as usize];
+        let children = [
+            self.copy_vedge(old.children[0], old_nodes, memo),
+            self.copy_vedge(old.children[1], old_nodes, memo),
+        ];
+        let made = self
+            .make_vnode(old.var, children)
+            .expect("compaction shrinks the arena");
+        debug_assert_eq!(made.weight, Cx::ONE, "re-normalization must be trivial");
+        memo.insert(edge.node, made.node);
+        VEdge {
+            node: made.node,
+            weight: edge.weight,
+        }
+    }
+
+    /// The arena size above which long-running loops garbage-collect.
+    #[must_use]
+    pub fn gc_threshold(&self) -> usize {
+        self.gc_threshold
+    }
+
+    /// Sets the automatic-GC threshold (node count).
+    pub fn set_gc_threshold(&mut self, threshold: usize) {
+        self.gc_threshold = threshold.max(1024);
+    }
+
+    /// Returns `true` if the arenas have outgrown the GC threshold.
+    #[must_use]
+    pub fn wants_gc(&self) -> bool {
+        self.mnodes.len() + self.vnodes.len() > self.gc_threshold
+    }
+
+    /// Clears all compute tables (the unique tables and arenas stay).
+    ///
+    /// Useful between independent problems to keep cache lookups fast.
+    pub fn clear_compute_tables(&mut self) {
+        self.madd_cache.clear();
+        self.mmul_cache.clear();
+        self.mv_cache.clear();
+        self.vadd_cache.clear();
+        self.adj_cache.clear();
+        self.ip_cache.clear();
+        self.maxabs_cache.clear();
+    }
+
+    // ---- node construction --------------------------------------------------
+
+    fn check_limit(&self) -> Result<(), DdLimitError> {
+        if self.mnodes.len() + self.vnodes.len() >= self.node_limit {
+            return Err(DdLimitError {
+                node_limit: self.node_limit,
+            });
+        }
+        Ok(())
+    }
+
+    /// Creates (or finds) the normalized, hash-consed matrix node.
+    fn make_mnode(&mut self, var: u16, children: [MEdge; 4]) -> Result<MEdge, DdLimitError> {
+        if children.iter().all(|c| c.is_zero()) {
+            return Ok(MEdge::ZERO);
+        }
+        #[cfg(debug_assertions)]
+        for c in &children {
+            if !c.is_zero() {
+                if var == 0 {
+                    debug_assert!(c.node.is_terminal(), "level-0 child must be terminal");
+                } else {
+                    debug_assert!(!c.node.is_terminal(), "skipped level below var {var}");
+                    debug_assert_eq!(self.mnodes[c.node.0 as usize].var, var - 1);
+                }
+            }
+        }
+        // Normalize: pull out the largest-magnitude child weight.
+        let norm_idx = max_weight_index(&self.ct, children.iter().map(|c| c.weight));
+        let norm = children[norm_idx].weight;
+        let mut normalized = children;
+        for c in &mut normalized {
+            if !c.is_zero() {
+                c.weight = self.ct.div(c.weight, norm);
+            }
+        }
+        let node = MNode {
+            var,
+            children: normalized,
+        };
+        let id = if let Some(&id) = self.munique.get(&node) {
+            id
+        } else {
+            self.check_limit()?;
+            let id = NodeId(u32::try_from(self.mnodes.len()).expect("arena index overflow"));
+            self.mnodes.push(node);
+            self.munique.insert(node, id);
+            id
+        };
+        Ok(MEdge { node: id, weight: norm })
+    }
+
+    /// Creates (or finds) the normalized, hash-consed vector node.
+    fn make_vnode(&mut self, var: u16, children: [VEdge; 2]) -> Result<VEdge, DdLimitError> {
+        if children.iter().all(|c| c.is_zero()) {
+            return Ok(VEdge::ZERO);
+        }
+        #[cfg(debug_assertions)]
+        for c in &children {
+            if !c.is_zero() {
+                if var == 0 {
+                    debug_assert!(c.node.is_terminal(), "level-0 child must be terminal");
+                } else {
+                    debug_assert!(!c.node.is_terminal(), "skipped level below var {var}");
+                    debug_assert_eq!(self.vnodes[c.node.0 as usize].var, var - 1);
+                }
+            }
+        }
+        let norm_idx = max_weight_index(&self.ct, children.iter().map(|c| c.weight));
+        let norm = children[norm_idx].weight;
+        let mut normalized = children;
+        for c in &mut normalized {
+            if !c.is_zero() {
+                c.weight = self.ct.div(c.weight, norm);
+            }
+        }
+        let node = VNode {
+            var,
+            children: normalized,
+        };
+        let id = if let Some(&id) = self.vunique.get(&node) {
+            id
+        } else {
+            self.check_limit()?;
+            let id = NodeId(u32::try_from(self.vnodes.len()).expect("arena index overflow"));
+            self.vnodes.push(node);
+            self.vunique.insert(node, id);
+            id
+        };
+        Ok(VEdge { node: id, weight: norm })
+    }
+
+    fn mnode(&self, id: NodeId) -> &MNode {
+        &self.mnodes[id.0 as usize]
+    }
+
+    fn vnode(&self, id: NodeId) -> &VNode {
+        &self.vnodes[id.0 as usize]
+    }
+
+    /// The four sub-block edges of a matrix node (`[e00, e01, e10, e11]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is the terminal or not a live matrix node.
+    #[must_use]
+    pub fn mnode_children(&self, id: NodeId) -> [MEdge; 4] {
+        self.mnode(id).children
+    }
+
+    /// The variable level a matrix node decides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is the terminal or not a live matrix node.
+    #[must_use]
+    pub fn mnode_var(&self, id: NodeId) -> u16 {
+        self.mnode(id).var
+    }
+
+    /// The two sub-vector edges of a vector node (`[e0, e1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is the terminal or not a live vector node.
+    #[must_use]
+    pub fn vnode_children(&self, id: NodeId) -> [VEdge; 2] {
+        self.vnode(id).children
+    }
+
+    /// The variable level a vector node decides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is the terminal or not a live vector node.
+    #[must_use]
+    pub fn vnode_var(&self, id: NodeId) -> u16 {
+        self.vnode(id).var
+    }
+
+    // ---- gate construction --------------------------------------------------
+
+    /// Builds the matrix DD of a single gate over the full register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdLimitError`] if the node limit is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate does not fit the register.
+    pub fn gate_medge(&mut self, gate: &Gate) -> Result<MEdge, DdLimitError> {
+        assert!(
+            gate.max_qubit() < self.n_qubits,
+            "gate {gate} exceeds the package's {} qubits",
+            self.n_qubits
+        );
+        match gate.kind() {
+            GateKind::Swap => {
+                // SWAP (optionally controlled) = CX(b→a) · C⁺X(C∪{a}→b) · CX(b→a).
+                let (a, b) = (gate.targets()[0], gate.targets()[1]);
+                let outer = Gate::controlled(GateKind::X, vec![b], a);
+                let mut mid_controls = gate.controls().to_vec();
+                mid_controls.push(a);
+                let mid = Gate::controlled(GateKind::X, mid_controls, b);
+                let e1 = self.gate_medge(&outer)?;
+                let e2 = self.gate_medge(&mid)?;
+                let m = self.mul_mm(e2, e1)?;
+                self.mul_mm(e1, m)
+            }
+            kind => {
+                let m = kind.base_matrix().expect("single-target kind");
+                let target = gate.target();
+                let entries = [
+                    m.entry(0, 0),
+                    m.entry(0, 1),
+                    m.entry(1, 0),
+                    m.entry(1, 1),
+                ];
+                let mut em: [MEdge; 4] = [
+                    MEdge::terminal(self.ct.intern(entries[0])),
+                    MEdge::terminal(self.ct.intern(entries[1])),
+                    MEdge::terminal(self.ct.intern(entries[2])),
+                    MEdge::terminal(self.ct.intern(entries[3])),
+                ];
+                // Canonical zero edges for vanishing matrix entries.
+                for e in &mut em {
+                    if e.weight == Cx::ZERO {
+                        *e = MEdge::ZERO;
+                    }
+                }
+                let is_control = |q: usize| gate.controls().contains(&q);
+                // Levels below the target.
+                for z in 0..target {
+                    let below_id = self.identity_below(z);
+                    if is_control(z) {
+                        em = [
+                            self.make_mnode(
+                                z as u16,
+                                [below_id, MEdge::ZERO, MEdge::ZERO, em[0]],
+                            )?,
+                            self.make_mnode(
+                                z as u16,
+                                [MEdge::ZERO, MEdge::ZERO, MEdge::ZERO, em[1]],
+                            )?,
+                            self.make_mnode(
+                                z as u16,
+                                [MEdge::ZERO, MEdge::ZERO, MEdge::ZERO, em[2]],
+                            )?,
+                            self.make_mnode(
+                                z as u16,
+                                [below_id, MEdge::ZERO, MEdge::ZERO, em[3]],
+                            )?,
+                        ];
+                    } else {
+                        for e in &mut em {
+                            *e = self.make_mnode(
+                                z as u16,
+                                [*e, MEdge::ZERO, MEdge::ZERO, *e],
+                            )?;
+                        }
+                    }
+                }
+                let mut e = self.make_mnode(target as u16, em)?;
+                // Levels above the target.
+                for z in target + 1..self.n_qubits {
+                    if is_control(z) {
+                        let below_id = self.identity_below(z);
+                        e = self.make_mnode(
+                            z as u16,
+                            [below_id, MEdge::ZERO, MEdge::ZERO, e],
+                        )?;
+                    } else {
+                        e = self.make_mnode(z as u16, [e, MEdge::ZERO, MEdge::ZERO, e])?;
+                    }
+                }
+                Ok(e)
+            }
+        }
+    }
+
+    /// The identity DD over levels strictly below `z` (a scalar 1 for `z = 0`).
+    fn identity_below(&self, z: usize) -> MEdge {
+        if z == 0 {
+            MEdge::terminal(Cx::ONE)
+        } else {
+            self.identity[z - 1]
+        }
+    }
+
+    /// Builds the full system matrix DD `U = U_{m−1} ⋯ U₀` of a circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdLimitError`] if the node limit is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit's qubit count differs from the package's.
+    pub fn circuit_medge(&mut self, circuit: &qcirc::Circuit) -> Result<MEdge, DdLimitError> {
+        assert_eq!(
+            circuit.n_qubits(),
+            self.n_qubits,
+            "circuit and package qubit counts differ"
+        );
+        let mut u = self.identity_medge();
+        for gate in circuit.gates() {
+            let g = self.gate_medge(gate)?;
+            u = self.mul_mm(g, u)?;
+            if self.wants_gc() {
+                let (mroots, _) = self.compact(&[u], &[]);
+                u = mroots[0];
+            }
+        }
+        Ok(u)
+    }
+
+    // ---- matrix algebra -------------------------------------------------------
+
+    /// Matrix addition `a + b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdLimitError`] if the node limit is exceeded.
+    pub fn add_mm(&mut self, a: MEdge, b: MEdge) -> Result<MEdge, DdLimitError> {
+        if a.is_zero() {
+            return Ok(b);
+        }
+        if b.is_zero() {
+            return Ok(a);
+        }
+        if a.node.is_terminal() && b.node.is_terminal() {
+            return Ok(MEdge::terminal(self.ct.add(a.weight, b.weight)));
+        }
+        debug_assert!(!a.node.is_terminal() && !b.node.is_terminal());
+        // Canonical operand order (addition commutes).
+        let (a, b) = if (b.node, b.weight) < (a.node, a.weight) {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        // Factor a's weight out: result = a.w · (A₁ + (b.w/a.w)·B₁).
+        let rel = self.ct.div(b.weight, a.weight);
+        if let Some(&cached) = self.madd_cache.get(&(a.node, b.node, rel)) {
+            return Ok(MEdge {
+                node: cached.node,
+                weight: self.ct.mul(a.weight, cached.weight),
+            });
+        }
+        let an = *self.mnode(a.node);
+        let bn = *self.mnode(b.node);
+        debug_assert_eq!(an.var, bn.var, "misaligned add");
+        let mut children = [MEdge::ZERO; 4];
+        for i in 0..4 {
+            let bw = self.ct.mul(bn.children[i].weight, rel);
+            let b_child = MEdge {
+                node: bn.children[i].node,
+                weight: bw,
+            };
+            children[i] = self.add_mm(an.children[i], b_child)?;
+        }
+        let result = self.make_mnode(an.var, children)?;
+        self.madd_cache.insert((a.node, b.node, rel), result);
+        Ok(MEdge {
+            node: result.node,
+            weight: self.ct.mul(a.weight, result.weight),
+        })
+    }
+
+    /// Matrix multiplication `a · b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdLimitError`] if the node limit is exceeded.
+    pub fn mul_mm(&mut self, a: MEdge, b: MEdge) -> Result<MEdge, DdLimitError> {
+        if a.is_zero() || b.is_zero() {
+            return Ok(MEdge::ZERO);
+        }
+        let w = self.ct.mul(a.weight, b.weight);
+        if a.node.is_terminal() && b.node.is_terminal() {
+            return Ok(MEdge::terminal(w));
+        }
+        debug_assert!(!a.node.is_terminal() && !b.node.is_terminal());
+        if let Some(&cached) = self.mmul_cache.get(&(a.node, b.node)) {
+            return Ok(MEdge {
+                node: cached.node,
+                weight: self.ct.mul(w, cached.weight),
+            });
+        }
+        let an = *self.mnode(a.node);
+        let bn = *self.mnode(b.node);
+        debug_assert_eq!(an.var, bn.var, "misaligned multiply");
+        let mut children = [MEdge::ZERO; 4];
+        for row in 0..2 {
+            for col in 0..2 {
+                let p0 = self.mul_mm(an.children[row * 2], bn.children[col])?;
+                let p1 = self.mul_mm(an.children[row * 2 + 1], bn.children[2 + col])?;
+                children[row * 2 + col] = self.add_mm(p0, p1)?;
+            }
+        }
+        let result = self.make_mnode(an.var, children)?;
+        self.mmul_cache.insert((a.node, b.node), result);
+        Ok(MEdge {
+            node: result.node,
+            weight: self.ct.mul(w, result.weight),
+        })
+    }
+
+    /// Conjugate transpose `a†`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdLimitError`] if the node limit is exceeded.
+    pub fn adjoint(&mut self, a: MEdge) -> Result<MEdge, DdLimitError> {
+        if a.is_zero() {
+            return Ok(MEdge::ZERO);
+        }
+        let w = self.ct.conj(a.weight);
+        if a.node.is_terminal() {
+            return Ok(MEdge::terminal(w));
+        }
+        if let Some(&cached) = self.adj_cache.get(&a.node) {
+            return Ok(MEdge {
+                node: cached.node,
+                weight: self.ct.mul(w, cached.weight),
+            });
+        }
+        let an = *self.mnode(a.node);
+        let children = [
+            self.adjoint(an.children[0])?,
+            self.adjoint(an.children[2])?,
+            self.adjoint(an.children[1])?,
+            self.adjoint(an.children[3])?,
+        ];
+        let result = self.make_mnode(an.var, children)?;
+        self.adj_cache.insert(a.node, result);
+        Ok(MEdge {
+            node: result.node,
+            weight: self.ct.mul(w, result.weight),
+        })
+    }
+
+    // ---- vector algebra -------------------------------------------------------
+
+    /// Builds the basis-state vector DD `|i⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdLimitError`] if the node limit is exceeded (practically
+    /// impossible for a chain of `n` nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis ≥ 2ⁿ`.
+    pub fn basis_vedge(&mut self, basis: u64) -> Result<VEdge, DdLimitError> {
+        assert!(
+            (basis >> self.n_qubits) == 0,
+            "basis state {basis} out of range for {} qubits",
+            self.n_qubits
+        );
+        let mut e = VEdge::terminal(Cx::ONE);
+        for z in 0..self.n_qubits {
+            let bit = (basis >> z) & 1;
+            let children = if bit == 0 {
+                [e, VEdge::ZERO]
+            } else {
+                [VEdge::ZERO, e]
+            };
+            e = self.make_vnode(z as u16, children)?;
+        }
+        Ok(e)
+    }
+
+    /// Builds a vector DD from a dense amplitude array (length `2ⁿ`),
+    /// recursively splitting on the top qubit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdLimitError`] if the node limit is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitudes.len() != 2ⁿ`.
+    pub fn vedge_from_amplitudes(
+        &mut self,
+        amplitudes: &[Complex],
+    ) -> Result<VEdge, DdLimitError> {
+        assert_eq!(
+            amplitudes.len(),
+            1usize << self.n_qubits,
+            "amplitude count must be 2^n"
+        );
+        self.vedge_from_slice(amplitudes, self.n_qubits)
+    }
+
+    fn vedge_from_slice(
+        &mut self,
+        amps: &[Complex],
+        levels: usize,
+    ) -> Result<VEdge, DdLimitError> {
+        if levels == 0 {
+            let a = amps[0];
+            if a.approx_zero() {
+                return Ok(VEdge::ZERO);
+            }
+            return Ok(VEdge::terminal(self.ct.intern(a)));
+        }
+        let half = amps.len() / 2;
+        // Qubit `levels-1` is the most significant bit of the index: the
+        // low half of the array has it 0, the high half 1.
+        let lo = self.vedge_from_slice(&amps[..half], levels - 1)?;
+        let hi = self.vedge_from_slice(&amps[half..], levels - 1)?;
+        self.make_vnode((levels - 1) as u16, [lo, hi])
+    }
+
+    /// Vector addition `a + b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdLimitError`] if the node limit is exceeded.
+    pub fn add_vv(&mut self, a: VEdge, b: VEdge) -> Result<VEdge, DdLimitError> {
+        if a.is_zero() {
+            return Ok(b);
+        }
+        if b.is_zero() {
+            return Ok(a);
+        }
+        if a.node.is_terminal() && b.node.is_terminal() {
+            return Ok(VEdge::terminal(self.ct.add(a.weight, b.weight)));
+        }
+        debug_assert!(!a.node.is_terminal() && !b.node.is_terminal());
+        let (a, b) = if (b.node, b.weight) < (a.node, a.weight) {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        let rel = self.ct.div(b.weight, a.weight);
+        if let Some(&cached) = self.vadd_cache.get(&(a.node, b.node, rel)) {
+            return Ok(VEdge {
+                node: cached.node,
+                weight: self.ct.mul(a.weight, cached.weight),
+            });
+        }
+        let an = *self.vnode(a.node);
+        let bn = *self.vnode(b.node);
+        debug_assert_eq!(an.var, bn.var, "misaligned vector add");
+        let mut children = [VEdge::ZERO; 2];
+        for i in 0..2 {
+            let bw = self.ct.mul(bn.children[i].weight, rel);
+            children[i] = self.add_vv(
+                an.children[i],
+                VEdge {
+                    node: bn.children[i].node,
+                    weight: bw,
+                },
+            )?;
+        }
+        let result = self.make_vnode(an.var, children)?;
+        self.vadd_cache.insert((a.node, b.node, rel), result);
+        Ok(VEdge {
+            node: result.node,
+            weight: self.ct.mul(a.weight, result.weight),
+        })
+    }
+
+    /// Matrix-vector product `m · v` — one simulation step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdLimitError`] if the node limit is exceeded.
+    pub fn mul_mv(&mut self, m: MEdge, v: VEdge) -> Result<VEdge, DdLimitError> {
+        if m.is_zero() || v.is_zero() {
+            return Ok(VEdge::ZERO);
+        }
+        let w = self.ct.mul(m.weight, v.weight);
+        if m.node.is_terminal() && v.node.is_terminal() {
+            return Ok(VEdge::terminal(w));
+        }
+        debug_assert!(!m.node.is_terminal() && !v.node.is_terminal());
+        if let Some(&cached) = self.mv_cache.get(&(m.node, v.node)) {
+            return Ok(VEdge {
+                node: cached.node,
+                weight: self.ct.mul(w, cached.weight),
+            });
+        }
+        let mn = *self.mnode(m.node);
+        let vn = *self.vnode(v.node);
+        debug_assert_eq!(mn.var, vn.var, "misaligned matrix-vector multiply");
+        let mut children = [VEdge::ZERO; 2];
+        for row in 0..2 {
+            let p0 = self.mul_mv(mn.children[row * 2], vn.children[0])?;
+            let p1 = self.mul_mv(mn.children[row * 2 + 1], vn.children[1])?;
+            children[row] = self.add_vv(p0, p1)?;
+        }
+        let result = self.make_vnode(mn.var, children)?;
+        self.mv_cache.insert((m.node, v.node), result);
+        Ok(VEdge {
+            node: result.node,
+            weight: self.ct.mul(w, result.weight),
+        })
+    }
+
+    /// Simulates a circuit on basis state `|basis⟩` entirely in DD form —
+    /// the engine of \[25\].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdLimitError`] if the node limit is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit's qubit count differs from the package's.
+    pub fn apply_to_basis(
+        &mut self,
+        circuit: &qcirc::Circuit,
+        basis: u64,
+    ) -> Result<VEdge, DdLimitError> {
+        assert_eq!(
+            circuit.n_qubits(),
+            self.n_qubits,
+            "circuit and package qubit counts differ"
+        );
+        let mut v = self.basis_vedge(basis)?;
+        for gate in circuit.gates() {
+            let g = self.gate_medge(gate)?;
+            v = self.mul_mv(g, v)?;
+            if self.wants_gc() {
+                let (_, vroots) = self.compact(&[], &[v]);
+                v = vroots[0];
+            }
+        }
+        Ok(v)
+    }
+
+    /// The amplitude `⟨basis|v⟩` of a vector DD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis ≥ 2ⁿ`.
+    #[must_use]
+    pub fn amplitude(&self, v: VEdge, basis: u64) -> Complex {
+        assert!(
+            (basis >> self.n_qubits) == 0,
+            "basis state {basis} out of range"
+        );
+        let mut w = self.ct.value(v.weight);
+        let mut node = v.node;
+        while !node.is_terminal() {
+            let n = self.vnode(node);
+            let level = n.var as usize;
+            let child = n.children[((basis >> level) & 1) as usize];
+            if child.is_zero() {
+                return Complex::ZERO;
+            }
+            w = w * self.ct.value(child.weight);
+            node = child.node;
+        }
+        w
+    }
+
+    /// Expands a vector DD into a dense amplitude vector (tests and tiny
+    /// instances only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the package has more than 20 qubits.
+    #[must_use]
+    pub fn to_statevector(&self, v: VEdge) -> Vec<Complex> {
+        assert!(self.n_qubits <= 20, "dense expansion limited to 20 qubits");
+        let dim = 1usize << self.n_qubits;
+        (0..dim as u64).map(|i| self.amplitude(v, i)).collect()
+    }
+
+    /// The squared norm `⟨v|v⟩` of a vector DD (1 for simulation outputs).
+    pub fn vector_norm_sqr(&mut self, v: VEdge) -> f64 {
+        self.inner_product(v, v).re
+    }
+
+    /// Samples one full-register measurement outcome from a vector DD
+    /// without expanding amplitudes — the DDSIM-style sampler: walk from
+    /// the root, branching with probability proportional to each child
+    /// subtree's squared norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is the zero vector.
+    pub fn sample_vedge(&mut self, v: VEdge, rng: &mut rand::rngs::StdRng) -> u64 {
+        use rand::Rng;
+        assert!(!v.is_zero(), "cannot sample the zero vector");
+        let mut outcome = 0u64;
+        let mut node = v.node;
+        while !node.is_terminal() {
+            let n = *self.vnode(node);
+            let weight = |p: &mut Self, e: VEdge| -> f64 {
+                if e.is_zero() {
+                    0.0
+                } else {
+                    let child_norm = if e.node.is_terminal() {
+                        1.0
+                    } else {
+                        p.subtree_norm_sqr(e.node)
+                    };
+                    p.ct.value(e.weight).norm_sqr() * child_norm
+                }
+            };
+            let p0 = weight(self, n.children[0]);
+            let p1 = weight(self, n.children[1]);
+            let total = p0 + p1;
+            debug_assert!(total > 0.0, "dead branch in a nonzero vector DD");
+            let take_one = rng.gen::<f64>() * total >= p0;
+            if take_one {
+                outcome |= 1 << n.var;
+                node = n.children[1].node;
+            } else {
+                node = n.children[0].node;
+            }
+        }
+        outcome
+    }
+
+    /// The squared norm of the sub-vector rooted at a node (weight-1 root),
+    /// memoized via the inner-product cache.
+    fn subtree_norm_sqr(&mut self, node: NodeId) -> f64 {
+        let e = VEdge {
+            node,
+            weight: Cx::ONE,
+        };
+        self.inner_product(e, e).re
+    }
+
+    /// The inner product `⟨a|b⟩` of two vector DDs.
+    pub fn inner_product(&mut self, a: VEdge, b: VEdge) -> Complex {
+        if a.is_zero() || b.is_zero() {
+            return Complex::ZERO;
+        }
+        let factor = self.ct.value(a.weight).conj() * self.ct.value(b.weight);
+        if a.node.is_terminal() && b.node.is_terminal() {
+            return factor;
+        }
+        debug_assert!(!a.node.is_terminal() && !b.node.is_terminal());
+        if let Some(&cached) = self.ip_cache.get(&(a.node, b.node)) {
+            return factor * cached;
+        }
+        let an = *self.vnode(a.node);
+        let bn = *self.vnode(b.node);
+        debug_assert_eq!(an.var, bn.var, "misaligned inner product");
+        let mut sum = Complex::ZERO;
+        for i in 0..2 {
+            sum += self.inner_product(an.children[i], bn.children[i]);
+        }
+        self.ip_cache.insert((a.node, b.node), sum);
+        factor * sum
+    }
+
+    // ---- equality -------------------------------------------------------------
+
+    /// Exact (structural = semantic) equality of matrix DDs.
+    #[must_use]
+    pub fn medges_equal(&self, a: MEdge, b: MEdge) -> bool {
+        a == b
+    }
+
+    /// The largest entry magnitude `max_{ij} |M_{ij}|` of a matrix DD,
+    /// computed recursively (memoized per node).
+    pub fn max_abs(&mut self, e: MEdge) -> f64 {
+        if e.is_zero() {
+            return 0.0;
+        }
+        self.ct.value(e.weight).abs() * self.node_max_abs(e.node)
+    }
+
+    fn node_max_abs(&mut self, node: NodeId) -> f64 {
+        if node.is_terminal() {
+            return 1.0;
+        }
+        if let Some(&cached) = self.maxabs_cache.get(&node) {
+            return cached;
+        }
+        let children = self.mnode(node).children;
+        let mut best = 0.0f64;
+        for c in children {
+            if c.is_zero() {
+                continue;
+            }
+            let v = self.ct.value(c.weight).abs() * self.node_max_abs(c.node);
+            if v > best {
+                best = v;
+            }
+        }
+        self.maxabs_cache.insert(node, best);
+        best
+    }
+
+    /// Scales a matrix DD by a complex factor (adjusts the root weight).
+    pub fn scale_medge(&mut self, e: MEdge, factor: Complex) -> MEdge {
+        if e.is_zero() || factor.approx_zero() {
+            return MEdge::ZERO;
+        }
+        let w = self.ct.value(e.weight) * factor;
+        MEdge {
+            node: e.node,
+            weight: self.ct.intern(w),
+        }
+    }
+
+    /// Entry-wise closeness of two matrix DDs: `max |A − B| ≤ tolerance`.
+    ///
+    /// This is the drift-tolerant comparison backing the equivalence
+    /// checkers: canonical (pointer) equality can be defeated by
+    /// accumulated interning rounding on very deep circuits, whereas the
+    /// explicit difference bound cannot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdLimitError`] if building the difference DD exceeds the
+    /// node limit.
+    pub fn medges_close(
+        &mut self,
+        a: MEdge,
+        b: MEdge,
+        tolerance: f64,
+    ) -> Result<bool, DdLimitError> {
+        if a == b {
+            return Ok(true);
+        }
+        let minus_b = self.scale_medge(b, Complex::real(-1.0));
+        let diff = self.add_mm(a, minus_b)?;
+        Ok(self.max_abs(diff) <= tolerance)
+    }
+
+    /// The first nonzero entry of column 0, as `(row, value)` — used to
+    /// estimate a candidate global-phase ratio between two unitaries.
+    #[must_use]
+    pub fn first_entry_in_column0(&self, e: MEdge) -> Option<(u64, Complex)> {
+        if e.is_zero() {
+            return None;
+        }
+        let mut value = self.ct.value(e.weight);
+        let mut node = e.node;
+        let mut row = 0u64;
+        while !node.is_terminal() {
+            let n = self.mnode(node);
+            // Column bit is 0 at every level; prefer the row-0 block.
+            let (child, bit) = if !n.children[0].is_zero() {
+                (n.children[0], 0u64)
+            } else if !n.children[2].is_zero() {
+                (n.children[2], 1u64)
+            } else {
+                return None; // column 0 is entirely zero
+            };
+            row |= bit << n.var;
+            value = value * self.ct.value(child.weight);
+            node = child.node;
+        }
+        Some((row, value))
+    }
+
+    /// Equality of matrix DDs up to one global phase factor.
+    #[must_use]
+    pub fn medges_equal_up_to_phase(&self, a: MEdge, b: MEdge) -> bool {
+        a.node == b.node
+            && qnum::approx::approx_eq(
+                self.ct.value(a.weight).abs(),
+                self.ct.value(b.weight).abs(),
+            )
+    }
+
+    /// Returns `true` if the matrix DD is exactly the identity.
+    #[must_use]
+    pub fn is_identity(&self, e: MEdge) -> bool {
+        e == self.identity_medge()
+    }
+
+    /// Returns `true` if the matrix DD is the identity up to a global phase.
+    #[must_use]
+    pub fn is_identity_up_to_phase(&self, e: MEdge) -> bool {
+        self.medges_equal_up_to_phase(e, self.identity_medge())
+    }
+
+    /// Exact equality of vector DDs.
+    #[must_use]
+    pub fn vedges_equal(&self, a: VEdge, b: VEdge) -> bool {
+        a == b
+    }
+
+    /// Equality of vector DDs up to one global phase factor.
+    #[must_use]
+    pub fn vedges_equal_up_to_phase(&self, a: VEdge, b: VEdge) -> bool {
+        a.node == b.node
+            && qnum::approx::approx_eq(
+                self.ct.value(a.weight).abs(),
+                self.ct.value(b.weight).abs(),
+            )
+    }
+
+    /// Expands a matrix DD into a dense matrix (tests and the Fig. 1
+    /// reproduction only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the package has more than 10 qubits.
+    #[must_use]
+    pub fn to_matrix(&self, e: MEdge) -> qnum::MatrixN {
+        assert!(self.n_qubits <= 10, "dense expansion limited to 10 qubits");
+        let mut m = qnum::MatrixN::zero(self.n_qubits);
+        let dim = 1usize << self.n_qubits;
+        for row in 0..dim {
+            for col in 0..dim {
+                m.set(row, col, self.matrix_entry(e, row, col));
+            }
+        }
+        m
+    }
+
+    /// A single matrix entry `⟨row|M|col⟩` of a matrix DD.
+    #[must_use]
+    fn matrix_entry(&self, e: MEdge, row: usize, col: usize) -> Complex {
+        let mut w = self.ct.value(e.weight);
+        if e.is_zero() {
+            return Complex::ZERO;
+        }
+        let mut node = e.node;
+        while !node.is_terminal() {
+            let n = self.mnode(node);
+            let level = n.var as usize;
+            let r = (row >> level) & 1;
+            let c = (col >> level) & 1;
+            let child = n.children[r * 2 + c];
+            if child.is_zero() {
+                return Complex::ZERO;
+            }
+            w = w * self.ct.value(child.weight);
+            node = child.node;
+        }
+        w
+    }
+}
+
+/// Index of the largest-magnitude weight (first among near-ties), used for
+/// node normalization.
+fn max_weight_index(ct: &ComplexTable, weights: impl Iterator<Item = Cx>) -> usize {
+    let mut best: Option<usize> = None;
+    let mut best_mag = 0.0f64;
+    for (i, w) in weights.enumerate() {
+        if w == Cx::ZERO {
+            continue; // a zero weight can never normalize a nonzero node
+        }
+        let mag = ct.value(w).norm_sqr();
+        // Keep the first index among near-ties (relative epsilon), so that
+        // re-normalizing an already-normalized node is the identity — the
+        // property GC compaction and canonicity depend on.
+        match best {
+            None => {
+                best = Some(i);
+                best_mag = mag;
+            }
+            Some(_) if mag > best_mag * (1.0 + 1e-9) => {
+                best = Some(i);
+                best_mag = mag;
+            }
+            Some(_) => {}
+        }
+    }
+    best.expect("caller guarantees at least one nonzero weight")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::{generators, Circuit};
+
+    #[test]
+    fn identity_dd_matches_dense() {
+        let p = Package::new(3);
+        let id = p.identity_medge();
+        assert!(p.to_matrix(id).approx_eq(&qnum::MatrixN::identity(3)));
+        assert!(p.is_identity(id));
+    }
+
+    #[test]
+    fn single_gate_dds_match_dense() {
+        for (n, gate) in [
+            (1, Gate::single(GateKind::H, 0)),
+            (2, Gate::single(GateKind::T, 1)),
+            (2, Gate::controlled(GateKind::X, vec![0], 1)),
+            (2, Gate::controlled(GateKind::X, vec![1], 0)),
+            (3, Gate::controlled(GateKind::Z, vec![2], 0)),
+            (3, Gate::controlled(GateKind::X, vec![0, 2], 1)),
+            (3, Gate::swap(0, 2)),
+            (3, Gate::controlled_swap(vec![1], 0, 2)),
+            (4, Gate::controlled(GateKind::Phase(0.7), vec![1, 3], 0)),
+        ] {
+            let mut p = Package::new(n);
+            let e = p.gate_medge(&gate).unwrap();
+            let mut c = Circuit::new(n);
+            c.push(gate.clone());
+            let expect = qcirc::dense::unitary(&c);
+            assert!(
+                p.to_matrix(e).approx_eq(&expect),
+                "gate {gate} on {n} qubits"
+            );
+        }
+    }
+
+    #[test]
+    fn circuit_dd_matches_dense_on_random_circuits() {
+        for seed in 0..4 {
+            let c = generators::random_clifford_t(4, 40, seed);
+            let mut p = Package::new(4);
+            let u = p.circuit_medge(&c).unwrap();
+            assert!(p.to_matrix(u).approx_eq(&qcirc::dense::unitary(&c)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn equal_circuits_share_one_canonical_edge() {
+        let c = generators::qft(4, true);
+        let mut p = Package::new(4);
+        let u1 = p.circuit_medge(&c).unwrap();
+        let u2 = p.circuit_medge(&c).unwrap();
+        assert_eq!(u1, u2, "canonical DDs must be pointer-identical");
+    }
+
+    #[test]
+    fn different_circuits_have_different_edges() {
+        let mut p = Package::new(3);
+        let a = p.circuit_medge(&generators::ghz(3)).unwrap();
+        let mut buggy = generators::ghz(3);
+        buggy.x(1);
+        let b = p.circuit_medge(&buggy).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn adjoint_inverts_unitary_dds() {
+        let c = generators::random_clifford_t(4, 30, 9);
+        let mut p = Package::new(4);
+        let u = p.circuit_medge(&c).unwrap();
+        let udag = p.adjoint(u).unwrap();
+        let prod = p.mul_mm(udag, u).unwrap();
+        assert!(p.is_identity_up_to_phase(prod));
+        assert!(p.is_identity(prod), "U†U must be exactly I");
+    }
+
+    #[test]
+    fn add_and_scalar_structure() {
+        let mut p = Package::new(2);
+        let id = p.identity_medge();
+        let sum = p.add_mm(id, id).unwrap();
+        // I + I = 2I: same node, weight 2.
+        assert_eq!(sum.node, id.node);
+        assert!(p.weight_value(sum.weight).approx_eq(Complex::real(2.0)));
+    }
+
+    #[test]
+    fn mul_against_dense_includes_phases() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(0).cx(0, 2).rz(0.9, 2).ccx(0, 1, 2).sdg(1).swap(0, 1);
+        let mut p = Package::new(3);
+        let u = p.circuit_medge(&c).unwrap();
+        assert!(p.to_matrix(u).approx_eq(&qcirc::dense::unitary(&c)));
+    }
+
+    #[test]
+    fn basis_vector_amplitudes() {
+        let mut p = Package::new(3);
+        let v = p.basis_vedge(0b101).unwrap();
+        assert!(p.amplitude(v, 0b101).approx_one());
+        assert!(p.amplitude(v, 0b001).approx_zero());
+        let dense = p.to_statevector(v);
+        assert_eq!(dense.len(), 8);
+        assert!(dense[5].approx_one());
+    }
+
+    #[test]
+    fn dd_simulation_matches_statevector_simulation() {
+        let sim = qsim::Simulator::new();
+        for seed in 0..3 {
+            let c = generators::random_clifford_t(5, 60, seed);
+            let mut p = Package::new(5);
+            for basis in [0u64, 9, 31] {
+                let v = p.apply_to_basis(&c, basis).unwrap();
+                let expect = sim.run_basis(&c, basis);
+                let got = p.to_statevector(v);
+                for (a, b) in got.iter().zip(expect.amplitudes()) {
+                    assert!(a.approx_eq(*b), "seed {seed} basis {basis}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dd_simulation_of_ghz_is_compact() {
+        let mut p = Package::new(10);
+        let v = p.apply_to_basis(&generators::ghz(10), 0).unwrap();
+        let h = qnum::FRAC_1_SQRT_2;
+        assert!((p.amplitude(v, 0).abs() - h).abs() < 1e-10);
+        assert!((p.amplitude(v, (1 << 10) - 1).abs() - h).abs() < 1e-10);
+        // GHZ states are linear chains; even counting every intermediate
+        // state of the simulation the node count stays far below 2¹⁰.
+        assert!(p.stats().vector_nodes < 300, "got {}", p.stats().vector_nodes);
+    }
+
+    #[test]
+    fn inner_product_matches_dense() {
+        let sim = qsim::Simulator::new();
+        let g = generators::qft(4, true);
+        let mut buggy = g.clone();
+        buggy.x(2);
+        let mut p = Package::new(4);
+        let va = p.apply_to_basis(&g, 3).unwrap();
+        let vb = p.apply_to_basis(&buggy, 3).unwrap();
+        let ip_dd = p.inner_product(va, vb);
+        let sa = sim.run_basis(&g, 3);
+        let sb = sim.run_basis(&buggy, 3);
+        let ip_sv = sa.inner_product(&sb);
+        assert!(ip_dd.approx_eq_with(ip_sv, 1e-8));
+        // Self inner product is 1.
+        assert!(p.inner_product(va, va).approx_one());
+    }
+
+    #[test]
+    fn vector_phase_equality() {
+        let mut p = Package::new(2);
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1);
+        let mut b = a.clone();
+        b.rz(2.0 * std::f64::consts::PI, 0); // −1 global phase on the support
+        let va = p.apply_to_basis(&a, 0).unwrap();
+        let vb = p.apply_to_basis(&b, 0).unwrap();
+        assert!(!p.vedges_equal(va, vb));
+        assert!(p.vedges_equal_up_to_phase(va, vb));
+    }
+
+    #[test]
+    fn vedge_from_amplitudes_roundtrips() {
+        let mut p = Package::new(3);
+        let c = generators::qft(3, true);
+        let sv = qsim::Simulator::new().run_basis(&c, 5);
+        let v = p.vedge_from_amplitudes(sv.amplitudes()).unwrap();
+        for (i, amp) in p.to_statevector(v).iter().enumerate() {
+            assert!(amp.approx_eq(sv.amplitudes()[i]), "index {i}");
+        }
+        // Canonicity across construction paths: the DD built from dense
+        // amplitudes equals the DD built by simulation.
+        let direct = p.apply_to_basis(&c, 5).unwrap();
+        assert_eq!(v, direct);
+    }
+
+    #[test]
+    fn vedge_from_amplitudes_handles_sparsity() {
+        let mut p = Package::new(4);
+        let mut amps = vec![Complex::ZERO; 16];
+        amps[9] = Complex::ONE;
+        let v = p.vedge_from_amplitudes(&amps).unwrap();
+        let basis = p.basis_vedge(9).unwrap();
+        assert_eq!(v, basis);
+    }
+
+    #[test]
+    fn dd_sampling_matches_the_distribution() {
+        use rand::SeedableRng;
+        // GHZ: outcomes must be all-zeros or all-ones, roughly balanced.
+        let mut p = Package::new(6);
+        let v = p.apply_to_basis(&generators::ghz(6), 0).unwrap();
+        assert!((p.vector_norm_sqr(v) - 1.0).abs() < 1e-9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut ones = 0;
+        let trials = 400;
+        for _ in 0..trials {
+            let sample = p.sample_vedge(v, &mut rng);
+            assert!(sample == 0 || sample == 0b111111, "impossible outcome {sample:b}");
+            if sample != 0 {
+                ones += 1;
+            }
+        }
+        assert!(ones > trials / 4 && ones < 3 * trials / 4, "imbalanced: {ones}/{trials}");
+    }
+
+    #[test]
+    fn dd_sampling_respects_biased_amplitudes() {
+        use rand::SeedableRng;
+        // Ry(θ)|0⟩ with sin²(θ/2) ≈ 0.1: outcome 1 should appear ~10%.
+        let theta = 2.0f64 * (0.1f64).sqrt().asin();
+        let mut c = qcirc::Circuit::new(1);
+        c.ry(theta, 0);
+        let mut p = Package::new(1);
+        let v = p.apply_to_basis(&c, 0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let trials = 3000;
+        let ones: usize = (0..trials)
+            .map(|_| p.sample_vedge(v, &mut rng) as usize)
+            .sum();
+        let rate = ones as f64 / trials as f64;
+        assert!((rate - 0.1).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let mut p = Package::with_node_limit(12, 40);
+        // A supremacy-style circuit blows past 40 nodes immediately.
+        let c = generators::supremacy_2d(3, 4, 8, 1);
+        let err = p.circuit_medge(&c).unwrap_err();
+        assert_eq!(err.node_limit, 40);
+        assert!(err.to_string().contains("node limit"));
+    }
+
+    #[test]
+    fn clear_compute_tables_keeps_results_valid() {
+        let mut p = Package::new(3);
+        let u1 = p.circuit_medge(&generators::ghz(3)).unwrap();
+        p.clear_compute_tables();
+        let u2 = p.circuit_medge(&generators::ghz(3)).unwrap();
+        assert_eq!(u1, u2);
+    }
+
+    #[test]
+    fn compact_preserves_semantics_and_shrinks() {
+        let c = generators::qft(6, true);
+        let mut p = Package::new(6);
+        let u = p.circuit_medge(&c).unwrap();
+        let dense_before = p.to_matrix(u);
+        let v = p.apply_to_basis(&c, 5).unwrap();
+        let amps_before = p.to_statevector(v);
+        let before = p.stats();
+        let (mroots, vroots) = p.compact(&[u], &[v]);
+        let after = p.stats();
+        assert!(
+            after.matrix_nodes + after.vector_nodes
+                <= before.matrix_nodes + before.vector_nodes
+        );
+        assert!(p.to_matrix(mroots[0]).approx_eq(&dense_before));
+        for (a, b) in p.to_statevector(vroots[0]).iter().zip(amps_before.iter()) {
+            assert!(a.approx_eq(*b));
+        }
+        // Remapped edges stay canonical: rebuilding the circuit after the
+        // collection yields the same edge again.
+        let u2 = p.circuit_medge(&c).unwrap();
+        assert_eq!(u2, mroots[0]);
+    }
+
+    #[test]
+    fn automatic_gc_keeps_long_simulations_bounded() {
+        // QFT 32 on a basis state stays a product state; with a tiny GC
+        // threshold the arenas must stay far below gate count × height.
+        let c = generators::qft(32, false);
+        let mut p = Package::new(32);
+        p.set_gc_threshold(20_000);
+        let v = p.apply_to_basis(&c, 0xDEAD_BEEF).unwrap();
+        assert!((p.amplitude(v, 0).abs() - 1.0 / f64::powi(2.0, 16)).abs() < 1e-9);
+        let stats = p.stats();
+        assert!(
+            stats.matrix_nodes + stats.vector_nodes < 60_000,
+            "GC failed to bound arenas: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn gc_threshold_accessors() {
+        let mut p = Package::new(2);
+        p.set_gc_threshold(5000);
+        assert_eq!(p.gc_threshold(), 5000);
+        assert!(!p.wants_gc());
+        p.set_gc_threshold(0); // clamped
+        assert!(p.gc_threshold() >= 1024);
+    }
+
+    #[test]
+    fn stats_grow_with_work() {
+        let mut p = Package::new(4);
+        let before = p.stats();
+        let _ = p.circuit_medge(&generators::qft(4, false)).unwrap();
+        let after = p.stats();
+        assert!(after.matrix_nodes > before.matrix_nodes);
+        assert!(after.complex_values > before.complex_values);
+    }
+}

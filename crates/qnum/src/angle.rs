@@ -1,0 +1,83 @@
+//! Rotation-angle canonicalization.
+//!
+//! Rotation gates are periodic: `Rz(θ)` equals `Rz(θ + 4π)` exactly and
+//! `Rz(θ + 2π)` up to a global phase of −1. Transpiler passes that merge
+//! rotations and the error injector that perturbs them both need a canonical
+//! representative, otherwise textually different but functionally identical
+//! circuits are produced.
+//!
+//! # Examples
+//!
+//! ```
+//! use qnum::angle::{normalize, approx_eq_mod_2pi};
+//! use std::f64::consts::PI;
+//!
+//! assert!((normalize(3.0 * PI) - (-PI)).abs() < 1e-12 || (normalize(3.0 * PI) - PI).abs() < 1e-12);
+//! assert!(approx_eq_mod_2pi(0.1, 0.1 + 2.0 * PI));
+//! ```
+
+use std::f64::consts::PI;
+
+const TWO_PI: f64 = 2.0 * PI;
+
+/// Maps an angle into the canonical interval `(-π, π]`.
+#[must_use]
+pub fn normalize(theta: f64) -> f64 {
+    let mut t = theta % TWO_PI;
+    if t <= -PI {
+        t += TWO_PI;
+    } else if t > PI {
+        t -= TWO_PI;
+    }
+    t
+}
+
+/// Returns `true` if two angles are congruent modulo 2π (within the
+/// workspace tolerance).
+#[must_use]
+pub fn approx_eq_mod_2pi(a: f64, b: f64) -> bool {
+    let d = normalize(a - b);
+    crate::approx::approx_zero(d) || crate::approx::approx_eq(d.abs(), 0.0)
+}
+
+/// Returns `true` if an angle is congruent to zero modulo 2π — i.e. the
+/// corresponding rotation is the identity up to global phase.
+#[must_use]
+pub fn approx_zero_mod_2pi(theta: f64) -> bool {
+    approx_eq_mod_2pi(theta, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_is_idempotent_and_in_range() {
+        for &t in &[0.0, 1.0, -1.0, PI, -PI, 10.0, -10.0, 100.0] {
+            let n = normalize(t);
+            assert!(n > -PI - 1e-12 && n <= PI + 1e-12, "out of range: {n}");
+            assert!((normalize(n) - n).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn period_is_two_pi() {
+        assert!(approx_eq_mod_2pi(0.5, 0.5 + TWO_PI));
+        assert!(approx_eq_mod_2pi(-0.5, -0.5 - TWO_PI));
+        assert!(!approx_eq_mod_2pi(0.5, 0.5 + PI));
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(approx_zero_mod_2pi(0.0));
+        assert!(approx_zero_mod_2pi(TWO_PI));
+        assert!(approx_zero_mod_2pi(-TWO_PI));
+        assert!(!approx_zero_mod_2pi(PI));
+    }
+
+    #[test]
+    fn pi_maps_to_pi_not_minus_pi() {
+        assert!((normalize(PI) - PI).abs() < 1e-12);
+        assert!((normalize(-PI) - PI).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,42 @@
+//! Numeric foundations for the quantum-circuit EDA workspace.
+//!
+//! This crate provides the small, dependency-free numeric kernel shared by the
+//! circuit IR (`qcirc`), the statevector simulator (`qsim`), the decision
+//! diagram package (`qdd`) and the equivalence-checking flow (`qcec`):
+//!
+//! * [`Complex`] — a `f64`-based complex number with the full set of arithmetic
+//!   operators, polar/exponential helpers and tolerance-aware comparison.
+//! * [`Matrix2`] / [`Matrix4`] — stack-allocated 2×2 and 4×4 complex matrices
+//!   used for gate definitions.
+//! * [`MatrixN`] — a heap-allocated dense 2ⁿ×2ⁿ matrix used to build full
+//!   system unitaries for small circuits (reference semantics for tests and
+//!   the Fig. 1 reproduction).
+//! * [`approx`] — the global tolerance used throughout the workspace, matching
+//!   the tolerance-based complex interning of QMDD packages.
+//! * [`angle`] — canonicalization of rotation angles modulo 2π/4π.
+//!
+//! # Examples
+//!
+//! ```
+//! use qnum::{Complex, Matrix2};
+//!
+//! let h = Matrix2::hadamard();
+//! // H · H = I
+//! assert!(h.mul(&h).approx_eq(&Matrix2::identity()));
+//! let c = Complex::new(0.0, 1.0);
+//! assert!((c * c).approx_eq(Complex::new(-1.0, 0.0)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod angle;
+pub mod approx;
+mod complex;
+mod matrix;
+
+pub use complex::Complex;
+pub use matrix::{Matrix2, Matrix4, MatrixN};
+
+/// The square root of one half (`1/√2`), the amplitude produced by a Hadamard.
+pub const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;

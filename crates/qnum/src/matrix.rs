@@ -1,0 +1,924 @@
+//! Small dense complex matrices.
+//!
+//! [`Matrix2`] and [`Matrix4`] are the stack-allocated gate matrices used by
+//! the circuit IR and the simulator kernels. [`MatrixN`] is a heap-allocated
+//! dense 2ⁿ×2ⁿ matrix used as the *reference semantics* of a circuit: tests
+//! compare simulator and decision-diagram results against full unitaries
+//! built with it, and the Fig. 1 reproduction prints them.
+
+use std::fmt;
+
+use crate::approx;
+use crate::Complex;
+
+/// A 2×2 complex matrix in row-major order — the shape of every single-qubit
+/// gate.
+///
+/// # Examples
+///
+/// ```
+/// use qnum::Matrix2;
+///
+/// let x = Matrix2::pauli_x();
+/// assert!(x.mul(&x).approx_eq(&Matrix2::identity()));
+/// assert!(x.is_unitary());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Matrix2 {
+    entries: [Complex; 4],
+}
+
+impl Matrix2 {
+    /// Creates a matrix from rows `[[a, b], [c, d]]`.
+    #[must_use]
+    pub const fn new(a: Complex, b: Complex, c: Complex, d: Complex) -> Self {
+        Matrix2 {
+            entries: [a, b, c, d],
+        }
+    }
+
+    /// The 2×2 identity matrix.
+    #[must_use]
+    pub const fn identity() -> Self {
+        Matrix2::new(Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ONE)
+    }
+
+    /// The Pauli-X (NOT) matrix.
+    #[must_use]
+    pub const fn pauli_x() -> Self {
+        Matrix2::new(Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO)
+    }
+
+    /// The Pauli-Y matrix.
+    #[must_use]
+    pub const fn pauli_y() -> Self {
+        Matrix2::new(
+            Complex::ZERO,
+            Complex::new(0.0, -1.0),
+            Complex::I,
+            Complex::ZERO,
+        )
+    }
+
+    /// The Pauli-Z matrix.
+    #[must_use]
+    pub const fn pauli_z() -> Self {
+        Matrix2::new(
+            Complex::ONE,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::new(-1.0, 0.0),
+        )
+    }
+
+    /// The Hadamard matrix `H = 1/√2 [[1, 1], [1, -1]]`.
+    #[must_use]
+    pub fn hadamard() -> Self {
+        let h = crate::FRAC_1_SQRT_2;
+        Matrix2::new(
+            Complex::real(h),
+            Complex::real(h),
+            Complex::real(h),
+            Complex::real(-h),
+        )
+    }
+
+    /// The phase matrix `P(λ) = diag(1, e^{iλ})`.
+    #[must_use]
+    pub fn phase(lambda: f64) -> Self {
+        Matrix2::new(
+            Complex::ONE,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::cis(lambda),
+        )
+    }
+
+    /// The X-rotation `Rx(θ) = e^{-iθX/2}`.
+    #[must_use]
+    pub fn rx(theta: f64) -> Self {
+        let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        Matrix2::new(
+            Complex::real(c),
+            Complex::new(0.0, -s),
+            Complex::new(0.0, -s),
+            Complex::real(c),
+        )
+    }
+
+    /// The Y-rotation `Ry(θ) = e^{-iθY/2}`.
+    #[must_use]
+    pub fn ry(theta: f64) -> Self {
+        let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        Matrix2::new(
+            Complex::real(c),
+            Complex::real(-s),
+            Complex::real(s),
+            Complex::real(c),
+        )
+    }
+
+    /// The Z-rotation `Rz(θ) = e^{-iθZ/2} = diag(e^{-iθ/2}, e^{iθ/2})`.
+    #[must_use]
+    pub fn rz(theta: f64) -> Self {
+        Matrix2::new(
+            Complex::cis(-theta / 2.0),
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::cis(theta / 2.0),
+        )
+    }
+
+    /// The generic single-qubit gate
+    /// `U3(θ, φ, λ)` in the OpenQASM/IBM convention.
+    #[must_use]
+    pub fn u3(theta: f64, phi: f64, lambda: f64) -> Self {
+        let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        Matrix2::new(
+            Complex::real(c),
+            -Complex::cis(lambda) * s,
+            Complex::cis(phi) * s,
+            Complex::cis(phi + lambda) * c,
+        )
+    }
+
+    /// Returns the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is not 0 or 1.
+    #[inline]
+    #[must_use]
+    pub fn entry(&self, row: usize, col: usize) -> Complex {
+        assert!(row < 2 && col < 2, "Matrix2 index out of bounds");
+        self.entries[row * 2 + col]
+    }
+
+    /// Returns the entries as a flat row-major array `[a, b, c, d]`.
+    #[inline]
+    #[must_use]
+    pub fn as_array(&self) -> &[Complex; 4] {
+        &self.entries
+    }
+
+    /// Matrix product `self · rhs`.
+    #[must_use]
+    pub fn mul(&self, rhs: &Matrix2) -> Matrix2 {
+        let a = &self.entries;
+        let b = &rhs.entries;
+        Matrix2::new(
+            a[0] * b[0] + a[1] * b[2],
+            a[0] * b[1] + a[1] * b[3],
+            a[2] * b[0] + a[3] * b[2],
+            a[2] * b[1] + a[3] * b[3],
+        )
+    }
+
+    /// Conjugate transpose (adjoint) `U†`.
+    #[must_use]
+    pub fn adjoint(&self) -> Matrix2 {
+        let a = &self.entries;
+        Matrix2::new(a[0].conj(), a[2].conj(), a[1].conj(), a[3].conj())
+    }
+
+    /// Multiplies every entry by a scalar.
+    #[must_use]
+    pub fn scale(&self, s: Complex) -> Matrix2 {
+        let a = &self.entries;
+        Matrix2::new(a[0] * s, a[1] * s, a[2] * s, a[3] * s)
+    }
+
+    /// Returns `true` if `U·U† ≈ I` within the workspace tolerance.
+    #[must_use]
+    pub fn is_unitary(&self) -> bool {
+        self.mul(&self.adjoint()).approx_eq(&Matrix2::identity())
+    }
+
+    /// Returns `true` if both off-diagonal entries are (numerically) zero.
+    #[must_use]
+    pub fn is_diagonal(&self) -> bool {
+        self.entries[1].approx_zero() && self.entries[2].approx_zero()
+    }
+
+    /// Entry-wise tolerance comparison.
+    #[must_use]
+    pub fn approx_eq(&self, other: &Matrix2) -> bool {
+        self.entries
+            .iter()
+            .zip(other.entries.iter())
+            .all(|(a, b)| a.approx_eq(*b))
+    }
+
+    /// Entry-wise comparison up to a single global phase factor.
+    ///
+    /// Two gate matrices that differ only by `e^{iφ}` implement the same
+    /// physical operation.
+    #[must_use]
+    pub fn approx_eq_up_to_phase(&self, other: &Matrix2) -> bool {
+        // Find the first entry of `other` with non-negligible magnitude and
+        // derive the candidate phase from it.
+        for k in 0..4 {
+            if !other.entries[k].approx_zero() {
+                if self.entries[k].approx_zero() {
+                    return false;
+                }
+                let phase = self.entries[k] / other.entries[k];
+                if !approx::approx_eq(phase.abs(), 1.0) {
+                    return false;
+                }
+                return self.approx_eq(&other.scale(phase));
+            }
+        }
+        // `other` is the zero matrix — matrices are equal iff self is too.
+        self.entries.iter().all(|e| e.approx_zero())
+    }
+}
+
+impl fmt::Display for Matrix2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{} {}]", self.entries[0], self.entries[1])?;
+        write!(f, "[{} {}]", self.entries[2], self.entries[3])
+    }
+}
+
+/// A 4×4 complex matrix in row-major order — the shape of two-qubit gates
+/// such as CX, CZ and SWAP.
+///
+/// # Examples
+///
+/// ```
+/// use qnum::Matrix4;
+///
+/// let swap = Matrix4::swap();
+/// assert!(swap.mul(&swap).approx_eq(&Matrix4::identity()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Matrix4 {
+    entries: [Complex; 16],
+}
+
+impl Matrix4 {
+    /// Creates a matrix from a flat row-major array.
+    #[must_use]
+    pub const fn from_rows(entries: [Complex; 16]) -> Self {
+        Matrix4 { entries }
+    }
+
+    /// The 4×4 identity matrix.
+    #[must_use]
+    pub fn identity() -> Self {
+        let mut m = [Complex::ZERO; 16];
+        for i in 0..4 {
+            m[i * 4 + i] = Complex::ONE;
+        }
+        Matrix4::from_rows(m)
+    }
+
+    /// The controlled-NOT with the control on the *high* (most significant)
+    /// qubit of the 2-qubit index: `CX = [[I, 0], [0, X]]` in block form,
+    /// exactly the matrix shown in the paper's Fig. 1a.
+    #[must_use]
+    pub fn cx() -> Self {
+        let mut m = [Complex::ZERO; 16];
+        m[0] = Complex::ONE; // |00> -> |00>
+        m[5] = Complex::ONE; // |01> -> |01>
+        m[11] = Complex::ONE; // |10> -> |11>
+        m[14] = Complex::ONE; // |11> -> |10>
+        Matrix4::from_rows(m)
+    }
+
+    /// The controlled-Z matrix `diag(1, 1, 1, -1)`.
+    #[must_use]
+    pub fn cz() -> Self {
+        let mut m = [Complex::ZERO; 16];
+        m[0] = Complex::ONE;
+        m[5] = Complex::ONE;
+        m[10] = Complex::ONE;
+        m[15] = -Complex::ONE;
+        Matrix4::from_rows(m)
+    }
+
+    /// The SWAP matrix (paper Fig. 1a).
+    #[must_use]
+    pub fn swap() -> Self {
+        let mut m = [Complex::ZERO; 16];
+        m[0] = Complex::ONE; // |00> -> |00>
+        m[6] = Complex::ONE; // |01> -> |10>
+        m[9] = Complex::ONE; // |10> -> |01>
+        m[15] = Complex::ONE; // |11> -> |11>
+        Matrix4::from_rows(m)
+    }
+
+    /// Returns the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` exceeds 3.
+    #[inline]
+    #[must_use]
+    pub fn entry(&self, row: usize, col: usize) -> Complex {
+        assert!(row < 4 && col < 4, "Matrix4 index out of bounds");
+        self.entries[row * 4 + col]
+    }
+
+    /// Returns the entries as a flat row-major array.
+    #[inline]
+    #[must_use]
+    pub fn as_array(&self) -> &[Complex; 16] {
+        &self.entries
+    }
+
+    /// Matrix product `self · rhs`.
+    #[must_use]
+    pub fn mul(&self, rhs: &Matrix4) -> Matrix4 {
+        let mut out = [Complex::ZERO; 16];
+        for i in 0..4 {
+            for k in 0..4 {
+                let aik = self.entries[i * 4 + k];
+                if aik.approx_zero() {
+                    continue;
+                }
+                for j in 0..4 {
+                    out[i * 4 + j] += aik * rhs.entries[k * 4 + j];
+                }
+            }
+        }
+        Matrix4::from_rows(out)
+    }
+
+    /// Conjugate transpose (adjoint) `U†`.
+    #[must_use]
+    pub fn adjoint(&self) -> Matrix4 {
+        let mut out = [Complex::ZERO; 16];
+        for i in 0..4 {
+            for j in 0..4 {
+                out[j * 4 + i] = self.entries[i * 4 + j].conj();
+            }
+        }
+        Matrix4::from_rows(out)
+    }
+
+    /// Kronecker product of two 2×2 matrices, `a ⊗ b`.
+    #[must_use]
+    pub fn kron(a: &Matrix2, b: &Matrix2) -> Matrix4 {
+        let mut out = [Complex::ZERO; 16];
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    for l in 0..2 {
+                        out[(i * 2 + k) * 4 + (j * 2 + l)] = a.entry(i, j) * b.entry(k, l);
+                    }
+                }
+            }
+        }
+        Matrix4::from_rows(out)
+    }
+
+    /// Returns `true` if `U·U† ≈ I` within the workspace tolerance.
+    #[must_use]
+    pub fn is_unitary(&self) -> bool {
+        self.mul(&self.adjoint()).approx_eq(&Matrix4::identity())
+    }
+
+    /// Entry-wise tolerance comparison.
+    #[must_use]
+    pub fn approx_eq(&self, other: &Matrix4) -> bool {
+        self.entries
+            .iter()
+            .zip(other.entries.iter())
+            .all(|(a, b)| a.approx_eq(*b))
+    }
+}
+
+impl fmt::Display for Matrix4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..4 {
+            if r > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "[")?;
+            for c in 0..4 {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", self.entries[r * 4 + c])?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A heap-allocated dense square complex matrix of dimension `2ⁿ`.
+///
+/// This is the *reference* representation of a circuit's functionality: it is
+/// exponential in the number of qubits, which is exactly the complexity the
+/// paper's flow avoids — but it is invaluable for testing the simulator and
+/// the DD package against ground truth on small `n`, and for reproducing the
+/// matrices of Fig. 1.
+///
+/// # Examples
+///
+/// ```
+/// use qnum::{Matrix2, MatrixN};
+///
+/// let h = MatrixN::from_matrix2(&Matrix2::hadamard());
+/// let hh = h.mul(&h);
+/// assert!(hh.approx_eq(&MatrixN::identity(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixN {
+    n_qubits: usize,
+    dim: usize,
+    entries: Vec<Complex>,
+}
+
+impl MatrixN {
+    /// Creates a zero matrix for `n_qubits` qubits (dimension `2ⁿ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits > 16` — a dense 2¹⁶-dimensional matrix already
+    /// occupies 64 GiB; anything larger is certainly a bug in the caller.
+    #[must_use]
+    pub fn zero(n_qubits: usize) -> Self {
+        assert!(
+            n_qubits <= 16,
+            "dense matrices for more than 16 qubits are not supported"
+        );
+        let dim = 1usize << n_qubits;
+        MatrixN {
+            n_qubits,
+            dim,
+            entries: vec![Complex::ZERO; dim * dim],
+        }
+    }
+
+    /// Creates the identity matrix for `n_qubits` qubits.
+    #[must_use]
+    pub fn identity(n_qubits: usize) -> Self {
+        let mut m = MatrixN::zero(n_qubits);
+        for i in 0..m.dim {
+            m.set(i, i, Complex::ONE);
+        }
+        m
+    }
+
+    /// Embeds a 2×2 matrix as a 1-qubit [`MatrixN`].
+    #[must_use]
+    pub fn from_matrix2(m: &Matrix2) -> Self {
+        let mut out = MatrixN::zero(1);
+        for r in 0..2 {
+            for c in 0..2 {
+                out.set(r, c, m.entry(r, c));
+            }
+        }
+        out
+    }
+
+    /// Embeds a 4×4 matrix as a 2-qubit [`MatrixN`].
+    #[must_use]
+    pub fn from_matrix4(m: &Matrix4) -> Self {
+        let mut out = MatrixN::zero(2);
+        for r in 0..4 {
+            for c in 0..4 {
+                out.set(r, c, m.entry(r, c));
+            }
+        }
+        out
+    }
+
+    /// The number of qubits this matrix acts on.
+    #[inline]
+    #[must_use]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The dimension `2ⁿ` of the matrix.
+    #[inline]
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Returns the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn entry(&self, row: usize, col: usize) -> Complex {
+        assert!(row < self.dim && col < self.dim, "MatrixN index out of bounds");
+        self.entries[row * self.dim + col]
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: Complex) {
+        assert!(row < self.dim && col < self.dim, "MatrixN index out of bounds");
+        self.entries[row * self.dim + col] = value;
+    }
+
+    /// Returns column `col` as a vector of amplitudes.
+    ///
+    /// The `i`-th column of a circuit's unitary is exactly the output state of
+    /// simulating the circuit on basis state `|i⟩` — the observation at the
+    /// heart of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of bounds.
+    #[must_use]
+    pub fn column(&self, col: usize) -> Vec<Complex> {
+        assert!(col < self.dim, "column index out of bounds");
+        (0..self.dim).map(|r| self.entry(r, col)).collect()
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn mul(&self, rhs: &MatrixN) -> MatrixN {
+        assert_eq!(self.dim, rhs.dim, "dimension mismatch in MatrixN::mul");
+        let mut out = MatrixN::zero(self.n_qubits);
+        for i in 0..self.dim {
+            for k in 0..self.dim {
+                let aik = self.entry(i, k);
+                if aik.approx_zero() {
+                    continue;
+                }
+                for j in 0..self.dim {
+                    let v = out.entry(i, j) + aik * rhs.entry(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` differs from the matrix dimension.
+    #[must_use]
+    pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
+        assert_eq!(v.len(), self.dim, "dimension mismatch in MatrixN::mul_vec");
+        (0..self.dim)
+            .map(|r| {
+                (0..self.dim)
+                    .map(|c| self.entry(r, c) * v[c])
+                    .sum::<Complex>()
+            })
+            .collect()
+    }
+
+    /// Conjugate transpose (adjoint) `U†`.
+    #[must_use]
+    pub fn adjoint(&self) -> MatrixN {
+        let mut out = MatrixN::zero(self.n_qubits);
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                out.set(c, r, self.entry(r, c).conj());
+            }
+        }
+        out
+    }
+
+    /// Kronecker product `self ⊗ rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined qubit count exceeds the dense limit (16).
+    #[must_use]
+    pub fn kron(&self, rhs: &MatrixN) -> MatrixN {
+        let mut out = MatrixN::zero(self.n_qubits + rhs.n_qubits);
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                let a = self.entry(i, j);
+                if a.approx_zero() {
+                    continue;
+                }
+                for k in 0..rhs.dim {
+                    for l in 0..rhs.dim {
+                        out.set(i * rhs.dim + k, j * rhs.dim + l, a * rhs.entry(k, l));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if `U·U† ≈ I` within the workspace tolerance.
+    #[must_use]
+    pub fn is_unitary(&self) -> bool {
+        self.mul(&self.adjoint()).approx_eq(&MatrixN::identity(self.n_qubits))
+    }
+
+    /// Entry-wise tolerance comparison.
+    #[must_use]
+    pub fn approx_eq(&self, other: &MatrixN) -> bool {
+        self.dim == other.dim
+            && self
+                .entries
+                .iter()
+                .zip(other.entries.iter())
+                .all(|(a, b)| a.approx_eq(*b))
+    }
+
+    /// Comparison up to a single global phase factor.
+    #[must_use]
+    pub fn approx_eq_up_to_phase(&self, other: &MatrixN) -> bool {
+        if self.dim != other.dim {
+            return false;
+        }
+        for k in 0..self.entries.len() {
+            if !other.entries[k].approx_zero() {
+                if self.entries[k].approx_zero() {
+                    return false;
+                }
+                let phase = self.entries[k] / other.entries[k];
+                if !approx::approx_eq(phase.abs(), 1.0) {
+                    return false;
+                }
+                return self
+                    .entries
+                    .iter()
+                    .zip(other.entries.iter())
+                    .all(|(a, b)| a.approx_eq(*b * phase));
+            }
+        }
+        self.entries.iter().all(|e| e.approx_zero())
+    }
+
+    /// Counts the columns in which `self` and `other` differ.
+    ///
+    /// This is the quantity the paper's theory section reasons about: a
+    /// difference gate with `c` controls makes `2^{n-c}` columns differ, so a
+    /// random basis-state simulation detects it with probability `2^{-c}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn differing_columns(&self, other: &MatrixN) -> usize {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        (0..self.dim)
+            .filter(|&c| {
+                (0..self.dim).any(|r| !self.entry(r, c).approx_eq(other.entry(r, c)))
+            })
+            .count()
+    }
+}
+
+impl fmt::Display for MatrixN {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.dim {
+            if r > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "[")?;
+            for c in 0..self.dim {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", self.entry(r, c))?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn paulis_are_unitary_and_self_inverse() {
+        for m in [Matrix2::pauli_x(), Matrix2::pauli_y(), Matrix2::pauli_z()] {
+            assert!(m.is_unitary());
+            assert!(m.mul(&m).approx_eq(&Matrix2::identity()));
+        }
+    }
+
+    #[test]
+    fn hadamard_properties() {
+        let h = Matrix2::hadamard();
+        assert!(h.is_unitary());
+        assert!(h.mul(&h).approx_eq(&Matrix2::identity()));
+        // HXH = Z
+        let hxh = h.mul(&Matrix2::pauli_x()).mul(&h);
+        assert!(hxh.approx_eq(&Matrix2::pauli_z()));
+    }
+
+    #[test]
+    fn rotations_compose_additively() {
+        let a = Matrix2::rz(0.3);
+        let b = Matrix2::rz(0.4);
+        assert!(a.mul(&b).approx_eq(&Matrix2::rz(0.7)));
+        let a = Matrix2::rx(0.3);
+        let b = Matrix2::rx(0.4);
+        assert!(a.mul(&b).approx_eq(&Matrix2::rx(0.7)));
+        let a = Matrix2::ry(0.3);
+        let b = Matrix2::ry(0.4);
+        assert!(a.mul(&b).approx_eq(&Matrix2::ry(0.7)));
+    }
+
+    #[test]
+    fn rz_pi_is_z_up_to_phase() {
+        assert!(Matrix2::rz(PI).approx_eq_up_to_phase(&Matrix2::pauli_z()));
+        assert!(!Matrix2::rz(PI).approx_eq(&Matrix2::pauli_z()));
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        assert!(Matrix2::rx(PI).approx_eq_up_to_phase(&Matrix2::pauli_x()));
+    }
+
+    #[test]
+    fn phase_gate_special_cases() {
+        // P(π) = Z, P(π/2) = S, P(π/4) = T.
+        assert!(Matrix2::phase(PI).approx_eq(&Matrix2::pauli_z()));
+        let s = Matrix2::phase(PI / 2.0);
+        assert!(s.mul(&s).approx_eq(&Matrix2::pauli_z()));
+        let t = Matrix2::phase(PI / 4.0);
+        assert!(t.mul(&t).approx_eq(&s));
+    }
+
+    #[test]
+    fn u3_reduces_to_known_gates() {
+        // U3(π, 0, π) = X.
+        assert!(Matrix2::u3(PI, 0.0, PI).approx_eq(&Matrix2::pauli_x()));
+        // U3(π/2, 0, π) = H.
+        assert!(Matrix2::u3(PI / 2.0, 0.0, PI).approx_eq(&Matrix2::hadamard()));
+        // U3(0, 0, λ) = P(λ).
+        assert!(Matrix2::u3(0.0, 0.0, 0.7).approx_eq(&Matrix2::phase(0.7)));
+    }
+
+    #[test]
+    fn u3_is_always_unitary() {
+        for &(t, p, l) in &[(0.1, 0.2, 0.3), (1.0, -2.0, 3.0), (PI, PI / 3.0, -PI / 5.0)] {
+            assert!(Matrix2::u3(t, p, l).is_unitary(), "U3({t},{p},{l})");
+        }
+    }
+
+    #[test]
+    fn diagonal_detection() {
+        assert!(Matrix2::pauli_z().is_diagonal());
+        assert!(Matrix2::rz(0.5).is_diagonal());
+        assert!(!Matrix2::pauli_x().is_diagonal());
+        assert!(!Matrix2::hadamard().is_diagonal());
+    }
+
+    #[test]
+    fn matrix4_gates_are_unitary() {
+        for m in [Matrix4::cx(), Matrix4::cz(), Matrix4::swap()] {
+            assert!(m.is_unitary());
+        }
+    }
+
+    #[test]
+    fn cx_matches_paper_figure_1a() {
+        // Fig. 1a: CX = [[1,0,0,0],[0,1,0,0],[0,0,0,1],[0,0,1,0]].
+        let cx = Matrix4::cx();
+        let expect = [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+            [0.0, 0.0, 1.0, 0.0],
+        ];
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!(cx.entry(r, c).approx_eq(Complex::real(expect[r][c])));
+            }
+        }
+    }
+
+    #[test]
+    fn swap_matches_paper_figure_1a() {
+        let swap = Matrix4::swap();
+        let expect = [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ];
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!(swap.entry(r, c).approx_eq(Complex::real(expect[r][c])));
+            }
+        }
+    }
+
+    #[test]
+    fn swap_is_three_cnots() {
+        // SWAP = CX(a→b) · CX(b→a) · CX(a→b); with CX and its qubit-reversed
+        // variant expressed via kron-conjugation with SWAP.
+        let cx = Matrix4::cx();
+        let swap = Matrix4::swap();
+        let cx_rev = swap.mul(&cx).mul(&swap);
+        let three = cx.mul(&cx_rev).mul(&cx);
+        assert!(three.approx_eq(&swap));
+    }
+
+    #[test]
+    fn kron_of_identities_is_identity() {
+        let i4 = Matrix4::kron(&Matrix2::identity(), &Matrix2::identity());
+        assert!(i4.approx_eq(&Matrix4::identity()));
+    }
+
+    #[test]
+    fn kron_structure_matches_definition() {
+        let hx = Matrix4::kron(&Matrix2::hadamard(), &Matrix2::pauli_x());
+        let h = Matrix2::hadamard();
+        let x = Matrix2::pauli_x();
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    for l in 0..2 {
+                        assert!(hx
+                            .entry(i * 2 + k, j * 2 + l)
+                            .approx_eq(h.entry(i, j) * x.entry(k, l)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrixn_identity_and_mul() {
+        let i = MatrixN::identity(3);
+        assert!(i.is_unitary());
+        assert!(i.mul(&i).approx_eq(&i));
+        assert_eq!(i.dim(), 8);
+        assert_eq!(i.n_qubits(), 3);
+    }
+
+    #[test]
+    fn matrixn_kron_matches_matrix4_kron() {
+        let a = MatrixN::from_matrix2(&Matrix2::hadamard());
+        let b = MatrixN::from_matrix2(&Matrix2::pauli_y());
+        let big = a.kron(&b);
+        let small = Matrix4::kron(&Matrix2::hadamard(), &Matrix2::pauli_y());
+        assert!(big.approx_eq(&MatrixN::from_matrix4(&small)));
+    }
+
+    #[test]
+    fn matrixn_mul_vec_matches_column_extraction() {
+        let m = MatrixN::from_matrix4(&Matrix4::cx());
+        for col in 0..4 {
+            let mut basis = vec![Complex::ZERO; 4];
+            basis[col] = Complex::ONE;
+            assert_eq!(m.mul_vec(&basis), m.column(col));
+        }
+    }
+
+    #[test]
+    fn matrixn_adjoint_inverts_unitary() {
+        let m = MatrixN::from_matrix4(&Matrix4::cx());
+        assert!(m.mul(&m.adjoint()).approx_eq(&MatrixN::identity(2)));
+    }
+
+    #[test]
+    fn differing_columns_identity_vs_x() {
+        // X differs from I in both columns.
+        let i = MatrixN::identity(1);
+        let x = MatrixN::from_matrix2(&Matrix2::pauli_x());
+        assert_eq!(i.differing_columns(&x), 2);
+        assert_eq!(i.differing_columns(&i), 0);
+    }
+
+    #[test]
+    fn differing_columns_controlled_gate() {
+        // CX differs from I only in the two columns where the control is 1 —
+        // exactly the paper's Example 8 worst case.
+        let i = MatrixN::identity(2);
+        let cx = MatrixN::from_matrix4(&Matrix4::cx());
+        assert_eq!(i.differing_columns(&cx), 2);
+    }
+
+    #[test]
+    fn global_phase_comparison_matrixn() {
+        let m = MatrixN::from_matrix2(&Matrix2::rz(PI));
+        let z = MatrixN::from_matrix2(&Matrix2::pauli_z());
+        assert!(m.approx_eq_up_to_phase(&z));
+        assert!(!m.approx_eq(&z));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn matrixn_bounds_checked() {
+        let m = MatrixN::identity(1);
+        let _ = m.entry(2, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the numeric kernel.
+
+use proptest::prelude::*;
+use qnum::{angle, Complex, Matrix2, Matrix4, MatrixN};
+
+/// Strategy producing complex numbers with moderate magnitude (so products
+/// stay in a numerically friendly range).
+fn complex() -> impl Strategy<Value = Complex> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Complex::new(re, im))
+}
+
+fn unit_complex() -> impl Strategy<Value = Complex> {
+    (-std::f64::consts::PI..std::f64::consts::PI).prop_map(Complex::cis)
+}
+
+fn angle_value() -> impl Strategy<Value = f64> {
+    -20.0f64..20.0
+}
+
+/// Strategy producing an arbitrary single-qubit unitary via U3 angles.
+fn unitary2() -> impl Strategy<Value = Matrix2> {
+    (angle_value(), angle_value(), angle_value()).prop_map(|(t, p, l)| Matrix2::u3(t, p, l))
+}
+
+proptest! {
+    #[test]
+    fn complex_addition_commutes(a in complex(), b in complex()) {
+        prop_assert!((a + b).approx_eq(b + a));
+    }
+
+    #[test]
+    fn complex_multiplication_commutes(a in complex(), b in complex()) {
+        prop_assert!((a * b).approx_eq(b * a));
+    }
+
+    #[test]
+    fn complex_multiplication_associates(a in complex(), b in complex(), c in complex()) {
+        prop_assert!(((a * b) * c).approx_eq_with(a * (b * c), 1e-8));
+    }
+
+    #[test]
+    fn complex_distributes(a in complex(), b in complex(), c in complex()) {
+        prop_assert!((a * (b + c)).approx_eq_with(a * b + a * c, 1e-8));
+    }
+
+    #[test]
+    fn conjugation_is_an_involution(a in complex()) {
+        prop_assert!(a.conj().conj().approx_eq(a));
+    }
+
+    #[test]
+    fn conjugation_distributes_over_product(a in complex(), b in complex()) {
+        prop_assert!((a * b).conj().approx_eq(a.conj() * b.conj()));
+    }
+
+    #[test]
+    fn norm_is_multiplicative(a in complex(), b in complex()) {
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn unit_phases_stay_on_the_circle(a in unit_complex(), b in unit_complex()) {
+        prop_assert!(((a * b).abs() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn recip_is_inverse(a in complex()) {
+        prop_assume!(a.norm_sqr() > 1e-6);
+        prop_assert!((a * a.recip()).approx_eq_with(Complex::ONE, 1e-8));
+    }
+
+    #[test]
+    fn polar_roundtrip(r in 0.01f64..10.0, theta in -3.0f64..3.0) {
+        let c = Complex::from_polar(r, theta);
+        prop_assert!((c.abs() - r).abs() < 1e-9);
+        prop_assert!(angle::approx_eq_mod_2pi(c.arg(), theta));
+    }
+
+    #[test]
+    fn u3_matrices_are_unitary(m in unitary2()) {
+        prop_assert!(m.is_unitary());
+    }
+
+    #[test]
+    fn adjoint_of_product_reverses(a in unitary2(), b in unitary2()) {
+        let lhs = a.mul(&b).adjoint();
+        let rhs = b.adjoint().mul(&a.adjoint());
+        prop_assert!(lhs.approx_eq(&rhs));
+    }
+
+    #[test]
+    fn unitary_adjoint_is_inverse(m in unitary2()) {
+        prop_assert!(m.mul(&m.adjoint()).approx_eq(&Matrix2::identity()));
+        prop_assert!(m.adjoint().mul(&m).approx_eq(&Matrix2::identity()));
+    }
+
+    #[test]
+    fn global_phase_equivalence_is_detected(m in unitary2(), theta in -3.0f64..3.0) {
+        let phased = m.scale(Complex::cis(theta));
+        prop_assert!(phased.approx_eq_up_to_phase(&m));
+    }
+
+    #[test]
+    fn kron_is_bilinear_in_scalars(a in unitary2(), b in unitary2(), s in unit_complex()) {
+        let lhs = Matrix4::kron(&a.scale(s), &b);
+        let rhs = Matrix4::kron(&a, &b.scale(s));
+        prop_assert!(lhs.approx_eq(&rhs));
+    }
+
+    #[test]
+    fn kron_of_unitaries_is_unitary(a in unitary2(), b in unitary2()) {
+        prop_assert!(Matrix4::kron(&a, &b).is_unitary());
+    }
+
+    #[test]
+    fn mixed_product_property(a in unitary2(), b in unitary2(), c in unitary2(), d in unitary2()) {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let lhs = Matrix4::kron(&a, &b).mul(&Matrix4::kron(&c, &d));
+        let rhs = Matrix4::kron(&a.mul(&c), &b.mul(&d));
+        prop_assert!(lhs.approx_eq(&rhs));
+    }
+
+    #[test]
+    fn matrixn_kron_of_unitaries_is_unitary(a in unitary2(), b in unitary2(), c in unitary2()) {
+        let m = MatrixN::from_matrix2(&a)
+            .kron(&MatrixN::from_matrix2(&b))
+            .kron(&MatrixN::from_matrix2(&c));
+        prop_assert!(m.is_unitary());
+    }
+
+    #[test]
+    fn angle_normalize_stays_congruent(t in -100.0f64..100.0) {
+        prop_assert!(angle::approx_eq_mod_2pi(angle::normalize(t), t));
+        let n = angle::normalize(t);
+        prop_assert!(n > -std::f64::consts::PI - 1e-9 && n <= std::f64::consts::PI + 1e-9);
+    }
+}

@@ -1,0 +1,257 @@
+//! Pauli-string expectation values `⟨ψ|P|ψ⟩`.
+//!
+//! Used by the chemistry example workloads (energy estimates) and as an
+//! independent probe in tests: two equivalent circuits must produce equal
+//! expectation values for every observable.
+
+use std::fmt;
+use std::str::FromStr;
+
+use qnum::Complex;
+
+use crate::state::StateVector;
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+/// A tensor product of Pauli operators, e.g. `ZZIIX`.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::expectation::PauliString;
+///
+/// let p: PauliString = "ZZI".parse()?;
+/// assert_eq!(p.n_qubits(), 3);
+/// # Ok::<(), qsim::expectation::ParsePauliError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PauliString {
+    /// `paulis[q]` acts on qubit `q` (index 0 = least significant; note the
+    /// *string* is written most-significant first, like ket labels).
+    paulis: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// Creates a Pauli string from per-qubit operators (`ops[q]` acts on
+    /// qubit `q`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    #[must_use]
+    pub fn new(ops: Vec<Pauli>) -> Self {
+        assert!(!ops.is_empty(), "a Pauli string needs at least one factor");
+        PauliString { paulis: ops }
+    }
+
+    /// The number of qubits the string acts on.
+    #[must_use]
+    pub fn n_qubits(&self) -> usize {
+        self.paulis.len()
+    }
+
+    /// The operator acting on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn factor(&self, q: usize) -> Pauli {
+        self.paulis[q]
+    }
+
+    /// The expectation value `⟨ψ|P|ψ⟩` (always real for Hermitian `P`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string and state qubit counts differ.
+    #[must_use]
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        assert_eq!(
+            self.n_qubits(),
+            state.n_qubits(),
+            "Pauli string and state qubit counts differ"
+        );
+        // ⟨ψ|P|ψ⟩ = Σ_i conj(ψ_i)·(Pψ)_i, computed without materializing Pψ:
+        // P maps |i⟩ to phase(i)·|i ⊕ flip_mask⟩.
+        let mut flip_mask = 0usize;
+        for (q, p) in self.paulis.iter().enumerate() {
+            if matches!(p, Pauli::X | Pauli::Y) {
+                flip_mask |= 1 << q;
+            }
+        }
+        let amps = state.amplitudes();
+        let mut acc = Complex::ZERO;
+        for (i, amp) in amps.iter().enumerate() {
+            if amp.approx_zero() {
+                continue;
+            }
+            let j = i ^ flip_mask;
+            // phase of ⟨i|P|j⟩ where j = i ^ flip_mask.
+            let mut phase = Complex::ONE;
+            for (q, p) in self.paulis.iter().enumerate() {
+                let bit_j = (j >> q) & 1;
+                match p {
+                    Pauli::I | Pauli::X => {}
+                    // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
+                    Pauli::Y => {
+                        phase = phase
+                            * if bit_j == 0 {
+                                Complex::I
+                            } else {
+                                -Complex::I
+                            }
+                    }
+                    // Z|b⟩ = (−1)^b |b⟩.
+                    Pauli::Z => {
+                        if bit_j == 1 {
+                            phase = -phase;
+                        }
+                    }
+                }
+            }
+            acc += amp.conj() * phase * amps[j];
+        }
+        debug_assert!(acc.im.abs() < 1e-9, "Hermitian expectation must be real");
+        acc.re
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Most significant qubit first, like ket labels.
+        for p in self.paulis.iter().rev() {
+            let c = match p {
+                Pauli::I => 'I',
+                Pauli::X => 'X',
+                Pauli::Y => 'Y',
+                Pauli::Z => 'Z',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a Pauli string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePauliError {
+    /// The offending character.
+    pub found: char,
+}
+
+impl fmt::Display for ParsePauliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid Pauli character '{}' (expected I, X, Y or Z)", self.found)
+    }
+}
+
+impl std::error::Error for ParsePauliError {}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliError;
+
+    /// Parses e.g. `"ZZIX"`, written most-significant qubit first.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParsePauliError { found: ' ' });
+        }
+        let mut paulis = Vec::with_capacity(s.len());
+        for c in s.chars().rev() {
+            paulis.push(match c.to_ascii_uppercase() {
+                'I' => Pauli::I,
+                'X' => Pauli::X,
+                'Y' => Pauli::Y,
+                'Z' => Pauli::Z,
+                other => return Err(ParsePauliError { found: other }),
+            });
+        }
+        Ok(PauliString { paulis })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use qcirc::generators;
+
+    #[test]
+    fn parsing_and_display_roundtrip() {
+        let p: PauliString = "ZIXY".parse().unwrap();
+        assert_eq!(p.n_qubits(), 4);
+        assert_eq!(p.to_string(), "ZIXY");
+        assert_eq!(p.factor(0), Pauli::Y); // least significant = rightmost
+        assert_eq!(p.factor(3), Pauli::Z);
+        assert!("ZQ".parse::<PauliString>().is_err());
+        assert!("".parse::<PauliString>().is_err());
+    }
+
+    #[test]
+    fn z_expectation_on_basis_states() {
+        let s = StateVector::basis(2, 0b01);
+        let zi: PauliString = "ZI".parse().unwrap();
+        let iz: PauliString = "IZ".parse().unwrap();
+        assert!((zi.expectation(&s) - 1.0).abs() < 1e-12); // qubit 1 is 0
+        assert!((iz.expectation(&s) + 1.0).abs() < 1e-12); // qubit 0 is 1
+    }
+
+    #[test]
+    fn x_expectation_on_plus_state() {
+        let mut c = qcirc::Circuit::new(1);
+        c.h(0);
+        let s = Simulator::new().run_basis(&c, 0);
+        let x: PauliString = "X".parse().unwrap();
+        let z: PauliString = "Z".parse().unwrap();
+        assert!((x.expectation(&s) - 1.0).abs() < 1e-12);
+        assert!(z.expectation(&s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn y_expectation_on_circular_state() {
+        // S·H|0⟩ = (|0⟩ + i|1⟩)/√2, the +1 eigenstate of Y.
+        let mut c = qcirc::Circuit::new(1);
+        c.h(0).s(0);
+        let s = Simulator::new().run_basis(&c, 0);
+        let y: PauliString = "Y".parse().unwrap();
+        assert!((y.expectation(&s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_correlations() {
+        let s = Simulator::new().run_basis(&generators::ghz(3), 0);
+        let zz: PauliString = "IZZ".parse().unwrap();
+        let xxx: PauliString = "XXX".parse().unwrap();
+        let z_single: PauliString = "IIZ".parse().unwrap();
+        assert!((zz.expectation(&s) - 1.0).abs() < 1e-12, "ZZ correlation");
+        assert!((xxx.expectation(&s) - 1.0).abs() < 1e-12, "GHZ X parity");
+        assert!(z_single.expectation(&s).abs() < 1e-12, "single Z vanishes");
+    }
+
+    #[test]
+    fn equivalent_circuits_share_expectations() {
+        let g = generators::trotter_heisenberg(2, 2, 1, 0.2, 0.3);
+        let o = qcirc::optimize::optimize(&g);
+        let sim = Simulator::new();
+        let a = sim.run_basis(&g, 3);
+        let b = sim.run_basis(&o, 3);
+        for obs in ["ZZII", "XIXI", "YYII", "IZIZ"] {
+            let p: PauliString = obs.parse().unwrap();
+            assert!(
+                (p.expectation(&a) - p.expectation(&b)).abs() < 1e-9,
+                "{obs}"
+            );
+        }
+    }
+}

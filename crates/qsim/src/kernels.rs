@@ -1,0 +1,219 @@
+//! Gate-application kernels on raw amplitude slices.
+//!
+//! All kernels take the amplitude slice directly so they can be reused by
+//! the sequential simulator, the multithreaded wrapper and the dense
+//! unitary builder. Index convention: qubit `q` is bit `q` of the amplitude
+//! index.
+
+use qnum::{Complex, Matrix2};
+
+/// Applies a single-qubit gate `m` to `target`, restricted to amplitudes
+/// whose `control_mask` bits are all set (pass 0 for no controls).
+///
+/// # Panics
+///
+/// Panics in debug builds if `target`'s bit overlaps `control_mask`.
+pub fn apply_controlled_single(
+    amps: &mut [Complex],
+    control_mask: usize,
+    target: usize,
+    m: &Matrix2,
+) {
+    let bt = 1usize << target;
+    debug_assert_eq!(control_mask & bt, 0, "target overlaps controls");
+    let dim = amps.len();
+    let (m00, m01, m10, m11) = (
+        m.entry(0, 0),
+        m.entry(0, 1),
+        m.entry(1, 0),
+        m.entry(1, 1),
+    );
+    // Fast path: diagonal gates touch each amplitude once.
+    if m01.approx_zero() && m10.approx_zero() {
+        apply_controlled_diagonal(amps, control_mask, target, m00, m11);
+        return;
+    }
+    // Walk pairs (i, i|bt) by iterating blocks aligned to 2^{target+1}.
+    let block = bt << 1;
+    let mut base = 0usize;
+    while base < dim {
+        for offset in 0..bt {
+            let lo = base + offset;
+            if lo & control_mask == control_mask {
+                let hi = lo | bt;
+                let a0 = amps[lo];
+                let a1 = amps[hi];
+                amps[lo] = m00 * a0 + m01 * a1;
+                amps[hi] = m10 * a0 + m11 * a1;
+            }
+        }
+        base += block;
+    }
+}
+
+/// Variant of [`apply_controlled_single`] for a chunk that starts at
+/// absolute amplitude index `offset` within a larger state. The chunk must
+/// be aligned to the gate's block size `2^{target+1}` (so every pair lies
+/// inside the chunk); the control mask is tested against *absolute* indices.
+///
+/// # Panics
+///
+/// Panics in debug builds if the alignment or overlap invariants are
+/// violated.
+pub fn apply_controlled_single_at(
+    chunk: &mut [Complex],
+    offset: usize,
+    control_mask: usize,
+    target: usize,
+    m: &Matrix2,
+) {
+    let bt = 1usize << target;
+    let block = bt << 1;
+    debug_assert_eq!(control_mask & bt, 0, "target overlaps controls");
+    debug_assert_eq!(offset % block, 0, "chunk not block-aligned");
+    debug_assert_eq!(chunk.len() % block, 0, "chunk length not block-aligned");
+    let (m00, m01, m10, m11) = (
+        m.entry(0, 0),
+        m.entry(0, 1),
+        m.entry(1, 0),
+        m.entry(1, 1),
+    );
+    let mut base = 0usize;
+    while base < chunk.len() {
+        for off in 0..bt {
+            let lo = base + off;
+            if (offset + lo) & control_mask == control_mask {
+                let hi = lo | bt;
+                let a0 = chunk[lo];
+                let a1 = chunk[hi];
+                chunk[lo] = m00 * a0 + m01 * a1;
+                chunk[hi] = m10 * a0 + m11 * a1;
+            }
+        }
+        base += block;
+    }
+}
+
+/// Diagonal specialization: multiplies amplitudes by `d0`/`d1` depending on
+/// the target bit, under the control mask.
+fn apply_controlled_diagonal(
+    amps: &mut [Complex],
+    control_mask: usize,
+    target: usize,
+    d0: Complex,
+    d1: Complex,
+) {
+    let bt = 1usize << target;
+    let d0_is_one = d0.approx_one();
+    for (i, a) in amps.iter_mut().enumerate() {
+        if i & control_mask != control_mask {
+            continue;
+        }
+        if i & bt != 0 {
+            *a = *a * d1;
+        } else if !d0_is_one {
+            *a = *a * d0;
+        }
+    }
+}
+
+/// Applies a (possibly controlled) SWAP of qubits `a` and `b`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `a == b` or either overlaps the control mask.
+pub fn apply_controlled_swap(amps: &mut [Complex], control_mask: usize, a: usize, b: usize) {
+    let (ba, bb) = (1usize << a, 1usize << b);
+    debug_assert_ne!(a, b, "swap targets must differ");
+    debug_assert_eq!(control_mask & (ba | bb), 0, "swap targets overlap controls");
+    for i in 0..amps.len() {
+        // Visit each swapped pair once: from the (a=1, b=0) side.
+        if i & ba != 0 && i & bb == 0 && i & control_mask == control_mask {
+            amps.swap(i, i ^ ba ^ bb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnum::FRAC_1_SQRT_2;
+
+    fn basis(n: usize, i: usize) -> Vec<Complex> {
+        let mut v = vec![Complex::ZERO; 1 << n];
+        v[i] = Complex::ONE;
+        v
+    }
+
+    #[test]
+    fn x_flips_target_bit() {
+        let mut amps = basis(3, 0b010);
+        apply_controlled_single(&mut amps, 0, 0, &Matrix2::pauli_x());
+        assert!(amps[0b011].approx_one());
+    }
+
+    #[test]
+    fn hadamard_splits_amplitude() {
+        let mut amps = basis(1, 0);
+        apply_controlled_single(&mut amps, 0, 0, &Matrix2::hadamard());
+        assert!(amps[0].approx_eq(Complex::real(FRAC_1_SQRT_2)));
+        assert!(amps[1].approx_eq(Complex::real(FRAC_1_SQRT_2)));
+    }
+
+    #[test]
+    fn control_blocks_application() {
+        // CX with control bit 1 (qubit 1) on target 0: |01⟩ has control 0.
+        let mut amps = basis(2, 0b01);
+        apply_controlled_single(&mut amps, 0b10, 0, &Matrix2::pauli_x());
+        assert!(amps[0b01].approx_one(), "control=0 must not fire");
+        let mut amps = basis(2, 0b10);
+        apply_controlled_single(&mut amps, 0b10, 0, &Matrix2::pauli_x());
+        assert!(amps[0b11].approx_one(), "control=1 must fire");
+    }
+
+    #[test]
+    fn diagonal_fast_path_matches_general() {
+        let z = Matrix2::rz(0.7);
+        let h = Complex::real(0.5);
+        let mk = || vec![h, h, h, h];
+        let mut fast = mk();
+        apply_controlled_single(&mut fast, 0, 1, &z);
+        // Force the general path by using an equivalent non-detectably
+        // diagonal matrix (off-diagonals exactly zero still uses fast path),
+        // so instead compare against hand-computed values.
+        assert!(fast[0].approx_eq(h * z.entry(0, 0)));
+        assert!(fast[1].approx_eq(h * z.entry(0, 0)));
+        assert!(fast[2].approx_eq(h * z.entry(1, 1)));
+        assert!(fast[3].approx_eq(h * z.entry(1, 1)));
+    }
+
+    #[test]
+    fn swap_exchanges_bits() {
+        let mut amps = basis(3, 0b001);
+        apply_controlled_swap(&mut amps, 0, 0, 2);
+        assert!(amps[0b100].approx_one());
+        // Symmetric pair stays put.
+        let mut amps = basis(3, 0b101);
+        apply_controlled_swap(&mut amps, 0, 0, 2);
+        assert!(amps[0b101].approx_one());
+    }
+
+    #[test]
+    fn controlled_swap_respects_control() {
+        let mut amps = basis(3, 0b001); // control qubit 1 is 0
+        apply_controlled_swap(&mut amps, 0b010, 0, 2);
+        assert!(amps[0b001].approx_one());
+        let mut amps = basis(3, 0b011); // control qubit 1 is 1
+        apply_controlled_swap(&mut amps, 0b010, 0, 2);
+        assert!(amps[0b110].approx_one());
+    }
+
+    #[test]
+    fn kernels_preserve_norm() {
+        let h = Complex::real(0.5);
+        let mut amps = vec![h, h * Complex::I, -h, h];
+        apply_controlled_single(&mut amps, 0, 1, &Matrix2::u3(0.3, 1.0, -0.4));
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,163 @@
+//! Measurement: probabilities, sampling, and state collapse.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::state::StateVector;
+
+/// The probability of measuring qubit `q` as `1`.
+///
+/// # Panics
+///
+/// Panics if `q` is out of range.
+#[must_use]
+pub fn probability_of_one(state: &StateVector, q: usize) -> f64 {
+    assert!(q < state.n_qubits(), "qubit index out of range");
+    let bit = 1usize << q;
+    state
+        .amplitudes()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i & bit != 0)
+        .map(|(_, a)| a.norm_sqr())
+        .sum()
+}
+
+/// The expectation value `⟨Z_q⟩ = P(0) − P(1)` of qubit `q`.
+///
+/// # Panics
+///
+/// Panics if `q` is out of range.
+#[must_use]
+pub fn expectation_z(state: &StateVector, q: usize) -> f64 {
+    1.0 - 2.0 * probability_of_one(state, q)
+}
+
+/// Samples one full-register measurement outcome (all qubits) without
+/// collapsing the state.
+#[must_use]
+pub fn sample_once(state: &StateVector, rng: &mut StdRng) -> u64 {
+    let r: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, a) in state.amplitudes().iter().enumerate() {
+        acc += a.norm_sqr();
+        if r < acc {
+            return i as u64;
+        }
+    }
+    // Rounding can leave acc at 1−ε; attribute the sliver to the last
+    // nonzero amplitude.
+    (state.dim() - 1) as u64
+}
+
+/// Samples `shots` measurement outcomes, returning outcome → count.
+#[must_use]
+pub fn sample_counts(state: &StateVector, shots: usize, rng: &mut StdRng) -> HashMap<u64, usize> {
+    let mut counts = HashMap::new();
+    for _ in 0..shots {
+        *counts.entry(sample_once(state, rng)).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Measures qubit `q`, collapsing the state and returning the observed bit.
+///
+/// # Panics
+///
+/// Panics if `q` is out of range.
+pub fn measure_qubit(state: &mut StateVector, q: usize, rng: &mut StdRng) -> bool {
+    let p1 = probability_of_one(state, q);
+    let outcome = rng.gen::<f64>() < p1;
+    collapse_qubit(state, q, outcome);
+    outcome
+}
+
+/// Projects qubit `q` onto `outcome` and renormalizes.
+///
+/// # Panics
+///
+/// Panics if `q` is out of range or the projected state has zero norm (the
+/// outcome was impossible).
+pub fn collapse_qubit(state: &mut StateVector, q: usize, outcome: bool) {
+    assert!(q < state.n_qubits(), "qubit index out of range");
+    let bit = 1usize << q;
+    for (i, a) in state.amplitudes_mut().iter_mut().enumerate() {
+        if (i & bit != 0) != outcome {
+            *a = qnum::Complex::ZERO;
+        }
+    }
+    let norm = state.norm_sqr();
+    assert!(
+        norm > 1e-12,
+        "collapse onto an impossible outcome (probability 0)"
+    );
+    state.renormalize();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use qcirc::generators;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn basis_state_probabilities() {
+        let s = StateVector::basis(3, 0b101);
+        assert_eq!(probability_of_one(&s, 0), 1.0);
+        assert_eq!(probability_of_one(&s, 1), 0.0);
+        assert_eq!(probability_of_one(&s, 2), 1.0);
+        assert_eq!(expectation_z(&s, 1), 1.0);
+        assert_eq!(expectation_z(&s, 0), -1.0);
+    }
+
+    #[test]
+    fn ghz_samples_only_extremes() {
+        let out = Simulator::new().run_basis(&generators::ghz(3), 0);
+        let counts = sample_counts(&out, 500, &mut rng(1));
+        assert!(counts.keys().all(|&k| k == 0 || k == 0b111));
+        let zeros = counts.get(&0).copied().unwrap_or(0);
+        assert!(zeros > 150 && zeros < 350, "suspicious balance: {zeros}/500");
+    }
+
+    #[test]
+    fn sampling_matches_distribution_roughly() {
+        let out = Simulator::new().run_basis(&generators::qft(3, true), 0);
+        // QFT|0⟩ is the uniform superposition: every outcome ~1/8.
+        let counts = sample_counts(&out, 4000, &mut rng(2));
+        for i in 0..8 {
+            let c = counts.get(&i).copied().unwrap_or(0);
+            assert!(c > 350 && c < 650, "outcome {i}: {c}/4000");
+        }
+    }
+
+    #[test]
+    fn measurement_collapses_entanglement() {
+        let mut state = Simulator::new().run_basis(&generators::bell(), 0);
+        let bit = measure_qubit(&mut state, 0, &mut rng(3));
+        // After measuring qubit 0 of a Bell pair, qubit 1 is determined.
+        let expected = if bit { 0b11u64 } else { 0b00 };
+        assert!(state.probability(expected) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn collapse_renormalizes() {
+        let mut state = Simulator::new().run_basis(&generators::ghz(3), 0);
+        collapse_qubit(&mut state, 1, true);
+        assert!(state.is_normalized());
+        assert!(state.probability(0b111) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible outcome")]
+    fn impossible_collapse_panics() {
+        let mut state = StateVector::basis(2, 0);
+        collapse_qubit(&mut state, 0, true);
+    }
+}

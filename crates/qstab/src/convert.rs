@@ -1,0 +1,184 @@
+//! Running `qcirc` circuits on the stabilizer tableau.
+
+use std::fmt;
+
+use qcirc::{Circuit, Gate, GateKind};
+use qnum::angle;
+
+use crate::tableau::Tableau;
+
+/// Error raised when a circuit contains a non-Clifford operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotCliffordError {
+    /// Rendering of the offending gate.
+    pub gate: String,
+}
+
+impl fmt::Display for NotCliffordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gate '{}' is not a Clifford operation (stabilizer simulation covers H, S, S†, √X, √X†, Paulis, CX, CZ, SWAP, and rotations at multiples of π/2)",
+            self.gate
+        )
+    }
+}
+
+impl std::error::Error for NotCliffordError {}
+
+/// Returns `true` if every gate of the circuit is Clifford (i.e. the
+/// circuit is stabilizer-simulable).
+#[must_use]
+pub fn is_clifford(circuit: &Circuit) -> bool {
+    circuit.gates().iter().all(|g| classify(g).is_some())
+}
+
+/// Applies one gate to a tableau.
+///
+/// # Errors
+///
+/// Returns [`NotCliffordError`] for non-Clifford gates.
+///
+/// # Panics
+///
+/// Panics if the gate does not fit the tableau's register.
+pub fn apply_gate(tableau: &mut Tableau, gate: &Gate) -> Result<(), NotCliffordError> {
+    let op = classify(gate).ok_or_else(|| NotCliffordError {
+        gate: gate.to_string(),
+    })?;
+    match op {
+        CliffordOp::I => {}
+        CliffordOp::X(q) => tableau.x_gate(q),
+        CliffordOp::Y(q) => tableau.y_gate(q),
+        CliffordOp::Z(q) => tableau.z_gate(q),
+        CliffordOp::H(q) => tableau.h(q),
+        CliffordOp::S(q) => tableau.s(q),
+        CliffordOp::Sdg(q) => tableau.sdg(q),
+        CliffordOp::Sx(q) => tableau.sx(q),
+        CliffordOp::Sxdg(q) => tableau.sxdg(q),
+        CliffordOp::SyPlus(q) => tableau.sy(q),
+        CliffordOp::SyMinus(q) => tableau.sydg(q),
+        CliffordOp::Cx(c, t) => tableau.cx(c, t),
+        CliffordOp::Cz(a, b) => tableau.cz(a, b),
+        CliffordOp::Swap(a, b) => tableau.swap(a, b),
+    }
+    Ok(())
+}
+
+/// Simulates a circuit on basis state `|basis⟩`.
+///
+/// # Errors
+///
+/// Returns [`NotCliffordError`] if a non-Clifford gate is encountered.
+///
+/// # Panics
+///
+/// Panics if `basis` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), qstab::NotCliffordError> {
+/// let ghz = qcirc::generators::ghz(3);
+/// let t = qstab::run(&ghz, 0)?;
+/// assert_eq!(t.measure_probability_of_one(2), Some(0.5));
+/// # Ok(())
+/// # }
+/// ```
+pub fn run(circuit: &Circuit, basis: u64) -> Result<Tableau, NotCliffordError> {
+    let mut tableau = Tableau::basis(circuit.n_qubits(), basis);
+    for gate in circuit.gates() {
+        apply_gate(&mut tableau, gate)?;
+    }
+    Ok(tableau)
+}
+
+/// The Clifford operations the tableau implements directly.
+enum CliffordOp {
+    I,
+    X(usize),
+    Y(usize),
+    Z(usize),
+    H(usize),
+    S(usize),
+    Sdg(usize),
+    Sx(usize),
+    Sxdg(usize),
+    SyPlus(usize),
+    SyMinus(usize),
+    Cx(usize, usize),
+    Cz(usize, usize),
+    Swap(usize, usize),
+}
+
+/// Classifies a gate as Clifford, folding π/2-multiple rotations onto the
+/// discrete gates (up to global phase — stabilizer states carry none).
+fn classify(gate: &Gate) -> Option<CliffordOp> {
+    let controls = gate.controls();
+    match (gate.kind(), controls.len()) {
+        (GateKind::Swap, 0) => Some(CliffordOp::Swap(gate.targets()[0], gate.targets()[1])),
+        (GateKind::Swap, _) => None,
+        (kind, 0) => {
+            let t = gate.target();
+            match *kind {
+                GateKind::I => Some(CliffordOp::I),
+                GateKind::X => Some(CliffordOp::X(t)),
+                GateKind::Y => Some(CliffordOp::Y(t)),
+                GateKind::Z => Some(CliffordOp::Z(t)),
+                GateKind::H => Some(CliffordOp::H(t)),
+                GateKind::S => Some(CliffordOp::S(t)),
+                GateKind::Sdg => Some(CliffordOp::Sdg(t)),
+                GateKind::Sx => Some(CliffordOp::Sx(t)),
+                GateKind::Sxdg => Some(CliffordOp::Sxdg(t)),
+                GateKind::Rz(theta) | GateKind::Phase(theta) => {
+                    match quarter_turns(theta)? {
+                        0 => Some(CliffordOp::I),
+                        1 => Some(CliffordOp::S(t)),
+                        2 => Some(CliffordOp::Z(t)),
+                        _ => Some(CliffordOp::Sdg(t)),
+                    }
+                }
+                GateKind::Rx(theta) => match quarter_turns(theta)? {
+                    0 => Some(CliffordOp::I),
+                    1 => Some(CliffordOp::Sx(t)),
+                    2 => Some(CliffordOp::X(t)),
+                    _ => Some(CliffordOp::Sxdg(t)),
+                },
+                GateKind::Ry(theta) => match quarter_turns(theta)? {
+                    0 => Some(CliffordOp::I),
+                    // Ry(π/2) = S·√X·S† · (phase)… avoid the algebra: √Y.
+                    1 => Some(CliffordOp::SyPlus(t)),
+                    2 => Some(CliffordOp::Y(t)),
+                    _ => Some(CliffordOp::SyMinus(t)),
+                },
+                GateKind::Sy => Some(CliffordOp::SyPlus(t)),
+                GateKind::Sydg => Some(CliffordOp::SyMinus(t)),
+                _ => None,
+            }
+        }
+        (GateKind::X, 1) => Some(CliffordOp::Cx(controls[0], gate.target())),
+        (GateKind::Z, 1) => Some(CliffordOp::Cz(controls[0], gate.target())),
+        (GateKind::Phase(theta), 1) => {
+            // CP(π) = CZ is the only Clifford controlled phase (besides I).
+            match quarter_turns(*theta)? {
+                0 => Some(CliffordOp::I),
+                2 => Some(CliffordOp::Cz(controls[0], gate.target())),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Maps `theta` to its multiple of π/2 in `0..4`, or `None` if it is not a
+/// quarter turn (within the workspace tolerance).
+fn quarter_turns(theta: f64) -> Option<u8> {
+    let normalized = angle::normalize(theta);
+    let quarters = normalized / std::f64::consts::FRAC_PI_2;
+    let rounded = quarters.round();
+    if (quarters - rounded).abs() < 1e-9 {
+        Some((rounded as i64).rem_euclid(4) as u8)
+    } else {
+        None
+    }
+}

@@ -1,0 +1,152 @@
+//! Cross-validation of the stabilizer simulator against the dense
+//! statevector simulator on random Clifford circuits.
+
+use proptest::prelude::*;
+use qcirc::{Circuit, Gate, GateKind};
+use qsim::Simulator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random Clifford circuit (tableau-supported gates only).
+fn random_clifford(n: usize, m: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(n, format!("clifford_{n}_{m}"));
+    for _ in 0..m {
+        match rng.gen_range(0..10) {
+            0 => c.h(rng.gen_range(0..n)),
+            1 => c.s(rng.gen_range(0..n)),
+            2 => c.sdg(rng.gen_range(0..n)),
+            3 => c.x(rng.gen_range(0..n)),
+            4 => c.y(rng.gen_range(0..n)),
+            5 => c.z(rng.gen_range(0..n)),
+            6 => c.sx(rng.gen_range(0..n)),
+            7 => c.sy(rng.gen_range(0..n)),
+            _ => {
+                let a = rng.gen_range(0..n);
+                let b = (a + rng.gen_range(1..n)) % n;
+                if rng.gen_bool(0.5) {
+                    c.cx(a, b)
+                } else {
+                    c.cz(a, b)
+                }
+            }
+        };
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Per-qubit measurement probabilities agree exactly (they are always
+    /// 0, ½ or 1 for stabilizer states).
+    #[test]
+    fn marginals_match_statevector(seed in any::<u64>(), basis_sel in any::<u64>()) {
+        let n = 5;
+        let c = random_clifford(n, 60, seed);
+        let basis = basis_sel % (1 << n);
+        let tableau = qstab::run(&c, basis).unwrap();
+        let state = Simulator::new().run_basis(&c, basis);
+        for q in 0..n {
+            let expected = qsim::measure::probability_of_one(&state, q);
+            let got = tableau.measure_probability_of_one(q).unwrap();
+            prop_assert!(
+                (expected - got).abs() < 1e-9,
+                "qubit {q}: statevector {expected}, tableau {got}"
+            );
+        }
+    }
+
+    /// Tableau state equality coincides with statevector equality up to
+    /// global phase.
+    #[test]
+    fn same_state_matches_statevector(seed in any::<u64>()) {
+        let n = 4;
+        let a = random_clifford(n, 40, seed);
+        let b = random_clifford(n, 40, seed.wrapping_add(1));
+        let sim = Simulator::new();
+        for basis in [0u64, 7] {
+            let ta = qstab::run(&a, basis).unwrap();
+            let tb = qstab::run(&b, basis).unwrap();
+            let sa = sim.run_basis(&a, basis);
+            let sb = sim.run_basis(&b, basis);
+            prop_assert_eq!(
+                ta.same_state(&tb),
+                sa.approx_eq_up_to_phase(&sb),
+                "basis {}", basis
+            );
+        }
+    }
+
+    /// Stabilizer expectation: every canonical stabilizer generator of the
+    /// tableau has expectation +1 in the statevector.
+    #[test]
+    fn stabilizers_have_unit_expectation(seed in any::<u64>()) {
+        let n = 4;
+        let c = random_clifford(n, 50, seed);
+        let tableau = qstab::run(&c, 0).unwrap();
+        let state = Simulator::new().run_basis(&c, 0);
+        for row in tableau.canonical_stabilizers() {
+            // Convert the signed Pauli row to a qsim PauliString + sign.
+            let label: String = (0..n)
+                .rev()
+                .map(|q| match (row.x[q], row.z[q]) {
+                    (false, false) => 'I',
+                    (true, false) => 'X',
+                    (false, true) => 'Z',
+                    (true, true) => 'Y',
+                })
+                .collect();
+            let p: qsim::expectation::PauliString = label.parse().unwrap();
+            let expectation = p.expectation(&state) * if row.sign { -1.0 } else { 1.0 };
+            prop_assert!(
+                (expectation - 1.0).abs() < 1e-9,
+                "{row} has expectation {expectation}"
+            );
+        }
+    }
+
+    /// Collapsing measurements agree with statevector collapse in
+    /// distribution: measuring all qubits of the tableau yields an outcome
+    /// whose statevector probability is nonzero.
+    #[test]
+    fn sampled_outcomes_are_supported(seed in any::<u64>()) {
+        let n = 4;
+        let c = random_clifford(n, 40, seed);
+        let state = Simulator::new().run_basis(&c, 0);
+        let mut tableau = qstab::run(&c, 0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut outcome = 0u64;
+        for q in 0..n {
+            if tableau.measure(q, &mut rng) {
+                outcome |= 1 << q;
+            }
+        }
+        prop_assert!(
+            state.probability(outcome) > 1e-12,
+            "sampled |{outcome:b}⟩ has zero statevector probability"
+        );
+    }
+}
+
+/// Pauli-row products used by canonicalization match matrix algebra on a
+/// couple of hand cases (X·X = I already covered in unit tests; here the
+/// anticommuting bookkeeping via an entangled state).
+#[test]
+fn witness_paulis_separate_states() {
+    let n = 6;
+    let g = random_clifford(n, 80, 42);
+    let mut buggy = g.clone();
+    buggy.push(Gate::single(GateKind::Z, 3));
+    let verdict = qstab::check_clifford_equivalence(&g, &buggy, 8, 9).unwrap();
+    match verdict {
+        qstab::CliffordVerdict::NotEquivalent { basis, witness, .. } => {
+            // The witness stabilizes G's output but not the buggy one.
+            let ta = qstab::run(&g, basis).unwrap();
+            let tb = qstab::run(&buggy, basis).unwrap();
+            assert!(ta.stabilizes(&witness));
+            assert!(!tb.stabilizes(&witness));
+        }
+        other => panic!("expected detection, got {other:?}"),
+    }
+}

@@ -1,0 +1,12 @@
+//! Runnable examples for the `qcec` workspace.
+//!
+//! Each binary in this package is a self-contained walkthrough of one usage
+//! scenario (run with `cargo run -p qcec-examples --bin <name>`):
+//!
+//! * `quickstart` — check two small circuits in a dozen lines,
+//! * `verify_mapping` — verify a full decompose→map→optimize design flow,
+//! * `detect_bug` — hunt an injected design-flow bug with the flow and
+//!   inspect the counterexample,
+//! * `grover_flow` — verify Grover's algorithm across an ancilla-based
+//!   decomposition, including on registers where the complete check starts
+//!   to struggle.

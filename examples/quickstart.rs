@@ -1,0 +1,46 @@
+//! Quickstart: build two circuits, check their equivalence, read the
+//! verdict.
+//!
+//! Run with `cargo run -p qcec-examples --bin quickstart`.
+
+use qcec::{check_equivalence_default, Outcome};
+use qcirc::Circuit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // G: prepare a Bell pair, then rotate.
+    let mut g = Circuit::with_name(2, "original");
+    g.h(0).cx(0, 1).rz(0.5, 1);
+
+    // G': the same computation written differently —
+    // Rz(0.25)·Rz(0.25) = Rz(0.5), and an inserted CX·CX cancels.
+    let mut g_prime = Circuit::with_name(2, "alternative");
+    g_prime
+        .h(0)
+        .cx(0, 1)
+        .rz(0.25, 1)
+        .cx(0, 1)
+        .cx(0, 1)
+        .rz(0.25, 1);
+
+    let result = check_equivalence_default(&g, &g_prime)?;
+    println!("G  = {g}");
+    println!("G' = {g_prime}");
+    println!("verdict: {result}");
+    assert!(result.outcome.is_equivalent());
+
+    // Now break G' — one wrong rotation angle.
+    let mut buggy = g_prime.clone();
+    buggy.rz(0.1, 0);
+    let result = check_equivalence_default(&g, &buggy)?;
+    println!("\nafter injecting a stray rz(0.1): {result}");
+    match result.outcome {
+        Outcome::NotEquivalent {
+            counterexample: Some(ce),
+        } => println!(
+            "counterexample: simulate both circuits on |{:02b}⟩ and compare — fidelity {:.4}",
+            ce.basis, ce.fidelity
+        ),
+        other => println!("unexpected outcome: {other}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! End-to-end tests of the `check_qasm` command-line tool: spawn the real
+//! binary, feed it files, check output and exit codes.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("qcec_cli_tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create temp file");
+    f.write_all(contents.as_bytes()).expect("write temp file");
+    path
+}
+
+fn check_qasm(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_check_qasm"))
+        .args(args)
+        .output()
+        .expect("run check_qasm")
+}
+
+const GHZ: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0], q[1];\ncx q[1], q[2];\n";
+const GHZ_MAPPED: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0], q[1];\nswap q[1], q[2];\ncx q[2], q[1];\nswap q[1], q[2];\n";
+const GHZ_BUGGY: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0], q[1];\ncx q[0], q[2];\nz q[2];\n";
+
+#[test]
+fn equivalent_files_exit_zero() {
+    let a = write_temp("eq_a.qasm", GHZ);
+    let b = write_temp("eq_b.qasm", GHZ_MAPPED);
+    let out = check_qasm(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("equivalent"), "{text}");
+}
+
+#[test]
+fn non_equivalent_files_exit_one() {
+    let a = write_temp("ne_a.qasm", GHZ);
+    let b = write_temp("ne_b.qasm", GHZ_BUGGY);
+    let out = check_qasm(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("not equivalent"), "{text}");
+}
+
+#[test]
+fn sim_only_exits_two_on_agreement() {
+    let a = write_temp("so_a.qasm", GHZ);
+    let b = write_temp("so_b.qasm", GHZ_MAPPED);
+    let out = check_qasm(&["--sim-only", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("probably equivalent"));
+}
+
+#[test]
+fn csv_output_has_a_header_row() {
+    let a = write_temp("csv_a.qasm", GHZ);
+    let b = write_temp("csv_b.qasm", GHZ_MAPPED);
+    let out = check_qasm(&["--csv", a.to_str().unwrap(), b.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("name,n,"), "{text}");
+}
+
+#[test]
+fn measurements_are_stripped_with_a_note() {
+    let measured = format!("{GHZ}creg c[3];\nmeasure q -> c;\n");
+    let a = write_temp("m_a.qasm", GHZ);
+    let b = write_temp("m_b.qasm", &measured);
+    let out = check_qasm(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("stripped 3"));
+}
+
+#[test]
+fn real_format_is_accepted() {
+    let real = ".numvars 3\n.variables a b c\n.begin\nt1 a\nt2 a b\nt3 a b c\n.end\n";
+    let qasm_equiv = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nx q[0];\ncx q[0], q[1];\nccx q[0], q[1], q[2];\n";
+    let a = write_temp("r_a.real", real);
+    let b = write_temp("r_b.qasm", qasm_equiv);
+    let out = check_qasm(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
+fn usage_errors_exit_sixty_four() {
+    let out = check_qasm(&["only_one.qasm"]);
+    assert_eq!(out.status.code(), Some(64));
+    let out = check_qasm(&["--bogus-flag", "a.qasm", "b.qasm"]);
+    assert_eq!(out.status.code(), Some(64));
+    let out = check_qasm(&["/nonexistent/a.qasm", "/nonexistent/b.qasm"]);
+    assert_eq!(out.status.code(), Some(64));
+}
+
+#[test]
+fn mismatched_registers_are_widened() {
+    let small = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n";
+    let wide = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\nh q[0];\ncx q[0], q[1];\n";
+    let a = write_temp("w_a.qasm", small);
+    let b = write_temp("w_b.qasm", wide);
+    let out = check_qasm(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+}

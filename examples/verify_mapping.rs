@@ -1,0 +1,77 @@
+//! Verify a complete design flow: decompose a Trotterized-chemistry circuit
+//! to the device basis, map it to a grid architecture, optimize it — then
+//! prove each stage preserved the functionality.
+//!
+//! Run with `cargo run -p qcec-examples --bin verify_mapping`.
+
+use qcec::check_equivalence_default;
+use qcirc::mapping::{route, CouplingMap, RouterOptions};
+use qcirc::{decompose, generators, optimize};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The algorithm-level circuit: 8-qubit lattice-model time evolution.
+    let algorithm = generators::trotter_heisenberg(2, 4, 2, 0.1, 0.5);
+    println!(
+        "algorithm:  '{}', {} qubits, {} gates, depth {}",
+        algorithm.name(),
+        algorithm.n_qubits(),
+        algorithm.len(),
+        algorithm.depth()
+    );
+
+    // Stage 1: decomposition to {1q, CX}.
+    let lowered = decompose::decompose_to_cx_and_single_qubit(&algorithm);
+    println!("decomposed: {} gates (elementary: {})", lowered.len(), lowered.is_elementary());
+    let r1 = check_equivalence_default(&algorithm, &lowered)?;
+    println!("  stage check: {r1}");
+
+    // Stage 2: mapping to a linear device (the grid edges of the lattice
+    // model are *not* all native on a line, so SWAPs get inserted).
+    let device = CouplingMap::linear(8);
+    let routed = route(&lowered, &device, RouterOptions::default())?;
+    println!(
+        "mapped:     {} gates ({} SWAPs inserted, device '{}')",
+        routed.circuit.len(),
+        routed.swap_count,
+        device.name()
+    );
+    let r2 = check_equivalence_default(&lowered, &routed.circuit)?;
+    println!("  stage check: {r2}");
+
+    // Stage 3: optimization.
+    let optimized = optimize::optimize(&routed.circuit);
+    println!(
+        "optimized:  {} gates ({} removed)",
+        optimized.len(),
+        routed.circuit.len() - optimized.len()
+    );
+    let r3 = check_equivalence_default(&routed.circuit, &optimized)?;
+    println!("  stage check: {r3}");
+
+    // End-to-end: algorithm vs final artifact.
+    let end_to_end = check_equivalence_default(&algorithm, &optimized)?;
+    println!("\nend-to-end: {end_to_end}");
+    assert!(end_to_end.outcome.is_equivalent());
+
+    // The same chain through the pipeline API, with a deliberately broken
+    // extra stage — the report pinpoints the faulty tool.
+    let mut broken = optimized.clone();
+    broken.x(3);
+    let report = qcec::pipeline::verify_stages(
+        &[
+            ("algorithm", algorithm),
+            ("decomposed", lowered),
+            ("mapped", routed.circuit),
+            ("optimized", optimized),
+            ("buggy-tool-output", broken),
+        ],
+        &qcec::Config::default(),
+    )?;
+    println!("\npipeline report:\n{report}");
+    let broken_stage = report
+        .first_broken_stage()
+        .expect("the injected bug must be found");
+    println!("→ first broken stage: '{}'", broken_stage.name);
+    assert_eq!(broken_stage.name, "buggy-tool-output");
+    Ok(())
+}

@@ -1,0 +1,20 @@
+// 1-bit Cuccaro adder with carry, hand-written fixture
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg cin[1];
+qreg b[1];
+qreg a[1];
+qreg cout[1];
+creg result[2];
+// MAJ
+cx a[0], b[0];
+cx a[0], cin[0];
+ccx cin[0], b[0], a[0];
+// carry out
+cx a[0], cout[0];
+// UMA
+ccx cin[0], b[0], a[0];
+cx a[0], cin[0];
+cx cin[0], b[0];
+measure b[0] -> result[0];
+measure cout[0] -> result[1];

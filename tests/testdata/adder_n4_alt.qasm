@@ -1,0 +1,15 @@
+// The same adder, with canceling gate pairs and a commuting reorder
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+cx q[2], q[1];
+h q[3];
+h q[3];
+cx q[2], q[0];
+ccx q[0], q[1], q[2];
+cx q[2], q[3];
+ccx q[0], q[1], q[2];
+cx q[2], q[0];
+s q[0];
+sdg q[0];
+cx q[0], q[1];

@@ -1,0 +1,9 @@
+// 2-qubit Grover (one iteration) using a user-defined gate
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+gate diffuse a, b { h a; h b; x a; x b; cz a, b; x a; x b; h a; h b; }
+h q[0];
+h q[1];
+cz q[0], q[1];
+diffuse q[0], q[1];

@@ -1,0 +1,168 @@
+//! Adversarial cases: inputs crafted to exploit each component's known weak
+//! spots. Every case either must be handled correctly or must fail the
+//! *documented* way (no silent wrong answers).
+
+use qcec::{check_equivalence, check_equivalence_default, Config, Criterion, Fallback, Outcome};
+use qcirc::{generators, Circuit};
+
+/// The worst case of Section IV-A: the difference is a fully-controlled
+/// gate, so only 2 of 2ⁿ columns differ. Random simulation is *expected* to
+/// miss it; the fallback must then catch it.
+#[test]
+fn fully_controlled_difference_falls_through_to_the_complete_check() {
+    let n = 10;
+    let g = Circuit::new(n);
+    let mut buggy = Circuit::new(n);
+    buggy.mcx((0..n - 1).collect(), n - 1);
+    let config = Config::new().with_simulations(5).with_seed(0);
+    let result = check_equivalence(&g, &buggy, &config).unwrap();
+    // Either simulation got lucky (possible) or the DD check decided.
+    assert!(result.outcome.is_not_equivalent(), "{}", result.outcome);
+}
+
+/// Basis-dependent phases that look like a global phase on every individual
+/// run — the trap for per-run up-to-phase comparison. Cross-run phase
+/// tracking must catch it.
+#[test]
+fn basis_dependent_phase_error_is_caught() {
+    let n = 6;
+    let mut g = Circuit::new(n);
+    for q in 0..n {
+        g.cx(q, (q + 1) % n);
+    }
+    let mut buggy = g.clone();
+    // T on a classical wire: each basis run sees only a global phase.
+    buggy.insert(3, qcirc::Gate::single(qcirc::GateKind::T, 2));
+    let result = check_equivalence_default(&g, &buggy).unwrap();
+    assert!(result.outcome.is_not_equivalent(), "{}", result.outcome);
+}
+
+/// An *honest* global phase must NOT be reported as an error under the
+/// physical criterion — and must be under the strict one.
+#[test]
+fn global_phase_only_difference_is_classified_correctly() {
+    let mut g = Circuit::new(3);
+    g.h(0).cx(0, 1).ccx(0, 1, 2);
+    let mut phased = g.clone();
+    // Global −1 via Rz(2π) (affects every column identically).
+    phased.rz(2.0 * std::f64::consts::PI, 0);
+    let physical = check_equivalence_default(&g, &phased).unwrap();
+    assert!(physical.outcome.is_equivalent(), "{}", physical.outcome);
+    let strict = check_equivalence(
+        &g,
+        &phased,
+        &Config::new().with_criterion(Criterion::Strict),
+    )
+    .unwrap();
+    assert!(strict.outcome.is_not_equivalent(), "{}", strict.outcome);
+}
+
+/// Dirty-ancilla decompositions are equivalence-preserving *as full
+/// unitaries*; clean-ancilla-style garbage is not. The checker must
+/// distinguish the two.
+#[test]
+fn ancilla_garbage_is_flagged() {
+    let n = 4;
+    // "Decomposition" that leaves garbage: compute into the ancilla and
+    // forget to uncompute.
+    let mut with_garbage = Circuit::new(n + 1);
+    with_garbage.h(0).ccx(0, 1, n).cx(n, 2); // ancilla n holds q0·q1
+    let mut reference = Circuit::new(n + 1);
+    reference.h(0).ccx(0, 1, 2); // intended behaviour, ancilla idle
+    let result = check_equivalence_default(&reference, &with_garbage).unwrap();
+    assert!(result.outcome.is_not_equivalent());
+}
+
+/// Rotations that differ by exactly 4π are the same matrix; by 2π they
+/// differ by a global phase. Neither may produce a false non-equivalence
+/// under the physical criterion.
+#[test]
+fn rotation_period_aliasing() {
+    let mut a = Circuit::new(2);
+    a.rx(0.7, 0).cx(0, 1);
+    let mut b4 = Circuit::new(2);
+    b4.rx(0.7 + 4.0 * std::f64::consts::PI, 0).cx(0, 1);
+    let strict = Config::new().with_criterion(Criterion::Strict);
+    let r = check_equivalence(&a, &b4, &strict).unwrap();
+    assert!(r.outcome.is_equivalent(), "4π-shifted rotation: {}", r.outcome);
+    let mut b2 = Circuit::new(2);
+    b2.rx(0.7 + 2.0 * std::f64::consts::PI, 0).cx(0, 1);
+    let r = check_equivalence_default(&a, &b2).unwrap();
+    assert!(r.outcome.is_equivalent(), "2π-shifted rotation: {}", r.outcome);
+    let r = check_equivalence(&a, &b2, &strict).unwrap();
+    assert!(r.outcome.is_not_equivalent(), "strict must see the −1");
+}
+
+/// A tiny rotation below any sane simulation tolerance: the simulations
+/// cannot see it, but the DD fallback (interning at 1e−13) must.
+#[test]
+fn near_identity_rotation_is_decided_by_the_fallback() {
+    let mut g = Circuit::new(3);
+    g.h(0).cx(0, 1).cx(1, 2);
+    let mut buggy = g.clone();
+    buggy.rz(1e-6, 1); // far beyond fidelity tolerance per run? borderline:
+                       // fidelity error ~ (1e-6)² = 1e-12 < 1e-8 → invisible
+    let result = check_equivalence_default(&g, &buggy).unwrap();
+    match result.outcome {
+        // The complete check sees the distinct DD weights.
+        Outcome::NotEquivalent { .. } => {}
+        // Also acceptable: phases differing below the DD tolerance would be
+        // equivalent-up-to-phase — but 1e-6 is far above 1e-13, so anything
+        // else is a bug.
+        other => panic!("near-identity rotation missed: {other}"),
+    }
+    // 2³ = 8 ≤ r → the stage enumerated every basis state and all passed.
+    assert_eq!(result.stats.simulations_run, 8, "sims must all pass first");
+}
+
+/// Swapping two commuting gates is equivalence-preserving; the checker must
+/// not be confused by textual reordering.
+#[test]
+fn commuting_reorder_is_equivalent() {
+    let mut a = Circuit::new(4);
+    a.h(0).rz(0.3, 1).cx(2, 3).t(1).cx(0, 1);
+    let mut b = Circuit::new(4);
+    b.cx(2, 3).h(0).t(1).rz(0.3, 1).cx(0, 1); // disjoint/diagonal commutations
+    let strict = Config::new().with_criterion(Criterion::Strict);
+    let r = check_equivalence(&a, &b, &strict).unwrap();
+    assert!(r.outcome.is_equivalent(), "{}", r.outcome);
+}
+
+/// Zero simulations plus no fallback must answer "probably equivalent with
+/// zero evidence" — never a hard verdict.
+#[test]
+fn no_evidence_no_verdict() {
+    let g = generators::ghz(3);
+    let mut buggy = g.clone();
+    buggy.x(0);
+    let config = Config::new()
+        .with_simulations(0)
+        .with_fallback(Fallback::None);
+    let result = check_equivalence(&g, &buggy, &config).unwrap();
+    match result.outcome {
+        Outcome::ProbablyEquivalent {
+            passed_simulations, ..
+        } => assert_eq!(passed_simulations, 0),
+        other => panic!("fabricated a verdict from nothing: {other}"),
+    }
+}
+
+/// The stabilizer path and the dense path agree on Clifford adversaries.
+#[test]
+fn stabilizer_and_dense_agree_on_sign_errors() {
+    let g = generators::ghz(8);
+    let mut buggy = g.clone();
+    buggy.z(5); // pure sign error
+    let dense = check_equivalence_default(&g, &buggy).unwrap();
+    assert!(dense.outcome.is_not_equivalent());
+    let stab = qstab::check_clifford_equivalence(&g, &buggy, 10, 3).unwrap();
+    assert!(matches!(stab, qstab::CliffordVerdict::NotEquivalent { .. }));
+}
+
+/// Circuits over different registers are a *user error*, not a verdict.
+#[test]
+fn register_mismatch_is_rejected_not_guessed() {
+    let a = generators::ghz(3);
+    let b = generators::ghz(5);
+    assert!(check_equivalence_default(&a, &b).is_err());
+}

@@ -1,0 +1,103 @@
+//! Cross-engine agreement: the dense reference, the statevector simulator
+//! and the decision-diagram package must compute identical semantics.
+
+use qcirc::{generators, Circuit};
+use qsim::Simulator;
+
+fn workloads() -> Vec<Circuit> {
+    vec![
+        generators::bell().widened(4),
+        generators::ghz(4),
+        generators::qft(4, true),
+        generators::grover(4, 11, 2),
+        generators::supremacy_2d(2, 2, 6, 3),
+        generators::trotter_heisenberg(2, 2, 1, 0.2, 0.4),
+        generators::cuccaro_adder(1),
+        generators::random_clifford_t(4, 60, 8),
+        generators::toffoli_network(4, 25, 2, 9),
+    ]
+}
+
+#[test]
+fn statevector_matches_dense_reference() {
+    let sim = Simulator::new();
+    for c in workloads() {
+        let u = qcirc::dense::unitary(&c);
+        for basis in 0..(1u64 << c.n_qubits().min(3)) {
+            let out = sim.run_basis(&c, basis);
+            for (row, amp) in out.amplitudes().iter().enumerate() {
+                assert!(
+                    amp.approx_eq(u.entry(row, basis as usize)),
+                    "{}: basis {basis}",
+                    c.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dd_simulation_matches_statevector() {
+    let sim = Simulator::new();
+    for c in workloads() {
+        let mut p = qdd::Package::new(c.n_qubits());
+        for basis in [0u64, 1, 5] {
+            let v = p.apply_to_basis(&c, basis).unwrap();
+            let expect = sim.run_basis(&c, basis);
+            for (i, amp) in p.to_statevector(v).iter().enumerate() {
+                assert!(
+                    amp.approx_eq(expect.amplitudes()[i]),
+                    "{}: basis {basis} index {i}",
+                    c.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dd_matrix_matches_dense_reference() {
+    for c in workloads() {
+        let mut p = qdd::Package::new(c.n_qubits());
+        let u = p.circuit_medge(&c).unwrap();
+        assert!(
+            p.to_matrix(u).approx_eq(&qcirc::dense::unitary(&c)),
+            "{}",
+            c.name()
+        );
+    }
+}
+
+#[test]
+fn simulator_unitary_builder_matches_dense() {
+    for c in workloads() {
+        assert!(
+            qsim::unitary(&c).approx_eq(&qcirc::dense::unitary(&c)),
+            "{}",
+            c.name()
+        );
+    }
+}
+
+#[test]
+fn threaded_simulator_matches_sequential() {
+    let c = generators::supremacy_2d(4, 5, 8, 2); // 20 qubits: 2²⁰ amplitudes
+    let seq = Simulator::new().run_basis(&c, 77);
+    let par = Simulator::with_threads(4).run_basis(&c, 77);
+    assert!(seq.approx_eq(&par));
+}
+
+#[test]
+fn both_flow_backends_reach_the_same_verdicts() {
+    use qcec::{Config, SimBackend};
+    let g = generators::grover(4, 7, 2);
+    let mut buggy = g.clone();
+    buggy.t(2);
+    for backend in [SimBackend::Statevector, SimBackend::DecisionDiagram] {
+        let config = Config::new().with_backend(backend);
+        let eq = qcec::check_equivalence(&g, &g, &config).unwrap();
+        assert!(eq.outcome.is_equivalent(), "{backend:?}");
+        let ne = qcec::check_equivalence(&g, &buggy, &config).unwrap();
+        assert!(ne.outcome.is_not_equivalent(), "{backend:?}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Fixture-file tests: real OpenQASM/`.real` files on disk flow through the
+//! parsers and the equivalence checker (the path a downstream user takes).
+
+use std::path::PathBuf;
+
+use qcec::{check_equivalence_default, Outcome};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("testdata")
+        .join(name)
+}
+
+#[test]
+fn adder_fixture_loads_leniently_and_adds() {
+    let source = std::fs::read_to_string(fixture("adder_n4.qasm")).unwrap();
+    let parsed = qcirc::qasm::parse_lenient(&source).unwrap();
+    assert_eq!(parsed.circuit.n_qubits(), 4);
+    assert_eq!(parsed.measurements.len(), 2);
+    // Registers flatten as cin=0, b=1, a=2, cout=3. Check 1 + 1 = 10₂.
+    let sim = qsim::Simulator::new();
+    let input = 0b0110; // a=1 (bit 2), b=1 (bit 1)
+    let out = sim.run_basis(&parsed.circuit, input);
+    // sum bit in b (bit 1) = 0, carry in cout (bit 3) = 1, a restored.
+    let expected = 0b1100;
+    assert!(out.probability(expected) > 1.0 - 1e-9, "got {out}");
+}
+
+#[test]
+fn adder_fixtures_are_equivalent() {
+    let a = qcirc::qasm::parse_lenient(
+        &std::fs::read_to_string(fixture("adder_n4.qasm")).unwrap(),
+    )
+    .unwrap()
+    .circuit;
+    let b = qcirc::qasm::parse(&std::fs::read_to_string(fixture("adder_n4_alt.qasm")).unwrap())
+        .unwrap();
+    let result = check_equivalence_default(&a, &b).unwrap();
+    assert!(result.outcome.is_equivalent(), "{}", result.outcome);
+}
+
+#[test]
+fn peres_fixture_matches_its_expansion() {
+    let compact = qcirc::real::parse_file(fixture("peres_3.real")).unwrap();
+    let expanded = qcirc::real::parse_file(fixture("peres_3_expanded.real")).unwrap();
+    let result = check_equivalence_default(&compact, &expanded).unwrap();
+    assert!(result.outcome.is_equivalent(), "{}", result.outcome);
+}
+
+#[test]
+fn peres_fixture_differs_from_reversed_expansion() {
+    let compact = qcirc::real::parse_file(fixture("peres_3.real")).unwrap();
+    // Inverse Peres has the two gates in the other order — not equivalent.
+    let swapped = qcirc::real::parse(".numvars 3\n.variables a b c\n.begin\nt2 a b\nt3 a b c\n.end").unwrap();
+    let result = check_equivalence_default(&compact, &swapped).unwrap();
+    match result.outcome {
+        Outcome::NotEquivalent { counterexample } => {
+            assert!(counterexample.is_some());
+        }
+        other => panic!("expected difference, got {other}"),
+    }
+}
+
+#[test]
+fn user_defined_gate_fixture_runs_grover() {
+    let c = qcirc::qasm::parse_file(fixture("grover2_with_defs.qasm")).unwrap();
+    // One Grover iteration on 2 qubits finds |11⟩ with certainty.
+    let out = qsim::Simulator::new().run_basis(&c, 0);
+    assert!(out.probability(0b11) > 1.0 - 1e-9, "got {out}");
+}
+
+#[test]
+fn fixtures_roundtrip_through_the_writers() {
+    let c = qcirc::qasm::parse_file(fixture("grover2_with_defs.qasm")).unwrap();
+    let rewritten = qcirc::qasm::parse(&qcirc::qasm::write(&c)).unwrap();
+    let result = check_equivalence_default(&c, &rewritten).unwrap();
+    assert!(result.outcome.is_equivalent());
+
+    let p = qcirc::real::parse_file(fixture("peres_3_expanded.real")).unwrap();
+    let text = qcirc::real::write(&p).unwrap();
+    let back = qcirc::real::parse(&text).unwrap();
+    let result = check_equivalence_default(&p, &back).unwrap();
+    assert!(result.outcome.is_equivalent());
+}
