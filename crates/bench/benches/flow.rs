@@ -44,7 +44,9 @@ fn bench_equivalent(c: &mut Criterion) {
     let (g, alt) = design_flow_pair();
     let mut group = c.benchmark_group("flow_equivalent");
     group.bench_function("ten_simulations", |b| {
-        let config = Config::new().with_fallback(Fallback::None).with_simulations(10);
+        let config = Config::new()
+            .with_fallback(Fallback::None)
+            .with_simulations(10);
         b.iter(|| qcec::check_equivalence(&g, &alt, &config).unwrap());
     });
     group.bench_function("full_flow_with_fallback", |b| {
@@ -59,14 +61,12 @@ fn bench_r_sweep(c: &mut Criterion) {
     let (g, alt) = design_flow_pair();
     let mut group = c.benchmark_group("flow_r_sweep");
     for r in [1usize, 5, 10, 20] {
-        group.bench_with_input(
-            criterion::BenchmarkId::from_parameter(r),
-            &r,
-            |b, &r| {
-                let config = Config::new().with_fallback(Fallback::None).with_simulations(r);
-                b.iter(|| qcec::check_equivalence(&g, &alt, &config).unwrap());
-            },
-        );
+        group.bench_with_input(criterion::BenchmarkId::from_parameter(r), &r, |b, &r| {
+            let config = Config::new()
+                .with_fallback(Fallback::None)
+                .with_simulations(r);
+            b.iter(|| qcec::check_equivalence(&g, &alt, &config).unwrap());
+        });
     }
     group.finish();
 }

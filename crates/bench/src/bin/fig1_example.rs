@@ -19,7 +19,10 @@ fn main() {
     print_matrix4(&Matrix4::swap());
 
     let g = figure1b();
-    println!("\n== Fig. 1b: example circuit G ({} gates, 3 qubits) ==\n", g.len());
+    println!(
+        "\n== Fig. 1b: example circuit G ({} gates, 3 qubits) ==\n",
+        g.len()
+    );
     print!("{g}");
 
     let u = qsim::unitary(&g);
@@ -76,8 +79,9 @@ fn main() {
     let result = qcec::check_equivalence_default(&g.widened(buggy.n_qubits()), &buggy)
         .expect("equal registers");
     println!("\nProposed flow verdict: {result}");
-    let ok = qcec::check_equivalence_default(&g.widened(routed.circuit.n_qubits()), &routed.circuit)
-        .expect("equal registers");
+    let ok =
+        qcec::check_equivalence_default(&g.widened(routed.circuit.n_qubits()), &routed.circuit)
+            .expect("equal registers");
     println!("Flow on the correct mapping: {ok}");
 }
 

@@ -35,13 +35,16 @@ fn main() {
     // polynomial time, far beyond any dense representation.
     println!();
     println!("Clifford family (stabilizer backend, 10 probes per check):");
-    println!("{:<22} {:>4} {:>8} {:>14}", "family", "n", "|G|", "t_10_probes [s]");
+    println!(
+        "{:<22} {:>4} {:>8} {:>14}",
+        "family", "n", "|G|", "t_10_probes [s]"
+    );
     for n in [50usize, 100, 200, 400] {
         let g = qcirc::generators::ghz(n);
         let mapped = qcirc::mapping::route_or_panic(&g, &qcirc::mapping::CouplingMap::ring(n));
         let start = Instant::now();
-        let verdict = qstab::check_clifford_equivalence(&g, &mapped.circuit, 10, 1)
-            .expect("GHZ is Clifford");
+        let verdict =
+            qstab::check_clifford_equivalence(&g, &mapped.circuit, 10, 1).expect("GHZ is Clifford");
         assert!(matches!(verdict, qstab::CliffordVerdict::AllAgreed { .. }));
         println!(
             "{:<22} {:>4} {:>8} {:>14}",

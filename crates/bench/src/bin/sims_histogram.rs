@@ -21,10 +21,7 @@ fn main() {
     // design-flow output" shape (rotations + CX on a grid).
     let g = {
         let raw = qcirc::generators::trotter_heisenberg(2, 4, 2, 0.1, 0.5);
-        let routed = qcirc::mapping::route_or_panic(
-            &raw,
-            &qcirc::mapping::CouplingMap::grid(2, 4),
-        );
+        let routed = qcirc::mapping::route_or_panic(&raw, &qcirc::mapping::CouplingMap::grid(2, 4));
         routed.circuit
     };
     println!(
@@ -65,8 +62,8 @@ fn main() {
                 .with_simulations(max_r)
                 .with_fallback(Fallback::None)
                 .with_seed(seed.wrapping_mul(0x9E3779B97F4A7C15));
-            let result = qcec::check_equivalence(&g, &buggy, &config)
-                .expect("statevector flow cannot fail");
+            let result =
+                qcec::check_equivalence(&g, &buggy, &config).expect("statevector flow cannot fail");
             match result.outcome {
                 Outcome::NotEquivalent {
                     counterexample: Some(ce),

@@ -27,8 +27,8 @@ fn main() {
 
     println!("Table Ia — non-equivalent benchmarks (deadline {deadline:?})");
     println!(
-        "{:<18} {:>3} {:>8} {:>8} {:>12} {:>6} {:>10}  {}",
-        "Benchmark", "n", "|G|", "|G'|", "t_ec [s]", "#sims", "t_sim [s]", "injected error"
+        "{:<18} {:>3} {:>8} {:>8} {:>12} {:>6} {:>10}  injected error",
+        "Benchmark", "n", "|G|", "|G'|", "t_ec [s]", "#sims", "t_sim [s]"
     );
 
     for (row, pair) in suite(scale).into_iter().enumerate() {
@@ -81,7 +81,10 @@ fn main() {
             Outcome::NotEquivalent {
                 counterexample: Some(ce),
             } => (ce.run.to_string(), fmt_secs(result.stats.simulation_time)),
-            _ => ("-".to_string(), format!("{} (undetected!)", fmt_secs(result.stats.simulation_time))),
+            _ => (
+                "-".to_string(),
+                format!("{} (undetected!)", fmt_secs(result.stats.simulation_time)),
+            ),
         };
 
         println!(

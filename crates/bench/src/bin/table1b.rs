@@ -13,8 +13,8 @@
 use std::time::Instant;
 
 use bench::{deadline_from_env, fmt_secs, scale_from_env, suite};
-use qcec::{Config, SimBackend};
 use qcec::{run_simulations, SimVerdict};
+use qcec::{Config, SimBackend};
 
 fn main() {
     let deadline = deadline_from_env(30);
@@ -23,8 +23,8 @@ fn main() {
 
     println!("Table Ib — equivalent benchmarks (deadline {deadline:?}, r = 10)");
     println!(
-        "{:<18} {:>3} {:>8} {:>8} {:>12} {:>10}  {}",
-        "Benchmark", "n", "|G|", "|G'|", "t_ec [s]", "t_sim [s]", "derivation"
+        "{:<18} {:>3} {:>8} {:>8} {:>12} {:>10}  derivation",
+        "Benchmark", "n", "|G|", "|G'|", "t_ec [s]", "t_sim [s]"
     );
 
     for pair in suite(scale) {

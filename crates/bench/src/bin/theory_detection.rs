@@ -43,10 +43,6 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "Example 7 (c = 0): every column differs → 100% of simulations detect the error."
-    );
-    println!(
-        "Example 8 (c = n−1): only 2 of 2ⁿ columns differ → worst case for random stimuli."
-    );
+    println!("Example 7 (c = 0): every column differs → 100% of simulations detect the error.");
+    println!("Example 8 (c = n−1): only 2 of 2ⁿ columns differ → worst case for random stimuli.");
 }

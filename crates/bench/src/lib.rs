@@ -90,7 +90,11 @@ pub fn suite(scale: usize) -> Vec<BenchmarkPair> {
 
     // --- Grover (ancilla decomposition inflates the register, as in the
     //     paper's Grover rows) ---------------------------------------------
-    for &k in if scale >= 1 { &[5usize, 6, 7][..] } else { &[5usize][..] } {
+    for &k in if scale >= 1 {
+        &[5usize, 6, 7][..]
+    } else {
+        &[5usize][..]
+    } {
         let g = generators::grover(k, (1 << k) - 2, generators::optimal_grover_iterations(k));
         let lowered = decompose::decompose_with_dirty_ancillas(&g);
         let widened = g.widened(lowered.n_qubits());
@@ -226,8 +230,7 @@ mod tests {
         for pair in suite(0) {
             assert_eq!(pair.original.n_qubits(), pair.alternative.n_qubits());
             if pair.statevector_ok && pair.n_qubits() <= 12 {
-                let result =
-                    check_equivalence_default(&pair.original, &pair.alternative).unwrap();
+                let result = check_equivalence_default(&pair.original, &pair.alternative).unwrap();
                 assert!(
                     result.outcome.is_equivalent(),
                     "{}: {}",
@@ -241,7 +244,11 @@ mod tests {
     #[test]
     fn suite_covers_every_derivation() {
         let pairs = suite(1);
-        for d in [Derivation::Mapped, Derivation::Decomposed, Derivation::Optimized] {
+        for d in [
+            Derivation::Mapped,
+            Derivation::Decomposed,
+            Derivation::Optimized,
+        ] {
             assert!(pairs.iter().any(|p| p.derivation == d), "{d:?} missing");
         }
         assert!(pairs.len() >= 10);

@@ -1,6 +1,9 @@
 //! Configuration of the equivalence checking flow.
 
+use std::sync::Arc;
 use std::time::Duration;
+
+use crate::scheduler::EventSink;
 
 /// When two output states (or system matrices) count as "equal".
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,7 +71,7 @@ pub enum Fallback {
 ///     .with_fallback(Fallback::Alternating);
 /// assert_eq!(config.simulations, 10);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Config {
     /// Number of random basis-state simulations `r` (paper default: 10).
     pub simulations: usize,
@@ -85,14 +88,55 @@ pub struct Config {
     pub fallback: Fallback,
     /// How stimulus basis states are chosen.
     pub stimuli: StimulusStrategy,
-    /// OS threads for the statevector backend's kernels (1 = sequential;
-    /// more only pays off beyond ~18 qubits).
+    /// Worker threads for the flow. With `1` (the default) everything runs
+    /// sequentially on the calling thread; with more, [`check_equivalence`]
+    /// (crate::check_equivalence) fans the stimuli across a
+    /// [`scheduler`](crate::scheduler) pool of this many workers (the
+    /// verdict stays deterministic per seed). When [`run_simulations`]
+    /// (crate::run_simulations) is called directly, this is instead the
+    /// statevector backend's kernel thread count.
     pub threads: usize,
     /// Wall-clock budget for the *complete* check (the simulations are
     /// never aborted; they are the cheap part). `None` = unbounded.
     pub deadline: Option<Duration>,
     /// Node budget for decision diagrams (memory analogue of the deadline).
     pub dd_node_limit: usize,
+    /// Portfolio mode: with `threads > 1`, race the complete DD check
+    /// against the simulation pool instead of running it afterwards —
+    /// first definitive verdict wins. The verdict *class* is unchanged,
+    /// but whether a non-equivalence comes with a simulation
+    /// counterexample may then depend on which side wins the race.
+    pub portfolio: bool,
+    /// Receiver for the scheduler's [`RunEvent`](crate::scheduler::RunEvent)s
+    /// (per-stage timings, per-simulation outcomes, cancellations).
+    /// `None` = discard. Only the scheduled path (`threads > 1`) and the
+    /// pipeline driver emit events.
+    pub event_sink: Option<Arc<dyn EventSink>>,
+}
+
+impl PartialEq for Config {
+    /// Sinks are compared by identity (same `Arc`), everything else by
+    /// value — two configurations driving different sinks are genuinely
+    /// not interchangeable.
+    fn eq(&self, other: &Self) -> bool {
+        let sinks_eq = match (&self.event_sink, &other.event_sink) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        self.simulations == other.simulations
+            && self.seed == other.seed
+            && self.fidelity_tolerance == other.fidelity_tolerance
+            && self.criterion == other.criterion
+            && self.backend == other.backend
+            && self.fallback == other.fallback
+            && self.stimuli == other.stimuli
+            && self.threads == other.threads
+            && self.deadline == other.deadline
+            && self.dd_node_limit == other.dd_node_limit
+            && self.portfolio == other.portfolio
+            && sinks_eq
+    }
 }
 
 impl Default for Config {
@@ -108,6 +152,8 @@ impl Default for Config {
             threads: 1,
             deadline: None,
             dd_node_limit: qdd::Package::DEFAULT_NODE_LIMIT,
+            portfolio: false,
+            event_sink: None,
         }
     }
 }
@@ -162,7 +208,7 @@ impl Config {
         self
     }
 
-    /// Sets the statevector backend's thread count.
+    /// Sets the worker thread count (see [`Config::threads`]).
     ///
     /// # Panics
     ///
@@ -171,6 +217,35 @@ impl Config {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "need at least one thread");
         self.threads = threads;
+        self
+    }
+
+    /// Enables or disables portfolio mode (racing the complete check
+    /// against the simulation pool; see [`Config::portfolio`]). Has no
+    /// effect unless `threads > 1`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcec::Config;
+    ///
+    /// let config = Config::new().with_threads(4).with_portfolio(true);
+    /// let g = qcirc::generators::qft(4, true);
+    /// let opt = qcirc::optimize::optimize(&g);
+    /// let result = qcec::check_equivalence(&g, &opt, &config).unwrap();
+    /// assert!(result.outcome.is_equivalent());
+    /// ```
+    #[must_use]
+    pub fn with_portfolio(mut self, portfolio: bool) -> Self {
+        self.portfolio = portfolio;
+        self
+    }
+
+    /// Installs an event sink receiving the scheduler's structured
+    /// [`RunEvent`](crate::scheduler::RunEvent)s.
+    #[must_use]
+    pub fn with_event_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.event_sink = Some(sink);
         self
     }
 
@@ -219,5 +294,29 @@ mod tests {
         assert_eq!(c.backend, SimBackend::DecisionDiagram);
         assert_eq!(c.fallback, Fallback::None);
         assert_eq!(c.dd_node_limit, 1000);
+    }
+
+    #[test]
+    fn scheduler_knobs_default_off() {
+        let c = Config::default();
+        assert_eq!(c.threads, 1);
+        assert!(!c.portfolio);
+        assert!(c.event_sink.is_none());
+        let c = c.with_threads(4).with_portfolio(true);
+        assert_eq!(c.threads, 4);
+        assert!(c.portfolio);
+    }
+
+    #[test]
+    fn sinks_compare_by_identity() {
+        use crate::scheduler::CollectingSink;
+        let sink: Arc<dyn crate::scheduler::EventSink> = Arc::new(CollectingSink::new());
+        let a = Config::default().with_event_sink(sink.clone());
+        let b = Config::default().with_event_sink(sink);
+        let c = Config::default().with_event_sink(Arc::new(CollectingSink::new()));
+        assert_eq!(a, b, "same sink, same config");
+        assert_ne!(a, c, "different sinks are different configs");
+        assert_ne!(a, Config::default());
+        assert_eq!(Config::default(), Config::default());
     }
 }

@@ -59,6 +59,12 @@ impl std::error::Error for FlowError {}
 ///    unlike the state of the art's bare timeout, the `r` agreeing
 ///    simulations make an actual error very unlikely.
 ///
+/// With `config.threads > 1` the flow runs on the
+/// [`scheduler`](crate::scheduler): the stimuli fan out across a worker
+/// pool (and, with [`Config::with_portfolio`], the complete check races
+/// the pool). The verdict stays deterministic per seed; with `threads ==
+/// 1` this sequential code path runs unchanged.
+///
 /// # Errors
 ///
 /// Returns [`FlowError`] if the circuits have different qubit counts, or if
@@ -87,6 +93,10 @@ pub fn check_equivalence(
             left: g.n_qubits(),
             right: g_prime.n_qubits(),
         });
+    }
+
+    if config.threads > 1 {
+        return crate::scheduler::run_scheduled(g, g_prime, config);
     }
 
     // Stage 1: random basis-state simulations.
@@ -184,10 +194,7 @@ mod tests {
                 Outcome::NotEquivalent {
                     counterexample: Some(ce),
                 } => {
-                    assert!(
-                        ce.run <= 10,
-                        "error '{record}' needed more than r runs"
-                    );
+                    assert!(ce.run <= 10, "error '{record}' needed more than r runs");
                 }
                 other => panic!("error '{record}' not detected: {other}"),
             }
@@ -257,7 +264,10 @@ mod tests {
         let a = generators::ghz(3);
         let b = generators::ghz(4);
         let e = check_equivalence_default(&a, &b).unwrap_err();
-        assert!(matches!(e, FlowError::QubitCountMismatch { left: 3, right: 4 }));
+        assert!(matches!(
+            e,
+            FlowError::QubitCountMismatch { left: 3, right: 4 }
+        ));
         assert!(e.to_string().contains("different registers"));
     }
 

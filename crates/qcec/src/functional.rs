@@ -65,7 +65,51 @@ pub fn run_functional_check(g: &Circuit, g_prime: &Circuit, config: &Config) -> 
             qdd::check_equivalence_construct(&mut package, g, g_prime, config.deadline)
         }
     };
-    match result {
+    classify(result, config).expect("a check without a cancel flag cannot be cancelled")
+}
+
+/// [`run_functional_check`] with an external cancellation flag, polled
+/// between DD operations. Returns `None` if the flag was raised before the
+/// check finished — the scheduler's way of stopping a racer whose answer a
+/// simulation counterexample has already made moot.
+///
+/// # Panics
+///
+/// Panics if the circuits' qubit counts differ.
+pub fn run_functional_check_cancellable(
+    g: &Circuit,
+    g_prime: &Circuit,
+    config: &Config,
+    cancel: &std::sync::atomic::AtomicBool,
+) -> Option<FunctionalVerdict> {
+    let mut package = Package::with_node_limit(g.n_qubits(), config.dd_node_limit);
+    let result = match config.fallback {
+        Fallback::None => return Some(FunctionalVerdict::Aborted(AbortKind::Disabled)),
+        Fallback::Alternating => qdd::check_equivalence_alternating_cancellable(
+            &mut package,
+            g,
+            g_prime,
+            config.deadline,
+            cancel,
+        ),
+        Fallback::ConstructAndCompare => qdd::check_equivalence_construct_cancellable(
+            &mut package,
+            g,
+            g_prime,
+            config.deadline,
+            cancel,
+        ),
+    };
+    classify(result, config)
+}
+
+/// Maps a DD-check result onto the flow's verdict; `None` only for
+/// [`DdCheckAbort::Cancelled`].
+fn classify(
+    result: Result<DdEquivalence, DdCheckAbort>,
+    config: &Config,
+) -> Option<FunctionalVerdict> {
+    Some(match result {
         Ok(DdEquivalence::Equivalent) => FunctionalVerdict::Equivalent,
         Ok(DdEquivalence::EquivalentUpToGlobalPhase { phase }) => {
             if config.criterion == Criterion::Strict {
@@ -78,7 +122,8 @@ pub fn run_functional_check(g: &Circuit, g_prime: &Circuit, config: &Config) -> 
         Ok(DdEquivalence::NotEquivalent) => FunctionalVerdict::NotEquivalent,
         Err(DdCheckAbort::Timeout { .. }) => FunctionalVerdict::Aborted(AbortKind::Timeout),
         Err(DdCheckAbort::NodeLimit(_)) => FunctionalVerdict::Aborted(AbortKind::NodeLimit),
-    }
+        Err(DdCheckAbort::Cancelled) => return None,
+    })
 }
 
 #[cfg(test)]
@@ -142,6 +187,31 @@ mod tests {
         assert_eq!(
             run_functional_check(&g, &g, &config),
             FunctionalVerdict::Aborted(AbortKind::NodeLimit)
+        );
+    }
+
+    #[test]
+    fn cancellable_check_matches_uncancelled_and_stops_when_raised() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let g = generators::qft(4, true);
+        let routed = qcirc::mapping::route_or_panic(&g, &qcirc::mapping::CouplingMap::linear(4));
+        let config = Config::default();
+        let flag = AtomicBool::new(false);
+        assert_eq!(
+            run_functional_check_cancellable(&g, &routed.circuit, &config, &flag),
+            Some(run_functional_check(&g, &routed.circuit, &config))
+        );
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(
+            run_functional_check_cancellable(&g, &routed.circuit, &config, &flag),
+            None,
+            "a pre-raised flag cancels before any work"
+        );
+        // A disabled fallback is never cancelled: the answer is immediate.
+        let disabled = Config::default().with_fallback(Fallback::None);
+        assert_eq!(
+            run_functional_check_cancellable(&g, &routed.circuit, &disabled, &flag),
+            Some(FunctionalVerdict::Aborted(AbortKind::Disabled))
         );
     }
 

@@ -50,11 +50,12 @@ mod functional;
 mod outcome;
 pub mod pipeline;
 pub mod report;
+pub mod scheduler;
 mod sim_check;
 pub mod theory;
 
 pub use config::{Config, Criterion, Fallback, SimBackend, StimulusStrategy};
 pub use flow::{check_equivalence, check_equivalence_default, FlowError};
-pub use functional::{run_functional_check, FunctionalVerdict};
+pub use functional::{run_functional_check, run_functional_check_cancellable, FunctionalVerdict};
 pub use outcome::{AbortReason, Counterexample, FlowResult, FlowStats, Mismatch, Outcome};
 pub use sim_check::{run_simulations, SimVerdict};

@@ -102,7 +102,14 @@ pub fn verify_stages(
         let (_, ref before) = window[0];
         let (after_name, ref after) = window[1];
         let n = before.n_qubits().max(after.n_qubits());
+        let check_start = std::time::Instant::now();
         let result = check_equivalence(&before.widened(n), &after.widened(n), config)?;
+        if let Some(sink) = &config.event_sink {
+            sink.record(crate::scheduler::RunEvent::PipelineStageChecked {
+                name: after_name.to_string(),
+                wall_time: check_start.elapsed(),
+            });
+        }
         let broken = result.outcome.is_not_equivalent();
         results.push(StageResult {
             name: after_name.to_string(),
@@ -153,7 +160,12 @@ mod tests {
         c.x(2); // the "broken optimizer" output
         let d = c.clone(); // a later stage that would pass
         let report = verify_stages(
-            &[("algorithm", a), ("optimized", b), ("broken", c), ("later", d)],
+            &[
+                ("algorithm", a),
+                ("optimized", b),
+                ("broken", c),
+                ("later", d),
+            ],
             &Config::default(),
         )
         .unwrap();
@@ -165,11 +177,32 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_emits_one_event_per_checked_stage() {
+        use crate::scheduler::{CollectingSink, RunEvent};
+        use std::sync::Arc;
+        let a = generators::qft(3, true);
+        let b = qcirc::optimize::optimize(&a);
+        let c = qcirc::decompose::decompose_to_cx_and_single_qubit(&b);
+        let sink = Arc::new(CollectingSink::new());
+        let config = Config::default().with_event_sink(sink.clone());
+        let report = verify_stages(&[("alg", a), ("opt", b), ("lowered", c)], &config).unwrap();
+        assert_eq!(report.stages.len(), 2);
+        let names: Vec<String> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                RunEvent::PipelineStageChecked { name, .. } => Some(name),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, ["opt", "lowered"]);
+    }
+
+    #[test]
     fn register_widening_is_automatic() {
         let small = generators::ghz(3);
         let wide = small.widened(5);
-        let report =
-            verify_stages(&[("a", small), ("b", wide)], &Config::default()).unwrap();
+        let report = verify_stages(&[("a", small), ("b", wide)], &Config::default()).unwrap();
         assert!(report.all_preserved());
     }
 

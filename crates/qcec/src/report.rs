@@ -1,8 +1,11 @@
-//! Tabular reporting of flow results — the shape of the paper's Table I.
+//! Tabular reporting of flow results — the shape of the paper's Table I —
+//! plus per-stage timing summaries assembled from scheduler events.
 
 use std::fmt;
+use std::time::Duration;
 
 use crate::outcome::{FlowResult, Outcome};
+use crate::scheduler::{RunEvent, Stage};
 
 /// One row of a benchmark report.
 #[derive(Debug, Clone)]
@@ -75,8 +78,9 @@ impl Report {
     /// (`name,n,gates_g,gates_g_prime,verdict,sims,t_sim_s,t_ec_s,counterexample`).
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("name,n,gates_g,gates_g_prime,verdict,sims,t_sim_s,t_ec_s,counterexample\n");
+        let mut out = String::from(
+            "name,n,gates_g,gates_g_prime,verdict,sims,t_sim_s,t_ec_s,counterexample\n",
+        );
         for row in &self.rows {
             let (verdict, witness) = verdict_and_witness(&row.result.outcome);
             out.push_str(&format!(
@@ -120,6 +124,74 @@ impl fmt::Display for Report {
             )?;
         }
         Ok(())
+    }
+}
+
+/// Per-stage effort totals distilled from a stream of scheduler
+/// [`RunEvent`]s — what a bench binary prints next to its timings.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use qcec::report::StageTimings;
+/// use qcec::scheduler::CollectingSink;
+///
+/// let sink = Arc::new(CollectingSink::new());
+/// let config = qcec::Config::default()
+///     .with_threads(2)
+///     .with_event_sink(sink.clone());
+/// let g = qcirc::generators::ghz(3);
+/// qcec::check_equivalence(&g, &g, &config).unwrap();
+/// let timings = StageTimings::from_events(&sink.events());
+/// assert_eq!(timings.simulations_finished, 8); // 2³ ≤ r: full enumeration
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Total wall time of simulation stages.
+    pub simulation_time: Duration,
+    /// Total wall time of functional (complete-check) stages.
+    pub functional_time: Duration,
+    /// Simulations that ran to completion.
+    pub simulations_finished: usize,
+    /// Simulations abandoned after a cancellation.
+    pub simulations_aborted: usize,
+    /// Cancellations (first counterexample or first definitive verdict).
+    pub cancellations: usize,
+}
+
+impl StageTimings {
+    /// Accumulates the totals from recorded events.
+    #[must_use]
+    pub fn from_events(events: &[RunEvent]) -> Self {
+        let mut t = StageTimings::default();
+        for event in events {
+            match event {
+                RunEvent::StageFinished { stage, wall_time } => match stage {
+                    Stage::Simulation => t.simulation_time += *wall_time,
+                    Stage::Functional => t.functional_time += *wall_time,
+                },
+                RunEvent::SimulationFinished { .. } => t.simulations_finished += 1,
+                RunEvent::SimulationAborted { .. } => t.simulations_aborted += 1,
+                RunEvent::Cancelled { .. } => t.cancellations += 1,
+                _ => {}
+            }
+        }
+        t
+    }
+}
+
+impl fmt::Display for StageTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t_sim {:?}, t_ec {:?}, {} sims finished, {} aborted, {} cancellations",
+            self.simulation_time,
+            self.functional_time,
+            self.simulations_finished,
+            self.simulations_aborted,
+            self.cancellations
+        )
     }
 }
 

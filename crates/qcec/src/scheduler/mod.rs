@@ -1,0 +1,325 @@
+//! Parallel orchestration of the equivalence checking flow.
+//!
+//! The paper's flow is embarrassingly parallel in its first stage: the `r`
+//! random basis-state simulations are independent, and the *first*
+//! counterexample ends the whole run. This module fans the pre-drawn
+//! stimuli across a pool of scoped worker threads
+//! ([`Config::with_threads`](crate::Config::with_threads)) and — in
+//! *portfolio* mode
+//! ([`Config::with_portfolio`](crate::Config::with_portfolio)) — races the
+//! complete decision-diagram check against the pool, first definitive
+//! verdict wins.
+//!
+//! # Determinism
+//!
+//! For a fixed seed the verdict (and any simulation counterexample) is
+//! deterministic regardless of worker count:
+//!
+//! * stimuli are **pre-drawn** before any thread starts, so the RNG stream
+//!   never depends on scheduling;
+//! * workers claim stimulus indices **in order** from a shared counter,
+//!   and the [`CancelToken`] only abandons runs *above* the lowest failing
+//!   index — every run up to the decisive one always completes;
+//! * the orchestrator ignores completion order and replays the collected
+//!   overlaps **in stimulus order** through the same judge as the
+//!   sequential flow, so the reported counterexample is always the one the
+//!   sequential flow would have found.
+//!
+//! What *is* scheduling-dependent is how many superseded runs were already
+//! in flight when the counterexample appeared — visible only through the
+//! [`EventSink`] (and, in portfolio mode, whether the DD racer or the pool
+//! produced the verdict first; see `with_portfolio` for the caveats).
+//!
+//! With `threads == 1` the flow does not use this module at all; the
+//! sequential code path (and its exact `FlowResult`) is preserved.
+
+mod cancel;
+mod events;
+mod worker;
+
+pub use cancel::{CancelCause, CancelToken};
+pub use events::{CollectingSink, EventSink, NullSink, RunEvent, Stage};
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qcirc::Circuit;
+
+use crate::config::{Config, Fallback};
+use crate::flow::FlowError;
+use crate::functional::{
+    run_functional_check, run_functional_check_cancellable, FunctionalVerdict,
+};
+use crate::outcome::{Counterexample, FlowResult, FlowStats, Outcome};
+use crate::sim_check::{draw_stimuli, Judge};
+
+/// Runs the full flow (simulate, then complete check) on a worker pool of
+/// `config.threads` threads, plus one racer thread in portfolio mode.
+///
+/// [`check_equivalence`](crate::check_equivalence) calls this
+/// automatically when `config.threads > 1`; calling it directly with
+/// `threads == 1` is permitted (one worker, same verdict) but pointless.
+///
+/// # Errors
+///
+/// Returns [`FlowError`] if the circuits' qubit counts differ, or if the
+/// decision-diagram *simulation* backend overflows its node budget.
+pub fn run_scheduled(
+    g: &Circuit,
+    g_prime: &Circuit,
+    config: &Config,
+) -> Result<FlowResult, FlowError> {
+    if g.n_qubits() != g_prime.n_qubits() {
+        return Err(FlowError::QubitCountMismatch {
+            left: g.n_qubits(),
+            right: g_prime.n_qubits(),
+        });
+    }
+
+    let sink_arc: Arc<dyn EventSink> = config
+        .event_sink
+        .clone()
+        .unwrap_or_else(|| Arc::new(NullSink));
+    let sink: &dyn EventSink = sink_arc.as_ref();
+
+    // Pre-draw every stimulus so the RNG stream is scheduling-independent.
+    let bases = draw_stimuli(g.n_qubits(), config);
+    let token = CancelToken::new();
+    let ctx = worker::PoolContext::new(g, g_prime, config, &bases, &token, sink);
+    let workers = config.threads.max(1);
+    // Racing a disabled fallback would only reproduce the instant
+    // "aborted: disabled" answer; skip the extra thread.
+    let race_functional = config.portfolio && config.fallback != Fallback::None;
+
+    sink.record(RunEvent::StageStarted {
+        stage: Stage::Simulation,
+    });
+    let sim_start = Instant::now();
+
+    let mut pool_error: Option<qdd::DdLimitError> = None;
+    let mut sim_ce: Option<Counterexample> = None;
+    let mut sims_completed = 0usize;
+    let mut simulation_time = Duration::ZERO;
+    // `Some((verdict, wall_time))` once the racer has been joined;
+    // `verdict == None` means it was cancelled.
+    let mut racer_result: Option<(Option<FunctionalVerdict>, Duration)> = None;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| scope.spawn(|| worker::run_worker(&ctx)))
+            .collect();
+        let racer = race_functional.then(|| {
+            sink.record(RunEvent::StageStarted {
+                stage: Stage::Functional,
+            });
+            scope.spawn(|| {
+                let start = Instant::now();
+                let verdict =
+                    run_functional_check_cancellable(g, g_prime, config, token.functional_flag());
+                if matches!(
+                    verdict,
+                    Some(
+                        FunctionalVerdict::Equivalent
+                            | FunctionalVerdict::EquivalentUpToGlobalPhase { .. }
+                            | FunctionalVerdict::NotEquivalent
+                    )
+                ) {
+                    // A definitive answer makes the remaining runs moot.
+                    token.halt_simulations();
+                    sink.record(RunEvent::Cancelled {
+                        cause: CancelCause::FunctionalVerdict,
+                    });
+                }
+                (verdict, start.elapsed())
+            })
+        });
+
+        for handle in handles {
+            if let Err(e) = handle.join().expect("simulation worker panicked") {
+                pool_error = Some(e);
+            }
+        }
+        simulation_time = sim_start.elapsed();
+        sink.record(RunEvent::StageFinished {
+            stage: Stage::Simulation,
+            wall_time: simulation_time,
+        });
+
+        // Replay the overlaps in stimulus order through the sequential
+        // judge. The contiguous completed prefix is exactly what the
+        // sequential flow would have seen before stopping.
+        {
+            let results = ctx.results.lock().unwrap();
+            let mut judge = Judge::new(config);
+            for (i, slot) in results.iter().enumerate() {
+                let Some(overlap) = slot else { break };
+                if let Some(ce) = judge.observe(*overlap, bases[i], i + 1) {
+                    sim_ce = Some(ce);
+                    break;
+                }
+            }
+            sims_completed = results.iter().filter(|s| s.is_some()).count();
+        }
+        if pool_error.is_some() || sim_ce.is_some() {
+            // Either way the racer's answer can no longer matter.
+            token.cancel_functional();
+            if sim_ce.is_some() {
+                sink.record(RunEvent::Cancelled {
+                    cause: CancelCause::SimulationCounterexample,
+                });
+            }
+        }
+
+        if let Some(racer) = racer {
+            let (verdict, wall_time) = racer.join().expect("functional racer panicked");
+            sink.record(RunEvent::StageFinished {
+                stage: Stage::Functional,
+                wall_time,
+            });
+            racer_result = Some((verdict, wall_time));
+        }
+    });
+
+    if let Some(e) = pool_error {
+        return Err(FlowError::SimulationOverflow {
+            node_limit: e.node_limit,
+        });
+    }
+
+    if let Some(ce) = sim_ce {
+        // Simulation found a witness; a concurrent functional verdict (if
+        // any) necessarily agrees on non-equivalence, so prefer the
+        // counterexample — it is the more useful answer.
+        let functional_time = racer_result.map_or(Duration::ZERO, |(_, t)| t);
+        return Ok(FlowResult {
+            outcome: Outcome::NotEquivalent {
+                counterexample: Some(ce),
+            },
+            stats: FlowStats {
+                simulations_run: ce.run,
+                simulation_time,
+                functional_time,
+            },
+        });
+    }
+
+    // All completed simulations agreed: the complete check decides.
+    let (verdict, functional_time) = match racer_result {
+        Some((verdict, wall_time)) => {
+            let verdict = verdict
+                .expect("the functional racer is only cancelled after a simulation counterexample");
+            (verdict, wall_time)
+        }
+        None => {
+            sink.record(RunEvent::StageStarted {
+                stage: Stage::Functional,
+            });
+            let start = Instant::now();
+            let verdict = run_functional_check(g, g_prime, config);
+            let wall_time = start.elapsed();
+            sink.record(RunEvent::StageFinished {
+                stage: Stage::Functional,
+                wall_time,
+            });
+            (verdict, wall_time)
+        }
+    };
+
+    let outcome = match verdict {
+        FunctionalVerdict::Equivalent => Outcome::Equivalent,
+        FunctionalVerdict::EquivalentUpToGlobalPhase { phase } => {
+            Outcome::EquivalentUpToGlobalPhase { phase }
+        }
+        FunctionalVerdict::NotEquivalent => Outcome::NotEquivalent {
+            counterexample: None,
+        },
+        FunctionalVerdict::Aborted(kind) => Outcome::ProbablyEquivalent {
+            passed_simulations: sims_completed,
+            abort: kind.into(),
+        },
+    };
+    Ok(FlowResult {
+        outcome,
+        stats: FlowStats {
+            simulations_run: sims_completed,
+            simulation_time,
+            functional_time,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_equivalence;
+    use qcirc::generators;
+
+    #[test]
+    fn scheduled_equivalent_pair_matches_sequential_verdict() {
+        let g = generators::qft(5, true);
+        let opt = qcirc::optimize::optimize(&g);
+        let sequential = check_equivalence(&g, &opt, &Config::default()).unwrap();
+        let scheduled = run_scheduled(&g, &opt, &Config::default().with_threads(4)).unwrap();
+        assert_eq!(sequential.outcome, scheduled.outcome);
+        assert_eq!(
+            sequential.stats.simulations_run,
+            scheduled.stats.simulations_run
+        );
+    }
+
+    #[test]
+    fn scheduled_counterexample_matches_sequential_counterexample() {
+        let g = generators::grover(5, 11, 2);
+        let mut buggy = g.clone();
+        buggy.x(1);
+        let sequential = check_equivalence(&g, &buggy, &Config::default()).unwrap();
+        let scheduled = run_scheduled(&g, &buggy, &Config::default().with_threads(4)).unwrap();
+        // Same witness, bit for bit: basis, overlap, fidelity, run index.
+        assert_eq!(sequential.outcome, scheduled.outcome);
+    }
+
+    #[test]
+    fn qubit_mismatch_is_reported() {
+        let a = generators::ghz(3);
+        let b = generators::ghz(4);
+        let config = Config::default().with_threads(2);
+        let e = run_scheduled(&a, &b, &config).unwrap_err();
+        assert!(matches!(
+            e,
+            FlowError::QubitCountMismatch { left: 3, right: 4 }
+        ));
+    }
+
+    #[test]
+    fn dd_simulation_overflow_is_reported() {
+        let g = generators::supremacy_2d(3, 4, 12, 1);
+        let config = Config::default()
+            .with_backend(crate::SimBackend::DecisionDiagram)
+            .with_dd_node_limit(50)
+            .with_threads(2);
+        let e = run_scheduled(&g, &g, &config).unwrap_err();
+        assert!(matches!(
+            e,
+            FlowError::SimulationOverflow { node_limit: 50 }
+        ));
+    }
+
+    #[test]
+    fn portfolio_agrees_on_equivalence() {
+        let g = generators::qft(4, true);
+        let routed = qcirc::mapping::route_or_panic(&g, &qcirc::mapping::CouplingMap::linear(4));
+        let config = Config::default().with_threads(2).with_portfolio(true);
+        let result = run_scheduled(&g, &routed.circuit, &config).unwrap();
+        assert!(result.outcome.is_equivalent(), "{}", result.outcome);
+    }
+
+    #[test]
+    fn portfolio_agrees_on_non_equivalence() {
+        let g = generators::qft(4, true);
+        let mut buggy = g.clone();
+        buggy.t(0);
+        let config = Config::default().with_threads(2).with_portfolio(true);
+        let result = run_scheduled(&g, &buggy, &config).unwrap();
+        assert!(result.outcome.is_not_equivalent(), "{}", result.outcome);
+    }
+}

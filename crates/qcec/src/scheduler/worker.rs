@@ -1,0 +1,242 @@
+//! The simulation worker: claims stimuli in index order and probes them.
+//!
+//! Workers share an atomic claim counter, so every stimulus index is
+//! processed by exactly one worker and claiming follows stimulus order.
+//! Combined with the [`CancelToken`](super::cancel::CancelToken)'s
+//! watermark rule — a run is only abandoned for indices *above* the lowest
+//! known failure — this guarantees that every stimulus up to and including
+//! the decisive one completes, which is what lets the orchestrator replay
+//! the overlaps in order and reproduce the sequential verdict exactly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use qcirc::Circuit;
+use qnum::Complex;
+use qsim::{ProbeWorkspace, Simulator};
+
+use crate::config::{Config, Criterion, SimBackend};
+use crate::scheduler::cancel::CancelToken;
+use crate::scheduler::events::{EventSink, RunEvent};
+
+/// Everything a worker needs, shared by reference across the pool.
+pub(super) struct PoolContext<'a> {
+    /// The left circuit `G`.
+    pub g: &'a Circuit,
+    /// The right circuit `G'`.
+    pub g_prime: &'a Circuit,
+    /// The flow configuration.
+    pub config: &'a Config,
+    /// The pre-drawn stimulus basis states, in judging order.
+    pub bases: &'a [u64],
+    /// Shared cancellation state.
+    pub token: &'a CancelToken,
+    /// Next stimulus index to claim.
+    pub next: AtomicUsize,
+    /// Overlap per stimulus index; `None` = not (fully) simulated.
+    pub results: Mutex<Vec<Option<Complex>>>,
+    /// Event sink.
+    pub sink: &'a dyn EventSink,
+}
+
+impl<'a> PoolContext<'a> {
+    pub(super) fn new(
+        g: &'a Circuit,
+        g_prime: &'a Circuit,
+        config: &'a Config,
+        bases: &'a [u64],
+        token: &'a CancelToken,
+        sink: &'a dyn EventSink,
+    ) -> Self {
+        PoolContext {
+            g,
+            g_prime,
+            config,
+            bases,
+            token,
+            next: AtomicUsize::new(0),
+            results: Mutex::new(vec![None; bases.len()]),
+            sink,
+        }
+    }
+}
+
+/// One worker's claim loop. Returns early only on a decision-diagram
+/// node-limit overflow (statevector workers cannot fail).
+pub(super) fn run_worker(ctx: &PoolContext<'_>) -> Result<(), qdd::DdLimitError> {
+    let mut engine = Engine::new(ctx.config, ctx.g.n_qubits());
+    loop {
+        let index = ctx.next.fetch_add(1, Ordering::Relaxed);
+        if index >= ctx.bases.len() {
+            return Ok(());
+        }
+        let basis = ctx.bases[index];
+        if ctx.token.superseded(index) {
+            ctx.sink
+                .record(RunEvent::SimulationAborted { index, basis });
+            continue;
+        }
+        let start = Instant::now();
+        match engine.probe(ctx, index, basis)? {
+            None => ctx
+                .sink
+                .record(RunEvent::SimulationAborted { index, basis }),
+            Some(overlap) => {
+                // A per-run output mismatch is decisive on its own;
+                // publish it before the event so observers of the sink
+                // never see a finished failing run without a watermark.
+                if output_mismatch(overlap, ctx.config) {
+                    ctx.token.record_sim_failure(index);
+                }
+                ctx.results.lock().unwrap()[index] = Some(overlap);
+                ctx.sink.record(RunEvent::SimulationFinished {
+                    index,
+                    basis,
+                    wall_time: start.elapsed(),
+                    fidelity: overlap.norm_sqr(),
+                });
+            }
+        }
+    }
+}
+
+/// The per-run failure predicate a worker can decide alone: the overlap
+/// magnitude (or value, under [`Criterion::Strict`]) is off. Cross-run
+/// phase inconsistencies need the whole prefix and are left to the
+/// orchestrator's ordered replay.
+fn output_mismatch(overlap: Complex, config: &Config) -> bool {
+    match config.criterion {
+        Criterion::Strict => (overlap - Complex::ONE).norm_sqr() > config.fidelity_tolerance,
+        Criterion::UpToGlobalPhase => (overlap.norm_sqr() - 1.0).abs() > config.fidelity_tolerance,
+    }
+}
+
+/// A worker's private simulation engine.
+enum Engine {
+    /// Sequential statevector simulator plus reused state buffers — the
+    /// pool parallelises *across* stimuli, so per-worker kernels stay
+    /// single-threaded to keep total threads = worker count.
+    Statevector {
+        sim: Simulator,
+        workspace: ProbeWorkspace,
+    },
+    /// Decision-diagram simulation. Each run gets a *fresh* package:
+    /// reusing one across runs would make interned edge weights (and thus
+    /// bitwise overlaps) depend on which stimuli this worker happened to
+    /// claim — scheduling-dependent numerics the determinism guarantee
+    /// cannot afford.
+    DecisionDiagram,
+}
+
+impl Engine {
+    fn new(config: &Config, n_qubits: usize) -> Self {
+        match config.backend {
+            SimBackend::Statevector => Engine::Statevector {
+                sim: Simulator::for_worker(),
+                workspace: ProbeWorkspace::new(n_qubits),
+            },
+            SimBackend::DecisionDiagram => Engine::DecisionDiagram,
+        }
+    }
+
+    /// Probes one stimulus; `None` means the run was abandoned because it
+    /// became superseded mid-flight.
+    fn probe(
+        &mut self,
+        ctx: &PoolContext<'_>,
+        index: usize,
+        basis: u64,
+    ) -> Result<Option<Complex>, qdd::DdLimitError> {
+        match self {
+            Engine::Statevector { sim, workspace } => {
+                Ok(
+                    sim.probe_basis_while(ctx.g, ctx.g_prime, basis, workspace, &|| {
+                        !ctx.token.superseded(index)
+                    }),
+                )
+            }
+            Engine::DecisionDiagram => {
+                let n = ctx.g.n_qubits();
+                let mut package = qdd::Package::with_node_limit(n, ctx.config.dd_node_limit);
+                let a = package.apply_to_basis(ctx.g, basis)?;
+                // DD simulation is not gate-granular cancellable; poll
+                // between the two halves of the probe instead.
+                if ctx.token.superseded(index) {
+                    return Ok(None);
+                }
+                let b = package.apply_to_basis(ctx.g_prime, basis)?;
+                let overlap = if package.vedges_equal(a, b) {
+                    Complex::ONE
+                } else {
+                    package.inner_product(a, b)
+                };
+                Ok(Some(overlap))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::events::NullSink;
+
+    #[test]
+    fn single_worker_fills_all_slots_in_order() {
+        let g = qcirc::generators::ghz(3);
+        let opt = qcirc::optimize::optimize(&g);
+        let config = Config::default();
+        let bases = [0u64, 3, 5, 7];
+        let token = CancelToken::new();
+        let ctx = PoolContext::new(&g, &opt, &config, &bases, &token, &NullSink);
+        run_worker(&ctx).unwrap();
+        let results = ctx.results.lock().unwrap();
+        assert!(results.iter().all(Option::is_some));
+        // Equivalent circuits: every overlap has unit fidelity.
+        for overlap in results.iter().flatten() {
+            assert!((overlap.norm_sqr() - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(token.lowest_failure(), None);
+    }
+
+    #[test]
+    fn worker_records_failure_watermark() {
+        let g = qcirc::generators::ghz(3);
+        let mut buggy = g.clone();
+        buggy.x(0);
+        let config = Config::default();
+        let bases = [0u64, 1, 2, 3, 4, 5, 6, 7];
+        let token = CancelToken::new();
+        let ctx = PoolContext::new(&g, &buggy, &config, &bases, &token, &NullSink);
+        run_worker(&ctx).unwrap();
+        // An X on a GHZ input corrupts every column: index 0 fails.
+        assert_eq!(token.lowest_failure(), Some(0));
+        // All later indices were superseded and skipped.
+        let results = ctx.results.lock().unwrap();
+        assert!(results[0].is_some());
+        assert!(results[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn dd_engine_agrees_with_statevector_engine() {
+        let g = qcirc::generators::qft(4, true);
+        let opt = qcirc::optimize::optimize(&g);
+        let sv_config = Config::default();
+        let dd_config = Config::default().with_backend(SimBackend::DecisionDiagram);
+        let bases = [0u64, 5, 9, 15];
+        for config in [&sv_config, &dd_config] {
+            let token = CancelToken::new();
+            let ctx = PoolContext::new(&g, &opt, config, &bases, &token, &NullSink);
+            run_worker(&ctx).unwrap();
+            let results = ctx.results.lock().unwrap();
+            for overlap in results.iter().flatten() {
+                assert!(
+                    (overlap.norm_sqr() - 1.0).abs() < 1e-9,
+                    "backend {:?}",
+                    config.backend
+                );
+            }
+        }
+    }
+}

@@ -49,19 +49,7 @@ pub fn run_simulations(
         "circuits must have equal qubit counts"
     );
     let n = g.n_qubits();
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let bases = match config.stimuli {
-        crate::config::StimulusStrategy::Random => {
-            choose_bases(n, config.simulations, &mut rng)
-        }
-        crate::config::StimulusStrategy::Sequential => {
-            let space: u128 = 1u128 << n;
-            (0..config.simulations as u128)
-                .take_while(|&i| i < space)
-                .map(|i| i as u64)
-                .collect()
-        }
-    };
+    let bases = draw_stimuli(n, config);
 
     let mut judge = Judge::new(config);
     match config.backend {
@@ -71,10 +59,11 @@ pub fn run_simulations(
             } else {
                 Simulator::new()
             };
+            // One pair of state buffers for the whole loop — probes are
+            // allocation-free after this.
+            let mut workspace = qsim::ProbeWorkspace::new(n);
             for (run, &basis) in bases.iter().enumerate() {
-                let a = sim.run_basis(g, basis);
-                let b = sim.run_basis(g_prime, basis);
-                let overlap = a.inner_product(&b);
+                let overlap = sim.probe_basis_with(g, g_prime, basis, &mut workspace);
                 if let Some(ce) = judge.observe(overlap, basis, run + 1) {
                     return Ok(SimVerdict::CounterexampleFound(ce));
                 }
@@ -105,6 +94,26 @@ pub fn run_simulations(
     Ok(SimVerdict::AllAgreed { runs: bases.len() })
 }
 
+/// Draws the full stimulus list for one flow invocation: the seeded RNG
+/// stream depends only on the configuration, never on scheduling — the
+/// scheduler pre-draws through this same function, which is what keeps
+/// parallel verdicts deterministic.
+pub(crate) fn draw_stimuli(n_qubits: usize, config: &Config) -> Vec<u64> {
+    match config.stimuli {
+        crate::config::StimulusStrategy::Random => {
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            choose_bases(n_qubits, config.simulations, &mut rng)
+        }
+        crate::config::StimulusStrategy::Sequential => {
+            let space: u128 = 1u128 << n_qubits;
+            (0..config.simulations as u128)
+                .take_while(|&i| i < space)
+                .map(|i| i as u64)
+                .collect()
+        }
+    }
+}
+
 /// Chooses the stimuli: distinct random basis states, or all of them when
 /// the space is small.
 fn choose_bases(n_qubits: usize, r: usize, rng: &mut StdRng) -> Vec<u64> {
@@ -131,20 +140,25 @@ fn choose_bases(n_qubits: usize, r: usize, rng: &mut StdRng) -> Vec<u64> {
 /// phase on every column, so the judge records the first run's phase and
 /// flags any later run that disagrees
 /// ([`Mismatch::PhaseInconsistency`](crate::Mismatch)).
-struct Judge<'a> {
+pub(crate) struct Judge<'a> {
     config: &'a Config,
     expected_phase: Option<Complex>,
 }
 
 impl<'a> Judge<'a> {
-    fn new(config: &'a Config) -> Self {
+    pub(crate) fn new(config: &'a Config) -> Self {
         Judge {
             config,
             expected_phase: None,
         }
     }
 
-    fn observe(&mut self, overlap: Complex, basis: u64, run: usize) -> Option<Counterexample> {
+    pub(crate) fn observe(
+        &mut self,
+        overlap: Complex,
+        basis: u64,
+        run: usize,
+    ) -> Option<Counterexample> {
         use crate::outcome::Mismatch;
         let ce = |mismatch: Mismatch| Counterexample {
             basis,

@@ -59,11 +59,7 @@ pub fn controlled_difference_gate(n: usize, controls: usize) -> Circuit {
     if controls == 0 {
         c.x(0);
     } else {
-        c.push(Gate::controlled(
-            GateKind::X,
-            (1..=controls).collect(),
-            0,
-        ));
+        c.push(Gate::controlled(GateKind::X, (1..=controls).collect(), 0));
     }
     c
 }
@@ -105,7 +101,10 @@ mod tests {
         assert_eq!(predicted_detection_probability(0), 1.0);
         // Example 8: n−1 controls → only 2 of 2ⁿ columns differ.
         assert_eq!(predicted_detection_probability(3), 0.125);
-        assert!((predicted_detection_probability_after(3, 10) - (1.0 - 0.875f64.powi(10))).abs() < 1e-12);
+        assert!(
+            (predicted_detection_probability_after(3, 10) - (1.0 - 0.875f64.powi(10))).abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -115,11 +114,7 @@ mod tests {
             let g = Circuit::new(n);
             let mut g_prime = Circuit::new(n);
             g_prime.append(&controlled_difference_gate(n, c));
-            assert_eq!(
-                differing_columns(&g, &g_prime),
-                1 << (n - c),
-                "c = {c}"
-            );
+            assert_eq!(differing_columns(&g, &g_prime), 1 << (n - c), "c = {c}");
         }
     }
 

@@ -444,7 +444,11 @@ impl Circuit {
     /// The largest number of controls on any gate (0 for an empty circuit).
     #[must_use]
     pub fn max_controls(&self) -> usize {
-        self.gates.iter().map(|g| g.controls().len()).max().unwrap_or(0)
+        self.gates
+            .iter()
+            .map(|g| g.controls().len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns `true` if every gate is in the device basis

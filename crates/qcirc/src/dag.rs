@@ -25,10 +25,7 @@ impl Dag {
         let mut preds: Vec<Vec<usize>> = Vec::with_capacity(circuit.len());
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); circuit.len()];
         for (i, gate) in circuit.gates().iter().enumerate() {
-            let mut ps: Vec<usize> = gate
-                .qubits()
-                .filter_map(|q| last_on_qubit[q])
-                .collect();
+            let mut ps: Vec<usize> = gate.qubits().filter_map(|q| last_on_qubit[q]).collect();
             ps.sort_unstable();
             ps.dedup();
             for &p in &ps {

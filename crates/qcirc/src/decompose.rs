@@ -460,11 +460,7 @@ mod tests {
             let mut reference = Circuit::new(2);
             reference.push(Gate::controlled(kind, vec![0], 1));
             let mut lowered = Circuit::new(2);
-            lowered.extend(controlled_unitary_gates(
-                0,
-                1,
-                &kind.base_matrix().unwrap(),
-            ));
+            lowered.extend(controlled_unitary_gates(0, 1, &kind.base_matrix().unwrap()));
             assert_strictly_equal(&reference, &lowered);
             assert!(lowered.is_elementary());
         }

@@ -60,7 +60,11 @@ pub struct InjectedError {
 
 impl fmt::Display for InjectedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at gate {}: {}", self.kind, self.index, self.description)
+        write!(
+            f,
+            "{} at gate {}: {}",
+            self.kind, self.index, self.description
+        )
     }
 }
 
@@ -367,8 +371,7 @@ mod tests {
         let mut c = Circuit::new(1);
         c.h(0);
         for seed in 0..20 {
-            let (buggy, _) =
-                inject(&c, ErrorKind::ReplaceSingleQubitGate, &mut rng(seed)).unwrap();
+            let (buggy, _) = inject(&c, ErrorKind::ReplaceSingleQubitGate, &mut rng(seed)).unwrap();
             assert!(!buggy.gates()[0].kind().approx_eq(&GateKind::H));
         }
     }

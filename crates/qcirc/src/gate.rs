@@ -288,7 +288,10 @@ impl Gate {
     /// target, or if controls repeat.
     #[must_use]
     pub fn controlled(kind: GateKind, controls: Vec<usize>, target: usize) -> Self {
-        assert!(kind.target_count() == 1, "controlled() requires a 1-target kind");
+        assert!(
+            kind.target_count() == 1,
+            "controlled() requires a 1-target kind"
+        );
         let g = Gate {
             kind,
             controls,
@@ -335,11 +338,7 @@ impl Gate {
         qs.sort_unstable();
         let len = qs.len();
         qs.dedup();
-        assert!(
-            qs.len() == len,
-            "gate qubits must be distinct: {:?}",
-            self
-        );
+        assert!(qs.len() == len, "gate qubits must be distinct: {:?}", self);
         assert!(
             self.targets.len() == self.kind.target_count(),
             "GateKind::{:?} needs {} targets, got {}",
@@ -390,7 +389,9 @@ impl Gate {
     /// The largest qubit index the gate touches.
     #[must_use]
     pub fn max_qubit(&self) -> usize {
-        self.qubits().max().expect("a gate always has at least one qubit")
+        self.qubits()
+            .max()
+            .expect("a gate always has at least one qubit")
     }
 
     /// The inverse gate, with the same controls/targets and inverted kind.

@@ -29,7 +29,13 @@ use crate::circuit::Circuit;
 /// assert!(c.is_elementary());
 /// ```
 #[must_use]
-pub fn trotter_heisenberg(rows: usize, cols: usize, steps: usize, theta: f64, field: f64) -> Circuit {
+pub fn trotter_heisenberg(
+    rows: usize,
+    cols: usize,
+    steps: usize,
+    theta: f64,
+    field: f64,
+) -> Circuit {
     assert!(rows > 0 && cols > 0, "grid must be non-empty");
     assert!(steps > 0, "at least one Trotter step is required");
     let n = rows * cols;

@@ -23,7 +23,10 @@ use crate::circuit::Circuit;
 #[must_use]
 pub fn bernstein_vazirani(k: usize, secret: u64) -> Circuit {
     assert!(k > 0, "need at least one input qubit");
-    assert!(secret < (1u64 << k), "secret {secret} out of range for {k} bits");
+    assert!(
+        secret < (1u64 << k),
+        "secret {secret} out of range for {k} bits"
+    );
     let mut c = Circuit::with_name(k + 1, format!("bv_{k}"));
     // Ancilla to |−⟩.
     c.x(k).h(k);

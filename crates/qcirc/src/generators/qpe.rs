@@ -80,6 +80,10 @@ mod tests {
         let col = crate::dense::column(&c, 0);
         let p2 = col[(1 << m) | 2].norm_sqr();
         let p3 = col[(1 << m) | 3].norm_sqr();
-        assert!(p2 + p3 > 0.5, "mass should concentrate near 0.3: {}", p2 + p3);
+        assert!(
+            p2 + p3 > 0.5,
+            "mass should concentrate near 0.3: {}",
+            p2 + p3
+        );
     }
 }

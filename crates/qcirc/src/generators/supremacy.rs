@@ -48,14 +48,14 @@ pub fn supremacy_2d(rows: usize, cols: usize, cycles: usize, seed: u64) -> Circu
 
     for cycle in 0..cycles {
         // Single-qubit layer.
-        for q in 0..n {
+        for (q, prev_q) in prev.iter_mut().enumerate() {
             let pick = loop {
                 let k = rng.gen_range(0..choices.len());
-                if prev[q] != Some(k) {
+                if *prev_q != Some(k) {
                     break k;
                 }
             };
-            prev[q] = Some(pick);
+            *prev_q = Some(pick);
             c.push(crate::gate::Gate::single(choices[pick], q));
         }
         // Entangling layer: alternate over four edge patterns

@@ -9,4 +9,6 @@ mod coupling;
 mod router;
 
 pub use coupling::CouplingMap;
-pub use router::{respects_coupling, route, route_or_panic, RouteError, RoutedCircuit, RouterOptions};
+pub use router::{
+    respects_coupling, route, route_or_panic, RouteError, RoutedCircuit, RouterOptions,
+};

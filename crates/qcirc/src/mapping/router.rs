@@ -120,10 +120,10 @@ pub fn route(
     let mut swap_count = 0usize;
 
     let do_swap = |out: &mut Circuit,
-                       layout: &mut [usize],
-                       phys_to_log: &mut [usize],
-                       pa: usize,
-                       pb: usize| {
+                   layout: &mut [usize],
+                   phys_to_log: &mut [usize],
+                   pa: usize,
+                   pb: usize| {
         out.swap(pa, pb);
         let (la, lb) = (phys_to_log[pa], phys_to_log[pb]);
         layout.swap(la, lb);
@@ -167,10 +167,9 @@ pub fn route(
         let tree = spanning_tree(device);
         let mut remaining: Vec<bool> = vec![true; n];
         for _ in 0..n {
-            let Some(leaf) = (0..n).find(|&p| {
-                remaining[p]
-                    && tree[p].iter().filter(|&&q| remaining[q]).count() <= 1
-            }) else {
+            let Some(leaf) = (0..n)
+                .find(|&p| remaining[p] && tree[p].iter().filter(|&&q| remaining[q]).count() <= 1)
+            else {
                 break;
             };
             let start = layout[leaf];

@@ -59,7 +59,9 @@ pub fn cancel_inverse_pairs(circuit: &Circuit) -> Circuit {
         let mut changed = false;
         let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.n_qubits()];
         for i in 0..gates.len() {
-            let Some(gate) = gates[i].clone() else { continue };
+            let Some(gate) = gates[i].clone() else {
+                continue;
+            };
             // The candidate partner must be the last alive gate on *all* of
             // this gate's qubits.
             let mut partner: Option<usize> = None;
@@ -111,7 +113,9 @@ pub fn merge_rotations(circuit: &Circuit) -> Circuit {
         let mut changed = false;
         let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.n_qubits()];
         for i in 0..gates.len() {
-            let Some(gate) = gates[i].clone() else { continue };
+            let Some(gate) = gates[i].clone() else {
+                continue;
+            };
             let mut partner: Option<usize> = None;
             let mut blocked = false;
             for q in gate.qubits() {
@@ -125,9 +129,7 @@ pub fn merge_rotations(circuit: &Circuit) -> Circuit {
             if !blocked {
                 if let Some(j) = partner {
                     let prev = gates[j].clone().expect("partner is alive");
-                    if prev.controls() == gate.controls()
-                        && prev.targets() == gate.targets()
-                    {
+                    if prev.controls() == gate.controls() && prev.targets() == gate.targets() {
                         if let Some(kind) = fuse(prev.kind(), gate.kind()) {
                             for q in gate.qubits() {
                                 last_on_qubit[q] = None;
@@ -139,11 +141,7 @@ pub fn merge_rotations(circuit: &Circuit) -> Circuit {
                                 let merged = if gate.controls().is_empty() {
                                     Gate::single(kind, gate.target())
                                 } else {
-                                    Gate::controlled(
-                                        kind,
-                                        gate.controls().to_vec(),
-                                        gate.target(),
-                                    )
+                                    Gate::controlled(kind, gate.controls().to_vec(), gate.target())
                                 };
                                 for q in merged.qubits() {
                                     last_on_qubit[q] = Some(i);
@@ -263,7 +261,10 @@ pub fn gates_commute(a: &Gate, b: &Gate) -> bool {
     // Rules 3 and 4 (check both orders).
     let one_way = |d: &Gate, g: &Gate| -> bool {
         // Rule 3: d diagonal, every shared qubit is one of g's controls.
-        if diag(d) && d.qubits().all(|q| g.controls().contains(&q) || g.qubits().all(|p| p != q)) {
+        if diag(d)
+            && d.qubits()
+                .all(|q| g.controls().contains(&q) || g.qubits().all(|p| p != q))
+        {
             return true;
         }
         // Rule 4: d is an uncontrolled X-axis gate sitting on g's X target.
@@ -297,13 +298,17 @@ pub fn cancel_with_commutation(circuit: &Circuit) -> Circuit {
     loop {
         let mut changed = false;
         for i in 0..gates.len() {
-            let Some(gate) = gates[i].clone() else { continue };
+            let Some(gate) = gates[i].clone() else {
+                continue;
+            };
             let mut scanned = 0usize;
             for j in i + 1..gates.len() {
                 if scanned >= WINDOW {
                     break;
                 }
-                let Some(other) = gates[j].clone() else { continue };
+                let Some(other) = gates[j].clone() else {
+                    continue;
+                };
                 scanned += 1;
                 if other.is_inverse_of(&gate) {
                     gates[i] = None;
@@ -396,8 +401,8 @@ pub fn fuse_single_qubit_runs(circuit: &Circuit) -> Circuit {
             out.push(gate.clone());
         }
     }
-    for q in 0..circuit.n_qubits() {
-        let mut slot = pending[q].take();
+    for (q, p) in pending.iter_mut().enumerate() {
+        let mut slot = p.take();
         flush(&mut out, q, &mut slot);
     }
     out
@@ -446,7 +451,11 @@ mod tests {
     #[test]
     fn identities_are_removed() {
         let mut c = Circuit::new(2);
-        c.id(0).x(1).p(0.0, 0).rz(0.0, 1).rz(4.0 * std::f64::consts::PI, 0);
+        c.id(0)
+            .x(1)
+            .p(0.0, 0)
+            .rz(0.0, 1)
+            .rz(4.0 * std::f64::consts::PI, 0);
         let o = remove_identities(&c);
         assert_eq!(o.len(), 1);
         assert_strictly_equal(&c, &o);
@@ -559,12 +568,30 @@ mod tests {
         use crate::dense;
         // Each claimed-commuting pair must truly commute as matrices.
         let pairs: Vec<(Gate, Gate)> = vec![
-            (Gate::single(GateKind::Rz(0.3), 0), Gate::controlled(GateKind::Phase(0.4), vec![0], 1)),
-            (Gate::controlled(GateKind::X, vec![0], 1), Gate::controlled(GateKind::X, vec![0], 2)),
-            (Gate::controlled(GateKind::X, vec![0], 2), Gate::controlled(GateKind::X, vec![1], 2)),
-            (Gate::single(GateKind::Rx(0.7), 1), Gate::controlled(GateKind::X, vec![0], 1)),
-            (Gate::single(GateKind::T, 0), Gate::controlled(GateKind::X, vec![0], 1)),
-            (Gate::single(GateKind::X, 2), Gate::controlled(GateKind::X, vec![0, 1], 2)),
+            (
+                Gate::single(GateKind::Rz(0.3), 0),
+                Gate::controlled(GateKind::Phase(0.4), vec![0], 1),
+            ),
+            (
+                Gate::controlled(GateKind::X, vec![0], 1),
+                Gate::controlled(GateKind::X, vec![0], 2),
+            ),
+            (
+                Gate::controlled(GateKind::X, vec![0], 2),
+                Gate::controlled(GateKind::X, vec![1], 2),
+            ),
+            (
+                Gate::single(GateKind::Rx(0.7), 1),
+                Gate::controlled(GateKind::X, vec![0], 1),
+            ),
+            (
+                Gate::single(GateKind::T, 0),
+                Gate::controlled(GateKind::X, vec![0], 1),
+            ),
+            (
+                Gate::single(GateKind::X, 2),
+                Gate::controlled(GateKind::X, vec![0, 1], 2),
+            ),
         ];
         for (a, b) in pairs {
             assert!(gates_commute(&a, &b), "{a} vs {b} should be accepted");
@@ -580,8 +607,14 @@ mod tests {
         // And known non-commuting pairs must be rejected.
         let reject: Vec<(Gate, Gate)> = vec![
             (Gate::single(GateKind::H, 0), Gate::single(GateKind::T, 0)),
-            (Gate::controlled(GateKind::X, vec![0], 1), Gate::controlled(GateKind::X, vec![1], 0)),
-            (Gate::single(GateKind::Z, 1), Gate::controlled(GateKind::X, vec![0], 1)),
+            (
+                Gate::controlled(GateKind::X, vec![0], 1),
+                Gate::controlled(GateKind::X, vec![1], 0),
+            ),
+            (
+                Gate::single(GateKind::Z, 1),
+                Gate::controlled(GateKind::X, vec![0], 1),
+            ),
         ];
         for (a, b) in reject {
             assert!(!gates_commute(&a, &b), "{a} vs {b} must be rejected");
@@ -640,7 +673,11 @@ mod tests {
         }
         c.cx(0, 1);
         let fused = fuse_single_qubit_runs(&c);
-        assert!(fused.len() <= 6, "40 gates should fuse, got {}", fused.len());
+        assert!(
+            fused.len() <= 6,
+            "40 gates should fuse, got {}",
+            fused.len()
+        );
         assert_strictly_equal(&c, &fused);
     }
 
@@ -689,6 +726,10 @@ mod tests {
         let mut gg = g.clone();
         gg.append(&g.inverse());
         let o = optimize(&gg);
-        assert!(o.is_empty(), "expected full cancellation, got {} gates", o.len());
+        assert!(
+            o.is_empty(),
+            "expected full cancellation, got {} gates",
+            o.len()
+        );
     }
 }

@@ -123,65 +123,110 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, line });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, line });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
                 i += 1;
             }
             '[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, line });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    line,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, line });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    line,
+                });
                 i += 1;
             }
             '{' => {
-                tokens.push(Token { kind: TokenKind::LBrace, line });
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                tokens.push(Token { kind: TokenKind::RBrace, line });
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, line });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    line,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, line });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    line,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, line });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    line,
+                });
                 i += 1;
             }
             '^' => {
-                tokens.push(Token { kind: TokenKind::Caret, line });
+                tokens.push(Token {
+                    kind: TokenKind::Caret,
+                    line,
+                });
                 i += 1;
             }
             '-' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    tokens.push(Token { kind: TokenKind::Arrow, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Minus, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Minus,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '=' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::EqEq, line });
+                    tokens.push(Token {
+                        kind: TokenKind::EqEq,
+                        line,
+                    });
                     i += 2;
                 } else {
                     return Err(LexError {
@@ -241,13 +286,19 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                         message: format!("invalid real literal '{text}'"),
                         line,
                     })?;
-                    tokens.push(Token { kind: TokenKind::Real(v), line });
+                    tokens.push(Token {
+                        kind: TokenKind::Real(v),
+                        line,
+                    });
                 } else {
                     let v: u64 = text.parse().map_err(|_| LexError {
                         message: format!("invalid integer literal '{text}'"),
                         line,
                     })?;
-                    tokens.push(Token { kind: TokenKind::Int(v), line });
+                    tokens.push(Token {
+                        kind: TokenKind::Int(v),
+                        line,
+                    });
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -329,7 +380,10 @@ mod tests {
     fn arrow_and_equality() {
         assert_eq!(kinds("->"), vec![TokenKind::Arrow]);
         assert_eq!(kinds("=="), vec![TokenKind::EqEq]);
-        assert_eq!(kinds("1 - 2"), vec![TokenKind::Int(1), TokenKind::Minus, TokenKind::Int(2)]);
+        assert_eq!(
+            kinds("1 - 2"),
+            vec![TokenKind::Int(1), TokenKind::Minus, TokenKind::Int(2)]
+        );
     }
 
     #[test]

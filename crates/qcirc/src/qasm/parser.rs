@@ -35,7 +35,11 @@ pub struct ParseQasmError {
 
 impl fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "QASM parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "QASM parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -225,7 +229,9 @@ impl Parser {
     fn error(&self, message: impl Into<String>) -> ParseQasmError {
         ParseQasmError {
             message: message.into(),
-            line: self.tokens.get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            line: self
+                .tokens
+                .get(self.pos.min(self.tokens.len().saturating_sub(1)))
                 .map_or(0, |t| t.line),
         }
     }
@@ -287,9 +293,10 @@ impl Parser {
         }
         let mut circuit = Circuit::new(self.n_qubits);
         for g in self.circuit_gates {
-            circuit
-                .try_push(g)
-                .map_err(|e| ParseQasmError { message: e.to_string(), line: 0 })?;
+            circuit.try_push(g).map_err(|e| ParseQasmError {
+                message: e.to_string(),
+                line: 0,
+            })?;
         }
         Ok(LenientParse {
             circuit,
@@ -407,18 +414,18 @@ impl Parser {
             }
             (None, None) => {
                 if q_size != c_size {
-                    return Err(self.error(
-                        "broadcast measurement needs equal register sizes".to_string(),
-                    ));
+                    return Err(
+                        self.error("broadcast measurement needs equal register sizes".to_string())
+                    );
                 }
                 for i in 0..q_size {
                     self.measurements.push((q_off + i, c_off + i));
                 }
             }
             _ => {
-                return Err(self.error(
-                    "measurement must be fully indexed or fully broadcast".to_string(),
-                ))
+                return Err(
+                    self.error("measurement must be fully indexed or fully broadcast".to_string())
+                )
             }
         }
         Ok(())
@@ -748,10 +755,16 @@ impl Parser {
         let err = |m: String| ParseQasmError { message: m, line };
         let need = |n: usize, k: usize| -> Result<(), ParseQasmError> {
             if qubits.len() != n {
-                return Err(err(format!("'{name}' expects {n} qubits, got {}", qubits.len())));
+                return Err(err(format!(
+                    "'{name}' expects {n} qubits, got {}",
+                    qubits.len()
+                )));
             }
             if args.len() != k {
-                return Err(err(format!("'{name}' expects {k} parameters, got {}", args.len())));
+                return Err(err(format!(
+                    "'{name}' expects {k} parameters, got {}",
+                    args.len()
+                )));
             }
             Ok(())
         };
@@ -997,8 +1010,7 @@ mod tests {
 
     #[test]
     fn parameterized_user_gate() {
-        let src =
-            "qreg q[1];\ngate wiggle(a) x { rz(a/2) x; rz(-a/2) x; }\nwiggle(pi) q[0];";
+        let src = "qreg q[1];\ngate wiggle(a) x { rz(a/2) x; rz(-a/2) x; }\nwiggle(pi) q[0];";
         let c = parse_body(src);
         assert_eq!(c.len(), 2);
         match c.gates()[0].kind() {

@@ -163,7 +163,12 @@ mod tests {
     #[test]
     fn roundtrip_simple_circuit() {
         let mut c = Circuit::with_name(3, "demo");
-        c.h(0).cx(0, 1).ccx(0, 1, 2).swap(1, 2).rz(0.5, 0).cp(0.25, 0, 2);
+        c.h(0)
+            .cx(0, 1)
+            .ccx(0, 1, 2)
+            .swap(1, 2)
+            .rz(0.5, 0)
+            .cp(0.25, 0, 2);
         let src = write(&c);
         let back = parse(&src).expect("roundtrip parse");
         assert_eq!(back.n_qubits(), 3);

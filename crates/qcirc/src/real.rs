@@ -49,7 +49,11 @@ pub struct ParseRealError {
 
 impl fmt::Display for ParseRealError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, ".real parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            ".real parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -74,7 +78,10 @@ pub fn parse(source: &str) -> Result<Circuit, ParseRealError> {
 
     for (line_no, raw) in source.lines().enumerate() {
         let line_no = line_no + 1;
-        let err = |message: String| ParseRealError { message, line: line_no };
+        let err = |message: String| ParseRealError {
+            message,
+            line: line_no,
+        };
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() || ended {
             continue;
@@ -163,11 +170,7 @@ pub fn parse(source: &str) -> Result<Circuit, ParseRealError> {
 
 /// Lowers one `.real` gate line to workspace gates, wrapping X conjugation
 /// around negative controls.
-fn lower_gate(
-    gate_ty: &str,
-    qubits: &[usize],
-    negated: &[usize],
-) -> Result<Vec<Gate>, String> {
+fn lower_gate(gate_ty: &str, qubits: &[usize], negated: &[usize]) -> Result<Vec<Gate>, String> {
     let core: Vec<Gate> = match gate_ty {
         t if t.starts_with('t') => {
             let k: usize = t[1..]
@@ -233,7 +236,11 @@ fn lower_gate(
             if negated.contains(&target[0]) {
                 return Err("the V target line cannot be negated".into());
             }
-            let kind = if gate_ty == "v" { GateKind::Sx } else { GateKind::Sxdg };
+            let kind = if gate_ty == "v" {
+                GateKind::Sx
+            } else {
+                GateKind::Sxdg
+            };
             vec![Gate::controlled(kind, controls.to_vec(), target[0])]
         }
         other => return Err(format!("unknown gate type '{other}'")),
@@ -313,7 +320,11 @@ pub fn write(circuit: &Circuit) -> Result<String, WriteRealError> {
             }
         };
         // Collapse double spaces from empty control lists.
-        let _ = writeln!(out, "{}", line.split_whitespace().collect::<Vec<_>>().join(" "));
+        let _ = writeln!(
+            out,
+            "{}",
+            line.split_whitespace().collect::<Vec<_>>().join(" ")
+        );
     }
     out.push_str(".end\n");
     Ok(out)

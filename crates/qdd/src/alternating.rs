@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use qcirc::Circuit;
 
-use crate::check::{compare_roots, DdCheckAbort, Deadline, DdEquivalence};
+use crate::check::{compare_roots, DdCheckAbort, DdEquivalence, Deadline};
 use crate::package::Package;
 
 /// Checks equivalence with the alternating scheme, advancing whichever
@@ -47,12 +47,44 @@ pub fn check_equivalence_alternating(
     g_prime: &Circuit,
     deadline: Option<Duration>,
 ) -> Result<DdEquivalence, DdCheckAbort> {
+    alternating_with_budget(package, g, g_prime, Deadline::new(deadline))
+}
+
+/// [`check_equivalence_alternating`] with an external cancellation flag,
+/// polled between gate applications alongside the deadline. Raising the
+/// flag makes the check return
+/// [`DdCheckAbort::Cancelled`](crate::DdCheckAbort::Cancelled) promptly —
+/// this is how a concurrent checker portfolio stops a losing racer.
+///
+/// # Errors
+///
+/// Returns [`DdCheckAbort`] on timeout, node-limit exhaustion, or
+/// cancellation.
+///
+/// # Panics
+///
+/// Panics if the circuits' qubit counts differ from the package's.
+pub fn check_equivalence_alternating_cancellable(
+    package: &mut Package,
+    g: &Circuit,
+    g_prime: &Circuit,
+    deadline: Option<Duration>,
+    cancel: &std::sync::atomic::AtomicBool,
+) -> Result<DdEquivalence, DdCheckAbort> {
+    alternating_with_budget(package, g, g_prime, Deadline::cancellable(deadline, cancel))
+}
+
+fn alternating_with_budget(
+    package: &mut Package,
+    g: &Circuit,
+    g_prime: &Circuit,
+    deadline: Deadline<'_>,
+) -> Result<DdEquivalence, DdCheckAbort> {
     assert_eq!(
         g.n_qubits(),
         g_prime.n_qubits(),
         "circuits must have equal qubit counts"
     );
-    let deadline = Deadline::new(deadline);
     let mut e = package.identity_medge();
 
     // Consume both circuits back-to-front:

@@ -2,6 +2,7 @@
 //! paper's flow falls back to after its simulation runs (\[18\]–\[22\], \[26\]).
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use qcirc::Circuit;
@@ -53,6 +54,9 @@ pub enum DdCheckAbort {
     },
     /// The DD node limit was exceeded (memory analogue of a timeout).
     NodeLimit(DdLimitError),
+    /// A concurrent orchestrator (e.g. `qcec`'s scheduler) raised the
+    /// cancellation flag — another checker reached a verdict first.
+    Cancelled,
 }
 
 impl fmt::Display for DdCheckAbort {
@@ -62,6 +66,9 @@ impl fmt::Display for DdCheckAbort {
                 write!(f, "equivalence check timed out after {deadline:?}")
             }
             DdCheckAbort::NodeLimit(e) => write!(f, "{e}"),
+            DdCheckAbort::Cancelled => {
+                write!(f, "equivalence check cancelled by a concurrent checker")
+            }
         }
     }
 }
@@ -74,22 +81,39 @@ impl From<DdLimitError> for DdCheckAbort {
     }
 }
 
-/// A cooperative deadline checked between gate applications.
+/// A cooperative abort budget checked between gate applications: an
+/// optional wall-clock deadline plus an optional external cancellation
+/// flag (raised by a concurrent checker that reached a verdict first).
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct Deadline {
+pub(crate) struct Deadline<'a> {
     start: Instant,
     limit: Option<Duration>,
+    cancel: Option<&'a AtomicBool>,
 }
 
-impl Deadline {
+impl<'a> Deadline<'a> {
     pub(crate) fn new(limit: Option<Duration>) -> Self {
         Deadline {
             start: Instant::now(),
             limit,
+            cancel: None,
+        }
+    }
+
+    pub(crate) fn cancellable(limit: Option<Duration>, cancel: &'a AtomicBool) -> Self {
+        Deadline {
+            start: Instant::now(),
+            limit,
+            cancel: Some(cancel),
         }
     }
 
     pub(crate) fn check(&self) -> Result<(), DdCheckAbort> {
+        if let Some(cancel) = self.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(DdCheckAbort::Cancelled);
+            }
+        }
         if let Some(limit) = self.limit {
             if self.start.elapsed() > limit {
                 return Err(DdCheckAbort::Timeout { deadline: limit });
@@ -134,12 +158,43 @@ pub fn check_equivalence_construct(
     g_prime: &Circuit,
     deadline: Option<Duration>,
 ) -> Result<DdEquivalence, DdCheckAbort> {
+    construct_with_budget(package, g, g_prime, Deadline::new(deadline))
+}
+
+/// [`check_equivalence_construct`] with an external cancellation flag,
+/// polled between gate applications alongside the deadline. Raising the
+/// flag makes the check return [`DdCheckAbort::Cancelled`] promptly —
+/// this is how a concurrent checker portfolio stops a losing racer.
+///
+/// # Errors
+///
+/// Returns [`DdCheckAbort`] on timeout, node-limit exhaustion, or
+/// cancellation.
+///
+/// # Panics
+///
+/// Panics if the circuits' qubit counts differ from the package's.
+pub fn check_equivalence_construct_cancellable(
+    package: &mut Package,
+    g: &Circuit,
+    g_prime: &Circuit,
+    deadline: Option<Duration>,
+    cancel: &AtomicBool,
+) -> Result<DdEquivalence, DdCheckAbort> {
+    construct_with_budget(package, g, g_prime, Deadline::cancellable(deadline, cancel))
+}
+
+fn construct_with_budget(
+    package: &mut Package,
+    g: &Circuit,
+    g_prime: &Circuit,
+    deadline: Deadline<'_>,
+) -> Result<DdEquivalence, DdCheckAbort> {
     assert_eq!(
         g.n_qubits(),
         g_prime.n_qubits(),
         "circuits must have equal qubit counts"
     );
-    let deadline = Deadline::new(deadline);
     let (u, _) = circuit_medge_with_deadline(package, g, &deadline, None)?;
     let (u_prime, kept) = circuit_medge_with_deadline(package, g_prime, &deadline, Some(u))?;
     let u = kept.expect("keep-root requested");
@@ -152,7 +207,7 @@ pub fn check_equivalence_construct(
 pub(crate) fn circuit_medge_with_deadline(
     package: &mut Package,
     circuit: &Circuit,
-    deadline: &Deadline,
+    deadline: &Deadline<'_>,
     keep: Option<crate::edge::MEdge>,
 ) -> Result<(crate::edge::MEdge, Option<crate::edge::MEdge>), DdCheckAbort> {
     let mut u = package.identity_medge();
@@ -342,6 +397,37 @@ mod tests {
         let e = check_equivalence_construct(&mut p, &g, &g, Some(Duration::ZERO)).unwrap_err();
         assert!(matches!(e, DdCheckAbort::Timeout { .. }));
         assert!(e.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn raised_cancel_flag_aborts_promptly() {
+        let g = generators::qft(5, true);
+        let cancel = AtomicBool::new(true);
+        let mut p = Package::new(5);
+        let e = check_equivalence_construct_cancellable(&mut p, &g, &g, None, &cancel).unwrap_err();
+        assert!(matches!(e, DdCheckAbort::Cancelled));
+        assert!(e.to_string().contains("cancelled"));
+        let mut p = Package::new(5);
+        let e = crate::check_equivalence_alternating_cancellable(&mut p, &g, &g, None, &cancel)
+            .unwrap_err();
+        assert!(matches!(e, DdCheckAbort::Cancelled));
+    }
+
+    #[test]
+    fn unraised_cancel_flag_changes_nothing() {
+        let g = generators::qft(4, true);
+        let opt = qcirc::optimize::optimize(&g);
+        let cancel = AtomicBool::new(false);
+        let mut p = Package::new(4);
+        let with_flag =
+            check_equivalence_construct_cancellable(&mut p, &g, &opt, None, &cancel).unwrap();
+        let mut p = Package::new(4);
+        let without = check_equivalence_construct(&mut p, &g, &opt, None).unwrap();
+        assert_eq!(with_flag, without);
+        let mut p = Package::new(4);
+        let alt = crate::check_equivalence_alternating_cancellable(&mut p, &g, &opt, None, &cancel)
+            .unwrap();
+        assert!(alt.is_equivalent());
     }
 
     #[test]

@@ -202,7 +202,10 @@ impl ComplexTable {
 
     fn bucket_key(&self, value: Complex) -> (i64, i64) {
         let scale = 1.0 / (2.0 * self.tolerance);
-        ((value.re * scale).round() as i64, (value.im * scale).round() as i64)
+        (
+            (value.re * scale).round() as i64,
+            (value.im * scale).round() as i64,
+        )
     }
 }
 

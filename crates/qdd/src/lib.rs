@@ -42,8 +42,11 @@ pub mod dot;
 mod edge;
 mod package;
 
-pub use alternating::check_equivalence_alternating;
-pub use check::{check_equivalence_construct, DdCheckAbort, DdEquivalence};
+pub use alternating::{check_equivalence_alternating, check_equivalence_alternating_cancellable};
+pub use check::{
+    check_equivalence_construct, check_equivalence_construct_cancellable, DdCheckAbort,
+    DdEquivalence,
+};
 pub use complex_table::{ComplexTable, Cx};
 pub use edge::{MEdge, MNode, NodeId, VEdge, VNode};
 pub use package::{DdLimitError, Package, PackageStats};

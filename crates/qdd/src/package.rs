@@ -21,7 +21,11 @@ pub struct DdLimitError {
 
 impl fmt::Display for DdLimitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "decision diagram exceeded the node limit of {}", self.node_limit)
+        write!(
+            f,
+            "decision diagram exceeded the node limit of {}",
+            self.node_limit
+        )
     }
 }
 
@@ -187,11 +191,7 @@ impl Package {
     /// Long-running consumers ([`Package::circuit_medge`],
     /// [`Package::apply_to_basis`], the equivalence checkers) call this
     /// automatically when the arenas pass [`Package::gc_threshold`].
-    pub fn compact(
-        &mut self,
-        mroots: &[MEdge],
-        vroots: &[VEdge],
-    ) -> (Vec<MEdge>, Vec<VEdge>) {
+    pub fn compact(&mut self, mroots: &[MEdge], vroots: &[VEdge]) -> (Vec<MEdge>, Vec<VEdge>) {
         let old_mnodes = std::mem::take(&mut self.mnodes);
         let old_vnodes = std::mem::take(&mut self.vnodes);
         self.munique.clear();
@@ -358,7 +358,10 @@ impl Package {
             self.munique.insert(node, id);
             id
         };
-        Ok(MEdge { node: id, weight: norm })
+        Ok(MEdge {
+            node: id,
+            weight: norm,
+        })
     }
 
     /// Creates (or finds) the normalized, hash-consed vector node.
@@ -398,7 +401,10 @@ impl Package {
             self.vunique.insert(node, id);
             id
         };
-        Ok(VEdge { node: id, weight: norm })
+        Ok(VEdge {
+            node: id,
+            weight: norm,
+        })
     }
 
     fn mnode(&self, id: NodeId) -> &MNode {
@@ -482,12 +488,7 @@ impl Package {
             kind => {
                 let m = kind.base_matrix().expect("single-target kind");
                 let target = gate.target();
-                let entries = [
-                    m.entry(0, 0),
-                    m.entry(0, 1),
-                    m.entry(1, 0),
-                    m.entry(1, 1),
-                ];
+                let entries = [m.entry(0, 0), m.entry(0, 1), m.entry(1, 0), m.entry(1, 1)];
                 let mut em: [MEdge; 4] = [
                     MEdge::terminal(self.ct.intern(entries[0])),
                     MEdge::terminal(self.ct.intern(entries[1])),
@@ -506,10 +507,7 @@ impl Package {
                     let below_id = self.identity_below(z);
                     if is_control(z) {
                         em = [
-                            self.make_mnode(
-                                z as u16,
-                                [below_id, MEdge::ZERO, MEdge::ZERO, em[0]],
-                            )?,
+                            self.make_mnode(z as u16, [below_id, MEdge::ZERO, MEdge::ZERO, em[0]])?,
                             self.make_mnode(
                                 z as u16,
                                 [MEdge::ZERO, MEdge::ZERO, MEdge::ZERO, em[1]],
@@ -518,17 +516,11 @@ impl Package {
                                 z as u16,
                                 [MEdge::ZERO, MEdge::ZERO, MEdge::ZERO, em[2]],
                             )?,
-                            self.make_mnode(
-                                z as u16,
-                                [below_id, MEdge::ZERO, MEdge::ZERO, em[3]],
-                            )?,
+                            self.make_mnode(z as u16, [below_id, MEdge::ZERO, MEdge::ZERO, em[3]])?,
                         ];
                     } else {
                         for e in &mut em {
-                            *e = self.make_mnode(
-                                z as u16,
-                                [*e, MEdge::ZERO, MEdge::ZERO, *e],
-                            )?;
+                            *e = self.make_mnode(z as u16, [*e, MEdge::ZERO, MEdge::ZERO, *e])?;
                         }
                     }
                 }
@@ -537,10 +529,7 @@ impl Package {
                 for z in target + 1..self.n_qubits {
                     if is_control(z) {
                         let below_id = self.identity_below(z);
-                        e = self.make_mnode(
-                            z as u16,
-                            [below_id, MEdge::ZERO, MEdge::ZERO, e],
-                        )?;
+                        e = self.make_mnode(z as u16, [below_id, MEdge::ZERO, MEdge::ZERO, e])?;
                     } else {
                         e = self.make_mnode(z as u16, [e, MEdge::ZERO, MEdge::ZERO, e])?;
                     }
@@ -622,13 +611,13 @@ impl Package {
         let bn = *self.mnode(b.node);
         debug_assert_eq!(an.var, bn.var, "misaligned add");
         let mut children = [MEdge::ZERO; 4];
-        for i in 0..4 {
-            let bw = self.ct.mul(bn.children[i].weight, rel);
+        for ((child, &ac), &bc) in children.iter_mut().zip(&an.children).zip(&bn.children) {
+            let bw = self.ct.mul(bc.weight, rel);
             let b_child = MEdge {
-                node: bn.children[i].node,
+                node: bc.node,
                 weight: bw,
             };
-            children[i] = self.add_mm(an.children[i], b_child)?;
+            *child = self.add_mm(ac, b_child)?;
         }
         let result = self.make_mnode(an.var, children)?;
         self.madd_cache.insert((a.node, b.node, rel), result);
@@ -752,10 +741,7 @@ impl Package {
     /// # Panics
     ///
     /// Panics if `amplitudes.len() != 2ⁿ`.
-    pub fn vedge_from_amplitudes(
-        &mut self,
-        amplitudes: &[Complex],
-    ) -> Result<VEdge, DdLimitError> {
+    pub fn vedge_from_amplitudes(&mut self, amplitudes: &[Complex]) -> Result<VEdge, DdLimitError> {
         assert_eq!(
             amplitudes.len(),
             1usize << self.n_qubits,
@@ -764,11 +750,7 @@ impl Package {
         self.vedge_from_slice(amplitudes, self.n_qubits)
     }
 
-    fn vedge_from_slice(
-        &mut self,
-        amps: &[Complex],
-        levels: usize,
-    ) -> Result<VEdge, DdLimitError> {
+    fn vedge_from_slice(&mut self, amps: &[Complex], levels: usize) -> Result<VEdge, DdLimitError> {
         if levels == 0 {
             let a = amps[0];
             if a.approx_zero() {
@@ -816,12 +798,12 @@ impl Package {
         let bn = *self.vnode(b.node);
         debug_assert_eq!(an.var, bn.var, "misaligned vector add");
         let mut children = [VEdge::ZERO; 2];
-        for i in 0..2 {
-            let bw = self.ct.mul(bn.children[i].weight, rel);
-            children[i] = self.add_vv(
-                an.children[i],
+        for ((child, &ac), &bc) in children.iter_mut().zip(&an.children).zip(&bn.children) {
+            let bw = self.ct.mul(bc.weight, rel);
+            *child = self.add_vv(
+                ac,
                 VEdge {
-                    node: bn.children[i].node,
+                    node: bc.node,
                     weight: bw,
                 },
             )?;
@@ -858,10 +840,10 @@ impl Package {
         let vn = *self.vnode(v.node);
         debug_assert_eq!(mn.var, vn.var, "misaligned matrix-vector multiply");
         let mut children = [VEdge::ZERO; 2];
-        for row in 0..2 {
+        for (row, child) in children.iter_mut().enumerate() {
             let p0 = self.mul_mv(mn.children[row * 2], vn.children[0])?;
             let p1 = self.mul_mv(mn.children[row * 2 + 1], vn.children[1])?;
-            children[row] = self.add_vv(p0, p1)?;
+            *child = self.add_vv(p0, p1)?;
         }
         let result = self.make_vnode(mn.var, children)?;
         self.mv_cache.insert((m.node, v.node), result);
@@ -923,7 +905,7 @@ impl Package {
             if child.is_zero() {
                 return Complex::ZERO;
             }
-            w = w * self.ct.value(child.weight);
+            w *= self.ct.value(child.weight);
             node = child.node;
         }
         w
@@ -1120,7 +1102,7 @@ impl Package {
                 return None; // column 0 is entirely zero
             };
             row |= bit << n.var;
-            value = value * self.ct.value(child.weight);
+            value *= self.ct.value(child.weight);
             node = child.node;
         }
         Some((row, value))
@@ -1130,10 +1112,7 @@ impl Package {
     #[must_use]
     pub fn medges_equal_up_to_phase(&self, a: MEdge, b: MEdge) -> bool {
         a.node == b.node
-            && qnum::approx::approx_eq(
-                self.ct.value(a.weight).abs(),
-                self.ct.value(b.weight).abs(),
-            )
+            && qnum::approx::approx_eq(self.ct.value(a.weight).abs(), self.ct.value(b.weight).abs())
     }
 
     /// Returns `true` if the matrix DD is exactly the identity.
@@ -1158,10 +1137,7 @@ impl Package {
     #[must_use]
     pub fn vedges_equal_up_to_phase(&self, a: VEdge, b: VEdge) -> bool {
         a.node == b.node
-            && qnum::approx::approx_eq(
-                self.ct.value(a.weight).abs(),
-                self.ct.value(b.weight).abs(),
-            )
+            && qnum::approx::approx_eq(self.ct.value(a.weight).abs(), self.ct.value(b.weight).abs())
     }
 
     /// Expands a matrix DD into a dense matrix (tests and the Fig. 1
@@ -1200,7 +1176,7 @@ impl Package {
             if child.is_zero() {
                 return Complex::ZERO;
             }
-            w = w * self.ct.value(child.weight);
+            w *= self.ct.value(child.weight);
             node = child.node;
         }
         w
@@ -1279,7 +1255,10 @@ mod tests {
             let c = generators::random_clifford_t(4, 40, seed);
             let mut p = Package::new(4);
             let u = p.circuit_medge(&c).unwrap();
-            assert!(p.to_matrix(u).approx_eq(&qcirc::dense::unitary(&c)), "seed {seed}");
+            assert!(
+                p.to_matrix(u).approx_eq(&qcirc::dense::unitary(&c)),
+                "seed {seed}"
+            );
         }
     }
 
@@ -1326,7 +1305,13 @@ mod tests {
     #[test]
     fn mul_against_dense_includes_phases() {
         let mut c = Circuit::new(3);
-        c.h(0).t(0).cx(0, 2).rz(0.9, 2).ccx(0, 1, 2).sdg(1).swap(0, 1);
+        c.h(0)
+            .t(0)
+            .cx(0, 2)
+            .rz(0.9, 2)
+            .ccx(0, 1, 2)
+            .sdg(1)
+            .swap(0, 1);
         let mut p = Package::new(3);
         let u = p.circuit_medge(&c).unwrap();
         assert!(p.to_matrix(u).approx_eq(&qcirc::dense::unitary(&c)));
@@ -1369,7 +1354,11 @@ mod tests {
         assert!((p.amplitude(v, (1 << 10) - 1).abs() - h).abs() < 1e-10);
         // GHZ states are linear chains; even counting every intermediate
         // state of the simulation the node count stays far below 2¹⁰.
-        assert!(p.stats().vector_nodes < 300, "got {}", p.stats().vector_nodes);
+        assert!(
+            p.stats().vector_nodes < 300,
+            "got {}",
+            p.stats().vector_nodes
+        );
     }
 
     #[test]
@@ -1440,12 +1429,18 @@ mod tests {
         let trials = 400;
         for _ in 0..trials {
             let sample = p.sample_vedge(v, &mut rng);
-            assert!(sample == 0 || sample == 0b111111, "impossible outcome {sample:b}");
+            assert!(
+                sample == 0 || sample == 0b111111,
+                "impossible outcome {sample:b}"
+            );
             if sample != 0 {
                 ones += 1;
             }
         }
-        assert!(ones > trials / 4 && ones < 3 * trials / 4, "imbalanced: {ones}/{trials}");
+        assert!(
+            ones > trials / 4 && ones < 3 * trials / 4,
+            "imbalanced: {ones}/{trials}"
+        );
     }
 
     #[test]
@@ -1497,8 +1492,7 @@ mod tests {
         let (mroots, vroots) = p.compact(&[u], &[v]);
         let after = p.stats();
         assert!(
-            after.matrix_nodes + after.vector_nodes
-                <= before.matrix_nodes + before.vector_nodes
+            after.matrix_nodes + after.vector_nodes <= before.matrix_nodes + before.vector_nodes
         );
         assert!(p.to_matrix(mroots[0]).approx_eq(&dense_before));
         for (a, b) in p.to_statevector(vroots[0]).iter().zip(amps_before.iter()) {

@@ -510,7 +510,10 @@ impl MatrixN {
     #[inline]
     #[must_use]
     pub fn entry(&self, row: usize, col: usize) -> Complex {
-        assert!(row < self.dim && col < self.dim, "MatrixN index out of bounds");
+        assert!(
+            row < self.dim && col < self.dim,
+            "MatrixN index out of bounds"
+        );
         self.entries[row * self.dim + col]
     }
 
@@ -521,7 +524,10 @@ impl MatrixN {
     /// Panics if `row` or `col` is out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: Complex) {
-        assert!(row < self.dim && col < self.dim, "MatrixN index out of bounds");
+        assert!(
+            row < self.dim && col < self.dim,
+            "MatrixN index out of bounds"
+        );
         self.entries[row * self.dim + col] = value;
     }
 
@@ -620,7 +626,8 @@ impl MatrixN {
     /// Returns `true` if `U·U† ≈ I` within the workspace tolerance.
     #[must_use]
     pub fn is_unitary(&self) -> bool {
-        self.mul(&self.adjoint()).approx_eq(&MatrixN::identity(self.n_qubits))
+        self.mul(&self.adjoint())
+            .approx_eq(&MatrixN::identity(self.n_qubits))
     }
 
     /// Entry-wise tolerance comparison.
@@ -672,9 +679,7 @@ impl MatrixN {
     pub fn differing_columns(&self, other: &MatrixN) -> usize {
         assert_eq!(self.dim, other.dim, "dimension mismatch");
         (0..self.dim)
-            .filter(|&c| {
-                (0..self.dim).any(|r| !self.entry(r, c).approx_eq(other.entry(r, c)))
-            })
+            .filter(|&c| (0..self.dim).any(|r| !self.entry(r, c).approx_eq(other.entry(r, c))))
             .count()
     }
 }

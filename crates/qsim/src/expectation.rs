@@ -105,14 +105,7 @@ impl PauliString {
                 match p {
                     Pauli::I | Pauli::X => {}
                     // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
-                    Pauli::Y => {
-                        phase = phase
-                            * if bit_j == 0 {
-                                Complex::I
-                            } else {
-                                -Complex::I
-                            }
-                    }
+                    Pauli::Y => phase *= if bit_j == 0 { Complex::I } else { -Complex::I },
                     // Z|b⟩ = (−1)^b |b⟩.
                     Pauli::Z => {
                         if bit_j == 1 {
@@ -153,7 +146,11 @@ pub struct ParsePauliError {
 
 impl fmt::Display for ParsePauliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid Pauli character '{}' (expected I, X, Y or Z)", self.found)
+        write!(
+            f,
+            "invalid Pauli character '{}' (expected I, X, Y or Z)",
+            self.found
+        )
     }
 }
 

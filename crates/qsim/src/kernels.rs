@@ -22,12 +22,7 @@ pub fn apply_controlled_single(
     let bt = 1usize << target;
     debug_assert_eq!(control_mask & bt, 0, "target overlaps controls");
     let dim = amps.len();
-    let (m00, m01, m10, m11) = (
-        m.entry(0, 0),
-        m.entry(0, 1),
-        m.entry(1, 0),
-        m.entry(1, 1),
-    );
+    let (m00, m01, m10, m11) = (m.entry(0, 0), m.entry(0, 1), m.entry(1, 0), m.entry(1, 1));
     // Fast path: diagonal gates touch each amplitude once.
     if m01.approx_zero() && m10.approx_zero() {
         apply_controlled_diagonal(amps, control_mask, target, m00, m11);
@@ -72,12 +67,7 @@ pub fn apply_controlled_single_at(
     debug_assert_eq!(control_mask & bt, 0, "target overlaps controls");
     debug_assert_eq!(offset % block, 0, "chunk not block-aligned");
     debug_assert_eq!(chunk.len() % block, 0, "chunk length not block-aligned");
-    let (m00, m01, m10, m11) = (
-        m.entry(0, 0),
-        m.entry(0, 1),
-        m.entry(1, 0),
-        m.entry(1, 1),
-    );
+    let (m00, m01, m10, m11) = (m.entry(0, 0), m.entry(0, 1), m.entry(1, 0), m.entry(1, 1));
     let mut base = 0usize;
     while base < chunk.len() {
         for off in 0..bt {
@@ -110,9 +100,9 @@ fn apply_controlled_diagonal(
             continue;
         }
         if i & bt != 0 {
-            *a = *a * d1;
+            *a *= d1;
         } else if !d0_is_one {
-            *a = *a * d0;
+            *a *= d0;
         }
     }
 }

@@ -43,6 +43,6 @@ mod simulator;
 mod state;
 mod unitary;
 
-pub use simulator::Simulator;
+pub use simulator::{ProbeWorkspace, Simulator};
 pub use state::{StateError, StateVector};
 pub use unitary::unitary;

@@ -123,7 +123,10 @@ mod tests {
         let counts = sample_counts(&out, 500, &mut rng(1));
         assert!(counts.keys().all(|&k| k == 0 || k == 0b111));
         let zeros = counts.get(&0).copied().unwrap_or(0);
-        assert!(zeros > 150 && zeros < 350, "suspicious balance: {zeros}/500");
+        assert!(
+            zeros > 150 && zeros < 350,
+            "suspicious balance: {zeros}/500"
+        );
     }
 
     #[test]

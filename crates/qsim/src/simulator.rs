@@ -48,6 +48,20 @@ impl Simulator {
         Simulator { threads }
     }
 
+    /// Creates a simulator for use *inside* a worker thread of a checker
+    /// pool (e.g. `qcec`'s scheduler).
+    ///
+    /// Identical to [`Simulator::new`], but named to document the
+    /// threading contract: worker simulators run their kernels
+    /// sequentially so that an `N`-worker pool uses exactly `N` OS
+    /// threads instead of oversubscribing the machine with nested
+    /// kernel-level parallelism. `Simulator` is `Send + Sync`, so one
+    /// instance may also be shared across scoped worker threads.
+    #[must_use]
+    pub fn for_worker() -> Self {
+        Simulator { threads: 1 }
+    }
+
     /// Simulates `circuit` on the basis state `|basis⟩`, yielding the
     /// `basis`-th column of the circuit unitary.
     ///
@@ -60,6 +74,17 @@ impl Simulator {
         let mut state = StateVector::basis(circuit.n_qubits(), basis);
         self.run_inplace(circuit, &mut state);
         state
+    }
+
+    /// Simulates `circuit` on `|basis⟩`, reusing `state`'s allocation
+    /// instead of allocating a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ or `basis ≥ 2ⁿ`.
+    pub fn run_basis_into(&self, circuit: &Circuit, basis: u64, state: &mut StateVector) {
+        state.reset_to_basis(basis);
+        self.run_inplace(circuit, state);
     }
 
     /// Simulates `circuit` on a copy of `initial`.
@@ -141,16 +166,142 @@ impl Simulator {
     /// range.
     #[must_use]
     pub fn probe_basis(&self, g: &Circuit, g_prime: &Circuit, basis: u64) -> Complex {
+        let mut workspace = ProbeWorkspace::new(g.n_qubits());
+        self.probe_basis_with(g, g_prime, basis, &mut workspace)
+    }
+
+    /// Like [`Simulator::probe_basis`], but reuses the two state buffers
+    /// of `workspace` — the allocation-free variant for loops over many
+    /// stimuli (one `O(2ⁿ)` pair of buffers total instead of per run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuits' or workspace's qubit counts differ or
+    /// `basis` is out of range.
+    #[must_use]
+    pub fn probe_basis_with(
+        &self,
+        g: &Circuit,
+        g_prime: &Circuit,
+        basis: u64,
+        workspace: &mut ProbeWorkspace,
+    ) -> Complex {
+        self.probe_basis_while(g, g_prime, basis, workspace, &|| true)
+            .expect("unconditional probe cannot be cancelled")
+    }
+
+    /// Like [`Simulator::probe_basis_with`], but polls `keep_going`
+    /// between gate applications and gives up as soon as it returns
+    /// `false` — the cancellable variant for worker pools whose remaining
+    /// stimuli become moot once a counterexample is found elsewhere.
+    ///
+    /// Returns `None` if the probe was abandoned mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuits' or workspace's qubit counts differ or
+    /// `basis` is out of range.
+    #[must_use]
+    pub fn probe_basis_while(
+        &self,
+        g: &Circuit,
+        g_prime: &Circuit,
+        basis: u64,
+        workspace: &mut ProbeWorkspace,
+        keep_going: &dyn Fn() -> bool,
+    ) -> Option<Complex> {
         assert_eq!(
             g.n_qubits(),
             g_prime.n_qubits(),
             "circuits must have equal qubit counts"
         );
-        let a = self.run_basis(g, basis);
-        let b = self.run_basis(g_prime, basis);
-        a.inner_product(&b)
+        if !self.run_basis_into_while(g, basis, &mut workspace.left, keep_going)
+            || !self.run_basis_into_while(g_prime, basis, &mut workspace.right, keep_going)
+        {
+            return None;
+        }
+        Some(workspace.left.inner_product(&workspace.right))
+    }
+
+    /// Like [`Simulator::run_basis_into`], but polls `keep_going` between
+    /// gate applications. Returns `false` (leaving `state` part-way
+    /// through the circuit) if the run was abandoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ or `basis ≥ 2ⁿ`.
+    pub fn run_basis_into_while(
+        &self,
+        circuit: &Circuit,
+        basis: u64,
+        state: &mut StateVector,
+        keep_going: &dyn Fn() -> bool,
+    ) -> bool {
+        state.reset_to_basis(basis);
+        assert_eq!(
+            circuit.n_qubits(),
+            state.n_qubits(),
+            "circuit and state qubit counts differ"
+        );
+        for gate in circuit.gates() {
+            if !keep_going() {
+                return false;
+            }
+            self.apply_gate(state, gate);
+        }
+        true
     }
 }
+
+/// Reusable pair of state buffers for repeated equivalence probes.
+///
+/// Each worker of a checker pool owns one workspace; every probe then runs
+/// without heap allocation. See [`Simulator::probe_basis_with`].
+#[derive(Debug, Clone)]
+pub struct ProbeWorkspace {
+    left: StateVector,
+    right: StateVector,
+}
+
+impl ProbeWorkspace {
+    /// Creates a workspace for `n_qubits`-qubit probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is zero or exceeds [`StateVector::MAX_QUBITS`].
+    #[must_use]
+    pub fn new(n_qubits: usize) -> Self {
+        ProbeWorkspace {
+            left: StateVector::zero(n_qubits),
+            right: StateVector::zero(n_qubits),
+        }
+    }
+
+    /// The register size the buffers are allocated for.
+    #[must_use]
+    pub fn n_qubits(&self) -> usize {
+        self.left.n_qubits()
+    }
+
+    /// The output state of `G` from the most recent probe.
+    #[must_use]
+    pub fn left(&self) -> &StateVector {
+        &self.left
+    }
+
+    /// The output state of `G'` from the most recent probe.
+    #[must_use]
+    pub fn right(&self) -> &StateVector {
+        &self.right
+    }
+}
+
+// Worker pools fan simulations out across scoped threads; keep the
+// simulator's thread-safety a compile-time guarantee.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Simulator>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -199,8 +350,13 @@ mod tests {
         let n = 3;
         let adder = generators::cuccaro_adder(n);
         let sim = Simulator::new();
-        for (a_val, b_val, cin) in [(1u64, 2u64, 0u64), (5, 3, 0), (7, 7, 1), (0, 0, 1), (6, 1, 1)]
-        {
+        for (a_val, b_val, cin) in [
+            (1u64, 2u64, 0u64),
+            (5, 3, 0),
+            (7, 7, 1),
+            (0, 0, 1),
+            (6, 1, 1),
+        ] {
             let input = cin | (b_val << 1) | (a_val << (1 + n));
             let out = sim.run_basis(&adder, input);
             let sum = a_val + b_val + cin;
@@ -245,6 +401,59 @@ mod tests {
         for i in 0..16 {
             assert!(out.probability(i) < 0.9);
         }
+    }
+
+    #[test]
+    fn workspace_probe_matches_allocating_probe() {
+        let sim = Simulator::new();
+        let g = generators::qft(5, true);
+        let mut buggy = g.clone();
+        buggy.z(2);
+        let mut ws = ProbeWorkspace::new(5);
+        assert_eq!(ws.n_qubits(), 5);
+        for basis in [0u64, 3, 17, 30, 9] {
+            let fresh = sim.probe_basis(&g, &buggy, basis);
+            let reused = sim.probe_basis_with(&g, &buggy, basis, &mut ws);
+            assert!(fresh.approx_eq(reused), "basis {basis}");
+            assert!(ws.left().is_normalized() && ws.right().is_normalized());
+        }
+    }
+
+    #[test]
+    fn cancelled_probe_returns_none() {
+        use std::cell::Cell;
+        let sim = Simulator::new();
+        let g = generators::qft(4, true);
+        let mut ws = ProbeWorkspace::new(4);
+        // Allow a few gates, then pull the plug mid-circuit.
+        let budget = Cell::new(3usize);
+        let keep_going = || {
+            let left = budget.get();
+            budget.set(left.saturating_sub(1));
+            left > 0
+        };
+        assert_eq!(sim.probe_basis_while(&g, &g, 0, &mut ws, &keep_going), None);
+        // An unconstrained probe still works on the same workspace.
+        let overlap = sim.probe_basis_while(&g, &g, 0, &mut ws, &|| true);
+        assert!(overlap.expect("not cancelled").approx_one());
+    }
+
+    #[test]
+    fn run_basis_into_matches_run_basis() {
+        let sim = Simulator::for_worker();
+        let c = generators::grover(4, 6, 2);
+        let mut reused = qsim_state_scratch();
+        for basis in [0u64, 5, 11, 15, 2] {
+            sim.run_basis_into(&c, basis, &mut reused);
+            assert_eq!(reused, sim.run_basis(&c, basis), "basis {basis}");
+        }
+    }
+
+    fn qsim_state_scratch() -> StateVector {
+        // Deliberately dirty scratch: reset_to_basis must clear it fully.
+        let mut s = StateVector::zero(4);
+        Simulator::new().run_inplace(&generators::ghz(4), &mut s);
+        s
     }
 
     #[test]

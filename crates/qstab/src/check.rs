@@ -112,8 +112,7 @@ mod tests {
     fn mapped_clifford_circuits_agree_at_scale() {
         // 60 qubits: hopeless for statevectors, trivial for tableaus.
         let g = generators::ghz(60);
-        let mapped =
-            qcirc::mapping::route_or_panic(&g, &qcirc::mapping::CouplingMap::ring(60));
+        let mapped = qcirc::mapping::route_or_panic(&g, &qcirc::mapping::CouplingMap::ring(60));
         let v = check_clifford_equivalence(&g, &mapped.circuit, 10, 1).unwrap();
         assert!(matches!(v, CliffordVerdict::AllAgreed { runs: 10 }));
     }
@@ -150,7 +149,10 @@ mod tests {
     fn quarter_turn_rotations_are_accepted() {
         use std::f64::consts::FRAC_PI_2;
         let mut g = qcirc::Circuit::new(2);
-        g.rz(FRAC_PI_2, 0).rx(-FRAC_PI_2, 1).ry(FRAC_PI_2, 0).cp(std::f64::consts::PI, 0, 1);
+        g.rz(FRAC_PI_2, 0)
+            .rx(-FRAC_PI_2, 1)
+            .ry(FRAC_PI_2, 0)
+            .cp(std::f64::consts::PI, 0, 1);
         let v = check_clifford_equivalence(&g, &g, 4, 0).unwrap();
         assert!(matches!(v, CliffordVerdict::AllAgreed { .. }));
     }

@@ -130,14 +130,12 @@ fn classify(gate: &Gate) -> Option<CliffordOp> {
                 GateKind::Sdg => Some(CliffordOp::Sdg(t)),
                 GateKind::Sx => Some(CliffordOp::Sx(t)),
                 GateKind::Sxdg => Some(CliffordOp::Sxdg(t)),
-                GateKind::Rz(theta) | GateKind::Phase(theta) => {
-                    match quarter_turns(theta)? {
-                        0 => Some(CliffordOp::I),
-                        1 => Some(CliffordOp::S(t)),
-                        2 => Some(CliffordOp::Z(t)),
-                        _ => Some(CliffordOp::Sdg(t)),
-                    }
-                }
+                GateKind::Rz(theta) | GateKind::Phase(theta) => match quarter_turns(theta)? {
+                    0 => Some(CliffordOp::I),
+                    1 => Some(CliffordOp::S(t)),
+                    2 => Some(CliffordOp::Z(t)),
+                    _ => Some(CliffordOp::Sdg(t)),
+                },
                 GateKind::Rx(theta) => match quarter_turns(theta)? {
                     0 => Some(CliffordOp::I),
                     1 => Some(CliffordOp::Sx(t)),

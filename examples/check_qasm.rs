@@ -61,7 +61,9 @@ fn run() -> Result<ExitCode, String> {
             "--sim-only" => config = config.with_fallback(Fallback::None),
             "--csv" => csv = true,
             "--help" | "-h" => {
-                println!("usage: check_qasm [options] <a.qasm> <b.qasm> (see --help header in source)");
+                println!(
+                    "usage: check_qasm [options] <a.qasm> <b.qasm> (see --help header in source)"
+                );
                 return Ok(ExitCode::SUCCESS);
             }
             other if other.starts_with('-') => {
@@ -101,7 +103,11 @@ fn run() -> Result<ExitCode, String> {
         print!("{}", report.to_csv());
     } else {
         println!("G  = {file_a} ({} qubits, {} gates)", g.n_qubits(), g.len());
-        println!("G' = {file_b} ({} qubits, {} gates)", g_prime.n_qubits(), g_prime.len());
+        println!(
+            "G' = {file_b} ({} qubits, {} gates)",
+            g_prime.n_qubits(),
+            g_prime.len()
+        );
         println!("{result}");
     }
     Ok(match result.outcome {
@@ -112,8 +118,7 @@ fn run() -> Result<ExitCode, String> {
 }
 
 fn load(path: &str) -> Result<qcirc::Circuit, String> {
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     if path.ends_with(".real") {
         qcirc::real::parse(&source).map_err(|e| format!("{path}: {e}"))
     } else {

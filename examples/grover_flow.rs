@@ -21,10 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sanity: the algorithm actually finds the marked element.
     let out = Simulator::new().run_basis(&algorithm, 0);
-    println!(
-        "P(measure marked element) = {:.3}",
-        out.probability(marked)
-    );
+    println!("P(measure marked element) = {:.3}", out.probability(marked));
 
     // Decompose with dirty ancillas: the register grows (paper: Grover 6 → n = 9).
     let lowered = decompose::decompose_with_dirty_ancillas(&algorithm);

@@ -20,7 +20,8 @@ fn check_qasm(args: &[&str]) -> std::process::Output {
         .expect("run check_qasm")
 }
 
-const GHZ: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0], q[1];\ncx q[1], q[2];\n";
+const GHZ: &str =
+    "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0], q[1];\ncx q[1], q[2];\n";
 const GHZ_MAPPED: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0], q[1];\nswap q[1], q[2];\ncx q[2], q[1];\nswap q[1], q[2];\n";
 const GHZ_BUGGY: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0], q[1];\ncx q[0], q[2];\nz q[2];\n";
 

@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Stage 1: decomposition to {1q, CX}.
     let lowered = decompose::decompose_to_cx_and_single_qubit(&algorithm);
-    println!("decomposed: {} gates (elementary: {})", lowered.len(), lowered.is_elementary());
+    println!(
+        "decomposed: {} gates (elementary: {})",
+        lowered.len(),
+        lowered.is_elementary()
+    );
     let r1 = check_equivalence_default(&algorithm, &lowered)?;
     println!("  stage check: {r1}");
 

@@ -84,11 +84,19 @@ fn rotation_period_aliasing() {
     b4.rx(0.7 + 4.0 * std::f64::consts::PI, 0).cx(0, 1);
     let strict = Config::new().with_criterion(Criterion::Strict);
     let r = check_equivalence(&a, &b4, &strict).unwrap();
-    assert!(r.outcome.is_equivalent(), "4π-shifted rotation: {}", r.outcome);
+    assert!(
+        r.outcome.is_equivalent(),
+        "4π-shifted rotation: {}",
+        r.outcome
+    );
     let mut b2 = Circuit::new(2);
     b2.rx(0.7 + 2.0 * std::f64::consts::PI, 0).cx(0, 1);
     let r = check_equivalence_default(&a, &b2).unwrap();
-    assert!(r.outcome.is_equivalent(), "2π-shifted rotation: {}", r.outcome);
+    assert!(
+        r.outcome.is_equivalent(),
+        "2π-shifted rotation: {}",
+        r.outcome
+    );
     let r = check_equivalence(&a, &b2, &strict).unwrap();
     assert!(r.outcome.is_not_equivalent(), "strict must see the −1");
 }

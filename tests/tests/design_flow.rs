@@ -26,7 +26,11 @@ fn qft_full_pipeline() {
     ] {
         let result = check_equivalence_default(&algorithm.widened(artifact.n_qubits()), artifact)
             .unwrap_or_else(|e| panic!("{stage}: {e}"));
-        assert!(result.outcome.is_equivalent(), "{stage}: {}", result.outcome);
+        assert!(
+            result.outcome.is_equivalent(),
+            "{stage}: {}",
+            result.outcome
+        );
     }
 }
 
@@ -49,9 +53,12 @@ fn grover_ancilla_decomposition_checks() {
         let g = generators::grover(k, 1, 2);
         let lowered = decompose::decompose_with_dirty_ancillas(&g);
         assert_eq!(lowered.n_qubits(), expected_n, "Grover {k}");
-        let result =
-            check_equivalence_default(&g.widened(expected_n), &lowered).unwrap();
-        assert!(result.outcome.is_equivalent(), "Grover {k}: {}", result.outcome);
+        let result = check_equivalence_default(&g.widened(expected_n), &lowered).unwrap();
+        assert!(
+            result.outcome.is_equivalent(),
+            "Grover {k}: {}",
+            result.outcome
+        );
     }
 }
 

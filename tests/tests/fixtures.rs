@@ -28,11 +28,9 @@ fn adder_fixture_loads_leniently_and_adds() {
 
 #[test]
 fn adder_fixtures_are_equivalent() {
-    let a = qcirc::qasm::parse_lenient(
-        &std::fs::read_to_string(fixture("adder_n4.qasm")).unwrap(),
-    )
-    .unwrap()
-    .circuit;
+    let a = qcirc::qasm::parse_lenient(&std::fs::read_to_string(fixture("adder_n4.qasm")).unwrap())
+        .unwrap()
+        .circuit;
     let b = qcirc::qasm::parse(&std::fs::read_to_string(fixture("adder_n4_alt.qasm")).unwrap())
         .unwrap();
     let result = check_equivalence_default(&a, &b).unwrap();
@@ -51,7 +49,8 @@ fn peres_fixture_matches_its_expansion() {
 fn peres_fixture_differs_from_reversed_expansion() {
     let compact = qcirc::real::parse_file(fixture("peres_3.real")).unwrap();
     // Inverse Peres has the two gates in the other order — not equivalent.
-    let swapped = qcirc::real::parse(".numvars 3\n.variables a b c\n.begin\nt2 a b\nt3 a b c\n.end").unwrap();
+    let swapped =
+        qcirc::real::parse(".numvars 3\n.variables a b c\n.begin\nt2 a b\nt3 a b c\n.end").unwrap();
     let result = check_equivalence_default(&compact, &swapped).unwrap();
     match result.outcome {
         Outcome::NotEquivalent { counterexample } => {

@@ -29,7 +29,10 @@ fn single_qubit_errors_are_always_detected() {
         let mut buggy = g.clone();
         buggy.insert(0, qcirc::Gate::single(qcirc::GateKind::X, q));
         for seed in 0..5 {
-            let config = Config::new().with_simulations(1).with_seed(seed).with_fallback(Fallback::None);
+            let config = Config::new()
+                .with_simulations(1)
+                .with_seed(seed)
+                .with_fallback(Fallback::None);
             let result = qcec::check_equivalence(&g, &buggy, &config).unwrap();
             assert!(
                 result.outcome.is_not_equivalent(),
@@ -50,7 +53,10 @@ fn fully_controlled_error_is_the_worst_case() {
     let mut missed = 0;
     let trials = 30;
     for seed in 0..trials {
-        let config = Config::new().with_simulations(1).with_seed(seed).with_fallback(Fallback::None);
+        let config = Config::new()
+            .with_simulations(1)
+            .with_seed(seed)
+            .with_fallback(Fallback::None);
         let result = qcec::check_equivalence(&g, &buggy, &config).unwrap();
         if !result.outcome.is_not_equivalent() {
             missed += 1;
@@ -114,7 +120,9 @@ fn simulation_overhead_is_negligible_on_hard_instances() {
     let g = generators::supremacy_2d(3, 4, 12, 9);
 
     let sim_start = Instant::now();
-    let config = Config::new().with_fallback(Fallback::None).with_simulations(10);
+    let config = Config::new()
+        .with_fallback(Fallback::None)
+        .with_simulations(10);
     let result = qcec::check_equivalence(&g, &g, &config).unwrap();
     let t_sim = sim_start.elapsed();
     assert!(matches!(result.outcome, Outcome::ProbablyEquivalent { .. }));

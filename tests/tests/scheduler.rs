@@ -1,0 +1,206 @@
+//! Scheduler acceptance tests: deterministic parallel verdicts, prompt
+//! cancellation (observed through the event sink), and portfolio/sequential
+//! agreement on the on-disk fixture pairs.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use qcec::scheduler::CollectingSink;
+use qcec::{check_equivalence, Config, Outcome};
+use qcirc::Circuit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("testdata")
+        .join(name)
+}
+
+/// The verdict-relevant part of a flow result (timings are wall-clock and
+/// never reproducible).
+fn essence(result: &qcec::FlowResult) -> (Outcome, usize) {
+    (result.outcome.clone(), result.stats.simulations_run)
+}
+
+#[test]
+fn verdicts_are_deterministic_across_thread_counts() {
+    // A mix of equivalent and buggy pairs, including errors that survive
+    // several runs (controlled-error columns) so the watermark logic is
+    // actually exercised, not just run-1 exits.
+    let qft = qcirc::generators::qft(6, true);
+    let optimized = qcirc::optimize::optimize(&qft);
+    let mut shifted = qft.clone();
+    shifted.t(3);
+    let blank = Circuit::new(9);
+    let mut controlled_bug = Circuit::new(9);
+    controlled_bug.mcz((0..6).collect(), 8);
+    let mut phase_bug_left = Circuit::new(4);
+    phase_bug_left.h(0);
+    let mut phase_bug_right = phase_bug_left.clone();
+    phase_bug_right.s(2); // diagonal: caught only by cross-run phase check
+    let pairs: [(&Circuit, &Circuit); 4] = [
+        (&qft, &optimized),
+        (&qft, &shifted),
+        (&blank, &controlled_bug),
+        (&phase_bug_left, &phase_bug_right),
+    ];
+
+    for (i, (g, g_prime)) in pairs.iter().enumerate() {
+        for seed in [0u64, 7, 1234] {
+            let base = Config::default().with_seed(seed).with_simulations(32);
+            let reference = check_equivalence(g, g_prime, &base.clone().with_threads(1)).unwrap();
+            for threads in [2usize, 8] {
+                let config = base.clone().with_threads(threads);
+                let parallel = check_equivalence(g, g_prime, &config).unwrap();
+                assert_eq!(
+                    essence(&reference),
+                    essence(&parallel),
+                    "pair {i}, seed {seed}, {threads} threads"
+                );
+                // And the parallel run itself is reproducible.
+                let again = check_equivalence(g, g_prime, &config).unwrap();
+                assert_eq!(essence(&parallel), essence(&again));
+            }
+        }
+    }
+}
+
+#[test]
+fn threads_one_is_the_sequential_flow() {
+    let g = qcirc::generators::grover(5, 11, 2);
+    let mut buggy = g.clone();
+    buggy.x(1);
+    let sequential = check_equivalence(&g, &buggy, &Config::default()).unwrap();
+    let explicit = check_equivalence(&g, &buggy, &Config::default().with_threads(1)).unwrap();
+    // Same code path: identical verdict and counterexample, bit for bit.
+    assert_eq!(sequential.outcome, explicit.outcome);
+    assert_eq!(
+        sequential.stats.simulations_run,
+        explicit.stats.simulations_run
+    );
+}
+
+#[test]
+fn counterexample_cancels_outstanding_simulations() {
+    // An uncontrolled error corrupts every column: run 1 is decisive. Of
+    // the r = 64 scheduled stimuli, only the handful already in flight may
+    // finish; the rest must be abandoned.
+    let g = qcirc::generators::qft(8, true);
+    let mut buggy = g.clone();
+    buggy.x(4);
+    let threads = 8;
+    let sink = Arc::new(CollectingSink::new());
+    let config = Config::default()
+        .with_simulations(64)
+        .with_threads(threads)
+        .with_event_sink(sink.clone());
+    let result = check_equivalence(&g, &buggy, &config).unwrap();
+
+    match &result.outcome {
+        Outcome::NotEquivalent {
+            counterexample: Some(ce),
+        } => assert_eq!(ce.run, 1, "every column differs: run 1 must decide"),
+        other => panic!("expected a counterexample, got {other}"),
+    }
+    assert_eq!(result.stats.simulations_run, 1);
+
+    // Every stimulus produced exactly one event; at most one completion
+    // per worker can sneak in before the watermark lands.
+    let finished = sink.simulations_finished();
+    let aborted = sink.simulations_aborted();
+    assert_eq!(finished + aborted, 64);
+    assert!(
+        finished <= threads,
+        "{finished} simulations finished; cancellation failed to stop the pool"
+    );
+    assert!(sink.cancellations() >= 1);
+}
+
+#[test]
+fn equivalent_pair_runs_every_simulation() {
+    // The complement of the cancellation test: nothing to cancel means
+    // nothing aborted and a full complement of finished runs.
+    let g = qcirc::generators::qft(6, true);
+    let optimized = qcirc::optimize::optimize(&g);
+    let sink = Arc::new(CollectingSink::new());
+    let config = Config::default()
+        .with_simulations(24)
+        .with_threads(4)
+        .with_event_sink(sink.clone());
+    let result = check_equivalence(&g, &optimized, &config).unwrap();
+    assert!(result.outcome.is_equivalent(), "{}", result.outcome);
+    assert_eq!(result.stats.simulations_run, 24);
+    assert_eq!(sink.simulations_finished(), 24);
+    assert_eq!(sink.simulations_aborted(), 0);
+}
+
+fn fixture_pairs() -> Vec<(String, Circuit, Circuit)> {
+    let adder =
+        qcirc::qasm::parse_lenient(&std::fs::read_to_string(fixture("adder_n4.qasm")).unwrap())
+            .unwrap()
+            .circuit;
+    let adder_alt =
+        qcirc::qasm::parse(&std::fs::read_to_string(fixture("adder_n4_alt.qasm")).unwrap())
+            .unwrap();
+    let grover = qcirc::qasm::parse_lenient(
+        &std::fs::read_to_string(fixture("grover2_with_defs.qasm")).unwrap(),
+    )
+    .unwrap()
+    .circuit;
+    let peres = qcirc::real::parse_file(fixture("peres_3.real")).unwrap();
+    let peres_expanded = qcirc::real::parse_file(fixture("peres_3_expanded.real")).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let (adder_buggy, _) = qcirc::errors::inject_random(&adder, &mut rng).unwrap();
+    let grover_opt = qcirc::optimize::optimize(&grover);
+
+    vec![
+        ("adder/alt".into(), adder.clone(), adder_alt),
+        ("adder/buggy".into(), adder, adder_buggy),
+        ("grover/opt".into(), grover, grover_opt),
+        ("peres/expanded".into(), peres, peres_expanded),
+    ]
+}
+
+#[test]
+fn portfolio_agrees_with_sequential_on_fixture_pairs() {
+    for (name, g, g_prime) in fixture_pairs() {
+        let sequential = check_equivalence(&g, &g_prime, &Config::default()).unwrap();
+        let raced = check_equivalence(
+            &g,
+            &g_prime,
+            &Config::default().with_threads(4).with_portfolio(true),
+        )
+        .unwrap();
+        // The race decides *who* answers first, never *what* the answer
+        // is: equivalence classes must match exactly.
+        assert_eq!(
+            (
+                sequential.outcome.is_equivalent(),
+                sequential.outcome.is_not_equivalent(),
+            ),
+            (
+                raced.outcome.is_equivalent(),
+                raced.outcome.is_not_equivalent(),
+            ),
+            "{name}: sequential said {:?}, portfolio said {:?}",
+            sequential.outcome,
+            raced.outcome
+        );
+    }
+}
+
+#[test]
+fn scheduled_flow_agrees_with_sequential_on_fixture_pairs() {
+    for (name, g, g_prime) in fixture_pairs() {
+        let sequential = check_equivalence(&g, &g_prime, &Config::default()).unwrap();
+        let scheduled =
+            check_equivalence(&g, &g_prime, &Config::default().with_threads(8)).unwrap();
+        assert_eq!(
+            essence(&sequential),
+            essence(&scheduled),
+            "{name} diverged under the scheduler"
+        );
+    }
+}
