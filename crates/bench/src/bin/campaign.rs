@@ -1,0 +1,180 @@
+//! Runs a fault-injection campaign: the paper's detection-power
+//! evaluation, automated end-to-end.
+//!
+//! Compiled benchmark pairs (mapped, optimized, decomposed — at least
+//! three families) are seeded with faults from every `qfault` error class;
+//! each faulty pair runs through the full checking flow and the per-class
+//! detection statistics are aggregated by [`qcec::campaign`].
+//!
+//! Output: deterministic JSON on stdout (byte-identical across runs with
+//! the same seed — wall-clock timings only appear with `--timings`), a
+//! human-readable Markdown report on stderr (or in `--out FILE`).
+//!
+//! ```text
+//! cargo run --release -p bench --bin campaign -- \
+//!     --seed 7 --trials 5 --faults 1 --sims 10 --threads 2 --scale 0
+//! ```
+
+use std::io::Write as _;
+use std::process::exit;
+
+use qcec::campaign::{run_campaign, CampaignBenchmark, CampaignConfig, CompileRoute};
+use qcirc::generators;
+use qcirc::mapping::CouplingMap;
+
+struct Args {
+    seed: u64,
+    trials: usize,
+    faults: usize,
+    sims: usize,
+    threads: usize,
+    scale: usize,
+    epsilon: f64,
+    timings: bool,
+    out: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            seed: 7,
+            trials: 5,
+            faults: 1,
+            sims: 10,
+            threads: 2,
+            scale: bench::scale_from_env(),
+            epsilon: 0.1,
+            timings: false,
+            out: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign [--seed N] [--trials N] [--faults N] [--sims N] \
+         [--threads N] [--scale 0|1] [--epsilon X] [--timings] [--out FILE]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--trials" => args.trials = val("--trials").parse().unwrap_or_else(|_| usage()),
+            "--faults" => args.faults = val("--faults").parse().unwrap_or_else(|_| usage()),
+            "--sims" => args.sims = val("--sims").parse().unwrap_or_else(|_| usage()),
+            "--threads" => args.threads = val("--threads").parse().unwrap_or_else(|_| usage()),
+            "--scale" => args.scale = val("--scale").parse().unwrap_or_else(|_| usage()),
+            "--epsilon" => args.epsilon = val("--epsilon").parse().unwrap_or_else(|_| usage()),
+            "--timings" => args.timings = true,
+            "--out" => args.out = Some(val("--out")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+/// The campaign's benchmark set: every compile route, ≥ 3 circuit
+/// families, registers small enough that the guard's complete check stays
+/// instant. `scale ≥ 1` widens the sweep.
+fn benchmarks(scale: usize) -> Vec<CampaignBenchmark> {
+    let mut set = vec![
+        CampaignBenchmark::compile(
+            "ghz 5",
+            "ghz",
+            &generators::ghz(5),
+            &CompileRoute::Map(CouplingMap::linear(5)),
+        ),
+        CampaignBenchmark::compile(
+            "qft 5",
+            "qft",
+            &generators::qft(5, true),
+            &CompileRoute::Optimize,
+        ),
+        CampaignBenchmark::compile(
+            "grover 3",
+            "grover",
+            &generators::grover(3, 5, generators::optimal_grover_iterations(3)),
+            &CompileRoute::Decompose,
+        ),
+    ];
+    if scale >= 1 {
+        set.push(CampaignBenchmark::compile(
+            "bv 6",
+            "bv",
+            &generators::bernstein_vazirani(6, 0b101101),
+            &CompileRoute::Map(CouplingMap::linear(7)),
+        ));
+        set.push(CampaignBenchmark::compile(
+            "qft 8",
+            "qft",
+            &generators::qft(8, true),
+            &CompileRoute::Map(CouplingMap::ring(8)),
+        ));
+        set.push(CampaignBenchmark::compile(
+            "toffnet 8",
+            "toffnet",
+            &generators::toffoli_network(8, 30, 3, 11),
+            &CompileRoute::Decompose,
+        ));
+    }
+    set
+}
+
+fn main() {
+    let args = parse_args();
+    let config = CampaignConfig::default()
+        .with_seed(args.seed)
+        .with_trials(args.trials)
+        .with_faults(args.faults)
+        .with_simulations(args.sims)
+        .with_threads(args.threads)
+        .with_epsilon(args.epsilon);
+
+    let set = benchmarks(args.scale);
+    eprintln!(
+        "campaign: {} benchmarks x {} classes x {} trials (seed {})",
+        set.len(),
+        qfault::MutationKind::ALL.len(),
+        config.trials,
+        config.seed,
+    );
+
+    let result = run_campaign(&set, &config);
+
+    let markdown = result.to_markdown();
+    match &args.out {
+        Some(path) => {
+            let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            });
+            f.write_all(markdown.as_bytes()).expect("write report");
+            eprintln!("report written to {path}");
+        }
+        None => eprint!("{markdown}"),
+    }
+
+    println!("{}", result.to_json(args.timings));
+
+    // A campaign that confirmed no fault at all is a broken campaign.
+    let faults: usize = result.classes.iter().map(|(_, s)| s.faults).sum();
+    if faults == 0 {
+        eprintln!("error: no guard-confirmed fault in the whole campaign");
+        exit(1);
+    }
+}

@@ -1,8 +1,10 @@
 //! Regenerates Table Ia: non-equivalent benchmarks.
 //!
-//! For every benchmark pair, a random design-flow error (altered 1q gate,
-//! misplaced/removed CX, …) is injected into the alternative realization.
-//! The table reports, per row:
+//! For every benchmark pair, a design-flow error is injected into the
+//! alternative realization with the `qfault` mutators — cycling through
+//! the error classes row by row, and re-drawing until the guard confirms
+//! the mutation is a real fault (a benign mutation would make the row
+//! meaningless). The table reports, per row:
 //!
 //! * `t_ec` — runtime of the *sole* state-of-the-art DD equivalence check
 //!   (`> D` when the deadline/node budget is exhausted, like the paper's
@@ -11,34 +13,60 @@
 //! * `t_sim` — runtime of the simulation stage.
 //!
 //! Environment: `QCEC_BENCH_SCALE` (0 smoke / 1 full, default 1),
-//! `QCEC_BENCH_DEADLINE` (seconds for `t_ec`, default 30).
+//! `QCEC_BENCH_DEADLINE` (seconds for `t_ec`, default 30),
+//! `QCEC_BENCH_JSON` (`1` → emit the rows as a JSON report on stdout
+//! instead of the text table).
 
 use std::time::Instant;
 
 use bench::{deadline_from_env, fmt_secs, scale_from_env, suite};
-use qcec::{Config, Fallback, Outcome, SimBackend};
+use qcec::report::Report;
+use qcec::{Config, Fallback, FlowResult, Outcome, SimBackend};
+use qcirc::Circuit;
+use qfault::{mutator_for, GuardOptions, Mutation, MutationKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Injects a guard-confirmed fault, cycling through the error classes
+/// starting at `row`'s class and re-drawing on benign/inapplicable
+/// mutations.
+fn inject_fault(circuit: &Circuit, row: usize, rng: &mut StdRng) -> Option<(Circuit, Mutation)> {
+    let guard = GuardOptions::default();
+    let kinds = MutationKind::ALL;
+    for attempt in 0..4 * kinds.len() {
+        let kind = kinds[(row + attempt) % kinds.len()];
+        let mutator = mutator_for(kind, 0.1);
+        let Ok((mutated, record)) = mutator.apply(circuit, rng) else {
+            continue;
+        };
+        if qfault::guard::classify(circuit, &mutated, &guard).is_benign() {
+            continue;
+        }
+        return Some((mutated, record));
+    }
+    None
+}
 
 fn main() {
     let deadline = deadline_from_env(30);
     let scale = scale_from_env();
+    let json_mode = std::env::var("QCEC_BENCH_JSON").is_ok_and(|v| v == "1");
     let dd_limit = 2_000_000;
+    let mut report = Report::new();
 
-    println!("Table Ia — non-equivalent benchmarks (deadline {deadline:?})");
-    println!(
-        "{:<18} {:>3} {:>8} {:>8} {:>12} {:>6} {:>10}  injected error",
-        "Benchmark", "n", "|G|", "|G'|", "t_ec [s]", "#sims", "t_sim [s]"
-    );
+    if !json_mode {
+        println!("Table Ia — non-equivalent benchmarks (deadline {deadline:?})");
+        println!(
+            "{:<18} {:>3} {:>8} {:>8} {:>12} {:>6} {:>10}  injected error",
+            "Benchmark", "n", "|G|", "|G'|", "t_ec [s]", "#sims", "t_sim [s]"
+        );
+    }
 
     for (row, pair) in suite(scale).into_iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(0xDAC2020 + 31 * row as u64);
-        let (buggy, record) = match qcirc::errors::inject_random(&pair.alternative, &mut rng) {
-            Ok(done) => done,
-            Err(e) => {
-                eprintln!("{}: skipped ({e})", pair.name);
-                continue;
-            }
+        let Some((buggy, record)) = inject_fault(&pair.alternative, row, &mut rng) else {
+            eprintln!("{}: skipped (no applicable fault)", pair.name);
+            continue;
         };
 
         // Sole state-of-the-art EC routine (t_ec).
@@ -50,10 +78,11 @@ fn main() {
             &buggy,
             Some(deadline),
         );
+        let ec_elapsed = ec_start.elapsed();
         let t_ec = match ec {
             Ok(verdict) => {
                 debug_assert!(!verdict.is_equivalent());
-                fmt_secs(ec_start.elapsed())
+                fmt_secs(ec_elapsed)
             }
             Err(_) => format!("> {}", deadline.as_secs()),
         };
@@ -87,16 +116,37 @@ fn main() {
             ),
         };
 
-        println!(
-            "{:<18} {:>3} {:>8} {:>8} {:>12} {:>6} {:>10}  {}",
-            pair.name,
-            pair.n_qubits(),
-            pair.original.len(),
-            buggy.len(),
-            t_ec,
-            sims,
-            t_sim,
-            record
-        );
+        if json_mode {
+            // One report row per benchmark: the flow verdict plus the sole
+            // EC routine's runtime in the functional-time column.
+            let mut stats = result.stats;
+            stats.functional_time = ec_elapsed;
+            report.push(
+                format!("{} [{}]", pair.name, record.kind.slug()),
+                pair.n_qubits(),
+                pair.original.len(),
+                buggy.len(),
+                FlowResult {
+                    outcome: result.outcome.clone(),
+                    stats,
+                },
+            );
+        } else {
+            println!(
+                "{:<18} {:>3} {:>8} {:>8} {:>12} {:>6} {:>10}  {}",
+                pair.name,
+                pair.n_qubits(),
+                pair.original.len(),
+                buggy.len(),
+                t_ec,
+                sims,
+                t_sim,
+                record
+            );
+        }
+    }
+
+    if json_mode {
+        println!("{}", report.to_json(true));
     }
 }

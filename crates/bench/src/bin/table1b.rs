@@ -8,24 +8,30 @@
 //! indication of equivalence even when the complete check fails.
 //!
 //! Environment: `QCEC_BENCH_SCALE` (0 smoke / 1 full, default 1),
-//! `QCEC_BENCH_DEADLINE` (seconds, default 30).
+//! `QCEC_BENCH_DEADLINE` (seconds, default 30), `QCEC_BENCH_JSON` (`1` →
+//! emit the rows as a JSON report on stdout instead of the text table).
 
 use std::time::Instant;
 
 use bench::{deadline_from_env, fmt_secs, scale_from_env, suite};
-use qcec::{run_simulations, SimVerdict};
+use qcec::report::Report;
+use qcec::{run_simulations, AbortReason, FlowResult, FlowStats, Outcome, SimVerdict};
 use qcec::{Config, SimBackend};
 
 fn main() {
     let deadline = deadline_from_env(30);
     let scale = scale_from_env();
+    let json_mode = std::env::var("QCEC_BENCH_JSON").is_ok_and(|v| v == "1");
     let dd_limit = 2_000_000;
+    let mut report = Report::new();
 
-    println!("Table Ib — equivalent benchmarks (deadline {deadline:?}, r = 10)");
-    println!(
-        "{:<18} {:>3} {:>8} {:>8} {:>12} {:>10}  derivation",
-        "Benchmark", "n", "|G|", "|G'|", "t_ec [s]", "t_sim [s]"
-    );
+    if !json_mode {
+        println!("Table Ib — equivalent benchmarks (deadline {deadline:?}, r = 10)");
+        println!(
+            "{:<18} {:>3} {:>8} {:>8} {:>12} {:>10}  derivation",
+            "Benchmark", "n", "|G|", "|G'|", "t_ec [s]", "t_sim [s]"
+        );
+    }
 
     for pair in suite(scale) {
         // Complete EC routine alone.
@@ -37,6 +43,8 @@ fn main() {
             &pair.alternative,
             Some(deadline),
         );
+        let ec_elapsed = ec_start.elapsed();
+        let ec_finished = ec.is_ok();
         let t_ec = match ec {
             Ok(verdict) => {
                 assert!(
@@ -44,7 +52,7 @@ fn main() {
                     "{}: suite pair not equivalent!",
                     pair.name
                 );
-                fmt_secs(ec_start.elapsed())
+                fmt_secs(ec_elapsed)
             }
             Err(_) => format!("> {}", deadline.as_secs()),
         };
@@ -62,23 +70,56 @@ fn main() {
             .with_seed(7);
         let sim_start = Instant::now();
         let verdict = run_simulations(&pair.original, &pair.alternative, &config);
-        let t_sim = match verdict {
-            Ok(SimVerdict::AllAgreed { .. }) => fmt_secs(sim_start.elapsed()),
+        let sim_elapsed = sim_start.elapsed();
+        let t_sim = match &verdict {
+            Ok(SimVerdict::AllAgreed { .. }) => fmt_secs(sim_elapsed),
             Ok(SimVerdict::CounterexampleFound(ce)) => {
                 format!("FALSE NEGATIVE ({ce})")
             }
             Err(e) => format!("dd overflow ({e})"),
         };
 
-        println!(
-            "{:<18} {:>3} {:>8} {:>8} {:>12} {:>10}  {:?}",
-            pair.name,
-            pair.n_qubits(),
-            pair.original.len(),
-            pair.alternative.len(),
-            t_ec,
-            t_sim,
-            pair.derivation
-        );
+        if json_mode {
+            // Synthesize the flow result the two measured stages imply:
+            // proven equivalence when the complete check finished, the
+            // paper's "probably equivalent" outcome when it timed out.
+            let outcome = if ec_finished {
+                Outcome::Equivalent
+            } else {
+                Outcome::ProbablyEquivalent {
+                    passed_simulations: config.simulations,
+                    abort: AbortReason::Timeout,
+                }
+            };
+            report.push(
+                pair.name.clone(),
+                pair.n_qubits(),
+                pair.original.len(),
+                pair.alternative.len(),
+                FlowResult {
+                    outcome,
+                    stats: FlowStats {
+                        simulations_run: config.simulations,
+                        simulation_time: sim_elapsed,
+                        functional_time: ec_elapsed,
+                    },
+                },
+            );
+        } else {
+            println!(
+                "{:<18} {:>3} {:>8} {:>8} {:>12} {:>10}  {:?}",
+                pair.name,
+                pair.n_qubits(),
+                pair.original.len(),
+                pair.alternative.len(),
+                t_ec,
+                t_sim,
+                pair.derivation
+            );
+        }
+    }
+
+    if json_mode {
+        println!("{}", report.to_json(true));
     }
 }

@@ -1,0 +1,819 @@
+//! Fault-injection campaigns: the paper's detection-power evaluation.
+//!
+//! Table I of the paper is produced by taking compiled benchmark circuits,
+//! injecting design-flow errors, and measuring how quickly the
+//! simulation-driven flow detects them. This module turns that experiment
+//! into a library routine: [`run_campaign`] injects `k` seeded faults per
+//! trial with the [`qfault`] mutators, labels each mutation with the
+//! complete-check guard (so accidentally benign mutations never count as
+//! missed errors), runs the full flow (scheduler, instrumentation and all)
+//! on every faulty pair, and aggregates per-error-class detection
+//! statistics — sims-to-first-counterexample histograms, detection rates
+//! after `r` runs, per-family breakdowns, and stage timings.
+//!
+//! The whole campaign is a pure function of its seed: every injected fault
+//! is reproducible from `(seed, benchmark index, class index, trial
+//! index)`, and the default JSON rendering excludes wall-clock time so two
+//! runs with the same seed are byte-identical.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcec::campaign::{run_campaign, CampaignBenchmark, CampaignConfig};
+//!
+//! let bench = CampaignBenchmark::optimized("qft4", "qft", &qcirc::generators::qft(4, true));
+//! let config = CampaignConfig::default().with_trials(2).with_simulations(4);
+//! let result = run_campaign(&[bench], &config);
+//! assert_eq!(result.classes.len(), qfault::MutationKind::ALL.len());
+//! assert_eq!(result.to_json(false), result.to_json(false));
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use qcirc::mapping::{route, CouplingMap, RouterOptions};
+use qcirc::{decompose, optimize, Circuit};
+use qfault::{registry, GuardOptions, GuardVerdict, MutationKind, Mutator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{Config, Fallback, SimBackend};
+use crate::flow::check_equivalence;
+use crate::outcome::Outcome;
+use crate::report::{json, StageTimings};
+use crate::scheduler::CollectingSink;
+
+/// How a [`CampaignBenchmark`]'s alternative realization `G'` is derived
+/// from `G` — the verified design-flow step that faults are injected into.
+#[derive(Debug, Clone)]
+pub enum CompileRoute {
+    /// Exact optimization passes ([`qcirc::optimize::optimize`]).
+    Optimize,
+    /// Lowering to `{1q, CX}` followed by SWAP-insertion routing onto a
+    /// device.
+    Map(CouplingMap),
+    /// Lowering with dirty ancillas (register may grow; `G` is widened).
+    Decompose,
+}
+
+/// One benchmark of a campaign: a name, its family (the row group of the
+/// rendered tables), and the verified pair `(G, G')`.
+#[derive(Debug, Clone)]
+pub struct CampaignBenchmark {
+    /// Instance name, e.g. `"qft 6"`.
+    pub name: String,
+    /// Family name, e.g. `"qft"` — statistics are also broken down per
+    /// family.
+    pub family: String,
+    /// The specification circuit `G`.
+    pub original: Circuit,
+    /// The compiled realization `G'`; faults are injected here.
+    pub alternative: Circuit,
+}
+
+impl CampaignBenchmark {
+    /// Compiles `g` along `route` into a campaign benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if routing fails (the circuit does not fit the device).
+    #[must_use]
+    pub fn compile(
+        name: impl Into<String>,
+        family: impl Into<String>,
+        g: &Circuit,
+        route_kind: &CompileRoute,
+    ) -> Self {
+        let (original, alternative) = match route_kind {
+            CompileRoute::Optimize => (g.clone(), optimize::optimize(g)),
+            CompileRoute::Map(device) => {
+                let lowered = decompose::decompose_to_cx_and_single_qubit(g);
+                let routed = route(&lowered, device, RouterOptions::default())
+                    .expect("campaign benchmark must fit its device");
+                let n = routed.circuit.n_qubits();
+                (g.widened(n), routed.circuit)
+            }
+            CompileRoute::Decompose => {
+                let lowered = decompose::decompose_with_dirty_ancillas(g);
+                (g.widened(lowered.n_qubits()), lowered)
+            }
+        };
+        CampaignBenchmark {
+            name: name.into(),
+            family: family.into(),
+            original,
+            alternative,
+        }
+    }
+
+    /// Shorthand for [`CampaignBenchmark::compile`] with
+    /// [`CompileRoute::Optimize`].
+    #[must_use]
+    pub fn optimized(name: impl Into<String>, family: impl Into<String>, g: &Circuit) -> Self {
+        CampaignBenchmark::compile(name, family, g, &CompileRoute::Optimize)
+    }
+
+    /// The register size shared by `G` and `G'`.
+    #[must_use]
+    pub fn n_qubits(&self) -> usize {
+        self.original.n_qubits()
+    }
+}
+
+/// Parameters of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Base RNG seed; every trial derives its own seed from this.
+    pub seed: u64,
+    /// Trials per (benchmark, error class) pair.
+    pub trials: usize,
+    /// Faults injected per trial (all of the trial's class).
+    pub faults: usize,
+    /// Random basis-state simulations `r` per equivalence check.
+    pub simulations: usize,
+    /// Worker threads for the checking flow (≥ 2 exercises the scheduler).
+    pub threads: usize,
+    /// Magnitude of [`qfault::PerturbAngle`] offsets.
+    pub epsilon: f64,
+    /// Budget for the benign-mutation guard.
+    pub guard: GuardOptions,
+    /// Wall-clock budget for each complete check inside the flow.
+    pub deadline: Option<Duration>,
+    /// Simulation engine for the flow.
+    pub backend: SimBackend,
+}
+
+impl Default for CampaignConfig {
+    /// Paper-shaped defaults: `r = 10` simulations, one fault per trial,
+    /// 10 trials per class, two worker threads.
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0,
+            trials: 10,
+            faults: 1,
+            simulations: 10,
+            threads: 2,
+            epsilon: 0.1,
+            guard: GuardOptions::default(),
+            deadline: Some(Duration::from_secs(30)),
+            backend: SimBackend::Statevector,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Sets the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the trials per (benchmark, class) pair.
+    #[must_use]
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the number of faults injected per trial.
+    #[must_use]
+    pub fn with_faults(mut self, faults: usize) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the simulations `r` per equivalence check.
+    #[must_use]
+    pub fn with_simulations(mut self, r: usize) -> Self {
+        self.simulations = r;
+        self
+    }
+
+    /// Sets the flow's worker thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the angle-perturbation magnitude ε.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+}
+
+/// How one injected fault was (or was not) detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detection {
+    /// A simulation counterexample on run `sims` (1-based) — the paper's
+    /// `#sims` column.
+    Simulation {
+        /// Which run found the counterexample.
+        sims: usize,
+    },
+    /// All simulations agreed; the complete DD check found the difference.
+    Complete,
+    /// The flow concluded (or strongly suggested) equivalence — the fault
+    /// escaped.
+    Missed,
+}
+
+/// One trial of a campaign: the injected mutations, the guard's label, and
+/// the flow's verdict.
+#[derive(Debug, Clone)]
+pub struct TrialRecord {
+    /// Index of the benchmark in the campaign's benchmark list.
+    pub benchmark: usize,
+    /// The injected error class.
+    pub kind: MutationKind,
+    /// Trial index within the (benchmark, class) pair.
+    pub trial: usize,
+    /// The derived seed driving both injection and checking.
+    pub seed: u64,
+    /// Human-readable descriptions of the injected mutations (empty when
+    /// the class was inapplicable to the circuit).
+    pub mutations: Vec<String>,
+    /// The guard's label for the combined mutation.
+    pub guard: GuardVerdict,
+    /// The flow's detection result (`None` when the class was
+    /// inapplicable and no check ran).
+    pub detection: Option<Detection>,
+    /// Simulations actually run by the flow.
+    pub sims_run: usize,
+}
+
+/// Aggregated statistics for one error class.
+#[derive(Debug, Clone, Default)]
+pub struct ClassStats {
+    /// Trials attempted.
+    pub trials: usize,
+    /// Trials where the class had no applicable fault site.
+    pub inapplicable: usize,
+    /// Trials whose mutation the guard proved benign (excluded from
+    /// detection rates).
+    pub benign: usize,
+    /// Trials where the guard abstained (register too large or budget
+    /// exhausted); detection is still recorded but kept separate from the
+    /// proven-fault rate.
+    pub unchecked: usize,
+    /// Guard-confirmed real faults.
+    pub faults: usize,
+    /// Faults detected by a simulation counterexample.
+    pub detected_by_sim: usize,
+    /// Faults detected only by the complete check.
+    pub detected_by_complete: usize,
+    /// Guard-confirmed faults the flow failed to flag.
+    pub missed: usize,
+    /// Benign mutations the flow (unsoundly) flagged non-equivalent —
+    /// always zero unless something is broken.
+    pub false_positives: usize,
+    /// `histogram[i]` = number of sim detections on run `i + 1`.
+    pub sims_histogram: Vec<usize>,
+    /// Total simulations run across the class's trials.
+    pub total_sims: usize,
+}
+
+impl ClassStats {
+    fn record(&mut self, t: &TrialRecord) {
+        self.trials += 1;
+        self.total_sims += t.sims_run;
+        let Some(detection) = t.detection else {
+            self.inapplicable += 1;
+            return;
+        };
+        match &t.guard {
+            GuardVerdict::Benign { .. } => {
+                self.benign += 1;
+                if detection != Detection::Missed {
+                    self.false_positives += 1;
+                }
+                return;
+            }
+            GuardVerdict::Unchecked { .. } => self.unchecked += 1,
+            GuardVerdict::Fault => self.faults += 1,
+        }
+        match detection {
+            Detection::Simulation { sims } => {
+                self.detected_by_sim += 1;
+                if self.sims_histogram.len() < sims {
+                    self.sims_histogram.resize(sims, 0);
+                }
+                self.sims_histogram[sims - 1] += 1;
+            }
+            Detection::Complete => self.detected_by_complete += 1,
+            Detection::Missed => {
+                if t.guard.is_fault() {
+                    self.missed += 1;
+                }
+            }
+        }
+    }
+
+    /// Fraction of guard-confirmed faults detected (by either stage);
+    /// `None` when no faults were confirmed.
+    #[must_use]
+    pub fn detection_rate(&self) -> Option<f64> {
+        let detected = (self.detected_by_sim + self.detected_by_complete + self.missed) as f64;
+        if detected == 0.0 {
+            return None;
+        }
+        Some((detected - self.missed as f64) / detected)
+    }
+
+    /// Fraction of sim-detected faults found within the first `r` runs.
+    #[must_use]
+    pub fn detection_within(&self, r: usize) -> Option<f64> {
+        if self.detected_by_sim == 0 {
+            return None;
+        }
+        let within: usize = self.sims_histogram.iter().take(r).sum();
+        Some(within as f64 / self.detected_by_sim as f64)
+    }
+
+    /// Mean number of simulations until the first counterexample, over the
+    /// sim-detected trials.
+    #[must_use]
+    pub fn mean_sims_to_detect(&self) -> Option<f64> {
+        if self.detected_by_sim == 0 {
+            return None;
+        }
+        let weighted: usize = self
+            .sims_histogram
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i + 1) * c)
+            .sum();
+        Some(weighted as f64 / self.detected_by_sim as f64)
+    }
+}
+
+/// Detection counts for one (family, class) cell of the breakdown matrix.
+#[derive(Debug, Clone, Default)]
+pub struct FamilyCell {
+    /// Guard-confirmed faults in the cell.
+    pub faults: usize,
+    /// Of those, how many either stage detected.
+    pub detected: usize,
+}
+
+/// The complete outcome of [`run_campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The configuration that produced this result.
+    pub config: CampaignConfig,
+    /// Benchmark metadata in campaign order: `(name, family, n, |G|, |G'|)`.
+    pub benchmarks: Vec<(String, String, usize, usize, usize)>,
+    /// Per-class aggregates, in [`MutationKind::ALL`] order.
+    pub classes: Vec<(MutationKind, ClassStats)>,
+    /// `families[f]` is the family name; `cells[f][k]` the counts for
+    /// family `f` under class `MutationKind::ALL[k]`.
+    pub families: Vec<String>,
+    /// The family × class detection matrix.
+    pub cells: Vec<Vec<FamilyCell>>,
+    /// Every trial, in deterministic campaign order.
+    pub trials: Vec<TrialRecord>,
+    /// Scheduler-event summary accumulated over all flow invocations
+    /// (wall-clock fields are only rendered on request).
+    pub stage_timings: StageTimings,
+}
+
+/// Derives the seed of one trial from the campaign seed and the trial's
+/// coordinates, SplitMix64-style: nearby coordinates get unrelated seeds.
+#[must_use]
+pub fn trial_seed(seed: u64, benchmark: usize, class: usize, trial: usize) -> u64 {
+    let mut z = seed;
+    for salt in [benchmark as u64, class as u64, trial as u64] {
+        z = z
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    z
+}
+
+/// Runs the detection-power experiment: for every benchmark × error class ×
+/// trial, inject `faults` seeded mutations into `G'`, label them with the
+/// guard, and run the full checking flow against `G`.
+///
+/// The result is a pure function of `(benchmarks, config)` — see the
+/// module docs.
+#[must_use]
+pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -> CampaignResult {
+    let mutators = registry(config.epsilon);
+    let mut families: Vec<String> = Vec::new();
+    for b in benchmarks {
+        if !families.contains(&b.family) {
+            families.push(b.family.clone());
+        }
+    }
+    let mut cells = vec![vec![FamilyCell::default(); mutators.len()]; families.len()];
+    let mut classes: Vec<(MutationKind, ClassStats)> = mutators
+        .iter()
+        .map(|m| (m.kind(), ClassStats::default()))
+        .collect();
+    let mut trials = Vec::new();
+    let mut stage_timings = StageTimings::default();
+
+    for (b_idx, bench) in benchmarks.iter().enumerate() {
+        let family = families.iter().position(|f| f == &bench.family).unwrap();
+        for (k_idx, mutator) in mutators.iter().enumerate() {
+            for t_idx in 0..config.trials {
+                let seed = trial_seed(config.seed, b_idx, k_idx, t_idx);
+                let record = run_trial(bench, b_idx, mutator.as_ref(), t_idx, seed, config);
+                stage_timings = accumulate(stage_timings, record.1);
+                let record = record.0;
+                classes[k_idx].1.record(&record);
+                if record.guard.is_fault() {
+                    let cell = &mut cells[family][k_idx];
+                    cell.faults += 1;
+                    if !matches!(record.detection, Some(Detection::Missed) | None) {
+                        cell.detected += 1;
+                    }
+                }
+                trials.push(record);
+            }
+        }
+    }
+
+    CampaignResult {
+        config: config.clone(),
+        benchmarks: benchmarks
+            .iter()
+            .map(|b| {
+                (
+                    b.name.clone(),
+                    b.family.clone(),
+                    b.n_qubits(),
+                    b.original.len(),
+                    b.alternative.len(),
+                )
+            })
+            .collect(),
+        classes,
+        families,
+        cells,
+        trials,
+        stage_timings,
+    }
+}
+
+fn accumulate(a: StageTimings, b: StageTimings) -> StageTimings {
+    StageTimings {
+        simulation_time: a.simulation_time + b.simulation_time,
+        functional_time: a.functional_time + b.functional_time,
+        simulations_finished: a.simulations_finished + b.simulations_finished,
+        simulations_aborted: a.simulations_aborted + b.simulations_aborted,
+        cancellations: a.cancellations + b.cancellations,
+    }
+}
+
+fn run_trial(
+    bench: &CampaignBenchmark,
+    b_idx: usize,
+    mutator: &dyn Mutator,
+    t_idx: usize,
+    seed: u64,
+    config: &CampaignConfig,
+) -> (TrialRecord, StageTimings) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mutated = bench.alternative.clone();
+    let mut mutations = Vec::new();
+    for _ in 0..config.faults.max(1) {
+        match mutator.apply(&mutated, &mut rng) {
+            Ok((next, record)) => {
+                mutated = next;
+                mutations.push(record.to_string());
+            }
+            Err(_) if mutations.is_empty() => {
+                // The class has no applicable site at all — record and bail.
+                return (
+                    TrialRecord {
+                        benchmark: b_idx,
+                        kind: mutator.kind(),
+                        trial: t_idx,
+                        seed,
+                        mutations,
+                        guard: GuardVerdict::Unchecked {
+                            reason: "inapplicable".to_string(),
+                        },
+                        detection: None,
+                        sims_run: 0,
+                    },
+                    StageTimings::default(),
+                );
+            }
+            // Later faults may become inapplicable (e.g. RemoveGate emptied
+            // the circuit); keep what was injected so far.
+            Err(_) => break,
+        }
+    }
+
+    let guard = qfault::guard::classify(&bench.alternative, &mutated, &config.guard);
+
+    let sink = Arc::new(CollectingSink::new());
+    let flow_config = Config::new()
+        .with_simulations(config.simulations)
+        .with_seed(seed)
+        .with_threads(config.threads.max(1))
+        .with_backend(config.backend)
+        .with_fallback(Fallback::Alternating)
+        .with_deadline(config.deadline)
+        .with_event_sink(sink.clone());
+    let result = check_equivalence(&bench.original, &mutated, &flow_config)
+        .expect("mutators preserve the register, so the flow must accept the pair");
+    let timings = StageTimings::from_events(&sink.events());
+
+    let detection = Some(match &result.outcome {
+        Outcome::NotEquivalent {
+            counterexample: Some(ce),
+        } => Detection::Simulation { sims: ce.run },
+        Outcome::NotEquivalent {
+            counterexample: None,
+        } => Detection::Complete,
+        _ => Detection::Missed,
+    });
+
+    (
+        TrialRecord {
+            benchmark: b_idx,
+            kind: mutator.kind(),
+            trial: t_idx,
+            seed,
+            mutations,
+            guard,
+            detection,
+            sims_run: result.stats.simulations_run,
+        },
+        timings,
+    )
+}
+
+impl CampaignResult {
+    /// Renders the campaign as deterministic JSON. With
+    /// `with_timings = false` (the reproducible default) wall-clock fields
+    /// are omitted and two same-seed runs are byte-identical.
+    #[must_use]
+    pub fn to_json(&self, with_timings: bool) -> String {
+        let mut root = json::Obj::new();
+
+        let mut cfg = json::Obj::new();
+        cfg.int("seed", self.config.seed)
+            .int("trials", self.config.trials as u64)
+            .int("faults", self.config.faults as u64)
+            .int("simulations", self.config.simulations as u64)
+            .int("threads", self.config.threads as u64)
+            .num("epsilon", self.config.epsilon);
+        root.raw("config", cfg.render());
+
+        root.raw(
+            "benchmarks",
+            json::array(self.benchmarks.iter().map(|(name, family, n, g, gp)| {
+                let mut o = json::Obj::new();
+                o.str("name", name)
+                    .str("family", family)
+                    .int("n", *n as u64)
+                    .int("gates_g", *g as u64)
+                    .int("gates_g_prime", *gp as u64);
+                o.render()
+            })),
+        );
+
+        root.raw(
+            "classes",
+            json::array(self.classes.iter().map(|(kind, s)| {
+                let mut o = json::Obj::new();
+                o.str("class", kind.slug())
+                    .int("trials", s.trials as u64)
+                    .int("inapplicable", s.inapplicable as u64)
+                    .int("benign", s.benign as u64)
+                    .int("unchecked", s.unchecked as u64)
+                    .int("faults", s.faults as u64)
+                    .int("detected_by_sim", s.detected_by_sim as u64)
+                    .int("detected_by_complete", s.detected_by_complete as u64)
+                    .int("missed", s.missed as u64)
+                    .int("false_positives", s.false_positives as u64)
+                    .int("total_sims", s.total_sims as u64)
+                    .raw(
+                        "sims_histogram",
+                        json::array(s.sims_histogram.iter().map(|c| c.to_string())),
+                    );
+                match s.mean_sims_to_detect() {
+                    Some(m) => o.num("mean_sims_to_detect", m),
+                    None => o.raw("mean_sims_to_detect", "null"),
+                };
+                match s.detection_rate() {
+                    Some(r) => o.num("detection_rate", r),
+                    None => o.raw("detection_rate", "null"),
+                };
+                o.render()
+            })),
+        );
+
+        root.raw(
+            "families",
+            json::array(self.families.iter().enumerate().map(|(f, name)| {
+                let mut o = json::Obj::new();
+                o.str("family", name);
+                for (k, (kind, _)) in self.classes.iter().enumerate() {
+                    let cell = &self.cells[f][k];
+                    o.raw(kind.slug(), format!("[{},{}]", cell.detected, cell.faults));
+                }
+                o.render()
+            })),
+        );
+
+        // The stage summary is entirely timing-dependent: even its
+        // counters (how many in-flight runs finish before a cancellation
+        // lands) vary between runs, so it only renders on request.
+        if with_timings {
+            root.raw("stage_summary", self.stage_timings.to_json(true));
+        }
+        root.render()
+    }
+
+    /// Renders the campaign as a human-readable Markdown report.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Fault-injection campaign\n\n");
+        out.push_str(&format!(
+            "seed {}, {} trials × {} fault(s) per class, r = {} simulations, {} threads\n\n",
+            self.config.seed,
+            self.config.trials,
+            self.config.faults,
+            self.config.simulations,
+            self.config.threads,
+        ));
+
+        out.push_str(
+            "## Benchmarks\n\n| name | family | n | |G| | |G'| |\n|---|---|---|---|---|\n",
+        );
+        for (name, family, n, g, gp) in &self.benchmarks {
+            out.push_str(&format!("| {name} | {family} | {n} | {g} | {gp} |\n"));
+        }
+
+        out.push_str(
+            "\n## Detection by error class\n\n\
+             | class | faults | benign | det. sim | det. complete | missed | mean #sims | rate |\n\
+             |---|---|---|---|---|---|---|---|\n",
+        );
+        for (kind, s) in &self.classes {
+            let mean = s
+                .mean_sims_to_detect()
+                .map_or_else(|| "—".to_string(), |m| format!("{m:.2}"));
+            let rate = s
+                .detection_rate()
+                .map_or_else(|| "—".to_string(), |r| format!("{:.0}%", r * 100.0));
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                kind.slug(),
+                s.faults,
+                s.benign,
+                s.detected_by_sim,
+                s.detected_by_complete,
+                s.missed,
+                mean,
+                rate,
+            ));
+        }
+
+        out.push_str("\n## Detected / faults per family\n\n| family |");
+        for (kind, _) in &self.classes {
+            out.push_str(&format!(" {} |", kind.slug()));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.classes {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (f, family) in self.families.iter().enumerate() {
+            out.push_str(&format!("| {family} |"));
+            for k in 0..self.classes.len() {
+                let cell = &self.cells[f][k];
+                out.push_str(&format!(" {}/{} |", cell.detected, cell.faults));
+            }
+            out.push('\n');
+        }
+
+        out.push_str(&format!(
+            "\nstage summary: {} sims finished, {} aborted, {} cancellations; \
+             t_sim {:.3}s, t_ec {:.3}s\n",
+            self.stage_timings.simulations_finished,
+            self.stage_timings.simulations_aborted,
+            self.stage_timings.cancellations,
+            self.stage_timings.simulation_time.as_secs_f64(),
+            self.stage_timings.functional_time.as_secs_f64(),
+        ));
+        out
+    }
+}
+
+impl fmt::Display for CampaignResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::generators;
+
+    fn tiny_campaign() -> (Vec<CampaignBenchmark>, CampaignConfig) {
+        let benches = vec![
+            CampaignBenchmark::optimized("qft 4", "qft", &generators::qft(4, true)),
+            CampaignBenchmark::compile(
+                "ghz 4",
+                "ghz",
+                &generators::ghz(4),
+                &CompileRoute::Map(CouplingMap::linear(4)),
+            ),
+        ];
+        let config = CampaignConfig::default()
+            .with_trials(2)
+            .with_simulations(4)
+            .with_threads(2);
+        (benches, config)
+    }
+
+    #[test]
+    fn campaign_covers_every_class_and_family() {
+        let (benches, config) = tiny_campaign();
+        let result = run_campaign(&benches, &config);
+        assert_eq!(result.classes.len(), MutationKind::ALL.len());
+        assert_eq!(result.families, vec!["qft", "ghz"]);
+        assert_eq!(
+            result.trials.len(),
+            benches.len() * MutationKind::ALL.len() * config.trials
+        );
+        // Detection is sound: no benign mutation is ever flagged.
+        for (kind, s) in &result.classes {
+            assert_eq!(s.false_positives, 0, "{kind}: unsound verdicts");
+        }
+        // The experiment has power: real faults exist and most are caught.
+        let faults: usize = result.classes.iter().map(|(_, s)| s.faults).sum();
+        let detected: usize = result
+            .classes
+            .iter()
+            .map(|(_, s)| s.detected_by_sim + s.detected_by_complete)
+            .sum();
+        assert!(faults > 0, "guard never confirmed a fault");
+        assert!(detected * 2 > faults, "detected {detected} of {faults}");
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let (benches, config) = tiny_campaign();
+        let a = run_campaign(&benches, &config).to_json(false);
+        let b = run_campaign(&benches, &config).to_json(false);
+        assert_eq!(a, b, "same seed must render byte-identical JSON");
+        let other = run_campaign(&benches, &config.clone().with_seed(99)).to_json(false);
+        assert_ne!(a, other, "different seeds explore different faults");
+    }
+
+    #[test]
+    fn trial_seeds_are_well_spread() {
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..4 {
+            for k in 0..8 {
+                for t in 0..4 {
+                    assert!(seen.insert(trial_seed(7, b, k, t)), "seed collision");
+                }
+            }
+        }
+        assert_eq!(trial_seed(7, 1, 2, 3), trial_seed(7, 1, 2, 3));
+        assert_ne!(trial_seed(7, 1, 2, 3), trial_seed(8, 1, 2, 3));
+    }
+
+    #[test]
+    fn markdown_mentions_all_sections() {
+        let (benches, config) = tiny_campaign();
+        let md = run_campaign(&benches, &config.with_trials(1)).to_markdown();
+        assert!(md.contains("## Benchmarks"));
+        assert!(md.contains("## Detection by error class"));
+        assert!(md.contains("remove_gate"));
+        assert!(md.contains("per family"));
+    }
+
+    #[test]
+    fn compile_routes_produce_equivalent_pairs() {
+        let g = generators::ghz(4);
+        for route_kind in [
+            CompileRoute::Optimize,
+            CompileRoute::Map(CouplingMap::linear(4)),
+            CompileRoute::Decompose,
+        ] {
+            let b = CampaignBenchmark::compile("ghz", "ghz", &g, &route_kind);
+            assert_eq!(b.original.n_qubits(), b.alternative.n_qubits());
+            let ok = crate::check_equivalence_default(&b.original, &b.alternative).unwrap();
+            assert!(ok.outcome.is_equivalent(), "{route_kind:?}: {}", ok.outcome);
+        }
+    }
+}

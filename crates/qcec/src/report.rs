@@ -1,11 +1,130 @@
 //! Tabular reporting of flow results — the shape of the paper's Table I —
 //! plus per-stage timing summaries assembled from scheduler events.
+//!
+//! Every report shape renders both for humans (`Display`, [`Report::to_csv`])
+//! and as structured JSON ([`Report::to_json`], [`StageTimings::to_json`])
+//! through the tiny [`json`] builder, so campaign output and ad-hoc bench
+//! runs share one reporting path.
 
 use std::fmt;
 use std::time::Duration;
 
 use crate::outcome::{FlowResult, Outcome};
 use crate::scheduler::{RunEvent, Stage};
+
+pub mod json {
+    //! A minimal, dependency-free JSON emitter.
+    //!
+    //! The build environment vendors no serialization crates, and the
+    //! campaign's reproducibility contract needs full control over field
+    //! order and number formatting anyway (two runs with the same seed must
+    //! produce *byte-identical* output). Fields render in insertion order;
+    //! floats use Rust's shortest round-trip `Display` form.
+
+    /// Escapes a string for use inside a JSON string literal (quotes not
+    /// included).
+    #[must_use]
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for ch in s.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Renders an `f64` as a JSON number (shortest round-trip form; JSON
+    /// has no non-finite numbers, so those become `null`).
+    #[must_use]
+    pub fn number(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// Joins pre-rendered JSON values into an array literal.
+    #[must_use]
+    pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+        let items: Vec<String> = items.into_iter().collect();
+        format!("[{}]", items.join(","))
+    }
+
+    /// An insertion-ordered JSON object builder.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcec::report::json::Obj;
+    ///
+    /// let mut o = Obj::new();
+    /// o.str("name", "qft 4").num("n", 4.0).raw("tags", "[]");
+    /// assert_eq!(o.render(), r#"{"name":"qft 4","n":4,"tags":[]}"#);
+    /// ```
+    #[derive(Debug, Clone, Default)]
+    pub struct Obj {
+        fields: Vec<(String, String)>,
+    }
+
+    impl Obj {
+        /// Creates an empty object.
+        #[must_use]
+        pub fn new() -> Self {
+            Obj::default()
+        }
+
+        /// Adds a string field.
+        pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+            self.fields
+                .push((key.to_string(), format!("\"{}\"", escape(value))));
+            self
+        }
+
+        /// Adds a numeric field.
+        pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
+            self.fields.push((key.to_string(), number(value)));
+            self
+        }
+
+        /// Adds an unsigned integer field (rendered without a decimal
+        /// point, unlike [`Obj::num`] on whole floats — both are stable).
+        pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+            self.fields.push((key.to_string(), value.to_string()));
+            self
+        }
+
+        /// Adds a boolean field.
+        pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+            self.fields.push((key.to_string(), value.to_string()));
+            self
+        }
+
+        /// Adds a pre-rendered JSON value (object, array, `null`).
+        pub fn raw(&mut self, key: &str, rendered: impl Into<String>) -> &mut Self {
+            self.fields.push((key.to_string(), rendered.into()));
+            self
+        }
+
+        /// Renders the object.
+        #[must_use]
+        pub fn render(&self) -> String {
+            let rendered: Vec<String> = self
+                .fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{v}", escape(k)))
+                .collect();
+            format!("{{{}}}", rendered.join(","))
+        }
+    }
+}
 
 /// One row of a benchmark report.
 #[derive(Debug, Clone)]
@@ -98,6 +217,33 @@ impl Report {
         }
         out
     }
+
+    /// Renders the report as a JSON array of row objects, mirroring the
+    /// CSV columns. Timing fields can be suppressed for byte-reproducible
+    /// output (wall-clock times differ between otherwise identical runs).
+    #[must_use]
+    pub fn to_json(&self, with_timings: bool) -> String {
+        json::array(self.rows.iter().map(|row| {
+            let (verdict, witness) = verdict_and_witness(&row.result.outcome);
+            let mut o = json::Obj::new();
+            o.str("name", &row.name)
+                .int("n", row.n_qubits as u64)
+                .int("gates_g", row.g_len as u64)
+                .int("gates_g_prime", row.g_prime_len as u64)
+                .str("verdict", verdict)
+                .int("sims", row.result.stats.simulations_run as u64);
+            if with_timings {
+                o.num("t_sim_s", row.result.stats.simulation_time.as_secs_f64())
+                    .num("t_ec_s", row.result.stats.functional_time.as_secs_f64());
+            }
+            if witness.is_empty() {
+                o.raw("counterexample", "null");
+            } else {
+                o.str("counterexample", &witness);
+            }
+            o.render()
+        }))
+    }
 }
 
 impl fmt::Display for Report {
@@ -179,6 +325,24 @@ impl StageTimings {
         }
         t
     }
+
+    /// Renders the summary as a JSON object. Wall-clock times can be
+    /// suppressed; note the counters themselves are still scheduling
+    /// dependent under `threads > 1` (how many in-flight runs finish
+    /// before a cancellation lands varies), so byte-reproducible outputs
+    /// should omit the summary altogether.
+    #[must_use]
+    pub fn to_json(&self, with_timings: bool) -> String {
+        let mut o = json::Obj::new();
+        if with_timings {
+            o.num("t_sim_s", self.simulation_time.as_secs_f64())
+                .num("t_ec_s", self.functional_time.as_secs_f64());
+        }
+        o.int("sims_finished", self.simulations_finished as u64)
+            .int("sims_aborted", self.simulations_aborted as u64)
+            .int("cancellations", self.cancellations as u64);
+        o.render()
+    }
 }
 
 impl fmt::Display for StageTimings {
@@ -254,6 +418,46 @@ mod tests {
         assert!(lines[1].contains("equivalent"));
         assert!(lines[2].contains("not_equivalent"));
         assert!(lines[2].starts_with("\"buggy, with comma\""));
+    }
+
+    #[test]
+    fn json_mirrors_csv_fields() {
+        let report = sample_report();
+        let js = report.to_json(false);
+        assert!(js.starts_with('[') && js.ends_with(']'));
+        assert!(js.contains(r#""name":"same""#));
+        assert!(js.contains(r#""verdict":"not_equivalent""#));
+        assert!(js.contains(r#""counterexample":"|"#));
+        assert!(!js.contains("t_sim_s"));
+        // Deterministic: the timing-free form is identical across renders.
+        assert_eq!(js, report.to_json(false));
+        let timed = report.to_json(true);
+        assert!(timed.contains("t_sim_s") && timed.contains("t_ec_s"));
+    }
+
+    #[test]
+    fn stage_timings_serialize() {
+        let t = StageTimings {
+            simulation_time: Duration::from_millis(1500),
+            functional_time: Duration::from_millis(250),
+            simulations_finished: 7,
+            simulations_aborted: 1,
+            cancellations: 1,
+        };
+        assert_eq!(
+            t.to_json(false),
+            r#"{"sims_finished":7,"sims_aborted":1,"cancellations":1}"#
+        );
+        let timed = t.to_json(true);
+        assert!(timed.starts_with(r#"{"t_sim_s":1.5,"t_ec_s":0.25,"#));
+    }
+
+    #[test]
+    fn json_escaping_and_numbers() {
+        assert_eq!(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json::number(0.25), "0.25");
+        assert_eq!(json::number(f64::NAN), "null");
+        assert_eq!(json::array(vec!["1".to_string(), "2".to_string()]), "[1,2]");
     }
 
     #[test]

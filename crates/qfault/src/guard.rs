@@ -1,0 +1,177 @@
+//! The equivalence guard: label mutations that happen to be benign.
+//!
+//! A syntactic mutation is not always a semantic fault — exchanging the
+//! operands of a CZ, dropping a gate that was a no-op, or perturbing an
+//! angle by a multiple of `2π` leaves the unitary unchanged. Campaigns
+//! that count detection rates must not score such instances as "missed
+//! errors", so small instances are re-checked with the complete
+//! decision-diagram equivalence check (`qdd`) and labelled.
+
+use std::fmt;
+use std::time::Duration;
+
+use qcirc::Circuit;
+use qdd::{check_equivalence_alternating, DdEquivalence, Package};
+
+/// Budget for the guard's complete check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardOptions {
+    /// Largest register the guard will check completely; bigger instances
+    /// are [`GuardVerdict::Unchecked`]. The complete check is exponential
+    /// in the worst case, so keep this small (default 14).
+    pub max_qubits: usize,
+    /// Wall-clock budget per check (default 5 s).
+    pub deadline: Option<Duration>,
+    /// Decision-diagram node budget per check.
+    pub node_limit: usize,
+}
+
+impl Default for GuardOptions {
+    fn default() -> Self {
+        GuardOptions {
+            max_qubits: 14,
+            deadline: Some(Duration::from_secs(5)),
+            node_limit: 1_000_000,
+        }
+    }
+}
+
+/// What the guard concluded about one mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuardVerdict {
+    /// The mutation genuinely changed the functionality — a real fault.
+    Fault,
+    /// The mutation left the unitary unchanged (up to global phase when
+    /// `phase` is `Some`): the instance must not count against any
+    /// checker's detection rate.
+    Benign {
+        /// `Some(φ)` when the circuits differ by exactly the global phase
+        /// `e^{iφ}`, `None` when they are identical.
+        phase: Option<f64>,
+    },
+    /// The guard did not reach a verdict (register too large, or the
+    /// complete check exhausted its budget).
+    Unchecked {
+        /// Why the guard abstained.
+        reason: String,
+    },
+}
+
+impl GuardVerdict {
+    /// Returns `true` when the mutation is proven benign.
+    #[must_use]
+    pub fn is_benign(&self) -> bool {
+        matches!(self, GuardVerdict::Benign { .. })
+    }
+
+    /// Returns `true` when the mutation is proven to be a real fault.
+    #[must_use]
+    pub fn is_fault(&self) -> bool {
+        matches!(self, GuardVerdict::Fault)
+    }
+}
+
+impl fmt::Display for GuardVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardVerdict::Fault => write!(f, "fault"),
+            GuardVerdict::Benign { phase: None } => write!(f, "benign"),
+            GuardVerdict::Benign { phase: Some(p) } => {
+                write!(f, "benign (global phase {p:.4})")
+            }
+            GuardVerdict::Unchecked { reason } => write!(f, "unchecked ({reason})"),
+        }
+    }
+}
+
+/// Classifies a mutation by completely checking `mutated` against
+/// `original` with the DD-based routine, within the [`GuardOptions`]
+/// budget.
+///
+/// # Panics
+///
+/// Panics if the circuits act on different register sizes (mutators
+/// always preserve the register).
+#[must_use]
+pub fn classify(original: &Circuit, mutated: &Circuit, opts: &GuardOptions) -> GuardVerdict {
+    assert_eq!(
+        original.n_qubits(),
+        mutated.n_qubits(),
+        "guard inputs must share a register"
+    );
+    let n = original.n_qubits();
+    if n > opts.max_qubits {
+        return GuardVerdict::Unchecked {
+            reason: format!("{n} qubits exceed the guard limit of {}", opts.max_qubits),
+        };
+    }
+    let mut package = Package::with_node_limit(n, opts.node_limit);
+    match check_equivalence_alternating(&mut package, original, mutated, opts.deadline) {
+        Ok(DdEquivalence::NotEquivalent) => GuardVerdict::Fault,
+        Ok(DdEquivalence::Equivalent) => GuardVerdict::Benign { phase: None },
+        Ok(DdEquivalence::EquivalentUpToGlobalPhase { phase }) => {
+            GuardVerdict::Benign { phase: Some(phase) }
+        }
+        Err(abort) => GuardVerdict::Unchecked {
+            reason: abort.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::generators;
+
+    #[test]
+    fn real_faults_are_flagged() {
+        let c = generators::ghz(4);
+        let mut buggy = c.clone();
+        buggy.x(2);
+        assert_eq!(
+            classify(&c, &buggy, &GuardOptions::default()),
+            GuardVerdict::Fault
+        );
+    }
+
+    #[test]
+    fn identical_circuits_are_benign() {
+        let c = generators::qft(4, true);
+        let v = classify(&c, &c.clone(), &GuardOptions::default());
+        assert!(v.is_benign());
+        assert!(!v.is_fault());
+    }
+
+    #[test]
+    fn symmetric_operand_swap_is_benign() {
+        // CZ is symmetric: exchanging control and target is a syntactic
+        // change with no semantic effect — exactly what the guard catches.
+        let mut a = qcirc::Circuit::new(2);
+        a.h(0).cz(0, 1);
+        let mut b = qcirc::Circuit::new(2);
+        b.h(0).cz(1, 0);
+        assert!(classify(&a, &b, &GuardOptions::default()).is_benign());
+    }
+
+    #[test]
+    fn oversized_registers_are_unchecked() {
+        let c = generators::ghz(6);
+        let opts = GuardOptions {
+            max_qubits: 4,
+            ..GuardOptions::default()
+        };
+        match classify(&c, &c.clone(), &opts) {
+            GuardVerdict::Unchecked { reason } => assert!(reason.contains("guard limit")),
+            other => panic!("expected unchecked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verdicts_display() {
+        assert_eq!(GuardVerdict::Fault.to_string(), "fault");
+        assert_eq!(GuardVerdict::Benign { phase: None }.to_string(), "benign");
+        assert!(GuardVerdict::Benign { phase: Some(0.5) }
+            .to_string()
+            .contains("global phase"));
+    }
+}

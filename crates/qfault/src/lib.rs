@@ -1,0 +1,65 @@
+//! Deterministic fault injection over the `qcirc` IR.
+//!
+//! The evaluation of Burgholzer & Wille, *The Power of Simulation for
+//! Equivalence Checking in Quantum Computing* (DAC 2020), rests on
+//! injecting realistic design-flow errors into compiled circuits and
+//! counting how few random-basis simulations expose them. This crate
+//! provides that fault model as a library of seeded, reproducible circuit
+//! *mutators* — the error classes catalogued by "Verifying Results of the
+//! IBM Qiskit Quantum Circuit Compilation Flow" (removed gates,
+//! wrong/missing controls, perturbed rotation angles, swapped operands,
+//! relabelled qubits, reordered gates):
+//!
+//! | [`MutationKind`]                    | defect it models                                |
+//! |-------------------------------------|-------------------------------------------------|
+//! | [`RemoveGate`]                      | a gate dropped by a buggy pass                  |
+//! | [`AddGate`]                         | a spurious gate inserted by a buggy pass        |
+//! | [`RemoveControl`]                   | a control line lost in translation              |
+//! | [`AddControl`]                      | a spurious control line                         |
+//! | [`SwapTargets`]                     | control/target operands exchanged               |
+//! | [`PerturbAngle`]                    | an offset rotation angle (calibration drift)    |
+//! | [`SwapAdjacentGates`]               | two non-commuting gates reordered               |
+//! | [`RelabelQubits`]                   | a wrong qubit assignment from some point on     |
+//!
+//! Every mutator implements the common [`Mutator`] trait and returns a
+//! structured [`Mutation`] record (site, kind, parameters) so each injected
+//! fault is reportable and exactly reproducible from `(seed, index)`: the
+//! same circuit, mutator and seed always yield the same mutated circuit.
+//!
+//! Some syntactic mutations happen to be semantically benign — exchanging
+//! the operands of a CZ, or reordering gates that commute after all on the
+//! relevant subspace. The [`guard`] module re-checks small instances with
+//! the complete decision-diagram equivalence check (`qdd`) so campaigns
+//! can label such mutations instead of mis-counting them as missed errors.
+//!
+//! # Examples
+//!
+//! ```
+//! use qfault::{registry, GuardOptions, GuardVerdict};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let circuit = qcirc::generators::ghz(4);
+//! for mutator in registry(0.1) {
+//!     let mut rng = StdRng::seed_from_u64(7);
+//!     if let Ok((mutated, mutation)) = mutator.apply(&circuit, &mut rng) {
+//!         assert_eq!(mutated.n_qubits(), circuit.n_qubits());
+//!         // The guard labels mutations that happen to be benign.
+//!         let verdict = qfault::guard::classify(&circuit, &mutated, &GuardOptions::default());
+//!         println!("{mutation}: {verdict}");
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod guard;
+mod mutation;
+mod mutators;
+
+pub use guard::{GuardOptions, GuardVerdict};
+pub use mutation::{MutateError, Mutation, MutationKind};
+pub use mutators::{
+    mutator_for, registry, AddControl, AddGate, Mutator, PerturbAngle, RelabelQubits,
+    RemoveControl, RemoveGate, SwapAdjacentGates, SwapTargets,
+};

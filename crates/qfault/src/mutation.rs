@@ -1,0 +1,155 @@
+//! The vocabulary of injected faults: kinds, records, and failure modes.
+
+use std::fmt;
+
+/// The fault classes of the compilation-flow error catalogue.
+///
+/// The variants carry no parameters so the kind can serve as an aggregation
+/// key in campaign reports; per-instance parameters (the perturbation
+/// offset, the chosen qubits) live in the [`Mutation`] record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MutationKind {
+    /// One gate removed.
+    RemoveGate,
+    /// One spurious gate inserted.
+    AddGate,
+    /// One control line dropped from a controlled gate.
+    RemoveControl,
+    /// One spurious control line added to a gate.
+    AddControl,
+    /// A control exchanged with a target on one gate.
+    SwapTargets,
+    /// One rotation angle offset by `±ε`.
+    PerturbAngle,
+    /// Two adjacent non-commuting gates exchanged.
+    SwapAdjacentGates,
+    /// Two qubit labels exchanged from some gate index onward.
+    RelabelQubits,
+}
+
+impl MutationKind {
+    /// Every kind, in reporting order.
+    pub const ALL: [MutationKind; 8] = [
+        MutationKind::RemoveGate,
+        MutationKind::AddGate,
+        MutationKind::RemoveControl,
+        MutationKind::AddControl,
+        MutationKind::SwapTargets,
+        MutationKind::PerturbAngle,
+        MutationKind::SwapAdjacentGates,
+        MutationKind::RelabelQubits,
+    ];
+
+    /// A stable `snake_case` identifier used as a JSON/CLI key.
+    #[must_use]
+    pub fn slug(&self) -> &'static str {
+        match self {
+            MutationKind::RemoveGate => "remove_gate",
+            MutationKind::AddGate => "add_gate",
+            MutationKind::RemoveControl => "remove_control",
+            MutationKind::AddControl => "add_control",
+            MutationKind::SwapTargets => "swap_targets",
+            MutationKind::PerturbAngle => "perturb_angle",
+            MutationKind::SwapAdjacentGates => "swap_adjacent_gates",
+            MutationKind::RelabelQubits => "relabel_qubits",
+        }
+    }
+
+    /// Parses a [`MutationKind::slug`] back into a kind.
+    #[must_use]
+    pub fn from_slug(slug: &str) -> Option<MutationKind> {
+        MutationKind::ALL.iter().copied().find(|k| k.slug() == slug)
+    }
+}
+
+impl fmt::Display for MutationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// A structured record of one injected fault.
+///
+/// Together with the seed that drove the mutator, the record makes every
+/// fault exactly reproducible and lets campaign reports describe *what*
+/// was broken, not just that something was.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mutation {
+    /// Which fault class.
+    pub kind: MutationKind,
+    /// Gate index the fault anchors to: for removals and in-place edits the
+    /// index in the *input* circuit, for insertions the index the new gate
+    /// has in the *output*, for relabellings the first affected index.
+    pub site: usize,
+    /// Numeric parameters of the instance (e.g. the angle offset for
+    /// [`MutationKind::PerturbAngle`], the two exchanged qubit labels for
+    /// [`MutationKind::RelabelQubits`]).
+    pub params: Vec<f64>,
+    /// Human-readable description (`"'cx q[0], q[1]' → 'cx q[0], q[2]'"`).
+    pub description: String,
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at gate {}: {}",
+            self.kind, self.site, self.description
+        )
+    }
+}
+
+/// Error returned when a fault class has no applicable site in a circuit
+/// (e.g. [`MutationKind::PerturbAngle`] on a Clifford-only circuit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutateError {
+    /// The fault class that could not be applied.
+    pub kind: MutationKind,
+    /// Why.
+    pub reason: String,
+}
+
+impl fmt::Display for MutateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot inject '{}': {}", self.kind, self.reason)
+    }
+}
+
+impl std::error::Error for MutateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_round_trip() {
+        for kind in MutationKind::ALL {
+            assert_eq!(MutationKind::from_slug(kind.slug()), Some(kind));
+        }
+        assert_eq!(MutationKind::from_slug("nonsense"), None);
+    }
+
+    #[test]
+    fn all_kinds_are_distinct() {
+        let mut slugs: Vec<&str> = MutationKind::ALL.iter().map(|k| k.slug()).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), MutationKind::ALL.len());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let m = Mutation {
+            kind: MutationKind::RemoveGate,
+            site: 3,
+            params: vec![],
+            description: "removed 'h q[0]'".to_string(),
+        };
+        assert_eq!(m.to_string(), "remove_gate at gate 3: removed 'h q[0]'");
+        let e = MutateError {
+            kind: MutationKind::PerturbAngle,
+            reason: "no parameterized gates".to_string(),
+        };
+        assert!(e.to_string().contains("perturb_angle"));
+    }
+}

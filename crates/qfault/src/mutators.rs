@@ -1,0 +1,640 @@
+//! The mutator library: one seeded, deterministic fault class each.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use qcirc::optimize::gates_commute;
+use qcirc::{Circuit, Gate, GateKind};
+
+use crate::mutation::{MutateError, Mutation, MutationKind};
+
+/// A seeded circuit mutator: one compilation-flow fault class.
+///
+/// Implementations never panic on inapplicable circuits — they return a
+/// [`MutateError`] naming the missing precondition — and they are pure
+/// functions of `(circuit, rng state)`: the same circuit and seed always
+/// produce the same mutated circuit and [`Mutation`] record.
+pub trait Mutator: std::fmt::Debug + Send + Sync {
+    /// The fault class this mutator injects.
+    fn kind(&self) -> MutationKind;
+
+    /// Injects one fault into a copy of `circuit`, choosing the site with
+    /// the seeded `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MutateError`] if the circuit has no applicable site.
+    fn apply(
+        &self,
+        circuit: &Circuit,
+        rng: &mut StdRng,
+    ) -> Result<(Circuit, Mutation), MutateError>;
+}
+
+/// Builds one mutator of every kind, ready for a campaign sweep.
+/// `epsilon` parameterizes [`PerturbAngle`].
+#[must_use]
+pub fn registry(epsilon: f64) -> Vec<Box<dyn Mutator>> {
+    MutationKind::ALL
+        .iter()
+        .map(|&kind| mutator_for(kind, epsilon))
+        .collect()
+}
+
+/// Builds the mutator for one fault class. `epsilon` is only consulted by
+/// [`MutationKind::PerturbAngle`].
+#[must_use]
+pub fn mutator_for(kind: MutationKind, epsilon: f64) -> Box<dyn Mutator> {
+    match kind {
+        MutationKind::RemoveGate => Box::new(RemoveGate),
+        MutationKind::AddGate => Box::new(AddGate),
+        MutationKind::RemoveControl => Box::new(RemoveControl),
+        MutationKind::AddControl => Box::new(AddControl),
+        MutationKind::SwapTargets => Box::new(SwapTargets),
+        MutationKind::PerturbAngle => Box::new(PerturbAngle { epsilon }),
+        MutationKind::SwapAdjacentGates => Box::new(SwapAdjacentGates),
+        MutationKind::RelabelQubits => Box::new(RelabelQubits),
+    }
+}
+
+fn fail(kind: MutationKind, reason: &str) -> MutateError {
+    MutateError {
+        kind,
+        reason: reason.to_string(),
+    }
+}
+
+/// Reassembles a gate from its parts, routing through the right
+/// constructor for the kind/control combination.
+fn rebuild(kind: GateKind, controls: Vec<usize>, targets: &[usize]) -> Gate {
+    match (kind, controls.is_empty()) {
+        (GateKind::Swap, true) => Gate::swap(targets[0], targets[1]),
+        (GateKind::Swap, false) => Gate::controlled_swap(controls, targets[0], targets[1]),
+        (k, true) => Gate::single(k, targets[0]),
+        (k, false) => Gate::controlled(k, controls, targets[0]),
+    }
+}
+
+fn buggy_copy(circuit: &Circuit) -> Circuit {
+    let mut out = circuit.clone();
+    out.set_name(format!("{}_faulty", circuit.name()));
+    out
+}
+
+// ---------------------------------------------------------------------------
+
+/// Removes one gate — a pass that silently drops an operation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RemoveGate;
+
+impl Mutator for RemoveGate {
+    fn kind(&self) -> MutationKind {
+        MutationKind::RemoveGate
+    }
+
+    fn apply(
+        &self,
+        circuit: &Circuit,
+        rng: &mut StdRng,
+    ) -> Result<(Circuit, Mutation), MutateError> {
+        if circuit.is_empty() {
+            return Err(fail(self.kind(), "circuit is empty"));
+        }
+        let site = rng.gen_range(0..circuit.len());
+        let mut out = buggy_copy(circuit);
+        let removed = out.remove(site);
+        Ok((
+            out,
+            Mutation {
+                kind: self.kind(),
+                site,
+                params: vec![],
+                description: format!("removed '{removed}'"),
+            },
+        ))
+    }
+}
+
+/// Inserts one spurious gate — a pass that emits an extra operation.
+/// Draws a single-qubit gate, or (on multi-qubit registers) a CX half of
+/// the time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AddGate;
+
+impl Mutator for AddGate {
+    fn kind(&self) -> MutationKind {
+        MutationKind::AddGate
+    }
+
+    fn apply(
+        &self,
+        circuit: &Circuit,
+        rng: &mut StdRng,
+    ) -> Result<(Circuit, Mutation), MutateError> {
+        let site = rng.gen_range(0..=circuit.len());
+        let n = circuit.n_qubits();
+        let gate = if n >= 2 && rng.gen_bool(0.5) {
+            let control = rng.gen_range(0..n);
+            let target = loop {
+                let t = rng.gen_range(0..n);
+                if t != control {
+                    break t;
+                }
+            };
+            Gate::controlled(GateKind::X, vec![control], target)
+        } else {
+            let palette = [
+                GateKind::X,
+                GateKind::Y,
+                GateKind::Z,
+                GateKind::H,
+                GateKind::S,
+                GateKind::T,
+                GateKind::Sx,
+            ];
+            let kind = *palette.choose(rng).expect("non-empty palette");
+            Gate::single(kind, rng.gen_range(0..n))
+        };
+        let mut out = buggy_copy(circuit);
+        let description = format!("inserted '{gate}'");
+        out.insert(site, gate);
+        Ok((
+            out,
+            Mutation {
+                kind: self.kind(),
+                site,
+                params: vec![],
+                description,
+            },
+        ))
+    }
+}
+
+/// Drops one control line from a controlled gate — the gate then fires
+/// unconditionally where it should have been guarded.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RemoveControl;
+
+impl Mutator for RemoveControl {
+    fn kind(&self) -> MutationKind {
+        MutationKind::RemoveControl
+    }
+
+    fn apply(
+        &self,
+        circuit: &Circuit,
+        rng: &mut StdRng,
+    ) -> Result<(Circuit, Mutation), MutateError> {
+        let sites: Vec<usize> = (0..circuit.len())
+            .filter(|&i| !circuit.gates()[i].controls().is_empty())
+            .collect();
+        let Some(&site) = sites.choose(rng) else {
+            return Err(fail(self.kind(), "no controlled gates present"));
+        };
+        let old = circuit.gates()[site].clone();
+        let mut controls = old.controls().to_vec();
+        let dropped = controls.remove(rng.gen_range(0..controls.len()));
+        let new = rebuild(*old.kind(), controls, old.targets());
+        let mut out = buggy_copy(circuit);
+        let description = format!("'{old}' → '{new}' (dropped control q[{dropped}])");
+        out.replace(site, new);
+        Ok((
+            out,
+            Mutation {
+                kind: self.kind(),
+                site,
+                params: vec![dropped as f64],
+                description,
+            },
+        ))
+    }
+}
+
+/// Adds one spurious control line to a gate — the operation then fires
+/// only when an unrelated qubit happens to be `|1⟩`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AddControl;
+
+impl Mutator for AddControl {
+    fn kind(&self) -> MutationKind {
+        MutationKind::AddControl
+    }
+
+    fn apply(
+        &self,
+        circuit: &Circuit,
+        rng: &mut StdRng,
+    ) -> Result<(Circuit, Mutation), MutateError> {
+        let n = circuit.n_qubits();
+        let sites: Vec<usize> = (0..circuit.len())
+            .filter(|&i| circuit.gates()[i].width() < n)
+            .collect();
+        let Some(&site) = sites.choose(rng) else {
+            return Err(fail(
+                self.kind(),
+                "every gate already touches the full register",
+            ));
+        };
+        let old = circuit.gates()[site].clone();
+        let free: Vec<usize> = (0..n).filter(|&q| old.qubits().all(|g| g != q)).collect();
+        let added = *free.choose(rng).expect("width < n implies a free qubit");
+        let mut controls = old.controls().to_vec();
+        controls.push(added);
+        let new = rebuild(*old.kind(), controls, old.targets());
+        let mut out = buggy_copy(circuit);
+        let description = format!("'{old}' → '{new}' (added control q[{added}])");
+        out.replace(site, new);
+        Ok((
+            out,
+            Mutation {
+                kind: self.kind(),
+                site,
+                params: vec![added as f64],
+                description,
+            },
+        ))
+    }
+}
+
+/// Exchanges one control with a target on a controlled gate — the
+/// generalized "CX pointing the wrong way" bug. On symmetric gates (CZ,
+/// CP) this mutation is semantically benign; the campaign guard labels
+/// those instances.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwapTargets;
+
+impl Mutator for SwapTargets {
+    fn kind(&self) -> MutationKind {
+        MutationKind::SwapTargets
+    }
+
+    fn apply(
+        &self,
+        circuit: &Circuit,
+        rng: &mut StdRng,
+    ) -> Result<(Circuit, Mutation), MutateError> {
+        let sites: Vec<usize> = (0..circuit.len())
+            .filter(|&i| !circuit.gates()[i].controls().is_empty())
+            .collect();
+        let Some(&site) = sites.choose(rng) else {
+            return Err(fail(self.kind(), "no controlled gates present"));
+        };
+        let old = circuit.gates()[site].clone();
+        let ci = rng.gen_range(0..old.controls().len());
+        let ti = rng.gen_range(0..old.targets().len());
+        let mut controls = old.controls().to_vec();
+        let mut targets = old.targets().to_vec();
+        std::mem::swap(&mut controls[ci], &mut targets[ti]);
+        let new = rebuild(*old.kind(), controls, &targets);
+        let mut out = buggy_copy(circuit);
+        let description = format!("'{old}' → '{new}'");
+        out.replace(site, new);
+        Ok((
+            out,
+            Mutation {
+                kind: self.kind(),
+                site,
+                params: vec![],
+                description,
+            },
+        ))
+    }
+}
+
+/// Offsets one rotation angle by `±ε` — calibration drift, a truncated
+/// constant, a degree/radian mix-up scaled down.
+#[derive(Debug, Clone, Copy)]
+pub struct PerturbAngle {
+    /// The magnitude of the injected offset (radians).
+    pub epsilon: f64,
+}
+
+impl Default for PerturbAngle {
+    fn default() -> Self {
+        PerturbAngle { epsilon: 0.1 }
+    }
+}
+
+impl Mutator for PerturbAngle {
+    fn kind(&self) -> MutationKind {
+        MutationKind::PerturbAngle
+    }
+
+    fn apply(
+        &self,
+        circuit: &Circuit,
+        rng: &mut StdRng,
+    ) -> Result<(Circuit, Mutation), MutateError> {
+        let sites: Vec<usize> = (0..circuit.len())
+            .filter(|&i| circuit.gates()[i].kind().is_parameterized())
+            .collect();
+        let Some(&site) = sites.choose(rng) else {
+            return Err(fail(self.kind(), "no parameterized gates present"));
+        };
+        let old = circuit.gates()[site].clone();
+        let offset = if rng.gen_bool(0.5) {
+            self.epsilon
+        } else {
+            -self.epsilon
+        };
+        let param_index = rng.gen_range(0..old.kind().params().len());
+        let new_kind = perturb_param(old.kind(), param_index, offset);
+        let new = rebuild(new_kind, old.controls().to_vec(), old.targets());
+        let mut out = buggy_copy(circuit);
+        let description = format!("'{old}' → '{new}'");
+        out.replace(site, new);
+        Ok((
+            out,
+            Mutation {
+                kind: self.kind(),
+                site,
+                params: vec![offset, param_index as f64],
+                description,
+            },
+        ))
+    }
+}
+
+fn perturb_param(kind: &GateKind, index: usize, offset: f64) -> GateKind {
+    match *kind {
+        GateKind::Rx(t) => GateKind::Rx(t + offset),
+        GateKind::Ry(t) => GateKind::Ry(t + offset),
+        GateKind::Rz(t) => GateKind::Rz(t + offset),
+        GateKind::Phase(l) => GateKind::Phase(l + offset),
+        GateKind::U3(t, p, l) => match index {
+            0 => GateKind::U3(t + offset, p, l),
+            1 => GateKind::U3(t, p + offset, l),
+            _ => GateKind::U3(t, p, l + offset),
+        },
+        other => other,
+    }
+}
+
+/// Exchanges two adjacent gates that do *not* commute — a scheduling or
+/// peephole pass that reordered operations it was not allowed to reorder.
+/// Commuting neighbours are excluded by construction: exchanging them
+/// would be a guaranteed no-op, not a fault.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwapAdjacentGates;
+
+impl Mutator for SwapAdjacentGates {
+    fn kind(&self) -> MutationKind {
+        MutationKind::SwapAdjacentGates
+    }
+
+    fn apply(
+        &self,
+        circuit: &Circuit,
+        rng: &mut StdRng,
+    ) -> Result<(Circuit, Mutation), MutateError> {
+        let gates = circuit.gates();
+        let sites: Vec<usize> = (0..circuit.len().saturating_sub(1))
+            .filter(|&i| !gates_commute(&gates[i], &gates[i + 1]))
+            .collect();
+        let Some(&site) = sites.choose(rng) else {
+            return Err(fail(self.kind(), "no adjacent non-commuting pair"));
+        };
+        let (a, b) = (gates[site].clone(), gates[site + 1].clone());
+        let mut out = buggy_copy(circuit);
+        let description = format!("exchanged '{a}' and '{b}'");
+        out.replace(site, b);
+        out.replace(site + 1, a);
+        Ok((
+            out,
+            Mutation {
+                kind: self.kind(),
+                site,
+                params: vec![],
+                description,
+            },
+        ))
+    }
+}
+
+/// Exchanges two qubit labels on every gate from a random index onward —
+/// the tail of the circuit runs on a wrong qubit assignment, as if a SWAP
+/// inserted by the mapper had been dropped (the paper's Example 6 bug
+/// writ large).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RelabelQubits;
+
+impl Mutator for RelabelQubits {
+    fn kind(&self) -> MutationKind {
+        MutationKind::RelabelQubits
+    }
+
+    fn apply(
+        &self,
+        circuit: &Circuit,
+        rng: &mut StdRng,
+    ) -> Result<(Circuit, Mutation), MutateError> {
+        if circuit.is_empty() {
+            return Err(fail(self.kind(), "circuit is empty"));
+        }
+        if circuit.n_qubits() < 2 {
+            return Err(fail(self.kind(), "needs at least 2 qubits"));
+        }
+        let site = rng.gen_range(0..circuit.len());
+        // Anchor one side of the transposition on a qubit the gate at the
+        // cut actually touches, so the suffix is guaranteed to change.
+        let touched: Vec<usize> = circuit.gates()[site].qubits().collect();
+        let a = *touched.choose(rng).expect("gates touch at least one qubit");
+        let b = loop {
+            let q = rng.gen_range(0..circuit.n_qubits());
+            if q != a {
+                break q;
+            }
+        };
+        let swap = |q: usize| {
+            if q == a {
+                b
+            } else if q == b {
+                a
+            } else {
+                q
+            }
+        };
+        let mut out = Circuit::with_name(circuit.n_qubits(), format!("{}_faulty", circuit.name()));
+        for (i, g) in circuit.gates().iter().enumerate() {
+            out.push(if i >= site { g.remap(swap) } else { g.clone() });
+        }
+        Ok((
+            out,
+            Mutation {
+                kind: self.kind(),
+                site,
+                params: vec![a as f64, b as f64],
+                description: format!("relabelled q[{a}] ↔ q[{b}] from gate {site} onward"),
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::generators;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// A fixture with controlled gates, rotations, and non-commuting
+    /// neighbours — every mutator applies.
+    fn fixture() -> Circuit {
+        let mut c = Circuit::with_name(4, "fixture");
+        c.h(0).cx(0, 1).rz(0.7, 1).ccx(0, 1, 2).swap(2, 3).t(3);
+        c
+    }
+
+    #[test]
+    fn every_mutator_applies_to_the_fixture() {
+        for mutator in registry(0.1) {
+            let (mutated, record) = mutator
+                .apply(&fixture(), &mut rng(5))
+                .unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(mutated.n_qubits(), 4, "{record}");
+            assert!(!record.description.is_empty());
+            assert_eq!(record.kind, mutator.kind());
+        }
+    }
+
+    #[test]
+    fn registry_covers_all_kinds_in_order() {
+        let kinds: Vec<MutationKind> = registry(0.2).iter().map(|m| m.kind()).collect();
+        assert_eq!(kinds, MutationKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn mutators_are_deterministic_per_seed() {
+        for mutator in registry(0.1) {
+            let a = mutator.apply(&fixture(), &mut rng(42)).unwrap();
+            let b = mutator.apply(&fixture(), &mut rng(42)).unwrap();
+            assert_eq!(a.0, b.0, "{:?} circuit differs", mutator.kind());
+            assert_eq!(a.1, b.1, "{:?} record differs", mutator.kind());
+        }
+    }
+
+    #[test]
+    fn remove_gate_shrinks_add_gate_grows() {
+        let c = fixture();
+        let (removed, _) = RemoveGate.apply(&c, &mut rng(1)).unwrap();
+        assert_eq!(removed.len(), c.len() - 1);
+        let (grown, _) = AddGate.apply(&c, &mut rng(1)).unwrap();
+        assert_eq!(grown.len(), c.len() + 1);
+    }
+
+    #[test]
+    fn remove_control_reduces_width() {
+        let c = fixture();
+        let (mutated, record) = RemoveControl.apply(&c, &mut rng(3)).unwrap();
+        let old = &c.gates()[record.site];
+        let new = &mutated.gates()[record.site];
+        assert_eq!(new.controls().len(), old.controls().len() - 1);
+        assert_eq!(new.targets(), old.targets());
+    }
+
+    #[test]
+    fn add_control_increases_width() {
+        let c = fixture();
+        let (mutated, record) = AddControl.apply(&c, &mut rng(3)).unwrap();
+        let old = &c.gates()[record.site];
+        let new = &mutated.gates()[record.site];
+        assert_eq!(new.controls().len(), old.controls().len() + 1);
+        assert_eq!(new.targets(), old.targets());
+    }
+
+    #[test]
+    fn swap_targets_permutes_qubits_within_the_gate() {
+        let c = fixture();
+        let (mutated, record) = SwapTargets.apply(&c, &mut rng(9)).unwrap();
+        let old = &c.gates()[record.site];
+        let new = &mutated.gates()[record.site];
+        let mut old_qs: Vec<usize> = old.qubits().collect();
+        let mut new_qs: Vec<usize> = new.qubits().collect();
+        old_qs.sort_unstable();
+        new_qs.sort_unstable();
+        assert_eq!(old_qs, new_qs, "qubit set must be preserved");
+        assert_ne!(old, new, "control/target roles must change");
+    }
+
+    #[test]
+    fn perturb_angle_moves_exactly_one_parameter() {
+        let c = fixture();
+        let m = PerturbAngle { epsilon: 0.25 };
+        let (mutated, record) = m.apply(&c, &mut rng(2)).unwrap();
+        let old = c.gates()[record.site].kind().params();
+        let new = mutated.gates()[record.site].kind().params();
+        let moved: Vec<usize> = (0..old.len())
+            .filter(|&i| (old[i] - new[i]).abs() > 1e-12)
+            .collect();
+        assert_eq!(moved.len(), 1);
+        assert!((old[moved[0]] - new[moved[0]]).abs() - 0.25 < 1e-12);
+    }
+
+    #[test]
+    fn swap_adjacent_only_picks_non_commuting_pairs() {
+        let c = fixture();
+        for seed in 0..30 {
+            let (mutated, record) = SwapAdjacentGates.apply(&c, &mut rng(seed)).unwrap();
+            let i = record.site;
+            assert!(!gates_commute(&c.gates()[i], &c.gates()[i + 1]));
+            assert_eq!(&mutated.gates()[i], &c.gates()[i + 1]);
+            assert_eq!(&mutated.gates()[i + 1], &c.gates()[i]);
+        }
+    }
+
+    #[test]
+    fn swap_adjacent_rejects_fully_commuting_circuits() {
+        let mut c = Circuit::new(2);
+        c.z(0).t(0).rz(0.3, 1); // all diagonal: everything commutes
+        let e = SwapAdjacentGates.apply(&c, &mut rng(0)).unwrap_err();
+        assert!(e.to_string().contains("non-commuting"));
+    }
+
+    #[test]
+    fn relabel_changes_the_suffix_only() {
+        let c = fixture();
+        let (mutated, record) = RelabelQubits.apply(&c, &mut rng(11)).unwrap();
+        assert_eq!(mutated.len(), c.len());
+        for i in 0..record.site {
+            assert_eq!(&mutated.gates()[i], &c.gates()[i]);
+        }
+        // The anchored gate at the cut must have changed.
+        assert_ne!(&mutated.gates()[record.site], &c.gates()[record.site]);
+    }
+
+    #[test]
+    fn inapplicable_sites_are_reported_not_panicked() {
+        let mut bare = Circuit::new(1);
+        bare.h(0);
+        assert!(RemoveControl.apply(&bare, &mut rng(0)).is_err());
+        assert!(SwapTargets.apply(&bare, &mut rng(0)).is_err());
+        assert!(PerturbAngle::default().apply(&bare, &mut rng(0)).is_err());
+        assert!(RelabelQubits.apply(&bare, &mut rng(0)).is_err());
+        let empty = Circuit::new(2);
+        assert!(RemoveGate.apply(&empty, &mut rng(0)).is_err());
+        // AddGate applies even to an empty circuit.
+        assert!(AddGate.apply(&empty, &mut rng(0)).is_ok());
+    }
+
+    #[test]
+    fn add_control_respects_a_full_register() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1); // width == n: no free qubit anywhere
+        assert!(AddControl.apply(&c, &mut rng(0)).is_err());
+    }
+
+    #[test]
+    fn mutations_survive_ghz_and_qft_families() {
+        for c in [generators::ghz(5), generators::qft(5, true)] {
+            for mutator in registry(0.1) {
+                // Not every kind applies to every family (GHZ has no
+                // rotations) — but applying must never panic.
+                let _ = mutator.apply(&c, &mut rng(7));
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the mutator library: every mutator, for any
+//! seed, produces a syntactically valid circuit with the promised arity
+//! change, is deterministic per seed, and survives the OpenQASM
+//! writer/parser round-trip without changing its semantics.
+
+use proptest::prelude::*;
+use qcirc::{dense, qasm, Circuit};
+use qfault::{registry, MutationKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random circuit drawing from a palette wide enough that every mutator
+/// has applicable sites: rotations (PerturbAngle), controlled gates
+/// (controls/targets mutators), and non-commuting neighbours.
+fn random_circuit(n_qubits: usize, gates: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(n_qubits, format!("prop_{n_qubits}_{gates}_{seed}"));
+    for _ in 0..gates {
+        let q = rng.gen_range(0..n_qubits);
+        match rng.gen_range(0..8u32) {
+            0 => c.h(q),
+            1 => c.t(q),
+            2 => c.rz(rng.gen_range(-3.0..3.0), q),
+            3 => c.rx(rng.gen_range(-3.0..3.0), q),
+            4 | 5 => {
+                let p = (q + 1 + rng.gen_range(0..n_qubits - 1)) % n_qubits;
+                c.cx(q, p)
+            }
+            6 => {
+                let p = (q + 1 + rng.gen_range(0..n_qubits - 1)) % n_qubits;
+                c.cp(rng.gen_range(-3.0..3.0), q, p)
+            }
+            _ => {
+                let p = (q + 1 + rng.gen_range(0..n_qubits - 1)) % n_qubits;
+                c.swap(q, p)
+            }
+        };
+    }
+    c
+}
+
+/// Checks the structural invariants every mutated circuit must satisfy.
+fn assert_valid(original: &Circuit, mutated: &Circuit, kind: MutationKind) {
+    assert_eq!(
+        mutated.n_qubits(),
+        original.n_qubits(),
+        "{kind}: register size must be preserved"
+    );
+    for g in mutated.gates() {
+        assert!(
+            g.max_qubit() < mutated.n_qubits(),
+            "{kind}: gate {g} exceeds the register"
+        );
+        let mut qs: Vec<usize> = g.qubits().collect();
+        let len = qs.len();
+        qs.sort_unstable();
+        qs.dedup();
+        assert_eq!(qs.len(), len, "{kind}: gate {g} repeats a qubit");
+    }
+    let expected_len = match kind {
+        MutationKind::RemoveGate => original.len() - 1,
+        MutationKind::AddGate => original.len() + 1,
+        _ => original.len(),
+    };
+    assert_eq!(mutated.len(), expected_len, "{kind}: wrong gate count");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mutants_are_valid_and_arity_preserving(
+        n in 2usize..6,
+        gates in 4usize..24,
+        circuit_seed in 0u64..1000,
+        mutator_seed in 0u64..1000,
+    ) {
+        let c = random_circuit(n, gates, circuit_seed);
+        for mutator in registry(0.2) {
+            let mut rng = StdRng::seed_from_u64(mutator_seed);
+            if let Ok((mutated, record)) = mutator.apply(&c, &mut rng) {
+                assert_valid(&c, &mutated, mutator.kind());
+                prop_assert!(record.site <= c.len(), "{}: site out of range", record);
+            }
+        }
+    }
+
+    #[test]
+    fn mutants_round_trip_through_qasm(
+        n in 2usize..5,
+        gates in 4usize..16,
+        circuit_seed in 0u64..500,
+        mutator_seed in 0u64..500,
+    ) {
+        let c = random_circuit(n, gates, circuit_seed);
+        for mutator in registry(0.2) {
+            let mut rng = StdRng::seed_from_u64(mutator_seed);
+            if let Ok((mutated, record)) = mutator.apply(&c, &mut rng) {
+                let src = qasm::write(&mutated);
+                let reparsed = qasm::parse(&src)
+                    .unwrap_or_else(|e| panic!("{record}: writer output failed to parse: {e}"));
+                prop_assert_eq!(reparsed.n_qubits(), mutated.n_qubits());
+                // The writer may lower exotic gates (multi-controlled
+                // rotations) to elementary form, so compare semantics,
+                // not structure.
+                prop_assert!(
+                    dense::unitary(&reparsed).approx_eq_up_to_phase(&dense::unitary(&mutated)),
+                    "{}: QASM round-trip changed the unitary", record
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutators_are_pure_functions_of_seed(
+        n in 2usize..6,
+        gates in 4usize..20,
+        circuit_seed in 0u64..1000,
+        mutator_seed in 0u64..1000,
+    ) {
+        let c = random_circuit(n, gates, circuit_seed);
+        for mutator in registry(0.2) {
+            let a = mutator.apply(&c, &mut StdRng::seed_from_u64(mutator_seed));
+            let b = mutator.apply(&c, &mut StdRng::seed_from_u64(mutator_seed));
+            prop_assert_eq!(a, b, "{:?} is not deterministic", mutator.kind());
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end tests of the fault-injection engine and the campaign
+//! runner: small-scale oracles against the complete DD check, the
+//! determinism contract, and the shape of the aggregated report.
+
+use qcec::campaign::{run_campaign, CampaignBenchmark, CampaignConfig, CompileRoute};
+use qcec::{check_equivalence, Config, Outcome};
+use qcirc::generators;
+use qcirc::mapping::CouplingMap;
+use qfault::{registry, GuardOptions, MutationKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Small (≤ 6 qubit) fixtures on which the complete check is instant.
+fn fixtures() -> Vec<qcirc::Circuit> {
+    vec![
+        generators::ghz(4),
+        generators::qft(4, true),
+        generators::grover(3, 5, generators::optimal_grover_iterations(3)),
+        generators::bernstein_vazirani(5, 0b10110),
+    ]
+}
+
+/// Oracle: whenever the guard labels a mutation a real fault, the flow
+/// must prove non-equivalence — and on these sizes the simulation stage
+/// should find a counterexample within a handful of runs.
+#[test]
+fn guard_confirmed_faults_are_detected_by_the_flow() {
+    let guard = GuardOptions::default();
+    let config = Config::new().with_simulations(10).with_seed(3);
+    let mut faults = 0usize;
+    let mut detected_by_sim = 0usize;
+
+    for (c_idx, circuit) in fixtures().iter().enumerate() {
+        for (m_idx, mutator) in registry(0.2).iter().enumerate() {
+            for trial in 0..3u64 {
+                let seed = 1000 * c_idx as u64 + 10 * m_idx as u64 + trial;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let Ok((mutated, record)) = mutator.apply(circuit, &mut rng) else {
+                    continue;
+                };
+                if !qfault::guard::classify(circuit, &mutated, &guard).is_fault() {
+                    continue;
+                }
+                faults += 1;
+                let result = check_equivalence(circuit, &mutated, &config).unwrap();
+                assert!(
+                    result.outcome.is_not_equivalent(),
+                    "{record}: flow missed a guard-confirmed fault"
+                );
+                if let Outcome::NotEquivalent {
+                    counterexample: Some(ce),
+                } = &result.outcome
+                {
+                    detected_by_sim += 1;
+                    assert!(ce.run <= 10, "{record}: counterexample after run 10?");
+                }
+            }
+        }
+    }
+
+    assert!(
+        faults >= 40,
+        "only {faults} confirmed faults — oracle too weak"
+    );
+    // The paper's claim: errors are caught by simulation almost always,
+    // within very few runs.
+    assert!(
+        detected_by_sim * 10 >= faults * 9,
+        "simulation found only {detected_by_sim} of {faults} faults"
+    );
+}
+
+/// Benign mutations (the guard proves the unitary unchanged) must never be
+/// flagged non-equivalent — the flow is sound.
+#[test]
+fn benign_mutations_are_never_flagged() {
+    let guard = GuardOptions::default();
+    let config = Config::new().with_simulations(10).with_seed(5);
+    let mut benign = 0usize;
+
+    for (c_idx, circuit) in fixtures().iter().enumerate() {
+        for (m_idx, mutator) in registry(0.2).iter().enumerate() {
+            for trial in 0..3u64 {
+                let seed = 2000 * c_idx as u64 + 10 * m_idx as u64 + trial;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let Ok((mutated, record)) = mutator.apply(circuit, &mut rng) else {
+                    continue;
+                };
+                if !qfault::guard::classify(circuit, &mutated, &guard).is_benign() {
+                    continue;
+                }
+                benign += 1;
+                let result = check_equivalence(circuit, &mutated, &config).unwrap();
+                assert!(
+                    result.outcome.is_equivalent(),
+                    "{record}: benign mutation flagged as {}",
+                    result.outcome
+                );
+            }
+        }
+    }
+    // SwapTargets on symmetric gates guarantees some benign instances.
+    assert!(benign > 0, "no benign mutation sampled — guard never used");
+}
+
+#[test]
+fn campaign_json_is_reproducible_and_complete() {
+    let benches = vec![
+        CampaignBenchmark::compile(
+            "ghz 4",
+            "ghz",
+            &generators::ghz(4),
+            &CompileRoute::Map(CouplingMap::linear(4)),
+        ),
+        CampaignBenchmark::optimized("qft 4", "qft", &generators::qft(4, true)),
+        CampaignBenchmark::compile(
+            "grover 3",
+            "grover",
+            &generators::grover(3, 5, 1),
+            &CompileRoute::Decompose,
+        ),
+    ];
+    let config = CampaignConfig::default()
+        .with_seed(42)
+        .with_trials(2)
+        .with_simulations(6);
+
+    let first = run_campaign(&benches, &config);
+    let second = run_campaign(&benches, &config);
+    assert_eq!(
+        first.to_json(false),
+        second.to_json(false),
+        "campaign JSON must be byte-identical for a fixed seed"
+    );
+
+    // Report shape: every error class and every family is covered.
+    let json = first.to_json(false);
+    for kind in MutationKind::ALL {
+        assert!(
+            json.contains(&format!("\"class\":\"{}\"", kind.slug())),
+            "class {kind} missing from report"
+        );
+    }
+    for family in ["ghz", "qft", "grover"] {
+        assert!(
+            json.contains(&format!("\"family\":\"{family}\"")),
+            "family {family} missing from report"
+        );
+    }
+
+    // Soundness and power, aggregated.
+    let mut faults = 0;
+    let mut detected = 0;
+    for (kind, s) in &first.classes {
+        assert_eq!(s.false_positives, 0, "{kind}: benign mutation flagged");
+        faults += s.faults;
+        detected += s.detected_by_sim + s.detected_by_complete;
+    }
+    assert!(faults > 0);
+    assert!(detected * 2 > faults, "detected {detected} of {faults}");
+}
+
+#[test]
+fn campaign_markdown_renders_every_section() {
+    let benches = vec![CampaignBenchmark::optimized(
+        "qft 4",
+        "qft",
+        &generators::qft(4, true),
+    )];
+    let config = CampaignConfig::default().with_trials(1).with_simulations(4);
+    let md = run_campaign(&benches, &config).to_markdown();
+    for section in [
+        "# Fault-injection campaign",
+        "## Benchmarks",
+        "## Detection by error class",
+        "## Detected / faults per family",
+        "stage summary",
+    ] {
+        assert!(md.contains(section), "missing section {section:?}");
+    }
+}
