@@ -28,6 +28,8 @@ struct Args {
     faults: usize,
     sims: usize,
     threads: usize,
+    trial_threads: usize,
+    guard_cache: bool,
     scale: usize,
     epsilon: f64,
     timings: bool,
@@ -42,6 +44,8 @@ impl Default for Args {
             faults: 1,
             sims: 10,
             threads: 2,
+            trial_threads: 1,
+            guard_cache: true,
             scale: bench::scale_from_env(),
             epsilon: 0.1,
             timings: false,
@@ -53,7 +57,8 @@ impl Default for Args {
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--seed N] [--trials N] [--faults N] [--sims N] \
-         [--threads N] [--scale 0|1] [--epsilon X] [--timings] [--out FILE]"
+         [--threads N] [--trial-threads N] [--no-guard-cache] \
+         [--scale 0|1] [--epsilon X] [--timings] [--out FILE]"
     );
     exit(2);
 }
@@ -74,6 +79,10 @@ fn parse_args() -> Args {
             "--faults" => args.faults = val("--faults").parse().unwrap_or_else(|_| usage()),
             "--sims" => args.sims = val("--sims").parse().unwrap_or_else(|_| usage()),
             "--threads" => args.threads = val("--threads").parse().unwrap_or_else(|_| usage()),
+            "--trial-threads" => {
+                args.trial_threads = val("--trial-threads").parse().unwrap_or_else(|_| usage());
+            }
+            "--no-guard-cache" => args.guard_cache = false,
             "--scale" => args.scale = val("--scale").parse().unwrap_or_else(|_| usage()),
             "--epsilon" => args.epsilon = val("--epsilon").parse().unwrap_or_else(|_| usage()),
             "--timings" => args.timings = true,
@@ -143,6 +152,8 @@ fn main() {
         .with_faults(args.faults)
         .with_simulations(args.sims)
         .with_threads(args.threads)
+        .with_trial_threads(args.trial_threads)
+        .with_guard_cache(args.guard_cache)
         .with_epsilon(args.epsilon);
 
     let set = benchmarks(args.scale);

@@ -1,0 +1,269 @@
+//! Hunts *escaped faults*: guard-confirmed real faults that `r = 10`
+//! random basis-state simulations fail to expose, so only the complete
+//! decision-diagram check catches them — the paper's worst case
+//! (Section IV-A: few differing columns, detection probability `2^{−c}`
+//! per run).
+//!
+//! Every find is persisted as a QASM fixture pair
+//! (`<name>.golden.qasm` / `<name>.faulty.qasm`) for the adversarial
+//! regression suite in `tests/tests/adversarial.rs`, which pins the flow's
+//! known blind spots: any change to the stimulus strategy is measured
+//! against this corpus. The faulty file records which stimulus seeds the
+//! fault escapes (`// escapes-seeds: …`); the suite replays exactly those.
+//! To grow the corpus, run
+//!
+//! ```text
+//! cargo run --release -p bench --bin escapees -- --out tests/fixtures/escapees
+//! ```
+//!
+//! and commit the new pairs (the suite discovers them by directory scan).
+//!
+//! A fault qualifies when it escapes all ten runs for at least
+//! [`MIN_ESCAPED_SEEDS`] of the [`STIM_SEEDS`] stimulus seeds — a
+//! systematic blind spot, not one lucky draw. (Empirically, *no* single
+//! gate drop in a dirty-ancilla V-chain escapes all three seeds: a drop
+//! breaks the uncompute symmetry and leaks ancilla garbage on a
+//! non-negligible input fraction. Only differences gated on *computed*
+//! ancilla wires — e.g. a spurious control on a deep ancilla — reach true
+//! `2^{−c}` behaviour on every seed.)
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+use qcec::{check_equivalence, Config, Fallback, Outcome};
+use qcirc::{decompose, generators, qasm, Circuit};
+use qfault::{registry, GuardCache, GuardOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Stimulus seeds tried against every candidate escapee. Keep in sync with
+/// the adversarial suite.
+const STIM_SEEDS: [u64; 3] = [0, 1, 2];
+/// A candidate qualifies when it escapes at least this many seeds.
+const MIN_ESCAPED_SEEDS: usize = 2;
+/// Simulations per stimulus seed — the paper's `r`.
+const SIMS: usize = 10;
+/// Mutation seeds tried per (golden, class) pair.
+const HUNT_SEEDS: u64 = 24;
+/// Cap on hunted escapees per golden circuit (the deterministic V-chain
+/// drop is emitted on top of this).
+const PER_GOLDEN: usize = 2;
+
+fn usage() -> ! {
+    eprintln!("usage: escapees [--out DIR] [--max N]");
+    exit(2);
+}
+
+/// The stimulus seeds for which `r = 10` sims alone (no fallback) fail to
+/// expose the pair. Early-exits per seed on the first counterexample, so
+/// easily-detected faults cost one or two simulations.
+fn escaping_seeds(golden: &Circuit, faulty: &Circuit) -> Vec<u64> {
+    STIM_SEEDS
+        .iter()
+        .copied()
+        .filter(|&seed| {
+            let config = Config::new()
+                .with_simulations(SIMS)
+                .with_seed(seed)
+                .with_fallback(Fallback::None)
+                .with_threads(1);
+            let result =
+                check_equivalence(golden, faulty, &config).expect("fixture pairs share a register");
+            matches!(result.outcome, Outcome::ProbablyEquivalent { .. })
+        })
+        .collect()
+}
+
+fn write_pair(
+    dir: &Path,
+    name: &str,
+    golden: &Circuit,
+    faulty: &Circuit,
+    seeds: &[u64],
+    note: &str,
+) {
+    let mut golden_src = format!("// escapee fixture '{name}': golden circuit\n");
+    golden_src.push_str(&qasm::write(golden));
+    let rendered: Vec<String> = seeds.iter().map(u64::to_string).collect();
+    let mut faulty_src = format!(
+        "// escapee fixture '{name}': {note}\n\
+         // guard: Fault; escapes r = {SIMS} sims for the seeds below\n\
+         // escapes-seeds: {}\n",
+        rendered.join(",")
+    );
+    faulty_src.push_str(&qasm::write(faulty));
+    std::fs::write(dir.join(format!("{name}.golden.qasm")), golden_src)
+        .expect("write golden fixture");
+    std::fs::write(dir.join(format!("{name}.faulty.qasm")), faulty_src)
+        .expect("write faulty fixture");
+    eprintln!("escapee: {name} (seeds {seeds:?}) — {note}");
+}
+
+/// The known `2^{−c}` escapee, found by exhaustive site scan: a CX dropped
+/// deep inside the dirty-ancilla V-chain of a 7-control MCX — the CX that
+/// writes the result onto the target, controlled by the deepest dirty
+/// ancilla. The difference is gated on a computed ancilla wire that is
+/// rarely set on random basis inputs, so each run detects it with
+/// probability ~`2^{−c}`.
+fn vchain_cx_drop(dir: &Path, guard_opts: &GuardOptions) -> usize {
+    let controls = 7;
+    let mut spec = Circuit::with_name(controls + 1, "mcx7");
+    spec.mcx((0..controls).collect(), controls);
+    let golden = decompose::decompose_with_dirty_ancillas(&spec);
+    let guard = GuardCache::new(&golden, guard_opts);
+
+    // Deep (late) sites first: drops there sit under the most accumulated
+    // control structure.
+    for site in (0..golden.len()).rev() {
+        if golden.gates()[site].controls().len() != 1 {
+            continue;
+        }
+        let mut faulty = golden.clone();
+        let removed = faulty.remove(site);
+        let seeds = escaping_seeds(&golden, &faulty);
+        if seeds.len() < MIN_ESCAPED_SEEDS || !guard.classify(&faulty).is_fault() {
+            continue;
+        }
+        write_pair(
+            dir,
+            "vchain_cx_drop",
+            &golden,
+            &faulty,
+            &seeds,
+            &format!(
+                "dropped '{removed}' (gate {site} of {}) deep in a dirty-ancilla V-chain",
+                golden.len()
+            ),
+        );
+        return 1;
+    }
+    eprintln!("warning: deterministic V-chain drop found no escapee");
+    0
+}
+
+/// Exhaustive single-gate-drop scan over one golden circuit.
+fn hunt_drops(dir: &Path, name: &str, golden: &Circuit, guard: &GuardCache, cap: usize) -> usize {
+    let mut wrote = 0;
+    for site in (0..golden.len()).rev() {
+        let mut faulty = golden.clone();
+        let removed = faulty.remove(site);
+        let seeds = escaping_seeds(golden, &faulty);
+        if seeds.len() < MIN_ESCAPED_SEEDS || !guard.classify(&faulty).is_fault() {
+            continue;
+        }
+        write_pair(
+            dir,
+            &format!("{name}_drop_{site}"),
+            golden,
+            &faulty,
+            &seeds,
+            &format!("dropped '{removed}' (gate {site} of {})", golden.len()),
+        );
+        wrote += 1;
+        if wrote >= cap {
+            break;
+        }
+    }
+    wrote
+}
+
+/// Golden circuits whose compiled structure hides low-detection-probability
+/// fault sites: dirty-ancilla V-chains and deep multi-controlled logic.
+fn golden_pool() -> Vec<(String, Circuit)> {
+    let mut pool = Vec::new();
+    let mut mcx6 = Circuit::with_name(7, "mcx6");
+    mcx6.mcx((0..6).collect(), 6);
+    pool.push((
+        "mcx6_vchain".to_string(),
+        decompose::decompose_with_dirty_ancillas(&mcx6),
+    ));
+    pool.push((
+        "toffnet8_vchain".to_string(),
+        decompose::decompose_with_dirty_ancillas(&generators::toffoli_network(8, 30, 3, 11)),
+    ));
+    pool.push((
+        "grover4_vchain".to_string(),
+        decompose::decompose_with_dirty_ancillas(&generators::grover(
+            4,
+            0b1011,
+            generators::optimal_grover_iterations(4),
+        )),
+    ));
+    pool.push((
+        "bv10".to_string(),
+        generators::bernstein_vazirani(10, 0b1011011011),
+    ));
+    pool
+}
+
+fn main() {
+    let mut out_dir = PathBuf::from("tests/fixtures/escapees");
+    let mut max = 8usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out_dir = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--max" => {
+                max = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    std::fs::create_dir_all(&out_dir).expect("create fixture directory");
+
+    let guard_opts = GuardOptions::default();
+    let mut found = vchain_cx_drop(&out_dir, &guard_opts);
+
+    'pool: for (name, golden) in golden_pool() {
+        if golden.n_qubits() > guard_opts.max_qubits {
+            eprintln!("skipping {name}: register exceeds the guard limit");
+            continue;
+        }
+        let guard = GuardCache::new(&golden, &guard_opts);
+        let mut per_golden = hunt_drops(&out_dir, &name, &golden, &guard, PER_GOLDEN);
+        found += per_golden;
+        if found >= max {
+            break 'pool;
+        }
+        for mutator in registry(0.1) {
+            if per_golden >= PER_GOLDEN {
+                break;
+            }
+            for seed in 0..HUNT_SEEDS {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let Ok((faulty, record)) = mutator.apply(&golden, &mut rng) else {
+                    continue;
+                };
+                let seeds = escaping_seeds(&golden, &faulty);
+                if seeds.len() < MIN_ESCAPED_SEEDS || !guard.classify(&faulty).is_fault() {
+                    continue;
+                }
+                write_pair(
+                    &out_dir,
+                    &format!("{name}_{}_{seed}", record.kind.slug()),
+                    &golden,
+                    &faulty,
+                    &seeds,
+                    &record.to_string(),
+                );
+                found += 1;
+                per_golden += 1;
+                if found >= max {
+                    break 'pool;
+                }
+                if per_golden >= PER_GOLDEN {
+                    break;
+                }
+            }
+        }
+    }
+
+    eprintln!("{found} escapee pair(s) in {}", out_dir.display());
+    if found < 4 {
+        eprintln!("error: hunt produced fewer than 4 pairs");
+        exit(1);
+    }
+}

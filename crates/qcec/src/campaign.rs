@@ -16,6 +16,25 @@
 //! index)`, and the default JSON rendering excludes wall-clock time so two
 //! runs with the same seed are byte-identical.
 //!
+//! # Scaling
+//!
+//! Two knobs make thousands-of-trials sweeps tractable without touching
+//! the contract above:
+//!
+//! * **trial-level parallelism** ([`CampaignConfig::with_trial_threads`]):
+//!   the (benchmark × class × trial) cells fan across a worker pool. Trial
+//!   seeds are independent SplitMix derivations, workers claim cells from
+//!   a shared counter, and results are merged in deterministic trial order
+//!   — never completion order — so the reproducible JSON is byte-identical
+//!   for any worker count;
+//! * **memoized guarding** ([`CampaignConfig::with_guard_cache`], default
+//!   on): golden-side guard work is done once per benchmark
+//!   ([`qfault::GuardCache`]) instead of once per trial — each mutant is
+//!   diffed against the memoized golden gate list so only the differing
+//!   gates are completely checked (exact, by unitary conjugation), with
+//!   the golden DD built once as the whole-circuit fallback. Labels are
+//!   identical either way.
+//!
 //! # Examples
 //!
 //! ```
@@ -29,12 +48,13 @@
 //! ```
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use qcirc::mapping::{route, CouplingMap, RouterOptions};
 use qcirc::{decompose, optimize, Circuit};
-use qfault::{registry, GuardOptions, GuardVerdict, MutationKind, Mutator};
+use qfault::{registry, GuardCache, GuardOptions, GuardVerdict, MutationKind, Mutator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -134,6 +154,17 @@ pub struct CampaignConfig {
     pub simulations: usize,
     /// Worker threads for the checking flow (≥ 2 exercises the scheduler).
     pub threads: usize,
+    /// Worker threads at the *trial* level: (benchmark × class × trial)
+    /// cells are fanned across this many workers. Every trial is a pure
+    /// function of its derived seed and results are merged in trial order,
+    /// so the campaign's reproducible JSON is byte-identical for any value
+    /// here (1 = the sequential inner loop).
+    pub trial_threads: usize,
+    /// Memoize the golden circuit `G'`'s decision diagram per benchmark
+    /// (build once, check every mutant against the cached DD) instead of
+    /// rebuilding it inside each trial's guard check. Labels are identical
+    /// either way; `false` is the ablation baseline.
+    pub guard_cache: bool,
     /// Magnitude of [`qfault::PerturbAngle`] offsets.
     pub epsilon: f64,
     /// Budget for the benign-mutation guard.
@@ -154,6 +185,8 @@ impl Default for CampaignConfig {
             faults: 1,
             simulations: 10,
             threads: 2,
+            trial_threads: 1,
+            guard_cache: true,
             epsilon: 0.1,
             guard: GuardOptions::default(),
             deadline: Some(Duration::from_secs(30)),
@@ -195,6 +228,20 @@ impl CampaignConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the trial-level worker count (1 = sequential trials).
+    #[must_use]
+    pub fn with_trial_threads(mut self, trial_threads: usize) -> Self {
+        self.trial_threads = trial_threads;
+        self
+    }
+
+    /// Enables or disables the per-benchmark memoized guard DD.
+    #[must_use]
+    pub fn with_guard_cache(mut self, guard_cache: bool) -> Self {
+        self.guard_cache = guard_cache;
         self
     }
 
@@ -278,7 +325,10 @@ pub struct ClassStats {
 }
 
 impl ClassStats {
-    fn record(&mut self, t: &TrialRecord) {
+    /// Folds one trial into the aggregate. Benign mutations are excluded
+    /// from the detection-rate population by construction: they can add to
+    /// `false_positives` (flow unsoundness) but never to `missed`.
+    pub fn record(&mut self, t: &TrialRecord) {
         self.trials += 1;
         self.total_sims += t.sims_run;
         let Some(detection) = t.detection else {
@@ -360,6 +410,21 @@ pub struct FamilyCell {
     pub detected: usize,
 }
 
+/// Cost accounting for the benign-mutation guard across a whole campaign.
+/// Wall-clock fields are scheduling-dependent; the build/check counters
+/// depend on `trial_threads` and `guard_cache` but not on the seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Total wall time spent labelling mutations.
+    pub guard_time: Duration,
+    /// Golden-circuit DD constructions. With the cache on this is at most
+    /// `benchmarks × concurrent workers` (exactly `benchmarks` when
+    /// sequential); without it, one per checked trial.
+    pub golden_builds: usize,
+    /// Mutations labelled by a complete check.
+    pub checks: usize,
+}
+
 /// The complete outcome of [`run_campaign`].
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
@@ -379,6 +444,11 @@ pub struct CampaignResult {
     /// Scheduler-event summary accumulated over all flow invocations
     /// (wall-clock fields are only rendered on request).
     pub stage_timings: StageTimings,
+    /// Guard cost accounting (wall-clock; never part of reproducible JSON).
+    pub guard_stats: GuardStats,
+    /// Campaign wall-clock from first to last trial (never part of
+    /// reproducible JSON).
+    pub wall_time: Duration,
 }
 
 /// Derives the seed of one trial from the campaign seed and the trial's
@@ -397,14 +467,35 @@ pub fn trial_seed(seed: u64, benchmark: usize, class: usize, trial: usize) -> u6
     z
 }
 
+/// One (benchmark × class × trial) cell of the campaign's work list.
+#[derive(Debug, Clone, Copy)]
+struct TrialCell {
+    benchmark: usize,
+    class: usize,
+    trial: usize,
+    seed: u64,
+}
+
+/// What one executed cell hands back to the deterministic merge.
+struct TrialOutput {
+    record: TrialRecord,
+    timings: StageTimings,
+    guard_time: Duration,
+}
+
 /// Runs the detection-power experiment: for every benchmark × error class ×
 /// trial, inject `faults` seeded mutations into `G'`, label them with the
 /// guard, and run the full checking flow against `G`.
 ///
-/// The result is a pure function of `(benchmarks, config)` — see the
-/// module docs.
+/// Cells are executed by `config.trial_threads` workers. Each trial is a
+/// pure function of its [`trial_seed`]-derived seed, and results are merged
+/// back in deterministic trial order (never completion order), so the
+/// reproducible JSON rendering ([`CampaignResult::to_json`] without
+/// timings) is a pure function of `(benchmarks, config.seed, …)` —
+/// byte-identical for any worker count. See the module docs.
 #[must_use]
 pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -> CampaignResult {
+    let start = Instant::now();
     let mutators = registry(config.epsilon);
     let mut families: Vec<String> = Vec::new();
     for b in benchmarks {
@@ -412,32 +503,124 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
             families.push(b.family.clone());
         }
     }
-    let mut cells = vec![vec![FamilyCell::default(); mutators.len()]; families.len()];
+
+    // The work list, in the deterministic order results are merged in.
+    let cells: Vec<TrialCell> = benchmarks
+        .iter()
+        .enumerate()
+        .flat_map(|(b_idx, _)| {
+            let trials = config.trials;
+            (0..mutators.len()).flat_map(move |k_idx| {
+                (0..trials).map(move |t_idx| TrialCell {
+                    benchmark: b_idx,
+                    class: k_idx,
+                    trial: t_idx,
+                    seed: trial_seed(config.seed, b_idx, k_idx, t_idx),
+                })
+            })
+        })
+        .collect();
+
+    // One memoized guard per benchmark: golden-side work (the gate list
+    // mutants are diffed against, and the golden DD for whole-circuit
+    // fallbacks) happens here once, instead of inside every trial. The
+    // eager builds are charged to guard time below, so the cached/uncached
+    // comparison stays honest.
+    let guard_setup = Instant::now();
+    let guards: Option<Vec<GuardCache>> = config.guard_cache.then(|| {
+        benchmarks
+            .iter()
+            .map(|b| GuardCache::new(&b.alternative, &config.guard))
+            .collect()
+    });
+    let guard_setup_time = guard_setup.elapsed();
+
+    let workers = config.trial_threads.max(1).min(cells.len().max(1));
+    let outputs: Vec<TrialOutput> = if workers <= 1 {
+        cells
+            .iter()
+            .map(|cell| run_cell(benchmarks, &mutators, guards.as_deref(), cell, config))
+            .collect()
+    } else {
+        // Workers claim cell indices in order from a shared counter and
+        // report `(index, output)` pairs; completion order is irrelevant
+        // because the merge below re-sorts into trial order by slot.
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<TrialOutput>> = Vec::new();
+        slots.resize_with(cells.len(), || None);
+        let chunks = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let cells = &cells;
+                    let mutators = &mutators;
+                    let guards = guards.as_deref();
+                    scope.spawn(move || {
+                        let mut done: Vec<(usize, TrialOutput)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(cell) = cells.get(i) else { break };
+                            done.push((i, run_cell(benchmarks, mutators, guards, cell, config)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign trial worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (i, output) in chunks.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "cell {i} executed twice");
+            slots[i] = Some(output);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every cell was claimed exactly once"))
+            .collect()
+    };
+
+    // Deterministic merge: aggregate in trial order, exactly as the
+    // sequential inner loop would have.
+    let mut cell_stats = vec![vec![FamilyCell::default(); mutators.len()]; families.len()];
     let mut classes: Vec<(MutationKind, ClassStats)> = mutators
         .iter()
         .map(|m| (m.kind(), ClassStats::default()))
         .collect();
-    let mut trials = Vec::new();
+    let mut trials = Vec::with_capacity(outputs.len());
     let mut stage_timings = StageTimings::default();
-
-    for (b_idx, bench) in benchmarks.iter().enumerate() {
-        let family = families.iter().position(|f| f == &bench.family).unwrap();
-        for (k_idx, mutator) in mutators.iter().enumerate() {
-            for t_idx in 0..config.trials {
-                let seed = trial_seed(config.seed, b_idx, k_idx, t_idx);
-                let record = run_trial(bench, b_idx, mutator.as_ref(), t_idx, seed, config);
-                stage_timings = accumulate(stage_timings, record.1);
-                let record = record.0;
-                classes[k_idx].1.record(&record);
-                if record.guard.is_fault() {
-                    let cell = &mut cells[family][k_idx];
-                    cell.faults += 1;
-                    if !matches!(record.detection, Some(Detection::Missed) | None) {
-                        cell.detected += 1;
-                    }
-                }
-                trials.push(record);
+    let mut guard_stats = GuardStats::default();
+    for output in outputs {
+        stage_timings = accumulate(stage_timings, output.timings);
+        guard_stats.guard_time += output.guard_time;
+        let record = output.record;
+        let k_idx = cells[trials.len()].class;
+        let family = families
+            .iter()
+            .position(|f| f == &benchmarks[record.benchmark].family)
+            .expect("every benchmark's family is registered");
+        classes[k_idx].1.record(&record);
+        if record.guard.is_fault() {
+            let cell = &mut cell_stats[family][k_idx];
+            cell.faults += 1;
+            if !matches!(record.detection, Some(Detection::Missed) | None) {
+                cell.detected += 1;
             }
+        }
+        trials.push(record);
+    }
+    match &guards {
+        Some(caches) => {
+            guard_stats.guard_time += guard_setup_time;
+            guard_stats.golden_builds = caches.iter().map(GuardCache::golden_builds).sum();
+            guard_stats.checks = caches.iter().map(GuardCache::mutants_checked).sum();
+        }
+        None => {
+            // Without memoization every applicable trial built the golden
+            // DD from scratch inside its own check.
+            guard_stats.checks = trials.iter().filter(|t| !t.mutations.is_empty()).count();
+            guard_stats.golden_builds = guard_stats.checks;
         }
     }
 
@@ -457,9 +640,11 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
             .collect(),
         classes,
         families,
-        cells,
+        cells: cell_stats,
         trials,
         stage_timings,
+        guard_stats,
+        wall_time: start.elapsed(),
     }
 }
 
@@ -473,14 +658,33 @@ fn accumulate(a: StageTimings, b: StageTimings) -> StageTimings {
     }
 }
 
+fn run_cell(
+    benchmarks: &[CampaignBenchmark],
+    mutators: &[Box<dyn Mutator>],
+    guards: Option<&[GuardCache]>,
+    cell: &TrialCell,
+    config: &CampaignConfig,
+) -> TrialOutput {
+    run_trial(
+        &benchmarks[cell.benchmark],
+        cell.benchmark,
+        mutators[cell.class].as_ref(),
+        guards.map(|g| &g[cell.benchmark]),
+        cell.trial,
+        cell.seed,
+        config,
+    )
+}
+
 fn run_trial(
     bench: &CampaignBenchmark,
     b_idx: usize,
     mutator: &dyn Mutator,
+    guard_cache: Option<&GuardCache>,
     t_idx: usize,
     seed: u64,
     config: &CampaignConfig,
-) -> (TrialRecord, StageTimings) {
+) -> TrialOutput {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut mutated = bench.alternative.clone();
     let mut mutations = Vec::new();
@@ -492,8 +696,8 @@ fn run_trial(
             }
             Err(_) if mutations.is_empty() => {
                 // The class has no applicable site at all — record and bail.
-                return (
-                    TrialRecord {
+                return TrialOutput {
+                    record: TrialRecord {
                         benchmark: b_idx,
                         kind: mutator.kind(),
                         trial: t_idx,
@@ -505,8 +709,9 @@ fn run_trial(
                         detection: None,
                         sims_run: 0,
                     },
-                    StageTimings::default(),
-                );
+                    timings: StageTimings::default(),
+                    guard_time: Duration::ZERO,
+                };
             }
             // Later faults may become inapplicable (e.g. RemoveGate emptied
             // the circuit); keep what was injected so far.
@@ -514,7 +719,12 @@ fn run_trial(
         }
     }
 
-    let guard = qfault::guard::classify(&bench.alternative, &mutated, &config.guard);
+    let guard_start = Instant::now();
+    let guard = match guard_cache {
+        Some(cache) => cache.classify(&mutated),
+        None => qfault::guard::classify(&bench.alternative, &mutated, &config.guard),
+    };
+    let guard_time = guard_start.elapsed();
 
     let sink = Arc::new(CollectingSink::new());
     let flow_config = Config::new()
@@ -539,8 +749,8 @@ fn run_trial(
         _ => Detection::Missed,
     });
 
-    (
-        TrialRecord {
+    TrialOutput {
+        record: TrialRecord {
             benchmark: b_idx,
             kind: mutator.kind(),
             trial: t_idx,
@@ -551,7 +761,8 @@ fn run_trial(
             sims_run: result.stats.simulations_run,
         },
         timings,
-    )
+        guard_time,
+    }
 }
 
 impl CampaignResult {
@@ -630,9 +841,24 @@ impl CampaignResult {
 
         // The stage summary is entirely timing-dependent: even its
         // counters (how many in-flight runs finish before a cancellation
-        // lands) vary between runs, so it only renders on request.
+        // lands) vary between runs, so it only renders on request. The
+        // guard summary likewise (its build counter depends on worker
+        // overlap). Execution knobs (`trial_threads`, `guard_cache`) are
+        // deliberately absent from the config object above: they must not
+        // change the reproducible rendering.
         if with_timings {
             root.raw("stage_summary", self.stage_timings.to_json(true));
+            let mut guard = json::Obj::new();
+            guard
+                .num("t_guard_s", self.guard_stats.guard_time.as_secs_f64())
+                .int("golden_builds", self.guard_stats.golden_builds as u64)
+                .int("checks", self.guard_stats.checks as u64);
+            root.raw("guard_summary", guard.render());
+            let mut run = json::Obj::new();
+            run.num("wall_s", self.wall_time.as_secs_f64())
+                .int("trial_threads", self.config.trial_threads as u64)
+                .int("guard_cache", u64::from(self.config.guard_cache));
+            root.raw("run_summary", run.render());
         }
         root.render()
     }
@@ -711,6 +937,22 @@ impl CampaignResult {
             self.stage_timings.simulation_time.as_secs_f64(),
             self.stage_timings.functional_time.as_secs_f64(),
         ));
+        out.push_str(&format!(
+            "guard summary: {} checks, {} golden DD build(s) ({}), t_guard {:.3}s\n",
+            self.guard_stats.checks,
+            self.guard_stats.golden_builds,
+            if self.config.guard_cache {
+                "memoized"
+            } else {
+                "per-trial"
+            },
+            self.guard_stats.guard_time.as_secs_f64(),
+        ));
+        out.push_str(&format!(
+            "campaign wall-clock: {:.3}s with {} trial worker(s)\n",
+            self.wall_time.as_secs_f64(),
+            self.config.trial_threads.max(1),
+        ));
         out
     }
 }
@@ -776,6 +1018,44 @@ mod tests {
         assert_eq!(a, b, "same seed must render byte-identical JSON");
         let other = run_campaign(&benches, &config.clone().with_seed(99)).to_json(false);
         assert_ne!(a, other, "different seeds explore different faults");
+    }
+
+    #[test]
+    fn trial_pool_preserves_the_byte_identical_contract() {
+        let (benches, config) = tiny_campaign();
+        let sequential = run_campaign(&benches, &config);
+        for workers in [2, 5] {
+            let pooled = run_campaign(&benches, &config.clone().with_trial_threads(workers));
+            assert_eq!(
+                sequential.to_json(false),
+                pooled.to_json(false),
+                "{workers} trial workers changed the reproducible JSON"
+            );
+            // Stronger than the JSON: every trial record agrees.
+            assert_eq!(sequential.trials.len(), pooled.trials.len());
+            for (a, b) in sequential.trials.iter().zip(&pooled.trials) {
+                assert_eq!(a.seed, b.seed);
+                assert_eq!(a.mutations, b.mutations);
+                assert_eq!(a.detection, b.detection);
+                assert_eq!(a.guard.is_fault(), b.guard.is_fault());
+            }
+        }
+    }
+
+    #[test]
+    fn guard_cache_ablation_changes_labels_not_at_all() {
+        let (benches, config) = tiny_campaign();
+        let cached = run_campaign(&benches, &config);
+        let uncached = run_campaign(&benches, &config.clone().with_guard_cache(false));
+        assert_eq!(cached.to_json(false), uncached.to_json(false));
+        // The memoized run built one golden DD per benchmark; the ablation
+        // paid one build per checked trial.
+        assert_eq!(cached.guard_stats.golden_builds, benches.len());
+        assert_eq!(
+            uncached.guard_stats.golden_builds,
+            uncached.guard_stats.checks
+        );
+        assert!(uncached.guard_stats.golden_builds > cached.guard_stats.golden_builds);
     }
 
     #[test]

@@ -195,38 +195,40 @@ fn construct_with_budget(
         g_prime.n_qubits(),
         "circuits must have equal qubit counts"
     );
-    let (u, _) = circuit_medge_with_deadline(package, g, &deadline, None)?;
-    let (u_prime, kept) = circuit_medge_with_deadline(package, g_prime, &deadline, Some(u))?;
-    let u = kept.expect("keep-root requested");
+    let mut u = circuit_medge_with_deadline(package, g, &deadline, None)?;
+    let u_prime = circuit_medge_with_deadline(package, g_prime, &deadline, Some(&mut u))?;
     Ok(compare_roots(package, u, u_prime))
 }
 
 /// Builds a circuit DD under a deadline, garbage-collecting as it goes.
-/// `keep` is an extra root that must survive GC; its (possibly remapped)
-/// edge is handed back.
+/// `keep` is an extra root that must survive GC; it is remapped in place so
+/// it stays valid even when the build aborts mid-circuit (a caller like
+/// `qdd::CachedDd` relies on that to keep its golden root usable after a
+/// timed-out check).
 pub(crate) fn circuit_medge_with_deadline(
     package: &mut Package,
     circuit: &Circuit,
     deadline: &Deadline<'_>,
-    keep: Option<crate::edge::MEdge>,
-) -> Result<(crate::edge::MEdge, Option<crate::edge::MEdge>), DdCheckAbort> {
+    mut keep: Option<&mut crate::edge::MEdge>,
+) -> Result<crate::edge::MEdge, DdCheckAbort> {
     let mut u = package.identity_medge();
-    let mut keep = keep;
     for gate in circuit.gates() {
         deadline.check()?;
         let g = package.gate_medge(gate)?;
         u = package.mul_mm(g, u)?;
         if package.wants_gc() {
             let mut roots = vec![u];
-            roots.extend(keep);
+            if let Some(k) = keep.as_deref() {
+                roots.push(*k);
+            }
             let (remapped, _) = package.compact(&roots, &[]);
             u = remapped[0];
-            if keep.is_some() {
-                keep = Some(remapped[1]);
+            if let Some(k) = keep.as_deref_mut() {
+                *k = remapped[1];
             }
         }
     }
-    Ok((u, keep))
+    Ok(u)
 }
 
 /// Tolerance for the drift-robust entry-wise comparison (well above the

@@ -36,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 mod alternating;
+mod cached;
 mod check;
 mod complex_table;
 pub mod dot;
@@ -43,6 +44,7 @@ mod edge;
 mod package;
 
 pub use alternating::{check_equivalence_alternating, check_equivalence_alternating_cancellable};
+pub use cached::{CachedDd, SharedDd};
 pub use check::{
     check_equivalence_construct, check_equivalence_construct_cancellable, DdCheckAbort,
     DdEquivalence,

@@ -57,7 +57,7 @@ pub mod guard;
 mod mutation;
 mod mutators;
 
-pub use guard::{GuardOptions, GuardVerdict};
+pub use guard::{GuardCache, GuardOptions, GuardVerdict};
 pub use mutation::{MutateError, Mutation, MutationKind};
 pub use mutators::{
     mutator_for, registry, AddControl, AddGate, Mutator, PerturbAngle, RelabelQubits,

@@ -174,3 +174,151 @@ fn register_mismatch_is_rejected_not_guessed() {
     let b = generators::ghz(5);
     assert!(check_equivalence_default(&a, &b).is_err());
 }
+
+// ---------------------------------------------------------------------------
+// Escaped-fault corpus: guard-confirmed real faults that `r = 10` random
+// basis-state simulations systematically miss (detection probability
+// ~`2^{−c}` per run — Section IV-A's law at its worst). The pairs live in
+// `tests/fixtures/escapees/` as `<name>.golden.qasm` / `<name>.faulty.qasm`,
+// generated by `cargo run --release -p bench --bin escapees`; each faulty
+// file records the stimulus seeds it escapes (`// escapes-seeds: …`).
+// Any change to the stimulus strategy is measured against this corpus: a
+// fixture "regression" here means the strategy now catches a fault it
+// systematically missed before — delete the fixture only with that
+// understanding.
+// ---------------------------------------------------------------------------
+
+/// One persisted escapee: the circuit pair plus the stimulus seeds the
+/// fault is known to escape.
+struct Escapee {
+    name: String,
+    golden: Circuit,
+    faulty: Circuit,
+    escapes_seeds: Vec<u64>,
+}
+
+fn escapee_corpus() -> Vec<Escapee> {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/escapees");
+    let mut corpus = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("escapee fixture directory")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.to_string_lossy().ends_with(".golden.qasm"))
+        .collect();
+    entries.sort();
+    for golden_path in entries {
+        let name = golden_path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .trim_end_matches(".golden.qasm")
+            .to_string();
+        let faulty_path = golden_path
+            .to_string_lossy()
+            .replace(".golden.qasm", ".faulty.qasm");
+        let golden_src = std::fs::read_to_string(&golden_path).unwrap();
+        let faulty_src = std::fs::read_to_string(&faulty_path)
+            .unwrap_or_else(|_| panic!("{name}: faulty half of the pair is missing"));
+        let escapes_seeds = faulty_src
+            .lines()
+            .find_map(|l| l.strip_prefix("// escapes-seeds: "))
+            .unwrap_or_else(|| panic!("{name}: no escapes-seeds header"))
+            .split(',')
+            .map(|s| s.trim().parse().expect("seed"))
+            .collect();
+        corpus.push(Escapee {
+            name,
+            golden: qcirc::qasm::parse(&golden_src).unwrap(),
+            faulty: qcirc::qasm::parse(&faulty_src).unwrap(),
+            escapes_seeds,
+        });
+    }
+    corpus
+}
+
+/// The corpus holds the known V-chain CX drop plus at least three hunted
+/// escapees, and every pair is a *real* fault: the complete DD check
+/// (here via the guard) proves non-equivalence.
+#[test]
+fn escapee_corpus_is_populated_with_guard_confirmed_faults() {
+    let corpus = escapee_corpus();
+    assert!(
+        corpus.len() >= 4,
+        "corpus has only {} pairs — regenerate with `bench --bin escapees`",
+        corpus.len()
+    );
+    assert!(
+        corpus.iter().any(|e| e.name == "vchain_cx_drop"),
+        "the known V-chain CX-drop escapee is missing"
+    );
+    for e in &corpus {
+        let verdict =
+            qfault::guard::classify(&e.golden, &e.faulty, &qfault::GuardOptions::default());
+        assert!(
+            verdict.is_fault(),
+            "{}: expected a guard-confirmed fault, got {verdict}",
+            e.name
+        );
+        assert!(
+            !e.escapes_seeds.is_empty(),
+            "{}: no escaping seeds recorded",
+            e.name
+        );
+    }
+}
+
+/// Each persisted fault still escapes `r = 10` simulations for every
+/// recorded stimulus seed: with the fallback disabled the flow can only
+/// answer "probably equivalent" — the wrong answer, by design.
+#[test]
+fn escapees_still_escape_ten_simulations() {
+    for e in &escapee_corpus() {
+        for &seed in &e.escapes_seeds {
+            let config = Config::new()
+                .with_simulations(10)
+                .with_seed(seed)
+                .with_fallback(Fallback::None)
+                .with_threads(1);
+            let result = check_equivalence(&e.golden, &e.faulty, &config).unwrap();
+            assert!(
+                matches!(result.outcome, Outcome::ProbablyEquivalent { .. }),
+                "{} (seed {seed}): stimulus strategy now detects this fault \
+                 ({}) — the corpus contract changed, see the module comment",
+                e.name,
+                result.outcome
+            );
+        }
+    }
+}
+
+/// The full flow (simulations + complete-check fallback) must catch every
+/// escapee: this is precisely the case that justifies the fallback stage.
+#[test]
+fn full_flow_catches_every_escapee() {
+    for e in &escapee_corpus() {
+        let config = Config::new()
+            .with_simulations(10)
+            .with_seed(e.escapes_seeds[0])
+            .with_threads(1);
+        let result = check_equivalence(&e.golden, &e.faulty, &config).unwrap();
+        assert!(
+            result.outcome.is_not_equivalent(),
+            "{}: full flow missed a persisted escapee ({})",
+            e.name,
+            result.outcome
+        );
+        // The counterexample did NOT come from the simulation stage for
+        // the recorded seed — the complete check decided.
+        assert!(
+            matches!(
+                result.outcome,
+                Outcome::NotEquivalent {
+                    counterexample: None
+                }
+            ),
+            "{}: expected the complete check to decide, got {}",
+            e.name,
+            result.outcome
+        );
+    }
+}

@@ -179,3 +179,97 @@ fn campaign_markdown_renders_every_section() {
         assert!(md.contains(section), "missing section {section:?}");
     }
 }
+
+/// The tentpole contract: identical seeds produce byte-identical JSON for
+/// any trial-thread count. Workers claim cells dynamically, so completion
+/// order varies — the deterministic merge must hide that entirely.
+#[test]
+fn campaign_json_is_byte_identical_across_trial_thread_counts() {
+    let benches = vec![
+        CampaignBenchmark::compile(
+            "ghz 4",
+            "ghz",
+            &generators::ghz(4),
+            &CompileRoute::Map(CouplingMap::linear(4)),
+        ),
+        CampaignBenchmark::optimized("qft 4", "qft", &generators::qft(4, true)),
+        CampaignBenchmark::compile(
+            "grover 3",
+            "grover",
+            &generators::grover(3, 5, 1),
+            &CompileRoute::Decompose,
+        ),
+    ];
+    let base = CampaignConfig::default()
+        .with_seed(11)
+        .with_trials(3)
+        .with_simulations(6);
+    let reference = run_campaign(&benches, &base.clone().with_trial_threads(1)).to_json(false);
+    for threads in [2usize, 8] {
+        let parallel =
+            run_campaign(&benches, &base.clone().with_trial_threads(threads)).to_json(false);
+        assert_eq!(
+            reference, parallel,
+            "trial_threads = {threads} changed the reproducible JSON"
+        );
+    }
+}
+
+/// Guard memoization is an execution detail: switching the cache off must
+/// not change one byte of the reproducible report.
+#[test]
+fn campaign_json_is_byte_identical_with_and_without_guard_cache() {
+    let benches = vec![
+        CampaignBenchmark::optimized("qft 4", "qft", &generators::qft(4, true)),
+        CampaignBenchmark::compile(
+            "grover 3",
+            "grover",
+            &generators::grover(3, 5, 1),
+            &CompileRoute::Decompose,
+        ),
+    ];
+    let base = CampaignConfig::default()
+        .with_seed(13)
+        .with_trials(2)
+        .with_simulations(6);
+    let cached = run_campaign(&benches, &base.clone().with_guard_cache(true));
+    let uncached = run_campaign(&benches, &base.clone().with_guard_cache(false));
+    assert_eq!(cached.to_json(false), uncached.to_json(false));
+    // The cache's entire point: one golden build per benchmark instead of
+    // one per checked trial.
+    assert_eq!(cached.guard_stats.golden_builds, benches.len());
+    assert_eq!(
+        uncached.guard_stats.golden_builds,
+        uncached.guard_stats.checks
+    );
+    assert!(uncached.guard_stats.golden_builds > cached.guard_stats.golden_builds);
+}
+
+/// Double faults that cancel are guard-labelled benign; the accounting must
+/// file such trials under `benign` and never under `missed`, whatever the
+/// flow answered.
+#[test]
+fn benign_trials_are_never_counted_as_detection_misses() {
+    use qcec::campaign::{ClassStats, Detection, TrialRecord};
+    let benign_trial = |detection| TrialRecord {
+        benchmark: 0,
+        kind: MutationKind::AddGate,
+        trial: 0,
+        seed: 7,
+        mutations: vec!["add_gate then remove_gate, cancelling".into()],
+        guard: qfault::GuardVerdict::Benign { phase: Some(0.0) },
+        detection: Some(detection),
+        sims_run: 6,
+    };
+    let mut stats = ClassStats::default();
+    // The flow correctly found no difference.
+    stats.record(&benign_trial(Detection::Missed));
+    assert_eq!((stats.benign, stats.missed), (1, 0));
+    assert_eq!(stats.false_positives, 0);
+    // Even a (hypothetically unsound) flow verdict must not leak a benign
+    // trial into the missed-fault count — it is a false positive instead.
+    stats.record(&benign_trial(Detection::Simulation { sims: 1 }));
+    assert_eq!((stats.benign, stats.missed), (2, 0));
+    assert_eq!(stats.false_positives, 1);
+    assert_eq!(stats.faults, 0, "benign trials are not faults");
+}
