@@ -14,11 +14,19 @@
 //! cargo run --release -p bench --bin campaign -- \
 //!     --seed 7 --trials 5 --faults 1 --sims 10 --threads 2 --scale 0
 //! ```
+//!
+//! `--stimuli basis,product,stabilizer` ablates over stimulus strategies
+//! (every fault is checked once per strategy). `--pair golden,faulty`
+//! (repeatable; `.qasm` or `.real` files) switches to *pair-audit* mode:
+//! instead of the synthetic campaign, each explicit pair is labelled by
+//! the guard and checked `--trials` times per strategy with the
+//! simulation stage alone, measuring raw detection power.
 
 use std::io::Write as _;
 use std::process::exit;
 
-use qcec::campaign::{run_campaign, CampaignBenchmark, CampaignConfig, CompileRoute};
+use qcec::campaign::{audit_pair, run_campaign, CampaignBenchmark, CampaignConfig, CompileRoute};
+use qcec::StimulusStrategy;
 use qcirc::generators;
 use qcirc::mapping::CouplingMap;
 
@@ -34,6 +42,8 @@ struct Args {
     epsilon: f64,
     timings: bool,
     out: Option<String>,
+    stimuli: Vec<StimulusStrategy>,
+    pairs: Vec<(String, String)>,
 }
 
 impl Default for Args {
@@ -50,6 +60,8 @@ impl Default for Args {
             epsilon: 0.1,
             timings: false,
             out: None,
+            stimuli: vec![StimulusStrategy::Random],
+            pairs: Vec::new(),
         }
     }
 }
@@ -58,9 +70,55 @@ fn usage() -> ! {
     eprintln!(
         "usage: campaign [--seed N] [--trials N] [--faults N] [--sims N] \
          [--threads N] [--trial-threads N] [--no-guard-cache] \
-         [--scale 0|1] [--epsilon X] [--timings] [--out FILE]"
+         [--scale 0|1] [--epsilon X] [--timings] [--out FILE] \
+         [--stimuli S[,S...]] [--pair GOLDEN,FAULTY]...\n\
+         stimulus strategies: basis|sequential|product|stabilizer"
     );
     exit(2);
+}
+
+fn parse_stimuli(spec: &str) -> Vec<StimulusStrategy> {
+    let strategies: Vec<StimulusStrategy> = spec
+        .split(',')
+        .map(|s| {
+            StimulusStrategy::parse(s).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                usage()
+            })
+        })
+        .collect();
+    if strategies.is_empty() {
+        usage();
+    }
+    strategies
+}
+
+fn parse_pair(spec: &str) -> (String, String) {
+    match spec.split_once(',') {
+        Some((golden, faulty)) if !golden.is_empty() && !faulty.is_empty() => {
+            (golden.to_string(), faulty.to_string())
+        }
+        _ => {
+            eprintln!("--pair expects GOLDEN,FAULTY file paths");
+            usage()
+        }
+    }
+}
+
+fn load_circuit(path: &str) -> qcirc::Circuit {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let parsed = if path.ends_with(".real") {
+        qcirc::real::parse(&text).map_err(|e| e.to_string())
+    } else {
+        qcirc::qasm::parse(&text).map_err(|e| e.to_string())
+    };
+    parsed.unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1);
+    })
 }
 
 fn parse_args() -> Args {
@@ -87,6 +145,8 @@ fn parse_args() -> Args {
             "--epsilon" => args.epsilon = val("--epsilon").parse().unwrap_or_else(|_| usage()),
             "--timings" => args.timings = true,
             "--out" => args.out = Some(val("--out")),
+            "--stimuli" => args.stimuli = parse_stimuli(&val("--stimuli")),
+            "--pair" => args.pairs.push(parse_pair(&val("--pair"))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -144,6 +204,48 @@ fn benchmarks(scale: usize) -> Vec<CampaignBenchmark> {
     set
 }
 
+/// Pair-audit mode: label each explicit golden/faulty pair with the guard,
+/// then measure each stimulus strategy's raw (simulation-only) detection
+/// power on it. Markdown → stderr/`--out`, JSON array → stdout.
+fn run_pair_audits(args: &Args, config: &CampaignConfig) {
+    let mut markdown = String::new();
+    let mut json = Vec::new();
+    for (golden_path, faulty_path) in &args.pairs {
+        let golden = load_circuit(golden_path);
+        let faulty = load_circuit(faulty_path);
+        if golden.n_qubits() != faulty.n_qubits() {
+            eprintln!(
+                "pair {golden_path},{faulty_path}: qubit counts differ ({} vs {})",
+                golden.n_qubits(),
+                faulty.n_qubits()
+            );
+            exit(1);
+        }
+        let name = faulty_path
+            .rsplit('/')
+            .next()
+            .unwrap_or(faulty_path)
+            .to_string();
+        let audit = audit_pair(&name, &golden, &faulty, config);
+        markdown.push_str(&audit.to_markdown());
+        markdown.push('\n');
+        json.push(audit.to_json());
+    }
+
+    match &args.out {
+        Some(path) => {
+            let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            });
+            f.write_all(markdown.as_bytes()).expect("write report");
+            eprintln!("report written to {path}");
+        }
+        None => eprint!("{markdown}"),
+    }
+    println!("[{}]", json.join(","));
+}
+
 fn main() {
     let args = parse_args();
     let config = CampaignConfig::default()
@@ -154,12 +256,19 @@ fn main() {
         .with_threads(args.threads)
         .with_trial_threads(args.trial_threads)
         .with_guard_cache(args.guard_cache)
-        .with_epsilon(args.epsilon);
+        .with_epsilon(args.epsilon)
+        .with_strategies(args.stimuli.clone());
+
+    if !args.pairs.is_empty() {
+        run_pair_audits(&args, &config);
+        return;
+    }
 
     let set = benchmarks(args.scale);
     eprintln!(
-        "campaign: {} benchmarks x {} classes x {} trials (seed {})",
+        "campaign: {} benchmarks x {} strategies x {} classes x {} trials (seed {})",
         set.len(),
+        config.strategies.len(),
         qfault::MutationKind::ALL.len(),
         config.trials,
         config.seed,

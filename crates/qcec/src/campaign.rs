@@ -58,7 +58,7 @@ use qfault::{registry, GuardCache, GuardOptions, GuardVerdict, MutationKind, Mut
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::config::{Config, Fallback, SimBackend};
+use crate::config::{Config, Fallback, SimBackend, StimulusStrategy};
 use crate::flow::check_equivalence;
 use crate::outcome::Outcome;
 use crate::report::{json, StageTimings};
@@ -173,6 +173,12 @@ pub struct CampaignConfig {
     pub deadline: Option<Duration>,
     /// Simulation engine for the flow.
     pub backend: SimBackend,
+    /// Stimulus strategies to ablate over: every (benchmark × class ×
+    /// trial) cell is checked once per strategy, against the *same*
+    /// injected fault (the trial seed is keyed on the cell coordinates,
+    /// not the strategy), so per-strategy detection rates are directly
+    /// comparable. Default: just the paper's random basis states.
+    pub strategies: Vec<StimulusStrategy>,
 }
 
 impl Default for CampaignConfig {
@@ -191,6 +197,7 @@ impl Default for CampaignConfig {
             guard: GuardOptions::default(),
             deadline: Some(Duration::from_secs(30)),
             backend: SimBackend::Statevector,
+            strategies: vec![StimulusStrategy::Random],
         }
     }
 }
@@ -251,6 +258,24 @@ impl CampaignConfig {
         self.epsilon = epsilon;
         self
     }
+
+    /// Replaces the stimulus-strategy ablation set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strategies` is empty.
+    #[must_use]
+    pub fn with_strategies(mut self, strategies: Vec<StimulusStrategy>) -> Self {
+        assert!(!strategies.is_empty(), "need at least one strategy");
+        self.strategies = strategies;
+        self
+    }
+
+    /// Shorthand for a single-strategy campaign.
+    #[must_use]
+    pub fn with_stimuli(self, strategy: StimulusStrategy) -> Self {
+        self.with_strategies(vec![strategy])
+    }
 }
 
 /// How one injected fault was (or was not) detected.
@@ -275,6 +300,8 @@ pub enum Detection {
 pub struct TrialRecord {
     /// Index of the benchmark in the campaign's benchmark list.
     pub benchmark: usize,
+    /// The stimulus strategy the flow checked this trial with.
+    pub strategy: StimulusStrategy,
     /// The injected error class.
     pub kind: MutationKind,
     /// Trial index within the (benchmark, class) pair.
@@ -432,8 +459,12 @@ pub struct CampaignResult {
     pub config: CampaignConfig,
     /// Benchmark metadata in campaign order: `(name, family, n, |G|, |G'|)`.
     pub benchmarks: Vec<(String, String, usize, usize, usize)>,
-    /// Per-class aggregates, in [`MutationKind::ALL`] order.
+    /// Per-class aggregates over *all* strategies, in
+    /// [`MutationKind::ALL`] order.
     pub classes: Vec<(MutationKind, ClassStats)>,
+    /// Per-strategy breakdown of the same aggregates, in
+    /// `config.strategies` order — the stimulus-ablation axis.
+    pub strategy_classes: Vec<(StimulusStrategy, Vec<(MutationKind, ClassStats)>)>,
     /// `families[f]` is the family name; `cells[f][k]` the counts for
     /// family `f` under class `MutationKind::ALL[k]`.
     pub families: Vec<String>,
@@ -467,10 +498,13 @@ pub fn trial_seed(seed: u64, benchmark: usize, class: usize, trial: usize) -> u6
     z
 }
 
-/// One (benchmark × class × trial) cell of the campaign's work list.
+/// One (benchmark × strategy × class × trial) cell of the campaign's work
+/// list. The seed is keyed on everything *except* the strategy, so all
+/// strategies face the identical injected fault.
 #[derive(Debug, Clone, Copy)]
 struct TrialCell {
     benchmark: usize,
+    strategy: usize,
     class: usize,
     trial: usize,
     seed: u64,
@@ -510,12 +544,17 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
         .enumerate()
         .flat_map(|(b_idx, _)| {
             let trials = config.trials;
-            (0..mutators.len()).flat_map(move |k_idx| {
-                (0..trials).map(move |t_idx| TrialCell {
-                    benchmark: b_idx,
-                    class: k_idx,
-                    trial: t_idx,
-                    seed: trial_seed(config.seed, b_idx, k_idx, t_idx),
+            let n_strategies = config.strategies.len();
+            let n_classes = mutators.len();
+            (0..n_strategies).flat_map(move |s_idx| {
+                (0..n_classes).flat_map(move |k_idx| {
+                    (0..trials).map(move |t_idx| TrialCell {
+                        benchmark: b_idx,
+                        strategy: s_idx,
+                        class: k_idx,
+                        trial: t_idx,
+                        seed: trial_seed(config.seed, b_idx, k_idx, t_idx),
+                    })
                 })
             })
         })
@@ -588,6 +627,11 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
         .iter()
         .map(|m| (m.kind(), ClassStats::default()))
         .collect();
+    let mut strategy_classes: Vec<(StimulusStrategy, Vec<(MutationKind, ClassStats)>)> = config
+        .strategies
+        .iter()
+        .map(|s| (*s, classes.clone()))
+        .collect();
     let mut trials = Vec::with_capacity(outputs.len());
     let mut stage_timings = StageTimings::default();
     let mut guard_stats = GuardStats::default();
@@ -595,12 +639,14 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
         stage_timings = accumulate(stage_timings, output.timings);
         guard_stats.guard_time += output.guard_time;
         let record = output.record;
-        let k_idx = cells[trials.len()].class;
+        let cell = cells[trials.len()];
+        let k_idx = cell.class;
         let family = families
             .iter()
             .position(|f| f == &benchmarks[record.benchmark].family)
             .expect("every benchmark's family is registered");
         classes[k_idx].1.record(&record);
+        strategy_classes[cell.strategy].1[k_idx].1.record(&record);
         if record.guard.is_fault() {
             let cell = &mut cell_stats[family][k_idx];
             cell.faults += 1;
@@ -639,6 +685,7 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
             })
             .collect(),
         classes,
+        strategy_classes,
         families,
         cells: cell_stats,
         trials,
@@ -668,6 +715,7 @@ fn run_cell(
     run_trial(
         &benchmarks[cell.benchmark],
         cell.benchmark,
+        config.strategies[cell.strategy],
         mutators[cell.class].as_ref(),
         guards.map(|g| &g[cell.benchmark]),
         cell.trial,
@@ -676,9 +724,11 @@ fn run_cell(
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_trial(
     bench: &CampaignBenchmark,
     b_idx: usize,
+    strategy: StimulusStrategy,
     mutator: &dyn Mutator,
     guard_cache: Option<&GuardCache>,
     t_idx: usize,
@@ -699,6 +749,7 @@ fn run_trial(
                 return TrialOutput {
                     record: TrialRecord {
                         benchmark: b_idx,
+                        strategy,
                         kind: mutator.kind(),
                         trial: t_idx,
                         seed,
@@ -730,6 +781,7 @@ fn run_trial(
     let flow_config = Config::new()
         .with_simulations(config.simulations)
         .with_seed(seed)
+        .with_stimuli(strategy)
         .with_threads(config.threads.max(1))
         .with_backend(config.backend)
         .with_fallback(Fallback::Alternating)
@@ -752,6 +804,7 @@ fn run_trial(
     TrialOutput {
         record: TrialRecord {
             benchmark: b_idx,
+            strategy,
             kind: mutator.kind(),
             trial: t_idx,
             seed,
@@ -779,7 +832,16 @@ impl CampaignResult {
             .int("faults", self.config.faults as u64)
             .int("simulations", self.config.simulations as u64)
             .int("threads", self.config.threads as u64)
-            .num("epsilon", self.config.epsilon);
+            .num("epsilon", self.config.epsilon)
+            .raw(
+                "stimuli",
+                json::array(
+                    self.config
+                        .strategies
+                        .iter()
+                        .map(|s| format!("\"{}\"", s.slug())),
+                ),
+            );
         root.raw("config", cfg.render());
 
         root.raw(
@@ -795,33 +857,14 @@ impl CampaignResult {
             })),
         );
 
+        root.raw("classes", class_stats_json(&self.classes));
+
         root.raw(
-            "classes",
-            json::array(self.classes.iter().map(|(kind, s)| {
+            "strategies",
+            json::array(self.strategy_classes.iter().map(|(strategy, classes)| {
                 let mut o = json::Obj::new();
-                o.str("class", kind.slug())
-                    .int("trials", s.trials as u64)
-                    .int("inapplicable", s.inapplicable as u64)
-                    .int("benign", s.benign as u64)
-                    .int("unchecked", s.unchecked as u64)
-                    .int("faults", s.faults as u64)
-                    .int("detected_by_sim", s.detected_by_sim as u64)
-                    .int("detected_by_complete", s.detected_by_complete as u64)
-                    .int("missed", s.missed as u64)
-                    .int("false_positives", s.false_positives as u64)
-                    .int("total_sims", s.total_sims as u64)
-                    .raw(
-                        "sims_histogram",
-                        json::array(s.sims_histogram.iter().map(|c| c.to_string())),
-                    );
-                match s.mean_sims_to_detect() {
-                    Some(m) => o.num("mean_sims_to_detect", m),
-                    None => o.raw("mean_sims_to_detect", "null"),
-                };
-                match s.detection_rate() {
-                    Some(r) => o.num("detection_rate", r),
-                    None => o.raw("detection_rate", "null"),
-                };
+                o.str("strategy", strategy.slug())
+                    .raw("classes", class_stats_json(classes));
                 o.render()
             })),
         );
@@ -909,6 +952,43 @@ impl CampaignResult {
             ));
         }
 
+        out.push_str(
+            "\n## Detection by stimulus strategy\n\n\
+             | strategy | faults | det. sim | det. complete | missed | mean #sims | rate |\n\
+             |---|---|---|---|---|---|---|\n",
+        );
+        for (strategy, classes) in &self.strategy_classes {
+            let mut total = ClassStats::default();
+            for (_, s) in classes {
+                total.faults += s.faults;
+                total.detected_by_sim += s.detected_by_sim;
+                total.detected_by_complete += s.detected_by_complete;
+                total.missed += s.missed;
+                if total.sims_histogram.len() < s.sims_histogram.len() {
+                    total.sims_histogram.resize(s.sims_histogram.len(), 0);
+                }
+                for (i, c) in s.sims_histogram.iter().enumerate() {
+                    total.sims_histogram[i] += c;
+                }
+            }
+            let mean = total
+                .mean_sims_to_detect()
+                .map_or_else(|| "—".to_string(), |m| format!("{m:.2}"));
+            let rate = total
+                .detection_rate()
+                .map_or_else(|| "—".to_string(), |r| format!("{:.0}%", r * 100.0));
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} |\n",
+                strategy.slug(),
+                total.faults,
+                total.detected_by_sim,
+                total.detected_by_complete,
+                total.missed,
+                mean,
+                rate,
+            ));
+        }
+
         out.push_str("\n## Detected / faults per family\n\n| family |");
         for (kind, _) in &self.classes {
             out.push_str(&format!(" {} |", kind.slug()));
@@ -961,6 +1041,232 @@ impl fmt::Display for CampaignResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.to_markdown())
     }
+}
+
+/// One flow invocation of a pair audit.
+#[derive(Debug, Clone)]
+pub struct PairTrial {
+    /// The derived flow seed.
+    pub seed: u64,
+    /// The detection result.
+    pub detection: Detection,
+    /// Simulations the flow actually ran.
+    pub sims_run: usize,
+}
+
+/// The result of [`audit_pair`]: per-strategy detection results for one
+/// explicit `(golden, faulty)` circuit pair.
+#[derive(Debug, Clone)]
+pub struct PairAudit {
+    /// Label for the pair (e.g. the faulty file's name).
+    pub name: String,
+    /// Register size.
+    pub n_qubits: usize,
+    /// The guard's label for the pair — [`GuardVerdict::Benign`] means the
+    /// two circuits are actually equivalent and every "miss" below is
+    /// correct behaviour.
+    pub guard: GuardVerdict,
+    /// Trials per strategy, in `config.strategies` order.
+    pub strategies: Vec<(StimulusStrategy, Vec<PairTrial>)>,
+}
+
+impl PairAudit {
+    /// Detected / total counts for one strategy row.
+    #[must_use]
+    pub fn detection_counts(&self, strategy: StimulusStrategy) -> Option<(usize, usize)> {
+        self.strategies
+            .iter()
+            .find(|(s, _)| *s == strategy)
+            .map(|(_, trials)| {
+                let detected = trials
+                    .iter()
+                    .filter(|t| t.detection != Detection::Missed)
+                    .count();
+                (detected, trials.len())
+            })
+    }
+
+    /// Deterministic JSON rendering (no wall-clock content).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut root = json::Obj::new();
+        let guard = match &self.guard {
+            GuardVerdict::Benign { .. } => "benign",
+            GuardVerdict::Unchecked { .. } => "unchecked",
+            GuardVerdict::Fault => "fault",
+        };
+        root.str("name", &self.name)
+            .int("n", self.n_qubits as u64)
+            .str("guard", guard)
+            .raw(
+                "strategies",
+                json::array(self.strategies.iter().map(|(strategy, trials)| {
+                    let mut o = json::Obj::new();
+                    o.str("strategy", strategy.slug()).raw(
+                        "trials",
+                        json::array(trials.iter().map(|t| {
+                            let mut o = json::Obj::new();
+                            o.int("seed", t.seed);
+                            match t.detection {
+                                Detection::Simulation { sims } => {
+                                    o.int("detected_on_run", sims as u64)
+                                }
+                                Detection::Complete => o.str("detected_by", "complete"),
+                                Detection::Missed => o.raw("detected_on_run", "null"),
+                            };
+                            o.int("sims_run", t.sims_run as u64);
+                            o.render()
+                        })),
+                    );
+                    o.render()
+                })),
+            );
+        root.render()
+    }
+
+    /// Human-readable Markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "## Pair audit: {} ({} qubits, guard: {})\n\n\
+             | strategy | detected | mean #sims |\n|---|---|---|\n",
+            self.name,
+            self.n_qubits,
+            match &self.guard {
+                GuardVerdict::Benign { .. } => "benign — pair is equivalent",
+                GuardVerdict::Unchecked { .. } => "unchecked",
+                GuardVerdict::Fault => "real fault",
+            }
+        );
+        for (strategy, trials) in &self.strategies {
+            let (detected, total) = self
+                .detection_counts(*strategy)
+                .expect("strategy taken from the audit's own list");
+            let sims: Vec<usize> = trials
+                .iter()
+                .filter_map(|t| match t.detection {
+                    Detection::Simulation { sims } => Some(sims),
+                    _ => None,
+                })
+                .collect();
+            let mean = if sims.is_empty() {
+                "—".to_string()
+            } else {
+                format!(
+                    "{:.2}",
+                    sims.iter().sum::<usize>() as f64 / sims.len() as f64
+                )
+            };
+            out.push_str(&format!(
+                "| {} | {}/{} | {} |\n",
+                strategy.slug(),
+                detected,
+                total,
+                mean
+            ));
+        }
+        out
+    }
+}
+
+/// Audits one explicit `(golden, faulty)` pair: labels it with the guard,
+/// then runs the simulation stage alone (`Fallback::None`) `config.trials`
+/// times per configured strategy, so the per-strategy detection power is
+/// measured without the complete check masking misses.
+///
+/// The trial seeds are shared across strategies
+/// ([`trial_seed`]`(seed, 0, 0, t)`), making rows directly comparable; the
+/// audit is a pure function of the pair and the configuration.
+///
+/// # Panics
+///
+/// Panics if the circuits' qubit counts differ.
+#[must_use]
+pub fn audit_pair(
+    name: impl Into<String>,
+    golden: &Circuit,
+    faulty: &Circuit,
+    config: &CampaignConfig,
+) -> PairAudit {
+    assert_eq!(
+        golden.n_qubits(),
+        faulty.n_qubits(),
+        "pair audit requires equal qubit counts"
+    );
+    let guard = qfault::guard::classify(golden, faulty, &config.guard);
+    let strategies = config
+        .strategies
+        .iter()
+        .map(|&strategy| {
+            let trials = (0..config.trials.max(1))
+                .map(|t| {
+                    let seed = trial_seed(config.seed, 0, 0, t);
+                    let flow_config = Config::new()
+                        .with_simulations(config.simulations)
+                        .with_seed(seed)
+                        .with_stimuli(strategy)
+                        .with_threads(config.threads.max(1))
+                        .with_backend(config.backend)
+                        .with_fallback(Fallback::None);
+                    let result = check_equivalence(golden, faulty, &flow_config)
+                        .expect("equal registers were asserted above");
+                    let detection = match &result.outcome {
+                        Outcome::NotEquivalent {
+                            counterexample: Some(ce),
+                        } => Detection::Simulation { sims: ce.run },
+                        Outcome::NotEquivalent {
+                            counterexample: None,
+                        } => Detection::Complete,
+                        _ => Detection::Missed,
+                    };
+                    PairTrial {
+                        seed,
+                        detection,
+                        sims_run: result.stats.simulations_run,
+                    }
+                })
+                .collect();
+            (strategy, trials)
+        })
+        .collect();
+    PairAudit {
+        name: name.into(),
+        n_qubits: golden.n_qubits(),
+        guard,
+        strategies,
+    }
+}
+
+/// Renders one per-class statistics table as a JSON array (shared by the
+/// overall aggregate and the per-strategy breakdown).
+fn class_stats_json(classes: &[(MutationKind, ClassStats)]) -> String {
+    json::array(classes.iter().map(|(kind, s)| {
+        let mut o = json::Obj::new();
+        o.str("class", kind.slug())
+            .int("trials", s.trials as u64)
+            .int("inapplicable", s.inapplicable as u64)
+            .int("benign", s.benign as u64)
+            .int("unchecked", s.unchecked as u64)
+            .int("faults", s.faults as u64)
+            .int("detected_by_sim", s.detected_by_sim as u64)
+            .int("detected_by_complete", s.detected_by_complete as u64)
+            .int("missed", s.missed as u64)
+            .int("false_positives", s.false_positives as u64)
+            .int("total_sims", s.total_sims as u64)
+            .raw(
+                "sims_histogram",
+                json::array(s.sims_histogram.iter().map(|c| c.to_string())),
+            );
+        match s.mean_sims_to_detect() {
+            Some(m) => o.num("mean_sims_to_detect", m),
+            None => o.raw("mean_sims_to_detect", "null"),
+        };
+        match s.detection_rate() {
+            Some(r) => o.num("detection_rate", r),
+            None => o.raw("detection_rate", "null"),
+        };
+        o.render()
+    }))
 }
 
 #[cfg(test)]
@@ -1080,6 +1386,78 @@ mod tests {
         assert!(md.contains("## Detection by error class"));
         assert!(md.contains("remove_gate"));
         assert!(md.contains("per family"));
+    }
+
+    #[test]
+    fn stimulus_ablation_adds_a_strategy_axis() {
+        let benches = vec![CampaignBenchmark::optimized(
+            "qft 4",
+            "qft",
+            &generators::qft(4, true),
+        )];
+        let config = CampaignConfig::default()
+            .with_trials(1)
+            .with_simulations(4)
+            .with_strategies(vec![StimulusStrategy::Random, StimulusStrategy::Stabilizer]);
+        let result = run_campaign(&benches, &config);
+        assert_eq!(result.strategy_classes.len(), 2);
+        assert_eq!(result.trials.len(), 2 * MutationKind::ALL.len());
+        // The strategy axis re-checks the *same* faults: trial seeds and
+        // injected mutations repeat between the two halves.
+        let half = result.trials.len() / 2;
+        for (a, b) in result.trials[..half].iter().zip(&result.trials[half..]) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.mutations, b.mutations);
+            assert_eq!(a.strategy, StimulusStrategy::Random);
+            assert_eq!(b.strategy, StimulusStrategy::Stabilizer);
+        }
+        let js = result.to_json(false);
+        assert!(js.contains(r#""stimuli":["basis","stabilizer"]"#));
+        assert!(js.contains(r#""strategy":"stabilizer""#));
+        // The byte-identity contract holds per strategy set, including
+        // across trial-pool sizes.
+        assert_eq!(js, run_campaign(&benches, &config).to_json(false));
+        let pooled = run_campaign(&benches, &config.clone().with_trial_threads(3));
+        assert_eq!(js, pooled.to_json(false));
+        assert!(result
+            .to_markdown()
+            .contains("## Detection by stimulus strategy"));
+    }
+
+    #[test]
+    fn pair_audit_separates_strategy_power() {
+        // An escapee-shaped pair: the only difference hides behind eight
+        // controls, so 10 random basis states almost surely miss it while
+        // non-classical stimuli see the fidelity deficit immediately.
+        let n = 9;
+        let golden = Circuit::new(n);
+        let mut faulty = Circuit::new(n);
+        faulty.mcz((0..n - 1).collect(), n - 1);
+        let config = CampaignConfig::default()
+            .with_trials(3)
+            .with_simulations(10)
+            .with_strategies(vec![StimulusStrategy::Random, StimulusStrategy::Stabilizer]);
+        let audit = audit_pair("mcz escapee", &golden, &faulty, &config);
+        assert!(audit.guard.is_fault());
+        let (basis_hits, total) = audit.detection_counts(StimulusStrategy::Random).unwrap();
+        let (stab_hits, _) = audit
+            .detection_counts(StimulusStrategy::Stabilizer)
+            .unwrap();
+        assert_eq!(total, 3);
+        assert_eq!(stab_hits, total, "stabilizer stimuli must catch the fault");
+        assert!(
+            basis_hits < total,
+            "basis stimuli should miss at least one trial"
+        );
+        // Deterministic JSON; markdown names both rows.
+        assert_eq!(
+            audit.to_json(),
+            audit_pair("mcz escapee", &golden, &faulty, &config).to_json()
+        );
+        let md = audit.to_markdown();
+        assert!(md.contains("| basis |"));
+        assert!(md.contains("| stabilizer |"));
+        assert!(md.contains("real fault"));
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub enum Criterion {
     UpToGlobalPhase,
 }
 
-/// How the `r` stimulus basis states are chosen.
+/// How the `r` stimuli are chosen (see [`qstim`] for the generators).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StimulusStrategy {
     /// Uniformly random distinct basis states (the paper's choice; the
@@ -28,6 +28,61 @@ pub enum StimulusStrategy {
     /// ablation: it systematically misses errors gated on high qubits being
     /// `|1⟩` (their differing columns live at high indices).
     Sequential,
+    /// Random product states: every qubit gets an independent Haar-random
+    /// single-qubit state via a seeded `U3` layer. A `c`-controlled fault
+    /// is hit with probability `1 − 2^{1−c}`-ish per run instead of
+    /// `2^{−c}` — the power-of-simulation upgrade over classical stimuli.
+    Product,
+    /// Uniformly random stabilizer states, prepared by a seeded Clifford
+    /// prefix circuit drawn through `qstab`. Entangled across qubits, so a
+    /// single run touches *every* column of `U†U'` at once; still cheap to
+    /// sample and exactly representable.
+    Stabilizer,
+}
+
+impl StimulusStrategy {
+    /// Every strategy, in ablation-report order.
+    pub const ALL: [StimulusStrategy; 4] = [
+        StimulusStrategy::Random,
+        StimulusStrategy::Sequential,
+        StimulusStrategy::Product,
+        StimulusStrategy::Stabilizer,
+    ];
+
+    /// A stable lowercase identifier (used in campaign JSON and CLI flags).
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            StimulusStrategy::Random => "basis",
+            StimulusStrategy::Sequential => "sequential",
+            StimulusStrategy::Product => "product",
+            StimulusStrategy::Stabilizer => "stabilizer",
+        }
+    }
+
+    /// Parses a [`slug`](StimulusStrategy::slug) (also accepts `random` as
+    /// an alias for the basis strategy).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognised input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "basis" | "random" => Ok(StimulusStrategy::Random),
+            "sequential" => Ok(StimulusStrategy::Sequential),
+            "product" => Ok(StimulusStrategy::Product),
+            "stabilizer" => Ok(StimulusStrategy::Stabilizer),
+            other => Err(format!(
+                "unknown stimulus strategy `{other}` (expected basis|sequential|product|stabilizer)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for StimulusStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.slug())
+    }
 }
 
 /// Which engine runs the `r` simulations.

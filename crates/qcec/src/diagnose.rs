@@ -53,8 +53,9 @@ impl std::fmt::Display for Diagnosis {
     }
 }
 
-/// Re-simulates both circuits on the counterexample's basis state and
-/// reports the `top` largest amplitude differences plus per-qubit marginal
+/// Re-simulates both circuits on the counterexample's stimulus (preparing
+/// its prefix circuit first for product/stabilizer witnesses) and reports
+/// the `top` largest amplitude differences plus per-qubit marginal
 /// discrepancies.
 ///
 /// Uses the statevector simulator, so it is limited to registers that fit
@@ -90,8 +91,12 @@ pub fn explain(g: &Circuit, g_prime: &Circuit, ce: Counterexample, top: usize) -
         "circuits must have equal qubit counts"
     );
     let sim = Simulator::new();
-    let a = sim.run_basis(g, ce.basis);
-    let b = sim.run_basis(g_prime, ce.basis);
+    let input = match ce.stimulus.prefix_circuit() {
+        None => qsim::StateVector::basis(g.n_qubits(), ce.stimulus.basis_state()),
+        Some(prefix) => sim.run_basis(&prefix, ce.stimulus.basis_state()),
+    };
+    let a = sim.run(g, &input);
+    let b = sim.run(g_prime, &input);
 
     let mut diffs: Vec<AmplitudeDiff> = a
         .amplitudes()

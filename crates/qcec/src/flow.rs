@@ -108,16 +108,19 @@ pub fn check_equivalence(
     let simulation_time = sim_start.elapsed();
 
     match sim_verdict {
-        SimVerdict::CounterexampleFound(ce) => Ok(FlowResult {
-            outcome: Outcome::NotEquivalent {
-                counterexample: Some(ce),
-            },
-            stats: FlowStats {
-                simulations_run: ce.run,
-                simulation_time,
-                functional_time: Default::default(),
-            },
-        }),
+        SimVerdict::CounterexampleFound(ce) => {
+            let decisive_run = ce.run;
+            Ok(FlowResult {
+                outcome: Outcome::NotEquivalent {
+                    counterexample: Some(ce),
+                },
+                stats: FlowStats {
+                    simulations_run: decisive_run,
+                    simulation_time,
+                    functional_time: Default::default(),
+                },
+            })
+        }
         SimVerdict::AllAgreed { runs } => {
             // Stage 2: complete check.
             let ec_start = Instant::now();

@@ -59,4 +59,7 @@ pub use config::{Config, Criterion, Fallback, SimBackend, StimulusStrategy};
 pub use flow::{check_equivalence, check_equivalence_default, FlowError};
 pub use functional::{run_functional_check, run_functional_check_cancellable, FunctionalVerdict};
 pub use outcome::{AbortReason, Counterexample, FlowResult, FlowStats, Mismatch, Outcome};
-pub use sim_check::{run_simulations, SimVerdict};
+pub use sim_check::{draw_stimuli, run_simulations, SimVerdict};
+// The stimulus vocabulary types, so downstream code can match on
+// counterexamples and replay stimuli without naming `qstim` directly.
+pub use qstim::{ProductAngles, Stimulus, StimulusSource};

@@ -4,6 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 use qnum::Complex;
+use qstim::Stimulus;
 
 /// How a simulation run witnessed non-equivalence.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,13 +23,16 @@ pub enum Mismatch {
     },
 }
 
-/// A witness of non-equivalence found by simulation: a computational basis
-/// state on which the two circuits produce different outputs (or an
-/// inconsistent output phase).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// A witness of non-equivalence found by simulation: a stimulus (basis,
+/// product or stabilizer input state) on which the two circuits produce
+/// different outputs (or an inconsistent output phase).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Counterexample {
-    /// The basis state `|i⟩` that exposed the difference.
-    pub basis: u64,
+    /// The input stimulus that exposed the difference. For the classical
+    /// strategies this is [`Stimulus::Basis`]; the non-classical
+    /// strategies carry the preparation recipe (angles or Clifford
+    /// prefix), so the witness stays replayable.
+    pub stimulus: Stimulus,
     /// The overlap `⟨uᵢ|uᵢ′⟩` of the two outputs.
     pub overlap: Complex,
     /// The fidelity `|⟨uᵢ|uᵢ′⟩|²`.
@@ -44,13 +48,13 @@ impl fmt::Display for Counterexample {
         match self.mismatch {
             Mismatch::Output => write!(
                 f,
-                "basis state |{}⟩ yields fidelity {:.6} (run {})",
-                self.basis, self.fidelity, self.run
+                "stimulus {} yields fidelity {:.6} (run {})",
+                self.stimulus, self.fidelity, self.run
             ),
             Mismatch::PhaseInconsistency { expected, found } => write!(
                 f,
-                "basis state |{}⟩ yields phase {:.4} where earlier runs gave {:.4} (run {})",
-                self.basis, found, expected, self.run
+                "stimulus {} yields phase {:.4} where earlier runs gave {:.4} (run {})",
+                self.stimulus, found, expected, self.run
             ),
         }
     }
@@ -207,7 +211,7 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let ce = Counterexample {
-            basis: 5,
+            stimulus: Stimulus::Basis(5),
             overlap: Complex::ZERO,
             fidelity: 0.0,
             run: 1,

@@ -365,7 +365,16 @@ fn verdict_and_witness(outcome: &Outcome) -> (&'static str, String) {
         Outcome::EquivalentUpToGlobalPhase { .. } => ("equivalent_up_to_phase", String::new()),
         Outcome::NotEquivalent {
             counterexample: Some(ce),
-        } => ("not_equivalent", format!("|{}>", ce.basis)),
+        } => {
+            // ASCII-safe witness for CSV/JSON consumers: the basis index
+            // for classical stimuli, the strategy kind otherwise (the full
+            // preparation recipe lives on the `Counterexample` itself).
+            let witness = match &ce.stimulus {
+                qstim::Stimulus::Basis(b) => format!("|{b}>"),
+                other => other.kind().to_string(),
+            };
+            ("not_equivalent", witness)
+        }
         Outcome::NotEquivalent {
             counterexample: None,
         } => ("not_equivalent", String::new()),

@@ -51,11 +51,15 @@ pub enum RunEvent {
         wall_time: Duration,
     },
     /// One simulation ran to completion.
+    ///
+    /// The stimulus itself is identified by `index`: stimuli are pre-drawn
+    /// as a pure function of the configuration, so
+    /// [`draw_stimuli`](crate::draw_stimuli) reproduces the full list —
+    /// events stay allocation-free even for stabilizer stimuli that carry
+    /// whole prefix circuits.
     SimulationFinished {
         /// Stimulus index into the pre-drawn list (0-based).
         index: usize,
-        /// The simulated basis state.
-        basis: u64,
         /// Wall-clock duration of this simulation.
         wall_time: Duration,
         /// The measured fidelity `|⟨uᵢ|uᵢ′⟩|²`.
@@ -67,8 +71,6 @@ pub enum RunEvent {
     SimulationAborted {
         /// Stimulus index into the pre-drawn list (0-based).
         index: usize,
-        /// The basis state that was not (fully) simulated.
-        basis: u64,
     },
     /// In-flight work was cancelled.
     Cancelled {
@@ -188,11 +190,10 @@ mod tests {
         });
         sink.record(RunEvent::SimulationFinished {
             index: 0,
-            basis: 3,
             wall_time: Duration::from_micros(5),
             fidelity: 1.0,
         });
-        sink.record(RunEvent::SimulationAborted { index: 1, basis: 7 });
+        sink.record(RunEvent::SimulationAborted { index: 1 });
         sink.record(RunEvent::Cancelled {
             cause: CancelCause::SimulationCounterexample,
         });

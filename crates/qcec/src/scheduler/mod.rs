@@ -83,9 +83,9 @@ pub fn run_scheduled(
     let sink: &dyn EventSink = sink_arc.as_ref();
 
     // Pre-draw every stimulus so the RNG stream is scheduling-independent.
-    let bases = draw_stimuli(g.n_qubits(), config);
+    let stimuli = draw_stimuli(g.n_qubits(), config);
     let token = CancelToken::new();
-    let ctx = worker::PoolContext::new(g, g_prime, config, &bases, &token, sink);
+    let ctx = worker::PoolContext::new(g, g_prime, config, &stimuli, &token, sink);
     let workers = config.threads.max(1);
     // Racing a disabled fallback would only reproduce the instant
     // "aborted: disabled" answer; skip the extra thread.
@@ -153,7 +153,7 @@ pub fn run_scheduled(
             let mut judge = Judge::new(config);
             for (i, slot) in results.iter().enumerate() {
                 let Some(overlap) = slot else { break };
-                if let Some(ce) = judge.observe(*overlap, bases[i], i + 1) {
+                if let Some(ce) = judge.observe(*overlap, &stimuli[i], i + 1) {
                     sim_ce = Some(ce);
                     break;
                 }
@@ -191,12 +191,13 @@ pub fn run_scheduled(
         // any) necessarily agrees on non-equivalence, so prefer the
         // counterexample — it is the more useful answer.
         let functional_time = racer_result.map_or(Duration::ZERO, |(_, t)| t);
+        let decisive_run = ce.run;
         return Ok(FlowResult {
             outcome: Outcome::NotEquivalent {
                 counterexample: Some(ce),
             },
             stats: FlowStats {
-                simulations_run: ce.run,
+                simulations_run: decisive_run,
                 simulation_time,
                 functional_time,
             },

@@ -15,6 +15,7 @@ use std::time::Instant;
 use qcirc::Circuit;
 use qnum::Complex;
 use qsim::{ProbeWorkspace, Simulator};
+use qstim::Stimulus;
 
 use crate::config::{Config, Criterion, SimBackend};
 use crate::scheduler::cancel::CancelToken;
@@ -28,8 +29,8 @@ pub(super) struct PoolContext<'a> {
     pub g_prime: &'a Circuit,
     /// The flow configuration.
     pub config: &'a Config,
-    /// The pre-drawn stimulus basis states, in judging order.
-    pub bases: &'a [u64],
+    /// The pre-drawn stimuli, in judging order.
+    pub stimuli: &'a [Stimulus],
     /// Shared cancellation state.
     pub token: &'a CancelToken,
     /// Next stimulus index to claim.
@@ -45,7 +46,7 @@ impl<'a> PoolContext<'a> {
         g: &'a Circuit,
         g_prime: &'a Circuit,
         config: &'a Config,
-        bases: &'a [u64],
+        stimuli: &'a [Stimulus],
         token: &'a CancelToken,
         sink: &'a dyn EventSink,
     ) -> Self {
@@ -53,10 +54,10 @@ impl<'a> PoolContext<'a> {
             g,
             g_prime,
             config,
-            bases,
+            stimuli,
             token,
             next: AtomicUsize::new(0),
-            results: Mutex::new(vec![None; bases.len()]),
+            results: Mutex::new(vec![None; stimuli.len()]),
             sink,
         }
     }
@@ -68,20 +69,17 @@ pub(super) fn run_worker(ctx: &PoolContext<'_>) -> Result<(), qdd::DdLimitError>
     let mut engine = Engine::new(ctx.config, ctx.g.n_qubits());
     loop {
         let index = ctx.next.fetch_add(1, Ordering::Relaxed);
-        if index >= ctx.bases.len() {
+        if index >= ctx.stimuli.len() {
             return Ok(());
         }
-        let basis = ctx.bases[index];
+        let stimulus = &ctx.stimuli[index];
         if ctx.token.superseded(index) {
-            ctx.sink
-                .record(RunEvent::SimulationAborted { index, basis });
+            ctx.sink.record(RunEvent::SimulationAborted { index });
             continue;
         }
         let start = Instant::now();
-        match engine.probe(ctx, index, basis)? {
-            None => ctx
-                .sink
-                .record(RunEvent::SimulationAborted { index, basis }),
+        match engine.probe(ctx, index, stimulus)? {
+            None => ctx.sink.record(RunEvent::SimulationAborted { index }),
             Some(overlap) => {
                 // A per-run output mismatch is decisive on its own;
                 // publish it before the event so observers of the sink
@@ -92,7 +90,6 @@ pub(super) fn run_worker(ctx: &PoolContext<'_>) -> Result<(), qdd::DdLimitError>
                 ctx.results.lock().unwrap()[index] = Some(overlap);
                 ctx.sink.record(RunEvent::SimulationFinished {
                     index,
-                    basis,
                     wall_time: start.elapsed(),
                     fidelity: overlap.norm_sqr(),
                 });
@@ -146,26 +143,31 @@ impl Engine {
         &mut self,
         ctx: &PoolContext<'_>,
         index: usize,
-        basis: u64,
+        stimulus: &Stimulus,
     ) -> Result<Option<Complex>, qdd::DdLimitError> {
         match self {
             Engine::Statevector { sim, workspace } => {
-                Ok(
-                    sim.probe_basis_while(ctx.g, ctx.g_prime, basis, workspace, &|| {
-                        !ctx.token.superseded(index)
-                    }),
-                )
+                let prefix = stimulus.prefix_circuit();
+                Ok(sim.probe_stimulus_while(
+                    ctx.g,
+                    ctx.g_prime,
+                    prefix.as_ref(),
+                    stimulus.basis_state(),
+                    workspace,
+                    &|| !ctx.token.superseded(index),
+                ))
             }
             Engine::DecisionDiagram => {
                 let n = ctx.g.n_qubits();
                 let mut package = qdd::Package::with_node_limit(n, ctx.config.dd_node_limit);
-                let a = package.apply_to_basis(ctx.g, basis)?;
+                let input = crate::sim_check::prepare_dd_input(&mut package, stimulus)?;
+                let a = package.apply_to_vedge(ctx.g, input)?;
                 // DD simulation is not gate-granular cancellable; poll
                 // between the two halves of the probe instead.
                 if ctx.token.superseded(index) {
                     return Ok(None);
                 }
-                let b = package.apply_to_basis(ctx.g_prime, basis)?;
+                let b = package.apply_to_vedge(ctx.g_prime, input)?;
                 let overlap = if package.vedges_equal(a, b) {
                     Complex::ONE
                 } else {
@@ -187,9 +189,9 @@ mod tests {
         let g = qcirc::generators::ghz(3);
         let opt = qcirc::optimize::optimize(&g);
         let config = Config::default();
-        let bases = [0u64, 3, 5, 7];
+        let stimuli: Vec<Stimulus> = [0u64, 3, 5, 7].map(Stimulus::Basis).to_vec();
         let token = CancelToken::new();
-        let ctx = PoolContext::new(&g, &opt, &config, &bases, &token, &NullSink);
+        let ctx = PoolContext::new(&g, &opt, &config, &stimuli, &token, &NullSink);
         run_worker(&ctx).unwrap();
         let results = ctx.results.lock().unwrap();
         assert!(results.iter().all(Option::is_some));
@@ -206,9 +208,9 @@ mod tests {
         let mut buggy = g.clone();
         buggy.x(0);
         let config = Config::default();
-        let bases = [0u64, 1, 2, 3, 4, 5, 6, 7];
+        let stimuli: Vec<Stimulus> = (0u64..8).map(Stimulus::Basis).collect();
         let token = CancelToken::new();
-        let ctx = PoolContext::new(&g, &buggy, &config, &bases, &token, &NullSink);
+        let ctx = PoolContext::new(&g, &buggy, &config, &stimuli, &token, &NullSink);
         run_worker(&ctx).unwrap();
         // An X on a GHZ input corrupts every column: index 0 fails.
         assert_eq!(token.lowest_failure(), Some(0));
@@ -224,10 +226,10 @@ mod tests {
         let opt = qcirc::optimize::optimize(&g);
         let sv_config = Config::default();
         let dd_config = Config::default().with_backend(SimBackend::DecisionDiagram);
-        let bases = [0u64, 5, 9, 15];
+        let stimuli: Vec<Stimulus> = [0u64, 5, 9, 15].map(Stimulus::Basis).to_vec();
         for config in [&sv_config, &dd_config] {
             let token = CancelToken::new();
-            let ctx = PoolContext::new(&g, &opt, config, &bases, &token, &NullSink);
+            let ctx = PoolContext::new(&g, &opt, config, &stimuli, &token, &NullSink);
             run_worker(&ctx).unwrap();
             let results = ctx.results.lock().unwrap();
             for overlap in results.iter().flatten() {

@@ -1,20 +1,20 @@
-//! The simulation stage of the flow: `r` random basis states, early exit on
+//! The simulation stage of the flow: `r` random stimuli, early exit on
 //! the first counterexample.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use qcirc::Circuit;
 use qnum::Complex;
 use qsim::Simulator;
+use qstim::{
+    BasisSource, ProductSource, SequentialSource, StabilizerSource, Stimulus, StimulusSource,
+};
 
-use crate::config::{Config, Criterion, SimBackend};
+use crate::config::{Config, Criterion, SimBackend, StimulusStrategy};
 use crate::outcome::Counterexample;
 
 /// Outcome of the simulation stage.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimVerdict {
-    /// A differing basis state was found — non-equivalence is proven.
+    /// A differing stimulus was found — non-equivalence is proven.
     CounterexampleFound(Counterexample),
     /// All runs agreed.
     AllAgreed {
@@ -23,12 +23,15 @@ pub enum SimVerdict {
     },
 }
 
-/// Runs up to `config.simulations` random basis-state simulations of both
+/// Runs up to `config.simulations` random stimulus simulations of both
 /// circuits, comparing outputs per the configured criterion.
 ///
-/// Basis states are drawn uniformly at random with a seeded RNG; for small
-/// registers (`2ⁿ ≤ r`) every basis state is enumerated instead, making the
-/// stage a *complete* check by itself.
+/// Under the default [`StimulusStrategy::Random`] the stimuli are distinct
+/// uniformly random basis states; for small registers (`2ⁿ ≤ r`) every
+/// basis state is enumerated instead, making the stage a *complete* check
+/// by itself. [`StimulusStrategy::Product`] and
+/// [`StimulusStrategy::Stabilizer`] instead prepare non-classical input
+/// states through a seeded prefix circuit applied to both `G` and `G'`.
 ///
 /// # Errors
 ///
@@ -49,7 +52,7 @@ pub fn run_simulations(
         "circuits must have equal qubit counts"
     );
     let n = g.n_qubits();
-    let bases = draw_stimuli(n, config);
+    let stimuli = draw_stimuli(n, config);
 
     let mut judge = Judge::new(config);
     match config.backend {
@@ -60,27 +63,36 @@ pub fn run_simulations(
                 Simulator::new()
             };
             // One pair of state buffers for the whole loop — probes are
-            // allocation-free after this.
+            // allocation-free after this (stimulus prefixes are materialised
+            // per run, but those circuits are O(n²) gates, not O(2ⁿ)).
             let mut workspace = qsim::ProbeWorkspace::new(n);
-            for (run, &basis) in bases.iter().enumerate() {
-                let overlap = sim.probe_basis_with(g, g_prime, basis, &mut workspace);
-                if let Some(ce) = judge.observe(overlap, basis, run + 1) {
+            for (run, stimulus) in stimuli.iter().enumerate() {
+                let prefix = stimulus.prefix_circuit();
+                let overlap = sim.probe_stimulus_with(
+                    g,
+                    g_prime,
+                    prefix.as_ref(),
+                    stimulus.basis_state(),
+                    &mut workspace,
+                );
+                if let Some(ce) = judge.observe(overlap, stimulus, run + 1) {
                     return Ok(SimVerdict::CounterexampleFound(ce));
                 }
             }
         }
         SimBackend::DecisionDiagram => {
             let mut package = qdd::Package::with_node_limit(n, config.dd_node_limit);
-            for (run, &basis) in bases.iter().enumerate() {
-                let a = package.apply_to_basis(g, basis)?;
-                let b = package.apply_to_basis(g_prime, basis)?;
+            for (run, stimulus) in stimuli.iter().enumerate() {
+                let input = prepare_dd_input(&mut package, stimulus)?;
+                let a = package.apply_to_vedge(g, input)?;
+                let b = package.apply_to_vedge(g_prime, input)?;
                 // Equal canonical edges short-circuit the inner product.
                 let overlap = if package.vedges_equal(a, b) {
                     qnum::Complex::ONE
                 } else {
                     package.inner_product(a, b)
                 };
-                if let Some(ce) = judge.observe(overlap, basis, run + 1) {
+                if let Some(ce) = judge.observe(overlap, stimulus, run + 1) {
                     return Ok(SimVerdict::CounterexampleFound(ce));
                 }
                 // Nothing from this run is needed again; let the package
@@ -91,44 +103,57 @@ pub fn run_simulations(
             }
         }
     }
-    Ok(SimVerdict::AllAgreed { runs: bases.len() })
+    Ok(SimVerdict::AllAgreed {
+        runs: stimuli.len(),
+    })
 }
 
-/// Draws the full stimulus list for one flow invocation: the seeded RNG
-/// stream depends only on the configuration, never on scheduling — the
-/// scheduler pre-draws through this same function, which is what keeps
-/// parallel verdicts deterministic.
-pub(crate) fn draw_stimuli(n_qubits: usize, config: &Config) -> Vec<u64> {
-    match config.stimuli {
-        crate::config::StimulusStrategy::Random => {
-            let mut rng = StdRng::seed_from_u64(config.seed);
-            choose_bases(n_qubits, config.simulations, &mut rng)
-        }
-        crate::config::StimulusStrategy::Sequential => {
-            let space: u128 = 1u128 << n_qubits;
-            (0..config.simulations as u128)
-                .take_while(|&i| i < space)
-                .map(|i| i as u64)
-                .collect()
-        }
+/// Builds the decision-diagram input vector for one stimulus: the basis
+/// edge, with the stimulus prefix (if any) applied on top.
+pub(crate) fn prepare_dd_input(
+    package: &mut qdd::Package,
+    stimulus: &Stimulus,
+) -> Result<qdd::VEdge, qdd::DdLimitError> {
+    let basis = package.basis_vedge(stimulus.basis_state())?;
+    match stimulus.prefix_circuit() {
+        None => Ok(basis),
+        Some(prefix) => package.apply_to_vedge(&prefix, basis),
     }
 }
 
-/// Chooses the stimuli: distinct random basis states, or all of them when
-/// the space is small.
-fn choose_bases(n_qubits: usize, r: usize, rng: &mut StdRng) -> Vec<u64> {
-    let space: u128 = 1u128 << n_qubits;
-    if space <= r as u128 {
-        return (0..space as u64).collect();
-    }
-    let mut chosen = Vec::with_capacity(r);
-    while chosen.len() < r {
-        let candidate = rng.gen_range(0..space as u64);
-        if !chosen.contains(&candidate) {
-            chosen.push(candidate);
-        }
-    }
-    chosen
+/// Draws the full stimulus list for one flow invocation: the seeded
+/// stimulus stream depends only on the configuration, never on scheduling
+/// — the scheduler pre-draws through this same function, which is what
+/// keeps parallel verdicts deterministic.
+///
+/// This is the crate's single dispatch point from
+/// [`StimulusStrategy`] onto the [`qstim`] generators, exposed so external
+/// tools (campaign runners, fixture audits) can reproduce exactly the
+/// stimuli a flow invocation will use.
+///
+/// # Examples
+///
+/// ```
+/// use qcec::{Config, StimulusStrategy};
+///
+/// let config = Config::new().with_seed(7).with_simulations(4);
+/// let basis = qcec::draw_stimuli(5, &config);
+/// assert_eq!(basis.len(), 4);
+/// let stab = qcec::draw_stimuli(
+///     5,
+///     &config.with_stimuli(StimulusStrategy::Stabilizer),
+/// );
+/// assert!(stab.iter().all(|s| s.kind() == "stabilizer"));
+/// ```
+#[must_use]
+pub fn draw_stimuli(n_qubits: usize, config: &Config) -> Vec<Stimulus> {
+    let source: &dyn StimulusSource = match config.stimuli {
+        StimulusStrategy::Random => &BasisSource,
+        StimulusStrategy::Sequential => &SequentialSource,
+        StimulusStrategy::Product => &ProductSource,
+        StimulusStrategy::Stabilizer => &StabilizerSource,
+    };
+    source.draw(n_qubits, config.seed, config.simulations)
 }
 
 /// Stateful per-run comparison.
@@ -156,12 +181,12 @@ impl<'a> Judge<'a> {
     pub(crate) fn observe(
         &mut self,
         overlap: Complex,
-        basis: u64,
+        stimulus: &Stimulus,
         run: usize,
     ) -> Option<Counterexample> {
         use crate::outcome::Mismatch;
         let ce = |mismatch: Mismatch| Counterexample {
-            basis,
+            stimulus: stimulus.clone(),
             overlap,
             fidelity: overlap.norm_sqr(),
             run,
@@ -267,6 +292,33 @@ mod tests {
     }
 
     #[test]
+    fn dd_backend_agrees_with_statevector_on_nonclassical_stimuli() {
+        let g = generators::qft(4, true);
+        let mut buggy = g.clone();
+        buggy.t(2);
+        for strategy in [StimulusStrategy::Product, StimulusStrategy::Stabilizer] {
+            let config = Config::default().with_stimuli(strategy).with_seed(11);
+            let sv = run_simulations(&g, &buggy, &config).unwrap();
+            let dd = run_simulations(
+                &g,
+                &buggy,
+                &config.clone().with_backend(SimBackend::DecisionDiagram),
+            )
+            .unwrap();
+            // Both backends judge the same pre-drawn stimuli, so the
+            // decisive run (and the witnessing stimulus) must match.
+            match (&sv, &dd) {
+                (SimVerdict::CounterexampleFound(a), SimVerdict::CounterexampleFound(b)) => {
+                    assert_eq!(a.run, b.run, "strategy {strategy:?}");
+                    assert_eq!(a.stimulus, b.stimulus, "strategy {strategy:?}");
+                    assert!((a.fidelity - b.fidelity).abs() < 1e-9);
+                }
+                other => panic!("expected matching counterexamples, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn basis_dependent_phases_are_caught_by_consistency_tracking() {
         // An S gate on a qubit that stays classical turns every basis input
         // into a pure phase (i^b): each run individually looks like "equal
@@ -324,7 +376,7 @@ mod tests {
         let mut buggy = qcirc::Circuit::new(n);
         buggy.mcz((0..n - 1).collect(), n - 1);
         let sequential = Config::default()
-            .with_stimuli(crate::config::StimulusStrategy::Sequential)
+            .with_stimuli(StimulusStrategy::Sequential)
             .with_simulations(16);
         let v = run_simulations(&g, &buggy, &sequential).unwrap();
         assert!(
@@ -338,13 +390,61 @@ mod tests {
     }
 
     #[test]
+    fn nonclassical_stimuli_catch_what_basis_stimuli_miss() {
+        // The same highly-controlled fault as above: basis stimuli hit the
+        // corrupted column with probability 2^{1-n} per run, while product
+        // and stabilizer states overlap many columns at once, so the
+        // fidelity deficit shows up within a handful of runs (a product
+        // state sees every column; a stabilizer state may have zero
+        // support on the one corrupted column, but not ten times in a row).
+        let n = 10;
+        let g = qcirc::Circuit::new(n);
+        let mut buggy = qcirc::Circuit::new(n);
+        buggy.mcz((0..n - 1).collect(), n - 1);
+        let basis = Config::default().with_simulations(10).with_seed(0);
+        let v = run_simulations(&g, &buggy, &basis).unwrap();
+        assert!(
+            matches!(v, SimVerdict::AllAgreed { .. }),
+            "10 random basis states should miss a 9-controlled fault"
+        );
+        for strategy in [StimulusStrategy::Product, StimulusStrategy::Stabilizer] {
+            let config = Config::default()
+                .with_stimuli(strategy)
+                .with_simulations(10)
+                .with_seed(0);
+            let v = run_simulations(&g, &buggy, &config).unwrap();
+            match v {
+                SimVerdict::CounterexampleFound(ce) => {
+                    assert!(ce.run <= 10, "strategy {strategy:?} took {} runs", ce.run);
+                }
+                other => panic!("strategy {strategy:?} missed the fault: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn drawn_stimuli_match_their_strategy() {
+        let config = Config::default().with_simulations(6).with_seed(9);
+        for (strategy, kind) in [
+            (StimulusStrategy::Random, "basis"),
+            (StimulusStrategy::Sequential, "basis"),
+            (StimulusStrategy::Product, "product"),
+            (StimulusStrategy::Stabilizer, "stabilizer"),
+        ] {
+            let stimuli = draw_stimuli(8, &config.clone().with_stimuli(strategy));
+            assert_eq!(stimuli.len(), 6, "{strategy}");
+            assert!(stimuli.iter().all(|s| s.kind() == kind), "{strategy}");
+        }
+    }
+
+    #[test]
     fn chosen_bases_are_distinct() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let bases = choose_bases(20, 50, &mut rng);
+        let config = Config::default().with_simulations(50).with_seed(1);
+        let stimuli = draw_stimuli(20, &config);
+        let mut bases: Vec<u64> = stimuli.iter().map(Stimulus::basis_state).collect();
         assert_eq!(bases.len(), 50);
-        let mut dedup = bases.clone();
-        dedup.sort_unstable();
-        dedup.dedup();
-        assert_eq!(dedup.len(), 50);
+        bases.sort_unstable();
+        bases.dedup();
+        assert_eq!(bases.len(), 50);
     }
 }

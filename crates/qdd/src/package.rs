@@ -868,12 +868,32 @@ impl Package {
         circuit: &qcirc::Circuit,
         basis: u64,
     ) -> Result<VEdge, DdLimitError> {
+        let v = self.basis_vedge(basis)?;
+        self.apply_to_vedge(circuit, v)
+    }
+
+    /// Applies a circuit to an arbitrary vector DD — the general form of
+    /// [`Package::apply_to_basis`], used when the initial state is itself
+    /// the output of a preparation circuit (e.g. a stabilizer stimulus).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdLimitError`] if the node limit is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit's qubit count differs from the package's.
+    pub fn apply_to_vedge(
+        &mut self,
+        circuit: &qcirc::Circuit,
+        initial: VEdge,
+    ) -> Result<VEdge, DdLimitError> {
         assert_eq!(
             circuit.n_qubits(),
             self.n_qubits,
             "circuit and package qubit counts differ"
         );
-        let mut v = self.basis_vedge(basis)?;
+        let mut v = initial;
         for gate in circuit.gates() {
             let g = self.gate_medge(gate)?;
             v = self.mul_mv(g, v)?;

@@ -210,17 +210,7 @@ impl Simulator {
         workspace: &mut ProbeWorkspace,
         keep_going: &dyn Fn() -> bool,
     ) -> Option<Complex> {
-        assert_eq!(
-            g.n_qubits(),
-            g_prime.n_qubits(),
-            "circuits must have equal qubit counts"
-        );
-        if !self.run_basis_into_while(g, basis, &mut workspace.left, keep_going)
-            || !self.run_basis_into_while(g_prime, basis, &mut workspace.right, keep_going)
-        {
-            return None;
-        }
-        Some(workspace.left.inner_product(&workspace.right))
+        self.probe_stimulus_while(g, g_prime, None, basis, workspace, keep_going)
     }
 
     /// Like [`Simulator::run_basis_into`], but polls `keep_going` between
@@ -238,6 +228,23 @@ impl Simulator {
         keep_going: &dyn Fn() -> bool,
     ) -> bool {
         state.reset_to_basis(basis);
+        self.apply_to_state_while(circuit, state, keep_going)
+    }
+
+    /// Applies `circuit` to the *current* contents of `state` (no reset) —
+    /// the building block for probes whose initial state is itself prepared
+    /// by a prefix circuit. Polls `keep_going` between gate applications;
+    /// returns `false` (leaving `state` part-way through) if abandoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn apply_to_state_while(
+        &self,
+        circuit: &Circuit,
+        state: &mut StateVector,
+        keep_going: &dyn Fn() -> bool,
+    ) -> bool {
         assert_eq!(
             circuit.n_qubits(),
             state.n_qubits(),
@@ -250,6 +257,69 @@ impl Simulator {
             self.apply_gate(state, gate);
         }
         true
+    }
+
+    /// The stimulus-aware probe: prepares `|basis⟩`, runs the optional
+    /// `prefix` circuit once (product or stabilizer state preparation),
+    /// then branches the shared prepared state through `g` and `g_prime`
+    /// and returns the overlap `⟨u|u′⟩` of the two outputs.
+    ///
+    /// With `prefix = None` this is exactly
+    /// [`Simulator::probe_basis_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit count differs or `basis` is out of range.
+    #[must_use]
+    pub fn probe_stimulus_with(
+        &self,
+        g: &Circuit,
+        g_prime: &Circuit,
+        prefix: Option<&Circuit>,
+        basis: u64,
+        workspace: &mut ProbeWorkspace,
+    ) -> Complex {
+        self.probe_stimulus_while(g, g_prime, prefix, basis, workspace, &|| true)
+            .expect("unconditional probe cannot be cancelled")
+    }
+
+    /// Like [`Simulator::probe_stimulus_with`], but polls `keep_going`
+    /// between gate applications — the cancellable variant for worker
+    /// pools. Returns `None` if the probe was abandoned mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit count differs or `basis` is out of range.
+    #[must_use]
+    pub fn probe_stimulus_while(
+        &self,
+        g: &Circuit,
+        g_prime: &Circuit,
+        prefix: Option<&Circuit>,
+        basis: u64,
+        workspace: &mut ProbeWorkspace,
+        keep_going: &dyn Fn() -> bool,
+    ) -> Option<Complex> {
+        assert_eq!(
+            g.n_qubits(),
+            g_prime.n_qubits(),
+            "circuits must have equal qubit counts"
+        );
+        workspace.left.reset_to_basis(basis);
+        if let Some(prefix) = prefix {
+            // The preparation runs once; both branches start from its
+            // output.
+            if !self.apply_to_state_while(prefix, &mut workspace.left, keep_going) {
+                return None;
+            }
+        }
+        workspace.right.copy_from(&workspace.left);
+        if !self.apply_to_state_while(g, &mut workspace.left, keep_going)
+            || !self.apply_to_state_while(g_prime, &mut workspace.right, keep_going)
+        {
+            return None;
+        }
+        Some(workspace.left.inner_product(&workspace.right))
     }
 }
 

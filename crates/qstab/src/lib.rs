@@ -13,6 +13,9 @@
 //!   form, state equality, distinguishing-Pauli extraction.
 //! * [`run`] / [`apply_gate`] / [`is_clifford`] — `qcirc` integration.
 //! * [`check_clifford_equivalence`] — the paper's flow, stabilizer edition.
+//! * [`random_stabilizer_rows`] / [`synthesize_state`] — uniform random
+//!   stabilizer states and their Clifford preparation circuits (the
+//!   sampling engine behind `qstim`'s stabilizer stimuli).
 //!
 //! # Examples
 //!
@@ -38,8 +41,12 @@
 
 mod check;
 mod convert;
+mod random;
+mod synth;
 mod tableau;
 
 pub use check::{check_clifford_equivalence, CliffordVerdict};
 pub use convert::{apply_gate, is_clifford, run, NotCliffordError};
+pub use random::{random_stabilizer_circuit, random_stabilizer_rows};
+pub use synth::synthesize_state;
 pub use tableau::{PauliRow, Tableau};

@@ -1,0 +1,249 @@
+//! Uniform sampling of random stabilizer states.
+//!
+//! A pure `n`-qubit stabilizer state is a maximal isotropic subspace of
+//! `F₂^{2n}` (under the symplectic form) plus a sign per generator. The
+//! sampler below draws the generators one at a time: at step `j` it picks a
+//! uniform element of the symplectic orthocomplement of the generators
+//! chosen so far and rejects it if it is linearly dependent on them
+//! (acceptance probability ≥ 3/4 at every step). Because `Sp(2n, 2)` acts
+//! transitively on sequences of independent pairwise-commuting Paulis, the
+//! resulting subspace is uniform over all maximal isotropic subspaces; a
+//! uniform sign per generator then makes the *state* uniform over all
+//! `2ⁿ · ∏(2ⁱ + 1)` pure stabilizer states.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::tableau::PauliRow;
+
+/// Draws the `n` stabilizer generators of a uniformly random pure
+/// stabilizer state: independent, pairwise commuting, uniform ±1 signs.
+///
+/// The draw consumes a bounded-expected number of RNG words and is a pure
+/// function of the RNG state, so seeding the RNG makes it reproducible.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn random_stabilizer_rows(n: usize, rng: &mut StdRng) -> Vec<PauliRow> {
+    assert!(n > 0, "a stabilizer state needs at least one qubit");
+    let dim = 2 * n;
+    // Chosen generators as symplectic bit vectors `[x₀…x_{n−1} z₀…z_{n−1}]`,
+    // plus a row-echelon copy for fast span-membership tests.
+    let mut chosen: Vec<Vec<bool>> = Vec::with_capacity(n);
+    let mut echelon: Vec<Vec<bool>> = Vec::new();
+    while chosen.len() < n {
+        // Basis of `{v : ⟨v, g⟩_sp = 0 for every chosen g}`. Commutation
+        // with `g` is a *linear* constraint: the symplectic product pairs
+        // x-bits with z-bits, so the constraint row is `g` with its halves
+        // swapped.
+        let constraints: Vec<Vec<bool>> = chosen.iter().map(|g| swap_halves(g, n)).collect();
+        let ortho = kernel_basis(&constraints, dim);
+        loop {
+            // A uniform element of the orthocomplement: every basis vector
+            // joins the combination with probability 1/2.
+            let mut v = vec![false; dim];
+            for basis_vec in &ortho {
+                if rng.gen::<bool>() {
+                    xor_into(&mut v, basis_vec);
+                }
+            }
+            // Reject dependence on the chosen set (this includes v = 0).
+            // span(chosen) ⊆ orthocomplement, so the acceptance probability
+            // is `1 − 2^{j}/2^{2n−j} ≥ 3/4` with `j` generators chosen.
+            if !in_span(&echelon, &v) {
+                insert_into_echelon(&mut echelon, v.clone());
+                chosen.push(v);
+                break;
+            }
+        }
+    }
+    chosen
+        .into_iter()
+        .map(|bits| PauliRow {
+            x: bits[..n].to_vec(),
+            z: bits[n..].to_vec(),
+            sign: rng.gen::<bool>(),
+            imaginary: false,
+        })
+        .collect()
+}
+
+/// Draws a uniformly random stabilizer state and lowers it to a Clifford
+/// preparation circuit: applying the result to `|0…0⟩` produces the state.
+///
+/// Convenience composition of [`random_stabilizer_rows`] and
+/// [`crate::synthesize_state`].
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn random_stabilizer_circuit(n: usize, rng: &mut StdRng) -> qcirc::Circuit {
+    crate::synthesize_state(&random_stabilizer_rows(n, rng))
+}
+
+/// `[x z] ↦ [z x]`: turns a generator into its commutation-constraint row.
+fn swap_halves(bits: &[bool], n: usize) -> Vec<bool> {
+    let mut out = Vec::with_capacity(2 * n);
+    out.extend_from_slice(&bits[n..]);
+    out.extend_from_slice(&bits[..n]);
+    out
+}
+
+fn xor_into(acc: &mut [bool], other: &[bool]) {
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a ^= b;
+    }
+}
+
+fn leading(v: &[bool]) -> Option<usize> {
+    v.iter().position(|&b| b)
+}
+
+/// Reduces `v` against echelon rows (each with a unique leading column) and
+/// reports whether the residue vanishes.
+fn in_span(echelon: &[Vec<bool>], v: &[bool]) -> bool {
+    let mut v = v.to_vec();
+    for row in echelon {
+        let l = leading(row).expect("echelon rows are nonzero");
+        if v[l] {
+            xor_into(&mut v, row);
+        }
+    }
+    leading(&v).is_none()
+}
+
+/// Adds an independent vector to the echelon, keeping every row's leading
+/// column unique.
+fn insert_into_echelon(echelon: &mut Vec<Vec<bool>>, mut v: Vec<bool>) {
+    for row in echelon.iter() {
+        let l = leading(row).expect("echelon rows are nonzero");
+        if v[l] {
+            xor_into(&mut v, row);
+        }
+    }
+    debug_assert!(leading(&v).is_some(), "inserted vector was dependent");
+    echelon.push(v);
+}
+
+/// Basis of the null space `{v : Mv = 0}` of a bit matrix given by rows.
+fn kernel_basis(rows: &[Vec<bool>], dim: usize) -> Vec<Vec<bool>> {
+    // Row-reduce a working copy, tracking pivot columns.
+    let mut m: Vec<Vec<bool>> = rows.to_vec();
+    let mut pivots: Vec<usize> = Vec::new();
+    let mut rank = 0usize;
+    for col in 0..dim {
+        let Some(found) = (rank..m.len()).find(|&i| m[i][col]) else {
+            continue;
+        };
+        m.swap(rank, found);
+        for i in 0..m.len() {
+            if i != rank && m[i][col] {
+                let (row_i, row_r) = pick_two(&mut m, i, rank);
+                xor_into(row_i, row_r);
+            }
+        }
+        pivots.push(col);
+        rank += 1;
+    }
+    // One basis vector per free column: set the free bit, back-fill the
+    // pivot bits from the reduced rows.
+    let mut basis = Vec::with_capacity(dim - rank);
+    for free in 0..dim {
+        if pivots.contains(&free) {
+            continue;
+        }
+        let mut v = vec![false; dim];
+        v[free] = true;
+        for (r, &p) in pivots.iter().enumerate() {
+            v[p] = m[r][free];
+        }
+        basis.push(v);
+    }
+    basis
+}
+
+fn pick_two<T>(slice: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j);
+    if i < j {
+        let (a, b) = slice.split_at_mut(j);
+        (&mut a[i], &mut b[0])
+    } else {
+        let (a, b) = slice.split_at_mut(i);
+        (&mut b[0], &mut a[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn commute(a: &PauliRow, b: &PauliRow) -> bool {
+        let mut acc = false;
+        for q in 0..a.x.len() {
+            acc ^= (a.x[q] & b.z[q]) ^ (a.z[q] & b.x[q]);
+        }
+        !acc
+    }
+
+    #[test]
+    fn rows_are_independent_and_commuting() {
+        for n in 1..=7 {
+            for seed in 0..5u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let rows = random_stabilizer_rows(n, &mut rng);
+                assert_eq!(rows.len(), n);
+                let mut echelon: Vec<Vec<bool>> = Vec::new();
+                for (i, a) in rows.iter().enumerate() {
+                    assert!(!a.imaginary, "generators carry real signs");
+                    for b in &rows[i + 1..] {
+                        assert!(commute(a, b), "generators must commute (n={n} seed={seed})");
+                    }
+                    let mut bits = a.x.clone();
+                    bits.extend_from_slice(&a.z);
+                    assert!(
+                        !in_span(&echelon, &bits),
+                        "generators must be independent (n={n} seed={seed})"
+                    );
+                    insert_into_echelon(&mut echelon, bits);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn draws_are_reproducible_per_seed() {
+        let a = random_stabilizer_rows(5, &mut StdRng::seed_from_u64(9));
+        let b = random_stabilizer_rows(5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = random_stabilizer_rows(5, &mut StdRng::seed_from_u64(10));
+        assert_ne!(a, c, "different seeds draw different states");
+    }
+
+    #[test]
+    fn single_qubit_states_cover_all_six() {
+        // 6 single-qubit stabilizer states: ±X, ±Y, ±Z eigenstates. With
+        // enough seeds every one must appear.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rows = random_stabilizer_rows(1, &mut rng);
+            seen.insert((rows[0].x[0], rows[0].z[0], rows[0].sign));
+        }
+        assert_eq!(seen.len(), 6, "sampler misses single-qubit states");
+    }
+
+    #[test]
+    fn kernel_basis_spans_the_null_space() {
+        // One constraint on F₂⁴: x₀ + x₂ = 0.
+        let rows = vec![vec![true, false, true, false]];
+        let basis = kernel_basis(&rows, 4);
+        assert_eq!(basis.len(), 3);
+        for v in &basis {
+            assert!(!(v[0] ^ v[2]), "basis vector violates the constraint");
+        }
+    }
+}

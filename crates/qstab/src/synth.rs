@@ -1,0 +1,244 @@
+//! Stabilizer-state preparation synthesis: from `n` stabilizer generators
+//! to a Clifford circuit preparing the state from `|0…0⟩`.
+//!
+//! The synthesis runs the textbook disentangling sweep *backwards*: it
+//! records the gate sequence that maps the given state to `|0…0⟩` by
+//! conjugating the generators qubit by qubit until they read `+Z₀ … +Z_{n−1}`,
+//! then returns the inverse circuit. Per qubit `q` it
+//!
+//! 1. ensures some unprocessed generator has an X-bit at `q` (applying `H(q)`
+//!    if necessary — one must then exist, or `Z_q` would extend the maximal
+//!    abelian group, impossible for a pure state);
+//! 2. multiplies the other X-carrying generators by that pivot, making it
+//!    the only one touching column `q` with X;
+//! 3. reduces the pivot to `±X_q` with `CX`/`S`/`CZ` conjugations, fixes the
+//!    sign with `Z(q)`, and finishes with `H(q)`, leaving the pivot `+Z_q`.
+//!
+//! Mutual commutation forces every other generator off column `q` at that
+//! point, so processed columns are never revisited and the sweep terminates
+//! with the `|0…0⟩` tableau in `O(n²)` gates.
+
+use qcirc::Circuit;
+
+use crate::tableau::PauliRow;
+
+/// Synthesizes a Clifford preparation circuit for the pure stabilizer state
+/// described by `rows`: the returned circuit `P` satisfies
+/// `P|0…0⟩ = |ψ⟩` with every row stabilizing `|ψ⟩` (verify with
+/// [`crate::run`]` + `[`crate::Tableau::stabilizes`]).
+///
+/// Uses only `H`, `S`/`S†`, `Z`, `CX` and `CZ`, at most `O(n²)` of them.
+///
+/// # Panics
+///
+/// Panics if `rows` is not a valid description of a pure stabilizer state
+/// on `rows.len()` qubits: wrong row lengths, imaginary phases, mutually
+/// anticommuting or dependent rows.
+#[must_use]
+pub fn synthesize_state(rows: &[PauliRow]) -> Circuit {
+    let n = rows.len();
+    assert!(n > 0, "a stabilizer state needs at least one generator");
+    for row in rows {
+        assert_eq!(row.x.len(), n, "row width must match the generator count");
+        assert_eq!(row.z.len(), n, "row width must match the generator count");
+        assert!(!row.imaginary, "stabilizer generators carry real signs");
+    }
+
+    let mut rows: Vec<PauliRow> = rows.to_vec();
+    let mut processed = vec![false; n];
+    // The disentangler: applied to |ψ⟩ it yields |0…0⟩.
+    let mut dis = Circuit::new(n);
+
+    for q in 0..n {
+        // 1. Guarantee an X-bit at column q among the unprocessed rows.
+        if find_pivot(&rows, &processed, q).is_none() {
+            dis.h(q);
+            conj_h(&mut rows, q);
+        }
+        let j = find_pivot(&rows, &processed, q).expect(
+            "no generator anticommutes with Z_q even after H — \
+             the rows do not describe a pure stabilizer state",
+        );
+
+        // 2. Make row j the only unprocessed row with an X-bit at q.
+        let pivot = rows[j].clone();
+        for (i, row) in rows.iter_mut().enumerate() {
+            if i != j && !processed[i] && row.x[q] {
+                row.mul_assign(&pivot);
+                assert!(!row.imaginary, "generators must pairwise commute");
+            }
+        }
+
+        // 3a. Clear the pivot's X-bits on every other column.
+        for c in 0..n {
+            if c != q && rows[j].x[c] {
+                dis.cx(q, c);
+                conj_cx(&mut rows, q, c);
+            }
+        }
+        // 3b. Y at q → X at q.
+        if rows[j].z[q] {
+            dis.s(q);
+            conj_s(&mut rows, q);
+        }
+        // 3c. Clear the pivot's Z-bits on every other column.
+        for c in 0..n {
+            if c != q && rows[j].z[c] {
+                dis.cz(q, c);
+                conj_cz(&mut rows, q, c);
+            }
+        }
+        // 3d. Fix the sign: −X_q → +X_q.
+        if rows[j].sign {
+            dis.z(q);
+            conj_z(&mut rows, q);
+        }
+        // 3e. +X_q → +Z_q.
+        dis.h(q);
+        conj_h(&mut rows, q);
+
+        debug_assert!(is_plus_z(&rows[j], q), "pivot must reduce to +Z_q");
+        processed[j] = true;
+    }
+
+    // Every generator is now +Z_q for a distinct q, i.e. the disentangled
+    // state is |0…0⟩; the preparation circuit is the inverse sweep.
+    dis.inverse()
+}
+
+fn find_pivot(rows: &[PauliRow], processed: &[bool], q: usize) -> Option<usize> {
+    rows.iter()
+        .enumerate()
+        .position(|(i, row)| !processed[i] && row.x[q])
+}
+
+fn is_plus_z(row: &PauliRow, q: usize) -> bool {
+    !row.sign
+        && !row.imaginary
+        && row.x.iter().all(|&b| !b)
+        && row.z.iter().enumerate().all(|(c, &b)| b == (c == q))
+}
+
+// Conjugation updates `P ↦ U P U†` for each recorded gate, applied to every
+// generator — the same Aaronson–Gottesman update rules as `Tableau`'s gates.
+
+fn conj_h(rows: &mut [PauliRow], q: usize) {
+    for row in rows {
+        row.sign ^= row.x[q] & row.z[q];
+        std::mem::swap(&mut row.x[q], &mut row.z[q]);
+    }
+}
+
+fn conj_s(rows: &mut [PauliRow], q: usize) {
+    for row in rows {
+        row.sign ^= row.x[q] & row.z[q];
+        row.z[q] ^= row.x[q];
+    }
+}
+
+fn conj_cx(rows: &mut [PauliRow], c: usize, t: usize) {
+    for row in rows {
+        row.sign ^= row.x[c] & row.z[t] & (row.x[t] ^ row.z[c] ^ true);
+        row.x[t] ^= row.x[c];
+        row.z[c] ^= row.z[t];
+    }
+}
+
+fn conj_cz(rows: &mut [PauliRow], a: usize, b: usize) {
+    // CZ = H(b) · CX(a,b) · H(b).
+    conj_h(rows, b);
+    conj_cx(rows, a, b);
+    conj_h(rows, b);
+}
+
+fn conj_z(rows: &mut [PauliRow], q: usize) {
+    for row in rows {
+        row.sign ^= row.x[q];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_stabilizer_rows;
+    use crate::Tableau;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ghz_rows(n: usize) -> Vec<PauliRow> {
+        // X…X and Z_i Z_{i+1} stabilize the GHZ state.
+        let mut rows = Vec::new();
+        let mut all_x = PauliRow::identity(n);
+        all_x.x.iter_mut().for_each(|b| *b = true);
+        rows.push(all_x);
+        for i in 0..n - 1 {
+            let mut zz = PauliRow::identity(n);
+            zz.z[i] = true;
+            zz.z[i + 1] = true;
+            rows.push(zz);
+        }
+        rows
+    }
+
+    #[test]
+    fn ghz_rows_synthesize_the_ghz_state() {
+        for n in 2..=5 {
+            let circuit = synthesize_state(&ghz_rows(n));
+            let tableau = crate::run(&circuit, 0).expect("synthesis emits Clifford gates only");
+            let mut reference = Tableau::new(n);
+            reference.h(0);
+            for q in 1..n {
+                reference.cx(0, q);
+            }
+            assert!(tableau.same_state(&reference), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn basis_states_synthesize_trivially() {
+        // +Z_q rows with signs encoding |101⟩.
+        let n = 3;
+        let mut rows = Vec::new();
+        for (q, bit) in [true, false, true].into_iter().enumerate() {
+            let mut row = PauliRow::identity(n);
+            row.z[q] = true;
+            row.sign = bit;
+            rows.push(row);
+        }
+        let circuit = synthesize_state(&rows);
+        let tableau = crate::run(&circuit, 0).unwrap();
+        assert!(tableau.same_state(&Tableau::basis(n, 0b101)));
+    }
+
+    #[test]
+    fn random_states_round_trip() {
+        for n in 1..=7 {
+            for seed in 0..6u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let rows = random_stabilizer_rows(n, &mut rng);
+                let circuit = synthesize_state(&rows);
+                let tableau = crate::run(&circuit, 0).expect("synthesis emits Clifford gates only");
+                for row in &rows {
+                    assert!(
+                        tableau.stabilizes(row),
+                        "n={n} seed={seed}: {row} does not stabilize the prepared state"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gate_count_is_quadratic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [4usize, 8, 12] {
+            let rows = random_stabilizer_rows(n, &mut rng);
+            let circuit = synthesize_state(&rows);
+            assert!(
+                circuit.len() <= 3 * n * n + 4 * n,
+                "n={n}: {} gates exceeds the O(n²) bound",
+                circuit.len()
+            );
+        }
+    }
+}

@@ -69,8 +69,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             counterexample: Some(ce),
         } => {
             println!(
-                "→ non-equivalence proven by simulation run #{} on basis |{}⟩ (fidelity {:.4})",
-                ce.run, ce.basis, ce.fidelity
+                "→ non-equivalence proven by simulation run #{} on stimulus {} (fidelity {:.4})",
+                ce.run, ce.stimulus, ce.fidelity
             );
             Ok(())
         }

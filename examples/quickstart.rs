@@ -37,8 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Outcome::NotEquivalent {
             counterexample: Some(ce),
         } => println!(
-            "counterexample: simulate both circuits on |{:02b}⟩ and compare — fidelity {:.4}",
-            ce.basis, ce.fidelity
+            "counterexample: simulate both circuits on {} and compare — fidelity {:.4}",
+            ce.stimulus, ce.fidelity
         ),
         other => println!("unexpected outcome: {other}"),
     }

@@ -2,7 +2,10 @@
 //! spots. Every case either must be handled correctly or must fail the
 //! *documented* way (no silent wrong answers).
 
-use qcec::{check_equivalence, check_equivalence_default, Config, Criterion, Fallback, Outcome};
+use qcec::{
+    check_equivalence, check_equivalence_default, Config, Criterion, Fallback, Outcome,
+    StimulusStrategy,
+};
 use qcirc::{generators, Circuit};
 
 /// The worst case of Section IV-A: the difference is a fully-controlled
@@ -287,6 +290,45 @@ fn escapees_still_escape_ten_simulations() {
                 e.name,
                 result.outcome
             );
+        }
+    }
+}
+
+/// Non-classical stimuli close the corpus's blind spot: for the *same*
+/// seeds that basis stimuli are recorded to escape, product and stabilizer
+/// stimuli detect every persisted fault within the same `r = 10` budget —
+/// with the fallback disabled, so the detection is the simulation stage's
+/// alone. Basis stimuli remain the documented miss
+/// (`escapees_still_escape_ten_simulations` above).
+#[test]
+fn nonclassical_stimuli_detect_every_escapee() {
+    for e in &escapee_corpus() {
+        for strategy in [StimulusStrategy::Product, StimulusStrategy::Stabilizer] {
+            for &seed in &e.escapes_seeds {
+                let config = Config::new()
+                    .with_simulations(10)
+                    .with_seed(seed)
+                    .with_stimuli(strategy)
+                    .with_fallback(Fallback::None)
+                    .with_threads(1);
+                let result = check_equivalence(&e.golden, &e.faulty, &config).unwrap();
+                let Outcome::NotEquivalent {
+                    counterexample: Some(ce),
+                } = &result.outcome
+                else {
+                    panic!(
+                        "{} (seed {seed}, {strategy}): non-classical stimuli \
+                         missed a fault basis stimuli escape ({})",
+                        e.name, result.outcome
+                    );
+                };
+                assert!(
+                    ce.run <= 10,
+                    "{} (seed {seed}, {strategy}): detection run {} out of budget",
+                    e.name,
+                    ce.run
+                );
+            }
         }
     }
 }

@@ -253,6 +253,7 @@ fn benign_trials_are_never_counted_as_detection_misses() {
     use qcec::campaign::{ClassStats, Detection, TrialRecord};
     let benign_trial = |detection| TrialRecord {
         benchmark: 0,
+        strategy: qcec::StimulusStrategy::Random,
         kind: MutationKind::AddGate,
         trial: 0,
         seed: 7,
