@@ -6,6 +6,8 @@
 //! can degrade on unstructured ones (supremacy-style).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcec::backend::{SimBackend, StatevectorBackend};
+use qcec::Stimulus;
 use qcirc::generators;
 use qsim::Simulator;
 
@@ -58,6 +60,31 @@ fn bench_unstructured_circuits(c: &mut Criterion) {
     group.finish();
 }
 
+/// The flow-level probe (`SimBackend::probe`): one full equivalence probe —
+/// stimulus preparation plus both circuit passes plus the overlap — per
+/// backend, on the structured register family the campaign's `adder 16`
+/// fixture uses. This is the number EXPERIMENTS.md's backend table records.
+fn bench_probe_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_probe");
+    group.sample_size(10);
+    for n in [8usize, 12, 16] {
+        // cuccaro_adder(k) acts on 2k + 2 qubits.
+        let adder = generators::cuccaro_adder((n - 2) / 2);
+        let optimized = qcirc::optimize::optimize(&adder);
+        let stimulus = Stimulus::Basis(1);
+        group.bench_with_input(BenchmarkId::new("sv_adder", n), &adder, |b, g| {
+            let backend = StatevectorBackend::new();
+            let mut ws = backend.workspace(g.n_qubits());
+            b.iter(|| backend.probe(g, &optimized, &stimulus, &mut ws).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("dd_adder", n), &adder, |b, g| {
+            let backend = qdd::DdBackend::new();
+            b.iter(|| SimBackend::probe(&backend, g, &optimized, &stimulus, &mut ()).unwrap());
+        });
+    }
+    group.finish();
+}
+
 fn bench_threaded_statevector(c: &mut Criterion) {
     let mut group = c.benchmark_group("backend_threads");
     group.sample_size(10);
@@ -75,9 +102,11 @@ fn bench_threaded_statevector(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_structured_circuits, bench_unstructured_circuits, bench_threaded_statevector
-}
+criterion_group!(
+    benches,
+    bench_structured_circuits,
+    bench_unstructured_circuits,
+    bench_probe_backends,
+    bench_threaded_statevector
+);
 criterion_main!(benches);

@@ -71,9 +71,11 @@ fn bench_alternating_vs_construct(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_gate_dd_construction, bench_circuit_dd, bench_dd_simulation, bench_alternating_vs_construct
-}
+criterion_group!(
+    benches,
+    bench_gate_dd_construction,
+    bench_circuit_dd,
+    bench_dd_simulation,
+    bench_alternating_vs_construct
+);
 criterion_main!(benches);

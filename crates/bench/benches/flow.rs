@@ -92,9 +92,11 @@ fn bench_stimulus_strategies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_non_equivalent, bench_equivalent, bench_r_sweep, bench_stimulus_strategies
-}
+criterion_group!(
+    benches,
+    bench_non_equivalent,
+    bench_equivalent,
+    bench_r_sweep,
+    bench_stimulus_strategies
+);
 criterion_main!(benches);

@@ -73,9 +73,10 @@ fn bench_controlled_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_single_qubit_kernel, bench_diagonal_fast_path, bench_controlled_kernel
-}
+criterion_group!(
+    benches,
+    bench_single_qubit_kernel,
+    bench_diagonal_fast_path,
+    bench_controlled_kernel
+);
 criterion_main!(benches);

@@ -16,17 +16,19 @@
 //! ```
 //!
 //! `--stimuli basis,product,stabilizer` ablates over stimulus strategies
-//! (every fault is checked once per strategy). `--pair golden,faulty`
-//! (repeatable; `.qasm` or `.real` files) switches to *pair-audit* mode:
-//! instead of the synthetic campaign, each explicit pair is labelled by
-//! the guard and checked `--trials` times per strategy with the
-//! simulation stage alone, measuring raw detection power.
+//! (every fault is checked once per strategy); `--backend sv,dd` does the
+//! same over simulation engines — every arm sees the identical faults, so
+//! a detection difference is attributable to the axis alone. `--pair
+//! golden,faulty` (repeatable; `.qasm` or `.real` files) switches to
+//! *pair-audit* mode: instead of the synthetic campaign, each explicit
+//! pair is labelled by the guard and checked `--trials` times per strategy
+//! with the simulation stage alone, measuring raw detection power.
 
 use std::io::Write as _;
 use std::process::exit;
 
 use qcec::campaign::{audit_pair, run_campaign, CampaignBenchmark, CampaignConfig, CompileRoute};
-use qcec::StimulusStrategy;
+use qcec::{BackendKind, StimulusStrategy};
 use qcirc::generators;
 use qcirc::mapping::CouplingMap;
 
@@ -43,6 +45,7 @@ struct Args {
     timings: bool,
     out: Option<String>,
     stimuli: Vec<StimulusStrategy>,
+    backends: Vec<BackendKind>,
     pairs: Vec<(String, String)>,
 }
 
@@ -61,6 +64,7 @@ impl Default for Args {
             timings: false,
             out: None,
             stimuli: vec![StimulusStrategy::Random],
+            backends: vec![BackendKind::Statevector],
             pairs: Vec::new(),
         }
     }
@@ -71,8 +75,9 @@ fn usage() -> ! {
         "usage: campaign [--seed N] [--trials N] [--faults N] [--sims N] \
          [--threads N] [--trial-threads N] [--no-guard-cache] \
          [--scale 0|1] [--epsilon X] [--timings] [--out FILE] \
-         [--stimuli S[,S...]] [--pair GOLDEN,FAULTY]...\n\
-         stimulus strategies: basis|sequential|product|stabilizer"
+         [--stimuli S[,S...]] [--backend B[,B...]] [--pair GOLDEN,FAULTY]...\n\
+         stimulus strategies: basis|sequential|product|stabilizer\n\
+         backends: sv|dd"
     );
     exit(2);
 }
@@ -91,6 +96,22 @@ fn parse_stimuli(spec: &str) -> Vec<StimulusStrategy> {
         usage();
     }
     strategies
+}
+
+fn parse_backends(spec: &str) -> Vec<BackendKind> {
+    let backends: Vec<BackendKind> = spec
+        .split(',')
+        .map(|s| {
+            BackendKind::parse(s).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                usage()
+            })
+        })
+        .collect();
+    if backends.is_empty() {
+        usage();
+    }
+    backends
 }
 
 fn parse_pair(spec: &str) -> (String, String) {
@@ -146,6 +167,7 @@ fn parse_args() -> Args {
             "--timings" => args.timings = true,
             "--out" => args.out = Some(val("--out")),
             "--stimuli" => args.stimuli = parse_stimuli(&val("--stimuli")),
+            "--backend" => args.backends = parse_backends(&val("--backend")),
             "--pair" => args.pairs.push(parse_pair(&val("--pair"))),
             "--help" | "-h" => usage(),
             other => {
@@ -159,7 +181,8 @@ fn parse_args() -> Args {
 
 /// The campaign's benchmark set: every compile route, ≥ 3 circuit
 /// families, registers small enough that the guard's complete check stays
-/// instant. `scale ≥ 1` widens the sweep.
+/// instant. `scale ≥ 1` widens the sweep; `scale ≥ 2` adds the 16-qubit
+/// adder used for the backend comparison.
 fn benchmarks(scale: usize) -> Vec<CampaignBenchmark> {
     let mut set = vec![
         CampaignBenchmark::compile(
@@ -199,6 +222,18 @@ fn benchmarks(scale: usize) -> Vec<CampaignBenchmark> {
             "toffnet",
             &generators::toffoli_network(8, 30, 3, 11),
             &CompileRoute::Decompose,
+        ));
+    }
+    if scale >= 2 {
+        // 16-qubit arithmetic: the structured register the DD backend keeps
+        // polynomially small while the dense path burns two 2¹⁶ buffers per
+        // probe — the fixture behind the backend comparison in
+        // EXPERIMENTS.md.
+        set.push(CampaignBenchmark::compile(
+            "adder 16",
+            "adder",
+            &generators::cuccaro_adder(7),
+            &CompileRoute::Optimize,
         ));
     }
     set
@@ -257,7 +292,8 @@ fn main() {
         .with_trial_threads(args.trial_threads)
         .with_guard_cache(args.guard_cache)
         .with_epsilon(args.epsilon)
-        .with_strategies(args.stimuli.clone());
+        .with_strategies(args.stimuli.clone())
+        .with_backends(args.backends.clone());
 
     if !args.pairs.is_empty() {
         run_pair_audits(&args, &config);

@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use bench::{deadline_from_env, fmt_secs, scale_from_env, suite};
 use qcec::report::Report;
-use qcec::{Config, Fallback, FlowResult, Outcome, SimBackend};
+use qcec::{BackendKind, Config, Fallback, FlowResult, Outcome};
 use qcirc::Circuit;
 use qfault::{mutator_for, GuardOptions, Mutation, MutationKind};
 use rand::rngs::StdRng;
@@ -89,9 +89,9 @@ fn main() {
 
         // Proposed flow, simulation stage only.
         let backend = if pair.statevector_ok {
-            SimBackend::Statevector
+            BackendKind::Statevector
         } else {
-            SimBackend::DecisionDiagram
+            BackendKind::DecisionDiagram
         };
         let config = Config::new()
             .with_fallback(Fallback::None)
@@ -121,11 +121,12 @@ fn main() {
             // EC routine's runtime in the functional-time column.
             let mut stats = result.stats;
             stats.functional_time = ec_elapsed;
-            report.push(
+            report.push_with_backend(
                 format!("{} [{}]", pair.name, record.kind.slug()),
                 pair.n_qubits(),
                 pair.original.len(),
                 buggy.len(),
+                backend,
                 FlowResult {
                     outcome: result.outcome.clone(),
                     stats,

@@ -16,7 +16,7 @@ use std::time::Instant;
 use bench::{deadline_from_env, fmt_secs, scale_from_env, suite};
 use qcec::report::Report;
 use qcec::{run_simulations, AbortReason, FlowResult, FlowStats, Outcome, SimVerdict};
-use qcec::{Config, SimBackend};
+use qcec::{BackendKind, Config};
 
 fn main() {
     let deadline = deadline_from_env(30);
@@ -59,9 +59,9 @@ fn main() {
 
         // The proposed flow's simulation stage (r = 10).
         let backend = if pair.statevector_ok {
-            SimBackend::Statevector
+            BackendKind::Statevector
         } else {
-            SimBackend::DecisionDiagram
+            BackendKind::DecisionDiagram
         };
         let config = Config::new()
             .with_backend(backend)
@@ -91,11 +91,12 @@ fn main() {
                     abort: AbortReason::Timeout,
                 }
             };
-            report.push(
+            report.push_with_backend(
                 pair.name.clone(),
                 pair.n_qubits(),
                 pair.original.len(),
                 pair.alternative.len(),
+                backend,
                 FlowResult {
                     outcome,
                     stats: FlowStats {

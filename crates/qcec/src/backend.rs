@@ -1,0 +1,433 @@
+//! Simulation backends: the engines that execute one equivalence probe.
+//!
+//! Every consumer of the simulation stage — the sequential flow
+//! ([`run_simulations`](crate::run_simulations)), the
+//! [`scheduler`](crate::scheduler) worker pool, counterexample replay in
+//! [`diagnose`](crate::diagnose), and the fault-injection
+//! [`campaign`](crate::campaign) — drives probes through one trait,
+//! [`SimBackend`], and is therefore engine-agnostic. Two implementations
+//! ship:
+//!
+//! * [`StatevectorBackend`] — dense `O(2ⁿ)` simulation via
+//!   [`qsim::Simulator`]; fast and predictable, and the default;
+//! * [`qdd::DdBackend`] — decision-diagram simulation (the paper's engine
+//!   \[25\]): each stimulus is pushed through both circuits as vector-edge
+//!   passes, exponentially compact whenever the intermediate states stay
+//!   structured (basis-permutation arithmetic, Clifford prefixes, …).
+//!
+//! # Contract
+//!
+//! A probe is a **pure function** of `(G, G′, stimulus)`: backends must not
+//! let hidden state leak between runs. The statevector backend reuses raw
+//! buffers (overwritten wholesale each run); the DD backend builds a fresh
+//! hash-consing package per run precisely because interned edge weights
+//! *would* otherwise depend on probe order. This purity is what lets the
+//! scheduler replay pool results in stimulus order and reproduce the
+//! sequential verdict bit for bit, for either engine.
+//!
+//! Cancellation granularity differs by engine and is part of the contract:
+//! the statevector backend polls `keep_going` between gate applications,
+//! while the DD backend polls once between its two circuit passes (a DD
+//! pass has no cheap intermediate abort points). Either way a `false` poll
+//! yields `None`, never a partial overlap.
+
+use qcirc::Circuit;
+use qnum::Complex;
+use qsim::{ProbeWorkspace, Simulator};
+use qstim::Stimulus;
+
+use crate::config::{BackendKind, Config};
+
+/// What one completed probe hands back: the overlap plus backend-specific
+/// effort instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeOutcome {
+    /// The overlap `⟨u|u′⟩` of the two output states.
+    pub overlap: Complex,
+    /// Effort counters (zero for backends that do not track them).
+    pub metrics: ProbeMetrics,
+}
+
+impl ProbeOutcome {
+    /// An outcome carrying only an overlap (no effort counters).
+    #[must_use]
+    pub fn bare(overlap: Complex) -> Self {
+        ProbeOutcome {
+            overlap,
+            metrics: ProbeMetrics::default(),
+        }
+    }
+}
+
+/// Per-probe effort counters. The dense backend's working set is fixed
+/// (two `2ⁿ` buffers), so it reports zeros; the DD backend reports its
+/// node-count instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProbeMetrics {
+    /// Peak live decision-diagram nodes during the run (0 for dense
+    /// backends).
+    pub peak_nodes: usize,
+    /// Distinct complex values interned by the end of the run (0 for dense
+    /// backends).
+    pub complex_values: usize,
+}
+
+/// One simulation engine, usable from the sequential flow and from worker
+/// pools alike.
+///
+/// Implementations are shared by reference across scheduler workers, so
+/// they must be `Send + Sync`; all per-run mutable state lives in the
+/// per-thread [`Workspace`](SimBackend::Workspace).
+pub trait SimBackend: Send + Sync {
+    /// Per-thread scratch state: allocated once per worker (or once per
+    /// sequential loop), reused across every probe on that thread.
+    type Workspace: Send;
+
+    /// The serializable selector naming this engine.
+    fn kind(&self) -> BackendKind;
+
+    /// Allocates one thread's scratch state for `n_qubits`-qubit probes.
+    fn workspace(&self, n_qubits: usize) -> Self::Workspace;
+
+    /// Probes one stimulus: prepares it, pushes it through both circuits,
+    /// and returns the overlap `⟨u|u′⟩` of the outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`qdd::DdLimitError`] if the engine exhausts its node
+    /// budget (dense backends never fail).
+    fn probe(
+        &self,
+        g: &Circuit,
+        g_prime: &Circuit,
+        stimulus: &Stimulus,
+        workspace: &mut Self::Workspace,
+    ) -> Result<ProbeOutcome, qdd::DdLimitError> {
+        Ok(self
+            .probe_while(g, g_prime, stimulus, workspace, &|| true)?
+            .expect("unconditional probe cannot be cancelled"))
+    }
+
+    /// Like [`SimBackend::probe`], but polls `keep_going` at the engine's
+    /// natural abort points and returns `None` as soon as it reads
+    /// `false` — the cancellable variant for worker pools whose remaining
+    /// stimuli become moot once a counterexample is found elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`qdd::DdLimitError`] if the engine exhausts its node
+    /// budget.
+    fn probe_while(
+        &self,
+        g: &Circuit,
+        g_prime: &Circuit,
+        stimulus: &Stimulus,
+        workspace: &mut Self::Workspace,
+        keep_going: &dyn Fn() -> bool,
+    ) -> Result<Option<ProbeOutcome>, qdd::DdLimitError>;
+
+    /// Replays one stimulus through both circuits and returns the two
+    /// *dense* output amplitude vectors, for counterexample diagnosis.
+    /// Output is `O(2ⁿ)` regardless of engine, so this is for registers
+    /// that fit in memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`qdd::DdLimitError`] if the engine exhausts its node
+    /// budget.
+    fn replay(
+        &self,
+        g: &Circuit,
+        g_prime: &Circuit,
+        stimulus: &Stimulus,
+        workspace: &mut Self::Workspace,
+    ) -> Result<(Vec<Complex>, Vec<Complex>), qdd::DdLimitError>;
+}
+
+/// The dense statevector engine: wraps [`qsim::Simulator`] and a reusable
+/// pair of state buffers per thread.
+///
+/// # Examples
+///
+/// ```
+/// use qcec::backend::{SimBackend, StatevectorBackend};
+/// use qcec::Stimulus;
+///
+/// let g = qcirc::generators::ghz(3);
+/// let backend = StatevectorBackend::new();
+/// let mut ws = backend.workspace(3);
+/// let out = backend.probe(&g, &g, &Stimulus::Basis(5), &mut ws).unwrap();
+/// assert!((out.overlap.norm_sqr() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StatevectorBackend {
+    sim: Simulator,
+}
+
+impl StatevectorBackend {
+    /// A backend running its kernels sequentially.
+    #[must_use]
+    pub fn new() -> Self {
+        StatevectorBackend {
+            sim: Simulator::new(),
+        }
+    }
+
+    /// A backend splitting large kernels over `threads` OS threads — for
+    /// the *sequential* flow, where the probe itself is the only
+    /// parallelism available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        StatevectorBackend {
+            sim: Simulator::with_threads(threads),
+        }
+    }
+
+    /// A backend for use *inside* scheduler workers: kernels stay
+    /// sequential so an `N`-worker pool uses exactly `N` OS threads.
+    #[must_use]
+    pub fn for_worker() -> Self {
+        StatevectorBackend {
+            sim: Simulator::for_worker(),
+        }
+    }
+
+    /// The backend the sequential flow derives from its configuration:
+    /// kernel-parallel when `config.threads > 1` (the probe is then the
+    /// only parallelism), sequential otherwise.
+    #[must_use]
+    pub fn for_flow(config: &Config) -> Self {
+        if config.threads > 1 {
+            StatevectorBackend::with_threads(config.threads)
+        } else {
+            StatevectorBackend::new()
+        }
+    }
+}
+
+impl SimBackend for StatevectorBackend {
+    type Workspace = ProbeWorkspace;
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Statevector
+    }
+
+    fn workspace(&self, n_qubits: usize) -> ProbeWorkspace {
+        ProbeWorkspace::new(n_qubits)
+    }
+
+    fn probe_while(
+        &self,
+        g: &Circuit,
+        g_prime: &Circuit,
+        stimulus: &Stimulus,
+        workspace: &mut ProbeWorkspace,
+        keep_going: &dyn Fn() -> bool,
+    ) -> Result<Option<ProbeOutcome>, qdd::DdLimitError> {
+        let prefix = stimulus.prefix_circuit();
+        Ok(self
+            .sim
+            .probe_stimulus_while(
+                g,
+                g_prime,
+                prefix.as_ref(),
+                stimulus.basis_state(),
+                workspace,
+                keep_going,
+            )
+            .map(ProbeOutcome::bare))
+    }
+
+    fn replay(
+        &self,
+        g: &Circuit,
+        g_prime: &Circuit,
+        stimulus: &Stimulus,
+        workspace: &mut ProbeWorkspace,
+    ) -> Result<(Vec<Complex>, Vec<Complex>), qdd::DdLimitError> {
+        // After a probe the workspace buffers hold exactly the two output
+        // states.
+        self.probe(g, g_prime, stimulus, workspace)?;
+        Ok((
+            workspace.left().amplitudes().to_vec(),
+            workspace.right().amplitudes().to_vec(),
+        ))
+    }
+}
+
+/// The decision-diagram engine ([`qdd::DdBackend`]) seen through the flow's
+/// probe trait.
+///
+/// Stateless per run — a fresh package is built for every probe (see the
+/// module docs on purity), so its workspace carries nothing.
+impl SimBackend for qdd::DdBackend {
+    type Workspace = ();
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::DecisionDiagram
+    }
+
+    fn workspace(&self, _n_qubits: usize) {}
+
+    fn probe_while(
+        &self,
+        g: &Circuit,
+        g_prime: &Circuit,
+        stimulus: &Stimulus,
+        (): &mut (),
+        keep_going: &dyn Fn() -> bool,
+    ) -> Result<Option<ProbeOutcome>, qdd::DdLimitError> {
+        let prefix = stimulus.prefix_circuit();
+        Ok(self
+            .probe_while(
+                g,
+                g_prime,
+                prefix.as_ref(),
+                stimulus.basis_state(),
+                keep_going,
+            )?
+            .map(|run| ProbeOutcome {
+                overlap: run.overlap,
+                metrics: ProbeMetrics {
+                    peak_nodes: run.peak_nodes,
+                    complex_values: run.complex_values,
+                },
+            }))
+    }
+
+    fn replay(
+        &self,
+        g: &Circuit,
+        g_prime: &Circuit,
+        stimulus: &Stimulus,
+        (): &mut (),
+    ) -> Result<(Vec<Complex>, Vec<Complex>), qdd::DdLimitError> {
+        let mut package = qdd::Package::with_node_limit(g.n_qubits(), self.node_limit());
+        let input = {
+            let b = package.basis_vedge(stimulus.basis_state())?;
+            match stimulus.prefix_circuit() {
+                None => b,
+                Some(prefix) => package.apply_to_vedge(&prefix, b)?,
+            }
+        };
+        let a = package.apply_to_vedge(g, input)?;
+        let b = package.apply_to_vedge(g_prime, input)?;
+        Ok((package.to_statevector(a), package.to_statevector(b)))
+    }
+}
+
+/// The DD engine the flow derives from its configuration (honouring
+/// [`Config::dd_node_limit`](crate::Config::dd_node_limit)).
+#[must_use]
+pub fn dd_for_flow(config: &Config) -> qdd::DdBackend {
+    qdd::DdBackend::with_node_limit(config.dd_node_limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::generators;
+
+    fn probe_on<B: SimBackend>(
+        backend: &B,
+        g: &Circuit,
+        g_prime: &Circuit,
+        s: &Stimulus,
+    ) -> Complex {
+        let mut ws = backend.workspace(g.n_qubits());
+        backend.probe(g, g_prime, s, &mut ws).unwrap().overlap
+    }
+
+    #[test]
+    fn backends_agree_on_basis_probes() {
+        let g = generators::grover(4, 6, 2);
+        let mut buggy = g.clone();
+        buggy.z(2);
+        let sv = StatevectorBackend::new();
+        let dd = qdd::DdBackend::new();
+        for basis in [0u64, 3, 9, 15] {
+            let s = Stimulus::Basis(basis);
+            let a = probe_on(&sv, &g, &buggy, &s);
+            let b = probe_on(&dd, &g, &buggy, &s);
+            assert!((a - b).norm_sqr() < 1e-18, "basis {basis}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_prefixed_stimuli() {
+        let g = generators::qft(4, true);
+        let mut buggy = g.clone();
+        buggy.t(1);
+        let config = Config::default()
+            .with_stimuli(crate::StimulusStrategy::Stabilizer)
+            .with_simulations(4)
+            .with_seed(13);
+        let sv = StatevectorBackend::new();
+        let dd = qdd::DdBackend::new();
+        for s in crate::draw_stimuli(4, &config) {
+            let a = probe_on(&sv, &g, &buggy, &s);
+            let b = probe_on(&dd, &g, &buggy, &s);
+            assert!((a - b).norm_sqr() < 1e-18, "{}: {a} vs {b}", s.kind());
+        }
+    }
+
+    #[test]
+    fn dd_metrics_are_populated_and_sv_metrics_are_zero() {
+        let g = generators::ghz(6);
+        let s = Stimulus::Basis(0);
+        let sv = StatevectorBackend::new();
+        let mut ws = sv.workspace(6);
+        let out = sv.probe(&g, &g, &s, &mut ws).unwrap();
+        assert_eq!(out.metrics, ProbeMetrics::default());
+        let dd = qdd::DdBackend::new();
+        let out = SimBackend::probe(&dd, &g, &g, &s, &mut ()).unwrap();
+        assert!(out.metrics.peak_nodes > 0);
+        assert!(out.metrics.complex_values > 0);
+    }
+
+    #[test]
+    fn replay_returns_matching_dense_outputs() {
+        let g = generators::w_state(3);
+        let mut buggy = g.clone();
+        buggy.x(1);
+        let s = Stimulus::Basis(0);
+        let sv = StatevectorBackend::new();
+        let dd = qdd::DdBackend::new();
+        let (a_sv, b_sv) = sv.replay(&g, &buggy, &s, &mut sv.workspace(3)).unwrap();
+        let (a_dd, b_dd) = dd.replay(&g, &buggy, &s, &mut ()).unwrap();
+        assert_eq!(a_sv.len(), 8);
+        for (x, y) in a_sv.iter().zip(&a_dd) {
+            assert!((*x - *y).norm_sqr() < 1e-18);
+        }
+        for (x, y) in b_sv.iter().zip(&b_dd) {
+            assert!((*x - *y).norm_sqr() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn cancelled_probe_is_none_on_both_backends() {
+        let g = generators::qft(5, true);
+        let s = Stimulus::Basis(7);
+        let never = || false;
+        let sv = StatevectorBackend::new();
+        let out = sv
+            .probe_while(&g, &g, &s, &mut sv.workspace(5), &never)
+            .unwrap();
+        assert!(out.is_none());
+        let dd = qdd::DdBackend::new();
+        let out = SimBackend::probe_while(&dd, &g, &g, &s, &mut (), &never).unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn dd_node_budget_errors_surface_through_the_trait() {
+        let g = generators::supremacy_2d(3, 4, 12, 1);
+        let dd = dd_for_flow(&Config::default().with_dd_node_limit(50));
+        let e = SimBackend::probe(&dd, &g, &g, &Stimulus::Basis(0), &mut ()).unwrap_err();
+        assert_eq!(e.node_limit, 50);
+    }
+}

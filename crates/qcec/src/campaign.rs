@@ -58,7 +58,7 @@ use qfault::{registry, GuardCache, GuardOptions, GuardVerdict, MutationKind, Mut
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::config::{Config, Fallback, SimBackend, StimulusStrategy};
+use crate::config::{BackendKind, Config, Fallback, StimulusStrategy};
 use crate::flow::check_equivalence;
 use crate::outcome::Outcome;
 use crate::report::{json, StageTimings};
@@ -171,8 +171,12 @@ pub struct CampaignConfig {
     pub guard: GuardOptions,
     /// Wall-clock budget for each complete check inside the flow.
     pub deadline: Option<Duration>,
-    /// Simulation engine for the flow.
-    pub backend: SimBackend,
+    /// Simulation engines to ablate over: every (benchmark × strategy ×
+    /// class × trial) cell is checked once per backend, against the *same*
+    /// injected fault (the trial seed is keyed on the cell coordinates,
+    /// not the backend), so per-backend detection statistics are directly
+    /// comparable. Default: just the dense statevector engine.
+    pub backends: Vec<BackendKind>,
     /// Stimulus strategies to ablate over: every (benchmark × class ×
     /// trial) cell is checked once per strategy, against the *same*
     /// injected fault (the trial seed is keyed on the cell coordinates,
@@ -196,7 +200,7 @@ impl Default for CampaignConfig {
             epsilon: 0.1,
             guard: GuardOptions::default(),
             deadline: Some(Duration::from_secs(30)),
-            backend: SimBackend::Statevector,
+            backends: vec![BackendKind::Statevector],
             strategies: vec![StimulusStrategy::Random],
         }
     }
@@ -259,6 +263,24 @@ impl CampaignConfig {
         self
     }
 
+    /// Replaces the backend ablation set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is empty.
+    #[must_use]
+    pub fn with_backends(mut self, backends: Vec<BackendKind>) -> Self {
+        assert!(!backends.is_empty(), "need at least one backend");
+        self.backends = backends;
+        self
+    }
+
+    /// Shorthand for a single-backend campaign.
+    #[must_use]
+    pub fn with_backend(self, backend: BackendKind) -> Self {
+        self.with_backends(vec![backend])
+    }
+
     /// Replaces the stimulus-strategy ablation set.
     ///
     /// # Panics
@@ -300,6 +322,8 @@ pub enum Detection {
 pub struct TrialRecord {
     /// Index of the benchmark in the campaign's benchmark list.
     pub benchmark: usize,
+    /// The probe backend the flow checked this trial with.
+    pub backend: BackendKind,
     /// The stimulus strategy the flow checked this trial with.
     pub strategy: StimulusStrategy,
     /// The injected error class.
@@ -465,6 +489,10 @@ pub struct CampaignResult {
     /// Per-strategy breakdown of the same aggregates, in
     /// `config.strategies` order — the stimulus-ablation axis.
     pub strategy_classes: Vec<(StimulusStrategy, Vec<(MutationKind, ClassStats)>)>,
+    /// Per-backend breakdown of the same aggregates, in `config.backends`
+    /// order — the engine-ablation axis. Identical trial seeds per cell
+    /// mean every backend faces the same injected faults.
+    pub backend_classes: Vec<(BackendKind, Vec<(MutationKind, ClassStats)>)>,
     /// `families[f]` is the family name; `cells[f][k]` the counts for
     /// family `f` under class `MutationKind::ALL[k]`.
     pub families: Vec<String>,
@@ -498,12 +526,14 @@ pub fn trial_seed(seed: u64, benchmark: usize, class: usize, trial: usize) -> u6
     z
 }
 
-/// One (benchmark × strategy × class × trial) cell of the campaign's work
-/// list. The seed is keyed on everything *except* the strategy, so all
-/// strategies face the identical injected fault.
+/// One (benchmark × backend × strategy × class × trial) cell of the
+/// campaign's work list. The seed is keyed on everything *except* the
+/// backend and strategy, so all ablation arms face the identical injected
+/// fault.
 #[derive(Debug, Clone, Copy)]
 struct TrialCell {
     benchmark: usize,
+    backend: usize,
     strategy: usize,
     class: usize,
     trial: usize,
@@ -544,16 +574,20 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
         .enumerate()
         .flat_map(|(b_idx, _)| {
             let trials = config.trials;
+            let n_backends = config.backends.len();
             let n_strategies = config.strategies.len();
             let n_classes = mutators.len();
-            (0..n_strategies).flat_map(move |s_idx| {
-                (0..n_classes).flat_map(move |k_idx| {
-                    (0..trials).map(move |t_idx| TrialCell {
-                        benchmark: b_idx,
-                        strategy: s_idx,
-                        class: k_idx,
-                        trial: t_idx,
-                        seed: trial_seed(config.seed, b_idx, k_idx, t_idx),
+            (0..n_backends).flat_map(move |e_idx| {
+                (0..n_strategies).flat_map(move |s_idx| {
+                    (0..n_classes).flat_map(move |k_idx| {
+                        (0..trials).map(move |t_idx| TrialCell {
+                            benchmark: b_idx,
+                            backend: e_idx,
+                            strategy: s_idx,
+                            class: k_idx,
+                            trial: t_idx,
+                            seed: trial_seed(config.seed, b_idx, k_idx, t_idx),
+                        })
                     })
                 })
             })
@@ -632,6 +666,11 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
         .iter()
         .map(|s| (*s, classes.clone()))
         .collect();
+    let mut backend_classes: Vec<(BackendKind, Vec<(MutationKind, ClassStats)>)> = config
+        .backends
+        .iter()
+        .map(|b| (*b, classes.clone()))
+        .collect();
     let mut trials = Vec::with_capacity(outputs.len());
     let mut stage_timings = StageTimings::default();
     let mut guard_stats = GuardStats::default();
@@ -647,6 +686,7 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
             .expect("every benchmark's family is registered");
         classes[k_idx].1.record(&record);
         strategy_classes[cell.strategy].1[k_idx].1.record(&record);
+        backend_classes[cell.backend].1[k_idx].1.record(&record);
         if record.guard.is_fault() {
             let cell = &mut cell_stats[family][k_idx];
             cell.faults += 1;
@@ -686,6 +726,7 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
             .collect(),
         classes,
         strategy_classes,
+        backend_classes,
         families,
         cells: cell_stats,
         trials,
@@ -699,9 +740,13 @@ fn accumulate(a: StageTimings, b: StageTimings) -> StageTimings {
     StageTimings {
         simulation_time: a.simulation_time + b.simulation_time,
         functional_time: a.functional_time + b.functional_time,
+        sv_probe_time: a.sv_probe_time + b.sv_probe_time,
+        dd_probe_time: a.dd_probe_time + b.dd_probe_time,
         simulations_finished: a.simulations_finished + b.simulations_finished,
         simulations_aborted: a.simulations_aborted + b.simulations_aborted,
         cancellations: a.cancellations + b.cancellations,
+        simulation_wins: a.simulation_wins + b.simulation_wins,
+        functional_wins: a.functional_wins + b.functional_wins,
     }
 }
 
@@ -715,6 +760,7 @@ fn run_cell(
     run_trial(
         &benchmarks[cell.benchmark],
         cell.benchmark,
+        config.backends[cell.backend],
         config.strategies[cell.strategy],
         mutators[cell.class].as_ref(),
         guards.map(|g| &g[cell.benchmark]),
@@ -728,6 +774,7 @@ fn run_cell(
 fn run_trial(
     bench: &CampaignBenchmark,
     b_idx: usize,
+    backend: BackendKind,
     strategy: StimulusStrategy,
     mutator: &dyn Mutator,
     guard_cache: Option<&GuardCache>,
@@ -749,6 +796,7 @@ fn run_trial(
                 return TrialOutput {
                     record: TrialRecord {
                         benchmark: b_idx,
+                        backend,
                         strategy,
                         kind: mutator.kind(),
                         trial: t_idx,
@@ -783,7 +831,7 @@ fn run_trial(
         .with_seed(seed)
         .with_stimuli(strategy)
         .with_threads(config.threads.max(1))
-        .with_backend(config.backend)
+        .with_backend(backend)
         .with_fallback(Fallback::Alternating)
         .with_deadline(config.deadline)
         .with_event_sink(sink.clone());
@@ -804,6 +852,7 @@ fn run_trial(
     TrialOutput {
         record: TrialRecord {
             benchmark: b_idx,
+            backend,
             strategy,
             kind: mutator.kind(),
             trial: t_idx,
@@ -842,6 +891,24 @@ impl CampaignResult {
                         .map(|s| format!("\"{}\"", s.slug())),
                 ),
             );
+        // The backend field is stable across reruns but only rendered for
+        // non-default selections, keeping campaigns that predate backend
+        // ablation byte-identical.
+        if self.config.backends != [BackendKind::Statevector] {
+            if let [backend] = self.config.backends[..] {
+                cfg.str("backend", backend.slug());
+            } else {
+                cfg.raw(
+                    "backends",
+                    json::array(
+                        self.config
+                            .backends
+                            .iter()
+                            .map(|b| format!("\"{}\"", b.slug())),
+                    ),
+                );
+            }
+        }
         root.raw("config", cfg.render());
 
         root.raw(
@@ -868,6 +935,21 @@ impl CampaignResult {
                 o.render()
             })),
         );
+
+        // The per-backend breakdown only exists when there is an ablation
+        // to report (≥ 2 backends); a single-backend campaign's aggregate
+        // is already the `classes` section.
+        if self.backend_classes.len() > 1 {
+            root.raw(
+                "backends",
+                json::array(self.backend_classes.iter().map(|(backend, classes)| {
+                    let mut o = json::Obj::new();
+                    o.str("backend", backend.slug())
+                        .raw("classes", class_stats_json(classes));
+                    o.render()
+                })),
+            );
+        }
 
         root.raw(
             "families",
@@ -958,35 +1040,18 @@ impl CampaignResult {
              |---|---|---|---|---|---|---|\n",
         );
         for (strategy, classes) in &self.strategy_classes {
-            let mut total = ClassStats::default();
-            for (_, s) in classes {
-                total.faults += s.faults;
-                total.detected_by_sim += s.detected_by_sim;
-                total.detected_by_complete += s.detected_by_complete;
-                total.missed += s.missed;
-                if total.sims_histogram.len() < s.sims_histogram.len() {
-                    total.sims_histogram.resize(s.sims_histogram.len(), 0);
-                }
-                for (i, c) in s.sims_histogram.iter().enumerate() {
-                    total.sims_histogram[i] += c;
-                }
+            out.push_str(&ablation_row(strategy.slug(), classes));
+        }
+
+        if self.backend_classes.len() > 1 {
+            out.push_str(
+                "\n## Detection by backend\n\n\
+                 | backend | faults | det. sim | det. complete | missed | mean #sims | rate |\n\
+                 |---|---|---|---|---|---|---|\n",
+            );
+            for (backend, classes) in &self.backend_classes {
+                out.push_str(&ablation_row(backend.slug(), classes));
             }
-            let mean = total
-                .mean_sims_to_detect()
-                .map_or_else(|| "—".to_string(), |m| format!("{m:.2}"));
-            let rate = total
-                .detection_rate()
-                .map_or_else(|| "—".to_string(), |r| format!("{:.0}%", r * 100.0));
-            out.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {} | {} |\n",
-                strategy.slug(),
-                total.faults,
-                total.detected_by_sim,
-                total.detected_by_complete,
-                total.missed,
-                mean,
-                rate,
-            ));
         }
 
         out.push_str("\n## Detected / faults per family\n\n| family |");
@@ -1206,7 +1271,7 @@ pub fn audit_pair(
                         .with_seed(seed)
                         .with_stimuli(strategy)
                         .with_threads(config.threads.max(1))
-                        .with_backend(config.backend)
+                        .with_backend(config.backends[0])
                         .with_fallback(Fallback::None);
                     let result = check_equivalence(golden, faulty, &flow_config)
                         .expect("equal registers were asserted above");
@@ -1237,8 +1302,42 @@ pub fn audit_pair(
     }
 }
 
+/// Renders one row of an ablation Markdown table (strategy or backend):
+/// the class-summed detection counts behind a single label.
+fn ablation_row(label: &str, classes: &[(MutationKind, ClassStats)]) -> String {
+    let mut total = ClassStats::default();
+    for (_, s) in classes {
+        total.faults += s.faults;
+        total.detected_by_sim += s.detected_by_sim;
+        total.detected_by_complete += s.detected_by_complete;
+        total.missed += s.missed;
+        if total.sims_histogram.len() < s.sims_histogram.len() {
+            total.sims_histogram.resize(s.sims_histogram.len(), 0);
+        }
+        for (i, c) in s.sims_histogram.iter().enumerate() {
+            total.sims_histogram[i] += c;
+        }
+    }
+    let mean = total
+        .mean_sims_to_detect()
+        .map_or_else(|| "—".to_string(), |m| format!("{m:.2}"));
+    let rate = total
+        .detection_rate()
+        .map_or_else(|| "—".to_string(), |r| format!("{:.0}%", r * 100.0));
+    format!(
+        "| {} | {} | {} | {} | {} | {} | {} |\n",
+        label,
+        total.faults,
+        total.detected_by_sim,
+        total.detected_by_complete,
+        total.missed,
+        mean,
+        rate,
+    )
+}
+
 /// Renders one per-class statistics table as a JSON array (shared by the
-/// overall aggregate and the per-strategy breakdown).
+/// overall aggregate and the per-strategy/per-backend breakdowns).
 fn class_stats_json(classes: &[(MutationKind, ClassStats)]) -> String {
     json::array(classes.iter().map(|(kind, s)| {
         let mut o = json::Obj::new();
@@ -1422,6 +1521,60 @@ mod tests {
         assert!(result
             .to_markdown()
             .contains("## Detection by stimulus strategy"));
+    }
+
+    #[test]
+    fn backend_ablation_adds_an_engine_axis() {
+        let benches = vec![CampaignBenchmark::optimized(
+            "qft 4",
+            "qft",
+            &generators::qft(4, true),
+        )];
+        let config = CampaignConfig::default()
+            .with_trials(1)
+            .with_simulations(4)
+            .with_backends(vec![BackendKind::Statevector, BackendKind::DecisionDiagram]);
+        let result = run_campaign(&benches, &config);
+        assert_eq!(result.backend_classes.len(), 2);
+        assert_eq!(result.trials.len(), 2 * MutationKind::ALL.len());
+        // The backend axis re-checks the *same* faults with the same
+        // stimuli: seeds and mutations repeat between the halves, and the
+        // two engines must agree on every guard label and verdict.
+        let half = result.trials.len() / 2;
+        for (a, b) in result.trials[..half].iter().zip(&result.trials[half..]) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.mutations, b.mutations);
+            assert_eq!(a.backend, BackendKind::Statevector);
+            assert_eq!(b.backend, BackendKind::DecisionDiagram);
+            assert_eq!(a.guard.is_fault(), b.guard.is_fault());
+            assert_eq!(a.detection, b.detection, "engines disagree: {a:?} {b:?}");
+        }
+        let js = result.to_json(false);
+        assert!(js.contains(r#""backends":["sv","dd"]"#));
+        assert!(js.contains(r#""backend":"dd""#));
+        assert_eq!(js, run_campaign(&benches, &config).to_json(false));
+        let pooled = run_campaign(&benches, &config.clone().with_trial_threads(3));
+        assert_eq!(js, pooled.to_json(false));
+        assert!(result.to_markdown().contains("## Detection by backend"));
+    }
+
+    #[test]
+    fn single_nondefault_backend_renders_a_stable_config_field() {
+        let benches = vec![CampaignBenchmark::optimized(
+            "ghz 4",
+            "ghz",
+            &generators::ghz(4),
+        )];
+        let config = CampaignConfig::default()
+            .with_trials(1)
+            .with_simulations(4)
+            .with_backend(BackendKind::DecisionDiagram);
+        let js = run_campaign(&benches, &config).to_json(false);
+        assert!(js.contains(r#""backend":"dd""#));
+        // A single non-default backend is a selection, not an ablation:
+        // no per-backend breakdown section.
+        assert!(!js.contains(r#""backends":"#));
+        assert_eq!(js, run_campaign(&benches, &config).to_json(false));
     }
 
     #[test]

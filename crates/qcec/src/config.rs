@@ -85,9 +85,11 @@ impl std::fmt::Display for StimulusStrategy {
     }
 }
 
-/// Which engine runs the `r` simulations.
+/// Which engine runs the `r` simulations (see [`crate::backend`] for the
+/// engines themselves — this is the serializable *selector* the trait
+/// implementations are dispatched on).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SimBackend {
+pub enum BackendKind {
     /// Dense statevector simulation (`qsim`) — `O(2ⁿ)` memory, fast and
     /// predictable; the default.
     #[default]
@@ -95,6 +97,40 @@ pub enum SimBackend {
     /// Decision-diagram simulation (`qdd`) — the paper's engine \[25\];
     /// exponentially compact on structured states.
     DecisionDiagram,
+}
+
+impl BackendKind {
+    /// Every backend, in ablation-report order.
+    pub const ALL: [BackendKind; 2] = [BackendKind::Statevector, BackendKind::DecisionDiagram];
+
+    /// A stable lowercase identifier (used in campaign JSON and CLI flags).
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            BackendKind::Statevector => "sv",
+            BackendKind::DecisionDiagram => "dd",
+        }
+    }
+
+    /// Parses a [`slug`](BackendKind::slug) (also accepts the long forms
+    /// `statevector` and `decision-diagram`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognised input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "sv" | "statevector" => Ok(BackendKind::Statevector),
+            "dd" | "decision-diagram" | "decisiondiagram" => Ok(BackendKind::DecisionDiagram),
+            other => Err(format!("unknown backend `{other}` (expected sv|dd)")),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.slug())
+    }
 }
 
 /// Which complete equivalence checking routine runs after the simulations.
@@ -138,7 +174,7 @@ pub struct Config {
     /// Equality notion.
     pub criterion: Criterion,
     /// Simulation engine.
-    pub backend: SimBackend,
+    pub backend: BackendKind,
     /// Complete equivalence checking routine.
     pub fallback: Fallback,
     /// How stimulus basis states are chosen.
@@ -201,7 +237,7 @@ impl Default for Config {
             seed: 0,
             fidelity_tolerance: 1e-8,
             criterion: Criterion::default(),
-            backend: SimBackend::default(),
+            backend: BackendKind::default(),
             fallback: Fallback::default(),
             stimuli: StimulusStrategy::default(),
             threads: 1,
@@ -244,7 +280,7 @@ impl Config {
 
     /// Sets the simulation engine.
     #[must_use]
-    pub fn with_backend(mut self, backend: SimBackend) -> Self {
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
         self
     }
@@ -328,7 +364,7 @@ mod tests {
         let c = Config::default();
         assert_eq!(c.simulations, 10);
         assert_eq!(c.criterion, Criterion::UpToGlobalPhase);
-        assert_eq!(c.backend, SimBackend::Statevector);
+        assert_eq!(c.backend, BackendKind::Statevector);
         assert_eq!(c.fallback, Fallback::Alternating);
         assert!(c.deadline.is_none());
     }
@@ -339,14 +375,14 @@ mod tests {
             .with_simulations(3)
             .with_seed(7)
             .with_criterion(Criterion::Strict)
-            .with_backend(SimBackend::DecisionDiagram)
+            .with_backend(BackendKind::DecisionDiagram)
             .with_fallback(Fallback::None)
             .with_deadline(Some(Duration::from_millis(5)))
             .with_dd_node_limit(1000);
         assert_eq!(c.simulations, 3);
         assert_eq!(c.seed, 7);
         assert_eq!(c.criterion, Criterion::Strict);
-        assert_eq!(c.backend, SimBackend::DecisionDiagram);
+        assert_eq!(c.backend, BackendKind::DecisionDiagram);
         assert_eq!(c.fallback, Fallback::None);
         assert_eq!(c.dd_node_limit, 1000);
     }

@@ -8,8 +8,9 @@
 
 use qcirc::Circuit;
 use qnum::Complex;
-use qsim::Simulator;
 
+use crate::backend::{dd_for_flow, SimBackend, StatevectorBackend};
+use crate::config::{BackendKind, Config};
 use crate::outcome::Counterexample;
 
 /// One disagreeing output amplitude.
@@ -85,23 +86,75 @@ impl std::fmt::Display for Diagnosis {
 /// ```
 #[must_use]
 pub fn explain(g: &Circuit, g_prime: &Circuit, ce: Counterexample, top: usize) -> Diagnosis {
+    let backend = StatevectorBackend::new();
+    explain_on(&backend, g, g_prime, ce, top).expect("statevector replay cannot fail")
+}
+
+/// Like [`explain`], but replays the counterexample on the backend the
+/// flow's `config` selects — so a verdict reached by the decision-diagram
+/// engine is diagnosed by the same engine that produced it.
+///
+/// # Errors
+///
+/// Returns [`qdd::DdLimitError`] if the DD engine exhausts its node budget
+/// during the replay.
+///
+/// # Panics
+///
+/// Panics if the circuits' qubit counts differ or exceed the dense-output
+/// limit (the diagnosis itself is `O(2ⁿ)` on any engine).
+pub fn explain_for(
+    g: &Circuit,
+    g_prime: &Circuit,
+    ce: Counterexample,
+    top: usize,
+    config: &Config,
+) -> Result<Diagnosis, qdd::DdLimitError> {
+    match config.backend {
+        BackendKind::Statevector => explain_on(&StatevectorBackend::new(), g, g_prime, ce, top),
+        BackendKind::DecisionDiagram => explain_on(&dd_for_flow(config), g, g_prime, ce, top),
+    }
+}
+
+/// Replays the counterexample's stimulus through both circuits on the given
+/// backend and diagnoses the dense output vectors it returns.
+///
+/// # Errors
+///
+/// Returns [`qdd::DdLimitError`] if the engine exhausts its node budget.
+///
+/// # Panics
+///
+/// Panics if the circuits' qubit counts differ.
+pub fn explain_on<B: SimBackend>(
+    backend: &B,
+    g: &Circuit,
+    g_prime: &Circuit,
+    ce: Counterexample,
+    top: usize,
+) -> Result<Diagnosis, qdd::DdLimitError> {
     assert_eq!(
         g.n_qubits(),
         g_prime.n_qubits(),
         "circuits must have equal qubit counts"
     );
-    let sim = Simulator::new();
-    let input = match ce.stimulus.prefix_circuit() {
-        None => qsim::StateVector::basis(g.n_qubits(), ce.stimulus.basis_state()),
-        Some(prefix) => sim.run_basis(&prefix, ce.stimulus.basis_state()),
-    };
-    let a = sim.run(g, &input);
-    let b = sim.run(g_prime, &input);
+    let mut workspace = backend.workspace(g.n_qubits());
+    let (a, b) = backend.replay(g, g_prime, &ce.stimulus, &mut workspace)?;
+    Ok(diagnose_outputs(g.n_qubits(), &a, &b, ce, top))
+}
 
+/// The engine-agnostic core: ranks amplitude differences and flags qubits
+/// whose marginals disagree, given the two dense output vectors.
+fn diagnose_outputs(
+    n_qubits: usize,
+    a: &[Complex],
+    b: &[Complex],
+    ce: Counterexample,
+    top: usize,
+) -> Diagnosis {
     let mut diffs: Vec<AmplitudeDiff> = a
-        .amplitudes()
         .iter()
-        .zip(b.amplitudes().iter())
+        .zip(b.iter())
         .enumerate()
         .filter_map(|(i, (&x, &y))| {
             let magnitude = (x - y).norm_sqr();
@@ -120,7 +173,9 @@ pub fn explain(g: &Circuit, g_prime: &Circuit, ce: Counterexample, top: usize) -
     diffs.sort_by(|l, r| r.magnitude.total_cmp(&l.magnitude));
     diffs.truncate(top);
 
-    let suspicious_qubits = (0..g.n_qubits())
+    let a = qsim::StateVector::from_amplitudes(a.to_vec()).expect("replay output is a valid state");
+    let b = qsim::StateVector::from_amplitudes(b.to_vec()).expect("replay output is a valid state");
+    let suspicious_qubits = (0..n_qubits)
         .filter(|&q| {
             let pa = qsim::measure::probability_of_one(&a, q);
             let pb = qsim::measure::probability_of_one(&b, q);
@@ -181,6 +236,29 @@ mod tests {
         let d = explain(&g, &buggy, ce, 4);
         assert!(d.suspicious_qubits.is_empty());
         assert!(!d.top_diffs.is_empty());
+    }
+
+    #[test]
+    fn both_backends_produce_the_same_diagnosis() {
+        let g = generators::w_state(4);
+        let mut buggy = g.clone();
+        buggy.x(2);
+        let ce = counterexample_for(&g, &buggy);
+        let sv = explain_for(&g, &buggy, ce.clone(), 4, &Config::default()).unwrap();
+        let dd = explain_for(
+            &g,
+            &buggy,
+            ce,
+            4,
+            &Config::default().with_backend(BackendKind::DecisionDiagram),
+        )
+        .unwrap();
+        assert_eq!(sv.suspicious_qubits, dd.suspicious_qubits);
+        assert_eq!(sv.top_diffs.len(), dd.top_diffs.len());
+        for (a, b) in sv.top_diffs.iter().zip(&dd.top_diffs) {
+            assert_eq!(a.basis, b.basis);
+            assert!((a.magnitude - b.magnitude).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod campaign;
 mod config;
 pub mod diagnose;
@@ -55,11 +56,15 @@ pub mod scheduler;
 mod sim_check;
 pub mod theory;
 
-pub use config::{Config, Criterion, Fallback, SimBackend, StimulusStrategy};
+pub use backend::{ProbeMetrics, ProbeOutcome, SimBackend, StatevectorBackend};
+pub use config::{BackendKind, Config, Criterion, Fallback, StimulusStrategy};
 pub use flow::{check_equivalence, check_equivalence_default, FlowError};
 pub use functional::{run_functional_check, run_functional_check_cancellable, FunctionalVerdict};
 pub use outcome::{AbortReason, Counterexample, FlowResult, FlowStats, Mismatch, Outcome};
-pub use sim_check::{draw_stimuli, run_simulations, SimVerdict};
+pub use sim_check::{draw_stimuli, run_simulations, run_simulations_on, SimVerdict};
 // The stimulus vocabulary types, so downstream code can match on
 // counterexamples and replay stimuli without naming `qstim` directly.
 pub use qstim::{ProductAngles, Stimulus, StimulusSource};
+// The DD probe engine, which implements [`SimBackend`] here (the trait is
+// local, the type lives with the decision-diagram package it drives).
+pub use qdd::DdBackend;

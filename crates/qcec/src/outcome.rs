@@ -26,6 +26,11 @@ pub enum Mismatch {
 /// A witness of non-equivalence found by simulation: a stimulus (basis,
 /// product or stabilizer input state) on which the two circuits produce
 /// different outputs (or an inconsistent output phase).
+///
+/// The witness is engine-independent: whichever
+/// [`SimBackend`](crate::backend::SimBackend) found it, replaying the
+/// stimulus on *any* backend reproduces the disagreement (see
+/// [`diagnose::explain_for`](crate::diagnose::explain_for)).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Counterexample {
     /// The input stimulus that exposed the difference. For the classical

@@ -9,8 +9,9 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::config::BackendKind;
 use crate::outcome::{FlowResult, Outcome};
-use crate::scheduler::{RunEvent, Stage};
+use crate::scheduler::{CancelCause, RunEvent, Stage};
 
 pub mod json {
     //! A minimal, dependency-free JSON emitter.
@@ -137,6 +138,10 @@ pub struct ReportRow {
     pub g_len: usize,
     /// `|G'|`.
     pub g_prime_len: usize,
+    /// Which probe backend checked this row, when the caller recorded it
+    /// ([`Report::push_with_backend`]). `None` keeps the rendered JSON
+    /// byte-identical to reports that predate backend selection.
+    pub backend: Option<BackendKind>,
     /// The flow result.
     pub result: FlowResult,
 }
@@ -183,6 +188,28 @@ impl Report {
             n_qubits,
             g_len,
             g_prime_len,
+            backend: None,
+            result,
+        });
+    }
+
+    /// Appends a row annotated with the backend that checked it; the JSON
+    /// rendering then carries a stable `"backend"` field for the row.
+    pub fn push_with_backend(
+        &mut self,
+        name: impl Into<String>,
+        n_qubits: usize,
+        g_len: usize,
+        g_prime_len: usize,
+        backend: BackendKind,
+        result: FlowResult,
+    ) {
+        self.rows.push(ReportRow {
+            name: name.into(),
+            n_qubits,
+            g_len,
+            g_prime_len,
+            backend: Some(backend),
             result,
         });
     }
@@ -232,6 +259,9 @@ impl Report {
                 .int("gates_g_prime", row.g_prime_len as u64)
                 .str("verdict", verdict)
                 .int("sims", row.result.stats.simulations_run as u64);
+            if let Some(backend) = row.backend {
+                o.str("backend", backend.slug());
+            }
             if with_timings {
                 o.num("t_sim_s", row.result.stats.simulation_time.as_secs_f64())
                     .num("t_ec_s", row.result.stats.functional_time.as_secs_f64());
@@ -298,12 +328,23 @@ pub struct StageTimings {
     pub simulation_time: Duration,
     /// Total wall time of functional (complete-check) stages.
     pub functional_time: Duration,
+    /// Wall time spent inside statevector probes (summed per finished
+    /// simulation, so overlapping workers count their time in full).
+    pub sv_probe_time: Duration,
+    /// Wall time spent inside decision-diagram probes.
+    pub dd_probe_time: Duration,
     /// Simulations that ran to completion.
     pub simulations_finished: usize,
     /// Simulations abandoned after a cancellation.
     pub simulations_aborted: usize,
     /// Cancellations (first counterexample or first definitive verdict).
     pub cancellations: usize,
+    /// Cancellations where the simulation pool's counterexample made the
+    /// functional racer moot — the probe engine "won" the portfolio race.
+    pub simulation_wins: usize,
+    /// Cancellations where the functional check's definitive verdict
+    /// halted the pool — the complete DD check won the race.
+    pub functional_wins: usize,
 }
 
 impl StageTimings {
@@ -317,13 +358,50 @@ impl StageTimings {
                     Stage::Simulation => t.simulation_time += *wall_time,
                     Stage::Functional => t.functional_time += *wall_time,
                 },
-                RunEvent::SimulationFinished { .. } => t.simulations_finished += 1,
+                RunEvent::SimulationFinished {
+                    wall_time, backend, ..
+                } => {
+                    t.simulations_finished += 1;
+                    match backend {
+                        BackendKind::Statevector => t.sv_probe_time += *wall_time,
+                        BackendKind::DecisionDiagram => t.dd_probe_time += *wall_time,
+                    }
+                }
                 RunEvent::SimulationAborted { .. } => t.simulations_aborted += 1,
-                RunEvent::Cancelled { .. } => t.cancellations += 1,
+                RunEvent::Cancelled { cause } => {
+                    t.cancellations += 1;
+                    match cause {
+                        CancelCause::SimulationCounterexample => t.simulation_wins += 1,
+                        CancelCause::FunctionalVerdict => t.functional_wins += 1,
+                    }
+                }
                 _ => {}
             }
         }
         t
+    }
+
+    /// Probe wall time spent in one backend's engine.
+    #[must_use]
+    pub fn probe_time(&self, backend: BackendKind) -> Duration {
+        match backend {
+            BackendKind::Statevector => self.sv_probe_time,
+            BackendKind::DecisionDiagram => self.dd_probe_time,
+        }
+    }
+
+    /// Which side of the portfolio race produced more decisive
+    /// cancellations: `Some(Stage::Simulation)` when probe
+    /// counterexamples dominated, `Some(Stage::Functional)` when the
+    /// complete check did, `None` when the race never ended early (or
+    /// tied across an aggregated campaign).
+    #[must_use]
+    pub fn portfolio_winner(&self) -> Option<Stage> {
+        match self.simulation_wins.cmp(&self.functional_wins) {
+            std::cmp::Ordering::Greater => Some(Stage::Simulation),
+            std::cmp::Ordering::Less => Some(Stage::Functional),
+            std::cmp::Ordering::Equal => None,
+        }
     }
 
     /// Renders the summary as a JSON object. Wall-clock times can be
@@ -336,11 +414,17 @@ impl StageTimings {
         let mut o = json::Obj::new();
         if with_timings {
             o.num("t_sim_s", self.simulation_time.as_secs_f64())
-                .num("t_ec_s", self.functional_time.as_secs_f64());
+                .num("t_ec_s", self.functional_time.as_secs_f64())
+                .num("t_probe_sv_s", self.sv_probe_time.as_secs_f64())
+                .num("t_probe_dd_s", self.dd_probe_time.as_secs_f64());
         }
         o.int("sims_finished", self.simulations_finished as u64)
             .int("sims_aborted", self.simulations_aborted as u64)
             .int("cancellations", self.cancellations as u64);
+        if with_timings {
+            o.int("simulation_wins", self.simulation_wins as u64)
+                .int("functional_wins", self.functional_wins as u64);
+        }
         o.render()
     }
 }
@@ -449,9 +533,12 @@ mod tests {
         let t = StageTimings {
             simulation_time: Duration::from_millis(1500),
             functional_time: Duration::from_millis(250),
+            sv_probe_time: Duration::from_millis(900),
             simulations_finished: 7,
             simulations_aborted: 1,
             cancellations: 1,
+            simulation_wins: 1,
+            ..StageTimings::default()
         };
         assert_eq!(
             t.to_json(false),
@@ -459,6 +546,10 @@ mod tests {
         );
         let timed = t.to_json(true);
         assert!(timed.starts_with(r#"{"t_sim_s":1.5,"t_ec_s":0.25,"#));
+        assert!(timed.contains(r#""t_probe_sv_s":0.9"#));
+        assert!(timed.contains(r#""simulation_wins":1"#));
+        assert_eq!(t.probe_time(BackendKind::Statevector), t.sv_probe_time);
+        assert_eq!(t.portfolio_winner(), Some(Stage::Simulation));
     }
 
     #[test]

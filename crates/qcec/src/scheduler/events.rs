@@ -14,6 +14,7 @@
 use std::sync::Mutex;
 use std::time::Duration;
 
+use crate::config::BackendKind;
 use crate::scheduler::cancel::CancelCause;
 
 /// A stage of the equivalence checking flow.
@@ -64,6 +65,10 @@ pub enum RunEvent {
         wall_time: Duration,
         /// The measured fidelity `|⟨uᵢ|uᵢ′⟩|²`.
         fidelity: f64,
+        /// Which probe engine ran this simulation — lets timing consumers
+        /// bucket probe time per backend (and the portfolio report name
+        /// the engine that won).
+        backend: BackendKind,
     },
     /// One simulation was abandoned (superseded by a counterexample at a
     /// lower stimulus index, or by a definitive functional verdict) —
@@ -192,6 +197,7 @@ mod tests {
             index: 0,
             wall_time: Duration::from_micros(5),
             fidelity: 1.0,
+            backend: BackendKind::Statevector,
         });
         sink.record(RunEvent::SimulationAborted { index: 1 });
         sink.record(RunEvent::Cancelled {

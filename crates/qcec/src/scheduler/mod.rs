@@ -45,7 +45,8 @@ use std::time::{Duration, Instant};
 
 use qcirc::Circuit;
 
-use crate::config::{Config, Fallback};
+use crate::backend::{dd_for_flow, SimBackend, StatevectorBackend};
+use crate::config::{BackendKind, Config, Fallback};
 use crate::flow::FlowError;
 use crate::functional::{
     run_functional_check, run_functional_check_cancellable, FunctionalVerdict,
@@ -69,6 +70,29 @@ pub fn run_scheduled(
     g_prime: &Circuit,
     config: &Config,
 ) -> Result<FlowResult, FlowError> {
+    match config.backend {
+        BackendKind::Statevector => {
+            // Per-worker kernels stay single-threaded: the pool already
+            // parallelises across stimuli, so total threads = worker count.
+            run_scheduled_on(&StatevectorBackend::for_worker(), g, g_prime, config)
+        }
+        BackendKind::DecisionDiagram => run_scheduled_on(&dd_for_flow(config), g, g_prime, config),
+    }
+}
+
+/// The backend-generic body of [`run_scheduled`]: same pool, same
+/// determinism contract, probe engine injected as any [`SimBackend`].
+///
+/// # Errors
+///
+/// Returns [`FlowError`] if the circuits' qubit counts differ, or if the
+/// backend overflows its node budget.
+pub fn run_scheduled_on<B: SimBackend>(
+    backend: &B,
+    g: &Circuit,
+    g_prime: &Circuit,
+    config: &Config,
+) -> Result<FlowResult, FlowError> {
     if g.n_qubits() != g_prime.n_qubits() {
         return Err(FlowError::QubitCountMismatch {
             left: g.n_qubits(),
@@ -85,7 +109,7 @@ pub fn run_scheduled(
     // Pre-draw every stimulus so the RNG stream is scheduling-independent.
     let stimuli = draw_stimuli(g.n_qubits(), config);
     let token = CancelToken::new();
-    let ctx = worker::PoolContext::new(g, g_prime, config, &stimuli, &token, sink);
+    let ctx = worker::SchedulerContext::new(g, g_prime, config, backend, &stimuli, &token, sink);
     let workers = config.threads.max(1);
     // Racing a disabled fallback would only reproduce the instant
     // "aborted: disabled" answer; skip the extra thread.
@@ -295,7 +319,7 @@ mod tests {
     fn dd_simulation_overflow_is_reported() {
         let g = generators::supremacy_2d(3, 4, 12, 1);
         let config = Config::default()
-            .with_backend(crate::SimBackend::DecisionDiagram)
+            .with_backend(crate::BackendKind::DecisionDiagram)
             .with_dd_node_limit(50)
             .with_threads(2);
         let e = run_scheduled(&g, &g, &config).unwrap_err();

@@ -7,6 +7,12 @@
 //! known failure — this guarantees that every stimulus up to and including
 //! the decisive one completes, which is what lets the orchestrator replay
 //! the overlaps in order and reproduce the sequential verdict exactly.
+//!
+//! Workers are backend-agnostic: the probe engine is injected through the
+//! [`SchedulerContext`] as any [`SimBackend`], and each worker builds its
+//! own [`SimBackend::Workspace`] once at startup. Cancellation granularity
+//! is the backend's own (`keep_going` is polled gate-granularly by the
+//! statevector engine, between probe halves by the decision-diagram one).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -14,21 +20,25 @@ use std::time::Instant;
 
 use qcirc::Circuit;
 use qnum::Complex;
-use qsim::{ProbeWorkspace, Simulator};
 use qstim::Stimulus;
 
-use crate::config::{Config, Criterion, SimBackend};
+use crate::backend::SimBackend;
+use crate::config::{Config, Criterion};
 use crate::scheduler::cancel::CancelToken;
 use crate::scheduler::events::{EventSink, RunEvent};
 
-/// Everything a worker needs, shared by reference across the pool.
-pub(super) struct PoolContext<'a> {
+/// Everything a worker needs, shared by reference across the pool:
+/// the circuit pair, the injected probe backend, and the claim/result
+/// state the pool coordinates through.
+pub(super) struct SchedulerContext<'a, B: SimBackend> {
     /// The left circuit `G`.
     pub g: &'a Circuit,
     /// The right circuit `G'`.
     pub g_prime: &'a Circuit,
     /// The flow configuration.
     pub config: &'a Config,
+    /// The injected probe engine, shared by every worker.
+    pub backend: &'a B,
     /// The pre-drawn stimuli, in judging order.
     pub stimuli: &'a [Stimulus],
     /// Shared cancellation state.
@@ -41,19 +51,21 @@ pub(super) struct PoolContext<'a> {
     pub sink: &'a dyn EventSink,
 }
 
-impl<'a> PoolContext<'a> {
+impl<'a, B: SimBackend> SchedulerContext<'a, B> {
     pub(super) fn new(
         g: &'a Circuit,
         g_prime: &'a Circuit,
         config: &'a Config,
+        backend: &'a B,
         stimuli: &'a [Stimulus],
         token: &'a CancelToken,
         sink: &'a dyn EventSink,
     ) -> Self {
-        PoolContext {
+        SchedulerContext {
             g,
             g_prime,
             config,
+            backend,
             stimuli,
             token,
             next: AtomicUsize::new(0),
@@ -65,8 +77,10 @@ impl<'a> PoolContext<'a> {
 
 /// One worker's claim loop. Returns early only on a decision-diagram
 /// node-limit overflow (statevector workers cannot fail).
-pub(super) fn run_worker(ctx: &PoolContext<'_>) -> Result<(), qdd::DdLimitError> {
-    let mut engine = Engine::new(ctx.config, ctx.g.n_qubits());
+pub(super) fn run_worker<B: SimBackend>(
+    ctx: &SchedulerContext<'_, B>,
+) -> Result<(), qdd::DdLimitError> {
+    let mut workspace = ctx.backend.workspace(ctx.g.n_qubits());
     loop {
         let index = ctx.next.fetch_add(1, Ordering::Relaxed);
         if index >= ctx.stimuli.len() {
@@ -78,9 +92,15 @@ pub(super) fn run_worker(ctx: &PoolContext<'_>) -> Result<(), qdd::DdLimitError>
             continue;
         }
         let start = Instant::now();
-        match engine.probe(ctx, index, stimulus)? {
+        let outcome =
+            ctx.backend
+                .probe_while(ctx.g, ctx.g_prime, stimulus, &mut workspace, &|| {
+                    !ctx.token.superseded(index)
+                })?;
+        match outcome {
             None => ctx.sink.record(RunEvent::SimulationAborted { index }),
-            Some(overlap) => {
+            Some(outcome) => {
+                let overlap = outcome.overlap;
                 // A per-run output mismatch is decisive on its own;
                 // publish it before the event so observers of the sink
                 // never see a finished failing run without a watermark.
@@ -92,6 +112,7 @@ pub(super) fn run_worker(ctx: &PoolContext<'_>) -> Result<(), qdd::DdLimitError>
                     index,
                     wall_time: start.elapsed(),
                     fidelity: overlap.norm_sqr(),
+                    backend: ctx.backend.kind(),
                 });
             }
         }
@@ -109,79 +130,10 @@ fn output_mismatch(overlap: Complex, config: &Config) -> bool {
     }
 }
 
-/// A worker's private simulation engine.
-enum Engine {
-    /// Sequential statevector simulator plus reused state buffers — the
-    /// pool parallelises *across* stimuli, so per-worker kernels stay
-    /// single-threaded to keep total threads = worker count.
-    Statevector {
-        sim: Simulator,
-        workspace: ProbeWorkspace,
-    },
-    /// Decision-diagram simulation. Each run gets a *fresh* package:
-    /// reusing one across runs would make interned edge weights (and thus
-    /// bitwise overlaps) depend on which stimuli this worker happened to
-    /// claim — scheduling-dependent numerics the determinism guarantee
-    /// cannot afford.
-    DecisionDiagram,
-}
-
-impl Engine {
-    fn new(config: &Config, n_qubits: usize) -> Self {
-        match config.backend {
-            SimBackend::Statevector => Engine::Statevector {
-                sim: Simulator::for_worker(),
-                workspace: ProbeWorkspace::new(n_qubits),
-            },
-            SimBackend::DecisionDiagram => Engine::DecisionDiagram,
-        }
-    }
-
-    /// Probes one stimulus; `None` means the run was abandoned because it
-    /// became superseded mid-flight.
-    fn probe(
-        &mut self,
-        ctx: &PoolContext<'_>,
-        index: usize,
-        stimulus: &Stimulus,
-    ) -> Result<Option<Complex>, qdd::DdLimitError> {
-        match self {
-            Engine::Statevector { sim, workspace } => {
-                let prefix = stimulus.prefix_circuit();
-                Ok(sim.probe_stimulus_while(
-                    ctx.g,
-                    ctx.g_prime,
-                    prefix.as_ref(),
-                    stimulus.basis_state(),
-                    workspace,
-                    &|| !ctx.token.superseded(index),
-                ))
-            }
-            Engine::DecisionDiagram => {
-                let n = ctx.g.n_qubits();
-                let mut package = qdd::Package::with_node_limit(n, ctx.config.dd_node_limit);
-                let input = crate::sim_check::prepare_dd_input(&mut package, stimulus)?;
-                let a = package.apply_to_vedge(ctx.g, input)?;
-                // DD simulation is not gate-granular cancellable; poll
-                // between the two halves of the probe instead.
-                if ctx.token.superseded(index) {
-                    return Ok(None);
-                }
-                let b = package.apply_to_vedge(ctx.g_prime, input)?;
-                let overlap = if package.vedges_equal(a, b) {
-                    Complex::ONE
-                } else {
-                    package.inner_product(a, b)
-                };
-                Ok(Some(overlap))
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::StatevectorBackend;
     use crate::scheduler::events::NullSink;
 
     #[test]
@@ -189,9 +141,10 @@ mod tests {
         let g = qcirc::generators::ghz(3);
         let opt = qcirc::optimize::optimize(&g);
         let config = Config::default();
+        let backend = StatevectorBackend::for_worker();
         let stimuli: Vec<Stimulus> = [0u64, 3, 5, 7].map(Stimulus::Basis).to_vec();
         let token = CancelToken::new();
-        let ctx = PoolContext::new(&g, &opt, &config, &stimuli, &token, &NullSink);
+        let ctx = SchedulerContext::new(&g, &opt, &config, &backend, &stimuli, &token, &NullSink);
         run_worker(&ctx).unwrap();
         let results = ctx.results.lock().unwrap();
         assert!(results.iter().all(Option::is_some));
@@ -208,9 +161,10 @@ mod tests {
         let mut buggy = g.clone();
         buggy.x(0);
         let config = Config::default();
+        let backend = StatevectorBackend::for_worker();
         let stimuli: Vec<Stimulus> = (0u64..8).map(Stimulus::Basis).collect();
         let token = CancelToken::new();
-        let ctx = PoolContext::new(&g, &buggy, &config, &stimuli, &token, &NullSink);
+        let ctx = SchedulerContext::new(&g, &buggy, &config, &backend, &stimuli, &token, &NullSink);
         run_worker(&ctx).unwrap();
         // An X on a GHZ input corrupts every column: index 0 fails.
         assert_eq!(token.lowest_failure(), Some(0));
@@ -221,24 +175,25 @@ mod tests {
     }
 
     #[test]
-    fn dd_engine_agrees_with_statevector_engine() {
+    fn dd_backend_agrees_with_statevector_backend() {
         let g = qcirc::generators::qft(4, true);
         let opt = qcirc::optimize::optimize(&g);
-        let sv_config = Config::default();
-        let dd_config = Config::default().with_backend(SimBackend::DecisionDiagram);
+        let config = Config::default();
         let stimuli: Vec<Stimulus> = [0u64, 5, 9, 15].map(Stimulus::Basis).to_vec();
-        for config in [&sv_config, &dd_config] {
-            let token = CancelToken::new();
-            let ctx = PoolContext::new(&g, &opt, config, &stimuli, &token, &NullSink);
-            run_worker(&ctx).unwrap();
-            let results = ctx.results.lock().unwrap();
-            for overlap in results.iter().flatten() {
-                assert!(
-                    (overlap.norm_sqr() - 1.0).abs() < 1e-9,
-                    "backend {:?}",
-                    config.backend
-                );
-            }
+        let sv = StatevectorBackend::for_worker();
+        let dd = qdd::DdBackend::new();
+        let token = CancelToken::new();
+        let ctx = SchedulerContext::new(&g, &opt, &config, &sv, &stimuli, &token, &NullSink);
+        run_worker(&ctx).unwrap();
+        let sv_results: Vec<_> = ctx.results.lock().unwrap().clone();
+        let token = CancelToken::new();
+        let ctx = SchedulerContext::new(&g, &opt, &config, &dd, &stimuli, &token, &NullSink);
+        run_worker(&ctx).unwrap();
+        let dd_results: Vec<_> = ctx.results.lock().unwrap().clone();
+        for (s, d) in sv_results.iter().zip(&dd_results) {
+            let (s, d) = (s.unwrap(), d.unwrap());
+            assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+            assert!((d.norm_sqr() - 1.0).abs() < 1e-9);
         }
     }
 }

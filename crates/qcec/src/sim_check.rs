@@ -3,12 +3,12 @@
 
 use qcirc::Circuit;
 use qnum::Complex;
-use qsim::Simulator;
 use qstim::{
     BasisSource, ProductSource, SequentialSource, StabilizerSource, Stimulus, StimulusSource,
 };
 
-use crate::config::{Config, Criterion, SimBackend, StimulusStrategy};
+use crate::backend::{dd_for_flow, SimBackend, StatevectorBackend};
+use crate::config::{BackendKind, Config, Criterion, StimulusStrategy};
 use crate::outcome::Counterexample;
 
 /// Outcome of the simulation stage.
@@ -46,6 +46,34 @@ pub fn run_simulations(
     g_prime: &Circuit,
     config: &Config,
 ) -> Result<SimVerdict, qdd::DdLimitError> {
+    match config.backend {
+        BackendKind::Statevector => {
+            run_simulations_on(&StatevectorBackend::for_flow(config), g, g_prime, config)
+        }
+        BackendKind::DecisionDiagram => {
+            run_simulations_on(&dd_for_flow(config), g, g_prime, config)
+        }
+    }
+}
+
+/// The backend-generic body of [`run_simulations`]: one workspace, one
+/// probe per stimulus through the injected engine, one [`Judge`] — the
+/// single sequential code path both built-in backends (and any external
+/// [`SimBackend`] implementation) share.
+///
+/// # Errors
+///
+/// Returns [`qdd::DdLimitError`] if the backend exhausts its node budget.
+///
+/// # Panics
+///
+/// Panics if the circuits' qubit counts differ.
+pub fn run_simulations_on<B: SimBackend>(
+    backend: &B,
+    g: &Circuit,
+    g_prime: &Circuit,
+    config: &Config,
+) -> Result<SimVerdict, qdd::DdLimitError> {
     assert_eq!(
         g.n_qubits(),
         g_prime.n_qubits(),
@@ -54,71 +82,20 @@ pub fn run_simulations(
     let n = g.n_qubits();
     let stimuli = draw_stimuli(n, config);
 
+    // One scratch allocation for the whole loop — statevector probes are
+    // allocation-free after this (stimulus prefixes are materialised per
+    // run, but those circuits are O(n²) gates, not O(2ⁿ)).
+    let mut workspace = backend.workspace(n);
     let mut judge = Judge::new(config);
-    match config.backend {
-        SimBackend::Statevector => {
-            let sim = if config.threads > 1 {
-                Simulator::with_threads(config.threads)
-            } else {
-                Simulator::new()
-            };
-            // One pair of state buffers for the whole loop — probes are
-            // allocation-free after this (stimulus prefixes are materialised
-            // per run, but those circuits are O(n²) gates, not O(2ⁿ)).
-            let mut workspace = qsim::ProbeWorkspace::new(n);
-            for (run, stimulus) in stimuli.iter().enumerate() {
-                let prefix = stimulus.prefix_circuit();
-                let overlap = sim.probe_stimulus_with(
-                    g,
-                    g_prime,
-                    prefix.as_ref(),
-                    stimulus.basis_state(),
-                    &mut workspace,
-                );
-                if let Some(ce) = judge.observe(overlap, stimulus, run + 1) {
-                    return Ok(SimVerdict::CounterexampleFound(ce));
-                }
-            }
-        }
-        SimBackend::DecisionDiagram => {
-            let mut package = qdd::Package::with_node_limit(n, config.dd_node_limit);
-            for (run, stimulus) in stimuli.iter().enumerate() {
-                let input = prepare_dd_input(&mut package, stimulus)?;
-                let a = package.apply_to_vedge(g, input)?;
-                let b = package.apply_to_vedge(g_prime, input)?;
-                // Equal canonical edges short-circuit the inner product.
-                let overlap = if package.vedges_equal(a, b) {
-                    qnum::Complex::ONE
-                } else {
-                    package.inner_product(a, b)
-                };
-                if let Some(ce) = judge.observe(overlap, stimulus, run + 1) {
-                    return Ok(SimVerdict::CounterexampleFound(ce));
-                }
-                // Nothing from this run is needed again; let the package
-                // reclaim its arenas before the next one.
-                if package.wants_gc() {
-                    package.compact(&[], &[]);
-                }
-            }
+    for (run, stimulus) in stimuli.iter().enumerate() {
+        let outcome = backend.probe(g, g_prime, stimulus, &mut workspace)?;
+        if let Some(ce) = judge.observe(outcome.overlap, stimulus, run + 1) {
+            return Ok(SimVerdict::CounterexampleFound(ce));
         }
     }
     Ok(SimVerdict::AllAgreed {
         runs: stimuli.len(),
     })
-}
-
-/// Builds the decision-diagram input vector for one stimulus: the basis
-/// edge, with the stimulus prefix (if any) applied on top.
-pub(crate) fn prepare_dd_input(
-    package: &mut qdd::Package,
-    stimulus: &Stimulus,
-) -> Result<qdd::VEdge, qdd::DdLimitError> {
-    let basis = package.basis_vedge(stimulus.basis_state())?;
-    match stimulus.prefix_circuit() {
-        None => Ok(basis),
-        Some(prefix) => package.apply_to_vedge(&prefix, basis),
-    }
 }
 
 /// Draws the full stimulus list for one flow invocation: the seeded
@@ -279,7 +256,7 @@ mod tests {
         let g = generators::grover(4, 3, 2);
         let mut buggy = g.clone();
         buggy.s(1);
-        for backend in [SimBackend::Statevector, SimBackend::DecisionDiagram] {
+        for backend in BackendKind::ALL {
             let config = Config::default().with_backend(backend).with_seed(5);
             let v = run_simulations(&g, &buggy, &config).unwrap();
             assert!(
@@ -302,7 +279,7 @@ mod tests {
             let dd = run_simulations(
                 &g,
                 &buggy,
-                &config.clone().with_backend(SimBackend::DecisionDiagram),
+                &config.clone().with_backend(BackendKind::DecisionDiagram),
             )
             .unwrap();
             // Both backends judge the same pre-drawn stimuli, so the
@@ -339,7 +316,7 @@ mod tests {
             other => panic!("diagonal error slipped through: {other:?}"),
         }
         // The same pair on the DD backend.
-        let config = config.with_backend(SimBackend::DecisionDiagram);
+        let config = config.with_backend(BackendKind::DecisionDiagram);
         let v = run_simulations(&a, &b, &config).unwrap();
         assert!(matches!(v, SimVerdict::CounterexampleFound(_)));
     }

@@ -235,8 +235,8 @@ mod tests {
         let h = qnum::FRAC_1_SQRT_2;
         assert!(col[0].approx_eq(qnum::Complex::real(h)));
         assert!(col[7].approx_eq(qnum::Complex::real(h)));
-        for i in 1..7 {
-            assert!(col[i].approx_zero());
+        for amp in &col[1..7] {
+            assert!(amp.approx_zero());
         }
     }
 }

@@ -224,8 +224,11 @@ mod tests {
     #[test]
     fn nearby_values_alias() {
         let mut t = ComplexTable::new();
-        let a = t.intern(Complex::new(0.70710678118, 0.0));
-        let b = t.intern(Complex::new(0.70710678118 + 0.5e-13, -0.5e-13));
+        let a = t.intern(Complex::new(std::f64::consts::FRAC_1_SQRT_2, 0.0));
+        let b = t.intern(Complex::new(
+            std::f64::consts::FRAC_1_SQRT_2 + 0.5e-13,
+            -0.5e-13,
+        ));
         assert_eq!(a, b);
         assert_eq!(t.len(), 3);
     }

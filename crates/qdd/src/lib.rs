@@ -42,6 +42,7 @@ mod complex_table;
 pub mod dot;
 mod edge;
 mod package;
+mod probe;
 
 pub use alternating::{check_equivalence_alternating, check_equivalence_alternating_cancellable};
 pub use cached::{CachedDd, SharedDd};
@@ -52,3 +53,4 @@ pub use check::{
 pub use complex_table::{ComplexTable, Cx};
 pub use edge::{MEdge, MNode, NodeId, VEdge, VNode};
 pub use package::{DdLimitError, Package, PackageStats};
+pub use probe::{DdBackend, DdProbeRun};

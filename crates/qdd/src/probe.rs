@@ -1,0 +1,270 @@
+//! Decision-diagram stimulus probes: the DD analogue of `qsim`'s
+//! statevector equivalence probe.
+//!
+//! One probe simulates a stimulus through both circuits as vector-edge
+//! passes ([`Package::apply_to_vedge`]) in a *fresh* package and compares
+//! the two output edges. A fresh package per run keeps the probe a pure
+//! function of `(circuits, stimulus)`: reusing a package across runs would
+//! make interned edge weights — and thus bitwise overlap values — depend on
+//! which stimuli were probed before, scheduling-dependent numerics that a
+//! deterministic worker pool cannot afford. Garbage collection still
+//! happens *within* a run ([`Package::wants_gc`] fires inside
+//! `apply_to_vedge` whenever live nodes cross the threshold), so long
+//! circuits do not accumulate dead nodes; dropping the package at the end
+//! of the run reclaims everything else.
+
+use qcirc::Circuit;
+use qnum::Complex;
+
+use crate::package::{DdLimitError, Package};
+
+/// The decision-diagram probe engine.
+///
+/// Stateless apart from its configuration — every probe builds its own
+/// [`Package`], so one engine may be shared freely across worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use qdd::DdBackend;
+///
+/// let g = qcirc::generators::ghz(4);
+/// let opt = qcirc::optimize::optimize(&g);
+/// let run = DdBackend::new().probe(&g, &opt, None, 0).unwrap();
+/// assert!((run.overlap.norm_sqr() - 1.0).abs() < 1e-12);
+/// assert!(run.peak_nodes > 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DdBackend {
+    node_limit: usize,
+}
+
+impl Default for DdBackend {
+    fn default() -> Self {
+        DdBackend::new()
+    }
+}
+
+/// What one completed DD probe hands back: the overlap plus node-count
+/// instrumentation sampled at the run's three boundaries (stimulus
+/// prepared, `G` applied, `G'` applied).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DdProbeRun {
+    /// The overlap `⟨u|u′⟩` of the two output states.
+    pub overlap: Complex,
+    /// Peak live nodes (matrix + vector) observed across the boundary
+    /// samples — the run's working-set size, directly comparable to the
+    /// dense backend's fixed `2·2ⁿ` amplitudes.
+    pub peak_nodes: usize,
+    /// Distinct complex values interned by the end of the run.
+    pub complex_values: usize,
+}
+
+impl DdBackend {
+    /// Creates an engine with the default node limit
+    /// ([`Package::DEFAULT_NODE_LIMIT`]).
+    #[must_use]
+    pub fn new() -> Self {
+        DdBackend {
+            node_limit: Package::DEFAULT_NODE_LIMIT,
+        }
+    }
+
+    /// Creates an engine whose per-probe packages abort beyond
+    /// `node_limit` live nodes.
+    #[must_use]
+    pub fn with_node_limit(node_limit: usize) -> Self {
+        DdBackend { node_limit }
+    }
+
+    /// The configured per-probe node budget.
+    #[must_use]
+    pub fn node_limit(&self) -> usize {
+        self.node_limit
+    }
+
+    /// Probes one stimulus: prepares `|basis⟩` (running the optional
+    /// `prefix` preparation circuit on top), pushes the prepared edge
+    /// through both circuits, and returns the overlap of the outputs.
+    ///
+    /// Equal canonical edges short-circuit to an exact overlap of `1`:
+    /// hash-consing makes semantic equality a pointer comparison, so
+    /// equivalent circuits never pay for an inner product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdLimitError`] if a pass exceeds the node limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuits' qubit counts differ.
+    pub fn probe(
+        &self,
+        g: &Circuit,
+        g_prime: &Circuit,
+        prefix: Option<&Circuit>,
+        basis: u64,
+    ) -> Result<DdProbeRun, DdLimitError> {
+        Ok(self
+            .probe_while(g, g_prime, prefix, basis, &|| true)?
+            .expect("unconditional probe cannot be cancelled"))
+    }
+
+    /// Like [`DdBackend::probe`], but polls `keep_going` between the two
+    /// halves of the probe (DD passes are not gate-granular cancellable —
+    /// intermediate edges are only valid states at pass boundaries) and
+    /// returns `None` if the run became moot in between.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdLimitError`] if a pass exceeds the node limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuits' qubit counts differ.
+    pub fn probe_while(
+        &self,
+        g: &Circuit,
+        g_prime: &Circuit,
+        prefix: Option<&Circuit>,
+        basis: u64,
+        keep_going: &dyn Fn() -> bool,
+    ) -> Result<Option<DdProbeRun>, DdLimitError> {
+        assert_eq!(
+            g.n_qubits(),
+            g_prime.n_qubits(),
+            "circuits must have equal qubit counts"
+        );
+        let mut package = Package::with_node_limit(g.n_qubits(), self.node_limit);
+        let input = {
+            let b = package.basis_vedge(basis)?;
+            match prefix {
+                None => b,
+                Some(prefix) => package.apply_to_vedge(prefix, b)?,
+            }
+        };
+        let mut peak_nodes = live_nodes(&package);
+        let a = package.apply_to_vedge(g, input)?;
+        peak_nodes = peak_nodes.max(live_nodes(&package));
+        if !keep_going() {
+            return Ok(None);
+        }
+        let b = package.apply_to_vedge(g_prime, input)?;
+        peak_nodes = peak_nodes.max(live_nodes(&package));
+        let overlap = if package.vedges_equal(a, b) {
+            Complex::ONE
+        } else {
+            package.inner_product(a, b)
+        };
+        Ok(Some(DdProbeRun {
+            overlap,
+            peak_nodes,
+            complex_values: package.stats().complex_values,
+        }))
+    }
+}
+
+fn live_nodes(package: &Package) -> usize {
+    let stats = package.stats();
+    stats.matrix_nodes + stats.vector_nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::generators;
+
+    #[test]
+    fn probe_matches_explicit_package_passes() {
+        let g = generators::qft(4, true);
+        let mut buggy = g.clone();
+        buggy.t(2);
+        let run = DdBackend::new().probe(&g, &buggy, None, 5).unwrap();
+        let mut package = Package::new(4);
+        let input = package.basis_vedge(5).unwrap();
+        let a = package.apply_to_vedge(&g, input).unwrap();
+        let b = package.apply_to_vedge(&buggy, input).unwrap();
+        let expected = package.inner_product(a, b);
+        assert_eq!(run.overlap, expected, "fresh-package probe is bitwise");
+    }
+
+    #[test]
+    fn probe_is_a_pure_function_of_its_inputs() {
+        let g = generators::grover(4, 3, 2);
+        let mut buggy = g.clone();
+        buggy.s(1);
+        let engine = DdBackend::new();
+        // Probing other stimuli in between must not change a run's bits —
+        // the property the fresh-package design exists for.
+        let first = engine.probe(&g, &buggy, None, 9).unwrap();
+        for basis in [0u64, 3, 11, 7] {
+            engine.probe(&g, &buggy, None, basis).unwrap();
+        }
+        let again = engine.probe(&g, &buggy, None, 9).unwrap();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn equal_edges_short_circuit_to_exact_one() {
+        let g = generators::ghz(5);
+        let run = DdBackend::new().probe(&g, &g, None, 3).unwrap();
+        assert_eq!(run.overlap, Complex::ONE);
+    }
+
+    #[test]
+    fn prefix_prepares_the_input_for_both_sides() {
+        // A prefix mapping |0⟩ to |+..+⟩; probing identity-vs-Z then shows
+        // a fidelity deficit that basis |0⟩ alone would miss entirely.
+        let n = 3;
+        let mut prefix = Circuit::new(n);
+        for q in 0..n {
+            prefix.h(q);
+        }
+        let id = Circuit::new(n);
+        let mut z = Circuit::new(n);
+        z.z(0);
+        let run = DdBackend::new().probe(&id, &z, Some(&prefix), 0).unwrap();
+        assert!(run.overlap.norm_sqr() < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn cancellation_between_halves_returns_none() {
+        use std::cell::Cell;
+        let g = generators::qft(4, true);
+        let polls = Cell::new(0usize);
+        let keep_going = || {
+            polls.set(polls.get() + 1);
+            false
+        };
+        let out = DdBackend::new()
+            .probe_while(&g, &g, None, 0, &keep_going)
+            .unwrap();
+        assert_eq!(out, None);
+        assert_eq!(polls.get(), 1, "polled exactly once, between the halves");
+    }
+
+    #[test]
+    fn node_limit_is_enforced_per_probe() {
+        let g = generators::supremacy_2d(3, 4, 12, 1);
+        let e = DdBackend::with_node_limit(50)
+            .probe(&g, &g, None, 0)
+            .unwrap_err();
+        assert_eq!(e.node_limit, 50);
+    }
+
+    #[test]
+    fn instrumentation_reflects_structure() {
+        // A GHZ output is a 2-path DD: peak nodes stay linear in n even
+        // though the dense state has 2ⁿ amplitudes.
+        let n = 12;
+        let g = generators::ghz(n);
+        let run = DdBackend::new().probe(&g, &g, None, 0).unwrap();
+        assert!(run.peak_nodes > 0);
+        assert!(
+            run.peak_nodes < 1 << n,
+            "structured probe must stay sub-dense: {} nodes",
+            run.peak_nodes
+        );
+        assert!(run.complex_values >= 2);
+    }
+}

@@ -62,10 +62,7 @@ fn sequential_cache_builds_the_golden_dd_once() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 16,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Mixed-class double faults that cancel — a spurious insertion undone
     /// by a removal drawn from a *different* mutator class — compose to the

@@ -802,9 +802,9 @@ mod tests {
             [0.0, 0.0, 0.0, 1.0],
             [0.0, 0.0, 1.0, 0.0],
         ];
-        for r in 0..4 {
-            for c in 0..4 {
-                assert!(cx.entry(r, c).approx_eq(Complex::real(expect[r][c])));
+        for (r, row) in expect.iter().enumerate() {
+            for (c, &want) in row.iter().enumerate() {
+                assert!(cx.entry(r, c).approx_eq(Complex::real(want)));
             }
         }
     }
@@ -818,9 +818,9 @@ mod tests {
             [0.0, 1.0, 0.0, 0.0],
             [0.0, 0.0, 0.0, 1.0],
         ];
-        for r in 0..4 {
-            for c in 0..4 {
-                assert!(swap.entry(r, c).approx_eq(Complex::real(expect[r][c])));
+        for (r, row) in expect.iter().enumerate() {
+            for (c, &want) in row.iter().enumerate() {
+                assert!(swap.entry(r, c).approx_eq(Complex::real(want)));
             }
         }
     }

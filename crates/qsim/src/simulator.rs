@@ -174,6 +174,10 @@ impl Simulator {
     /// of `workspace` — the allocation-free variant for loops over many
     /// stimuli (one `O(2ⁿ)` pair of buffers total instead of per run).
     ///
+    /// A prefix-free wrapper of [`Simulator::probe_stimulus_with`]: every
+    /// probe, basis or prepared, runs through the same stimulus-aware code
+    /// path.
+    ///
     /// # Panics
     ///
     /// Panics if the circuits' or workspace's qubit counts differ or
@@ -186,8 +190,7 @@ impl Simulator {
         basis: u64,
         workspace: &mut ProbeWorkspace,
     ) -> Complex {
-        self.probe_basis_while(g, g_prime, basis, workspace, &|| true)
-            .expect("unconditional probe cannot be cancelled")
+        self.probe_stimulus_with(g, g_prime, None, basis, workspace)
     }
 
     /// Like [`Simulator::probe_basis_with`], but polls `keep_going`
@@ -195,7 +198,8 @@ impl Simulator {
     /// `false` — the cancellable variant for worker pools whose remaining
     /// stimuli become moot once a counterexample is found elsewhere.
     ///
-    /// Returns `None` if the probe was abandoned mid-run.
+    /// Returns `None` if the probe was abandoned mid-run. Also a
+    /// prefix-free wrapper of [`Simulator::probe_stimulus_while`].
     ///
     /// # Panics
     ///

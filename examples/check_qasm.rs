@@ -20,7 +20,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use qcec::{Config, Criterion, Fallback, Outcome, SimBackend};
+use qcec::{BackendKind, Config, Criterion, Fallback, Outcome};
 
 fn main() -> ExitCode {
     match run() {
@@ -52,11 +52,10 @@ fn run() -> Result<ExitCode, String> {
                 let secs: u64 = v.parse().map_err(|_| "bad --deadline value")?;
                 config = config.with_deadline(Some(Duration::from_secs(secs)));
             }
-            "--backend" => match args.next().as_deref() {
-                Some("sv") => config = config.with_backend(SimBackend::Statevector),
-                Some("dd") => config = config.with_backend(SimBackend::DecisionDiagram),
-                _ => return Err("--backend must be 'sv' or 'dd'".into()),
-            },
+            "--backend" => {
+                let v = args.next().ok_or("--backend needs a value")?;
+                config = config.with_backend(BackendKind::parse(&v)?);
+            }
             "--strict" => config = config.with_criterion(Criterion::Strict),
             "--sim-only" => config = config.with_fallback(Fallback::None),
             "--csv" => csv = true,
@@ -84,7 +83,7 @@ fn run() -> Result<ExitCode, String> {
     let g_prime = g_prime.widened(n);
 
     // Statevector memory guard: beyond ~26 qubits suggest the DD backend.
-    if config.backend == SimBackend::Statevector && n > 26 {
+    if config.backend == BackendKind::Statevector && n > 26 {
         return Err(format!(
             "{n} qubits is too large for the statevector backend; pass --backend dd"
         ));

@@ -89,15 +89,153 @@ fn threaded_simulator_matches_sequential() {
 
 #[test]
 fn both_flow_backends_reach_the_same_verdicts() {
-    use qcec::{Config, SimBackend};
+    use qcec::{BackendKind, Config};
     let g = generators::grover(4, 7, 2);
     let mut buggy = g.clone();
     buggy.t(2);
-    for backend in [SimBackend::Statevector, SimBackend::DecisionDiagram] {
+    for backend in BackendKind::ALL {
         let config = Config::new().with_backend(backend);
         let eq = qcec::check_equivalence(&g, &g, &config).unwrap();
         assert!(eq.outcome.is_equivalent(), "{backend:?}");
         let ne = qcec::check_equivalence(&g, &buggy, &config).unwrap();
         assert!(ne.outcome.is_not_equivalent(), "{backend:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend-agreement suite: the statevector and decision-diagram probe
+// engines must return identical verdicts — and, on non-equivalence, the
+// identical decisive run index and witnessing stimulus — on every escapee
+// fixture and on generated circuit pairs, across 1/2/8 scheduler threads.
+// The backends share the pre-drawn stimulus list and the sequential-replay
+// judge, so any divergence here is an engine bug, not noise.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+use qcec::{check_equivalence, BackendKind, Config, Outcome, Stimulus};
+
+/// The verdict class plus (for simulation counterexamples) the decisive
+/// run index and stimulus — everything that must match across engines.
+/// Overlap values are deliberately excluded: sv and DD arithmetic agree to
+/// ~1e-12, not bitwise.
+#[derive(Debug, Clone, PartialEq)]
+enum VerdictShape {
+    Equivalent,
+    NotEquivalentAt(usize, Stimulus),
+    NotEquivalentByCompleteCheck,
+    ProbablyEquivalent,
+}
+
+fn shape(outcome: &Outcome) -> VerdictShape {
+    match outcome {
+        Outcome::Equivalent | Outcome::EquivalentUpToGlobalPhase { .. } => VerdictShape::Equivalent,
+        Outcome::NotEquivalent {
+            counterexample: Some(ce),
+        } => VerdictShape::NotEquivalentAt(ce.run, ce.stimulus.clone()),
+        Outcome::NotEquivalent {
+            counterexample: None,
+        } => VerdictShape::NotEquivalentByCompleteCheck,
+        Outcome::ProbablyEquivalent { .. } => VerdictShape::ProbablyEquivalent,
+    }
+}
+
+/// Checks one pair on both backends across 1/2/8 worker threads and
+/// asserts every run produces the same verdict shape.
+fn assert_backends_agree(name: &str, g: &Circuit, g_prime: &Circuit, base: &Config) {
+    let mut reference: Option<VerdictShape> = None;
+    for threads in [1usize, 2, 8] {
+        for backend in BackendKind::ALL {
+            let config = base.clone().with_threads(threads).with_backend(backend);
+            let result = check_equivalence(g, g_prime, &config)
+                .unwrap_or_else(|e| panic!("{name}: flow failed ({e})"));
+            let got = shape(&result.outcome);
+            match &reference {
+                None => reference = Some(got),
+                Some(expected) => assert_eq!(
+                    expected, &got,
+                    "{name}: {backend:?} × {threads} threads diverged"
+                ),
+            }
+        }
+    }
+}
+
+fn escapee_pairs() -> Vec<(String, Circuit, Circuit, u64)> {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/escapees");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("escapee fixture directory")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.to_string_lossy().ends_with(".golden.qasm"))
+        .collect();
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|golden_path| {
+            let name = golden_path
+                .file_name()
+                .unwrap()
+                .to_string_lossy()
+                .trim_end_matches(".golden.qasm")
+                .to_string();
+            let faulty_src = std::fs::read_to_string(
+                golden_path
+                    .to_string_lossy()
+                    .replace(".golden.qasm", ".faulty.qasm"),
+            )
+            .unwrap();
+            let seed: u64 = faulty_src
+                .lines()
+                .find_map(|l| l.strip_prefix("// escapes-seeds: "))
+                .and_then(|s| s.split(',').next())
+                .and_then(|s| s.trim().parse().ok())
+                .expect("escapes-seeds header");
+            let golden = qcirc::qasm::parse(&std::fs::read_to_string(&golden_path).unwrap());
+            (
+                name,
+                golden.unwrap(),
+                qcirc::qasm::parse(&faulty_src).unwrap(),
+                seed,
+            )
+        })
+        .collect()
+}
+
+/// Escapee fixtures under their recorded escaping seeds: basis stimuli
+/// miss on both engines (agreeing "probably equivalent" with the fallback
+/// off), while stabilizer stimuli produce the *same* decisive run and
+/// witness stimulus on both.
+#[test]
+fn backends_agree_on_every_escapee_fixture() {
+    use qcec::{Fallback, StimulusStrategy};
+    for (name, golden, faulty, seed) in escapee_pairs() {
+        let sim_only = Config::new()
+            .with_simulations(10)
+            .with_seed(seed)
+            .with_fallback(Fallback::None);
+        assert_backends_agree(&name, &golden, &faulty, &sim_only);
+        let stabilizer = sim_only.clone().with_stimuli(StimulusStrategy::Stabilizer);
+        assert_backends_agree(
+            &format!("{name} [stabilizer]"),
+            &golden,
+            &faulty,
+            &stabilizer,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Generated pairs — an equivalent optimization and a seeded injected
+    /// fault — keep both engines in lockstep across scheduler widths.
+    #[test]
+    fn backends_agree_on_generated_pairs(n in 3usize..6, seed in any::<u64>()) {
+        let c = generators::random_clifford_t(n, 50, seed);
+        let optimized = qcirc::optimize::optimize(&c);
+        let base = Config::new().with_seed(seed);
+        assert_backends_agree("optimized pair", &c, &optimized, &base);
+        let mut buggy = c.clone();
+        buggy.x((seed % n as u64) as usize);
+        assert_backends_agree("injected fault", &c, &buggy, &base);
     }
 }

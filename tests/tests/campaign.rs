@@ -245,6 +245,46 @@ fn campaign_json_is_byte_identical_with_and_without_guard_cache() {
     assert!(uncached.guard_stats.golden_builds > cached.guard_stats.golden_builds);
 }
 
+/// The default-backend campaign JSON must stay byte-identical to the
+/// pre-refactor golden: the backend axis may only change the output when
+/// explicitly selected. Mirrors the `campaign` binary's scale-0 benchmark
+/// set and the golden's exact flags (`--seed 7 --trials 2 --sims 6`).
+#[test]
+fn default_backend_json_matches_pre_refactor_golden() {
+    let benches = vec![
+        CampaignBenchmark::compile(
+            "ghz 5",
+            "ghz",
+            &generators::ghz(5),
+            &CompileRoute::Map(CouplingMap::linear(5)),
+        ),
+        CampaignBenchmark::compile(
+            "qft 5",
+            "qft",
+            &generators::qft(5, true),
+            &CompileRoute::Optimize,
+        ),
+        CampaignBenchmark::compile(
+            "grover 3",
+            "grover",
+            &generators::grover(3, 5, generators::optimal_grover_iterations(3)),
+            &CompileRoute::Decompose,
+        ),
+    ];
+    let config = CampaignConfig::default()
+        .with_seed(7)
+        .with_trials(2)
+        .with_simulations(6)
+        .with_threads(2)
+        .with_epsilon(0.1);
+    let json = run_campaign(&benches, &config).to_json(false);
+    let golden = std::fs::read_to_string(
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden/campaign_default.json"),
+    )
+    .expect("golden campaign JSON");
+    assert_eq!(json, golden.trim_end(), "default campaign JSON drifted");
+}
+
 /// Double faults that cancel are guard-labelled benign; the accounting must
 /// file such trials under `benign` and never under `missed`, whatever the
 /// flow answered.
@@ -253,6 +293,7 @@ fn benign_trials_are_never_counted_as_detection_misses() {
     use qcec::campaign::{ClassStats, Detection, TrialRecord};
     let benign_trial = |detection| TrialRecord {
         benchmark: 0,
+        backend: qcec::BackendKind::Statevector,
         strategy: qcec::StimulusStrategy::Random,
         kind: MutationKind::AddGate,
         trial: 0,

@@ -263,7 +263,7 @@ mod tests {
         /// Tuple strategies destructure and prop_map applies.
         #[test]
         fn tuples_and_maps((n, x) in pair(), doubled in (0u64..5).prop_map(|v| v * 2)) {
-            prop_assert!(n >= 1 && n < 10);
+            prop_assert!((1..10).contains(&n));
             prop_assert!(x.abs() <= 1.0);
             prop_assert_eq!(doubled % 2, 0);
         }
