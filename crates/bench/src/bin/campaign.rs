@@ -23,6 +23,14 @@
 //! *pair-audit* mode: instead of the synthetic campaign, each explicit
 //! pair is labelled by the guard and checked `--trials` times per strategy
 //! with the simulation stage alone, measuring raw detection power.
+//!
+//! `--inject CLASS[,CLASS...]` (or `--inject all`) switches `--pair` to
+//! single-file form: each `--pair FILE` names one imported netlist used as
+//! its own golden, and the campaign synthesizes guard-labelled mutants of
+//! the chosen classes from it — fault-injection sweeps over external
+//! netlists instead of the built-in generator set. Without `--pair`,
+//! `--inject` filters the synthetic campaign to the given classes (seeds
+//! stay aligned with the full run).
 
 use std::io::Write as _;
 use std::process::exit;
@@ -31,6 +39,7 @@ use qcec::campaign::{audit_pair, run_campaign, CampaignBenchmark, CampaignConfig
 use qcec::{BackendKind, StimulusStrategy};
 use qcirc::generators;
 use qcirc::mapping::CouplingMap;
+use qfault::MutationKind;
 
 struct Args {
     seed: u64,
@@ -46,7 +55,8 @@ struct Args {
     out: Option<String>,
     stimuli: Vec<StimulusStrategy>,
     backends: Vec<BackendKind>,
-    pairs: Vec<(String, String)>,
+    pairs: Vec<String>,
+    inject: Option<Vec<MutationKind>>,
 }
 
 impl Default for Args {
@@ -66,6 +76,7 @@ impl Default for Args {
             stimuli: vec![StimulusStrategy::Random],
             backends: vec![BackendKind::Statevector],
             pairs: Vec::new(),
+            inject: None,
         }
     }
 }
@@ -75,11 +86,33 @@ fn usage() -> ! {
         "usage: campaign [--seed N] [--trials N] [--faults N] [--sims N] \
          [--threads N] [--trial-threads N] [--no-guard-cache] \
          [--scale 0|1] [--epsilon X] [--timings] [--out FILE] \
-         [--stimuli S[,S...]] [--backend B[,B...]] [--pair GOLDEN,FAULTY]...\n\
+         [--stimuli S[,S...]] [--backend B[,B...]] [--pair GOLDEN,FAULTY]... \
+         [--inject CLASS[,CLASS...]|all [--pair FILE]...]\n\
          stimulus strategies: basis|sequential|product|stabilizer\n\
-         backends: sv|dd"
+         backends: sv|dd\n\
+         fault classes: remove_gate|add_gate|remove_control|add_control|\
+         swap_targets|perturb_angle|swap_adjacent_gates|relabel_qubits"
     );
     exit(2);
+}
+
+fn parse_inject(spec: &str) -> Vec<MutationKind> {
+    if spec.trim().eq_ignore_ascii_case("all") {
+        return MutationKind::ALL.to_vec();
+    }
+    let classes: Vec<MutationKind> = spec
+        .split(',')
+        .map(|s| {
+            MutationKind::from_slug(s.trim()).unwrap_or_else(|| {
+                eprintln!("unknown fault class `{s}`");
+                usage()
+            })
+        })
+        .collect();
+    if classes.is_empty() {
+        usage();
+    }
+    classes
 }
 
 fn parse_stimuli(spec: &str) -> Vec<StimulusStrategy> {
@@ -168,7 +201,8 @@ fn parse_args() -> Args {
             "--out" => args.out = Some(val("--out")),
             "--stimuli" => args.stimuli = parse_stimuli(&val("--stimuli")),
             "--backend" => args.backends = parse_backends(&val("--backend")),
-            "--pair" => args.pairs.push(parse_pair(&val("--pair"))),
+            "--pair" => args.pairs.push(val("--pair")),
+            "--inject" => args.inject = Some(parse_inject(&val("--inject"))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -245,7 +279,8 @@ fn benchmarks(scale: usize) -> Vec<CampaignBenchmark> {
 fn run_pair_audits(args: &Args, config: &CampaignConfig) {
     let mut markdown = String::new();
     let mut json = Vec::new();
-    for (golden_path, faulty_path) in &args.pairs {
+    for spec in &args.pairs {
+        let (golden_path, faulty_path) = &parse_pair(spec);
         let golden = load_circuit(golden_path);
         let faulty = load_circuit(faulty_path);
         if golden.n_qubits() != faulty.n_qubits() {
@@ -281,9 +316,36 @@ fn run_pair_audits(args: &Args, config: &CampaignConfig) {
     println!("[{}]", json.join(","));
 }
 
+/// `--inject` + `--pair FILE` mode: each imported netlist is its own
+/// golden, and the campaign synthesizes guard-labelled mutants of the
+/// selected classes from it.
+fn netlist_benchmarks(paths: &[String]) -> Vec<CampaignBenchmark> {
+    paths
+        .iter()
+        .map(|path| {
+            if path.contains(',') {
+                eprintln!("--inject expects single-file --pair FILE arguments (got `{path}`)");
+                usage();
+            }
+            let circuit = load_circuit(path);
+            let name = path.rsplit('/').next().unwrap_or(path).to_string();
+            let family = name
+                .trim_end_matches(".qasm")
+                .trim_end_matches(".real")
+                .to_string();
+            CampaignBenchmark {
+                name,
+                family,
+                original: circuit.clone(),
+                alternative: circuit,
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let args = parse_args();
-    let config = CampaignConfig::default()
+    let mut config = CampaignConfig::default()
         .with_seed(args.seed)
         .with_trials(args.trials)
         .with_faults(args.faults)
@@ -294,18 +356,25 @@ fn main() {
         .with_epsilon(args.epsilon)
         .with_strategies(args.stimuli.clone())
         .with_backends(args.backends.clone());
+    if let Some(classes) = &args.inject {
+        config = config.with_classes(classes.clone());
+    }
 
-    if !args.pairs.is_empty() {
+    if !args.pairs.is_empty() && args.inject.is_none() {
         run_pair_audits(&args, &config);
         return;
     }
 
-    let set = benchmarks(args.scale);
+    let set = if args.inject.is_some() && !args.pairs.is_empty() {
+        netlist_benchmarks(&args.pairs)
+    } else {
+        benchmarks(args.scale)
+    };
     eprintln!(
         "campaign: {} benchmarks x {} strategies x {} classes x {} trials (seed {})",
         set.len(),
         config.strategies.len(),
-        qfault::MutationKind::ALL.len(),
+        config.classes.len(),
         config.trials,
         config.seed,
     );

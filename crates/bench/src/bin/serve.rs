@@ -1,0 +1,263 @@
+//! The service driver: batch equivalence checking with a verdict cache.
+//!
+//! Reads a *manifest* of circuit pairs (one `GOLDEN,FAULTY` line per job,
+//! `#` comments allowed, paths relative to the manifest's directory),
+//! submits every pair to an [`EquivalenceCheckingManager`], and runs the
+//! whole batch `--passes` times against one shared cache — so pass 1
+//! computes every verdict and pass 2+ replays them from the cache.
+//!
+//! Output:
+//!
+//! - one JSONL stream per pass in `<out>.passN.jsonl` (timings-free by
+//!   default, so any two passes over the same manifest are byte-identical
+//!   — `cmp` them to audit the cache);
+//! - a deterministic summary JSON object on stdout (job counts and cache
+//!   provenance per pass; counters only, no wall-clock);
+//! - the measured re-run speedup on stderr (wall-clock, so never on
+//!   stdout unless `--timings`).
+//!
+//! ```text
+//! cargo run --release -p bench --bin serve -- \
+//!     --manifest tests/fixtures/serve/manifest.txt --passes 2 --out /tmp/serve
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Instant;
+
+use qcec::report::json::{self, Obj};
+use qcec::{Config, EquivalenceCheckingManager, VerdictCache};
+
+struct Args {
+    manifest: Option<String>,
+    passes: usize,
+    sims: usize,
+    seed: u64,
+    threads: usize,
+    workers: usize,
+    capacity: usize,
+    out: Option<String>,
+    timings: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            manifest: None,
+            passes: 2,
+            sims: 10,
+            seed: 7,
+            threads: 1,
+            workers: 2,
+            capacity: EquivalenceCheckingManager::DEFAULT_CACHE_CAPACITY,
+            out: None,
+            timings: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve --manifest FILE [--passes N] [--sims N] [--seed N] \
+         [--threads N] [--workers N] [--capacity N] [--out PREFIX] [--timings]\n\
+         manifest: one GOLDEN,FAULTY pair per line (# comments; paths \
+         relative to the manifest)"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--manifest" => args.manifest = Some(val("--manifest")),
+            "--passes" => args.passes = val("--passes").parse().unwrap_or_else(|_| usage()),
+            "--sims" => args.sims = val("--sims").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--threads" => args.threads = val("--threads").parse().unwrap_or_else(|_| usage()),
+            "--workers" => args.workers = val("--workers").parse().unwrap_or_else(|_| usage()),
+            "--capacity" => args.capacity = val("--capacity").parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = Some(val("--out")),
+            "--timings" => args.timings = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    if args.passes == 0 {
+        eprintln!("--passes must be at least 1");
+        usage();
+    }
+    args
+}
+
+fn load_circuit(path: &Path) -> qcirc::Circuit {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", path.display());
+        exit(1);
+    });
+    let parsed = if path.extension().is_some_and(|e| e == "real") {
+        qcirc::real::parse(&text).map_err(|e| e.to_string())
+    } else {
+        qcirc::qasm::parse(&text).map_err(|e| e.to_string())
+    };
+    parsed.unwrap_or_else(|e| {
+        eprintln!("cannot parse {}: {e}", path.display());
+        exit(1);
+    })
+}
+
+/// One manifest entry: a job name plus the two resolved circuit paths.
+struct ManifestEntry {
+    name: String,
+    golden: PathBuf,
+    faulty: PathBuf,
+}
+
+fn read_manifest(path: &str) -> Vec<ManifestEntry> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read manifest {path}: {e}");
+        exit(1);
+    });
+    let base = Path::new(path)
+        .parent()
+        .unwrap_or(Path::new("."))
+        .to_path_buf();
+    let mut entries = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((golden, faulty)) = line.split_once(',') else {
+            eprintln!("manifest line {}: expected GOLDEN,FAULTY", line_no + 1);
+            exit(1);
+        };
+        let golden = base.join(golden.trim());
+        let faulty = base.join(faulty.trim());
+        let name = faulty
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_else(|| faulty.display().to_string());
+        entries.push(ManifestEntry {
+            name,
+            golden,
+            faulty,
+        });
+    }
+    if entries.is_empty() {
+        eprintln!("manifest {path} holds no pairs");
+        exit(1);
+    }
+    entries
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(manifest_path) = &args.manifest else {
+        usage();
+    };
+    let entries = read_manifest(manifest_path);
+    let pairs: Vec<(String, qcirc::Circuit, qcirc::Circuit)> = entries
+        .iter()
+        .map(|e| {
+            (
+                e.name.clone(),
+                load_circuit(&e.golden),
+                load_circuit(&e.faulty),
+            )
+        })
+        .collect();
+
+    let config = Config::new()
+        .with_simulations(args.sims)
+        .with_seed(args.seed)
+        .with_threads(args.threads.max(1));
+    let cache = Arc::new(VerdictCache::new(args.capacity));
+
+    let mut pass_summaries = Vec::new();
+    let mut pass_walls = Vec::new();
+    for pass in 1..=args.passes {
+        let mut manager = EquivalenceCheckingManager::with_cache(config.clone(), cache.clone())
+            .with_workers(args.workers)
+            .with_timings(args.timings);
+        if let Some(prefix) = &args.out {
+            let stream = format!("{prefix}.pass{pass}.jsonl");
+            // Start each pass's stream fresh so reruns stay comparable.
+            let _ = std::fs::remove_file(&stream);
+            manager = manager.with_stream_path(stream);
+        }
+        manager.submit_batch(pairs.iter().cloned());
+        let start = Instant::now();
+        let results = manager.run().unwrap_or_else(|e| {
+            eprintln!("pass {pass}: {e}");
+            exit(1);
+        });
+        let wall = start.elapsed();
+
+        let mut computed = 0u64;
+        let mut cache_hits = 0u64;
+        let mut deduped = 0u64;
+        let mut not_equivalent = 0u64;
+        for r in results {
+            match r.provenance {
+                qcec::service::Provenance::Computed => computed += 1,
+                qcec::service::Provenance::CacheHit => cache_hits += 1,
+                qcec::service::Provenance::Deduped => deduped += 1,
+            }
+            if r.verdict.outcome.is_not_equivalent() {
+                not_equivalent += 1;
+            }
+        }
+        let mut o = Obj::new();
+        o.int("pass", pass as u64)
+            .int("jobs", results.len() as u64)
+            .int("computed", computed)
+            .int("cache_hits", cache_hits)
+            .int("deduped", deduped)
+            .int("not_equivalent", not_equivalent);
+        if args.timings {
+            o.num("t_s", wall.as_secs_f64());
+        }
+        pass_summaries.push(o.render());
+        pass_walls.push(wall);
+        eprintln!(
+            "pass {pass}: {} jobs, {computed} computed, {cache_hits} cache hits, \
+             {deduped} deduped in {:.3}s",
+            results.len(),
+            wall.as_secs_f64(),
+        );
+    }
+
+    let mut root = Obj::new();
+    root.int("pairs", pairs.len() as u64)
+        .int("passes", args.passes as u64)
+        .int("workers", args.workers as u64)
+        .raw("pass_stats", json::array(pass_summaries))
+        .raw("cache", cache.stats().to_json());
+    println!("{}", root.render());
+
+    if args.passes >= 2 {
+        let first = pass_walls[0].as_secs_f64();
+        let rest: f64 = pass_walls[1..].iter().map(|w| w.as_secs_f64()).sum::<f64>()
+            / (pass_walls.len() - 1) as f64;
+        if rest > 0.0 {
+            eprintln!(
+                "cache speedup: pass 1 {:.4}s vs later passes {:.4}s avg ({:.1}x)",
+                first,
+                rest,
+                first / rest
+            );
+        }
+    }
+}

@@ -48,13 +48,12 @@
 //! ```
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qcirc::mapping::{route, CouplingMap, RouterOptions};
 use qcirc::{decompose, optimize, Circuit};
-use qfault::{registry, GuardCache, GuardOptions, GuardVerdict, MutationKind, Mutator};
+use qfault::{mutator_for, GuardCache, GuardOptions, GuardVerdict, MutationKind, Mutator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -183,6 +182,12 @@ pub struct CampaignConfig {
     /// not the strategy), so per-strategy detection rates are directly
     /// comparable. Default: just the paper's random basis states.
     pub strategies: Vec<StimulusStrategy>,
+    /// Fault classes to inject, in reporting order. Default: all of
+    /// [`MutationKind::ALL`]. Trial seeds are keyed on each class's
+    /// position in `ALL` (not its position here), so a filtered campaign
+    /// injects exactly the same faults for its classes as the full
+    /// campaign does.
+    pub classes: Vec<MutationKind>,
 }
 
 impl Default for CampaignConfig {
@@ -202,6 +207,7 @@ impl Default for CampaignConfig {
             deadline: Some(Duration::from_secs(30)),
             backends: vec![BackendKind::Statevector],
             strategies: vec![StimulusStrategy::Random],
+            classes: MutationKind::ALL.to_vec(),
         }
     }
 }
@@ -298,6 +304,21 @@ impl CampaignConfig {
     pub fn with_stimuli(self, strategy: StimulusStrategy) -> Self {
         self.with_strategies(vec![strategy])
     }
+
+    /// Restricts injection to the given fault classes (e.g. a `--inject`
+    /// sweep over one error model). Seeds stay aligned with the full
+    /// campaign: each class injects the same faults it would in an
+    /// unfiltered run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty.
+    #[must_use]
+    pub fn with_classes(mut self, classes: Vec<MutationKind>) -> Self {
+        assert!(!classes.is_empty(), "need at least one fault class");
+        self.classes = classes;
+        self
+    }
 }
 
 /// How one injected fault was (or was not) detected.
@@ -345,7 +366,7 @@ pub struct TrialRecord {
 }
 
 /// Aggregated statistics for one error class.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ClassStats {
     /// Trials attempted.
     pub trials: usize,
@@ -560,7 +581,24 @@ struct TrialOutput {
 #[must_use]
 pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -> CampaignResult {
     let start = Instant::now();
-    let mutators = registry(config.epsilon);
+    let mutators: Vec<Box<dyn Mutator>> = config
+        .classes
+        .iter()
+        .map(|&kind| mutator_for(kind, config.epsilon))
+        .collect();
+    // Seeds are keyed on each class's position in `MutationKind::ALL`,
+    // so filtering classes never changes which faults the kept classes
+    // inject.
+    let class_seed_idx: Vec<usize> = config
+        .classes
+        .iter()
+        .map(|kind| {
+            MutationKind::ALL
+                .iter()
+                .position(|a| a == kind)
+                .expect("every MutationKind is in ALL")
+        })
+        .collect();
     let mut families: Vec<String> = Vec::new();
     for b in benchmarks {
         if !families.contains(&b.family) {
@@ -577,6 +615,7 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
             let n_backends = config.backends.len();
             let n_strategies = config.strategies.len();
             let n_classes = mutators.len();
+            let class_seed_idx = &class_seed_idx;
             (0..n_backends).flat_map(move |e_idx| {
                 (0..n_strategies).flat_map(move |s_idx| {
                     (0..n_classes).flat_map(move |k_idx| {
@@ -586,7 +625,7 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
                             strategy: s_idx,
                             class: k_idx,
                             trial: t_idx,
-                            seed: trial_seed(config.seed, b_idx, k_idx, t_idx),
+                            seed: trial_seed(config.seed, b_idx, class_seed_idx[k_idx], t_idx),
                         })
                     })
                 })
@@ -608,51 +647,12 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
     });
     let guard_setup_time = guard_setup.elapsed();
 
-    let workers = config.trial_threads.max(1).min(cells.len().max(1));
-    let outputs: Vec<TrialOutput> = if workers <= 1 {
-        cells
-            .iter()
-            .map(|cell| run_cell(benchmarks, &mutators, guards.as_deref(), cell, config))
-            .collect()
-    } else {
-        // Workers claim cell indices in order from a shared counter and
-        // report `(index, output)` pairs; completion order is irrelevant
-        // because the merge below re-sorts into trial order by slot.
-        let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<TrialOutput>> = Vec::new();
-        slots.resize_with(cells.len(), || None);
-        let chunks = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let next = &next;
-                    let cells = &cells;
-                    let mutators = &mutators;
-                    let guards = guards.as_deref();
-                    scope.spawn(move || {
-                        let mut done: Vec<(usize, TrialOutput)> = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(cell) = cells.get(i) else { break };
-                            done.push((i, run_cell(benchmarks, mutators, guards, cell, config)));
-                        }
-                        done
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("campaign trial worker panicked"))
-                .collect::<Vec<_>>()
+    // Fan the cells across the shared ordered pool: trial order in, trial
+    // order out, byte-identical at any worker count.
+    let outputs: Vec<TrialOutput> =
+        crate::pool::run_ordered(cells.len(), config.trial_threads, |i| {
+            run_cell(benchmarks, &mutators, guards.as_deref(), &cells[i], config)
         });
-        for (i, output) in chunks.into_iter().flatten() {
-            debug_assert!(slots[i].is_none(), "cell {i} executed twice");
-            slots[i] = Some(output);
-        }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every cell was claimed exactly once"))
-            .collect()
-    };
 
     // Deterministic merge: aggregate in trial order, exactly as the
     // sequential inner loop would have.
@@ -675,7 +675,7 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
     let mut stage_timings = StageTimings::default();
     let mut guard_stats = GuardStats::default();
     for output in outputs {
-        stage_timings = accumulate(stage_timings, output.timings);
+        stage_timings = stage_timings.merged(output.timings);
         guard_stats.guard_time += output.guard_time;
         let record = output.record;
         let cell = cells[trials.len()];
@@ -733,20 +733,6 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
         stage_timings,
         guard_stats,
         wall_time: start.elapsed(),
-    }
-}
-
-fn accumulate(a: StageTimings, b: StageTimings) -> StageTimings {
-    StageTimings {
-        simulation_time: a.simulation_time + b.simulation_time,
-        functional_time: a.functional_time + b.functional_time,
-        sv_probe_time: a.sv_probe_time + b.sv_probe_time,
-        dd_probe_time: a.dd_probe_time + b.dd_probe_time,
-        simulations_finished: a.simulations_finished + b.simulations_finished,
-        simulations_aborted: a.simulations_aborted + b.simulations_aborted,
-        cancellations: a.cancellations + b.cancellations,
-        simulation_wins: a.simulation_wins + b.simulation_wins,
-        functional_wins: a.functional_wins + b.functional_wins,
     }
 }
 
@@ -908,6 +894,19 @@ impl CampaignResult {
                     ),
                 );
             }
+        }
+        // Like the backend field: only a filtered class selection renders,
+        // keeping full campaigns byte-identical to pre-filter goldens.
+        if self.config.classes != MutationKind::ALL {
+            cfg.raw(
+                "inject",
+                json::array(
+                    self.config
+                        .classes
+                        .iter()
+                        .map(|k| format!("\"{}\"", k.slug())),
+                ),
+            );
         }
         root.raw("config", cfg.render());
 
@@ -1388,6 +1387,34 @@ mod tests {
             .with_simulations(4)
             .with_threads(2);
         (benches, config)
+    }
+
+    #[test]
+    fn filtered_classes_inject_the_same_faults_as_the_full_campaign() {
+        let (benches, config) = tiny_campaign();
+        let full = run_campaign(&benches, &config);
+        let picked = vec![MutationKind::RemoveGate, MutationKind::PerturbAngle];
+        let filtered = run_campaign(&benches, &config.clone().with_classes(picked.clone()));
+        assert_eq!(
+            filtered.classes.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            picked
+        );
+        // Seeds are keyed on the class's position in ALL, so every kept
+        // class reproduces exactly the trials of the unfiltered run.
+        for (kind, stats) in &filtered.classes {
+            let full_stats = full
+                .classes
+                .iter()
+                .find(|(k, _)| k == kind)
+                .map(|(_, s)| s)
+                .unwrap();
+            assert_eq!(stats, full_stats, "{kind}: stats diverged under filtering");
+        }
+        // The filtered selection renders in config JSON; the full one not.
+        assert!(filtered
+            .to_json(false)
+            .contains(r#""inject":["remove_gate","perturb_angle"]"#));
+        assert!(!full.to_json(false).contains(r#""inject""#));
     }
 
     #[test]

@@ -51,8 +51,10 @@ mod flow;
 mod functional;
 mod outcome;
 pub mod pipeline;
+pub mod pool;
 pub mod report;
 pub mod scheduler;
+pub mod service;
 mod sim_check;
 pub mod theory;
 
@@ -61,6 +63,9 @@ pub use config::{BackendKind, Config, Criterion, Fallback, StimulusStrategy};
 pub use flow::{check_equivalence, check_equivalence_default, FlowError};
 pub use functional::{run_functional_check, run_functional_check_cancellable, FunctionalVerdict};
 pub use outcome::{AbortReason, Counterexample, FlowResult, FlowStats, Mismatch, Outcome};
+pub use service::{
+    CachedVerdict, CircuitId, ConfigDigest, EquivalenceCheckingManager, JobKey, VerdictCache,
+};
 pub use sim_check::{draw_stimuli, run_simulations, run_simulations_on, SimVerdict};
 // The stimulus vocabulary types, so downstream code can match on
 // counterexamples and replay stimuli without naming `qstim` directly.

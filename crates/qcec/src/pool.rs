@@ -1,0 +1,109 @@
+//! A deterministic fan-out/ordered-merge worker pool.
+//!
+//! Both the fault-injection campaign (trial level) and the service layer's
+//! batch queue need the same parallel shape: `N` independent work items,
+//! `W` scoped worker threads claiming item indices from a shared counter,
+//! and results merged back **in item order** — never completion order — so
+//! the output is byte-identical at any worker count. This module is that
+//! shape, extracted so every caller inherits the determinism contract
+//! instead of re-implementing it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f(0), f(1), …, f(n_items − 1)` across `workers` scoped threads and
+/// returns the results in item order.
+///
+/// With `workers <= 1` (or fewer than two items) everything runs on the
+/// calling thread with no pool at all, so the single-threaded path has zero
+/// synchronization overhead and — by construction — the same output.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (the closure is expected not to
+/// panic on well-formed inputs).
+///
+/// # Examples
+///
+/// ```
+/// let squares = qcec::pool::run_ordered(5, 3, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn run_ordered<T, F>(n_items: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(n_items.max(1));
+    if workers <= 1 || n_items <= 1 {
+        return (0..n_items).map(f).collect();
+    }
+
+    // Workers claim item indices in order from a shared counter and report
+    // `(index, output)` pairs; completion order is irrelevant because the
+    // merge below re-sorts into item order by slot.
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(n_items, || None);
+    let chunks = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_items {
+                            break;
+                        }
+                        done.push((i, f(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for (i, output) in chunks.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "item {i} executed twice");
+        slots[i] = Some(output);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_item_order_at_any_worker_count() {
+        let expected: Vec<usize> = (0..97).map(|i| i * 3 + 1).collect();
+        for workers in [1, 2, 5, 16] {
+            assert_eq!(run_ordered(97, workers, |i| i * 3 + 1), expected);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(run_ordered(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_ordered(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = AtomicUsize::new(0);
+        let out = run_ordered(40, 7, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 40);
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
+    }
+}

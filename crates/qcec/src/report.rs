@@ -345,6 +345,11 @@ pub struct StageTimings {
     /// Cancellations where the functional check's definitive verdict
     /// halted the pool — the complete DD check won the race.
     pub functional_wins: usize,
+    /// Jobs answered from the service-layer verdict cache (populated by
+    /// [`crate::service`], never by the scheduler's event stream).
+    pub cache_hits: usize,
+    /// Jobs that missed the verdict cache and ran the full flow.
+    pub cache_misses: usize,
 }
 
 impl StageTimings {
@@ -379,6 +384,25 @@ impl StageTimings {
             }
         }
         t
+    }
+
+    /// Field-wise sum of two summaries — aggregating per-run summaries
+    /// into a campaign or batch total.
+    #[must_use]
+    pub fn merged(self, other: StageTimings) -> StageTimings {
+        StageTimings {
+            simulation_time: self.simulation_time + other.simulation_time,
+            functional_time: self.functional_time + other.functional_time,
+            sv_probe_time: self.sv_probe_time + other.sv_probe_time,
+            dd_probe_time: self.dd_probe_time + other.dd_probe_time,
+            simulations_finished: self.simulations_finished + other.simulations_finished,
+            simulations_aborted: self.simulations_aborted + other.simulations_aborted,
+            cancellations: self.cancellations + other.cancellations,
+            simulation_wins: self.simulation_wins + other.simulation_wins,
+            functional_wins: self.functional_wins + other.functional_wins,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+        }
     }
 
     /// Probe wall time spent in one backend's engine.
@@ -421,6 +445,13 @@ impl StageTimings {
         o.int("sims_finished", self.simulations_finished as u64)
             .int("sims_aborted", self.simulations_aborted as u64)
             .int("cancellations", self.cancellations as u64);
+        if self.cache_hits > 0 || self.cache_misses > 0 {
+            // Only the service layer populates these; rendering them
+            // conditionally keeps campaign output byte-identical to
+            // pre-service goldens.
+            o.int("cache_hits", self.cache_hits as u64)
+                .int("cache_misses", self.cache_misses as u64);
+        }
         if with_timings {
             o.int("simulation_wins", self.simulation_wins as u64)
                 .int("functional_wins", self.functional_wins as u64);
@@ -443,7 +474,10 @@ impl fmt::Display for StageTimings {
     }
 }
 
-fn verdict_and_witness(outcome: &Outcome) -> (&'static str, String) {
+/// The stable verdict slug and ASCII witness string for an outcome — the
+/// one vocabulary shared by CSV rows, report JSON, and the service layer's
+/// cached verdict lines.
+pub(crate) fn verdict_and_witness(outcome: &Outcome) -> (&'static str, String) {
     match outcome {
         Outcome::Equivalent => ("equivalent", String::new()),
         Outcome::EquivalentUpToGlobalPhase { .. } => ("equivalent_up_to_phase", String::new()),

@@ -1,0 +1,331 @@
+//! The long-running service facade.
+//!
+//! [`EquivalenceCheckingManager`] is the `mqt-qcec`-shaped entry point
+//! (*Advanced Equivalence Checking for Quantum Circuits*, arXiv
+//! 2004.08420): construct, `configure`, `submit`/`submit_batch`, `run`,
+//! then query `results`. Unlike the one-shot [`crate::check_equivalence`],
+//! the manager persists across submissions: verdicts land in a shared
+//! [`VerdictCache`] keyed by content, so resubmitting a pair — the common
+//! CI pattern, where most circuits of a regression suite don't change —
+//! is answered without simulating anything.
+//!
+//! Every completed job appends one line to a JSONL report stream. The
+//! default line is **timings-free and provenance-free**: a cache hit
+//! replays byte-identical lines to the miss that populated it, which is
+//! what makes the stream replayable and diffable across runs. Wall-clock
+//! data and provenance are opt-in via [`with_timings`]
+//! (EquivalenceCheckingManager::with_timings).
+
+use std::fs::OpenOptions;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use qcirc::Circuit;
+
+use crate::flow::FlowError;
+use crate::report::json::Obj;
+use crate::report::StageTimings;
+use crate::Config;
+
+use super::cache::{CacheStats, VerdictCache};
+use super::fingerprint::{derive_seed, CircuitId, ConfigDigest, JobKey};
+use super::queue::{run_batch, Job, JobResult};
+
+/// Failure modes of the service layer: a structural flow error from a
+/// malformed submission, or an I/O error from the persisted stream.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The underlying equivalence check rejected a job.
+    Flow(FlowError),
+    /// The JSONL stream file could not be written.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Flow(e) => write!(f, "{e}"),
+            ServiceError::Io(e) => write!(f, "report stream: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<FlowError> for ServiceError {
+    fn from(e: FlowError) -> Self {
+        ServiceError::Flow(e)
+    }
+}
+
+impl From<io::Error> for ServiceError {
+    fn from(e: io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+/// The service facade: a persistent equivalence-checking engine with a
+/// content-addressed verdict cache and a batched, deduplicating job queue.
+///
+/// # Examples
+///
+/// ```
+/// use qcec::{Config, EquivalenceCheckingManager};
+///
+/// let g = qcirc::generators::ghz(4);
+/// let opt = qcirc::optimize::optimize(&g);
+/// let mut manager = EquivalenceCheckingManager::new(Config::default());
+/// manager.submit("ghz4", g.clone(), opt.clone());
+/// manager.submit("ghz4 again", g, opt); // same content: deduped
+/// manager.run().unwrap();
+/// assert_eq!(manager.results().len(), 2);
+/// assert!(manager.results()[1].provenance.is_cached());
+/// ```
+#[derive(Debug)]
+pub struct EquivalenceCheckingManager {
+    config: Config,
+    cache: Arc<VerdictCache>,
+    workers: usize,
+    with_timings: bool,
+    stream_path: Option<PathBuf>,
+    pending: Vec<Job>,
+    results: Vec<JobResult>,
+    lines: Vec<String>,
+    timings: StageTimings,
+}
+
+impl EquivalenceCheckingManager {
+    /// Default bound on resident cache entries.
+    pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+    /// Creates a manager with a fresh cache of the default capacity and a
+    /// single queue worker.
+    #[must_use]
+    pub fn new(config: Config) -> Self {
+        Self::with_cache(
+            config,
+            Arc::new(VerdictCache::new(Self::DEFAULT_CACHE_CAPACITY)),
+        )
+    }
+
+    /// Creates a manager sharing an existing cache (several managers — or
+    /// several runs of one driver — can pool their verdicts).
+    #[must_use]
+    pub fn with_cache(config: Config, cache: Arc<VerdictCache>) -> Self {
+        EquivalenceCheckingManager {
+            config,
+            cache,
+            workers: 1,
+            with_timings: false,
+            stream_path: None,
+            pending: Vec::new(),
+            results: Vec::new(),
+            lines: Vec::new(),
+            timings: StageTimings::default(),
+        }
+    }
+
+    /// Sets the queue worker count. Batch output is byte-identical at any
+    /// value; this only changes wall-clock time.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Opts the report stream into wall-clock and provenance fields
+    /// (`source`, `t_s`). Timed streams are *not* byte-reproducible —
+    /// that's the point of the default.
+    #[must_use]
+    pub fn with_timings(mut self, with_timings: bool) -> Self {
+        self.with_timings = with_timings;
+        self
+    }
+
+    /// Persists the report stream to a JSONL file (append-only; one line
+    /// per completed job, written as each [`run`]
+    /// (EquivalenceCheckingManager::run) completes).
+    #[must_use]
+    pub fn with_stream_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.stream_path = Some(path.into());
+        self
+    }
+
+    /// Replaces the base configuration for *subsequent* submissions
+    /// (already-queued jobs keep the configuration they were submitted
+    /// under — that configuration is part of their identity).
+    pub fn configure(&mut self, config: Config) {
+        self.config = config;
+    }
+
+    /// The current base configuration.
+    #[must_use]
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Queues one `(G, G′)` pair under the current configuration and
+    /// returns its content-addressed key.
+    ///
+    /// The job's RNG seed is derived from the base seed and the two
+    /// circuit fingerprints, so identical pairs share identical stimulus
+    /// streams (and therefore identical keys), while distinct pairs in
+    /// one batch draw decorrelated stimuli.
+    pub fn submit(&mut self, name: impl Into<String>, g: Circuit, g_prime: Circuit) -> JobKey {
+        let g_id = CircuitId::of(&g);
+        let g_prime_id = CircuitId::of(&g_prime);
+        let config =
+            self.config
+                .clone()
+                .with_seed(derive_seed(self.config.seed, &g_id, &g_prime_id));
+        let key = JobKey {
+            g: g_id,
+            g_prime: g_prime_id,
+            config: ConfigDigest::of(&config),
+        };
+        self.pending.push(Job {
+            name: name.into(),
+            g,
+            g_prime,
+            config,
+            key,
+        });
+        key
+    }
+
+    /// Queues many pairs; returns their keys in submission order.
+    pub fn submit_batch<I>(&mut self, pairs: I) -> Vec<JobKey>
+    where
+        I: IntoIterator<Item = (String, Circuit, Circuit)>,
+    {
+        pairs
+            .into_iter()
+            .map(|(name, g, g_prime)| self.submit(name, g, g_prime))
+            .collect()
+    }
+
+    /// Number of jobs queued but not yet run.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Runs every pending job through the cache and the worker pool,
+    /// appends their report lines to the stream (and the stream file, if
+    /// configured), and returns the newly completed results in submission
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first structural [`FlowError`] (the batch's pending
+    /// jobs are consumed either way) and I/O errors from the stream file.
+    pub fn run(&mut self) -> Result<&[JobResult], ServiceError> {
+        let batch: Vec<Job> = std::mem::take(&mut self.pending);
+        let start = Instant::now();
+        let completed = run_batch(&batch, &self.cache, self.workers)?;
+        let wall = start.elapsed();
+        let mut new_lines = Vec::with_capacity(completed.len());
+        for result in &completed {
+            self.timings = self.timings.merged(result.timings);
+            if result.provenance.is_cached() {
+                self.timings.cache_hits += 1;
+            } else {
+                self.timings.cache_misses += 1;
+            }
+            new_lines.push(render_line(result, self.with_timings, wall));
+        }
+        if let Some(path) = &self.stream_path {
+            append_lines(path, &new_lines)?;
+        }
+        let first_new = self.results.len();
+        self.lines.extend(new_lines);
+        self.results.extend(completed);
+        Ok(&self.results[first_new..])
+    }
+
+    /// Every completed result, in completion (= submission) order.
+    #[must_use]
+    pub fn results(&self) -> &[JobResult] {
+        &self.results
+    }
+
+    /// The report stream accumulated so far, one JSON object per line.
+    #[must_use]
+    pub fn report_lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// The shared verdict cache.
+    #[must_use]
+    pub fn cache(&self) -> &VerdictCache {
+        &self.cache
+    }
+
+    /// Counter snapshot of the shared cache.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Aggregated scheduler-event summary across every computed job, with
+    /// [`StageTimings::cache_hits`]/[`StageTimings::cache_misses`]
+    /// counting served-without-running vs computed jobs.
+    #[must_use]
+    pub fn stage_timings(&self) -> StageTimings {
+        self.timings
+    }
+
+    /// Reads a persisted report stream back as lines — the replay half of
+    /// the append-only contract. Two streams of the same submissions are
+    /// byte-identical (modulo opt-in timing fields), so replaying and
+    /// diffing is the intended cheap audit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn read_stream(path: impl AsRef<Path>) -> io::Result<Vec<String>> {
+        let file = std::fs::File::open(path)?;
+        BufReader::new(file).lines().collect()
+    }
+}
+
+/// Renders one job's report line. The default form holds only
+/// deterministic fields; `with_timings` appends provenance and the batch
+/// wall time (shared across the batch's lines — per-job wall time is not
+/// individually tracked to keep the hit path allocation-free).
+fn render_line(result: &JobResult, with_timings: bool, wall: std::time::Duration) -> String {
+    let mut o = Obj::new();
+    o.str("name", &result.name)
+        .str("key", &result.key.to_string())
+        .int("n", result.n_qubits as u64)
+        .int("gates_g", result.g_len as u64)
+        .int("gates_g_prime", result.g_prime_len as u64);
+    let prefix = o.render();
+    // Splice the verdict fragment rendered at miss time: hits replay the
+    // exact bytes the original computation produced.
+    let mut line = format!(
+        "{},{}",
+        &prefix[..prefix.len() - 1],
+        &result.verdict.json[1..]
+    );
+    if with_timings {
+        let mut t = Obj::new();
+        t.str("source", result.provenance.slug())
+            .num("t_batch_s", wall.as_secs_f64());
+        let rendered = t.render();
+        line.truncate(line.len() - 1);
+        line.push(',');
+        line.push_str(&rendered[1..]);
+    }
+    line
+}
+
+fn append_lines(path: &Path, lines: &[String]) -> io::Result<()> {
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    for line in lines {
+        writeln!(file, "{line}")?;
+    }
+    Ok(())
+}

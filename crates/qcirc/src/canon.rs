@@ -1,0 +1,262 @@
+//! Canonical byte encoding of circuits for content addressing.
+//!
+//! The service layer in `qcec` keys its verdict cache by a fingerprint of
+//! the circuit *semantics-as-written*: the exact gate list, with just enough
+//! normalization that trivially-equal spellings of the same gate collapse to
+//! one representative. This module produces that canonical byte stream; the
+//! hashing itself lives upstream so the encoding stays reusable.
+//!
+//! The encoding normalizes exactly three things:
+//!
+//! - **Rotation angles** are reduced modulo their exact gate period —
+//!   4π for `Rx`/`Ry`/`Rz` and the θ of `U3` (whose matrices have period
+//!   4π), 2π for `Phase` and the φ/λ of `U3` (whose matrices have period
+//!   2π). Angles congruent modulo the period denote the *same unitary*, so
+//!   they must encode identically; angles differing by 2π on an `Rz` denote
+//!   unitaries differing by a global phase of −1 and must *not* collapse,
+//!   which is why the θ-type period is 4π and not 2π.
+//! - **Control lists** are sorted: controls are a set, not a sequence.
+//! - **SWAP targets** are sorted: `swap a,b` equals `swap b,a`.
+//!
+//! Everything else — gate order, qubit labels, the qubit count — is
+//! preserved verbatim: the fingerprint deliberately distinguishes circuits
+//! that are merely *equivalent* (that distinction is the whole equivalence
+//! checker's job, not the cache key's).
+//!
+//! The circuit [`name`](crate::Circuit::name) is metadata and is excluded.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcirc::{canon, Circuit};
+//! use std::f64::consts::PI;
+//!
+//! let mut a = Circuit::new(2);
+//! a.rz(0.25, 0).cx(0, 1);
+//! let mut b = Circuit::new(2);
+//! b.rz(0.25 + 4.0 * PI, 0).cx(0, 1);
+//! assert_eq!(canon::encode_circuit(&a), canon::encode_circuit(&b));
+//!
+//! let mut c = Circuit::new(2);
+//! c.rz(0.25 + 2.0 * PI, 0).cx(0, 1); // global phase −1: distinct
+//! assert_ne!(canon::encode_circuit(&a), canon::encode_circuit(&c));
+//! ```
+
+use std::f64::consts::PI;
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+
+const TWO_PI: f64 = 2.0 * PI;
+const FOUR_PI: f64 = 4.0 * PI;
+
+/// Stable one-byte opcode for a [`GateKind`], independent of parameter
+/// values. The numbering follows the declaration order of the enum and is
+/// part of the fingerprint format: renumbering invalidates every persisted
+/// cache entry, so append new kinds instead of reordering.
+#[must_use]
+pub fn opcode(kind: &GateKind) -> u8 {
+    match kind {
+        GateKind::I => 0,
+        GateKind::X => 1,
+        GateKind::Y => 2,
+        GateKind::Z => 3,
+        GateKind::H => 4,
+        GateKind::S => 5,
+        GateKind::Sdg => 6,
+        GateKind::T => 7,
+        GateKind::Tdg => 8,
+        GateKind::Sx => 9,
+        GateKind::Sxdg => 10,
+        GateKind::Sy => 11,
+        GateKind::Sydg => 12,
+        GateKind::Rx(_) => 13,
+        GateKind::Ry(_) => 14,
+        GateKind::Rz(_) => 15,
+        GateKind::Phase(_) => 16,
+        GateKind::U3(..) => 17,
+        GateKind::Swap => 18,
+    }
+}
+
+/// Canonical representative of a θ-type angle (period 4π), in `(-2π, 2π]`.
+#[must_use]
+pub fn canonical_theta(theta: f64) -> f64 {
+    let mut t = theta % FOUR_PI;
+    if t <= -TWO_PI {
+        t += FOUR_PI;
+    } else if t > TWO_PI {
+        t -= FOUR_PI;
+    }
+    scrub_zero(t)
+}
+
+/// Canonical representative of a phase-type angle (period 2π), in `(-π, π]`.
+#[must_use]
+pub fn canonical_phase(lambda: f64) -> f64 {
+    scrub_zero(qnum::angle::normalize(lambda))
+}
+
+/// Collapses `-0.0` onto `+0.0` so the two IEEE zeros (bit-distinct, value
+/// equal) encode identically.
+fn scrub_zero(x: f64) -> f64 {
+    if x == 0.0 {
+        0.0
+    } else {
+        x
+    }
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_angle(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Appends the canonical encoding of one gate to `out`.
+///
+/// Layout: opcode byte, canonicalized parameters (f64 bit patterns, count
+/// fixed by the opcode), control count + sorted controls, then the targets
+/// (sorted for SWAP, whose operands commute).
+pub fn encode_gate_into(gate: &Gate, out: &mut Vec<u8>) {
+    out.push(opcode(gate.kind()));
+    match *gate.kind() {
+        GateKind::Rx(t) | GateKind::Ry(t) | GateKind::Rz(t) => {
+            push_angle(out, canonical_theta(t));
+        }
+        GateKind::Phase(l) => push_angle(out, canonical_phase(l)),
+        GateKind::U3(t, p, l) => {
+            push_angle(out, canonical_theta(t));
+            push_angle(out, canonical_phase(p));
+            push_angle(out, canonical_phase(l));
+        }
+        _ => {}
+    }
+    let mut controls: Vec<usize> = gate.controls().to_vec();
+    controls.sort_unstable();
+    push_u64(out, controls.len() as u64);
+    for c in controls {
+        push_u64(out, c as u64);
+    }
+    let mut targets: Vec<usize> = gate.targets().to_vec();
+    if matches!(gate.kind(), GateKind::Swap) {
+        targets.sort_unstable();
+    }
+    for t in targets {
+        push_u64(out, t as u64);
+    }
+}
+
+/// The canonical byte encoding of a whole circuit: a qubit-count and
+/// gate-count header followed by each gate's encoding in circuit order.
+#[must_use]
+pub fn encode_circuit(circuit: &Circuit) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + circuit.gates().len() * 32);
+    push_u64(&mut out, circuit.n_qubits() as u64);
+    push_u64(&mut out, circuit.gates().len() as u64);
+    for gate in circuit.gates() {
+        encode_gate_into(gate, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcodes_are_distinct() {
+        let kinds = [
+            GateKind::I,
+            GateKind::X,
+            GateKind::Y,
+            GateKind::Z,
+            GateKind::H,
+            GateKind::S,
+            GateKind::Sdg,
+            GateKind::T,
+            GateKind::Tdg,
+            GateKind::Sx,
+            GateKind::Sxdg,
+            GateKind::Sy,
+            GateKind::Sydg,
+            GateKind::Rx(0.0),
+            GateKind::Ry(0.0),
+            GateKind::Rz(0.0),
+            GateKind::Phase(0.0),
+            GateKind::U3(0.0, 0.0, 0.0),
+            GateKind::Swap,
+        ];
+        let mut codes: Vec<u8> = kinds.iter().map(opcode).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), kinds.len());
+    }
+
+    #[test]
+    fn theta_period_is_four_pi() {
+        let a = canonical_theta(0.7);
+        assert!((canonical_theta(0.7 + FOUR_PI) - a).abs() < 1e-12);
+        assert!((canonical_theta(0.7 - FOUR_PI) - a).abs() < 1e-12);
+        // 2π apart ⇒ global phase −1 ⇒ must stay distinct.
+        assert!((canonical_theta(0.7 + TWO_PI) - a).abs() > 1.0);
+    }
+
+    #[test]
+    fn phase_period_is_two_pi() {
+        let a = canonical_phase(0.7);
+        assert!((canonical_phase(0.7 + TWO_PI) - a).abs() < 1e-12);
+        assert!((canonical_phase(0.7 - TWO_PI) - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_zero_collapses() {
+        assert_eq!(
+            canonical_theta(-0.0).to_bits(),
+            canonical_theta(0.0).to_bits()
+        );
+        assert_eq!(
+            canonical_phase(-0.0).to_bits(),
+            canonical_phase(0.0).to_bits()
+        );
+    }
+
+    #[test]
+    fn control_order_is_irrelevant() {
+        let a = Gate::controlled(GateKind::X, vec![0, 2], 3);
+        let b = Gate::controlled(GateKind::X, vec![2, 0], 3);
+        let mut ea = Vec::new();
+        let mut eb = Vec::new();
+        encode_gate_into(&a, &mut ea);
+        encode_gate_into(&b, &mut eb);
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn swap_targets_commute_but_cx_operands_do_not() {
+        let mut a = Circuit::new(3);
+        a.swap(0, 2);
+        let mut b = Circuit::new(3);
+        b.swap(2, 0);
+        assert_eq!(encode_circuit(&a), encode_circuit(&b));
+
+        let mut c = Circuit::new(3);
+        c.cx(0, 2);
+        let mut d = Circuit::new(3);
+        d.cx(2, 0);
+        assert_ne!(encode_circuit(&c), encode_circuit(&d));
+    }
+
+    #[test]
+    fn name_is_excluded_and_width_included() {
+        let a = Circuit::with_name(2, "alpha");
+        let b = Circuit::with_name(2, "beta");
+        assert_eq!(encode_circuit(&a), encode_circuit(&b));
+        assert_ne!(
+            encode_circuit(&Circuit::new(2)),
+            encode_circuit(&Circuit::new(3))
+        );
+    }
+}
