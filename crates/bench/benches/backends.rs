@@ -85,6 +85,59 @@ fn bench_probe_backends(c: &mut Criterion) {
     group.finish();
 }
 
+/// The stabilizer engine's headline: a Clifford-only probe is `O(n²)` per
+/// gate in the tableau while the dense path is `O(2ⁿ)` and the DD's size
+/// tracks the state's structure. Clifford-dominated Cuccaro-shaped adders
+/// ([`generators::clifford_adder`]) at n = 16, 24, 32 qubits:
+///
+/// * `stab` runs at every width under both a basis stimulus and a random
+///   stabilizer stimulus (the prefix is Clifford, so the whole probe
+///   stays on the tableau path);
+/// * `dd` gets the basis stimulus — its best case — and is only benched
+///   to n = 24: at n = 32 the adder's diagram overflows the package;
+/// * `sv` is only benched at n = 16: two dense 2²⁴ buffers are already
+///   256 MiB, and 2³² cannot be allocated at all.
+fn bench_stab_probe(c: &mut Criterion) {
+    use qcec::StabBackend;
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut group = c.benchmark_group("backend_stab");
+    group.sample_size(10);
+    for n in [16usize, 24, 32] {
+        // clifford_adder(k) acts on 2k + 2 qubits.
+        let adder = generators::clifford_adder((n - 2) / 2);
+        let optimized = qcirc::optimize::optimize(&adder);
+        let basis = Stimulus::Basis(1);
+        let stab_stim = Stimulus::Stabilizer(qstab::random_stabilizer_circuit(
+            n,
+            &mut StdRng::seed_from_u64(n as u64),
+        ));
+        group.bench_with_input(BenchmarkId::new("stab_basis", n), &adder, |b, g| {
+            let backend = StabBackend::new();
+            let mut ws = backend.workspace(g.n_qubits());
+            b.iter(|| backend.probe(g, &optimized, &basis, &mut ws).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("stab_stabilizer", n), &adder, |b, g| {
+            let backend = StabBackend::new();
+            let mut ws = backend.workspace(g.n_qubits());
+            b.iter(|| backend.probe(g, &optimized, &stab_stim, &mut ws).unwrap());
+        });
+        if n <= 24 {
+            group.bench_with_input(BenchmarkId::new("dd_basis", n), &adder, |b, g| {
+                let backend = qdd::DdBackend::new();
+                b.iter(|| SimBackend::probe(&backend, g, &optimized, &basis, &mut ()).unwrap());
+            });
+        }
+        if n <= 16 {
+            group.bench_with_input(BenchmarkId::new("sv_basis", n), &adder, |b, g| {
+                let backend = StatevectorBackend::new();
+                let mut ws = backend.workspace(g.n_qubits());
+                b.iter(|| backend.probe(g, &optimized, &basis, &mut ws).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_threaded_statevector(c: &mut Criterion) {
     let mut group = c.benchmark_group("backend_threads");
     group.sample_size(10);
@@ -107,6 +160,7 @@ criterion_group!(
     bench_structured_circuits,
     bench_unstructured_circuits,
     bench_probe_backends,
+    bench_stab_probe,
     bench_threaded_statevector
 );
 criterion_main!(benches);

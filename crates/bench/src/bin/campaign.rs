@@ -16,9 +16,12 @@
 //! ```
 //!
 //! `--stimuli basis,product,stabilizer` ablates over stimulus strategies
-//! (every fault is checked once per strategy); `--backend sv,dd` does the
-//! same over simulation engines — every arm sees the identical faults, so
-//! a detection difference is attributable to the axis alone. `--pair
+//! (every fault is checked once per strategy); `--backend sv,dd,stab` does
+//! the same over simulation engines — every arm sees the identical faults,
+//! so a detection difference is attributable to the axis alone.
+//! `--compose K` stacks `K − 1` extra mixed-class faults on top of each
+//! trial's own (modelling multi-fault compiler bugs); `--peel` strips the
+//! shared Clifford rim off every pair before checking. `--pair
 //! golden,faulty` (repeatable; `.qasm` or `.real` files) switches to
 //! *pair-audit* mode: instead of the synthetic campaign, each explicit
 //! pair is labelled by the guard and checked `--trials` times per strategy
@@ -45,6 +48,8 @@ struct Args {
     seed: u64,
     trials: usize,
     faults: usize,
+    compose: usize,
+    peel: bool,
     sims: usize,
     threads: usize,
     trial_threads: usize,
@@ -65,6 +70,8 @@ impl Default for Args {
             seed: 7,
             trials: 5,
             faults: 1,
+            compose: 1,
+            peel: false,
             sims: 10,
             threads: 2,
             trial_threads: 1,
@@ -83,13 +90,13 @@ impl Default for Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaign [--seed N] [--trials N] [--faults N] [--sims N] \
-         [--threads N] [--trial-threads N] [--no-guard-cache] \
-         [--scale 0|1] [--epsilon X] [--timings] [--out FILE] \
+        "usage: campaign [--seed N] [--trials N] [--faults N] [--compose K] \
+         [--sims N] [--threads N] [--trial-threads N] [--no-guard-cache] \
+         [--scale 0|1] [--epsilon X] [--peel] [--timings] [--out FILE] \
          [--stimuli S[,S...]] [--backend B[,B...]] [--pair GOLDEN,FAULTY]... \
          [--inject CLASS[,CLASS...]|all [--pair FILE]...]\n\
          stimulus strategies: basis|sequential|product|stabilizer\n\
-         backends: sv|dd\n\
+         backends: sv|dd|stab\n\
          fault classes: remove_gate|add_gate|remove_control|add_control|\
          swap_targets|perturb_angle|swap_adjacent_gates|relabel_qubits"
     );
@@ -189,6 +196,14 @@ fn parse_args() -> Args {
             "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--trials" => args.trials = val("--trials").parse().unwrap_or_else(|_| usage()),
             "--faults" => args.faults = val("--faults").parse().unwrap_or_else(|_| usage()),
+            "--compose" => {
+                args.compose = val("--compose").parse().unwrap_or_else(|_| usage());
+                if args.compose == 0 {
+                    eprintln!("--compose needs a width of at least 1");
+                    usage();
+                }
+            }
+            "--peel" => args.peel = true,
             "--sims" => args.sims = val("--sims").parse().unwrap_or_else(|_| usage()),
             "--threads" => args.threads = val("--threads").parse().unwrap_or_else(|_| usage()),
             "--trial-threads" => {
@@ -349,6 +364,8 @@ fn main() {
         .with_seed(args.seed)
         .with_trials(args.trials)
         .with_faults(args.faults)
+        .with_compose(args.compose)
+        .with_peel(args.peel)
         .with_simulations(args.sims)
         .with_threads(args.threads)
         .with_trial_threads(args.trial_threads)

@@ -55,7 +55,7 @@ use qcirc::mapping::{route, CouplingMap, RouterOptions};
 use qcirc::{decompose, optimize, Circuit};
 use qfault::{mutator_for, GuardCache, GuardOptions, GuardVerdict, MutationKind, Mutator};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::config::{BackendKind, Config, Fallback, StimulusStrategy};
 use crate::flow::check_equivalence;
@@ -149,6 +149,14 @@ pub struct CampaignConfig {
     pub trials: usize,
     /// Faults injected per trial (all of the trial's class).
     pub faults: usize,
+    /// Mixed-class composition width `k`: after the cell's own class has
+    /// injected its `faults` mutations, `k − 1` further faults are
+    /// injected whose classes are drawn uniformly from `classes` by the
+    /// trial RNG — modelling compiler bugs that corrupt a circuit in more
+    /// than one way at once. The cell keeps its class label (the *first*
+    /// mutation is always the cell's class). `1` — the default — draws
+    /// nothing and reproduces the single-class campaign bit-for-bit.
+    pub compose: usize,
     /// Random basis-state simulations `r` per equivalence check.
     pub simulations: usize,
     /// Worker threads for the checking flow (≥ 2 exercises the scheduler).
@@ -188,6 +196,11 @@ pub struct CampaignConfig {
     /// injects exactly the same faults for its classes as the full
     /// campaign does.
     pub classes: Vec<MutationKind>,
+    /// Run every flow invocation with Clifford peeling
+    /// ([`Config::with_peel`]). Peeling preserves verdict classes but not
+    /// verdict bytes (the residual pair sees different stimuli), so the
+    /// flag renders in the reproducible config JSON whenever it is set.
+    pub peel: bool,
 }
 
 impl Default for CampaignConfig {
@@ -198,6 +211,7 @@ impl Default for CampaignConfig {
             seed: 0,
             trials: 10,
             faults: 1,
+            compose: 1,
             simulations: 10,
             threads: 2,
             trial_threads: 1,
@@ -208,6 +222,7 @@ impl Default for CampaignConfig {
             backends: vec![BackendKind::Statevector],
             strategies: vec![StimulusStrategy::Random],
             classes: MutationKind::ALL.to_vec(),
+            peel: false,
         }
     }
 }
@@ -231,6 +246,28 @@ impl CampaignConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: usize) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the mixed-class composition width `k`: each trial injects its
+    /// cell's own fault(s) first, then `k − 1` extras of classes drawn
+    /// from the configured class set by the trial RNG. `1` reproduces the
+    /// single-class campaign bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compose` is zero.
+    #[must_use]
+    pub fn with_compose(mut self, compose: usize) -> Self {
+        assert!(compose >= 1, "compose width must be at least 1");
+        self.compose = compose;
+        self
+    }
+
+    /// Enables or disables Clifford peeling in every flow invocation.
+    #[must_use]
+    pub fn with_peel(mut self, peel: bool) -> Self {
+        self.peel = peel;
         self
     }
 
@@ -803,6 +840,19 @@ fn run_trial(
             Err(_) => break,
         }
     }
+    // Mixed-class composition: `compose − 1` extra faults of classes drawn
+    // from the configured set, stacked on top of the cell's own. With
+    // `compose == 1` this loop never touches the RNG, so plain campaigns
+    // keep injecting bit-identical faults. A drawn class with no
+    // applicable site is skipped — unlike the cell's own class, it says
+    // nothing about this cell.
+    for _ in 1..config.compose.max(1) {
+        let kind = config.classes[rng.gen_range(0..config.classes.len())];
+        if let Ok((next, record)) = mutator_for(kind, config.epsilon).apply(&mutated, &mut rng) {
+            mutated = next;
+            mutations.push(record.to_string());
+        }
+    }
 
     let guard_start = Instant::now();
     let guard = match guard_cache {
@@ -820,6 +870,7 @@ fn run_trial(
         .with_backend(backend)
         .with_fallback(Fallback::Alternating)
         .with_deadline(config.deadline)
+        .with_peel(config.peel)
         .with_event_sink(sink.clone());
     let result = check_equivalence(&bench.original, &mutated, &flow_config)
         .expect("mutators preserve the register, so the flow must accept the pair");
@@ -864,8 +915,16 @@ impl CampaignResult {
         let mut cfg = json::Obj::new();
         cfg.int("seed", self.config.seed)
             .int("trials", self.config.trials as u64)
-            .int("faults", self.config.faults as u64)
-            .int("simulations", self.config.simulations as u64)
+            .int("faults", self.config.faults as u64);
+        // Composition and peeling render only when engaged, keeping
+        // campaigns that predate the knobs byte-identical to their goldens.
+        if self.config.compose > 1 {
+            cfg.int("compose", self.config.compose as u64);
+        }
+        if self.config.peel {
+            cfg.int("peel", 1);
+        }
+        cfg.int("simulations", self.config.simulations as u64)
             .int("threads", self.config.threads as u64)
             .num("epsilon", self.config.epsilon)
             .raw(
@@ -1000,6 +1059,15 @@ impl CampaignResult {
             self.config.simulations,
             self.config.threads,
         ));
+        if self.config.compose > 1 {
+            out.push_str(&format!(
+                "composed trials: {} extra mixed-class fault(s) stacked per trial\n\n",
+                self.config.compose - 1,
+            ));
+        }
+        if self.config.peel {
+            out.push_str("Clifford peeling enabled for every check\n\n");
+        }
 
         out.push_str(
             "## Benchmarks\n\n| name | family | n | |G| | |G'| |\n|---|---|---|---|---|\n",
@@ -1271,6 +1339,7 @@ pub fn audit_pair(
                         .with_stimuli(strategy)
                         .with_threads(config.threads.max(1))
                         .with_backend(config.backends[0])
+                        .with_peel(config.peel)
                         .with_fallback(Fallback::None);
                     let result = check_equivalence(golden, faulty, &flow_config)
                         .expect("equal registers were asserted above");
@@ -1638,6 +1707,69 @@ mod tests {
         assert!(md.contains("| basis |"));
         assert!(md.contains("| stabilizer |"));
         assert!(md.contains("real fault"));
+    }
+
+    #[test]
+    fn composed_faults_stack_mixed_classes_deterministically() {
+        let benches = vec![CampaignBenchmark::optimized(
+            "qft 4",
+            "qft",
+            &generators::qft(4, true),
+        )];
+        let base = CampaignConfig::default().with_trials(2).with_simulations(4);
+        // compose == 1 is the identity, bit-for-bit.
+        assert_eq!(
+            run_campaign(&benches, &base).to_json(false),
+            run_campaign(&benches, &base.clone().with_compose(1)).to_json(false),
+        );
+        let config = base.clone().with_compose(3);
+        let result = run_campaign(&benches, &config);
+        // The cell's own class always leads the plan; extras stack behind.
+        let mut saw_extras = false;
+        for t in &result.trials {
+            if let Some(first) = t.mutations.first() {
+                assert!(
+                    first.starts_with(t.kind.slug()),
+                    "first mutation '{first}' is not the cell's class {}",
+                    t.kind.slug()
+                );
+            }
+            saw_extras |= t.mutations.len() > config.faults;
+        }
+        assert!(saw_extras, "compose=3 never stacked an extra fault");
+        // Soundness survives composition: no benign pile-up is ever flagged.
+        for (kind, s) in &result.classes {
+            assert_eq!(s.false_positives, 0, "{kind}: unsound under composition");
+        }
+        // The knob renders only when engaged, and the byte-identity
+        // contract holds across reruns and trial-pool sizes.
+        let js = result.to_json(false);
+        assert!(js.contains(r#""compose":3"#));
+        assert!(!run_campaign(&benches, &base)
+            .to_json(false)
+            .contains("compose"));
+        assert_eq!(js, run_campaign(&benches, &config).to_json(false));
+        assert_eq!(
+            js,
+            run_campaign(&benches, &config.clone().with_trial_threads(3)).to_json(false),
+        );
+    }
+
+    #[test]
+    fn peeled_campaigns_stay_sound_and_render_the_flag() {
+        let (benches, config) = tiny_campaign();
+        let config = config.with_peel(true);
+        let result = run_campaign(&benches, &config);
+        assert!(result.to_json(false).contains(r#""peel":1"#));
+        for (kind, s) in &result.classes {
+            assert_eq!(s.false_positives, 0, "{kind}: unsound under peeling");
+        }
+        assert_eq!(
+            result.to_json(false),
+            run_campaign(&benches, &config).to_json(false),
+            "peeled campaigns must stay deterministic"
+        );
+        assert!(result.to_markdown().contains("Clifford peeling enabled"));
     }
 
     #[test]

@@ -97,11 +97,21 @@ pub enum BackendKind {
     /// Decision-diagram simulation (`qdd`) — the paper's engine \[25\];
     /// exponentially compact on structured states.
     DecisionDiagram,
+    /// Stabilizer/CHP tableau simulation (`qstab`) — `O(n²)` per probe on
+    /// Clifford-only circuit segments, falling back to the dense engine for
+    /// probes that encounter a non-Clifford gate. Unlocks register sizes
+    /// (`n ≫ 20`) no dense engine reaches for the Clifford-dominated
+    /// workload class.
+    Stab,
 }
 
 impl BackendKind {
     /// Every backend, in ablation-report order.
-    pub const ALL: [BackendKind; 2] = [BackendKind::Statevector, BackendKind::DecisionDiagram];
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Statevector,
+        BackendKind::DecisionDiagram,
+        BackendKind::Stab,
+    ];
 
     /// A stable lowercase identifier (used in campaign JSON and CLI flags).
     #[must_use]
@@ -109,11 +119,12 @@ impl BackendKind {
         match self {
             BackendKind::Statevector => "sv",
             BackendKind::DecisionDiagram => "dd",
+            BackendKind::Stab => "stab",
         }
     }
 
     /// Parses a [`slug`](BackendKind::slug) (also accepts the long forms
-    /// `statevector` and `decision-diagram`).
+    /// `statevector`, `decision-diagram` and `stabilizer`).
     ///
     /// # Errors
     ///
@@ -122,7 +133,8 @@ impl BackendKind {
         match s.trim().to_ascii_lowercase().as_str() {
             "sv" | "statevector" => Ok(BackendKind::Statevector),
             "dd" | "decision-diagram" | "decisiondiagram" => Ok(BackendKind::DecisionDiagram),
-            other => Err(format!("unknown backend `{other}` (expected sv|dd)")),
+            "stab" | "stabilizer" => Ok(BackendKind::Stab),
+            other => Err(format!("unknown backend `{other}` (expected sv|dd|stab)")),
         }
     }
 }
@@ -198,6 +210,16 @@ pub struct Config {
     /// but whether a non-equivalence comes with a simulation
     /// counterexample may then depend on which side wins the race.
     pub portfolio: bool,
+    /// Clifford peeling: before any simulation or complete check, strip
+    /// the longest common prefix and suffix of *canonically identical
+    /// Clifford* gates from both circuits (see [`peel`](crate::peel)).
+    /// Sound for both criteria (conjugating by a shared unitary preserves
+    /// identity up to global phase) and often shrinks the residual pair
+    /// dramatically on compiled-vs-original workloads. Off by default: the
+    /// residual circuits see different stimuli *internally* (the stripped
+    /// prefix no longer randomises them), so verdict-equivalent runs are
+    /// not bit-identical with the unpeeled flow.
+    pub peel: bool,
     /// Receiver for the scheduler's [`RunEvent`](crate::scheduler::RunEvent)s
     /// (per-stage timings, per-simulation outcomes, cancellations).
     /// `None` = discard. Only the scheduled path (`threads > 1`) and the
@@ -226,6 +248,7 @@ impl PartialEq for Config {
             && self.deadline == other.deadline
             && self.dd_node_limit == other.dd_node_limit
             && self.portfolio == other.portfolio
+            && self.peel == other.peel
             && sinks_eq
     }
 }
@@ -244,6 +267,7 @@ impl Default for Config {
             deadline: None,
             dd_node_limit: qdd::Package::DEFAULT_NODE_LIMIT,
             portfolio: false,
+            peel: false,
             event_sink: None,
         }
     }
@@ -332,6 +356,24 @@ impl Config {
         self
     }
 
+    /// Enables or disables Clifford peeling (see [`Config::peel`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcec::Config;
+    ///
+    /// let g = qcirc::generators::qft(4, true);
+    /// let opt = qcirc::optimize::optimize(&g);
+    /// let result = qcec::check_equivalence(&g, &opt, &Config::new().with_peel(true)).unwrap();
+    /// assert!(result.outcome.is_equivalent());
+    /// ```
+    #[must_use]
+    pub fn with_peel(mut self, peel: bool) -> Self {
+        self.peel = peel;
+        self
+    }
+
     /// Installs an event sink receiving the scheduler's structured
     /// [`RunEvent`](crate::scheduler::RunEvent)s.
     #[must_use]
@@ -392,10 +434,22 @@ mod tests {
         let c = Config::default();
         assert_eq!(c.threads, 1);
         assert!(!c.portfolio);
+        assert!(!c.peel);
         assert!(c.event_sink.is_none());
-        let c = c.with_threads(4).with_portfolio(true);
+        let c = c.with_threads(4).with_portfolio(true).with_peel(true);
         assert_eq!(c.threads, 4);
         assert!(c.portfolio);
+        assert!(c.peel);
+    }
+
+    #[test]
+    fn backend_kind_slugs_round_trip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.slug()), Ok(kind));
+        }
+        assert_eq!(BackendKind::parse("stabilizer"), Ok(BackendKind::Stab));
+        let e = BackendKind::parse("qubit-abacus").unwrap_err();
+        assert!(e.contains("sv|dd|stab"), "{e}");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use qcirc::Circuit;
 use qnum::Complex;
 
-use crate::backend::{dd_for_flow, SimBackend, StatevectorBackend};
+use crate::backend::{dd_for_flow, SimBackend, StabBackend, StatevectorBackend};
 use crate::config::{BackendKind, Config};
 use crate::outcome::Counterexample;
 
@@ -113,6 +113,8 @@ pub fn explain_for(
     match config.backend {
         BackendKind::Statevector => explain_on(&StatevectorBackend::new(), g, g_prime, ce, top),
         BackendKind::DecisionDiagram => explain_on(&dd_for_flow(config), g, g_prime, ce, top),
+        // The stab engine replays densely anyway; use its fallback directly.
+        BackendKind::Stab => explain_on(&StabBackend::new(), g, g_prime, ce, top),
     }
 }
 

@@ -95,6 +95,18 @@ pub fn check_equivalence(
         });
     }
 
+    if config.peel {
+        // Strip the shared Clifford rim once, then run the whole flow —
+        // simulations and complete check alike — on the residual pair
+        // (sound under both criteria; see the `peel` module docs). The
+        // recursion is bounded: the inner call has peeling disabled.
+        let peeled = crate::peel::peel(g, g_prime);
+        if peeled.stripped() > 0 {
+            let inner = config.clone().with_peel(false);
+            return check_equivalence(&peeled.g, &peeled.g_prime, &inner);
+        }
+    }
+
     if config.threads > 1 {
         return crate::scheduler::run_scheduled(g, g_prime, config);
     }

@@ -50,6 +50,7 @@ pub mod diagnose;
 mod flow;
 mod functional;
 mod outcome;
+pub mod peel;
 pub mod pipeline;
 pub mod pool;
 pub mod report;
@@ -58,7 +59,7 @@ pub mod service;
 mod sim_check;
 pub mod theory;
 
-pub use backend::{ProbeMetrics, ProbeOutcome, SimBackend, StatevectorBackend};
+pub use backend::{ProbeMetrics, ProbeOutcome, SimBackend, StabBackend, StatevectorBackend};
 pub use config::{BackendKind, Config, Criterion, Fallback, StimulusStrategy};
 pub use flow::{check_equivalence, check_equivalence_default, FlowError};
 pub use functional::{run_functional_check, run_functional_check_cancellable, FunctionalVerdict};

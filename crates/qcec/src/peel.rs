@@ -1,0 +1,234 @@
+//! Clifford peeling: stripping the shared Clifford rim off a circuit pair
+//! before any simulation or complete check.
+//!
+//! Compiled circuits usually differ from their sources only in a *middle*
+//! region — the shared state-preparation prefix and measurement-basis
+//! suffix pass through most flows untouched. This pass removes the longest
+//! common prefix, then the longest common suffix, of gates that are both
+//! **canonically identical** (byte equality of [`qcirc::canon`] encodings,
+//! so `rz(θ)` matches `rz(θ + 4π)`) and **Clifford**
+//! ([`qcirc::Gate::is_clifford`]), and hands the residual pair to the flow.
+//!
+//! # Soundness
+//!
+//! Writing the shared prefix and suffix as unitaries `P` and `S`, the full
+//! pair satisfies `U₂·U₁† = S·(M₂·M₁†)·S†` for the residual middles `M₁`,
+//! `M₂` — and conjugation by a fixed unitary preserves both "is the
+//! identity" and "is `e^{iφ}·𝕀`" (with the same `φ`). Equivalence,
+//! non-equivalence and the global phase therefore all carry over from the
+//! residual pair to the original pair, under either
+//! [`Criterion`](crate::Criterion). This holds for *any* shared gate; the
+//! pass still restricts itself to Clifford gates, the regime the
+//! stabilizer probe engine targets, where compiled flows concentrate their
+//! shared structure and where a stripped rim provably never hid
+//! non-Clifford magic the residual check might need cheap stimuli for.
+//!
+//! What peeling is **not**: verdict-*byte* preserving. The residual
+//! circuits see the raw stimuli directly (the stripped prefix no longer
+//! scrambles them), so counterexample stimuli and run indices differ from
+//! the unpeeled flow even though the verdict class is identical. This is
+//! why [`Config::peel`](crate::Config::peel) defaults to off.
+
+use qcirc::{canon, Circuit, Gate};
+
+/// The outcome of [`peel`]: how much rim was stripped and the residual
+/// circuit pair, on the original register.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Peeled {
+    /// Gates stripped from the front (shared Clifford prefix length).
+    pub prefix: usize,
+    /// Gates stripped from the back (shared Clifford suffix length).
+    pub suffix: usize,
+    /// The residual left circuit.
+    pub g: Circuit,
+    /// The residual right circuit.
+    pub g_prime: Circuit,
+}
+
+impl Peeled {
+    /// Total number of gate *pairs* removed.
+    #[must_use]
+    pub fn stripped(&self) -> usize {
+        self.prefix + self.suffix
+    }
+}
+
+/// `true` when the two gates are the same canonical Clifford gate — the
+/// peeling criterion.
+fn peelable_pair(a: &Gate, b: &Gate, buf_a: &mut Vec<u8>, buf_b: &mut Vec<u8>) -> bool {
+    if !a.is_clifford() {
+        return false;
+    }
+    buf_a.clear();
+    buf_b.clear();
+    canon::encode_gate_into(a, buf_a);
+    canon::encode_gate_into(b, buf_b);
+    buf_a == buf_b
+}
+
+/// Strips the longest common Clifford prefix, then the longest common
+/// Clifford suffix, from the pair (gate-by-gate canonical comparison) and
+/// returns the residual circuits.
+///
+/// # Panics
+///
+/// Panics if the circuits' qubit counts differ.
+///
+/// # Examples
+///
+/// ```
+/// let mut g = qcirc::generators::ghz(4);
+/// let mut g_prime = g.clone();
+/// g.t(2);
+/// g_prime.t(2);
+/// g_prime.z(0); // the fault
+/// let peeled = qcec::peel::peel(&g, &g_prime);
+/// assert_eq!(peeled.prefix, 4, "the GHZ ladder is shared Clifford");
+/// assert_eq!(peeled.suffix, 0, "the trailing T is shared but not Clifford");
+/// assert_eq!(peeled.g.len(), 1);
+/// assert_eq!(peeled.g_prime.len(), 2);
+/// ```
+#[must_use]
+pub fn peel(g: &Circuit, g_prime: &Circuit) -> Peeled {
+    assert_eq!(
+        g.n_qubits(),
+        g_prime.n_qubits(),
+        "circuits must have equal qubit counts"
+    );
+    let a = g.gates();
+    let b = g_prime.gates();
+    let limit = a.len().min(b.len());
+    let (mut buf_a, mut buf_b) = (Vec::new(), Vec::new());
+    let mut prefix = 0;
+    while prefix < limit && peelable_pair(&a[prefix], &b[prefix], &mut buf_a, &mut buf_b) {
+        prefix += 1;
+    }
+    let mut suffix = 0;
+    while suffix < limit - prefix
+        && peelable_pair(
+            &a[a.len() - 1 - suffix],
+            &b[b.len() - 1 - suffix],
+            &mut buf_a,
+            &mut buf_b,
+        )
+    {
+        suffix += 1;
+    }
+    let mut mid_g = Circuit::new(g.n_qubits());
+    for gate in &a[prefix..a.len() - suffix] {
+        mid_g.push(gate.clone());
+    }
+    let mut mid_g_prime = Circuit::new(g_prime.n_qubits());
+    for gate in &b[prefix..b.len() - suffix] {
+        mid_g_prime.push(gate.clone());
+    }
+    Peeled {
+        prefix,
+        suffix,
+        g: mid_g,
+        g_prime: mid_g_prime,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::CircuitId;
+    use crate::{check_equivalence, Config};
+    use proptest::prelude::*;
+    use qcirc::generators;
+
+    #[test]
+    fn identical_clifford_circuits_peel_to_nothing() {
+        let g = generators::ghz(5);
+        let peeled = peel(&g, &g);
+        assert_eq!(peeled.prefix, g.len());
+        assert_eq!(peeled.suffix, 0, "the prefix sweep consumed everything");
+        assert_eq!(peeled.g.len(), 0);
+        assert_eq!(peeled.g_prime.len(), 0);
+    }
+
+    #[test]
+    fn divergence_point_bounds_the_prefix() {
+        let mut g = Circuit::new(2);
+        g.h(0).cx(0, 1).s(1).h(0);
+        let mut g_prime = Circuit::new(2);
+        g_prime.h(0).cx(0, 1).sdg(1).h(0);
+        let peeled = peel(&g, &g_prime);
+        assert_eq!((peeled.prefix, peeled.suffix), (2, 1));
+        assert_eq!(peeled.g.gates()[0].kind().mnemonic(), "s");
+        assert_eq!(peeled.g_prime.gates()[0].kind().mnemonic(), "sdg");
+    }
+
+    #[test]
+    fn non_clifford_shared_gates_are_kept() {
+        let mut g = Circuit::new(1);
+        g.t(0).x(0);
+        let mut g_prime = Circuit::new(1);
+        g_prime.t(0).y(0);
+        let peeled = peel(&g, &g_prime);
+        assert_eq!(peeled.prefix, 0, "a shared T gate is not peelable");
+        assert_eq!(peeled.g.len(), 2);
+    }
+
+    #[test]
+    fn canonical_equality_sees_through_angle_wrapping() {
+        use std::f64::consts::PI;
+        let mut g = Circuit::new(1);
+        g.rz(PI / 2.0, 0).x(0);
+        let mut g_prime = Circuit::new(1);
+        g_prime.rz(PI / 2.0 + 4.0 * PI, 0).y(0);
+        let peeled = peel(&g, &g_prime);
+        assert_eq!(peeled.prefix, 1, "rz(π/2) ≡ rz(π/2 + 4π) canonically");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal qubit counts")]
+    fn qubit_mismatch_panics() {
+        let _ = peel(&Circuit::new(2), &Circuit::new(3));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Peeling preserves the verdict class on Clifford+T pairs with an
+        /// injected fault (and on equivalent pairs), for both engines the
+        /// flow routes Clifford-dominated work to.
+        #[test]
+        fn peeling_preserves_the_verdict(seed in 0u64..1000) {
+            let g = generators::random_clifford_t(5, 40, seed);
+            let mut buggy = g.clone();
+            buggy.z((seed % 5) as usize);
+            for backend in [crate::BackendKind::Statevector, crate::BackendKind::Stab] {
+                let plain = Config::default().with_seed(seed).with_backend(backend);
+                let peeled = plain.clone().with_peel(true);
+                for pair in [(&g, &g), (&g, &buggy)] {
+                    let a = check_equivalence(pair.0, pair.1, &plain).unwrap();
+                    let b = check_equivalence(pair.0, pair.1, &peeled).unwrap();
+                    prop_assert_eq!(
+                        std::mem::discriminant(&a.outcome),
+                        std::mem::discriminant(&b.outcome),
+                        "backend {}: {} vs {}", backend, a.outcome, b.outcome
+                    );
+                }
+            }
+        }
+
+        /// The residual pair is a pure function of the input pair: its
+        /// `CircuitId`s never depend on run order or repetition.
+        #[test]
+        fn residual_circuit_ids_are_stable(seed in 0u64..1000) {
+            let g = generators::random_clifford_t(4, 30, seed);
+            let mut other = g.clone();
+            other.x((seed % 4) as usize);
+            let first = peel(&g, &other);
+            let again = peel(&g, &other);
+            prop_assert_eq!(CircuitId::of(&first.g), CircuitId::of(&again.g));
+            prop_assert_eq!(
+                CircuitId::of(&first.g_prime),
+                CircuitId::of(&again.g_prime)
+            );
+            prop_assert_eq!(&first, &again);
+        }
+    }
+}

@@ -333,6 +333,9 @@ pub struct StageTimings {
     pub sv_probe_time: Duration,
     /// Wall time spent inside decision-diagram probes.
     pub dd_probe_time: Duration,
+    /// Wall time spent inside stabilizer-tableau probes (including any
+    /// per-probe dense fallbacks the stab engine ran).
+    pub stab_probe_time: Duration,
     /// Simulations that ran to completion.
     pub simulations_finished: usize,
     /// Simulations abandoned after a cancellation.
@@ -370,6 +373,7 @@ impl StageTimings {
                     match backend {
                         BackendKind::Statevector => t.sv_probe_time += *wall_time,
                         BackendKind::DecisionDiagram => t.dd_probe_time += *wall_time,
+                        BackendKind::Stab => t.stab_probe_time += *wall_time,
                     }
                 }
                 RunEvent::SimulationAborted { .. } => t.simulations_aborted += 1,
@@ -395,6 +399,7 @@ impl StageTimings {
             functional_time: self.functional_time + other.functional_time,
             sv_probe_time: self.sv_probe_time + other.sv_probe_time,
             dd_probe_time: self.dd_probe_time + other.dd_probe_time,
+            stab_probe_time: self.stab_probe_time + other.stab_probe_time,
             simulations_finished: self.simulations_finished + other.simulations_finished,
             simulations_aborted: self.simulations_aborted + other.simulations_aborted,
             cancellations: self.cancellations + other.cancellations,
@@ -411,6 +416,7 @@ impl StageTimings {
         match backend {
             BackendKind::Statevector => self.sv_probe_time,
             BackendKind::DecisionDiagram => self.dd_probe_time,
+            BackendKind::Stab => self.stab_probe_time,
         }
     }
 
@@ -440,7 +446,8 @@ impl StageTimings {
             o.num("t_sim_s", self.simulation_time.as_secs_f64())
                 .num("t_ec_s", self.functional_time.as_secs_f64())
                 .num("t_probe_sv_s", self.sv_probe_time.as_secs_f64())
-                .num("t_probe_dd_s", self.dd_probe_time.as_secs_f64());
+                .num("t_probe_dd_s", self.dd_probe_time.as_secs_f64())
+                .num("t_probe_stab_s", self.stab_probe_time.as_secs_f64());
         }
         o.int("sims_finished", self.simulations_finished as u64)
             .int("sims_aborted", self.simulations_aborted as u64)

@@ -45,7 +45,7 @@ use std::time::{Duration, Instant};
 
 use qcirc::Circuit;
 
-use crate::backend::{dd_for_flow, SimBackend, StatevectorBackend};
+use crate::backend::{dd_for_flow, SimBackend, StabBackend, StatevectorBackend};
 use crate::config::{BackendKind, Config, Fallback};
 use crate::flow::FlowError;
 use crate::functional::{
@@ -77,6 +77,12 @@ pub fn run_scheduled(
             run_scheduled_on(&StatevectorBackend::for_worker(), g, g_prime, config)
         }
         BackendKind::DecisionDiagram => run_scheduled_on(&dd_for_flow(config), g, g_prime, config),
+        BackendKind::Stab => {
+            // The stab engine's dense fallback stays sequential inside
+            // each worker; the tableau fast path is gated on the
+            // criterion exactly as in the sequential flow.
+            run_scheduled_on(&StabBackend::for_scheduled(config), g, g_prime, config)
+        }
     }
 }
 
@@ -127,6 +133,14 @@ pub fn run_scheduled_on<B: SimBackend>(
     // `Some((verdict, wall_time))` once the racer has been joined;
     // `verdict == None` means it was cancelled.
     let mut racer_result: Option<(Option<FunctionalVerdict>, Duration)> = None;
+    // Set by the racer on a definitive verdict. The `Cancelled` event
+    // itself is emitted by this (orchestrator) thread only after every
+    // worker has been joined — the drain-then-count protocol: workers
+    // drain all remaining stimulus indices (emitting `SimulationAborted`
+    // per claim) *before* the cancellation marker lands in the stream, so
+    // sinks always observe `finished + aborted == r` ahead of the
+    // `Cancelled` event, regardless of scheduling.
+    let functional_won = std::sync::atomic::AtomicBool::new(false);
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -150,9 +164,7 @@ pub fn run_scheduled_on<B: SimBackend>(
                 ) {
                     // A definitive answer makes the remaining runs moot.
                     token.halt_simulations();
-                    sink.record(RunEvent::Cancelled {
-                        cause: CancelCause::FunctionalVerdict,
-                    });
+                    functional_won.store(true, std::sync::atomic::Ordering::Release);
                 }
                 (verdict, start.elapsed())
             })
@@ -162,6 +174,11 @@ pub fn run_scheduled_on<B: SimBackend>(
             if let Err(e) = handle.join().expect("simulation worker panicked") {
                 pool_error = Some(e);
             }
+        }
+        if functional_won.load(std::sync::atomic::Ordering::Acquire) {
+            sink.record(RunEvent::Cancelled {
+                cause: CancelCause::FunctionalVerdict,
+            });
         }
         simulation_time = sim_start.elapsed();
         sink.record(RunEvent::StageFinished {
@@ -336,6 +353,56 @@ mod tests {
         let config = Config::default().with_threads(2).with_portfolio(true);
         let result = run_scheduled(&g, &routed.circuit, &config).unwrap();
         assert!(result.outcome.is_equivalent(), "{}", result.outcome);
+    }
+
+    #[test]
+    fn portfolio_cancellation_lands_after_every_simulation_event() {
+        // Drain-then-count: whichever side wins the race, every stimulus
+        // index must have reported (finished or aborted) before the
+        // `Cancelled` marker appears — counters derived from the stream
+        // are deterministic even though the finished/aborted split is not.
+        let g = generators::qft(6, true);
+        let opt = qcirc::optimize::optimize(&g);
+        for trial in 0..5 {
+            let sink = Arc::new(CollectingSink::new());
+            let config = Config::default()
+                .with_threads(4)
+                .with_portfolio(true)
+                .with_simulations(24)
+                .with_seed(trial)
+                .with_event_sink(sink.clone());
+            let result = run_scheduled(&g, &opt, &config).unwrap();
+            assert!(result.outcome.is_equivalent(), "{}", result.outcome);
+            assert_eq!(
+                sink.simulations_finished() + sink.simulations_aborted(),
+                24,
+                "every claimed index reports exactly once"
+            );
+            let events = sink.events();
+            if let Some(pos) = events
+                .iter()
+                .position(|e| matches!(e, RunEvent::Cancelled { .. }))
+            {
+                assert!(
+                    events[pos..].iter().all(|e| !matches!(
+                        e,
+                        RunEvent::SimulationFinished { .. } | RunEvent::SimulationAborted { .. }
+                    )),
+                    "simulation events may not trail the cancellation marker"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_stab_backend_matches_sequential_verdict() {
+        let g = generators::clifford_adder(6);
+        let mut buggy = g.clone();
+        buggy.z(5);
+        let base = Config::default().with_backend(crate::BackendKind::Stab);
+        let sequential = check_equivalence(&g, &buggy, &base).unwrap();
+        let scheduled = run_scheduled(&g, &buggy, &base.clone().with_threads(4)).unwrap();
+        assert_eq!(sequential.outcome, scheduled.outcome);
     }
 
     #[test]

@@ -128,7 +128,7 @@ impl fmt::Display for CircuitId {
 /// the scheduler's determinism contract) and `event_sink` (pure
 /// observability). Everything else — simulation count, seed, tolerance,
 /// criterion, backend, fallback, stimulus strategy, deadline, DD node
-/// limit, portfolio mode — contributes.
+/// limit, portfolio mode, Clifford peeling — contributes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConfigDigest(u64);
 
@@ -148,6 +148,7 @@ impl ConfigDigest {
             match config.backend {
                 BackendKind::Statevector => 0,
                 BackendKind::DecisionDiagram => 1,
+                BackendKind::Stab => 2,
             },
             match config.fallback {
                 Fallback::Alternating => 0,
@@ -161,6 +162,7 @@ impl ConfigDigest {
                 StimulusStrategy::Stabilizer => 3,
             },
             u8::from(config.portfolio),
+            u8::from(config.peel),
         ]);
         match config.deadline {
             None => h.write(&[0]),

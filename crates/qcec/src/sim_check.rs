@@ -7,7 +7,7 @@ use qstim::{
     BasisSource, ProductSource, SequentialSource, StabilizerSource, Stimulus, StimulusSource,
 };
 
-use crate::backend::{dd_for_flow, SimBackend, StatevectorBackend};
+use crate::backend::{dd_for_flow, SimBackend, StabBackend, StatevectorBackend};
 use crate::config::{BackendKind, Config, Criterion, StimulusStrategy};
 use crate::outcome::Counterexample;
 
@@ -53,6 +53,7 @@ pub fn run_simulations(
         BackendKind::DecisionDiagram => {
             run_simulations_on(&dd_for_flow(config), g, g_prime, config)
         }
+        BackendKind::Stab => run_simulations_on(&StabBackend::for_flow(config), g, g_prime, config),
     }
 }
 

@@ -449,6 +449,67 @@ impl Gate {
             && self.targets == other.targets
             && self.kind.approx_eq(&other.kind)
     }
+
+    /// Returns `true` if this gate is a Clifford operation — it maps Pauli
+    /// operators to Pauli operators under conjugation and is therefore
+    /// stabilizer-simulable in polynomial time.
+    ///
+    /// The classification is up to global phase (stabilizer states carry
+    /// none) and folds rotations onto the discrete Clifford gates when the
+    /// angle is a multiple of `π/2` within the workspace tolerance:
+    ///
+    /// * uncontrolled `I, X, Y, Z, H, S, S†, √X, √X†, √Y, √Y†` and SWAP,
+    /// * uncontrolled `Rx/Ry/Rz/P` at quarter turns,
+    /// * singly-controlled `X` (CX), `Z` (CZ) and `P(π)` (= CZ).
+    ///
+    /// Everything else — `T`, `U3`, generic rotations, multi-controlled
+    /// gates — is non-Clifford. This is the per-gate predicate the stab
+    /// probe engine and the Clifford peeling pass dispatch on; the
+    /// stabilizer executor (`qstab`) applies the identical folding, so a
+    /// gate accepted here is guaranteed to run on a tableau.
+    #[must_use]
+    pub fn is_clifford(&self) -> bool {
+        match (self.kind, self.controls.len()) {
+            (GateKind::Swap, 0) => true,
+            (GateKind::Swap, _) => false,
+            (kind, 0) => match kind {
+                GateKind::I
+                | GateKind::X
+                | GateKind::Y
+                | GateKind::Z
+                | GateKind::H
+                | GateKind::S
+                | GateKind::Sdg
+                | GateKind::Sx
+                | GateKind::Sxdg
+                | GateKind::Sy
+                | GateKind::Sydg => true,
+                GateKind::Rx(theta)
+                | GateKind::Ry(theta)
+                | GateKind::Rz(theta)
+                | GateKind::Phase(theta) => quarter_turns(theta).is_some(),
+                _ => false,
+            },
+            (GateKind::X | GateKind::Z, 1) => true,
+            // CP(π) = CZ is the only Clifford controlled phase (besides I).
+            (GateKind::Phase(theta), 1) => matches!(quarter_turns(theta), Some(0 | 2)),
+            _ => false,
+        }
+    }
+}
+
+/// Maps `theta` to its multiple of π/2 in `0..4`, or `None` if it is not a
+/// quarter turn (within the workspace tolerance).
+#[must_use]
+pub(crate) fn quarter_turns(theta: f64) -> Option<u8> {
+    let normalized = angle::normalize(theta);
+    let quarters = normalized / std::f64::consts::FRAC_PI_2;
+    let rounded = quarters.round();
+    if (quarters - rounded).abs() < 1e-9 {
+        Some((rounded as i64).rem_euclid(4) as u8)
+    } else {
+        None
+    }
 }
 
 impl fmt::Display for Gate {
@@ -623,6 +684,55 @@ mod tests {
         let r = g.remap(|q| q + 3);
         assert_eq!(r.controls(), &[3]);
         assert_eq!(r.targets(), &[4]);
+    }
+
+    #[test]
+    fn clifford_classification() {
+        use std::f64::consts::FRAC_PI_2;
+        // Discrete Clifford gates, uncontrolled.
+        for k in [
+            GateKind::I,
+            GateKind::X,
+            GateKind::Y,
+            GateKind::Z,
+            GateKind::H,
+            GateKind::S,
+            GateKind::Sdg,
+            GateKind::Sx,
+            GateKind::Sxdg,
+            GateKind::Sy,
+            GateKind::Sydg,
+        ] {
+            assert!(Gate::single(k, 0).is_clifford(), "{k:?}");
+        }
+        // Non-Clifford single-qubit gates.
+        for k in [
+            GateKind::T,
+            GateKind::Tdg,
+            GateKind::U3(FRAC_PI_2, 0.0, 0.0),
+            GateKind::Rz(0.3),
+            GateKind::Phase(0.7),
+        ] {
+            assert!(!Gate::single(k, 0).is_clifford(), "{k:?}");
+        }
+        // Quarter-turn rotations fold onto Cliffords; 2π-periodic.
+        for m in [-4i32, -1, 0, 1, 2, 3, 4, 9] {
+            let theta = f64::from(m) * FRAC_PI_2;
+            assert!(Gate::single(GateKind::Rz(theta), 0).is_clifford(), "{m}");
+            assert!(Gate::single(GateKind::Rx(theta), 0).is_clifford(), "{m}");
+            assert!(Gate::single(GateKind::Ry(theta), 0).is_clifford(), "{m}");
+        }
+        // Controlled gates: CX, CZ and CP(π) only.
+        assert!(Gate::controlled(GateKind::X, vec![0], 1).is_clifford());
+        assert!(Gate::controlled(GateKind::Z, vec![0], 1).is_clifford());
+        assert!(Gate::controlled(GateKind::Phase(std::f64::consts::PI), vec![0], 1).is_clifford());
+        assert!(Gate::controlled(GateKind::Phase(0.0), vec![0], 1).is_clifford());
+        assert!(!Gate::controlled(GateKind::Phase(FRAC_PI_2), vec![0], 1).is_clifford());
+        assert!(!Gate::controlled(GateKind::X, vec![0, 1], 2).is_clifford());
+        assert!(!Gate::controlled(GateKind::H, vec![0], 1).is_clifford());
+        // SWAP is Clifford; Fredkin is not.
+        assert!(Gate::swap(0, 1).is_clifford());
+        assert!(!Gate::controlled_swap(vec![2], 0, 1).is_clifford());
     }
 
     #[test]

@@ -57,6 +57,65 @@ pub fn cuccaro_adder(n: usize) -> Circuit {
     c
 }
 
+/// Builds the Clifford surrogate of the Cuccaro ripple-carry adder on
+/// `2n + 2` qubits: the identical CX skeleton and MAJ/UMA scheduling, with
+/// every Toffoli replaced by the fixed Clifford motif `H·CZ·S·CZ·H` on the
+/// same three qubits.
+///
+/// The result is *not* an arithmetic adder — a Toffoli has no Clifford
+/// equivalent — but it preserves the adder's ripple connectivity, depth
+/// profile and two-qubit-gate density while staying stabilizer-simulable,
+/// which makes it the canonical Clifford-dominated workload for the stab
+/// probe engine: tableau probes cost `O(n²)` where dense simulation pays
+/// `O(2ⁿ)`, so register widths like `n = 32` become reachable.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let adder = qcirc::generators::clifford_adder(15);
+/// assert_eq!(adder.n_qubits(), 32);
+/// assert!(adder.gates().iter().all(qcirc::Gate::is_clifford));
+/// ```
+#[must_use]
+pub fn clifford_adder(n: usize) -> Circuit {
+    assert!(n > 0, "adder width must be positive");
+    let mut c = Circuit::with_name(2 * n + 2, format!("clifford_add_{n}"));
+    let b = |i: usize| 1 + i;
+    let a = |i: usize| 1 + n + i;
+    let cin = 0;
+    let cout = 2 * n + 1;
+
+    // The Toffoli stand-in: an entangling, phase-mixing Clifford block on
+    // (x, y, z). The H/S mixing keeps intermediate states away from the
+    // basis-permutation regime where decision diagrams stay trivially small.
+    let motif = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.h(z).cz(x, z).s(z).cz(y, z).h(z);
+    };
+    let maj = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.cx(z, y).cx(z, x);
+        motif(c, x, y, z);
+    };
+    let uma = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        motif(c, x, y, z);
+        c.cx(z, x).cx(x, y);
+    };
+
+    maj(&mut c, cin, b(0), a(0));
+    for i in 1..n {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    c.cx(a(n - 1), cout);
+    for i in (1..n).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, cin, b(0), a(0));
+    c
+}
+
 /// Builds a shift-and-add multiplier computing
 /// `|a, b, 0⟩ → |a, b, a·b mod 2^{2n}⟩` from `n` controlled Cuccaro
 /// additions.
@@ -143,6 +202,16 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_width_rejected() {
         let _ = cuccaro_adder(0);
+    }
+
+    #[test]
+    fn clifford_adder_mirrors_the_cuccaro_shape() {
+        let n = 4;
+        let c = clifford_adder(n);
+        assert_eq!(c.n_qubits(), 2 * n + 2);
+        // Each Toffoli became a 5-gate motif; everything else is unchanged.
+        assert_eq!(c.len(), cuccaro_adder(n).len() + 4 * 2 * n);
+        assert!(c.gates().iter().all(crate::Gate::is_clifford));
     }
 
     #[test]

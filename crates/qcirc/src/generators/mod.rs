@@ -13,6 +13,8 @@
 //! * [`random_clifford_t`] — random Clifford+T circuits,
 //! * [`cuccaro_adder`] — the ripple-carry adder, a structured arithmetic
 //!   workload,
+//! * [`clifford_adder`] — its stabilizer-simulable surrogate (Toffolis
+//!   replaced by a Clifford motif), the stab engine's benchmark family,
 //! * [`ghz`] / [`bell`] — small entangling circuits for quick starts.
 
 mod arithmetic;
@@ -24,7 +26,7 @@ mod qpe;
 mod random;
 mod supremacy;
 
-pub use arithmetic::{cuccaro_adder, multiplier};
+pub use arithmetic::{clifford_adder, cuccaro_adder, multiplier};
 pub use chemistry::trotter_heisenberg;
 pub use grover::{grover, optimal_grover_iterations};
 pub use oracles::{bernstein_vazirani, deutsch_jozsa};

@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 use qcirc::Circuit;
 
 use crate::convert::{run, NotCliffordError};
-use crate::tableau::PauliRow;
+use crate::tableau::{PauliRow, Tableau};
 
 /// The verdict of a Clifford equivalence probe.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +103,60 @@ pub fn check_clifford_equivalence(
     Ok(CliffordVerdict::AllAgreed { runs: bases.len() })
 }
 
+/// The magnitude `|⟨ψ_a|ψ_b⟩|` of the inner product of two stabilizer
+/// states — deterministic, measurement-free, `O(n³)` bit operations.
+///
+/// The algorithm is the Aaronson–Gottesman inner-product routine: the
+/// state-preparation synthesis of `a`'s canonical generators
+/// ([`crate::synthesize_state`]) is inverted into a disentangler `D` with
+/// `D|ψ_a⟩ = |0…0⟩` (up to global phase, which the magnitude ignores), so
+/// `|⟨ψ_a|ψ_b⟩| = |⟨0…0|D|ψ_b⟩|`. For the transformed state the canonical
+/// generators split into `k` X-carrying rows (the support is an affine
+/// subspace with `2ᵏ` equal-magnitude amplitudes) and `n − k` Z-only rows
+/// (its parity constraints): `|0…0⟩` lies in the support iff every Z-only
+/// row carries a `+` sign, giving magnitude `2^{−k/2}`, and `0` otherwise.
+///
+/// Stabilizer overlap magnitudes are therefore always exactly `0` or
+/// `2^{−k/2}`; in particular the result is `1.0` precisely when
+/// [`Tableau::same_state`] holds.
+///
+/// # Panics
+///
+/// Panics if the qubit counts differ.
+///
+/// # Examples
+///
+/// ```
+/// use qstab::{inner_product_magnitude, Tableau};
+///
+/// let zero = Tableau::new(1);
+/// let mut plus = Tableau::new(1);
+/// plus.h(0);
+/// let m = inner_product_magnitude(&zero, &plus);
+/// assert!((m - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn inner_product_magnitude(a: &Tableau, b: &Tableau) -> f64 {
+    assert_eq!(a.n_qubits(), b.n_qubits(), "qubit counts differ");
+    let disentangler = crate::synth::synthesize_state(&a.canonical_stabilizers()).inverse();
+    let mut phi = b.clone();
+    for gate in disentangler.gates() {
+        crate::convert::apply_gate(&mut phi, gate).expect("synthesis emits Clifford gates only");
+    }
+    let mut k = 0i32;
+    for row in phi.canonical_stabilizers() {
+        if row.x.iter().any(|&bit| bit) {
+            k += 1;
+        } else if row.sign {
+            // A violated parity constraint: |0…0⟩ is outside the support.
+            return 0.0;
+        }
+    }
+    // 2^{−k/2}, computed exactly (0.5ᵏ is a power of two, sqrt is exact
+    // for even k and correctly rounded otherwise).
+    (0.5f64).powi(k).sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +220,51 @@ mod tests {
         buggy.z(1);
         let v = check_clifford_equivalence(&g, &buggy, 100, 0).unwrap();
         assert!(matches!(v, CliffordVerdict::NotEquivalent { .. }));
+    }
+
+    #[test]
+    fn inner_product_hand_cases() {
+        use std::f64::consts::FRAC_1_SQRT_2;
+        let zero = crate::Tableau::new(1);
+        let one = crate::Tableau::basis(1, 1);
+        let mut plus = crate::Tableau::new(1);
+        plus.h(0);
+        let mut minus = plus.clone();
+        minus.z_gate(0);
+        assert_eq!(inner_product_magnitude(&zero, &zero), 1.0);
+        assert_eq!(inner_product_magnitude(&zero, &one), 0.0);
+        assert!((inner_product_magnitude(&zero, &plus) - FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((inner_product_magnitude(&plus, &one) - FRAC_1_SQRT_2).abs() < 1e-12);
+        assert_eq!(inner_product_magnitude(&plus, &minus), 0.0);
+        // Bell vs |00⟩: magnitude 1/√2; Bell vs phase-flipped Bell: 0.
+        let mut bell = crate::Tableau::new(2);
+        bell.h(0);
+        bell.cx(0, 1);
+        let mut flipped = bell.clone();
+        flipped.z_gate(1);
+        let zz = crate::Tableau::new(2);
+        assert!((inner_product_magnitude(&bell, &zz) - FRAC_1_SQRT_2).abs() < 1e-12);
+        assert_eq!(inner_product_magnitude(&bell, &flipped), 0.0);
+        // Symmetry.
+        assert_eq!(
+            inner_product_magnitude(&bell, &zz),
+            inner_product_magnitude(&zz, &bell)
+        );
+    }
+
+    #[test]
+    fn inner_product_is_one_iff_same_state() {
+        let g = generators::random_clifford_t(6, 80, 11);
+        let g = clifford_only(&g);
+        let mut buggy = g.clone();
+        buggy.z(3);
+        for basis in [0u64, 5, 63] {
+            let a = run_on(&g, basis);
+            let b = run_on(&buggy, basis);
+            let m = inner_product_magnitude(&a, &b);
+            assert_eq!(m == 1.0, a.same_state(&b), "basis {basis}: {m}");
+            assert_eq!(inner_product_magnitude(&a, &a), 1.0);
+        }
     }
 
     /// Strips non-Clifford gates (T/T†) out of a random Clifford+T circuit.

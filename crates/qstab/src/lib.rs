@@ -13,6 +13,9 @@
 //!   form, state equality, distinguishing-Pauli extraction.
 //! * [`run`] / [`apply_gate`] / [`is_clifford`] — `qcirc` integration.
 //! * [`check_clifford_equivalence`] — the paper's flow, stabilizer edition.
+//! * [`inner_product_magnitude`] — the deterministic, measurement-free
+//!   overlap `|⟨ψ_a|ψ_b⟩|` of two stabilizer states (always `0` or
+//!   `2^{−k/2}`), the quantity `qcec`'s stab probe engine reports.
 //! * [`random_stabilizer_rows`] / [`synthesize_state`] — uniform random
 //!   stabilizer states and their Clifford preparation circuits (the
 //!   sampling engine behind `qstim`'s stabilizer stimuli).
@@ -45,7 +48,7 @@ mod random;
 mod synth;
 mod tableau;
 
-pub use check::{check_clifford_equivalence, CliffordVerdict};
+pub use check::{check_clifford_equivalence, inner_product_magnitude, CliffordVerdict};
 pub use convert::{apply_gate, is_clifford, run, NotCliffordError};
 pub use random::{random_stabilizer_circuit, random_stabilizer_rows};
 pub use synth::synthesize_state;

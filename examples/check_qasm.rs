@@ -6,7 +6,9 @@
 //!   --sims <r>        random simulations before the complete check (default 10)
 //!   --seed <s>        RNG seed (default 0)
 //!   --deadline <sec>  budget for the complete check (default unbounded)
-//!   --backend sv|dd   simulation backend (default sv; dd for > 24 qubits)
+//!   --backend sv|dd|stab  simulation backend (default sv; dd for > 24
+//!                     qubits, stab for Clifford-dominated pairs)
+//!   --peel            strip the shared Clifford prefix/suffix first
 //!   --strict          require exact equality (no global-phase allowance)
 //!   --sim-only        skip the complete check (report probably-equivalent)
 //!   --csv             print a CSV row instead of prose
@@ -56,6 +58,7 @@ fn run() -> Result<ExitCode, String> {
                 let v = args.next().ok_or("--backend needs a value")?;
                 config = config.with_backend(BackendKind::parse(&v)?);
             }
+            "--peel" => config = config.with_peel(true),
             "--strict" => config = config.with_criterion(Criterion::Strict),
             "--sim-only" => config = config.with_fallback(Fallback::None),
             "--csv" => csv = true,
@@ -85,7 +88,8 @@ fn run() -> Result<ExitCode, String> {
     // Statevector memory guard: beyond ~26 qubits suggest the DD backend.
     if config.backend == BackendKind::Statevector && n > 26 {
         return Err(format!(
-            "{n} qubits is too large for the statevector backend; pass --backend dd"
+            "{n} qubits is too large for the statevector backend; pass --backend dd \
+             (or --backend stab for Clifford-dominated pairs)"
         ));
     }
 

@@ -238,4 +238,44 @@ proptest! {
         buggy.x((seed % n as u64) as usize);
         assert_backends_agree("injected fault", &c, &buggy, &base);
     }
+
+    /// Pure-Clifford pairs: the stabilizer engine takes its O(n²) tableau
+    /// path end to end (no dense fallback), and must reach the same
+    /// verdict *class* as the engines that simulate amplitudes for real,
+    /// across 1/2/8 scheduler threads. The comparison is by class, not by
+    /// decisive run: the tableau path certifies overlap magnitudes, so a
+    /// fault visible only as a stimulus-dependent *phase* is — by design,
+    /// see the `StabBackend` docs — left to the complete check, which can
+    /// shift the detection stage relative to sv without changing the
+    /// verdict.
+    #[test]
+    fn backends_agree_on_clifford_pairs(n in 3usize..7, seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = qstab::random_stabilizer_circuit(n, &mut rng);
+        let optimized = qcirc::optimize::optimize(&c);
+        let mut buggy = c.clone();
+        buggy.x((seed % n as u64) as usize);
+        for (name, g, g_prime, want_equal) in [
+            ("clifford optimized", &c, &optimized, true),
+            ("clifford fault", &c, &buggy, false),
+        ] {
+            for threads in [1usize, 2, 8] {
+                for backend in BackendKind::ALL {
+                    let config = Config::new()
+                        .with_seed(seed)
+                        .with_threads(threads)
+                        .with_backend(backend)
+                        .with_stimuli(qcec::StimulusStrategy::Stabilizer);
+                    let result = check_equivalence(g, g_prime, &config).unwrap();
+                    prop_assert_eq!(
+                        result.outcome.is_equivalent(),
+                        want_equal,
+                        "{}: {:?} x {} threads: {}",
+                        name, backend, threads, result.outcome
+                    );
+                }
+            }
+        }
+    }
 }
