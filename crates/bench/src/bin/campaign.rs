@@ -17,8 +17,10 @@
 //!
 //! `--stimuli basis,product,stabilizer` ablates over stimulus strategies
 //! (every fault is checked once per strategy); `--backend sv,dd,stab` does
-//! the same over simulation engines — every arm sees the identical faults,
-//! so a detection difference is attributable to the axis alone.
+//! the same over simulation engines, and `--scheme
+//! sequential,onetoone,proportional,gatecost` over the alternating
+//! check's gate-application schemes — every arm sees the identical
+//! faults, so a detection difference is attributable to the axis alone.
 //! `--compose K` stacks `K − 1` extra mixed-class faults on top of each
 //! trial's own (modelling multi-fault compiler bugs); `--peel` strips the
 //! shared Clifford rim off every pair before checking. `--pair
@@ -39,7 +41,7 @@ use std::io::Write as _;
 use std::process::exit;
 
 use qcec::campaign::{audit_pair, run_campaign, CampaignBenchmark, CampaignConfig, CompileRoute};
-use qcec::{BackendKind, StimulusStrategy};
+use qcec::{ApplicationScheme, BackendKind, StimulusStrategy};
 use qcirc::generators;
 use qcirc::mapping::CouplingMap;
 use qfault::MutationKind;
@@ -60,6 +62,7 @@ struct Args {
     out: Option<String>,
     stimuli: Vec<StimulusStrategy>,
     backends: Vec<BackendKind>,
+    schemes: Vec<ApplicationScheme>,
     pairs: Vec<String>,
     inject: Option<Vec<MutationKind>>,
 }
@@ -82,6 +85,7 @@ impl Default for Args {
             out: None,
             stimuli: vec![StimulusStrategy::Random],
             backends: vec![BackendKind::Statevector],
+            schemes: vec![ApplicationScheme::Proportional],
             pairs: Vec::new(),
             inject: None,
         }
@@ -93,10 +97,12 @@ fn usage() -> ! {
         "usage: campaign [--seed N] [--trials N] [--faults N] [--compose K] \
          [--sims N] [--threads N] [--trial-threads N] [--no-guard-cache] \
          [--scale 0|1] [--epsilon X] [--peel] [--timings] [--out FILE] \
-         [--stimuli S[,S...]] [--backend B[,B...]] [--pair GOLDEN,FAULTY]... \
+         [--stimuli S[,S...]] [--backend B[,B...]] [--scheme A[,A...]] \
+         [--pair GOLDEN,FAULTY]... \
          [--inject CLASS[,CLASS...]|all [--pair FILE]...]\n\
          stimulus strategies: basis|sequential|product|stabilizer\n\
          backends: sv|dd|stab\n\
+         application schemes: sequential|onetoone|proportional|gatecost\n\
          fault classes: remove_gate|add_gate|remove_control|add_control|\
          swap_targets|perturb_angle|swap_adjacent_gates|relabel_qubits"
     );
@@ -152,6 +158,22 @@ fn parse_backends(spec: &str) -> Vec<BackendKind> {
         usage();
     }
     backends
+}
+
+fn parse_schemes(spec: &str) -> Vec<ApplicationScheme> {
+    let schemes: Vec<ApplicationScheme> = spec
+        .split(',')
+        .map(|s| {
+            ApplicationScheme::parse(s).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                usage()
+            })
+        })
+        .collect();
+    if schemes.is_empty() {
+        usage();
+    }
+    schemes
 }
 
 fn parse_pair(spec: &str) -> (String, String) {
@@ -216,6 +238,7 @@ fn parse_args() -> Args {
             "--out" => args.out = Some(val("--out")),
             "--stimuli" => args.stimuli = parse_stimuli(&val("--stimuli")),
             "--backend" => args.backends = parse_backends(&val("--backend")),
+            "--scheme" => args.schemes = parse_schemes(&val("--scheme")),
             "--pair" => args.pairs.push(val("--pair")),
             "--inject" => args.inject = Some(parse_inject(&val("--inject"))),
             "--help" | "-h" => usage(),
@@ -372,7 +395,8 @@ fn main() {
         .with_guard_cache(args.guard_cache)
         .with_epsilon(args.epsilon)
         .with_strategies(args.stimuli.clone())
-        .with_backends(args.backends.clone());
+        .with_backends(args.backends.clone())
+        .with_schemes(args.schemes.clone());
     if let Some(classes) = &args.inject {
         config = config.with_classes(classes.clone());
     }

@@ -57,7 +57,7 @@ use qfault::{mutator_for, GuardCache, GuardOptions, GuardVerdict, MutationKind, 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::{BackendKind, Config, Fallback, StimulusStrategy};
+use crate::config::{ApplicationScheme, BackendKind, Config, Fallback, StimulusStrategy};
 use crate::flow::check_equivalence;
 use crate::outcome::Outcome;
 use crate::report::{json, StageTimings};
@@ -190,6 +190,13 @@ pub struct CampaignConfig {
     /// not the strategy), so per-strategy detection rates are directly
     /// comparable. Default: just the paper's random basis states.
     pub strategies: Vec<StimulusStrategy>,
+    /// Application schemes of the alternating complete check to ablate
+    /// over: every (benchmark × backend × strategy × class × trial) cell
+    /// is checked once per scheme, against the *same* injected fault (the
+    /// trial seed is keyed on the cell coordinates, not the scheme), so
+    /// per-scheme detection statistics *and* complete-check wall-clock
+    /// are directly comparable. Default: just the proportional scheme.
+    pub schemes: Vec<ApplicationScheme>,
     /// Fault classes to inject, in reporting order. Default: all of
     /// [`MutationKind::ALL`]. Trial seeds are keyed on each class's
     /// position in `ALL` (not its position here), so a filtered campaign
@@ -221,6 +228,7 @@ impl Default for CampaignConfig {
             deadline: Some(Duration::from_secs(30)),
             backends: vec![BackendKind::Statevector],
             strategies: vec![StimulusStrategy::Random],
+            schemes: vec![ApplicationScheme::Proportional],
             classes: MutationKind::ALL.to_vec(),
             peel: false,
         }
@@ -342,6 +350,24 @@ impl CampaignConfig {
         self.with_strategies(vec![strategy])
     }
 
+    /// Replaces the application-scheme ablation set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schemes` is empty.
+    #[must_use]
+    pub fn with_schemes(mut self, schemes: Vec<ApplicationScheme>) -> Self {
+        assert!(!schemes.is_empty(), "need at least one application scheme");
+        self.schemes = schemes;
+        self
+    }
+
+    /// Shorthand for a single-scheme campaign.
+    #[must_use]
+    pub fn with_scheme(self, scheme: ApplicationScheme) -> Self {
+        self.with_schemes(vec![scheme])
+    }
+
     /// Restricts injection to the given fault classes (e.g. a `--inject`
     /// sweep over one error model). Seeds stay aligned with the full
     /// campaign: each class injects the same faults it would in an
@@ -384,6 +410,8 @@ pub struct TrialRecord {
     pub backend: BackendKind,
     /// The stimulus strategy the flow checked this trial with.
     pub strategy: StimulusStrategy,
+    /// The application scheme the flow's complete check used this trial.
+    pub scheme: ApplicationScheme,
     /// The injected error class.
     pub kind: MutationKind,
     /// Trial index within the (benchmark, class) pair.
@@ -551,6 +579,12 @@ pub struct CampaignResult {
     /// order — the engine-ablation axis. Identical trial seeds per cell
     /// mean every backend faces the same injected faults.
     pub backend_classes: Vec<(BackendKind, Vec<(MutationKind, ClassStats)>)>,
+    /// Per-application-scheme breakdown of the same aggregates, in
+    /// `config.schemes` order — the complete-check ablation axis. Trial
+    /// seeds exclude the scheme, so every arm faces the same faults; the
+    /// per-scheme complete-check wall-clock lives in
+    /// [`StageTimings::functional_time_for`].
+    pub scheme_classes: Vec<(ApplicationScheme, Vec<(MutationKind, ClassStats)>)>,
     /// `families[f]` is the family name; `cells[f][k]` the counts for
     /// family `f` under class `MutationKind::ALL[k]`.
     pub families: Vec<String>,
@@ -584,14 +618,15 @@ pub fn trial_seed(seed: u64, benchmark: usize, class: usize, trial: usize) -> u6
     z
 }
 
-/// One (benchmark × backend × strategy × class × trial) cell of the
-/// campaign's work list. The seed is keyed on everything *except* the
-/// backend and strategy, so all ablation arms face the identical injected
-/// fault.
+/// One (benchmark × backend × scheme × strategy × class × trial) cell of
+/// the campaign's work list. The seed is keyed on everything *except* the
+/// backend, scheme, and strategy, so all ablation arms face the identical
+/// injected fault.
 #[derive(Debug, Clone, Copy)]
 struct TrialCell {
     benchmark: usize,
     backend: usize,
+    scheme: usize,
     strategy: usize,
     class: usize,
     trial: usize,
@@ -650,19 +685,23 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
         .flat_map(|(b_idx, _)| {
             let trials = config.trials;
             let n_backends = config.backends.len();
+            let n_schemes = config.schemes.len();
             let n_strategies = config.strategies.len();
             let n_classes = mutators.len();
             let class_seed_idx = &class_seed_idx;
             (0..n_backends).flat_map(move |e_idx| {
-                (0..n_strategies).flat_map(move |s_idx| {
-                    (0..n_classes).flat_map(move |k_idx| {
-                        (0..trials).map(move |t_idx| TrialCell {
-                            benchmark: b_idx,
-                            backend: e_idx,
-                            strategy: s_idx,
-                            class: k_idx,
-                            trial: t_idx,
-                            seed: trial_seed(config.seed, b_idx, class_seed_idx[k_idx], t_idx),
+                (0..n_schemes).flat_map(move |a_idx| {
+                    (0..n_strategies).flat_map(move |s_idx| {
+                        (0..n_classes).flat_map(move |k_idx| {
+                            (0..trials).map(move |t_idx| TrialCell {
+                                benchmark: b_idx,
+                                backend: e_idx,
+                                scheme: a_idx,
+                                strategy: s_idx,
+                                class: k_idx,
+                                trial: t_idx,
+                                seed: trial_seed(config.seed, b_idx, class_seed_idx[k_idx], t_idx),
+                            })
                         })
                     })
                 })
@@ -708,6 +747,11 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
         .iter()
         .map(|b| (*b, classes.clone()))
         .collect();
+    let mut scheme_classes: Vec<(ApplicationScheme, Vec<(MutationKind, ClassStats)>)> = config
+        .schemes
+        .iter()
+        .map(|s| (*s, classes.clone()))
+        .collect();
     let mut trials = Vec::with_capacity(outputs.len());
     let mut stage_timings = StageTimings::default();
     let mut guard_stats = GuardStats::default();
@@ -724,6 +768,7 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
         classes[k_idx].1.record(&record);
         strategy_classes[cell.strategy].1[k_idx].1.record(&record);
         backend_classes[cell.backend].1[k_idx].1.record(&record);
+        scheme_classes[cell.scheme].1[k_idx].1.record(&record);
         if record.guard.is_fault() {
             let cell = &mut cell_stats[family][k_idx];
             cell.faults += 1;
@@ -764,6 +809,7 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
         classes,
         strategy_classes,
         backend_classes,
+        scheme_classes,
         families,
         cells: cell_stats,
         trials,
@@ -784,6 +830,7 @@ fn run_cell(
         &benchmarks[cell.benchmark],
         cell.benchmark,
         config.backends[cell.backend],
+        config.schemes[cell.scheme],
         config.strategies[cell.strategy],
         mutators[cell.class].as_ref(),
         guards.map(|g| &g[cell.benchmark]),
@@ -798,6 +845,7 @@ fn run_trial(
     bench: &CampaignBenchmark,
     b_idx: usize,
     backend: BackendKind,
+    scheme: ApplicationScheme,
     strategy: StimulusStrategy,
     mutator: &dyn Mutator,
     guard_cache: Option<&GuardCache>,
@@ -820,6 +868,7 @@ fn run_trial(
                     record: TrialRecord {
                         benchmark: b_idx,
                         backend,
+                        scheme,
                         strategy,
                         kind: mutator.kind(),
                         trial: t_idx,
@@ -871,10 +920,15 @@ fn run_trial(
         .with_fallback(Fallback::Alternating)
         .with_deadline(config.deadline)
         .with_peel(config.peel)
+        .with_scheme(scheme)
         .with_event_sink(sink.clone());
     let result = check_equivalence(&bench.original, &mutated, &flow_config)
         .expect("mutators preserve the register, so the flow must accept the pair");
-    let timings = StageTimings::from_events(&sink.events());
+    let mut timings = StageTimings::from_events(&sink.events());
+    // Charge this trial's complete-check time to its scheme's bucket, so
+    // the ablation report can compare wall-clock per scheme. The buckets
+    // render only under `with_timings`, so reproducible JSON is untouched.
+    timings.attribute_functional_to_scheme(scheme);
 
     let detection = Some(match &result.outcome {
         Outcome::NotEquivalent {
@@ -890,6 +944,7 @@ fn run_trial(
         record: TrialRecord {
             benchmark: b_idx,
             backend,
+            scheme,
             strategy,
             kind: mutator.kind(),
             trial: t_idx,
@@ -954,6 +1009,24 @@ impl CampaignResult {
                 );
             }
         }
+        // Like the backend field: the scheme only renders for non-default
+        // selections, keeping campaigns that predate scheme ablation
+        // byte-identical.
+        if self.config.schemes != [ApplicationScheme::Proportional] {
+            if let [scheme] = self.config.schemes[..] {
+                cfg.str("scheme", scheme.slug());
+            } else {
+                cfg.raw(
+                    "schemes",
+                    json::array(
+                        self.config
+                            .schemes
+                            .iter()
+                            .map(|s| format!("\"{}\"", s.slug())),
+                    ),
+                );
+            }
+        }
         // Like the backend field: only a filtered class selection renders,
         // keeping full campaigns byte-identical to pre-filter goldens.
         if self.config.classes != MutationKind::ALL {
@@ -1003,6 +1076,20 @@ impl CampaignResult {
                 json::array(self.backend_classes.iter().map(|(backend, classes)| {
                     let mut o = json::Obj::new();
                     o.str("backend", backend.slug())
+                        .raw("classes", class_stats_json(classes));
+                    o.render()
+                })),
+            );
+        }
+
+        // Likewise the per-scheme breakdown: only rendered when there is a
+        // scheme ablation to report.
+        if self.scheme_classes.len() > 1 {
+            root.raw(
+                "schemes",
+                json::array(self.scheme_classes.iter().map(|(scheme, classes)| {
+                    let mut o = json::Obj::new();
+                    o.str("scheme", scheme.slug())
                         .raw("classes", class_stats_json(classes));
                     o.render()
                 })),
@@ -1118,6 +1205,37 @@ impl CampaignResult {
             );
             for (backend, classes) in &self.backend_classes {
                 out.push_str(&ablation_row(backend.slug(), classes));
+            }
+        }
+
+        if self.scheme_classes.len() > 1 {
+            out.push_str(
+                "\n## Detection by application scheme\n\n\
+                 | scheme | faults | det. sim | det. complete | missed | mean #sims | t_ec (s) |\n\
+                 |---|---|---|---|---|---|---|\n",
+            );
+            // The last column is the scheme's complete-check wall-clock
+            // rather than a detection rate: the verdicts per arm are
+            // identical by construction (same faults, same flow); what
+            // differs between schemes is how long the alternating check
+            // takes to reach them.
+            for (scheme, classes) in &self.scheme_classes {
+                let total = ablation_totals(classes);
+                let mean = total
+                    .mean_sims_to_detect()
+                    .map_or_else(|| "—".to_string(), |m| format!("{m:.2}"));
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {} | {} | {:.3} |\n",
+                    scheme.slug(),
+                    total.faults,
+                    total.detected_by_sim,
+                    total.detected_by_complete,
+                    total.missed,
+                    mean,
+                    self.stage_timings
+                        .functional_time_for(*scheme)
+                        .as_secs_f64(),
+                ));
             }
         }
 
@@ -1372,7 +1490,7 @@ pub fn audit_pair(
 
 /// Renders one row of an ablation Markdown table (strategy or backend):
 /// the class-summed detection counts behind a single label.
-fn ablation_row(label: &str, classes: &[(MutationKind, ClassStats)]) -> String {
+fn ablation_totals(classes: &[(MutationKind, ClassStats)]) -> ClassStats {
     let mut total = ClassStats::default();
     for (_, s) in classes {
         total.faults += s.faults;
@@ -1386,6 +1504,11 @@ fn ablation_row(label: &str, classes: &[(MutationKind, ClassStats)]) -> String {
             total.sims_histogram[i] += c;
         }
     }
+    total
+}
+
+fn ablation_row(label: &str, classes: &[(MutationKind, ClassStats)]) -> String {
+    let total = ablation_totals(classes);
     let mean = total
         .mean_sims_to_detect()
         .map_or_else(|| "—".to_string(), |m| format!("{m:.2}"));

@@ -4,6 +4,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::scheduler::EventSink;
+pub use qdd::ApplicationScheme;
 
 /// When two output states (or system matrices) count as "equal".
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -220,6 +221,12 @@ pub struct Config {
     /// prefix no longer randomises them), so verdict-equivalent runs are
     /// not bit-identical with the unpeeled flow.
     pub peel: bool,
+    /// Gate-interleaving policy of the alternating complete check (see
+    /// [`qdd::ApplicationScheme`]): which side of `G → 𝕀 ← G'` advances
+    /// next. Scheme-independent verdicts, scheme-dependent intermediate
+    /// DD sizes — proportional (the default) reproduces the historical
+    /// behaviour bit for bit.
+    pub scheme: ApplicationScheme,
     /// Receiver for the scheduler's [`RunEvent`](crate::scheduler::RunEvent)s
     /// (per-stage timings, per-simulation outcomes, cancellations).
     /// `None` = discard. Only the scheduled path (`threads > 1`) and the
@@ -249,6 +256,7 @@ impl PartialEq for Config {
             && self.dd_node_limit == other.dd_node_limit
             && self.portfolio == other.portfolio
             && self.peel == other.peel
+            && self.scheme == other.scheme
             && sinks_eq
     }
 }
@@ -268,6 +276,7 @@ impl Default for Config {
             dd_node_limit: qdd::Package::DEFAULT_NODE_LIMIT,
             portfolio: false,
             peel: false,
+            scheme: ApplicationScheme::default(),
             event_sink: None,
         }
     }
@@ -371,6 +380,26 @@ impl Config {
     #[must_use]
     pub fn with_peel(mut self, peel: bool) -> Self {
         self.peel = peel;
+        self
+    }
+
+    /// Sets the gate-interleaving policy of the alternating complete
+    /// check (see [`Config::scheme`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcec::{ApplicationScheme, Config};
+    ///
+    /// let g = qcirc::generators::qft(4, true);
+    /// let opt = qcirc::optimize::optimize(&g);
+    /// let config = Config::new().with_scheme(ApplicationScheme::GateCost);
+    /// let result = qcec::check_equivalence(&g, &opt, &config).unwrap();
+    /// assert!(result.outcome.is_equivalent());
+    /// ```
+    #[must_use]
+    pub fn with_scheme(mut self, scheme: ApplicationScheme) -> Self {
+        self.scheme = scheme;
         self
     }
 

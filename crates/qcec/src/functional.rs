@@ -58,9 +58,13 @@ pub fn run_functional_check(g: &Circuit, g_prime: &Circuit, config: &Config) -> 
     let mut package = Package::with_node_limit(g.n_qubits(), config.dd_node_limit);
     let result = match config.fallback {
         Fallback::None => return FunctionalVerdict::Aborted(AbortKind::Disabled),
-        Fallback::Alternating => {
-            qdd::check_equivalence_alternating(&mut package, g, g_prime, config.deadline)
-        }
+        Fallback::Alternating => qdd::check_equivalence_alternating_scheme(
+            &mut package,
+            g,
+            g_prime,
+            config.deadline,
+            config.scheme,
+        ),
         Fallback::ConstructAndCompare => {
             qdd::check_equivalence_construct(&mut package, g, g_prime, config.deadline)
         }
@@ -85,12 +89,13 @@ pub fn run_functional_check_cancellable(
     let mut package = Package::with_node_limit(g.n_qubits(), config.dd_node_limit);
     let result = match config.fallback {
         Fallback::None => return Some(FunctionalVerdict::Aborted(AbortKind::Disabled)),
-        Fallback::Alternating => qdd::check_equivalence_alternating_cancellable(
+        Fallback::Alternating => qdd::check_equivalence_alternating_scheme_cancellable(
             &mut package,
             g,
             g_prime,
             config.deadline,
             cancel,
+            config.scheme,
         ),
         Fallback::ConstructAndCompare => qdd::check_equivalence_construct_cancellable(
             &mut package,

@@ -60,7 +60,7 @@ mod sim_check;
 pub mod theory;
 
 pub use backend::{ProbeMetrics, ProbeOutcome, SimBackend, StabBackend, StatevectorBackend};
-pub use config::{BackendKind, Config, Criterion, Fallback, StimulusStrategy};
+pub use config::{ApplicationScheme, BackendKind, Config, Criterion, Fallback, StimulusStrategy};
 pub use flow::{check_equivalence, check_equivalence_default, FlowError};
 pub use functional::{run_functional_check, run_functional_check_cancellable, FunctionalVerdict};
 pub use outcome::{AbortReason, Counterexample, FlowResult, FlowStats, Mismatch, Outcome};

@@ -128,7 +128,8 @@ impl fmt::Display for CircuitId {
 /// the scheduler's determinism contract) and `event_sink` (pure
 /// observability). Everything else — simulation count, seed, tolerance,
 /// criterion, backend, fallback, stimulus strategy, deadline, DD node
-/// limit, portfolio mode, Clifford peeling — contributes.
+/// limit, portfolio mode, Clifford peeling, application scheme —
+/// contributes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConfigDigest(u64);
 
@@ -163,6 +164,12 @@ impl ConfigDigest {
             },
             u8::from(config.portfolio),
             u8::from(config.peel),
+            match config.scheme {
+                qdd::ApplicationScheme::Sequential => 0,
+                qdd::ApplicationScheme::OneToOne => 1,
+                qdd::ApplicationScheme::Proportional => 2,
+                qdd::ApplicationScheme::GateCost => 3,
+            },
         ]);
         match config.deadline {
             None => h.write(&[0]),
@@ -291,6 +298,17 @@ mod tests {
         assert_ne!(
             ConfigDigest::of(&base),
             ConfigDigest::of(&Config::default().with_deadline(Some(Duration::from_secs(1))))
+        );
+        // The application scheme steers the complete check: the verdict
+        // class is scheme-invariant but abort behaviour (deadline, node
+        // budget) is not, so the cache must key on it.
+        assert_ne!(
+            ConfigDigest::of(&base),
+            ConfigDigest::of(&Config::default().with_scheme(qdd::ApplicationScheme::GateCost))
+        );
+        assert_eq!(
+            ConfigDigest::of(&base),
+            ConfigDigest::of(&Config::default().with_scheme(qdd::ApplicationScheme::Proportional))
         );
         // …thread count and sinks do not.
         assert_eq!(

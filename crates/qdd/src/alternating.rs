@@ -7,17 +7,104 @@
 //! similar — the common case for design-flow outputs — `E` stays close to
 //! the identity, keeping the DD exponentially smaller than either full
 //! matrix.
+//!
+//! *When* gates from each side are applied is a pluggable policy, the
+//! [`ApplicationScheme`]: the verdict is scheme-independent (every
+//! interleaving converges to the same `U'† · U`), but the size of the
+//! intermediate DD — and hence the wall-clock — is not.
 
 use std::time::Duration;
 
-use qcirc::Circuit;
+use qcirc::{Circuit, Gate};
 
 use crate::check::{compare_roots, DdCheckAbort, DdEquivalence, Deadline};
 use crate::package::Package;
 
+/// The gate-interleaving policy of the alternating check: which side —
+/// `G` (right multiplications) or `G'†` (left multiplications) — advances
+/// next. Every scheme consumes both circuits completely, so the verdict
+/// is identical across schemes; only the intermediate DD sizes differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ApplicationScheme {
+    /// All of `G` first, then all of `G'†` — builds the full `U` before
+    /// unwinding it, so the intermediate DD peaks at the size of `U`
+    /// itself. The naive baseline the other schemes are measured against.
+    Sequential,
+    /// Strict alternation, one gate from each side per round. Good when
+    /// the circuits are gate-for-gate similar (e.g. a mapped circuit with
+    /// few inserted SWAPs), degenerate when their lengths diverge.
+    OneToOne,
+    /// Advance whichever side is proportionally behind in *gate count*
+    /// (`i/m ≤ j/m'` ⇔ `i·m' ≤ j·m`) — the `|G| : |G'|` ratio strategy
+    /// and the default.
+    #[default]
+    Proportional,
+    /// Advance whichever side is proportionally behind in *decomposition
+    /// cost*: each gate is weighted by the number of elementary gates
+    /// [`qcirc::decompose::lower_gate_to_elementary`] emits for it, so a
+    /// Toffoli on one side keeps pace with its 15-gate decomposition on
+    /// the other. The lookahead ratio of the "Advanced Equivalence
+    /// Checking" paper, derived from our own lowering costs.
+    GateCost,
+}
+
+impl ApplicationScheme {
+    /// Every scheme, in canonical (report) order.
+    pub const ALL: [ApplicationScheme; 4] = [
+        ApplicationScheme::Sequential,
+        ApplicationScheme::OneToOne,
+        ApplicationScheme::Proportional,
+        ApplicationScheme::GateCost,
+    ];
+
+    /// Stable lowercase identifier used in CLI flags and JSON reports.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            ApplicationScheme::Sequential => "sequential",
+            ApplicationScheme::OneToOne => "onetoone",
+            ApplicationScheme::Proportional => "proportional",
+            ApplicationScheme::GateCost => "gatecost",
+        }
+    }
+
+    /// Parses a slug (case-insensitive; `-`/`_` separators are ignored,
+    /// so `gate-cost` and `one_to_one` work too).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the expected slugs.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let norm: String = s
+            .trim()
+            .to_ascii_lowercase()
+            .chars()
+            .filter(|c| !matches!(c, '-' | '_'))
+            .collect();
+        match norm.as_str() {
+            "sequential" | "seq" => Ok(ApplicationScheme::Sequential),
+            "onetoone" | "1to1" => Ok(ApplicationScheme::OneToOne),
+            "proportional" | "prop" => Ok(ApplicationScheme::Proportional),
+            "gatecost" | "cost" => Ok(ApplicationScheme::GateCost),
+            _ => Err(format!(
+                "unknown application scheme {s:?}: expected sequential, onetoone, \
+                 proportional or gatecost"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ApplicationScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
 /// Checks equivalence with the alternating scheme, advancing whichever
 /// circuit has proportionally more gates left (the "proportional" strategy
-/// of \[22\]).
+/// of \[22\]). Equivalent to
+/// [`check_equivalence_alternating_scheme`] with
+/// [`ApplicationScheme::Proportional`].
 ///
 /// # Errors
 ///
@@ -47,7 +134,33 @@ pub fn check_equivalence_alternating(
     g_prime: &Circuit,
     deadline: Option<Duration>,
 ) -> Result<DdEquivalence, DdCheckAbort> {
-    alternating_with_budget(package, g, g_prime, Deadline::new(deadline))
+    alternating_with_budget(
+        package,
+        g,
+        g_prime,
+        Deadline::new(deadline),
+        ApplicationScheme::Proportional,
+    )
+}
+
+/// [`check_equivalence_alternating`] with an explicit gate-interleaving
+/// policy.
+///
+/// # Errors
+///
+/// Returns [`DdCheckAbort`] on timeout or node-limit exhaustion.
+///
+/// # Panics
+///
+/// Panics if the circuits' qubit counts differ from the package's.
+pub fn check_equivalence_alternating_scheme(
+    package: &mut Package,
+    g: &Circuit,
+    g_prime: &Circuit,
+    deadline: Option<Duration>,
+    scheme: ApplicationScheme,
+) -> Result<DdEquivalence, DdCheckAbort> {
+    alternating_with_budget(package, g, g_prime, Deadline::new(deadline), scheme)
 }
 
 /// [`check_equivalence_alternating`] with an external cancellation flag,
@@ -71,7 +184,85 @@ pub fn check_equivalence_alternating_cancellable(
     deadline: Option<Duration>,
     cancel: &std::sync::atomic::AtomicBool,
 ) -> Result<DdEquivalence, DdCheckAbort> {
-    alternating_with_budget(package, g, g_prime, Deadline::cancellable(deadline, cancel))
+    alternating_with_budget(
+        package,
+        g,
+        g_prime,
+        Deadline::cancellable(deadline, cancel),
+        ApplicationScheme::Proportional,
+    )
+}
+
+/// [`check_equivalence_alternating_scheme`] with an external cancellation
+/// flag (see [`check_equivalence_alternating_cancellable`]).
+///
+/// # Errors
+///
+/// Returns [`DdCheckAbort`] on timeout, node-limit exhaustion, or
+/// cancellation.
+///
+/// # Panics
+///
+/// Panics if the circuits' qubit counts differ from the package's.
+pub fn check_equivalence_alternating_scheme_cancellable(
+    package: &mut Package,
+    g: &Circuit,
+    g_prime: &Circuit,
+    deadline: Option<Duration>,
+    cancel: &std::sync::atomic::AtomicBool,
+    scheme: ApplicationScheme,
+) -> Result<DdEquivalence, DdCheckAbort> {
+    alternating_with_budget(
+        package,
+        g,
+        g_prime,
+        Deadline::cancellable(deadline, cancel),
+        scheme,
+    )
+}
+
+/// Prefix-sum decomposition-cost profiles for the gate-cost scheme, in
+/// consumption (back-to-front) order: `consumed[i]` is the cost of the
+/// first `i` gates a side has applied, `total` the whole circuit's cost.
+struct CostProfile {
+    g_consumed: Vec<u64>,
+    gp_consumed: Vec<u64>,
+    g_total: u64,
+    gp_total: u64,
+}
+
+impl CostProfile {
+    fn new(g_gates: &[Gate], gp_gates: &[Gate]) -> Self {
+        let mut buf = Vec::new();
+        let mut profile = |gates: &[Gate]| {
+            let mut consumed = Vec::with_capacity(gates.len() + 1);
+            consumed.push(0u64);
+            // Gates are consumed back-to-front.
+            for gate in gates.iter().rev() {
+                buf.clear();
+                qcirc::decompose::lower_gate_to_elementary(gate, &mut buf);
+                let cost = (buf.len() as u64).max(1);
+                consumed.push(consumed.last().unwrap() + cost);
+            }
+            consumed
+        };
+        let g_consumed = profile(g_gates);
+        let gp_consumed = profile(gp_gates);
+        let (g_total, gp_total) = (*g_consumed.last().unwrap(), *gp_consumed.last().unwrap());
+        CostProfile {
+            g_consumed,
+            gp_consumed,
+            g_total,
+            gp_total,
+        }
+    }
+
+    /// `true` when G's consumed cost fraction is ≤ G'†'s:
+    /// `c(i)/C ≤ c'(j)/C'` ⇔ `c(i)·C' ≤ c'(j)·C`.
+    fn advance_g(&self, i: usize, j: usize) -> bool {
+        u128::from(self.g_consumed[i]) * u128::from(self.gp_total)
+            <= u128::from(self.gp_consumed[j]) * u128::from(self.g_total)
+    }
 }
 
 fn alternating_with_budget(
@@ -79,6 +270,7 @@ fn alternating_with_budget(
     g: &Circuit,
     g_prime: &Circuit,
     deadline: Deadline<'_>,
+    scheme: ApplicationScheme,
 ) -> Result<DdEquivalence, DdCheckAbort> {
     assert_eq!(
         g.n_qubits(),
@@ -94,18 +286,28 @@ fn alternating_with_budget(
     let g_gates = g.gates();
     let gp_gates = g_prime.gates();
     let (m, mp) = (g_gates.len(), gp_gates.len());
+    let costs = match scheme {
+        ApplicationScheme::GateCost => Some(CostProfile::new(g_gates, gp_gates)),
+        _ => None,
+    };
     let (mut i, mut j) = (0usize, 0usize); // consumed counts
 
     while i < m || j < mp {
         deadline.check()?;
-        // Advance the side that is proportionally behind.
+        // Which side advances: forced once one circuit is exhausted,
+        // otherwise the scheme decides (ties go to G).
         let advance_g = if j >= mp {
             true
         } else if i >= m {
             false
         } else {
-            // i/m <= j/m'  ⇔  i·m' <= j·m
-            i * mp <= j * m
+            match scheme {
+                ApplicationScheme::Sequential => true,
+                ApplicationScheme::OneToOne => i <= j,
+                // i/m <= j/m'  ⇔  i·m' <= j·m
+                ApplicationScheme::Proportional => i * mp <= j * m,
+                ApplicationScheme::GateCost => costs.as_ref().unwrap().advance_g(i, j),
+            }
         };
         if advance_g {
             let gate = &g_gates[m - 1 - i];
@@ -196,5 +398,106 @@ mod tests {
         let mut p = Package::new(3);
         let v = check_equivalence_alternating(&mut p, &g, &lowered, None).unwrap();
         assert!(v.is_equivalent());
+    }
+
+    #[test]
+    fn scheme_slugs_round_trip() {
+        for scheme in ApplicationScheme::ALL {
+            assert_eq!(ApplicationScheme::parse(scheme.slug()), Ok(scheme));
+            assert_eq!(scheme.to_string(), scheme.slug());
+        }
+        assert_eq!(
+            ApplicationScheme::parse("Gate-Cost"),
+            Ok(ApplicationScheme::GateCost)
+        );
+        assert_eq!(
+            ApplicationScheme::parse("one_to_one"),
+            Ok(ApplicationScheme::OneToOne)
+        );
+        assert!(ApplicationScheme::parse("zigzag").is_err());
+        assert_eq!(
+            ApplicationScheme::default(),
+            ApplicationScheme::Proportional
+        );
+    }
+
+    /// The verdict must be scheme-independent: every interleaving
+    /// converges to the same `U'† · U`.
+    #[test]
+    fn all_schemes_agree_on_random_pairs() {
+        for seed in 0..4u64 {
+            let g = generators::random_clifford_t(4, 60, seed);
+            let optimized = qcirc::optimize::optimize(&g);
+            let mut buggy = g.clone();
+            buggy.t((seed % 4) as usize);
+            for (label, a, b, want) in [
+                ("optimized", &g, &optimized, true),
+                ("buggy", &g, &buggy, false),
+            ] {
+                for scheme in ApplicationScheme::ALL {
+                    let mut p = Package::new(4);
+                    let v =
+                        check_equivalence_alternating_scheme(&mut p, a, b, None, scheme).unwrap();
+                    assert_eq!(
+                        v.is_equivalent(),
+                        want,
+                        "seed {seed}, {label}, scheme {scheme}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Proportional via the scheme-taking entry point is the same code
+    /// path as the historical function — byte-compat depends on it.
+    #[test]
+    fn proportional_scheme_matches_the_default_entry_point() {
+        let g = generators::qft(5, true);
+        let routed = route(&g, &CouplingMap::linear(5), RouterOptions::default()).unwrap();
+        let mut p1 = Package::new(5);
+        let a = check_equivalence_alternating(&mut p1, &g, &routed.circuit, None).unwrap();
+        let mut p2 = Package::new(5);
+        let b = check_equivalence_alternating_scheme(
+            &mut p2,
+            &g,
+            &routed.circuit,
+            None,
+            ApplicationScheme::Proportional,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(p1.stats().matrix_nodes, p2.stats().matrix_nodes);
+    }
+
+    /// On a circuit-vs-decomposition pair the gate-cost profile keeps the
+    /// sides aligned where raw gate counts cannot: a Toffoli's cost
+    /// matches its elementary expansion.
+    #[test]
+    fn gate_cost_handles_decomposed_pairs() {
+        let adder = generators::cuccaro_adder(2);
+        let lowered = qcirc::decompose::decompose_to_cx_and_single_qubit(&adder);
+        let mut p = Package::new(adder.n_qubits());
+        let v = check_equivalence_alternating_scheme(
+            &mut p,
+            &adder,
+            &lowered,
+            None,
+            ApplicationScheme::GateCost,
+        )
+        .unwrap();
+        assert!(v.is_equivalent());
+    }
+
+    #[test]
+    fn sequential_and_onetoone_handle_empty_sides() {
+        let empty = qcirc::Circuit::new(2);
+        let mut id = qcirc::Circuit::new(2);
+        id.x(0).x(0);
+        for scheme in ApplicationScheme::ALL {
+            let mut p = Package::new(2);
+            let v =
+                check_equivalence_alternating_scheme(&mut p, &empty, &id, None, scheme).unwrap();
+            assert!(v.is_equivalent(), "scheme {scheme}");
+        }
     }
 }

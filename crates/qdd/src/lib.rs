@@ -44,7 +44,11 @@ mod edge;
 mod package;
 mod probe;
 
-pub use alternating::{check_equivalence_alternating, check_equivalence_alternating_cancellable};
+pub use alternating::{
+    check_equivalence_alternating, check_equivalence_alternating_cancellable,
+    check_equivalence_alternating_scheme, check_equivalence_alternating_scheme_cancellable,
+    ApplicationScheme,
+};
 pub use cached::{CachedDd, SharedDd};
 pub use check::{
     check_equivalence_construct, check_equivalence_construct_cancellable, DdCheckAbort,

@@ -876,6 +876,12 @@ impl Package {
     /// [`Package::apply_to_basis`], used when the initial state is itself
     /// the output of a preparation circuit (e.g. a stabilizer stimulus).
     ///
+    /// The pass garbage-collects when the arena outgrows the threshold,
+    /// which **invalidates every other edge the caller holds** — any edge
+    /// that must survive the pass (the initial state for a second pass,
+    /// the first pass's output) has to ride along as a keep root via
+    /// [`Package::apply_to_vedge_keeping`].
+    ///
     /// # Errors
     ///
     /// Returns [`DdLimitError`] if the node limit is exceeded.
@@ -888,6 +894,29 @@ impl Package {
         circuit: &qcirc::Circuit,
         initial: VEdge,
     ) -> Result<VEdge, DdLimitError> {
+        self.apply_to_vedge_keeping(circuit, initial, &mut [])
+    }
+
+    /// [`Package::apply_to_vedge`], keeping the caller's extra edges alive
+    /// across internal garbage collections: each edge in `keep` is passed
+    /// as a GC root and remapped in place, so it stays valid after the
+    /// pass. Without this, a mid-pass `compact` leaves caller-held edges
+    /// pointing into the old arena — a stale [`NodeId`](crate::NodeId)
+    /// that aliases an unrelated node or indexes out of bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdLimitError`] if the node limit is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit's qubit count differs from the package's.
+    pub fn apply_to_vedge_keeping(
+        &mut self,
+        circuit: &qcirc::Circuit,
+        initial: VEdge,
+        keep: &mut [VEdge],
+    ) -> Result<VEdge, DdLimitError> {
         assert_eq!(
             circuit.n_qubits(),
             self.n_qubits,
@@ -898,8 +927,12 @@ impl Package {
             let g = self.gate_medge(gate)?;
             v = self.mul_mv(g, v)?;
             if self.wants_gc() {
-                let (_, vroots) = self.compact(&[], &[v]);
+                let mut roots = Vec::with_capacity(keep.len() + 1);
+                roots.push(v);
+                roots.extend_from_slice(keep);
+                let (_, vroots) = self.compact(&[], &roots);
                 v = vroots[0];
+                keep.copy_from_slice(&vroots[1..]);
             }
         }
         Ok(v)

@@ -144,12 +144,19 @@ impl DdBackend {
             }
         };
         let mut peak_nodes = live_nodes(&package);
-        let a = package.apply_to_vedge(g, input)?;
+        // `input` is needed again for the second pass and `a` must survive
+        // it: both ride along as GC keep roots, or a mid-pass compaction
+        // would leave them dangling in the old arena.
+        let mut keep = [input];
+        let a = package.apply_to_vedge_keeping(g, input, &mut keep)?;
+        let input = keep[0];
         peak_nodes = peak_nodes.max(live_nodes(&package));
         if !keep_going() {
             return Ok(None);
         }
-        let b = package.apply_to_vedge(g_prime, input)?;
+        let mut keep = [a];
+        let b = package.apply_to_vedge_keeping(g_prime, input, &mut keep)?;
+        let a = keep[0];
         peak_nodes = peak_nodes.max(live_nodes(&package));
         let overlap = if package.vedges_equal(a, b) {
             Complex::ONE
@@ -250,6 +257,66 @@ mod tests {
             .probe(&g, &g, None, 0)
             .unwrap_err();
         assert_eq!(e.node_limit, 50);
+    }
+
+    /// Huge diagrams must surface [`DdLimitError`], never panic: the
+    /// 32-qubit Clifford adder under a random-state stimulus prefix — the
+    /// package-growth input recorded in the ROADMAP audit — outgrows any
+    /// moderate node budget and must fail with the budget error.
+    #[test]
+    fn huge_diagrams_error_cleanly_instead_of_panicking() {
+        let adder = generators::clifford_adder(15); // 2·15 + 2 = 32 qubits
+        let prefix = generators::random_clifford_t(32, 400, 11);
+        let limit = 40_000;
+        match DdBackend::with_node_limit(limit).probe(&adder, &adder, Some(&prefix), 0) {
+            Err(e) => assert_eq!(e.node_limit, limit),
+            Ok(run) => assert!(run.peak_nodes <= limit, "survived within budget"),
+        }
+    }
+
+    /// Regression for the carried `vnode` index-out-of-bounds panic: a
+    /// probe whose first pass garbage-collects used to dangle the
+    /// caller-held edges (`input` between the passes, `a` across the
+    /// second) when `apply_to_vedge` compacted the arena — the stale
+    /// `NodeId` then indexed out of bounds in `vnode`. A shrinking first
+    /// pass (the prefix's own inverse) forces exactly that: the arena
+    /// compacts below the ids of the held edges. With the keep-root
+    /// threading the probe survives and — both sides being the same
+    /// circuit — short-circuits to an exact overlap of 1.
+    #[test]
+    fn gc_during_a_pass_keeps_caller_edges_valid() {
+        let prefix = generators::random_clifford_t(12, 300, 11);
+        let g = prefix.inverse();
+        let run = DdBackend::with_node_limit(8_000)
+            .probe(&g, &g, Some(&prefix), 0)
+            .expect("probe must survive mid-pass GC");
+        assert_eq!(run.overlap, Complex::ONE);
+    }
+
+    /// The package-level contract behind the fix: edges passed as keep
+    /// roots to [`Package::apply_to_vedge_keeping`] are remapped through
+    /// every internal compaction and stay semantically intact.
+    #[test]
+    fn keep_roots_survive_compaction_semantically() {
+        let n = 12;
+        let prefix = generators::random_clifford_t(n, 300, 11);
+        let mut p = Package::new(n);
+        p.set_gc_threshold(1200);
+        let b = p.basis_vedge(0).unwrap();
+        let input = p.apply_to_vedge(&prefix, b).unwrap();
+        let mut keep = [input];
+        let back = p
+            .apply_to_vedge_keeping(&prefix.inverse(), input, &mut keep)
+            .unwrap();
+        // The shrinking pass returns to |0⟩ …
+        assert_eq!(p.amplitude(back, 0), Complex::ONE);
+        // … and the kept `input` is still the prepared state, not a stale id.
+        let expected = p.inner_product(keep[0], back);
+        let direct = p.amplitude(keep[0], 0).conj();
+        assert!(
+            expected.approx_eq(direct),
+            "kept edge must still denote P|0⟩: {expected:?} vs {direct:?}"
+        );
     }
 
     #[test]

@@ -223,6 +223,75 @@ fn backends_agree_on_every_escapee_fixture() {
     }
 }
 
+/// A trailing Z on an untouched qubit is a *phase-only* fault: every basis
+/// stimulus comes back with `|⟨u|u′⟩| = 1` and only the sign varies with
+/// the input bit. The stabilizer tableau certifies overlap magnitudes
+/// alone, so on this all-Clifford pair its fast path can never convict —
+/// under the default criterion the stab backend must let all simulations
+/// pass and defer to the complete check, which still reaches
+/// non-equivalence. Under [`Criterion::Strict`] the tableau path is
+/// disabled entirely (it cannot observe the phase Strict cares about), so
+/// the dense probes convict in simulation — same verdict class as sv,
+/// reached through the sound path.
+#[test]
+fn stab_tableau_path_defers_phase_only_faults_to_the_complete_check() {
+    use qcec::Criterion;
+    let mut g = Circuit::new(3);
+    g.h(1);
+    g.cx(1, 2);
+    let mut phased = g.clone();
+    phased.z(0);
+
+    // Default criterion: sv convicts by cross-run phase inconsistency; the
+    // stab tableau path sees magnitude 1 on every run and must defer.
+    let base = Config::new().with_simulations(10).with_seed(3);
+    let sv = check_equivalence(
+        &g,
+        &phased,
+        &base.clone().with_backend(BackendKind::Statevector),
+    )
+    .unwrap();
+    assert!(
+        matches!(
+            &sv.outcome,
+            Outcome::NotEquivalent {
+                counterexample: Some(_)
+            }
+        ),
+        "sv must catch the phase fault in simulation, got {}",
+        sv.outcome
+    );
+    let stab =
+        check_equivalence(&g, &phased, &base.clone().with_backend(BackendKind::Stab)).unwrap();
+    assert_eq!(
+        stab.outcome,
+        Outcome::NotEquivalent {
+            counterexample: None
+        },
+        "the tableau path cannot see phases: the complete check must convict"
+    );
+    // (`counterexample: None` already proves no simulation convicted; the
+    // scheduler may cancel trailing sims once the complete check wins the
+    // race, so the exact count is not pinned.)
+    assert!(stab.stats.simulations_run > 0, "simulations must have run");
+
+    // Strict: the tableau path is disabled, probes run densely, and the
+    // −1 overlap is a first-class output mismatch.
+    let strict = base.with_criterion(Criterion::Strict);
+    let stab_strict =
+        check_equivalence(&g, &phased, &strict.with_backend(BackendKind::Stab)).unwrap();
+    assert!(
+        matches!(
+            &stab_strict.outcome,
+            Outcome::NotEquivalent {
+                counterexample: Some(_)
+            }
+        ),
+        "under Strict the dense fallback must convict in simulation, got {}",
+        stab_strict.outcome
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

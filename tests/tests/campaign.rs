@@ -285,6 +285,90 @@ fn default_backend_json_matches_pre_refactor_golden() {
     assert_eq!(json, golden.trim_end(), "default campaign JSON drifted");
 }
 
+/// A four-scheme ablation campaign is as deterministic as the default one:
+/// reruns and trial-thread variations are byte-identical, every arm
+/// renders in the breakdown, and — because the scheme only reorders the
+/// complete check's multiplications — all four arms report identical
+/// detection statistics.
+#[test]
+fn scheme_ablation_campaign_is_deterministic_and_arms_agree() {
+    use qcec::ApplicationScheme;
+    let benches = vec![
+        CampaignBenchmark::optimized("qft 4", "qft", &generators::qft(4, true)),
+        CampaignBenchmark::compile(
+            "grover 3",
+            "grover",
+            &generators::grover(3, 5, 1),
+            &CompileRoute::Decompose,
+        ),
+    ];
+    let base = CampaignConfig::default()
+        .with_seed(17)
+        .with_trials(2)
+        .with_simulations(6)
+        .with_schemes(ApplicationScheme::ALL.to_vec());
+
+    let first = run_campaign(&benches, &base);
+    let rerun = run_campaign(&benches, &base).to_json(false);
+    assert_eq!(first.to_json(false), rerun, "scheme-ablation rerun drifted");
+    for threads in [2usize, 8] {
+        let parallel =
+            run_campaign(&benches, &base.clone().with_trial_threads(threads)).to_json(false);
+        assert_eq!(
+            first.to_json(false),
+            parallel,
+            "trial_threads = {threads} changed the scheme-ablation JSON"
+        );
+    }
+
+    let json = first.to_json(false);
+    for scheme in ApplicationScheme::ALL {
+        assert!(
+            json.contains(&format!("\"scheme\":\"{}\"", scheme.slug())),
+            "scheme {scheme} missing from breakdown"
+        );
+    }
+    // Identical faults, identical verdicts: each arm's per-class stats
+    // must equal the first arm's exactly.
+    let (_, reference) = &first.scheme_classes[0];
+    for (scheme, classes) in &first.scheme_classes[1..] {
+        assert_eq!(classes, reference, "{scheme}: detection stats diverged");
+    }
+    // The markdown gains its own ablation section only in this mode.
+    assert!(first
+        .to_markdown()
+        .contains("## Detection by application scheme"));
+}
+
+/// A single non-default scheme renders as a `"scheme"` config field (and
+/// no breakdown); the seed contract means its trials face the same faults
+/// as a default campaign's.
+#[test]
+fn single_scheme_campaign_renders_config_field_only() {
+    use qcec::ApplicationScheme;
+    let benches = vec![CampaignBenchmark::optimized(
+        "qft 4",
+        "qft",
+        &generators::qft(4, true),
+    )];
+    let base = CampaignConfig::default().with_trials(1).with_simulations(4);
+    let gatecost = run_campaign(
+        &benches,
+        &base.clone().with_scheme(ApplicationScheme::GateCost),
+    );
+    let json = gatecost.to_json(false);
+    assert!(json.contains("\"scheme\":\"gatecost\""));
+    assert!(!json.contains("\"schemes\":"));
+    // Same faults, same verdicts as the default-scheme campaign — only
+    // the config field differs.
+    let default = run_campaign(&benches, &base).to_json(false);
+    assert_eq!(
+        json.replace(",\"scheme\":\"gatecost\"", ""),
+        default,
+        "a scheme change must not alter detection results"
+    );
+}
+
 /// Double faults that cancel are guard-labelled benign; the accounting must
 /// file such trials under `benign` and never under `missed`, whatever the
 /// flow answered.
@@ -294,6 +378,7 @@ fn benign_trials_are_never_counted_as_detection_misses() {
     let benign_trial = |detection| TrialRecord {
         benchmark: 0,
         backend: qcec::BackendKind::Statevector,
+        scheme: qcec::ApplicationScheme::Proportional,
         strategy: qcec::StimulusStrategy::Random,
         kind: MutationKind::AddGate,
         trial: 0,

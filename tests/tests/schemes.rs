@@ -1,0 +1,193 @@
+//! Cross-scheme agreement: every gate-application scheme of the
+//! alternating complete check must reach the same verdict.
+//!
+//! The scheme only decides *in which order* the gates of `G` and `G'⁻¹`
+//! are multiplied into the working diagram — the final product
+//! `U'† · U` is the same matrix regardless, so the verdict class and
+//! (for simulation counterexamples) the decisive run index and witness
+//! stimulus must be identical across schemes and scheduler widths. Any
+//! divergence here is a scheme-policy bug, not noise.
+
+use proptest::prelude::*;
+use qcec::{check_equivalence, ApplicationScheme, Config, Fallback, Outcome, Stimulus};
+use qcirc::{generators, Circuit};
+
+/// The verdict class plus (for simulation counterexamples) the decisive
+/// run index and stimulus — everything that must match across schemes.
+#[derive(Debug, Clone, PartialEq)]
+enum VerdictShape {
+    Equivalent,
+    NotEquivalentAt(usize, Stimulus),
+    NotEquivalentByCompleteCheck,
+    ProbablyEquivalent,
+}
+
+fn shape(outcome: &Outcome) -> VerdictShape {
+    match outcome {
+        Outcome::Equivalent | Outcome::EquivalentUpToGlobalPhase { .. } => VerdictShape::Equivalent,
+        Outcome::NotEquivalent {
+            counterexample: Some(ce),
+        } => VerdictShape::NotEquivalentAt(ce.run, ce.stimulus.clone()),
+        Outcome::NotEquivalent {
+            counterexample: None,
+        } => VerdictShape::NotEquivalentByCompleteCheck,
+        Outcome::ProbablyEquivalent { .. } => VerdictShape::ProbablyEquivalent,
+    }
+}
+
+/// Checks one pair under all four schemes across 1/2/8 scheduler threads
+/// and asserts every run produces the same verdict shape, which is then
+/// returned so callers can pin the expected class.
+fn assert_schemes_agree(name: &str, g: &Circuit, g_prime: &Circuit, base: &Config) -> VerdictShape {
+    let mut reference: Option<VerdictShape> = None;
+    for threads in [1usize, 2, 8] {
+        for scheme in ApplicationScheme::ALL {
+            let config = base.clone().with_threads(threads).with_scheme(scheme);
+            let result = check_equivalence(g, g_prime, &config)
+                .unwrap_or_else(|e| panic!("{name}: flow failed ({e})"));
+            let got = shape(&result.outcome);
+            match &reference {
+                None => reference = Some(got),
+                Some(expected) => assert_eq!(
+                    expected, &got,
+                    "{name}: {scheme} × {threads} threads diverged"
+                ),
+            }
+        }
+    }
+    reference.expect("at least one scheme ran")
+}
+
+fn escapee_pairs() -> Vec<(String, Circuit, Circuit, u64)> {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/escapees");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("escapee fixture directory")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.to_string_lossy().ends_with(".golden.qasm"))
+        .collect();
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|golden_path| {
+            let name = golden_path
+                .file_name()
+                .unwrap()
+                .to_string_lossy()
+                .trim_end_matches(".golden.qasm")
+                .to_string();
+            let faulty_src = std::fs::read_to_string(
+                golden_path
+                    .to_string_lossy()
+                    .replace(".golden.qasm", ".faulty.qasm"),
+            )
+            .unwrap();
+            let seed: u64 = faulty_src
+                .lines()
+                .find_map(|l| l.strip_prefix("// escapes-seeds: "))
+                .and_then(|s| s.split(',').next())
+                .and_then(|s| s.trim().parse().ok())
+                .expect("escapes-seeds header");
+            let golden = qcirc::qasm::parse(&std::fs::read_to_string(&golden_path).unwrap());
+            (
+                name,
+                golden.unwrap(),
+                qcirc::qasm::parse(&faulty_src).unwrap(),
+                seed,
+            )
+        })
+        .collect()
+}
+
+/// Escapee fixtures under their recorded escaping seeds: basis stimuli
+/// miss the fault, so with the fallback enabled the verdict comes from the
+/// alternating check itself — the exact code the schemes steer. All four
+/// must convict by complete check; with stabilizer stimuli all four must
+/// report the identical decisive run and witness.
+#[test]
+fn schemes_agree_on_every_escapee_fixture() {
+    use qcec::StimulusStrategy;
+    for (name, golden, faulty, seed) in escapee_pairs() {
+        let through_fallback = Config::new().with_simulations(10).with_seed(seed);
+        let got = assert_schemes_agree(&name, &golden, &faulty, &through_fallback);
+        assert_eq!(
+            got,
+            VerdictShape::NotEquivalentByCompleteCheck,
+            "{name}: the escapee must be convicted by the alternating check"
+        );
+        let stabilizer = through_fallback
+            .clone()
+            .with_stimuli(StimulusStrategy::Stabilizer);
+        let got = assert_schemes_agree(
+            &format!("{name} [stabilizer]"),
+            &golden,
+            &faulty,
+            &stabilizer,
+        );
+        assert!(
+            matches!(got, VerdictShape::NotEquivalentAt(..)),
+            "{name}: stabilizer stimuli must catch the escapee in simulation, got {got:?}"
+        );
+    }
+}
+
+/// Equivalent compiled pairs with very different per-side gate counts —
+/// the regime where the scheme policies genuinely diverge in application
+/// order — still agree on full equivalence, with the simulation stage
+/// skipped entirely so the alternating check alone decides.
+#[test]
+fn schemes_agree_on_lopsided_equivalent_pairs() {
+    let adder = generators::cuccaro_adder(2);
+    let lowered = qcirc::decompose::decompose_with_dirty_ancillas(&adder);
+    let adder = adder.widened(lowered.n_qubits());
+
+    let qft = generators::qft(6, true);
+    let routed =
+        qcirc::mapping::route_or_panic(&qft, &qcirc::mapping::CouplingMap::linear(6)).circuit;
+
+    let complete_only = Config::new().with_simulations(0);
+    for (name, g, g_prime) in [
+        ("adder vs decomposed", &adder, &lowered),
+        ("qft vs routed", &qft, &routed),
+    ] {
+        let got = assert_schemes_agree(name, g, g_prime, &complete_only);
+        assert_eq!(got, VerdictShape::Equivalent, "{name}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Generated pairs — an equivalent optimization and a seeded injected
+    /// fault — keep all four schemes in lockstep across scheduler widths.
+    #[test]
+    fn schemes_agree_on_generated_pairs(n in 3usize..6, seed in any::<u64>()) {
+        let c = generators::random_clifford_t(n, 50, seed);
+        let optimized = qcirc::optimize::optimize(&c);
+        let base = Config::new().with_seed(seed);
+        let got = assert_schemes_agree("optimized pair", &c, &optimized, &base);
+        prop_assert_eq!(got, VerdictShape::Equivalent);
+        let mut buggy = c.clone();
+        buggy.x((seed % n as u64) as usize);
+        let got = assert_schemes_agree("injected fault", &c, &buggy, &base);
+        prop_assert!(
+            !matches!(got, VerdictShape::Equivalent | VerdictShape::ProbablyEquivalent),
+            "an injected X must be detected, got {:?}", got
+        );
+    }
+
+    /// With no simulations and the fallback forced, the schemes are the
+    /// *only* code path distinguishing the runs — generated faults must
+    /// still convict identically by complete check.
+    #[test]
+    fn schemes_agree_with_complete_check_alone(n in 3usize..6, seed in any::<u64>()) {
+        let c = generators::random_clifford_t(n, 40, seed);
+        let mut buggy = c.clone();
+        buggy.t((seed % n as u64) as usize);
+        let complete_only = Config::new()
+            .with_simulations(0)
+            .with_fallback(Fallback::Alternating)
+            .with_seed(seed);
+        let got = assert_schemes_agree("complete-check fault", &c, &buggy, &complete_only);
+        prop_assert_eq!(got, VerdictShape::NotEquivalentByCompleteCheck);
+    }
+}
