@@ -79,7 +79,8 @@ fn bench_probe_backends(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("dd_adder", n), &adder, |b, g| {
             let backend = qdd::DdBackend::new();
-            b.iter(|| SimBackend::probe(&backend, g, &optimized, &stimulus, &mut ()).unwrap());
+            let mut ws = SimBackend::workspace(&backend, g.n_qubits());
+            b.iter(|| SimBackend::probe(&backend, g, &optimized, &stimulus, &mut ws).unwrap());
         });
     }
     group.finish();
@@ -124,7 +125,8 @@ fn bench_stab_probe(c: &mut Criterion) {
         if n <= 24 {
             group.bench_with_input(BenchmarkId::new("dd_basis", n), &adder, |b, g| {
                 let backend = qdd::DdBackend::new();
-                b.iter(|| SimBackend::probe(&backend, g, &optimized, &basis, &mut ()).unwrap());
+                let mut ws = SimBackend::workspace(&backend, g.n_qubits());
+                b.iter(|| SimBackend::probe(&backend, g, &optimized, &basis, &mut ws).unwrap());
             });
         }
         if n <= 16 {
@@ -155,12 +157,43 @@ fn bench_threaded_statevector(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tensor-network engine past the dense wall: one full equivalence
+/// probe per width on the GHZ ladder (bond dimension 2, so the default χ
+/// runs exactly) plus a T layer that keeps the pair non-Clifford — the
+/// workload neither the tableau fast path nor (past n ≈ 24) the dense
+/// engines can take. `sv` is benched at n = 16 only as the dense anchor;
+/// `mps` scales through n = 64 at memory `O(n · χ²)`.
+fn bench_mps_probe(c: &mut Criterion) {
+    use qcec::MpsBackend;
+    let mut group = c.benchmark_group("backend_mps");
+    group.sample_size(10);
+    for n in [16usize, 32, 48, 64] {
+        let mut ghz = generators::ghz(n);
+        ghz.t(n - 1);
+        let optimized = qcirc::optimize::optimize(&ghz);
+        let stimulus = Stimulus::Basis(1);
+        group.bench_with_input(BenchmarkId::new("mps_ghz_t", n), &ghz, |b, g| {
+            let backend = MpsBackend::new(qmpo::DEFAULT_CHI_MAX);
+            b.iter(|| backend.probe(g, &optimized, &stimulus, &mut ()).unwrap());
+        });
+        if n <= 16 {
+            group.bench_with_input(BenchmarkId::new("sv_ghz_t", n), &ghz, |b, g| {
+                let backend = StatevectorBackend::new();
+                let mut ws = backend.workspace(g.n_qubits());
+                b.iter(|| backend.probe(g, &optimized, &stimulus, &mut ws).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_structured_circuits,
     bench_unstructured_circuits,
     bench_probe_backends,
     bench_stab_probe,
+    bench_mps_probe,
     bench_threaded_statevector
 );
 criterion_main!(benches);

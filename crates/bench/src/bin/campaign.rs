@@ -16,11 +16,12 @@
 //! ```
 //!
 //! `--stimuli basis,product,stabilizer` ablates over stimulus strategies
-//! (every fault is checked once per strategy); `--backend sv,dd,stab` does
-//! the same over simulation engines, and `--scheme
+//! (every fault is checked once per strategy); `--backend sv,dd,stab,mps`
+//! does the same over simulation engines, `--scheme
 //! sequential,onetoone,proportional,gatecost` over the alternating
-//! check's gate-application schemes — every arm sees the identical
-//! faults, so a detection difference is attributable to the axis alone.
+//! check's gate-application schemes, and `--chi 1,16,64` over the MPS
+//! engine's bond-dimension cap — every arm sees the identical faults, so
+//! a detection difference is attributable to the axis alone.
 //! `--compose K` stacks `K − 1` extra mixed-class faults on top of each
 //! trial's own (modelling multi-fault compiler bugs); `--peel` strips the
 //! shared Clifford rim off every pair before checking. `--pair
@@ -63,6 +64,7 @@ struct Args {
     stimuli: Vec<StimulusStrategy>,
     backends: Vec<BackendKind>,
     schemes: Vec<ApplicationScheme>,
+    chis: Option<Vec<usize>>,
     pairs: Vec<String>,
     inject: Option<Vec<MutationKind>>,
 }
@@ -86,6 +88,7 @@ impl Default for Args {
             stimuli: vec![StimulusStrategy::Random],
             backends: vec![BackendKind::Statevector],
             schemes: vec![ApplicationScheme::Proportional],
+            chis: None,
             pairs: Vec::new(),
             inject: None,
         }
@@ -98,10 +101,10 @@ fn usage() -> ! {
          [--sims N] [--threads N] [--trial-threads N] [--no-guard-cache] \
          [--scale 0|1] [--epsilon X] [--peel] [--timings] [--out FILE] \
          [--stimuli S[,S...]] [--backend B[,B...]] [--scheme A[,A...]] \
-         [--pair GOLDEN,FAULTY]... \
+         [--chi N[,N...]] [--pair GOLDEN,FAULTY]... \
          [--inject CLASS[,CLASS...]|all [--pair FILE]...]\n\
          stimulus strategies: basis|sequential|product|stabilizer\n\
-         backends: sv|dd|stab\n\
+         backends: sv|dd|stab|mps|auto\n\
          application schemes: sequential|onetoone|proportional|gatecost\n\
          fault classes: remove_gate|add_gate|remove_control|add_control|\
          swap_targets|perturb_angle|swap_adjacent_gates|relabel_qubits"
@@ -176,6 +179,23 @@ fn parse_schemes(spec: &str) -> Vec<ApplicationScheme> {
     schemes
 }
 
+fn parse_chis(spec: &str) -> Vec<usize> {
+    let chis: Vec<usize> = spec
+        .split(',')
+        .map(|s| match s.trim().parse() {
+            Ok(chi) if chi > 0 => chi,
+            _ => {
+                eprintln!("--chi expects positive bond-dimension caps (got `{s}`)");
+                usage()
+            }
+        })
+        .collect();
+    if chis.is_empty() {
+        usage();
+    }
+    chis
+}
+
 fn parse_pair(spec: &str) -> (String, String) {
     match spec.split_once(',') {
         Some((golden, faulty)) if !golden.is_empty() && !faulty.is_empty() => {
@@ -239,6 +259,7 @@ fn parse_args() -> Args {
             "--stimuli" => args.stimuli = parse_stimuli(&val("--stimuli")),
             "--backend" => args.backends = parse_backends(&val("--backend")),
             "--scheme" => args.schemes = parse_schemes(&val("--scheme")),
+            "--chi" => args.chis = Some(parse_chis(&val("--chi"))),
             "--pair" => args.pairs.push(val("--pair")),
             "--inject" => args.inject = Some(parse_inject(&val("--inject"))),
             "--help" | "-h" => usage(),
@@ -397,6 +418,9 @@ fn main() {
         .with_strategies(args.stimuli.clone())
         .with_backends(args.backends.clone())
         .with_schemes(args.schemes.clone());
+    if let Some(chis) = &args.chis {
+        config = config.with_chis(chis.clone());
+    }
     if let Some(classes) = &args.inject {
         config = config.with_classes(classes.clone());
     }

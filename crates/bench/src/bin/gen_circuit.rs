@@ -1,0 +1,47 @@
+//! Emits a named generator circuit as OpenQASM on stdout — the fixture
+//! factory for CI smokes that need registers too large to check into the
+//! repository as literal files (e.g. the 32-qubit adder behind the
+//! tensor-network large-n smoke).
+//!
+//! ```text
+//! gen_circuit <family> <size> [--optimize]
+//! families: ghz | qft | clifford_adder | cuccaro_adder
+//! ```
+//!
+//! `<size>` is the family's natural parameter (qubits for ghz/qft, operand
+//! width for the adders — `clifford_adder(k)` acts on `2k + 2` qubits).
+//! `--optimize` runs the exact optimizer first, so a golden/alternative
+//! pair is two invocations apart.
+
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gen_circuit <family> <size> [--optimize]\n\
+         families: ghz | qft | clifford_adder | cuccaro_adder"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (family, size, optimize) = match args.as_slice() {
+        [family, size] => (family.as_str(), size, false),
+        [family, size, flag] if flag == "--optimize" => (family.as_str(), size, true),
+        _ => usage(),
+    };
+    let size: usize = size.parse().unwrap_or_else(|_| usage());
+    let circuit = match family {
+        "ghz" => qcirc::generators::ghz(size),
+        "qft" => qcirc::generators::qft(size, true),
+        "clifford_adder" => qcirc::generators::clifford_adder(size),
+        "cuccaro_adder" => qcirc::generators::cuccaro_adder(size),
+        _ => usage(),
+    };
+    let circuit = if optimize {
+        qcirc::optimize::optimize(&circuit)
+    } else {
+        circuit
+    };
+    print!("{}", qcirc::qasm::write(&circuit));
+}

@@ -197,6 +197,13 @@ pub struct CampaignConfig {
     /// per-scheme detection statistics *and* complete-check wall-clock
     /// are directly comparable. Default: just the proportional scheme.
     pub schemes: Vec<ApplicationScheme>,
+    /// Bond-dimension caps to ablate over — the tensor-network accuracy
+    /// axis. Every cell is checked once per χ, against the *same*
+    /// injected fault (the trial seed excludes the χ coordinate), so the
+    /// detection-power cost of truncation is directly measurable. Only
+    /// meaningful for [`BackendKind::Mps`] arms (dense engines ignore χ).
+    /// Default: just [`qmpo::DEFAULT_CHI_MAX`].
+    pub chis: Vec<usize>,
     /// Fault classes to inject, in reporting order. Default: all of
     /// [`MutationKind::ALL`]. Trial seeds are keyed on each class's
     /// position in `ALL` (not its position here), so a filtered campaign
@@ -229,6 +236,7 @@ impl Default for CampaignConfig {
             backends: vec![BackendKind::Statevector],
             strategies: vec![StimulusStrategy::Random],
             schemes: vec![ApplicationScheme::Proportional],
+            chis: vec![qmpo::DEFAULT_CHI_MAX],
             classes: MutationKind::ALL.to_vec(),
             peel: false,
         }
@@ -368,6 +376,26 @@ impl CampaignConfig {
         self.with_schemes(vec![scheme])
     }
 
+    /// Replaces the bond-dimension ablation set (MPS arms only; dense
+    /// engines ignore χ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chis` is empty or contains a zero.
+    #[must_use]
+    pub fn with_chis(mut self, chis: Vec<usize>) -> Self {
+        assert!(!chis.is_empty(), "need at least one bond-dimension cap");
+        assert!(chis.iter().all(|&c| c > 0), "χ caps must be positive");
+        self.chis = chis;
+        self
+    }
+
+    /// Shorthand for a single-χ campaign.
+    #[must_use]
+    pub fn with_chi(self, chi: usize) -> Self {
+        self.with_chis(vec![chi])
+    }
+
     /// Restricts injection to the given fault classes (e.g. a `--inject`
     /// sweep over one error model). Seeds stay aligned with the full
     /// campaign: each class injects the same faults it would in an
@@ -412,6 +440,9 @@ pub struct TrialRecord {
     pub strategy: StimulusStrategy,
     /// The application scheme the flow's complete check used this trial.
     pub scheme: ApplicationScheme,
+    /// The bond-dimension cap the flow ran under (only consequential for
+    /// MPS arms).
+    pub chi: usize,
     /// The injected error class.
     pub kind: MutationKind,
     /// Trial index within the (benchmark, class) pair.
@@ -585,6 +616,10 @@ pub struct CampaignResult {
     /// per-scheme complete-check wall-clock lives in
     /// [`StageTimings::functional_time_for`].
     pub scheme_classes: Vec<(ApplicationScheme, Vec<(MutationKind, ClassStats)>)>,
+    /// Per-χ breakdown of the same aggregates, in `config.chis` order —
+    /// the tensor-network truncation-ablation axis. Trial seeds exclude
+    /// the χ coordinate, so every cap faces the same faults.
+    pub chi_classes: Vec<(usize, Vec<(MutationKind, ClassStats)>)>,
     /// `families[f]` is the family name; `cells[f][k]` the counts for
     /// family `f` under class `MutationKind::ALL[k]`.
     pub families: Vec<String>,
@@ -618,16 +653,17 @@ pub fn trial_seed(seed: u64, benchmark: usize, class: usize, trial: usize) -> u6
     z
 }
 
-/// One (benchmark × backend × scheme × strategy × class × trial) cell of
-/// the campaign's work list. The seed is keyed on everything *except* the
-/// backend, scheme, and strategy, so all ablation arms face the identical
-/// injected fault.
+/// One (benchmark × backend × scheme × strategy × χ × class × trial) cell
+/// of the campaign's work list. The seed is keyed on everything *except*
+/// the backend, scheme, strategy, and χ, so all ablation arms face the
+/// identical injected fault.
 #[derive(Debug, Clone, Copy)]
 struct TrialCell {
     benchmark: usize,
     backend: usize,
     scheme: usize,
     strategy: usize,
+    chi: usize,
     class: usize,
     trial: usize,
     seed: u64,
@@ -687,20 +723,29 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
             let n_backends = config.backends.len();
             let n_schemes = config.schemes.len();
             let n_strategies = config.strategies.len();
+            let n_chis = config.chis.len();
             let n_classes = mutators.len();
             let class_seed_idx = &class_seed_idx;
             (0..n_backends).flat_map(move |e_idx| {
                 (0..n_schemes).flat_map(move |a_idx| {
                     (0..n_strategies).flat_map(move |s_idx| {
-                        (0..n_classes).flat_map(move |k_idx| {
-                            (0..trials).map(move |t_idx| TrialCell {
-                                benchmark: b_idx,
-                                backend: e_idx,
-                                scheme: a_idx,
-                                strategy: s_idx,
-                                class: k_idx,
-                                trial: t_idx,
-                                seed: trial_seed(config.seed, b_idx, class_seed_idx[k_idx], t_idx),
+                        (0..n_chis).flat_map(move |x_idx| {
+                            (0..n_classes).flat_map(move |k_idx| {
+                                (0..trials).map(move |t_idx| TrialCell {
+                                    benchmark: b_idx,
+                                    backend: e_idx,
+                                    scheme: a_idx,
+                                    strategy: s_idx,
+                                    chi: x_idx,
+                                    class: k_idx,
+                                    trial: t_idx,
+                                    seed: trial_seed(
+                                        config.seed,
+                                        b_idx,
+                                        class_seed_idx[k_idx],
+                                        t_idx,
+                                    ),
+                                })
                             })
                         })
                     })
@@ -752,6 +797,8 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
         .iter()
         .map(|s| (*s, classes.clone()))
         .collect();
+    let mut chi_classes: Vec<(usize, Vec<(MutationKind, ClassStats)>)> =
+        config.chis.iter().map(|c| (*c, classes.clone())).collect();
     let mut trials = Vec::with_capacity(outputs.len());
     let mut stage_timings = StageTimings::default();
     let mut guard_stats = GuardStats::default();
@@ -769,6 +816,7 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
         strategy_classes[cell.strategy].1[k_idx].1.record(&record);
         backend_classes[cell.backend].1[k_idx].1.record(&record);
         scheme_classes[cell.scheme].1[k_idx].1.record(&record);
+        chi_classes[cell.chi].1[k_idx].1.record(&record);
         if record.guard.is_fault() {
             let cell = &mut cell_stats[family][k_idx];
             cell.faults += 1;
@@ -810,6 +858,7 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
         strategy_classes,
         backend_classes,
         scheme_classes,
+        chi_classes,
         families,
         cells: cell_stats,
         trials,
@@ -832,6 +881,7 @@ fn run_cell(
         config.backends[cell.backend],
         config.schemes[cell.scheme],
         config.strategies[cell.strategy],
+        config.chis[cell.chi],
         mutators[cell.class].as_ref(),
         guards.map(|g| &g[cell.benchmark]),
         cell.trial,
@@ -847,6 +897,7 @@ fn run_trial(
     backend: BackendKind,
     scheme: ApplicationScheme,
     strategy: StimulusStrategy,
+    chi: usize,
     mutator: &dyn Mutator,
     guard_cache: Option<&GuardCache>,
     t_idx: usize,
@@ -870,6 +921,7 @@ fn run_trial(
                         backend,
                         scheme,
                         strategy,
+                        chi,
                         kind: mutator.kind(),
                         trial: t_idx,
                         seed,
@@ -921,6 +973,7 @@ fn run_trial(
         .with_deadline(config.deadline)
         .with_peel(config.peel)
         .with_scheme(scheme)
+        .with_chi_max(chi)
         .with_event_sink(sink.clone());
     let result = check_equivalence(&bench.original, &mutated, &flow_config)
         .expect("mutators preserve the register, so the flow must accept the pair");
@@ -946,6 +999,7 @@ fn run_trial(
             backend,
             scheme,
             strategy,
+            chi,
             kind: mutator.kind(),
             trial: t_idx,
             seed,
@@ -1027,6 +1081,19 @@ impl CampaignResult {
                 );
             }
         }
+        // Like the backend field: the χ cap only renders for non-default
+        // selections, keeping campaigns that predate the tensor-network
+        // axis byte-identical.
+        if self.config.chis != [qmpo::DEFAULT_CHI_MAX] {
+            if let [chi] = self.config.chis[..] {
+                cfg.int("chi", chi as u64);
+            } else {
+                cfg.raw(
+                    "chis",
+                    json::array(self.config.chis.iter().map(ToString::to_string)),
+                );
+            }
+        }
         // Like the backend field: only a filtered class selection renders,
         // keeping full campaigns byte-identical to pre-filter goldens.
         if self.config.classes != MutationKind::ALL {
@@ -1090,6 +1157,20 @@ impl CampaignResult {
                 json::array(self.scheme_classes.iter().map(|(scheme, classes)| {
                     let mut o = json::Obj::new();
                     o.str("scheme", scheme.slug())
+                        .raw("classes", class_stats_json(classes));
+                    o.render()
+                })),
+            );
+        }
+
+        // Likewise the per-χ breakdown: only rendered when there is a
+        // truncation ablation to report.
+        if self.chi_classes.len() > 1 {
+            root.raw(
+                "chis",
+                json::array(self.chi_classes.iter().map(|(chi, classes)| {
+                    let mut o = json::Obj::new();
+                    o.int("chi", *chi as u64)
                         .raw("classes", class_stats_json(classes));
                     o.render()
                 })),
@@ -1205,6 +1286,17 @@ impl CampaignResult {
             );
             for (backend, classes) in &self.backend_classes {
                 out.push_str(&ablation_row(backend.slug(), classes));
+            }
+        }
+
+        if self.chi_classes.len() > 1 {
+            out.push_str(
+                "\n## Detection by bond dimension\n\n\
+                 | chi | faults | det. sim | det. complete | missed | mean #sims | rate |\n\
+                 |---|---|---|---|---|---|---|\n",
+            );
+            for (chi, classes) in &self.chi_classes {
+                out.push_str(&ablation_row(&chi.to_string(), classes));
             }
         }
 
@@ -1457,6 +1549,7 @@ pub fn audit_pair(
                         .with_stimuli(strategy)
                         .with_threads(config.threads.max(1))
                         .with_backend(config.backends[0])
+                        .with_chi_max(config.chis[0])
                         .with_peel(config.peel)
                         .with_fallback(Fallback::None);
                     let result = check_equivalence(golden, faulty, &flow_config)
@@ -1775,6 +1868,56 @@ mod tests {
         let pooled = run_campaign(&benches, &config.clone().with_trial_threads(3));
         assert_eq!(js, pooled.to_json(false));
         assert!(result.to_markdown().contains("## Detection by backend"));
+    }
+
+    #[test]
+    fn chi_ablation_adds_a_truncation_axis() {
+        let benches = vec![CampaignBenchmark::optimized(
+            "ghz 5",
+            "ghz",
+            &generators::ghz(5),
+        )];
+        let config = CampaignConfig::default()
+            .with_trials(1)
+            .with_simulations(4)
+            .with_backend(BackendKind::Mps)
+            .with_classes(vec![MutationKind::RemoveGate, MutationKind::AddGate])
+            .with_chis(vec![1, 64]);
+        let result = run_campaign(&benches, &config);
+        assert_eq!(result.chi_classes.len(), 2);
+        // The χ axis re-checks the *same* faults: seeds and mutations
+        // repeat between the two arms.
+        let half = result.trials.len() / 2;
+        for (a, b) in result.trials[..half].iter().zip(&result.trials[half..]) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.mutations, b.mutations);
+            assert_eq!(a.chi, 1);
+            assert_eq!(b.chi, 64);
+        }
+        // Soundness survives truncation: even at χ = 1 no benign mutation
+        // is flagged non-equivalent (truncated runs abort, never accuse).
+        for (kind, s) in &result.classes {
+            assert_eq!(s.false_positives, 0, "{kind}: unsound under truncation");
+        }
+        let js = result.to_json(false);
+        assert!(js.contains(r#""chis":[1,64]"#));
+        assert!(js.contains(r#""chi":64"#));
+        assert_eq!(js, run_campaign(&benches, &config).to_json(false));
+        let pooled = run_campaign(&benches, &config.clone().with_trial_threads(3));
+        assert_eq!(js, pooled.to_json(false));
+        assert!(result
+            .to_markdown()
+            .contains("## Detection by bond dimension"));
+        // The default single-χ campaign renders no χ field at all.
+        let default_js = run_campaign(
+            &benches,
+            &CampaignConfig::default()
+                .with_trials(1)
+                .with_simulations(4)
+                .with_classes(vec![MutationKind::RemoveGate]),
+        )
+        .to_json(false);
+        assert!(!default_js.contains("chi"));
     }
 
     #[test]

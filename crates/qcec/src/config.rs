@@ -104,14 +104,30 @@ pub enum BackendKind {
     /// (`n ≫ 20`) no dense engine reaches for the Clifford-dominated
     /// workload class.
     Stab,
+    /// Matrix-product-state tensor-network simulation (`qmpo`) — memory
+    /// scales with the entanglement the circuit actually builds (bond
+    /// dimension), not with `2ⁿ`. Exact while the bond dimension stays
+    /// under [`Config::chi_max`]; beyond it the engine truncates, tracks
+    /// the accumulated error, and the flow downgrades "no counterexample
+    /// found" verdicts accordingly.
+    Mps,
+    /// Automatic selection: pick one of the four concrete engines from the
+    /// register width and gate mix of the circuit pair (Clifford-only →
+    /// `stab`, small registers → `sv`, mid-size → `dd`, else `mps`).
+    /// Resolved once per check, before any simulation runs; the choice is
+    /// reported through the event sink. Not a concrete engine, so it is
+    /// excluded from [`BackendKind::ALL`].
+    Auto,
 }
 
 impl BackendKind {
-    /// Every backend, in ablation-report order.
-    pub const ALL: [BackendKind; 3] = [
+    /// Every *concrete* backend, in ablation-report order.
+    /// [`BackendKind::Auto`] is a selector, not an engine, and is excluded.
+    pub const ALL: [BackendKind; 4] = [
         BackendKind::Statevector,
         BackendKind::DecisionDiagram,
         BackendKind::Stab,
+        BackendKind::Mps,
     ];
 
     /// A stable lowercase identifier (used in campaign JSON and CLI flags).
@@ -121,11 +137,14 @@ impl BackendKind {
             BackendKind::Statevector => "sv",
             BackendKind::DecisionDiagram => "dd",
             BackendKind::Stab => "stab",
+            BackendKind::Mps => "mps",
+            BackendKind::Auto => "auto",
         }
     }
 
     /// Parses a [`slug`](BackendKind::slug) (also accepts the long forms
-    /// `statevector`, `decision-diagram` and `stabilizer`).
+    /// `statevector`, `decision-diagram`, `stabilizer`, `tensor-network`
+    /// and `automatic`).
     ///
     /// # Errors
     ///
@@ -135,7 +154,11 @@ impl BackendKind {
             "sv" | "statevector" => Ok(BackendKind::Statevector),
             "dd" | "decision-diagram" | "decisiondiagram" => Ok(BackendKind::DecisionDiagram),
             "stab" | "stabilizer" => Ok(BackendKind::Stab),
-            other => Err(format!("unknown backend `{other}` (expected sv|dd|stab)")),
+            "mps" | "tensor-network" | "tensornetwork" => Ok(BackendKind::Mps),
+            "auto" | "automatic" => Ok(BackendKind::Auto),
+            other => Err(format!(
+                "unknown backend `{other}` (expected sv|dd|stab|mps|auto)"
+            )),
         }
     }
 }
@@ -205,6 +228,13 @@ pub struct Config {
     pub deadline: Option<Duration>,
     /// Node budget for decision diagrams (memory analogue of the deadline).
     pub dd_node_limit: usize,
+    /// Bond-dimension cap `χ` for the tensor-network engine
+    /// ([`BackendKind::Mps`]): two-site splits keep at most this many
+    /// singular values. While no split exceeds the cap the engine is
+    /// *exact* (truncation error is identically zero); once it truncates,
+    /// the flow reports the accumulated error and never claims plain
+    /// equivalence.
+    pub chi_max: usize,
     /// Portfolio mode: with `threads > 1`, race the complete DD check
     /// against the simulation pool instead of running it afterwards —
     /// first definitive verdict wins. The verdict *class* is unchanged,
@@ -254,6 +284,7 @@ impl PartialEq for Config {
             && self.threads == other.threads
             && self.deadline == other.deadline
             && self.dd_node_limit == other.dd_node_limit
+            && self.chi_max == other.chi_max
             && self.portfolio == other.portfolio
             && self.peel == other.peel
             && self.scheme == other.scheme
@@ -274,6 +305,7 @@ impl Default for Config {
             threads: 1,
             deadline: None,
             dd_node_limit: qdd::Package::DEFAULT_NODE_LIMIT,
+            chi_max: qmpo::DEFAULT_CHI_MAX,
             portfolio: false,
             peel: false,
             scheme: ApplicationScheme::default(),
@@ -424,6 +456,18 @@ impl Config {
         self.dd_node_limit = limit;
         self
     }
+
+    /// Sets the tensor-network bond-dimension cap (see [`Config::chi_max`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chi_max` is zero.
+    #[must_use]
+    pub fn with_chi_max(mut self, chi_max: usize) -> Self {
+        assert!(chi_max > 0, "need a positive bond-dimension cap");
+        self.chi_max = chi_max;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -477,8 +521,20 @@ mod tests {
             assert_eq!(BackendKind::parse(kind.slug()), Ok(kind));
         }
         assert_eq!(BackendKind::parse("stabilizer"), Ok(BackendKind::Stab));
+        assert_eq!(BackendKind::parse("tensor-network"), Ok(BackendKind::Mps));
+        assert_eq!(BackendKind::parse("auto"), Ok(BackendKind::Auto));
+        assert!(!BackendKind::ALL.contains(&BackendKind::Auto));
         let e = BackendKind::parse("qubit-abacus").unwrap_err();
         assert!(e.contains("sv|dd|stab"), "{e}");
+    }
+
+    #[test]
+    fn chi_max_defaults_and_builds() {
+        let c = Config::default();
+        assert_eq!(c.chi_max, qmpo::DEFAULT_CHI_MAX);
+        let c = c.with_chi_max(16);
+        assert_eq!(c.chi_max, 16);
+        assert_ne!(Config::default(), Config::default().with_chi_max(16));
     }
 
     #[test]

@@ -115,6 +115,17 @@ pub fn explain_for(
         BackendKind::DecisionDiagram => explain_on(&dd_for_flow(config), g, g_prime, ce, top),
         // The stab engine replays densely anyway; use its fallback directly.
         BackendKind::Stab => explain_on(&StabBackend::new(), g, g_prime, ce, top),
+        BackendKind::Mps => explain_on(
+            &crate::backend::MpsBackend::for_flow(config),
+            g,
+            g_prime,
+            ce,
+            top,
+        ),
+        BackendKind::Auto => {
+            let resolved = crate::backend::auto_backend(g, g_prime);
+            explain_for(g, g_prime, ce, top, &config.clone().with_backend(resolved))
+        }
     }
 }
 

@@ -5,9 +5,9 @@ use std::time::Instant;
 
 use qcirc::Circuit;
 
-use crate::config::Config;
-use crate::functional::{run_functional_check, FunctionalVerdict};
-use crate::outcome::{FlowResult, FlowStats, Outcome};
+use crate::config::{BackendKind, Config};
+use crate::functional::{run_functional_check, AbortKind, FunctionalVerdict};
+use crate::outcome::{AbortReason, FlowResult, FlowStats, Outcome};
 use crate::sim_check::{run_simulations, SimVerdict};
 
 /// Error returned when the inputs cannot be compared at all.
@@ -95,6 +95,17 @@ pub fn check_equivalence(
         });
     }
 
+    if config.backend == BackendKind::Auto {
+        // Resolve the selector once, up front, so every stage below —
+        // simulations, scheduler workers, the complete check — sees one
+        // concrete engine, and the choice is visible in the event stream.
+        let resolved = crate::backend::auto_backend(g, g_prime);
+        if let Some(sink) = &config.event_sink {
+            sink.record(crate::scheduler::RunEvent::BackendSelected { backend: resolved });
+        }
+        return check_equivalence(g, g_prime, &config.clone().with_backend(resolved));
+    }
+
     if config.peel {
         // Strip the shared Clifford rim once, then run the whole flow —
         // simulations and complete check alike — on the residual pair
@@ -133,7 +144,10 @@ pub fn check_equivalence(
                 },
             })
         }
-        SimVerdict::AllAgreed { runs } => {
+        SimVerdict::AllAgreed {
+            runs,
+            truncation_error,
+        } => {
             // Stage 2: complete check.
             let ec_start = Instant::now();
             let verdict = run_functional_check(g, g_prime, config);
@@ -144,6 +158,9 @@ pub fn check_equivalence(
                 functional_time,
             };
             let outcome = match verdict {
+                // An exact complete check is a proof regardless of how the
+                // (stage-1) simulations were judged: it never saw their
+                // truncated overlaps.
                 FunctionalVerdict::Equivalent => Outcome::Equivalent,
                 FunctionalVerdict::EquivalentUpToGlobalPhase { phase } => {
                     Outcome::EquivalentUpToGlobalPhase { phase }
@@ -151,6 +168,17 @@ pub fn check_equivalence(
                 FunctionalVerdict::NotEquivalent => Outcome::NotEquivalent {
                     counterexample: None,
                 },
+                // With no complete check configured, truncated simulations
+                // are the *only* evidence — surface the accumulated error
+                // instead of the bare "no fallback" notice.
+                FunctionalVerdict::Aborted(AbortKind::Disabled) if truncation_error > 0.0 => {
+                    Outcome::ProbablyEquivalent {
+                        passed_simulations: runs,
+                        abort: AbortReason::Truncation {
+                            error: truncation_error,
+                        },
+                    }
+                }
                 FunctionalVerdict::Aborted(kind) => Outcome::ProbablyEquivalent {
                     passed_simulations: runs,
                     abort: kind.into(),
@@ -305,5 +333,68 @@ mod tests {
         assert_eq!(result.stats.simulations_run, 1);
         assert_eq!(result.stats.functional_time, Duration::ZERO);
         assert!(result.to_string().contains("not equivalent"));
+    }
+
+    #[test]
+    fn auto_backend_is_resolved_once_and_logged() {
+        use crate::scheduler::{CollectingSink, RunEvent};
+        use std::sync::Arc;
+        let sink = Arc::new(CollectingSink::new());
+        let config = Config::default()
+            .with_backend(BackendKind::Auto)
+            .with_event_sink(sink.clone());
+        let g = generators::qft(4, true);
+        let opt = qcirc::optimize::optimize(&g);
+        let result = check_equivalence(&g, &opt, &config).unwrap();
+        assert!(result.outcome.is_equivalent());
+        let selected: Vec<_> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                RunEvent::BackendSelected { backend } => Some(*backend),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            selected,
+            vec![BackendKind::Statevector],
+            "n = 4 non-Clifford resolves to the dense engine, exactly once"
+        );
+    }
+
+    #[test]
+    fn mps_flow_checks_equivalence_end_to_end() {
+        let g = generators::qft(4, true);
+        let mapped = qcirc::mapping::route_or_panic(&g, &qcirc::mapping::CouplingMap::linear(4));
+        let config = Config::default().with_backend(BackendKind::Mps);
+        let result = check_equivalence(&g, &mapped.circuit, &config).unwrap();
+        assert!(result.outcome.is_equivalent(), "{}", result.outcome);
+        let mut buggy = g.clone();
+        buggy.s(2);
+        let result = check_equivalence(&g, &buggy, &config).unwrap();
+        assert!(result.outcome.is_not_equivalent(), "{}", result.outcome);
+    }
+
+    #[test]
+    fn truncated_simulations_surface_as_truncation_abort() {
+        // χ = 1 forces truncation inside every probe of an entangling
+        // pair; with no complete check configured the flow must report the
+        // accumulated error, never plain equivalence (and never the bare
+        // "no fallback" notice that would hide the truncation). GHZ, not
+        // QFT: a QFT probe from a basis state stays a product state.
+        let g = generators::ghz(6);
+        let config = Config::default()
+            .with_backend(BackendKind::Mps)
+            .with_chi_max(1)
+            .with_fallback(Fallback::None);
+        let result = check_equivalence(&g, &g, &config).unwrap();
+        match result.outcome {
+            Outcome::ProbablyEquivalent {
+                abort: AbortReason::Truncation { error },
+                ..
+            } => assert!(error > 0.0),
+            Outcome::NotEquivalent { .. } => {}
+            other => panic!("truncated run must not claim equivalence: {other}"),
+        }
     }
 }

@@ -1,9 +1,11 @@
-//! The complete (functional) check stage — wraps the DD routines of `qdd`.
+//! The complete (functional) check stage — wraps the DD routines of `qdd`
+//! (and, under [`BackendKind::Mps`], the MPO routines of `qmpo`).
 
 use qcirc::Circuit;
 use qdd::{DdCheckAbort, DdEquivalence, Package};
+use qmpo::{MpoCheckAbort, MpoEquivalence, MpoVerdict};
 
-use crate::config::{Config, Criterion, Fallback};
+use crate::config::{BackendKind, Config, Criterion, Fallback};
 use crate::outcome::AbortReason;
 
 /// Result of the functional stage.
@@ -23,8 +25,8 @@ pub enum FunctionalVerdict {
 }
 
 /// Why the functional stage stopped (plain-copy mirror of
-/// [`AbortReason`] carrying no payload).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// [`AbortReason`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AbortKind {
     /// Deadline elapsed.
     Timeout,
@@ -32,6 +34,12 @@ pub enum AbortKind {
     NodeLimit,
     /// Disabled by configuration.
     Disabled,
+    /// The MPO check truncated bond dimensions and found no difference —
+    /// evidence of equivalence, not proof.
+    Truncated {
+        /// The accumulated truncation error.
+        error: f64,
+    },
 }
 
 impl From<AbortKind> for AbortReason {
@@ -40,6 +48,7 @@ impl From<AbortKind> for AbortReason {
             AbortKind::Timeout => AbortReason::Timeout,
             AbortKind::NodeLimit => AbortReason::NodeLimit,
             AbortKind::Disabled => AbortReason::FallbackDisabled,
+            AbortKind::Truncated { error } => AbortReason::Truncation { error },
         }
     }
 }
@@ -55,6 +64,23 @@ impl From<AbortKind> for AbortReason {
 /// Panics if the circuits' qubit counts differ.
 #[must_use]
 pub fn run_functional_check(g: &Circuit, g_prime: &Circuit, config: &Config) -> FunctionalVerdict {
+    if config.backend == BackendKind::Mps {
+        let result = match config.fallback {
+            Fallback::None => return FunctionalVerdict::Aborted(AbortKind::Disabled),
+            Fallback::Alternating => qmpo::check_equivalence_alternating(
+                g,
+                g_prime,
+                config.chi_max,
+                config.deadline,
+                config.scheme,
+            ),
+            Fallback::ConstructAndCompare => {
+                qmpo::check_equivalence_construct(g, g_prime, config.chi_max, config.deadline)
+            }
+        };
+        return classify_mpo(result, config)
+            .expect("a check without a cancel flag cannot be cancelled");
+    }
     let mut package = Package::with_node_limit(g.n_qubits(), config.dd_node_limit);
     let result = match config.fallback {
         Fallback::None => return FunctionalVerdict::Aborted(AbortKind::Disabled),
@@ -86,6 +112,27 @@ pub fn run_functional_check_cancellable(
     config: &Config,
     cancel: &std::sync::atomic::AtomicBool,
 ) -> Option<FunctionalVerdict> {
+    if config.backend == BackendKind::Mps {
+        let result = match config.fallback {
+            Fallback::None => return Some(FunctionalVerdict::Aborted(AbortKind::Disabled)),
+            Fallback::Alternating => qmpo::check_equivalence_alternating_cancellable(
+                g,
+                g_prime,
+                config.chi_max,
+                config.deadline,
+                cancel,
+                config.scheme,
+            ),
+            Fallback::ConstructAndCompare => qmpo::check_equivalence_construct_cancellable(
+                g,
+                g_prime,
+                config.chi_max,
+                config.deadline,
+                cancel,
+            ),
+        };
+        return classify_mpo(result, config);
+    }
     let mut package = Package::with_node_limit(g.n_qubits(), config.dd_node_limit);
     let result = match config.fallback {
         Fallback::None => return Some(FunctionalVerdict::Aborted(AbortKind::Disabled)),
@@ -128,6 +175,39 @@ fn classify(
         Err(DdCheckAbort::Timeout { .. }) => FunctionalVerdict::Aborted(AbortKind::Timeout),
         Err(DdCheckAbort::NodeLimit(_)) => FunctionalVerdict::Aborted(AbortKind::NodeLimit),
         Err(DdCheckAbort::Cancelled) => return None,
+    })
+}
+
+/// Maps an MPO-check result onto the flow's verdict; `None` only for
+/// [`MpoCheckAbort::Cancelled`].
+///
+/// A verdict from an *exact* run (`truncation_error == 0.0`, the engine's
+/// exactness certificate) keeps its class. A truncated run can still
+/// *disprove* equivalence — the engine's decision window already absorbs
+/// the accumulated error — but its "no difference found" is only evidence,
+/// so equivalent-looking truncated verdicts demote to
+/// [`AbortKind::Truncated`].
+fn classify_mpo(
+    result: Result<MpoVerdict, MpoCheckAbort>,
+    config: &Config,
+) -> Option<FunctionalVerdict> {
+    Some(match result {
+        Ok(v) => match v.equivalence {
+            MpoEquivalence::NotEquivalent => FunctionalVerdict::NotEquivalent,
+            _ if !v.is_exact() => FunctionalVerdict::Aborted(AbortKind::Truncated {
+                error: v.truncation_error,
+            }),
+            MpoEquivalence::Equivalent => FunctionalVerdict::Equivalent,
+            MpoEquivalence::EquivalentUpToGlobalPhase { phase } => {
+                if config.criterion == Criterion::Strict {
+                    FunctionalVerdict::NotEquivalent
+                } else {
+                    FunctionalVerdict::EquivalentUpToGlobalPhase { phase }
+                }
+            }
+        },
+        Err(MpoCheckAbort::Timeout { .. }) => FunctionalVerdict::Aborted(AbortKind::Timeout),
+        Err(MpoCheckAbort::Cancelled) => return None,
     })
 }
 
@@ -231,6 +311,74 @@ mod tests {
                 run_functional_check(&g, &buggy, &config),
                 FunctionalVerdict::NotEquivalent,
                 "{fb:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mps_backend_proves_and_refutes_exactly() {
+        // n = 4 caps the MPO bond dimension at 4² = 16 < chi_max, so the
+        // run is exact and the verdict keeps its class.
+        let g = generators::qft(4, true);
+        let routed = qcirc::mapping::route_or_panic(&g, &qcirc::mapping::CouplingMap::linear(4));
+        let mut buggy = g.clone();
+        buggy.t(2);
+        for fb in [Fallback::Alternating, Fallback::ConstructAndCompare] {
+            let config = Config::default()
+                .with_backend(BackendKind::Mps)
+                .with_fallback(fb);
+            assert_eq!(
+                run_functional_check(&g, &routed.circuit, &config),
+                FunctionalVerdict::Equivalent,
+                "{fb:?}"
+            );
+            assert_eq!(
+                run_functional_check(&g, &buggy, &config),
+                FunctionalVerdict::NotEquivalent,
+                "{fb:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mps_truncated_runs_never_claim_equivalence() {
+        let g = generators::qft(4, true);
+        let routed = qcirc::mapping::route_or_panic(&g, &qcirc::mapping::CouplingMap::linear(4));
+        let config = Config::default()
+            .with_backend(BackendKind::Mps)
+            .with_chi_max(1);
+        let v = run_functional_check(&g, &routed.circuit, &config);
+        assert!(
+            matches!(
+                v,
+                FunctionalVerdict::NotEquivalent
+                    | FunctionalVerdict::Aborted(AbortKind::Truncated { .. })
+            ),
+            "χ = 1 forces truncation, so the verdict must not be a proof: {v:?}"
+        );
+    }
+
+    #[test]
+    fn mps_timeout_and_cancellation() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let g = generators::supremacy_2d(3, 3, 12, 2);
+        let config = Config::default()
+            .with_backend(BackendKind::Mps)
+            .with_deadline(Some(Duration::ZERO));
+        assert_eq!(
+            run_functional_check(&g, &g, &config),
+            FunctionalVerdict::Aborted(AbortKind::Timeout)
+        );
+        let flag = AtomicBool::new(true);
+        flag.store(true, Ordering::Relaxed);
+        for fb in [Fallback::Alternating, Fallback::ConstructAndCompare] {
+            let config = Config::default()
+                .with_backend(BackendKind::Mps)
+                .with_fallback(fb);
+            assert_eq!(
+                run_functional_check_cancellable(&g, &g, &config, &flag),
+                None,
+                "a pre-raised flag cancels the MPO check ({fb:?})"
             );
         }
     }

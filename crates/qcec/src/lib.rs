@@ -59,13 +59,17 @@ pub mod service;
 mod sim_check;
 pub mod theory;
 
-pub use backend::{ProbeMetrics, ProbeOutcome, SimBackend, StabBackend, StatevectorBackend};
+pub use backend::{
+    auto_backend, MpsBackend, ProbeMetrics, ProbeOutcome, SimBackend, StabBackend,
+    StatevectorBackend,
+};
 pub use config::{ApplicationScheme, BackendKind, Config, Criterion, Fallback, StimulusStrategy};
 pub use flow::{check_equivalence, check_equivalence_default, FlowError};
 pub use functional::{run_functional_check, run_functional_check_cancellable, FunctionalVerdict};
 pub use outcome::{AbortReason, Counterexample, FlowResult, FlowStats, Mismatch, Outcome};
 pub use service::{
-    CachedVerdict, CircuitId, ConfigDigest, EquivalenceCheckingManager, JobKey, VerdictCache,
+    CachedVerdict, CircuitId, ConfigDigest, EquivalenceCheckingManager, EvictionPolicy, JobKey,
+    VerdictCache,
 };
 pub use sim_check::{draw_stimuli, run_simulations, run_simulations_on, SimVerdict};
 // The stimulus vocabulary types, so downstream code can match on

@@ -66,7 +66,7 @@ impl fmt::Display for Counterexample {
 }
 
 /// Why the complete check did not finish.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AbortReason {
     /// The wall-clock deadline elapsed.
     Timeout,
@@ -75,6 +75,15 @@ pub enum AbortReason {
     /// The configuration requested no complete check
     /// ([`Fallback::None`](crate::Fallback::None)).
     FallbackDisabled,
+    /// The tensor-network engine truncated bond dimensions along the way
+    /// (`χ` exceeded [`Config::chi_max`](crate::Config::chi_max)), so "no
+    /// difference found" is evidence, not proof — the flow never claims
+    /// plain equivalence from a truncated run.
+    Truncation {
+        /// The accumulated truncation error (sum of discarded
+        /// squared-singular-value weight fractions).
+        error: f64,
+    },
 }
 
 impl fmt::Display for AbortReason {
@@ -83,6 +92,9 @@ impl fmt::Display for AbortReason {
             AbortReason::Timeout => write!(f, "timeout"),
             AbortReason::NodeLimit => write!(f, "node limit"),
             AbortReason::FallbackDisabled => write!(f, "no fallback configured"),
+            AbortReason::Truncation { error } => {
+                write!(f, "bond truncation (accumulated error {error:.3e})")
+            }
         }
     }
 }

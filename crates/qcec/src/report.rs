@@ -336,6 +336,8 @@ pub struct StageTimings {
     /// Wall time spent inside stabilizer-tableau probes (including any
     /// per-probe dense fallbacks the stab engine ran).
     pub stab_probe_time: Duration,
+    /// Wall time spent inside matrix-product-state probes.
+    pub mps_probe_time: Duration,
     /// Simulations that ran to completion.
     pub simulations_finished: usize,
     /// Simulations abandoned after a cancellation.
@@ -353,6 +355,9 @@ pub struct StageTimings {
     pub cache_hits: usize,
     /// Jobs that missed the verdict cache and ran the full flow.
     pub cache_misses: usize,
+    /// Flow invocations whose [`BackendKind::Auto`] selector was resolved
+    /// to a concrete engine (one `BackendSelected` event each).
+    pub auto_selections: usize,
     /// Functional (complete-check) wall time attributed per application
     /// scheme, indexed in [`ApplicationScheme::ALL`] order. Events carry
     /// no scheme, so this is populated by
@@ -391,8 +396,13 @@ impl StageTimings {
                         BackendKind::Statevector => t.sv_probe_time += *wall_time,
                         BackendKind::DecisionDiagram => t.dd_probe_time += *wall_time,
                         BackendKind::Stab => t.stab_probe_time += *wall_time,
+                        BackendKind::Mps => t.mps_probe_time += *wall_time,
+                        // `Auto` is resolved before any probe runs, so no
+                        // finished simulation ever carries it.
+                        BackendKind::Auto => {}
                     }
                 }
+                RunEvent::BackendSelected { .. } => t.auto_selections += 1,
                 RunEvent::SimulationAborted { .. } => t.simulations_aborted += 1,
                 RunEvent::Cancelled { cause } => {
                     t.cancellations += 1;
@@ -417,6 +427,7 @@ impl StageTimings {
             sv_probe_time: self.sv_probe_time + other.sv_probe_time,
             dd_probe_time: self.dd_probe_time + other.dd_probe_time,
             stab_probe_time: self.stab_probe_time + other.stab_probe_time,
+            mps_probe_time: self.mps_probe_time + other.mps_probe_time,
             simulations_finished: self.simulations_finished + other.simulations_finished,
             simulations_aborted: self.simulations_aborted + other.simulations_aborted,
             cancellations: self.cancellations + other.cancellations,
@@ -424,6 +435,7 @@ impl StageTimings {
             functional_wins: self.functional_wins + other.functional_wins,
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
+            auto_selections: self.auto_selections + other.auto_selections,
             scheme_functional_time: {
                 let mut sum = self.scheme_functional_time;
                 for (acc, t) in sum.iter_mut().zip(other.scheme_functional_time) {
@@ -454,6 +466,9 @@ impl StageTimings {
             BackendKind::Statevector => self.sv_probe_time,
             BackendKind::DecisionDiagram => self.dd_probe_time,
             BackendKind::Stab => self.stab_probe_time,
+            BackendKind::Mps => self.mps_probe_time,
+            // The selector never probes itself.
+            BackendKind::Auto => Duration::ZERO,
         }
     }
 
@@ -493,11 +508,17 @@ impl StageTimings {
             }
             o.num("t_probe_sv_s", self.sv_probe_time.as_secs_f64())
                 .num("t_probe_dd_s", self.dd_probe_time.as_secs_f64())
-                .num("t_probe_stab_s", self.stab_probe_time.as_secs_f64());
+                .num("t_probe_stab_s", self.stab_probe_time.as_secs_f64())
+                .num("t_probe_mps_s", self.mps_probe_time.as_secs_f64());
         }
         o.int("sims_finished", self.simulations_finished as u64)
             .int("sims_aborted", self.simulations_aborted as u64)
             .int("cancellations", self.cancellations as u64);
+        if self.auto_selections > 0 {
+            // Rendered conditionally: runs with a concrete backend stay
+            // byte-identical to pre-selector goldens.
+            o.int("auto_selections", self.auto_selections as u64);
+        }
         if self.cache_hits > 0 || self.cache_misses > 0 {
             // Only the service layer populates these; rendering them
             // conditionally keeps campaign output byte-identical to
@@ -637,6 +658,35 @@ mod tests {
         assert!(timed.contains(r#""simulation_wins":1"#));
         assert_eq!(t.probe_time(BackendKind::Statevector), t.sv_probe_time);
         assert_eq!(t.portfolio_winner(), Some(Stage::Simulation));
+    }
+
+    #[test]
+    fn stage_timings_track_mps_and_auto() {
+        let events = vec![
+            RunEvent::BackendSelected {
+                backend: BackendKind::Mps,
+            },
+            RunEvent::SimulationFinished {
+                index: 0,
+                wall_time: Duration::from_millis(40),
+                fidelity: 1.0,
+                backend: BackendKind::Mps,
+            },
+        ];
+        let t = StageTimings::from_events(&events);
+        assert_eq!(t.auto_selections, 1);
+        assert_eq!(t.mps_probe_time, Duration::from_millis(40));
+        assert_eq!(t.probe_time(BackendKind::Mps), Duration::from_millis(40));
+        assert_eq!(t.probe_time(BackendKind::Auto), Duration::ZERO);
+        assert!(t.to_json(true).contains(r#""t_probe_mps_s":0.04"#));
+        assert!(t.to_json(false).contains(r#""auto_selections":1"#));
+        // Without a selector event the key disappears, keeping goldens.
+        assert!(!StageTimings::default()
+            .to_json(false)
+            .contains("auto_selections"));
+        let merged = t.merged(t);
+        assert_eq!(merged.auto_selections, 2);
+        assert_eq!(merged.mps_probe_time, Duration::from_millis(80));
     }
 
     #[test]

@@ -82,6 +82,14 @@ pub enum RunEvent {
         /// What made the remaining work moot.
         cause: CancelCause,
     },
+    /// [`BackendKind::Auto`] was resolved to a concrete engine, before any
+    /// stage ran — emitted at most once per flow invocation (the paper's
+    /// flow never switches engines mid-run).
+    BackendSelected {
+        /// The engine the selector chose from the register width and gate
+        /// mix; never [`BackendKind::Auto`] itself.
+        backend: BackendKind,
+    },
     /// The pipeline driver finished checking one design-flow stage.
     PipelineStageChecked {
         /// Name of the checked artifact.

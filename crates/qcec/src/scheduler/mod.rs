@@ -45,13 +45,15 @@ use std::time::{Duration, Instant};
 
 use qcirc::Circuit;
 
-use crate::backend::{dd_for_flow, SimBackend, StabBackend, StatevectorBackend};
+use crate::backend::{
+    auto_backend, dd_for_flow, MpsBackend, SimBackend, StabBackend, StatevectorBackend,
+};
 use crate::config::{BackendKind, Config, Fallback};
 use crate::flow::FlowError;
 use crate::functional::{
-    run_functional_check, run_functional_check_cancellable, FunctionalVerdict,
+    run_functional_check, run_functional_check_cancellable, AbortKind, FunctionalVerdict,
 };
-use crate::outcome::{Counterexample, FlowResult, FlowStats, Outcome};
+use crate::outcome::{AbortReason, Counterexample, FlowResult, FlowStats, Outcome};
 use crate::sim_check::{draw_stimuli, Judge};
 
 /// Runs the full flow (simulate, then complete check) on a worker pool of
@@ -82,6 +84,16 @@ pub fn run_scheduled(
             // each worker; the tableau fast path is gated on the
             // criterion exactly as in the sequential flow.
             run_scheduled_on(&StabBackend::for_scheduled(config), g, g_prime, config)
+        }
+        BackendKind::Mps => run_scheduled_on(&MpsBackend::for_flow(config), g, g_prime, config),
+        BackendKind::Auto => {
+            // Normally resolved by `check_equivalence` before scheduling;
+            // resolve here too so direct callers get the same behaviour.
+            let resolved = auto_backend(g, g_prime);
+            if let Some(sink) = &config.event_sink {
+                sink.record(RunEvent::BackendSelected { backend: resolved });
+            }
+            run_scheduled(g, g_prime, &config.clone().with_backend(resolved))
         }
     }
 }
@@ -128,6 +140,7 @@ pub fn run_scheduled_on<B: SimBackend>(
 
     let mut pool_error: Option<qdd::DdLimitError> = None;
     let mut sim_ce: Option<Counterexample> = None;
+    let mut sim_truncation = 0.0f64;
     let mut sims_completed = 0usize;
     let mut simulation_time = Duration::ZERO;
     // `Some((verdict, wall_time))` once the racer has been joined;
@@ -193,12 +206,15 @@ pub fn run_scheduled_on<B: SimBackend>(
             let results = ctx.results.lock().unwrap();
             let mut judge = Judge::new(config);
             for (i, slot) in results.iter().enumerate() {
-                let Some(overlap) = slot else { break };
-                if let Some(ce) = judge.observe(*overlap, &stimuli[i], i + 1) {
+                let Some((overlap, truncation)) = slot else {
+                    break;
+                };
+                if let Some(ce) = judge.observe(*overlap, *truncation, &stimuli[i], i + 1) {
                     sim_ce = Some(ce);
                     break;
                 }
             }
+            sim_truncation = judge.truncation_error();
             sims_completed = results.iter().filter(|s| s.is_some()).count();
         }
         if pool_error.is_some() || sim_ce.is_some() {
@@ -275,6 +291,17 @@ pub fn run_scheduled_on<B: SimBackend>(
         FunctionalVerdict::NotEquivalent => Outcome::NotEquivalent {
             counterexample: None,
         },
+        // Mirrors the sequential flow: with no complete check configured,
+        // truncated simulations surface the accumulated error instead of
+        // the bare "no fallback" notice.
+        FunctionalVerdict::Aborted(AbortKind::Disabled) if sim_truncation > 0.0 => {
+            Outcome::ProbablyEquivalent {
+                passed_simulations: sims_completed,
+                abort: AbortReason::Truncation {
+                    error: sim_truncation,
+                },
+            }
+        }
         FunctionalVerdict::Aborted(kind) => Outcome::ProbablyEquivalent {
             passed_simulations: sims_completed,
             abort: kind.into(),
@@ -403,6 +430,40 @@ mod tests {
         let sequential = check_equivalence(&g, &buggy, &base).unwrap();
         let scheduled = run_scheduled(&g, &buggy, &base.clone().with_threads(4)).unwrap();
         assert_eq!(sequential.outcome, scheduled.outcome);
+    }
+
+    #[test]
+    fn scheduled_mps_backend_matches_sequential_verdict() {
+        let g = generators::qft(4, true);
+        let mut buggy = g.clone();
+        buggy.s(1);
+        let base = Config::default().with_backend(crate::BackendKind::Mps);
+        let sequential = check_equivalence(&g, &buggy, &base).unwrap();
+        let scheduled = run_scheduled(&g, &buggy, &base.clone().with_threads(4)).unwrap();
+        assert_eq!(sequential.outcome, scheduled.outcome);
+        let opt = qcirc::optimize::optimize(&g);
+        let sequential = check_equivalence(&g, &opt, &base).unwrap();
+        let scheduled = run_scheduled(&g, &opt, &base.clone().with_threads(4)).unwrap();
+        assert_eq!(sequential.outcome, scheduled.outcome);
+    }
+
+    #[test]
+    fn scheduled_auto_backend_resolves_and_logs() {
+        let g = generators::qft(4, true);
+        let opt = qcirc::optimize::optimize(&g);
+        let sink = Arc::new(CollectingSink::new());
+        let config = Config::default()
+            .with_backend(crate::BackendKind::Auto)
+            .with_threads(2)
+            .with_event_sink(sink.clone());
+        let result = run_scheduled(&g, &opt, &config).unwrap();
+        assert!(result.outcome.is_equivalent(), "{}", result.outcome);
+        assert!(sink.events().iter().any(|e| matches!(
+            e,
+            RunEvent::BackendSelected {
+                backend: crate::BackendKind::Statevector
+            }
+        )));
     }
 
     #[test]

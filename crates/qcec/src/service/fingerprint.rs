@@ -150,6 +150,11 @@ impl ConfigDigest {
                 BackendKind::Statevector => 0,
                 BackendKind::DecisionDiagram => 1,
                 BackendKind::Stab => 2,
+                BackendKind::Mps => 3,
+                // Distinct from every concrete engine: an `Auto` job's
+                // verdict depends on the resolution heuristic, so it must
+                // not share cache entries with an explicit selection.
+                BackendKind::Auto => 4,
             },
             match config.fallback {
                 Fallback::Alternating => 0,
@@ -179,6 +184,7 @@ impl ConfigDigest {
             }
         }
         h.write_u64(config.dd_node_limit as u64);
+        h.write_u64(config.chi_max as u64);
         ConfigDigest(h.finish() as u64)
     }
 
@@ -298,6 +304,19 @@ mod tests {
         assert_ne!(
             ConfigDigest::of(&base),
             ConfigDigest::of(&Config::default().with_deadline(Some(Duration::from_secs(1))))
+        );
+        // The bond cap changes what a truncated MPS verdict can claim.
+        assert_ne!(
+            ConfigDigest::of(&base),
+            ConfigDigest::of(&Config::default().with_chi_max(8))
+        );
+        assert_ne!(
+            ConfigDigest::of(&base),
+            ConfigDigest::of(&Config::default().with_backend(BackendKind::Mps))
+        );
+        assert_ne!(
+            ConfigDigest::of(&Config::default().with_backend(BackendKind::Auto)),
+            ConfigDigest::of(&Config::default().with_backend(BackendKind::Mps))
         );
         // The application scheme steers the complete check: the verdict
         // class is scheme-invariant but abort behaviour (deadline, node

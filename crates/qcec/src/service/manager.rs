@@ -29,7 +29,7 @@ use crate::report::json::Obj;
 use crate::report::StageTimings;
 use crate::Config;
 
-use super::cache::{CacheStats, VerdictCache};
+use super::cache::{CacheStats, EvictionPolicy, VerdictCache};
 use super::fingerprint::{derive_seed, CircuitId, ConfigDigest, JobKey};
 use super::queue::{run_batch, Job, JobResult};
 
@@ -107,6 +107,22 @@ impl EquivalenceCheckingManager {
         Self::with_cache(
             config,
             Arc::new(VerdictCache::new(Self::DEFAULT_CACHE_CAPACITY)),
+        )
+    }
+
+    /// Creates a manager with a fresh default-capacity cache under the
+    /// given eviction policy. [`EvictionPolicy::CostWeighted`] makes the
+    /// cache prefer keeping verdicts that were expensive to compute —
+    /// the right choice when a long-lived service mixes large, slow pairs
+    /// with high-churn small ones.
+    #[must_use]
+    pub fn with_eviction_policy(config: Config, policy: EvictionPolicy) -> Self {
+        Self::with_cache(
+            config,
+            Arc::new(VerdictCache::with_policy(
+                Self::DEFAULT_CACHE_CAPACITY,
+                policy,
+            )),
         )
     }
 

@@ -7,7 +7,9 @@ use qstim::{
     BasisSource, ProductSource, SequentialSource, StabilizerSource, Stimulus, StimulusSource,
 };
 
-use crate::backend::{dd_for_flow, SimBackend, StabBackend, StatevectorBackend};
+use crate::backend::{
+    auto_backend, dd_for_flow, MpsBackend, SimBackend, StabBackend, StatevectorBackend,
+};
 use crate::config::{BackendKind, Config, Criterion, StimulusStrategy};
 use crate::outcome::Counterexample;
 
@@ -20,6 +22,12 @@ pub enum SimVerdict {
     AllAgreed {
         /// The number of runs performed.
         runs: usize,
+        /// The truncation error accumulated across all probes — `0.0`
+        /// (the exactness certificate) on every backend except a
+        /// bond-limited MPS run. When non-zero, "all agreed" was judged
+        /// against a tolerance widened by the accumulated error and the
+        /// agreement is evidence, not proof.
+        truncation_error: f64,
     },
 }
 
@@ -54,6 +62,11 @@ pub fn run_simulations(
             run_simulations_on(&dd_for_flow(config), g, g_prime, config)
         }
         BackendKind::Stab => run_simulations_on(&StabBackend::for_flow(config), g, g_prime, config),
+        BackendKind::Mps => run_simulations_on(&MpsBackend::for_flow(config), g, g_prime, config),
+        BackendKind::Auto => {
+            let resolved = auto_backend(g, g_prime);
+            run_simulations(g, g_prime, &config.clone().with_backend(resolved))
+        }
     }
 }
 
@@ -90,12 +103,18 @@ pub fn run_simulations_on<B: SimBackend>(
     let mut judge = Judge::new(config);
     for (run, stimulus) in stimuli.iter().enumerate() {
         let outcome = backend.probe(g, g_prime, stimulus, &mut workspace)?;
-        if let Some(ce) = judge.observe(outcome.overlap, stimulus, run + 1) {
+        if let Some(ce) = judge.observe(
+            outcome.overlap,
+            outcome.metrics.truncation_error,
+            stimulus,
+            run + 1,
+        ) {
             return Ok(SimVerdict::CounterexampleFound(ce));
         }
     }
     Ok(SimVerdict::AllAgreed {
         runs: stimuli.len(),
+        truncation_error: judge.truncation_error(),
     })
 }
 
@@ -146,23 +165,41 @@ pub fn draw_stimuli(n_qubits: usize, config: &Config) -> Vec<Stimulus> {
 pub(crate) struct Judge<'a> {
     config: &'a Config,
     expected_phase: Option<Complex>,
+    truncation: f64,
 }
+
+/// How many units of accumulated truncation error widen the judge's
+/// tolerance. Matches the engine-side window in `qmpo`: a bond-limited
+/// probe can move each overlap by O(ε) in the worst case, so agreement is
+/// only judged outside that slack.
+pub(crate) const TRUNCATION_SLACK: f64 = 8.0;
 
 impl<'a> Judge<'a> {
     pub(crate) fn new(config: &'a Config) -> Self {
         Judge {
             config,
             expected_phase: None,
+            truncation: 0.0,
         }
+    }
+
+    /// The truncation error accumulated over all observed runs, in
+    /// stimulus order (which keeps parallel verdicts deterministic —
+    /// the scheduler replays observations in that same order).
+    pub(crate) fn truncation_error(&self) -> f64 {
+        self.truncation
     }
 
     pub(crate) fn observe(
         &mut self,
         overlap: Complex,
+        truncation_error: f64,
         stimulus: &Stimulus,
         run: usize,
     ) -> Option<Counterexample> {
         use crate::outcome::Mismatch;
+        self.truncation += truncation_error;
+        let tolerance = self.config.fidelity_tolerance + TRUNCATION_SLACK * self.truncation;
         let ce = |mismatch: Mismatch| Counterexample {
             stimulus: stimulus.clone(),
             overlap,
@@ -173,18 +210,18 @@ impl<'a> Judge<'a> {
         match self.config.criterion {
             // ⟨u|u′⟩ = 1 exactly (within tolerance).
             Criterion::Strict => {
-                if (overlap - Complex::ONE).norm_sqr() > self.config.fidelity_tolerance {
+                if (overlap - Complex::ONE).norm_sqr() > tolerance {
                     return Some(ce(Mismatch::Output));
                 }
             }
             Criterion::UpToGlobalPhase => {
-                if (overlap.norm_sqr() - 1.0).abs() > self.config.fidelity_tolerance {
+                if (overlap.norm_sqr() - 1.0).abs() > tolerance {
                     return Some(ce(Mismatch::Output));
                 }
                 match self.expected_phase {
                     None => self.expected_phase = Some(overlap),
                     Some(expected) => {
-                        if (overlap - expected).norm_sqr() > self.config.fidelity_tolerance {
+                        if (overlap - expected).norm_sqr() > tolerance {
                             return Some(ce(Mismatch::PhaseInconsistency {
                                 expected: expected.arg(),
                                 found: overlap.arg(),
@@ -208,7 +245,13 @@ mod tests {
         let g = generators::qft(4, true);
         let opt = qcirc::optimize::optimize(&g);
         let v = run_simulations(&g, &opt, &Config::default()).unwrap();
-        assert_eq!(v, SimVerdict::AllAgreed { runs: 10 });
+        assert_eq!(
+            v,
+            SimVerdict::AllAgreed {
+                runs: 10,
+                truncation_error: 0.0
+            }
+        );
     }
 
     #[test]
@@ -340,7 +383,13 @@ mod tests {
         buggy.x(0);
         let config = Config::default().with_simulations(0);
         let v = run_simulations(&g, &buggy, &config).unwrap();
-        assert_eq!(v, SimVerdict::AllAgreed { runs: 0 });
+        assert_eq!(
+            v,
+            SimVerdict::AllAgreed {
+                runs: 0,
+                truncation_error: 0.0
+            }
+        );
     }
 
     #[test]

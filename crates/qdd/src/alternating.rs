@@ -224,6 +224,7 @@ pub fn check_equivalence_alternating_scheme_cancellable(
 /// Prefix-sum decomposition-cost profiles for the gate-cost scheme, in
 /// consumption (back-to-front) order: `consumed[i]` is the cost of the
 /// first `i` gates a side has applied, `total` the whole circuit's cost.
+#[derive(Debug)]
 struct CostProfile {
     g_consumed: Vec<u64>,
     gp_consumed: Vec<u64>,
@@ -265,6 +266,68 @@ impl CostProfile {
     }
 }
 
+/// The advance decision of one [`ApplicationScheme`] instantiated over a
+/// concrete `(G, G′)` pair — which side's next gate to consume given how
+/// many each side has consumed so far.
+///
+/// Extracted from the DD check's inner loop so other engines following the
+/// same alternation (the MPO check in `qmpo`) share the *identical*
+/// interleaving policies, gate-cost profiles included, instead of
+/// re-deriving them.
+#[derive(Debug)]
+pub struct SchemeCursor {
+    scheme: ApplicationScheme,
+    m: usize,
+    mp: usize,
+    costs: Option<CostProfile>,
+}
+
+impl SchemeCursor {
+    /// Builds the cursor for a scheme over the two gate lists (in circuit
+    /// order; consumption is back-to-front). Gate-cost profiles are
+    /// computed eagerly here, once.
+    #[must_use]
+    pub fn new(scheme: ApplicationScheme, g_gates: &[Gate], gp_gates: &[Gate]) -> Self {
+        let costs = match scheme {
+            ApplicationScheme::GateCost => Some(CostProfile::new(g_gates, gp_gates)),
+            _ => None,
+        };
+        SchemeCursor {
+            scheme,
+            m: g_gates.len(),
+            mp: gp_gates.len(),
+            costs,
+        }
+    }
+
+    /// `true` when both sides are fully consumed after `i` gates of `G`
+    /// and `j` gates of `G′`.
+    #[must_use]
+    pub fn done(&self, i: usize, j: usize) -> bool {
+        i >= self.m && j >= self.mp
+    }
+
+    /// Whether `G` (as opposed to `G′†`) supplies the next gate: forced
+    /// once one circuit is exhausted, otherwise the scheme decides (ties
+    /// go to `G`).
+    #[must_use]
+    pub fn advance_g(&self, i: usize, j: usize) -> bool {
+        if j >= self.mp {
+            true
+        } else if i >= self.m {
+            false
+        } else {
+            match self.scheme {
+                ApplicationScheme::Sequential => true,
+                ApplicationScheme::OneToOne => i <= j,
+                // i/m <= j/m'  ⇔  i·m' <= j·m
+                ApplicationScheme::Proportional => i * self.mp <= j * self.m,
+                ApplicationScheme::GateCost => self.costs.as_ref().unwrap().advance_g(i, j),
+            }
+        }
+    }
+}
+
 fn alternating_with_budget(
     package: &mut Package,
     g: &Circuit,
@@ -286,30 +349,12 @@ fn alternating_with_budget(
     let g_gates = g.gates();
     let gp_gates = g_prime.gates();
     let (m, mp) = (g_gates.len(), gp_gates.len());
-    let costs = match scheme {
-        ApplicationScheme::GateCost => Some(CostProfile::new(g_gates, gp_gates)),
-        _ => None,
-    };
+    let cursor = SchemeCursor::new(scheme, g_gates, gp_gates);
     let (mut i, mut j) = (0usize, 0usize); // consumed counts
 
     while i < m || j < mp {
         deadline.check()?;
-        // Which side advances: forced once one circuit is exhausted,
-        // otherwise the scheme decides (ties go to G).
-        let advance_g = if j >= mp {
-            true
-        } else if i >= m {
-            false
-        } else {
-            match scheme {
-                ApplicationScheme::Sequential => true,
-                ApplicationScheme::OneToOne => i <= j,
-                // i/m <= j/m'  ⇔  i·m' <= j·m
-                ApplicationScheme::Proportional => i * mp <= j * m,
-                ApplicationScheme::GateCost => costs.as_ref().unwrap().advance_g(i, j),
-            }
-        };
-        if advance_g {
+        if cursor.advance_g(i, j) {
             let gate = &g_gates[m - 1 - i];
             let gd = package.gate_medge(gate)?;
             e = package.mul_mm(e, gd)?;

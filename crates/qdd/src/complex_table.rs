@@ -95,6 +95,19 @@ impl ComplexTable {
         self.tolerance
     }
 
+    /// Drops every interned value and re-seeds 0 and 1, restoring the
+    /// freshly constructed state while keeping the allocations. After a
+    /// clear the table is observationally identical to a new one: the same
+    /// intern sequence yields the same indices bit for bit.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.buckets.clear();
+        let zero = self.intern(Complex::ZERO);
+        let one = self.intern(Complex::ONE);
+        debug_assert_eq!(zero, Cx::ZERO);
+        debug_assert_eq!(one, Cx::ONE);
+    }
+
     /// The number of distinct interned values.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -47,7 +47,7 @@ mod probe;
 pub use alternating::{
     check_equivalence_alternating, check_equivalence_alternating_cancellable,
     check_equivalence_alternating_scheme, check_equivalence_alternating_scheme_cancellable,
-    ApplicationScheme,
+    ApplicationScheme, SchemeCursor,
 };
 pub use cached::{CachedDd, SharedDd};
 pub use check::{

@@ -296,6 +296,27 @@ impl Package {
         self.mnodes.len() + self.vnodes.len() > self.gc_threshold
     }
 
+    /// Resets the package to its freshly constructed state while keeping
+    /// every allocation: arenas, unique tables, compute tables and the
+    /// complex table are all emptied, and the identity cache is rebuilt.
+    ///
+    /// This is the workspace-pooling primitive: a reset package is
+    /// *observationally identical* to `Package::with_node_limit(n, limit)`
+    /// — the same operation sequence afterwards allocates the same node
+    /// ids and interns the same weight indices bit for bit — so reusing
+    /// one package across independent probes cannot leak interned state
+    /// between runs. Every edge obtained before the reset is dangling.
+    pub fn reset(&mut self) {
+        self.ct.clear();
+        self.mnodes.clear();
+        self.vnodes.clear();
+        self.munique.clear();
+        self.vunique.clear();
+        self.clear_compute_tables();
+        self.identity.clear();
+        self.build_identity_cache();
+    }
+
     /// Clears all compute tables (the unique tables and arenas stay).
     ///
     /// Useful between independent problems to keep cache lookups fast.

@@ -130,12 +130,49 @@ impl DdBackend {
         basis: u64,
         keep_going: &dyn Fn() -> bool,
     ) -> Result<Option<DdProbeRun>, DdLimitError> {
+        let mut package = Package::with_node_limit(g.n_qubits(), self.node_limit);
+        self.probe_while_in(&mut package, g, g_prime, prefix, basis, keep_going)
+    }
+
+    /// Like [`DdBackend::probe_while`], but runs inside a caller-pooled
+    /// [`Package`] instead of constructing a fresh one, avoiding the
+    /// per-probe arena and table allocations.
+    ///
+    /// The package is [`reset`](Package::reset) before the run, which makes
+    /// it observationally identical to a fresh one — pooled probes return
+    /// results bitwise equal to the fresh-package path, preserving the
+    /// purity contract the deterministic scheduler relies on. Any edges
+    /// previously obtained from the package are dangling afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdLimitError`] if a pass exceeds the *package's* node
+    /// limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuits' qubit counts differ from each other or from
+    /// the package's.
+    pub fn probe_while_in(
+        &self,
+        package: &mut Package,
+        g: &Circuit,
+        g_prime: &Circuit,
+        prefix: Option<&Circuit>,
+        basis: u64,
+        keep_going: &dyn Fn() -> bool,
+    ) -> Result<Option<DdProbeRun>, DdLimitError> {
         assert_eq!(
             g.n_qubits(),
             g_prime.n_qubits(),
             "circuits must have equal qubit counts"
         );
-        let mut package = Package::with_node_limit(g.n_qubits(), self.node_limit);
+        assert_eq!(
+            package.n_qubits(),
+            g.n_qubits(),
+            "package sized for a different register"
+        );
+        package.reset();
         let input = {
             let b = package.basis_vedge(basis)?;
             match prefix {
@@ -143,21 +180,21 @@ impl DdBackend {
                 Some(prefix) => package.apply_to_vedge(prefix, b)?,
             }
         };
-        let mut peak_nodes = live_nodes(&package);
+        let mut peak_nodes = live_nodes(package);
         // `input` is needed again for the second pass and `a` must survive
         // it: both ride along as GC keep roots, or a mid-pass compaction
         // would leave them dangling in the old arena.
         let mut keep = [input];
         let a = package.apply_to_vedge_keeping(g, input, &mut keep)?;
         let input = keep[0];
-        peak_nodes = peak_nodes.max(live_nodes(&package));
+        peak_nodes = peak_nodes.max(live_nodes(package));
         if !keep_going() {
             return Ok(None);
         }
         let mut keep = [a];
         let b = package.apply_to_vedge_keeping(g_prime, input, &mut keep)?;
         let a = keep[0];
-        peak_nodes = peak_nodes.max(live_nodes(&package));
+        peak_nodes = peak_nodes.max(live_nodes(package));
         let overlap = if package.vedges_equal(a, b) {
             Complex::ONE
         } else {
@@ -209,6 +246,40 @@ mod tests {
         }
         let again = engine.probe(&g, &buggy, None, 9).unwrap();
         assert_eq!(first, again);
+    }
+
+    /// Satellite contract of the pooled workspace: probing through one
+    /// reused, reset package yields results *byte-identical* to the
+    /// fresh-package path — including interned-value counts, which would
+    /// differ immediately if any table state leaked between runs.
+    #[test]
+    fn pooled_package_probes_are_bitwise_identical_to_fresh_ones() {
+        let g = generators::grover(4, 3, 2);
+        let mut buggy = g.clone();
+        buggy.s(1);
+        let engine = DdBackend::new();
+        let mut pool = Package::new(4);
+        let keep_going = || true;
+        for basis in [9u64, 0, 3, 11, 7, 9] {
+            let fresh = engine.probe(&g, &buggy, None, basis).unwrap();
+            let pooled = engine
+                .probe_while_in(&mut pool, &g, &buggy, None, basis, &keep_going)
+                .unwrap()
+                .unwrap();
+            assert_eq!(fresh, pooled, "basis {basis}");
+        }
+    }
+
+    #[test]
+    fn reset_restores_the_freshly_constructed_stats() {
+        let g = generators::qft(4, true);
+        let mut p = Package::new(4);
+        let fresh_stats = p.stats();
+        let input = p.basis_vedge(3).unwrap();
+        p.apply_to_vedge(&g, input).unwrap();
+        assert!(p.stats().complex_values > fresh_stats.complex_values);
+        p.reset();
+        assert_eq!(p.stats(), fresh_stats, "reset must drop interned state");
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! A dependency-free thin complex SVD via one-sided Jacobi rotations.
+//!
+//! The build environment vendors no linear-algebra crates, so the MPS
+//! engine carries its own factorization. One-sided Jacobi orthogonalizes
+//! the *columns* of `M` by complex Givens rotations applied from the
+//! right; at convergence the column norms are the singular values, the
+//! normalized columns are `U`, and the accumulated rotations are `V`:
+//! `M = U Σ V†`. The method is unconditionally stable, needs no
+//! bidiagonalization, and — crucially for the deterministic scheduler
+//! upstream — is a pure function of its input: the sweep order is fixed
+//! and there is no pivoting on runtime-dependent state.
+
+use qnum::Complex;
+
+/// Relative noise floor: singular values below `σ_max · 1e-12` are
+/// numerically zero (their squared weight is ≤ 1e-24 of the spectrum) and
+/// are dropped *silently* — they do not count as truncation, so rank
+/// compression of structured states (Clifford circuits, product states)
+/// keeps `truncation_error == 0` exactly.
+const REL_NOISE_FLOOR: f64 = 1e-12;
+
+/// Off-diagonal convergence threshold for the Jacobi sweeps, relative to
+/// the geometric mean of the two column norms.
+const JACOBI_TOL: f64 = 1e-14;
+
+/// Maximum number of Jacobi sweeps; in practice well-conditioned MPS
+/// splits converge in 2–6.
+const MAX_SWEEPS: usize = 60;
+
+/// Computes the thin SVD `m = U Σ V†` of a `rows × cols` row-major
+/// complex matrix.
+///
+/// Returns `(u, s, vh)` with `s` the singular values in descending order
+/// (length `r`, the numerical rank after the relative noise floor), `u`
+/// a `rows × r` row-major matrix with orthonormal columns and `vh` an
+/// `r × cols` row-major matrix with orthonormal rows.
+///
+/// # Panics
+///
+/// Panics if `m.len() != rows * cols` or either dimension is zero.
+///
+/// # Examples
+///
+/// ```
+/// use qnum::Complex;
+///
+/// // A rank-1 matrix: [1, 1; 1, 1] = U [2] V† with σ = 2.
+/// let m = vec![Complex::ONE; 4];
+/// let (u, s, vh) = qmpo::svd(&m, 2, 2);
+/// assert_eq!(s.len(), 1);
+/// assert!((s[0] - 2.0).abs() < 1e-12);
+/// assert_eq!(u.len(), 2);
+/// assert_eq!(vh.len(), 2);
+/// ```
+#[must_use]
+pub fn svd(m: &[Complex], rows: usize, cols: usize) -> (Vec<Complex>, Vec<f64>, Vec<Complex>) {
+    assert!(rows > 0 && cols > 0, "svd of an empty matrix");
+    assert_eq!(m.len(), rows * cols, "matrix shape mismatch");
+
+    // Work column-major: a[j] is column j of M, v[j] column j of V.
+    let mut a: Vec<Vec<Complex>> = (0..cols)
+        .map(|j| (0..rows).map(|i| m[i * cols + j]).collect())
+        .collect();
+    let mut v: Vec<Vec<Complex>> = (0..cols)
+        .map(|j| {
+            let mut col = vec![Complex::ZERO; cols];
+            col[j] = Complex::ONE;
+            col
+        })
+        .collect();
+
+    for _ in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..cols {
+            for q in (p + 1)..cols {
+                let (mut app, mut aqq) = (0.0f64, 0.0f64);
+                let mut apq = Complex::ZERO;
+                for (zp, zq) in a[p].iter().zip(&a[q]) {
+                    app += zp.norm_sqr();
+                    aqq += zq.norm_sqr();
+                    apq += zp.conj() * *zq;
+                }
+                let off = apq.abs();
+                if off <= JACOBI_TOL * (app * aqq).sqrt() || off == 0.0 {
+                    continue;
+                }
+                rotated = true;
+                // Zero the off-diagonal of the 2×2 Gram block
+                // [[app, apq], [conj(apq), aqq]] with a complex rotation:
+                // tan 2φ = 2|apq| / (app − aqq), phase e^{iθ} = apq/|apq|.
+                let phase = apq * (1.0 / off);
+                let tau = (app - aqq) / (2.0 * off);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Column update M ← M·J (and V ← V·J):
+                //   col_p ← c·col_p + s·e^{−iθ}·col_q
+                //   col_q ← −s·e^{iθ}·col_p + c·col_q
+                let sp = phase.conj() * s;
+                let sq = phase * s;
+                rotate_pair(&mut a, p, q, c, sp, sq);
+                rotate_pair(&mut v, p, q, c, sp, sq);
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Column norms are the singular values; sort descending, drop noise.
+    let norms: Vec<f64> = a
+        .iter()
+        .map(|col| col.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt())
+        .collect();
+    let mut order: Vec<usize> = (0..cols).collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("finite norms"));
+    let sigma_max = norms[order[0]];
+    let floor = sigma_max * REL_NOISE_FLOOR;
+    let rank = order
+        .iter()
+        .take_while(|&&j| norms[j] > floor && norms[j] > 0.0)
+        .count()
+        .max(1);
+
+    let mut u = vec![Complex::ZERO; rows * rank];
+    let mut s = Vec::with_capacity(rank);
+    let mut vh = vec![Complex::ZERO; rank * cols];
+    for (k, &j) in order.iter().take(rank).enumerate() {
+        let sigma = norms[j];
+        s.push(sigma);
+        let inv = if sigma > 0.0 { 1.0 / sigma } else { 0.0 };
+        for i in 0..rows {
+            u[i * rank + k] = a[j][i] * inv;
+        }
+        for i in 0..cols {
+            vh[k * cols + i] = v[j][i].conj();
+        }
+    }
+    (u, s, vh)
+}
+
+#[inline]
+fn rotate_pair(cols: &mut [Vec<Complex>], p: usize, q: usize, c: f64, sp: Complex, sq: Complex) {
+    let (head, tail) = cols.split_at_mut(q);
+    let (cp, cq) = (&mut head[p], &mut tail[0]);
+    for (zp, zq) in cp.iter_mut().zip(cq.iter_mut()) {
+        let new_p = *zp * c + *zq * sp;
+        let new_q = *zq * c - *zp * sq;
+        *zp = new_p;
+        *zq = new_q;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matmul(a: &[Complex], ar: usize, ac: usize, b: &[Complex], bc: usize) -> Vec<Complex> {
+        let mut out = vec![Complex::ZERO; ar * bc];
+        for i in 0..ar {
+            for k in 0..ac {
+                let aik = a[i * ac + k];
+                for j in 0..bc {
+                    out[i * bc + j] += aik * b[k * bc + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn reconstruct(
+        u: &[Complex],
+        s: &[f64],
+        vh: &[Complex],
+        rows: usize,
+        cols: usize,
+    ) -> Vec<Complex> {
+        let r = s.len();
+        let us: Vec<Complex> = (0..rows * r).map(|idx| u[idx] * s[idx % r]).collect();
+        matmul(&us, rows, r, vh, cols)
+    }
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Vec<Complex> {
+        // SplitMix-style generator: deterministic, no rand dependency.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) as f64 / u64::MAX as f64 - 0.5
+        };
+        (0..rows * cols)
+            .map(|_| Complex::new(next(), next()))
+            .collect()
+    }
+
+    #[test]
+    fn reconstructs_random_matrices() {
+        for (rows, cols, seed) in [
+            (4, 4, 1),
+            (6, 3, 2),
+            (3, 6, 3),
+            (8, 8, 4),
+            (1, 5, 5),
+            (5, 1, 6),
+        ] {
+            let m = pseudo_random(rows, cols, seed);
+            let (u, s, vh) = svd(&m, rows, cols);
+            assert!(s.len() <= rows.min(cols));
+            reconstruct(&u, &s, &vh, rows, cols)
+                .iter()
+                .zip(&m)
+                .for_each(|(x, y)| assert!((*x - *y).abs() < 1e-9, "{x:?} vs {y:?}"));
+        }
+    }
+
+    #[test]
+    fn singular_values_descend_and_factors_are_orthonormal() {
+        let m = pseudo_random(6, 5, 9);
+        let (u, s, vh) = svd(&m, 6, 5);
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        let r = s.len();
+        // U† U = I.
+        for j in 0..r {
+            for k in 0..r {
+                let mut dot = Complex::ZERO;
+                for i in 0..6 {
+                    dot += u[i * r + j].conj() * u[i * r + k];
+                }
+                let expect = if j == k { 1.0 } else { 0.0 };
+                assert!((dot - Complex::real(expect)).abs() < 1e-10);
+            }
+        }
+        // V† V = I (rows of vh are orthonormal).
+        for j in 0..r {
+            for k in 0..r {
+                let mut dot = Complex::ZERO;
+                for i in 0..5 {
+                    dot += vh[j * 5 + i] * vh[k * 5 + i].conj();
+                }
+                let expect = if j == k { 1.0 } else { 0.0 };
+                assert!((dot - Complex::real(expect)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficiency_is_compressed() {
+        // Two identical columns: numerical rank 1.
+        let m = vec![
+            Complex::ONE,
+            Complex::ONE,
+            Complex::new(0.0, 2.0),
+            Complex::new(0.0, 2.0),
+        ];
+        let (_, s, _) = svd(&m, 2, 2);
+        assert_eq!(s.len(), 1, "noise-floor columns dropped: {s:?}");
+    }
+
+    #[test]
+    fn deterministic_bit_for_bit() {
+        let m = pseudo_random(7, 7, 42);
+        let a = svd(&m, 7, 7);
+        let b = svd(&m, 7, 7);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+    }
+}

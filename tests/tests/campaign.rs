@@ -380,6 +380,7 @@ fn benign_trials_are_never_counted_as_detection_misses() {
         backend: qcec::BackendKind::Statevector,
         scheme: qcec::ApplicationScheme::Proportional,
         strategy: qcec::StimulusStrategy::Random,
+        chi: 64,
         kind: MutationKind::AddGate,
         trial: 0,
         seed: 7,
