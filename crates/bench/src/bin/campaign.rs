@@ -19,9 +19,12 @@
 //! (every fault is checked once per strategy); `--backend sv,dd,stab,mps`
 //! does the same over simulation engines, `--scheme
 //! sequential,onetoone,proportional,gatecost` over the alternating
-//! check's gate-application schemes, and `--chi 1,16,64` over the MPS
-//! engine's bond-dimension cap — every arm sees the identical faults, so
-//! a detection difference is attributable to the axis alone.
+//! check's gate-application schemes, `--chi 1,16,64` over the MPS
+//! engine's bond-dimension cap, and `--batch 1,8` over the probe batch
+//! size — every arm sees the identical faults, so a detection difference
+//! is attributable to the axis alone (and for `--batch` the arms must be
+//! identical outright: per-stimulus outcomes are bit-identical at any
+//! batch size, making the axis a built-in self-check).
 //! `--compose K` stacks `K − 1` extra mixed-class faults on top of each
 //! trial's own (modelling multi-fault compiler bugs); `--peel` strips the
 //! shared Clifford rim off every pair before checking. `--pair
@@ -65,6 +68,7 @@ struct Args {
     backends: Vec<BackendKind>,
     schemes: Vec<ApplicationScheme>,
     chis: Option<Vec<usize>>,
+    batches: Option<Vec<usize>>,
     pairs: Vec<String>,
     inject: Option<Vec<MutationKind>>,
 }
@@ -89,6 +93,7 @@ impl Default for Args {
             backends: vec![BackendKind::Statevector],
             schemes: vec![ApplicationScheme::Proportional],
             chis: None,
+            batches: None,
             pairs: Vec::new(),
             inject: None,
         }
@@ -101,7 +106,7 @@ fn usage() -> ! {
          [--sims N] [--threads N] [--trial-threads N] [--no-guard-cache] \
          [--scale 0|1] [--epsilon X] [--peel] [--timings] [--out FILE] \
          [--stimuli S[,S...]] [--backend B[,B...]] [--scheme A[,A...]] \
-         [--chi N[,N...]] [--pair GOLDEN,FAULTY]... \
+         [--chi N[,N...]] [--batch K[,K...]] [--pair GOLDEN,FAULTY]... \
          [--inject CLASS[,CLASS...]|all [--pair FILE]...]\n\
          stimulus strategies: basis|sequential|product|stabilizer\n\
          backends: sv|dd|stab|mps|auto\n\
@@ -196,6 +201,23 @@ fn parse_chis(spec: &str) -> Vec<usize> {
     chis
 }
 
+fn parse_batches(spec: &str) -> Vec<usize> {
+    let batches: Vec<usize> = spec
+        .split(',')
+        .map(|s| match s.trim().parse() {
+            Ok(k) if k > 0 => k,
+            _ => {
+                eprintln!("--batch expects positive batch sizes (got `{s}`)");
+                usage()
+            }
+        })
+        .collect();
+    if batches.is_empty() {
+        usage();
+    }
+    batches
+}
+
 fn parse_pair(spec: &str) -> (String, String) {
     match spec.split_once(',') {
         Some((golden, faulty)) if !golden.is_empty() && !faulty.is_empty() => {
@@ -260,6 +282,7 @@ fn parse_args() -> Args {
             "--backend" => args.backends = parse_backends(&val("--backend")),
             "--scheme" => args.schemes = parse_schemes(&val("--scheme")),
             "--chi" => args.chis = Some(parse_chis(&val("--chi"))),
+            "--batch" => args.batches = Some(parse_batches(&val("--batch"))),
             "--pair" => args.pairs.push(val("--pair")),
             "--inject" => args.inject = Some(parse_inject(&val("--inject"))),
             "--help" | "-h" => usage(),
@@ -420,6 +443,9 @@ fn main() {
         .with_schemes(args.schemes.clone());
     if let Some(chis) = &args.chis {
         config = config.with_chis(chis.clone());
+    }
+    if let Some(batches) = &args.batches {
+        config = config.with_batches(batches.clone());
     }
     if let Some(classes) = &args.inject {
         config = config.with_classes(classes.clone());

@@ -204,6 +204,15 @@ pub struct CampaignConfig {
     /// meaningful for [`BackendKind::Mps`] arms (dense engines ignore χ).
     /// Default: just [`qmpo::DEFAULT_CHI_MAX`].
     pub chis: Vec<usize>,
+    /// Probe batch sizes to ablate over — the throughput axis. Every cell
+    /// is checked once per batch size, against the *same* injected fault
+    /// (the trial seed excludes the batch coordinate). Per-stimulus probe
+    /// outcomes are bit-identical at any batch size
+    /// ([`Config::batch_size`]), so the arms must report identical
+    /// verdicts; the axis exists to demonstrate exactly that while the
+    /// wall-clock ([`StageTimings`]) shows the amortization win.
+    /// Default: just `1` (the historical one-stimulus-at-a-time path).
+    pub batches: Vec<usize>,
     /// Fault classes to inject, in reporting order. Default: all of
     /// [`MutationKind::ALL`]. Trial seeds are keyed on each class's
     /// position in `ALL` (not its position here), so a filtered campaign
@@ -237,6 +246,7 @@ impl Default for CampaignConfig {
             strategies: vec![StimulusStrategy::Random],
             schemes: vec![ApplicationScheme::Proportional],
             chis: vec![qmpo::DEFAULT_CHI_MAX],
+            batches: vec![1],
             classes: MutationKind::ALL.to_vec(),
             peel: false,
         }
@@ -396,6 +406,28 @@ impl CampaignConfig {
         self.with_chis(vec![chi])
     }
 
+    /// Replaces the probe-batch-size ablation set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batches` is empty or contains a zero.
+    #[must_use]
+    pub fn with_batches(mut self, batches: Vec<usize>) -> Self {
+        assert!(!batches.is_empty(), "need at least one batch size");
+        assert!(
+            batches.iter().all(|&k| k > 0),
+            "batch sizes must be positive"
+        );
+        self.batches = batches;
+        self
+    }
+
+    /// Shorthand for a single-batch-size campaign.
+    #[must_use]
+    pub fn with_batch(self, batch: usize) -> Self {
+        self.with_batches(vec![batch])
+    }
+
     /// Restricts injection to the given fault classes (e.g. a `--inject`
     /// sweep over one error model). Seeds stay aligned with the full
     /// campaign: each class injects the same faults it would in an
@@ -443,6 +475,9 @@ pub struct TrialRecord {
     /// The bond-dimension cap the flow ran under (only consequential for
     /// MPS arms).
     pub chi: usize,
+    /// The probe batch size the flow ran under (verdict-neutral by the
+    /// batch contract; ablated for throughput).
+    pub batch: usize,
     /// The injected error class.
     pub kind: MutationKind,
     /// Trial index within the (benchmark, class) pair.
@@ -620,6 +655,12 @@ pub struct CampaignResult {
     /// the tensor-network truncation-ablation axis. Trial seeds exclude
     /// the χ coordinate, so every cap faces the same faults.
     pub chi_classes: Vec<(usize, Vec<(MutationKind, ClassStats)>)>,
+    /// Per-batch-size breakdown of the same aggregates, in
+    /// `config.batches` order — the probe-throughput ablation axis. Trial
+    /// seeds exclude the batch coordinate and per-stimulus outcomes are
+    /// bit-identical at any batch size, so matching rows here are the
+    /// campaign-level witness of the batch contract.
+    pub batch_classes: Vec<(usize, Vec<(MutationKind, ClassStats)>)>,
     /// `families[f]` is the family name; `cells[f][k]` the counts for
     /// family `f` under class `MutationKind::ALL[k]`.
     pub families: Vec<String>,
@@ -653,10 +694,10 @@ pub fn trial_seed(seed: u64, benchmark: usize, class: usize, trial: usize) -> u6
     z
 }
 
-/// One (benchmark × backend × scheme × strategy × χ × class × trial) cell
-/// of the campaign's work list. The seed is keyed on everything *except*
-/// the backend, scheme, strategy, and χ, so all ablation arms face the
-/// identical injected fault.
+/// One (benchmark × backend × scheme × strategy × χ × batch × class ×
+/// trial) cell of the campaign's work list. The seed is keyed on
+/// everything *except* the backend, scheme, strategy, χ, and batch size,
+/// so all ablation arms face the identical injected fault.
 #[derive(Debug, Clone, Copy)]
 struct TrialCell {
     benchmark: usize,
@@ -664,6 +705,7 @@ struct TrialCell {
     scheme: usize,
     strategy: usize,
     chi: usize,
+    batch: usize,
     class: usize,
     trial: usize,
     seed: u64,
@@ -724,27 +766,31 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
             let n_schemes = config.schemes.len();
             let n_strategies = config.strategies.len();
             let n_chis = config.chis.len();
+            let n_batches = config.batches.len();
             let n_classes = mutators.len();
             let class_seed_idx = &class_seed_idx;
             (0..n_backends).flat_map(move |e_idx| {
                 (0..n_schemes).flat_map(move |a_idx| {
                     (0..n_strategies).flat_map(move |s_idx| {
                         (0..n_chis).flat_map(move |x_idx| {
-                            (0..n_classes).flat_map(move |k_idx| {
-                                (0..trials).map(move |t_idx| TrialCell {
-                                    benchmark: b_idx,
-                                    backend: e_idx,
-                                    scheme: a_idx,
-                                    strategy: s_idx,
-                                    chi: x_idx,
-                                    class: k_idx,
-                                    trial: t_idx,
-                                    seed: trial_seed(
-                                        config.seed,
-                                        b_idx,
-                                        class_seed_idx[k_idx],
-                                        t_idx,
-                                    ),
+                            (0..n_batches).flat_map(move |q_idx| {
+                                (0..n_classes).flat_map(move |k_idx| {
+                                    (0..trials).map(move |t_idx| TrialCell {
+                                        benchmark: b_idx,
+                                        backend: e_idx,
+                                        scheme: a_idx,
+                                        strategy: s_idx,
+                                        chi: x_idx,
+                                        batch: q_idx,
+                                        class: k_idx,
+                                        trial: t_idx,
+                                        seed: trial_seed(
+                                            config.seed,
+                                            b_idx,
+                                            class_seed_idx[k_idx],
+                                            t_idx,
+                                        ),
+                                    })
                                 })
                             })
                         })
@@ -799,6 +845,11 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
         .collect();
     let mut chi_classes: Vec<(usize, Vec<(MutationKind, ClassStats)>)> =
         config.chis.iter().map(|c| (*c, classes.clone())).collect();
+    let mut batch_classes: Vec<(usize, Vec<(MutationKind, ClassStats)>)> = config
+        .batches
+        .iter()
+        .map(|k| (*k, classes.clone()))
+        .collect();
     let mut trials = Vec::with_capacity(outputs.len());
     let mut stage_timings = StageTimings::default();
     let mut guard_stats = GuardStats::default();
@@ -817,6 +868,7 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
         backend_classes[cell.backend].1[k_idx].1.record(&record);
         scheme_classes[cell.scheme].1[k_idx].1.record(&record);
         chi_classes[cell.chi].1[k_idx].1.record(&record);
+        batch_classes[cell.batch].1[k_idx].1.record(&record);
         if record.guard.is_fault() {
             let cell = &mut cell_stats[family][k_idx];
             cell.faults += 1;
@@ -859,6 +911,7 @@ pub fn run_campaign(benchmarks: &[CampaignBenchmark], config: &CampaignConfig) -
         backend_classes,
         scheme_classes,
         chi_classes,
+        batch_classes,
         families,
         cells: cell_stats,
         trials,
@@ -882,6 +935,7 @@ fn run_cell(
         config.schemes[cell.scheme],
         config.strategies[cell.strategy],
         config.chis[cell.chi],
+        config.batches[cell.batch],
         mutators[cell.class].as_ref(),
         guards.map(|g| &g[cell.benchmark]),
         cell.trial,
@@ -898,6 +952,7 @@ fn run_trial(
     scheme: ApplicationScheme,
     strategy: StimulusStrategy,
     chi: usize,
+    batch: usize,
     mutator: &dyn Mutator,
     guard_cache: Option<&GuardCache>,
     t_idx: usize,
@@ -922,6 +977,7 @@ fn run_trial(
                         scheme,
                         strategy,
                         chi,
+                        batch,
                         kind: mutator.kind(),
                         trial: t_idx,
                         seed,
@@ -974,6 +1030,7 @@ fn run_trial(
         .with_peel(config.peel)
         .with_scheme(scheme)
         .with_chi_max(chi)
+        .with_batch_size(batch)
         .with_event_sink(sink.clone());
     let result = check_equivalence(&bench.original, &mutated, &flow_config)
         .expect("mutators preserve the register, so the flow must accept the pair");
@@ -1000,6 +1057,7 @@ fn run_trial(
             scheme,
             strategy,
             chi,
+            batch,
             kind: mutator.kind(),
             trial: t_idx,
             seed,
@@ -1094,6 +1152,19 @@ impl CampaignResult {
                 );
             }
         }
+        // Like the backend field: the batch size only renders for
+        // non-default selections, keeping campaigns that predate the
+        // batched probe path byte-identical.
+        if self.config.batches != [1] {
+            if let [batch] = self.config.batches[..] {
+                cfg.int("batch", batch as u64);
+            } else {
+                cfg.raw(
+                    "batches",
+                    json::array(self.config.batches.iter().map(ToString::to_string)),
+                );
+            }
+        }
         // Like the backend field: only a filtered class selection renders,
         // keeping full campaigns byte-identical to pre-filter goldens.
         if self.config.classes != MutationKind::ALL {
@@ -1171,6 +1242,21 @@ impl CampaignResult {
                 json::array(self.chi_classes.iter().map(|(chi, classes)| {
                     let mut o = json::Obj::new();
                     o.int("chi", *chi as u64)
+                        .raw("classes", class_stats_json(classes));
+                    o.render()
+                })),
+            );
+        }
+
+        // Likewise the per-batch-size breakdown: only rendered when there
+        // is a throughput ablation to report. Identical rows are expected
+        // — that is the batch contract made visible.
+        if self.batch_classes.len() > 1 {
+            root.raw(
+                "batches",
+                json::array(self.batch_classes.iter().map(|(batch, classes)| {
+                    let mut o = json::Obj::new();
+                    o.int("batch", *batch as u64)
                         .raw("classes", class_stats_json(classes));
                     o.render()
                 })),
@@ -1297,6 +1383,20 @@ impl CampaignResult {
             );
             for (chi, classes) in &self.chi_classes {
                 out.push_str(&ablation_row(&chi.to_string(), classes));
+            }
+        }
+
+        if self.batch_classes.len() > 1 {
+            out.push_str(
+                "\n## Detection by batch size\n\n\
+                 | batch | faults | det. sim | det. complete | missed | mean #sims | rate |\n\
+                 |---|---|---|---|---|---|---|\n",
+            );
+            // Rows here must be identical by construction (per-stimulus
+            // outcomes are bit-identical at any batch size); what differs
+            // between arms is only wall-clock.
+            for (batch, classes) in &self.batch_classes {
+                out.push_str(&ablation_row(&batch.to_string(), classes));
             }
         }
 
@@ -1550,6 +1650,7 @@ pub fn audit_pair(
                         .with_threads(config.threads.max(1))
                         .with_backend(config.backends[0])
                         .with_chi_max(config.chis[0])
+                        .with_batch_size(config.batches[0])
                         .with_peel(config.peel)
                         .with_fallback(Fallback::None);
                     let result = check_equivalence(golden, faulty, &flow_config)
@@ -1918,6 +2019,53 @@ mod tests {
         )
         .to_json(false);
         assert!(!default_js.contains("chi"));
+    }
+
+    #[test]
+    fn batch_ablation_arms_report_identical_verdicts() {
+        let benches = vec![CampaignBenchmark::optimized(
+            "qft 5",
+            "qft",
+            &generators::qft(5, true),
+        )];
+        let config = CampaignConfig::default()
+            .with_trials(2)
+            .with_simulations(6)
+            .with_classes(vec![MutationKind::RemoveGate, MutationKind::AddGate])
+            .with_batches(vec![1, 8]);
+        let result = run_campaign(&benches, &config);
+        assert_eq!(result.batch_classes.len(), 2);
+        // The batch axis re-checks the *same* faults, and per-stimulus
+        // outcomes are bit-identical at any batch size — so the arms must
+        // agree not only on seeds and mutations but on every verdict and
+        // sims-run count.
+        let half = result.trials.len() / 2;
+        for (a, b) in result.trials[..half].iter().zip(&result.trials[half..]) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.mutations, b.mutations);
+            assert_eq!(a.batch, 1);
+            assert_eq!(b.batch, 8);
+            assert_eq!(a.detection, b.detection, "batch changed a verdict");
+            assert_eq!(a.sims_run, b.sims_run);
+        }
+        assert_eq!(result.batch_classes[0].1, result.batch_classes[1].1);
+        let js = result.to_json(false);
+        assert!(js.contains(r#""batches":[1,8]"#));
+        assert!(js.contains(r#""batch":8"#));
+        assert_eq!(js, run_campaign(&benches, &config).to_json(false));
+        let pooled = run_campaign(&benches, &config.clone().with_trial_threads(3));
+        assert_eq!(js, pooled.to_json(false));
+        assert!(result.to_markdown().contains("## Detection by batch size"));
+        // The default batch=1 campaign renders no batch field at all.
+        let default_js = run_campaign(
+            &benches,
+            &CampaignConfig::default()
+                .with_trials(1)
+                .with_simulations(4)
+                .with_classes(vec![MutationKind::RemoveGate]),
+        )
+        .to_json(false);
+        assert!(!default_js.contains("batch"));
     }
 
     #[test]

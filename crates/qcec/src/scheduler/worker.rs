@@ -8,6 +8,18 @@
 //! the decisive one completes, which is what lets the orchestrator replay
 //! the overlaps in order and reproduce the sequential verdict exactly.
 //!
+//! With [`Config::batch_size`](crate::Config::batch_size) `> 1` a worker
+//! claims that many *contiguous* indices per `fetch_add` and probes them
+//! as one [`SimBackend::probe_batch_while`] batch. The watermark protocol
+//! extends naturally: indices already superseded at claim time are
+//! aborted up front (supersession is monotone in the index, so they form
+//! a suffix of the claim), and an in-flight batch is abandoned only when
+//! its *first* index is superseded — so every index at or below the
+//! decisive one still completes, and the ordered replay reproduces the
+//! batch=1 verdict bit for bit. Members above the watermark may complete
+//! wastefully (bounded by one batch); their slots sit above the decisive
+//! index and never reach the judge.
+//!
 //! Workers are backend-agnostic: the probe engine is injected through the
 //! [`SchedulerContext`] as any [`SimBackend`], and each worker builds its
 //! own [`SimBackend::Workspace`] once at startup. Cancellation granularity
@@ -84,43 +96,85 @@ pub(super) fn run_worker<B: SimBackend>(
     ctx: &SchedulerContext<'_, B>,
 ) -> Result<(), qdd::DdLimitError> {
     let mut workspace = ctx.backend.workspace(ctx.g.n_qubits());
+    let batch = ctx.config.batch_size.max(1);
     loop {
-        let index = ctx.next.fetch_add(1, Ordering::Relaxed);
-        if index >= ctx.stimuli.len() {
+        let first = ctx.next.fetch_add(batch, Ordering::Relaxed);
+        if first >= ctx.stimuli.len() {
             return Ok(());
         }
-        let stimulus = &ctx.stimuli[index];
-        if ctx.token.superseded(index) {
+        let end = (first + batch).min(ctx.stimuli.len());
+        // Supersession is monotone in the index, so the already-moot part
+        // of the claim is a suffix: probe the live prefix as one batch and
+        // abort the rest up front.
+        let mut live_end = first;
+        while live_end < end && !ctx.token.superseded(live_end) {
+            live_end += 1;
+        }
+        for index in live_end..end {
             ctx.sink.record(RunEvent::SimulationAborted { index });
+        }
+        if live_end == first {
             continue;
         }
         let start = Instant::now();
-        let outcome =
-            ctx.backend
-                .probe_while(ctx.g, ctx.g_prime, stimulus, &mut workspace, &|| {
-                    !ctx.token.superseded(index)
-                })?;
-        match outcome {
-            None => ctx.sink.record(RunEvent::SimulationAborted { index }),
-            Some(outcome) => {
-                let overlap = outcome.overlap;
-                // A per-run output mismatch is decisive on its own;
-                // publish it before the event so observers of the sink
-                // never see a finished failing run without a watermark.
-                // Truncating engines are exempt: their mismatches are only
-                // decidable against the cumulative truncation the ordered
-                // replay tracks (see `SimBackend::can_truncate`), so every
-                // stimulus runs to completion and the replay decides.
-                if !ctx.backend.can_truncate() && output_mismatch(overlap, ctx.config) {
-                    ctx.token.record_sim_failure(index);
+        // Abandon the batch only once its *first* member is superseded:
+        // that member is the one the watermark rule obliges us to finish,
+        // and later members become moot together with it.
+        let outcomes = ctx.backend.probe_batch_while(
+            ctx.g,
+            ctx.g_prime,
+            &ctx.stimuli[first..live_end],
+            &mut workspace,
+            &|| !ctx.token.superseded(first),
+        )?;
+        match outcomes {
+            None => {
+                for index in first..live_end {
+                    ctx.sink.record(RunEvent::SimulationAborted { index });
                 }
-                ctx.results.lock().unwrap()[index] =
-                    Some((overlap, outcome.metrics.truncation_error));
-                ctx.sink.record(RunEvent::SimulationFinished {
-                    index,
-                    wall_time: start.elapsed(),
-                    fidelity: overlap.norm_sqr(),
-                    backend: ctx.backend.kind(),
+            }
+            Some(outcomes) => {
+                let elapsed = start.elapsed();
+                let probed = outcomes.len();
+                debug_assert_eq!(probed, live_end - first);
+                // Per-run output mismatches are decisive on their own;
+                // publish the watermarks (in index order) before any event
+                // so observers of the sink never see a finished failing
+                // run without a watermark. Truncating engines are exempt:
+                // their mismatches are only decidable against the
+                // cumulative truncation the ordered replay tracks (see
+                // `SimBackend::can_truncate`), so every stimulus runs to
+                // completion and the replay decides.
+                if !ctx.backend.can_truncate() {
+                    for (offset, outcome) in outcomes.iter().enumerate() {
+                        if output_mismatch(outcome.overlap, ctx.config) {
+                            ctx.token.record_sim_failure(first + offset);
+                        }
+                    }
+                }
+                {
+                    let mut results = ctx.results.lock().unwrap();
+                    for (offset, outcome) in outcomes.iter().enumerate() {
+                        results[first + offset] =
+                            Some((outcome.overlap, outcome.metrics.truncation_error));
+                    }
+                }
+                // Per-simulation wall time is not separable inside a
+                // batch; attribute an even share to each member.
+                let share = elapsed / probed.max(1) as u32;
+                for (offset, outcome) in outcomes.iter().enumerate() {
+                    ctx.sink.record(RunEvent::SimulationFinished {
+                        index: first + offset,
+                        wall_time: share,
+                        fidelity: outcome.overlap.norm_sqr(),
+                        backend: ctx.backend.kind(),
+                    });
+                }
+                ctx.sink.record(RunEvent::BatchFinished {
+                    first,
+                    claimed: end - first,
+                    probed,
+                    wall_time: elapsed,
                 });
             }
         }

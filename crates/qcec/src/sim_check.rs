@@ -75,6 +75,14 @@ pub fn run_simulations(
 /// single sequential code path both built-in backends (and any external
 /// [`SimBackend`] implementation) share.
 ///
+/// With [`Config::batch_size`](Config) `> 1` the stimuli are probed in
+/// contiguous chunks through [`SimBackend::probe_batch_while`] instead of
+/// one at a time. Per-stimulus outcomes are bit-identical either way
+/// (that is the batch contract), and the judge still observes them in
+/// stimulus order, so the verdict never depends on the batch size — a
+/// counterexample inside a chunk merely means the rest of that chunk was
+/// probed wastefully.
+///
 /// # Errors
 ///
 /// Returns [`qdd::DdLimitError`] if the backend exhausts its node budget.
@@ -101,15 +109,34 @@ pub fn run_simulations_on<B: SimBackend>(
     // run, but those circuits are O(n²) gates, not O(2ⁿ)).
     let mut workspace = backend.workspace(n);
     let mut judge = Judge::new(config);
-    for (run, stimulus) in stimuli.iter().enumerate() {
-        let outcome = backend.probe(g, g_prime, stimulus, &mut workspace)?;
-        if let Some(ce) = judge.observe(
-            outcome.overlap,
-            outcome.metrics.truncation_error,
-            stimulus,
-            run + 1,
-        ) {
-            return Ok(SimVerdict::CounterexampleFound(ce));
+    if config.batch_size > 1 {
+        for (chunk_index, chunk) in stimuli.chunks(config.batch_size).enumerate() {
+            let outcomes = backend
+                .probe_batch_while(g, g_prime, chunk, &mut workspace, &|| true)?
+                .expect("an uncancellable batch always completes");
+            let first = chunk_index * config.batch_size;
+            for (offset, (outcome, stimulus)) in outcomes.iter().zip(chunk).enumerate() {
+                if let Some(ce) = judge.observe(
+                    outcome.overlap,
+                    outcome.metrics.truncation_error,
+                    stimulus,
+                    first + offset + 1,
+                ) {
+                    return Ok(SimVerdict::CounterexampleFound(ce));
+                }
+            }
+        }
+    } else {
+        for (run, stimulus) in stimuli.iter().enumerate() {
+            let outcome = backend.probe(g, g_prime, stimulus, &mut workspace)?;
+            if let Some(ce) = judge.observe(
+                outcome.overlap,
+                outcome.metrics.truncation_error,
+                stimulus,
+                run + 1,
+            ) {
+                return Ok(SimVerdict::CounterexampleFound(ce));
+            }
         }
     }
     Ok(SimVerdict::AllAgreed {
@@ -363,6 +390,29 @@ mod tests {
         let config = config.with_backend(BackendKind::DecisionDiagram);
         let v = run_simulations(&a, &b, &config).unwrap();
         assert!(matches!(v, SimVerdict::CounterexampleFound(_)));
+    }
+
+    #[test]
+    fn batched_runs_reproduce_single_run_verdicts() {
+        let g = generators::qft(5, true);
+        let mut buggy = g.clone();
+        buggy.t(2);
+        for backend in BackendKind::ALL {
+            for strategy in [StimulusStrategy::Random, StimulusStrategy::Stabilizer] {
+                let base = Config::default()
+                    .with_backend(backend)
+                    .with_stimuli(strategy)
+                    .with_seed(5);
+                let single = run_simulations(&g, &buggy, &base).unwrap();
+                for batch in [3, 8, 64] {
+                    let batched =
+                        run_simulations(&g, &buggy, &base.clone().with_batch_size(batch)).unwrap();
+                    assert_eq!(single, batched, "backend {backend:?} batch {batch}");
+                }
+                let agree = run_simulations(&g, &g, &base.with_batch_size(3)).unwrap();
+                assert!(matches!(agree, SimVerdict::AllAgreed { .. }));
+            }
+        }
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub struct Mps {
     sites: Vec<SiteTensor>,
     truncation_error: f64,
     peak_bond: usize,
+    route_hops: usize,
 }
 
 impl Mps {
@@ -102,6 +103,7 @@ impl Mps {
             sites,
             truncation_error: 0.0,
             peak_bond: 1,
+            route_hops: 0,
         }
     }
 
@@ -132,6 +134,7 @@ impl Mps {
             sites,
             truncation_error: 0.0,
             peak_bond: 1,
+            route_hops: 0,
         }
     }
 
@@ -162,6 +165,15 @@ impl Mps {
     #[must_use]
     pub fn peak_bond(&self) -> usize {
         self.peak_bond
+    }
+
+    /// Total adjacent-SWAP splits spent routing distant two-qubit gates
+    /// next to each other — the dominant cost of long-range gates (each
+    /// hop pays a χ-bounded SVD). Consecutive lowered gates on the same
+    /// pair share one route, which this counter makes observable.
+    #[must_use]
+    pub fn route_hops(&self) -> usize {
+        self.route_hops
     }
 
     /// The largest current bond dimension.
@@ -213,9 +225,100 @@ impl Mps {
                 self.apply_two_qubit(a, b, &m, chi_max);
             }
             ResolvedGate::Lowered(gates) => {
+                // Lowering a multi-controlled gate emits runs of
+                // elementary gates on the same qubit pair; flattening the
+                // whole sequence first lets consecutive same-pair gates
+                // share one SWAP route instead of routing per gate.
+                let mut elementary = Vec::new();
                 for g in &gates {
-                    self.apply_resolved(g, side, chi_max);
+                    flatten_elementary(g, &mut elementary);
                 }
+                self.apply_elementary(&elementary, side, chi_max);
+            }
+        }
+    }
+
+    /// Applies a flattened elementary sequence, merging same-pair
+    /// two-site gates into one shared SWAP route: the `(a, b)` pair is
+    /// routed adjacent once, every gate of the run applied in sequence,
+    /// and the sites routed back once. A run may carry interleaved
+    /// one-site gates — on a site outside the displaced `a+1..=b` window
+    /// they apply in place, and on `b` itself they apply at the routed
+    /// position `a + 1`; either way the applied matrices are identical to
+    /// the per-gate path and only the number of routing hops (each a
+    /// χ-bounded SVD, the dominant cost of distant gates) drops.
+    fn apply_elementary(
+        &mut self,
+        ops: &[ResolvedGate],
+        side: Option<OperatorSide>,
+        chi_max: usize,
+    ) {
+        // An op a route on `(a, b)` can absorb: same-pair two-site gates
+        // extend the run; carried one-site gates ride along at a possibly
+        // remapped site.
+        let absorbable = |op: &ResolvedGate, a: usize, b: usize| match op {
+            ResolvedGate::Identity => true,
+            ResolvedGate::One(q, _) => *q <= a || *q >= b,
+            ResolvedGate::Two(a2, b2, _) => (*a2, *b2) == (a, b),
+            ResolvedGate::Lowered(_) => false,
+        };
+        let mut i = 0;
+        while i < ops.len() {
+            match &ops[i] {
+                ResolvedGate::Identity => i += 1,
+                ResolvedGate::One(q, u) => {
+                    let m: Vec<Complex> = match side {
+                        None => u.to_vec(),
+                        Some(s) => fuse_one(u, s),
+                    };
+                    self.apply_one_site(*q, &m);
+                    i += 1;
+                }
+                ResolvedGate::Two(a, b, _) => {
+                    let (a, b) = (*a, *b);
+                    assert!(a < b, "two-site matrices are lower-site-major");
+                    assert!(b < self.sites.len(), "qubit {b} out of range");
+                    // The run ends at the last same-pair two-site gate
+                    // reachable through absorbable ops; trailing one-site
+                    // gates are left outside (they need no route).
+                    let mut run = i + 1;
+                    let mut scan = i + 1;
+                    while ops.get(scan).is_some_and(|op| absorbable(op, a, b)) {
+                        if matches!(ops[scan], ResolvedGate::Two(..)) {
+                            run = scan + 1;
+                        }
+                        scan += 1;
+                    }
+                    for j in ((a + 1)..b).rev() {
+                        self.swap_adjacent(j, chi_max);
+                    }
+                    for op in &ops[i..run] {
+                        match op {
+                            ResolvedGate::Identity => {}
+                            ResolvedGate::One(q, u) => {
+                                let m: Vec<Complex> = match side {
+                                    None => u.to_vec(),
+                                    Some(s) => fuse_one(u, s),
+                                };
+                                // While routed, site b lives at a + 1.
+                                self.apply_one_site(if *q == b { a + 1 } else { *q }, &m);
+                            }
+                            ResolvedGate::Two(_, _, u) => {
+                                let m: Vec<Complex> = match side {
+                                    None => u.to_vec(),
+                                    Some(s) => fuse_two(u, s),
+                                };
+                                self.apply_two_site(a, &m, chi_max);
+                            }
+                            ResolvedGate::Lowered(_) => unreachable!("sequence was flattened"),
+                        }
+                    }
+                    for j in (a + 1)..b {
+                        self.swap_adjacent(j, chi_max);
+                    }
+                    i = run;
+                }
+                ResolvedGate::Lowered(_) => unreachable!("sequence was flattened"),
             }
         }
     }
@@ -260,6 +363,7 @@ impl Mps {
     /// generic d-dimensional SWAP permutation (for operators this swaps
     /// both the row and column halves of the fused leg at once).
     fn swap_adjacent(&mut self, j: usize, chi_max: usize) {
+        self.route_hops += 1;
         let d = self.d;
         let mut m = vec![Complex::ZERO; d * d * d * d];
         for sa in 0..d {
@@ -485,6 +589,20 @@ fn matrix2_entries(kind: &GateKind) -> [Complex; 4] {
     [m.entry(0, 0), m.entry(0, 1), m.entry(1, 0), m.entry(1, 1)]
 }
 
+/// Recursively resolves a gate all the way to elementary operations,
+/// appending them to `out` — the flattened form [`Mps::apply_elementary`]
+/// scans for same-pair runs.
+fn flatten_elementary(gate: &Gate, out: &mut Vec<ResolvedGate>) {
+    match resolve_gate(gate) {
+        ResolvedGate::Lowered(gates) => {
+            for g in &gates {
+                flatten_elementary(g, out);
+            }
+        }
+        other => out.push(other),
+    }
+}
+
 fn resolve_gate(gate: &Gate) -> ResolvedGate {
     let controls = gate.controls();
     match (gate.kind(), controls.len()) {
@@ -682,6 +800,45 @@ mod tests {
         assert_eq!(mps.truncation_error(), 0.0);
         let s = qsim::Simulator::new().run(&c, &qsim::StateVector::basis(5, 0));
         for k in 0..32u64 {
+            assert!(
+                (mps.amplitude(k) - s.amplitudes()[k as usize]).abs() < 1e-9,
+                "amp {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn lowered_runs_share_one_swap_route() {
+        // A distant Toffoli lowers to a burst of elementary gates, many on
+        // the same far-apart pair; the flattened peephole must route each
+        // same-pair run adjacent once instead of once per gate.
+        let mut c = Circuit::new(6);
+        c.h(0);
+        c.ccx(0, 5, 2);
+        let mps = run(&c, 0, 64);
+        // Per-gate routing cost: every two-site gate in the lowered form
+        // pays its full round trip.
+        let mut per_gate_hops = 0;
+        let mut elementary = Vec::new();
+        for gate in c.gates() {
+            flatten_elementary(gate, &mut elementary);
+        }
+        for op in &elementary {
+            if let ResolvedGate::Two(a, b, _) = op {
+                per_gate_hops += 2 * (b - a - 1);
+            }
+        }
+        assert!(
+            mps.route_hops() < per_gate_hops,
+            "shared routes must beat per-gate routing: {} vs {}",
+            mps.route_hops(),
+            per_gate_hops
+        );
+        // The optimization is a pure routing change: the evolved state is
+        // still exact and matches the dense reference.
+        assert_eq!(mps.truncation_error(), 0.0);
+        let s = qsim::Simulator::new().run(&c, &qsim::StateVector::basis(6, 0));
+        for k in 0..64u64 {
             assert!(
                 (mps.amplitude(k) - s.amplitudes()[k as usize]).abs() < 1e-9,
                 "amp {k}"

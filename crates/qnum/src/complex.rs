@@ -24,7 +24,10 @@ use crate::approx;
 /// assert_eq!(a * Complex::I, Complex::new(-2.0, 1.0));
 /// assert!(a.conj().approx_eq(Complex::new(1.0, -2.0)));
 /// ```
+// `repr(C)` pins the `[re, im]` field order so SIMD kernels can view a
+// `&[Complex]` as interleaved `f64` pairs.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex {
     /// Real part.
     pub re: f64,

@@ -86,6 +86,10 @@ pub fn apply_controlled_single_at(
 
 /// Diagonal specialization: multiplies amplitudes by `d0`/`d1` depending on
 /// the target bit, under the control mask.
+///
+/// Walks blocks aligned to `2^{target+1}` so the target bit never needs a
+/// per-element test, and skips blocks wholesale when a control bit at or
+/// above the block size is unsatisfied.
 fn apply_controlled_diagonal(
     amps: &mut [Complex],
     control_mask: usize,
@@ -94,20 +98,33 @@ fn apply_controlled_diagonal(
     d1: Complex,
 ) {
     let bt = 1usize << target;
+    let block = bt << 1;
+    let high_controls = control_mask & !(block - 1);
+    let low_controls = control_mask & (block - 1);
     let d0_is_one = d0.approx_one();
-    for (i, a) in amps.iter_mut().enumerate() {
-        if i & control_mask != control_mask {
-            continue;
+    let mut base = 0usize;
+    while base < amps.len() {
+        if base & high_controls == high_controls {
+            for offset in 0..bt {
+                let lo = base + offset;
+                if lo & low_controls == low_controls {
+                    if !d0_is_one {
+                        amps[lo] *= d0;
+                    }
+                    amps[lo | bt] *= d1;
+                }
+            }
         }
-        if i & bt != 0 {
-            *a *= d1;
-        } else if !d0_is_one {
-            *a *= d0;
-        }
+        base += block;
     }
 }
 
 /// Applies a (possibly controlled) SWAP of qubits `a` and `b`.
+///
+/// Visits only the `dim/4` indices with the high swap bit set and the low
+/// swap bit clear by walking nested aligned segments, instead of scanning
+/// all `2^n` indices with per-element bit tests. Control bits above the
+/// outer segment skip whole segments wholesale.
 ///
 /// # Panics
 ///
@@ -116,10 +133,441 @@ pub fn apply_controlled_swap(amps: &mut [Complex], control_mask: usize, a: usize
     let (ba, bb) = (1usize << a, 1usize << b);
     debug_assert_ne!(a, b, "swap targets must differ");
     debug_assert_eq!(control_mask & (ba | bb), 0, "swap targets overlap controls");
-    for i in 0..amps.len() {
-        // Visit each swapped pair once: from the (a=1, b=0) side.
-        if i & ba != 0 && i & bb == 0 && i & control_mask == control_mask {
-            amps.swap(i, i ^ ba ^ bb);
+    let (bl, bh) = if ba < bb { (ba, bb) } else { (bb, ba) };
+    let outer = bh << 1;
+    let inner = bl << 1;
+    let high_controls = control_mask & !(outer - 1);
+    let mid_controls = control_mask & (outer - 1) & !(inner - 1);
+    let low_controls = control_mask & (inner - 1);
+    let swap_mask = ba ^ bb;
+    let mut high = 0usize;
+    while high < amps.len() {
+        if high & high_controls == high_controls {
+            // Visit each swapped pair once: from the (high=1, low=0) side.
+            let mut mid = 0usize;
+            while mid < bh {
+                let base = high + bh + mid;
+                if base & mid_controls == mid_controls {
+                    for low in 0..bl {
+                        let i = base + low;
+                        if i & low_controls == low_controls {
+                            amps.swap(i, i ^ swap_mask);
+                        }
+                    }
+                }
+                mid += inner;
+            }
+        }
+        high += outer;
+    }
+}
+
+/// Applies a single-qubit gate `m` to `target` across `lanes` interleaved
+/// state vectors stored lane-major in `arena`: amplitude `i` of lane `l`
+/// lives at `arena[i * lanes + l]`.
+///
+/// The gate matrix is decoded once and streamed over all lanes, so the
+/// per-pair index arithmetic and control tests are amortized `lanes`× and
+/// the inner lane loops are branch-free and SIMD-friendly. Per lane the
+/// floating-point operations are identical to [`apply_controlled_single`],
+/// so batched amplitudes are bit-identical to the single-state path.
+///
+/// # Panics
+///
+/// Panics in debug builds if `target`'s bit overlaps `control_mask` or the
+/// arena length is not a multiple of `lanes`.
+pub fn apply_controlled_single_batch(
+    arena: &mut [Complex],
+    lanes: usize,
+    control_mask: usize,
+    target: usize,
+    m: &Matrix2,
+) {
+    let bt = 1usize << target;
+    debug_assert!(lanes > 0, "need at least one lane");
+    debug_assert_eq!(control_mask & bt, 0, "target overlaps controls");
+    debug_assert_eq!(arena.len() % lanes, 0, "arena not a whole number of lanes");
+    let dim = arena.len() / lanes;
+    let (m00, m01, m10, m11) = (m.entry(0, 0), m.entry(0, 1), m.entry(1, 0), m.entry(1, 1));
+    if m01.approx_zero() && m10.approx_zero() {
+        apply_controlled_diagonal_batch(arena, lanes, control_mask, target, m00, m11);
+        return;
+    }
+    let isa = lane_simd::detect();
+    let block = bt << 1;
+    let mut base = 0usize;
+    while base < dim {
+        for offset in 0..bt {
+            let lo = base + offset;
+            if lo & control_mask == control_mask {
+                let hi = lo | bt;
+                let (head, tail) = arena.split_at_mut(hi * lanes);
+                let lo_row = &mut head[lo * lanes..lo * lanes + lanes];
+                let hi_row = &mut tail[..lanes];
+                lane_simd::rotate_rows(isa, lo_row, hi_row, m00, m01, m10, m11);
+            }
+        }
+        base += block;
+    }
+}
+
+/// Lane-major diagonal specialization of [`apply_controlled_single_batch`].
+fn apply_controlled_diagonal_batch(
+    arena: &mut [Complex],
+    lanes: usize,
+    control_mask: usize,
+    target: usize,
+    d0: Complex,
+    d1: Complex,
+) {
+    let bt = 1usize << target;
+    let block = bt << 1;
+    let dim = arena.len() / lanes;
+    let high_controls = control_mask & !(block - 1);
+    let low_controls = control_mask & (block - 1);
+    let d0_is_one = d0.approx_one();
+    let isa = lane_simd::detect();
+    let mut base = 0usize;
+    while base < dim {
+        if base & high_controls == high_controls {
+            for offset in 0..bt {
+                let lo = base + offset;
+                if lo & low_controls == low_controls {
+                    if !d0_is_one {
+                        lane_simd::scale_row(isa, &mut arena[lo * lanes..lo * lanes + lanes], d0);
+                    }
+                    let hi = lo | bt;
+                    lane_simd::scale_row(isa, &mut arena[hi * lanes..hi * lanes + lanes], d1);
+                }
+            }
+        }
+        base += block;
+    }
+}
+
+/// Lane-major batched variant of [`apply_controlled_swap`]: swaps the full
+/// lane rows of each visited amplitude pair.
+///
+/// # Panics
+///
+/// Panics in debug builds if `a == b`, either target overlaps the control
+/// mask, or the arena length is not a multiple of `lanes`.
+pub fn apply_controlled_swap_batch(
+    arena: &mut [Complex],
+    lanes: usize,
+    control_mask: usize,
+    a: usize,
+    b: usize,
+) {
+    let (ba, bb) = (1usize << a, 1usize << b);
+    debug_assert!(lanes > 0, "need at least one lane");
+    debug_assert_ne!(a, b, "swap targets must differ");
+    debug_assert_eq!(control_mask & (ba | bb), 0, "swap targets overlap controls");
+    debug_assert_eq!(arena.len() % lanes, 0, "arena not a whole number of lanes");
+    let dim = arena.len() / lanes;
+    let (bl, bh) = if ba < bb { (ba, bb) } else { (bb, ba) };
+    let outer = bh << 1;
+    let inner = bl << 1;
+    let high_controls = control_mask & !(outer - 1);
+    let mid_controls = control_mask & (outer - 1) & !(inner - 1);
+    let low_controls = control_mask & (inner - 1);
+    let swap_mask = ba ^ bb;
+    let mut high = 0usize;
+    while high < dim {
+        if high & high_controls == high_controls {
+            let mut mid = 0usize;
+            while mid < bh {
+                let base = high + bh + mid;
+                if base & mid_controls == mid_controls {
+                    for low in 0..bl {
+                        let i = base + low;
+                        if i & low_controls == low_controls {
+                            let j = i ^ swap_mask;
+                            // j < i: the swap partner clears the high bit.
+                            let (head, tail) = arena.split_at_mut(i * lanes);
+                            head[j * lanes..j * lanes + lanes].swap_with_slice(&mut tail[..lanes]);
+                        }
+                    }
+                }
+                mid += inner;
+            }
+        }
+        high += outer;
+    }
+}
+
+/// Vectorized inner loops for the lane-major batched kernels.
+///
+/// A lane row is `lanes` consecutive [`Complex`] values — with `repr(C)`
+/// that is interleaved `[re, im]` pairs, so one AVX-512 register holds four
+/// lanes and one AVX2 register holds two. The instruction set is detected
+/// once per kernel pass ([`detect`]) and every vector path uses only IEEE
+/// multiply/add/subtract (plus sign-bit flips, which are exact) — never
+/// fused multiply-add — in the same operand order as the scalar loop, so
+/// batched amplitudes stay bit-identical to the single-state kernels on
+/// every CPU.
+mod lane_simd {
+    use qnum::Complex;
+
+    /// Widest lane-loop instruction set available at runtime.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub(super) enum Isa {
+        #[cfg(target_arch = "x86_64")]
+        Avx512,
+        #[cfg(target_arch = "x86_64")]
+        Avx2,
+        Scalar,
+    }
+
+    /// Picks the widest supported path. The `std` detection macro caches
+    /// its CPUID probe, so calling this once per gate pass is cheap.
+    #[inline]
+    pub(super) fn detect() -> Isa {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") {
+                return Isa::Avx512;
+            }
+            if is_x86_feature_detected!("avx2") {
+                return Isa::Avx2;
+            }
+        }
+        Isa::Scalar
+    }
+
+    /// Applies the 2×2 rotation `[m00 m01; m10 m11]` to the amplitude pair
+    /// `(lo[l], hi[l])` of every lane `l`.
+    #[inline]
+    pub(super) fn rotate_rows(
+        isa: Isa,
+        lo: &mut [Complex],
+        hi: &mut [Complex],
+        m00: Complex,
+        m01: Complex,
+        m10: Complex,
+        m11: Complex,
+    ) {
+        match isa {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `detect` returned this variant, so the CPU supports it.
+            Isa::Avx512 => unsafe { x86::rotate_rows_avx512(lo, hi, m00, m01, m10, m11) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            Isa::Avx2 => unsafe { x86::rotate_rows_avx2(lo, hi, m00, m01, m10, m11) },
+            Isa::Scalar => rotate_rows_scalar(lo, hi, m00, m01, m10, m11),
+        }
+    }
+
+    /// Multiplies every lane of `row` by the diagonal entry `d`.
+    #[inline]
+    pub(super) fn scale_row(isa: Isa, row: &mut [Complex], d: Complex) {
+        match isa {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `detect` returned this variant, so the CPU supports it.
+            Isa::Avx512 => unsafe { x86::scale_row_avx512(row, d) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            Isa::Avx2 => unsafe { x86::scale_row_avx2(row, d) },
+            Isa::Scalar => scale_row_scalar(row, d),
+        }
+    }
+
+    #[inline]
+    fn rotate_rows_scalar(
+        lo: &mut [Complex],
+        hi: &mut [Complex],
+        m00: Complex,
+        m01: Complex,
+        m10: Complex,
+        m11: Complex,
+    ) {
+        for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+            let (x0, x1) = (*a0, *a1);
+            *a0 = m00 * x0 + m01 * x1;
+            *a1 = m10 * x0 + m11 * x1;
+        }
+    }
+
+    #[inline]
+    fn scale_row_scalar(row: &mut [Complex], d: Complex) {
+        for a in row {
+            *a *= d;
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod x86 {
+        use super::{rotate_rows_scalar, scale_row_scalar};
+        use qnum::Complex;
+        use std::arch::x86_64::{
+            __m256d, __m512d, _mm256_add_pd, _mm256_castpd_si256, _mm256_castsi256_pd,
+            _mm256_loadu_pd, _mm256_mul_pd, _mm256_permute_pd, _mm256_set1_pd, _mm256_set_pd,
+            _mm256_storeu_pd, _mm256_xor_si256, _mm512_add_pd, _mm512_castpd_si512,
+            _mm512_castsi512_pd, _mm512_loadu_pd, _mm512_mul_pd, _mm512_permute_pd, _mm512_set1_pd,
+            _mm512_set_pd, _mm512_storeu_pd, _mm512_xor_si512,
+        };
+
+        /// Complex multiply of a broadcast scalar `s` by the interleaved
+        /// amplitudes in `x` (512-bit: four lanes).
+        ///
+        /// Per slot pair this computes exactly
+        /// `(s.re·x.re − s.im·x.im, s.re·x.im + s.im·x.re)` — the scalar
+        /// [`Complex`] product up to IEEE mul/add commutativity, with the
+        /// subtraction expressed as an exact sign-bit flip plus add.
+        #[inline(always)]
+        unsafe fn cmul_broadcast_avx512(
+            s_re: __m512d,
+            s_im: __m512d,
+            neg_even: __m512d,
+            x: __m512d,
+        ) -> __m512d {
+            // [im, re] per lane, for the cross terms.
+            let x_swap = _mm512_permute_pd::<0b01010101>(x);
+            let t1 = _mm512_mul_pd(s_re, x);
+            let t2 = _mm512_mul_pd(s_im, x_swap);
+            // Negate the real slots of t2 (sign-bit XOR is exact), turning
+            // the componentwise add into (t1.re − t2.re, t1.im + t2.im).
+            let t2 = _mm512_castsi512_pd(_mm512_xor_si512(
+                _mm512_castpd_si512(t2),
+                _mm512_castpd_si512(neg_even),
+            ));
+            _mm512_add_pd(t1, t2)
+        }
+
+        /// 256-bit (two-lane) variant of [`cmul_broadcast_avx512`].
+        #[inline(always)]
+        unsafe fn cmul_broadcast_avx2(
+            s_re: __m256d,
+            s_im: __m256d,
+            neg_even: __m256d,
+            x: __m256d,
+        ) -> __m256d {
+            let x_swap = _mm256_permute_pd::<0b0101>(x);
+            let t1 = _mm256_mul_pd(s_re, x);
+            let t2 = _mm256_mul_pd(s_im, x_swap);
+            let t2 = _mm256_castsi256_pd(_mm256_xor_si256(
+                _mm256_castpd_si256(t2),
+                _mm256_castpd_si256(neg_even),
+            ));
+            _mm256_add_pd(t1, t2)
+        }
+
+        /// Sign mask that flips the real (even) slots: `set_pd` lists lanes
+        /// high-to-low, so `-0.0` lands in slots 0, 2, ….
+        #[inline(always)]
+        unsafe fn neg_even_avx512() -> __m512d {
+            _mm512_set_pd(0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0)
+        }
+
+        #[inline(always)]
+        unsafe fn neg_even_avx2() -> __m256d {
+            _mm256_set_pd(0.0, -0.0, 0.0, -0.0)
+        }
+
+        #[target_feature(enable = "avx512f")]
+        pub(super) unsafe fn rotate_rows_avx512(
+            lo: &mut [Complex],
+            hi: &mut [Complex],
+            m00: Complex,
+            m01: Complex,
+            m10: Complex,
+            m11: Complex,
+        ) {
+            let lanes = lo.len();
+            let lo_p = lo.as_mut_ptr().cast::<f64>();
+            let hi_p = hi.as_mut_ptr().cast::<f64>();
+            let neg = neg_even_avx512();
+            let (m00re, m00im) = (_mm512_set1_pd(m00.re), _mm512_set1_pd(m00.im));
+            let (m01re, m01im) = (_mm512_set1_pd(m01.re), _mm512_set1_pd(m01.im));
+            let (m10re, m10im) = (_mm512_set1_pd(m10.re), _mm512_set1_pd(m10.im));
+            let (m11re, m11im) = (_mm512_set1_pd(m11.re), _mm512_set1_pd(m11.im));
+            let mut l = 0usize;
+            while l + 4 <= lanes {
+                let (p0, p1) = (lo_p.add(2 * l), hi_p.add(2 * l));
+                let x0 = _mm512_loadu_pd(p0);
+                let x1 = _mm512_loadu_pd(p1);
+                let y0 = _mm512_add_pd(
+                    cmul_broadcast_avx512(m00re, m00im, neg, x0),
+                    cmul_broadcast_avx512(m01re, m01im, neg, x1),
+                );
+                let y1 = _mm512_add_pd(
+                    cmul_broadcast_avx512(m10re, m10im, neg, x0),
+                    cmul_broadcast_avx512(m11re, m11im, neg, x1),
+                );
+                _mm512_storeu_pd(p0, y0);
+                _mm512_storeu_pd(p1, y1);
+                l += 4;
+            }
+            rotate_rows_scalar(&mut lo[l..], &mut hi[l..], m00, m01, m10, m11);
+        }
+
+        #[target_feature(enable = "avx2")]
+        pub(super) unsafe fn rotate_rows_avx2(
+            lo: &mut [Complex],
+            hi: &mut [Complex],
+            m00: Complex,
+            m01: Complex,
+            m10: Complex,
+            m11: Complex,
+        ) {
+            let lanes = lo.len();
+            let lo_p = lo.as_mut_ptr().cast::<f64>();
+            let hi_p = hi.as_mut_ptr().cast::<f64>();
+            let neg = neg_even_avx2();
+            let (m00re, m00im) = (_mm256_set1_pd(m00.re), _mm256_set1_pd(m00.im));
+            let (m01re, m01im) = (_mm256_set1_pd(m01.re), _mm256_set1_pd(m01.im));
+            let (m10re, m10im) = (_mm256_set1_pd(m10.re), _mm256_set1_pd(m10.im));
+            let (m11re, m11im) = (_mm256_set1_pd(m11.re), _mm256_set1_pd(m11.im));
+            let mut l = 0usize;
+            while l + 2 <= lanes {
+                let (p0, p1) = (lo_p.add(2 * l), hi_p.add(2 * l));
+                let x0 = _mm256_loadu_pd(p0);
+                let x1 = _mm256_loadu_pd(p1);
+                let y0 = _mm256_add_pd(
+                    cmul_broadcast_avx2(m00re, m00im, neg, x0),
+                    cmul_broadcast_avx2(m01re, m01im, neg, x1),
+                );
+                let y1 = _mm256_add_pd(
+                    cmul_broadcast_avx2(m10re, m10im, neg, x0),
+                    cmul_broadcast_avx2(m11re, m11im, neg, x1),
+                );
+                _mm256_storeu_pd(p0, y0);
+                _mm256_storeu_pd(p1, y1);
+                l += 2;
+            }
+            rotate_rows_scalar(&mut lo[l..], &mut hi[l..], m00, m01, m10, m11);
+        }
+
+        #[target_feature(enable = "avx512f")]
+        pub(super) unsafe fn scale_row_avx512(row: &mut [Complex], d: Complex) {
+            let lanes = row.len();
+            let p = row.as_mut_ptr().cast::<f64>();
+            let neg = neg_even_avx512();
+            let (d_re, d_im) = (_mm512_set1_pd(d.re), _mm512_set1_pd(d.im));
+            let mut l = 0usize;
+            while l + 4 <= lanes {
+                let q = p.add(2 * l);
+                let x = _mm512_loadu_pd(q);
+                _mm512_storeu_pd(q, cmul_broadcast_avx512(d_re, d_im, neg, x));
+                l += 4;
+            }
+            scale_row_scalar(&mut row[l..], d);
+        }
+
+        #[target_feature(enable = "avx2")]
+        pub(super) unsafe fn scale_row_avx2(row: &mut [Complex], d: Complex) {
+            let lanes = row.len();
+            let p = row.as_mut_ptr().cast::<f64>();
+            let neg = neg_even_avx2();
+            let (d_re, d_im) = (_mm256_set1_pd(d.re), _mm256_set1_pd(d.im));
+            let mut l = 0usize;
+            while l + 2 <= lanes {
+                let q = p.add(2 * l);
+                let x = _mm256_loadu_pd(q);
+                _mm256_storeu_pd(q, cmul_broadcast_avx2(d_re, d_im, neg, x));
+                l += 2;
+            }
+            scale_row_scalar(&mut row[l..], d);
         }
     }
 }
@@ -205,5 +653,116 @@ mod tests {
         apply_controlled_single(&mut amps, 0, 1, &Matrix2::u3(0.3, 1.0, -0.4));
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
         assert!((norm - 1.0).abs() < 1e-10);
+    }
+
+    /// Deterministic pseudo-random state, distinct per seed.
+    fn scrambled(n: usize, seed: u64) -> Vec<Complex> {
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..1usize << n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let re = ((s >> 40) as f64) / (1u64 << 24) as f64 - 0.5;
+                let im = ((s >> 16) as f64 % (1u64 << 24) as f64) / (1u64 << 24) as f64 - 0.5;
+                Complex::new(re, im)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn controlled_diagonal_respects_high_and_low_controls() {
+        // Controls both below (qubit 0) and above (qubit 3) the target
+        // (qubit 1) exercise the block-skip and per-offset tests.
+        let n = 4;
+        let z = Matrix2::rz(0.9);
+        let mut amps = scrambled(n, 7);
+        let expected: Vec<Complex> = amps
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let mask = 0b1001;
+                if i & mask != mask {
+                    a
+                } else if i & 0b10 != 0 {
+                    a * z.entry(1, 1)
+                } else {
+                    a * z.entry(0, 0)
+                }
+            })
+            .collect();
+        apply_controlled_single(&mut amps, 0b1001, 1, &z);
+        for (got, want) in amps.iter().zip(expected.iter()) {
+            assert!(got.approx_eq(*want));
+        }
+    }
+
+    #[test]
+    fn controlled_swap_matches_full_scan_reference() {
+        let n = 5;
+        for &(a, b, mask) in &[(0, 4, 0b01010), (3, 1, 0b10001), (2, 4, 0b00011)] {
+            let mut amps = scrambled(n, (a * 31 + b) as u64);
+            let mut want = amps.clone();
+            let (ba, bb) = (1usize << a, 1usize << b);
+            for i in 0..want.len() {
+                if i & ba != 0 && i & bb == 0 && i & mask == mask {
+                    want.swap(i, i ^ ba ^ bb);
+                }
+            }
+            apply_controlled_swap(&mut amps, mask, a, b);
+            assert_eq!(amps, want, "swap({a},{b}) mask {mask:#b}");
+        }
+    }
+
+    /// Scatter `states` into a lane-major arena.
+    fn to_arena(states: &[Vec<Complex>]) -> Vec<Complex> {
+        let lanes = states.len();
+        let dim = states[0].len();
+        let mut arena = vec![Complex::ZERO; dim * lanes];
+        for (l, s) in states.iter().enumerate() {
+            for (i, &amp) in s.iter().enumerate() {
+                arena[i * lanes + l] = amp;
+            }
+        }
+        arena
+    }
+
+    #[test]
+    fn batched_single_is_bit_identical_to_single() {
+        let n = 4;
+        for lanes in [1usize, 3, 8] {
+            let mut states: Vec<Vec<Complex>> =
+                (0..lanes).map(|l| scrambled(n, l as u64)).collect();
+            let mut arena = to_arena(&states);
+            for (mask, target, m) in [
+                (0usize, 2usize, Matrix2::hadamard()),
+                (0b0100, 0, Matrix2::pauli_x()),
+                (0b1001, 1, Matrix2::rz(0.7)),
+                (0, 3, Matrix2::u3(0.3, 1.0, -0.4)),
+            ] {
+                for s in &mut states {
+                    apply_controlled_single(s, mask, target, &m);
+                }
+                apply_controlled_single_batch(&mut arena, lanes, mask, target, &m);
+            }
+            assert_eq!(arena, to_arena(&states), "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn batched_swap_is_bit_identical_to_single() {
+        let n = 4;
+        for lanes in [1usize, 3, 8] {
+            let mut states: Vec<Vec<Complex>> =
+                (0..lanes).map(|l| scrambled(n, 100 + l as u64)).collect();
+            let mut arena = to_arena(&states);
+            for (mask, a, b) in [(0usize, 0usize, 3usize), (0b0100, 1, 3), (0b1000, 2, 0)] {
+                for s in &mut states {
+                    apply_controlled_swap(s, mask, a, b);
+                }
+                apply_controlled_swap_batch(&mut arena, lanes, mask, a, b);
+            }
+            assert_eq!(arena, to_arena(&states), "lanes={lanes}");
+        }
     }
 }

@@ -8,8 +8,9 @@
 //! performs.
 //!
 //! * [`StateVector`] — dense `2ⁿ` amplitudes, inner products and fidelity,
-//! * [`Simulator`] — gate application with diagonal fast paths and optional
-//!   multithreading ([`Simulator::with_threads`]),
+//! * [`Simulator`] — gate application with diagonal fast paths, optional
+//!   multithreading ([`Simulator::with_threads`]) and cache-hot batched
+//!   probes ([`Simulator::probe_stimuli_batch_while`] / [`BatchWorkspace`]),
 //! * [`measure`] — probabilities, sampling, collapse,
 //! * [`unitary`] — full unitaries built column-by-column (ground truth for
 //!   tests and the Fig. 1 reproduction),
@@ -43,6 +44,6 @@ mod simulator;
 mod state;
 mod unitary;
 
-pub use simulator::{ProbeWorkspace, Simulator};
+pub use simulator::{BatchWorkspace, ProbeWorkspace, Simulator};
 pub use state::{StateError, StateVector};
 pub use unitary::unitary;

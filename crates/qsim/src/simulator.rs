@@ -325,6 +325,117 @@ impl Simulator {
         }
         Some(workspace.left.inner_product(&workspace.right))
     }
+
+    /// Batched variant of [`Simulator::probe_stimulus_while`]: runs every
+    /// stimulus of the batch through both circuits simultaneously, with
+    /// each gate decoded once and streamed across all lanes of a shared
+    /// arena (see [`BatchWorkspace`]).
+    ///
+    /// Each stimulus is a `(basis, prefix)` pair as in the single-stimulus
+    /// probe. Returns the per-lane overlaps `⟨u|u′⟩` in stimulus order, or
+    /// `None` if the whole batch was abandoned because `keep_going`
+    /// returned `false` (polled once per gate, amortized over the batch).
+    ///
+    /// Per lane, the floating-point operations — gate kernels and the
+    /// ascending-index overlap summation — are identical to the
+    /// single-stimulus path, so every returned overlap is bit-identical to
+    /// what [`Simulator::probe_stimulus_while`] would produce for that
+    /// stimulus alone. Batched kernels always run sequentially; batching
+    /// replaces kernel-level threading as the throughput lever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit count differs, the batch is empty, or a basis
+    /// is out of range.
+    #[must_use]
+    pub fn probe_stimuli_batch_while<'w>(
+        &self,
+        g: &Circuit,
+        g_prime: &Circuit,
+        stimuli: &[(u64, Option<&Circuit>)],
+        workspace: &'w mut BatchWorkspace,
+        keep_going: &dyn Fn() -> bool,
+    ) -> Option<&'w [Complex]> {
+        assert_eq!(
+            g.n_qubits(),
+            g_prime.n_qubits(),
+            "circuits must have equal qubit counts"
+        );
+        assert_eq!(
+            g.n_qubits(),
+            workspace.n_qubits,
+            "workspace sized for a different register"
+        );
+        let lanes = stimuli.len();
+        assert!(lanes > 0, "need at least one stimulus");
+        let dim = 1usize << workspace.n_qubits;
+        workspace.left.clear();
+        workspace.left.resize(dim * lanes, Complex::ZERO);
+        // Prepare each lane's stimulus in the scratch register, then
+        // scatter it into its lane column of the arena.
+        for (lane, &(basis, prefix)) in stimuli.iter().enumerate() {
+            workspace.scratch.reset_to_basis(basis);
+            if let Some(prefix) = prefix {
+                if !self.apply_to_state_while(prefix, &mut workspace.scratch, keep_going) {
+                    return None;
+                }
+            }
+            for (i, &amp) in workspace.scratch.amplitudes().iter().enumerate() {
+                workspace.left[i * lanes + lane] = amp;
+            }
+        }
+        workspace.right.clear();
+        workspace.right.extend_from_slice(&workspace.left);
+        for gate in g.gates() {
+            if !keep_going() {
+                return None;
+            }
+            Self::apply_gate_batch(&mut workspace.left, lanes, gate);
+        }
+        for gate in g_prime.gates() {
+            if !keep_going() {
+                return None;
+            }
+            Self::apply_gate_batch(&mut workspace.right, lanes, gate);
+        }
+        // Per-lane overlaps accumulated in ascending amplitude order — the
+        // exact summation order of `StateVector::inner_product`.
+        workspace.overlaps.clear();
+        workspace.overlaps.resize(lanes, Complex::ZERO);
+        for i in 0..dim {
+            let row = i * lanes;
+            for (lane, acc) in workspace.overlaps.iter_mut().enumerate() {
+                *acc += workspace.left[row + lane].conj() * workspace.right[row + lane];
+            }
+        }
+        Some(&workspace.overlaps)
+    }
+
+    /// Applies one gate across all lanes of a lane-major arena, mirroring
+    /// the kernel dispatch of [`Simulator::apply_gate`].
+    fn apply_gate_batch(arena: &mut [Complex], lanes: usize, gate: &Gate) {
+        debug_assert!(
+            (lanes << gate.max_qubit()) < arena.len(),
+            "gate {gate} exceeds the arena's register"
+        );
+        let control_mask: usize = gate.controls().iter().map(|&q| 1usize << q).sum();
+        match gate.kind() {
+            GateKind::Swap => {
+                let (a, b) = (gate.targets()[0], gate.targets()[1]);
+                kernels::apply_controlled_swap_batch(arena, lanes, control_mask, a, b);
+            }
+            kind => {
+                let m = kind.base_matrix().expect("single-target kind");
+                kernels::apply_controlled_single_batch(
+                    arena,
+                    lanes,
+                    control_mask,
+                    gate.target(),
+                    &m,
+                );
+            }
+        }
+    }
 }
 
 /// Reusable pair of state buffers for repeated equivalence probes.
@@ -367,6 +478,50 @@ impl ProbeWorkspace {
     #[must_use]
     pub fn right(&self) -> &StateVector {
         &self.right
+    }
+}
+
+/// Reusable arena for batched equivalence probes.
+///
+/// Holds `k` state vectors per branch in a single lane-major allocation:
+/// amplitude `i` of lane `l` lives at `arena[i * k + l]`, so a gate kernel
+/// visiting an amplitude pair touches `2k` contiguous complex values. The
+/// arena buffers grow to the largest batch probed and are reused across
+/// batches without reallocation; `k` is taken from each call's stimulus
+/// slice, so one workspace serves any batch size.
+///
+/// See [`Simulator::probe_stimuli_batch_while`].
+#[derive(Debug, Clone)]
+pub struct BatchWorkspace {
+    n_qubits: usize,
+    left: Vec<Complex>,
+    right: Vec<Complex>,
+    scratch: StateVector,
+    overlaps: Vec<Complex>,
+}
+
+impl BatchWorkspace {
+    /// Creates a workspace for `n_qubits`-qubit batched probes. Arena
+    /// storage is allocated lazily on first probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is zero or exceeds [`StateVector::MAX_QUBITS`].
+    #[must_use]
+    pub fn new(n_qubits: usize) -> Self {
+        BatchWorkspace {
+            n_qubits,
+            left: Vec::new(),
+            right: Vec::new(),
+            scratch: StateVector::zero(n_qubits),
+            overlaps: Vec::new(),
+        }
+    }
+
+    /// The register size the workspace probes.
+    #[must_use]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
     }
 }
 
@@ -536,5 +691,61 @@ mod tests {
         let c = generators::bell();
         let mut s = StateVector::zero(3);
         Simulator::new().run_inplace(&c, &mut s);
+    }
+
+    #[test]
+    fn batched_probe_is_bit_identical_to_single_probes() {
+        let sim = Simulator::new();
+        let n = 5;
+        let g = generators::qft(n, true);
+        let mut buggy = g.clone();
+        buggy.z(2);
+        let prefix = generators::ghz(n);
+        let mut single = ProbeWorkspace::new(n);
+        let mut batch = BatchWorkspace::new(n);
+        assert_eq!(batch.n_qubits(), n);
+        let bases = [0u64, 3, 17, 30, 9, 22, 7, 12];
+        for lanes in [1usize, 3, 8] {
+            for use_prefix in [false, true] {
+                let prefix = use_prefix.then_some(&prefix);
+                let stimuli: Vec<(u64, Option<&qcirc::Circuit>)> =
+                    bases[..lanes].iter().map(|&b| (b, prefix)).collect();
+                let overlaps = sim
+                    .probe_stimuli_batch_while(&g, &buggy, &stimuli, &mut batch, &|| true)
+                    .expect("not cancelled")
+                    .to_vec();
+                for (lane, &(basis, prefix)) in stimuli.iter().enumerate() {
+                    let want = sim.probe_stimulus_with(&g, &buggy, prefix, basis, &mut single);
+                    assert_eq!(
+                        overlaps[lane], want,
+                        "lanes={lanes} lane={lane} prefix={use_prefix}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_batched_probe_returns_none() {
+        use std::cell::Cell;
+        let sim = Simulator::new();
+        let g = generators::qft(4, true);
+        let mut ws = BatchWorkspace::new(4);
+        let budget = Cell::new(3usize);
+        let keep_going = || {
+            let left = budget.get();
+            budget.set(left.saturating_sub(1));
+            left > 0
+        };
+        let stimuli: Vec<(u64, Option<&qcirc::Circuit>)> =
+            [0u64, 5].iter().map(|&b| (b, None)).collect();
+        assert!(sim
+            .probe_stimuli_batch_while(&g, &g, &stimuli, &mut ws, &keep_going)
+            .is_none());
+        // The workspace is reusable after a cancelled batch.
+        let overlaps = sim
+            .probe_stimuli_batch_while(&g, &g, &stimuli, &mut ws, &|| true)
+            .expect("not cancelled");
+        assert!(overlaps.iter().all(|o| o.approx_one()));
     }
 }

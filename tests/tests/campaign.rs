@@ -283,6 +283,10 @@ fn default_backend_json_matches_pre_refactor_golden() {
     )
     .expect("golden campaign JSON");
     assert_eq!(json, golden.trim_end(), "default campaign JSON drifted");
+    // The batch axis is verdict-neutral and digest-exempt: spelling out
+    // the default batch size explicitly must not move a byte either.
+    let explicit = run_campaign(&benches, &config.with_batches(vec![1])).to_json(false);
+    assert_eq!(explicit, golden.trim_end(), "explicit batch=1 drifted");
 }
 
 /// A four-scheme ablation campaign is as deterministic as the default one:
@@ -381,6 +385,7 @@ fn benign_trials_are_never_counted_as_detection_misses() {
         scheme: qcec::ApplicationScheme::Proportional,
         strategy: qcec::StimulusStrategy::Random,
         chi: 64,
+        batch: 1,
         kind: MutationKind::AddGate,
         trial: 0,
         seed: 7,
